@@ -1,0 +1,159 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Four switchable mechanisms, each measured by the size of the pruned
+document with the mechanism on vs off:
+
+* **per-element text names** — the Section 6 heuristic ("every name
+  Y -> String occurs exactly once in the right hand side of an edge");
+  off = one shared ``#text`` name.  The effect concentrates on
+  mixed-content queries: with a shared name, needing *any* text anywhere
+  keeps the prose of every kept mixed-content element.
+* **the Section 5 rewriting** — pushing ``if C($y)`` conditions into the
+  binding path; off reproduces the paper's degeneration argument.
+* **materialisation** — ``τ' ∪ A_E(τ'', descendant)``; off keeps answers
+  as bare nodes (the correct setting only for engines that never
+  serialise results).
+* **the depth heuristic** — Section 6's depth tracking via the
+  depth-unfolded grammar (``repro.core.depth``); it pays on recursive
+  regions (XMark's parlist/listitem nesting).
+
+Emits ``benchmarks/results/ablation.txt``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_FACTOR, write_report
+from repro.core.pipeline import analyze_query, analyze_xquery
+from repro.dtd.grammar import grammar_from_text
+from repro.dtd.validator import validate
+from repro.projection.tree import prune_document
+from repro.workloads.xmark import XMARK_DTD, generate_document
+from repro.xpath.evaluator import XPathEvaluator
+from repro.xquery.evaluator import XQueryEvaluator
+
+#: Queries where each heuristic has bite.
+TEXT_NAME_QUERIES = {
+    "keyword-scan": "//closed_auction//text/keyword",
+    "emph-in-items": "/site/regions/*/item/description//emph",
+    "names-only": "/site/people/person/name/text()",
+}
+
+REWRITE_QUERY = (
+    "for $y in /site//node() return "
+    "if ($y/author = 'nobody') then <r>{$y}</r> else ()"
+)
+
+MATERIALIZE_QUERIES = {
+    "items": "//item",
+    "auction-intervals": "/site/open_auctions/open_auction/interval",
+}
+
+#: Queries with depth-selective structure on XMark's recursive region
+#: (description → parlist → listitem → parlist → …).
+DEPTH_QUERIES = {
+    "top-listitems": "/site/regions/europe/item/description/parlist/listitem/text/keyword",
+    "shallow-bold": "/site/categories/category/description/text/bold",
+}
+
+
+def test_ablation_report(benchmark):
+    document = generate_document(BENCH_FACTOR, seed=99)
+
+    def build():
+        sections = []
+
+        # -- per-element text names ------------------------------------
+        with_heuristic = grammar_from_text(XMARK_DTD, "site")
+        without_heuristic = grammar_from_text(
+            XMARK_DTD, "site", per_element_text_names=False
+        )
+        rows = []
+        for label, query in TEXT_NAME_QUERIES.items():
+            sizes = []
+            for grammar in (with_heuristic, without_heuristic):
+                interpretation = validate(document, grammar)
+                projector = analyze_query(grammar, query)
+                pruned = prune_document(document, interpretation, projector)
+                original = XPathEvaluator(document).select_ids(query)
+                assert original == XPathEvaluator(pruned).select_ids(query), label
+                sizes.append(pruned.size() / document.size())
+            rows.append((label, sizes[0], sizes[1]))
+        sections.append(("per-element text names (on vs shared #text)", rows))
+
+        # -- Section 5 rewriting ----------------------------------------
+        grammar = with_heuristic
+        interpretation = validate(document, grammar)
+        rows = []
+        for flag in (True, False):
+            result = analyze_xquery(grammar, REWRITE_QUERY, rewrite=flag)
+            pruned = prune_document(document, interpretation, result.projector)
+            reference = XQueryEvaluator(document).evaluate_serialized(REWRITE_QUERY)
+            assert reference == XQueryEvaluator(pruned).evaluate_serialized(REWRITE_QUERY)
+            rows.append(("rewrite=" + str(flag), pruned.size() / document.size(), None))
+        sections.append(("Section 5 condition-pushing rewrite", rows))
+
+        # -- materialisation ---------------------------------------------
+        rows = []
+        for label, query in MATERIALIZE_QUERIES.items():
+            sizes = []
+            for materialize in (True, False):
+                projector = analyze_query(grammar, query, materialize=materialize)
+                pruned = prune_document(document, interpretation, projector)
+                original = XPathEvaluator(document).select_ids(query)
+                assert original == XPathEvaluator(pruned).select_ids(query), label
+                sizes.append(pruned.size() / document.size())
+            rows.append((label, sizes[0], sizes[1]))
+        sections.append(("materialisation (answers' subtrees on vs off)", rows))
+
+        # -- the depth heuristic (recursive parlist/listitem region) ------
+        from repro.core.depth import depth_unfolded_grammar
+
+        unfolded = depth_unfolded_grammar(grammar, max_depth=8)
+        unfolded_interpretation = validate(document, unfolded)
+        rows = []
+        for label, query in DEPTH_QUERIES.items():
+            with_depth = prune_document(
+                document, unfolded_interpretation,
+                analyze_query(unfolded, query),
+            )
+            without_depth = prune_document(
+                document, interpretation, analyze_query(grammar, query)
+            )
+            original = XPathEvaluator(document).select_ids(query)
+            assert original == XPathEvaluator(with_depth).select_ids(query), label
+            rows.append(
+                (label, with_depth.size() / document.size(), without_depth.size() / document.size())
+            )
+        sections.append(("depth heuristic (depth-unfolded vs name-only)", rows))
+        return sections
+
+    sections = benchmark.pedantic(build, rounds=1, iterations=1)
+    lines = []
+    for title, rows in sections:
+        lines.append(title)
+        for label, on_value, off_value in rows:
+            if off_value is None:
+                lines.append(f"  {label:>24}: keep {on_value:6.1%}")
+            else:
+                lines.append(
+                    f"  {label:>24}: keep {on_value:6.1%} (on)  vs {off_value:6.1%} (off)"
+                )
+        lines.append("")
+    report = "Ablations of the paper's design choices\n\n" + "\n".join(lines)
+    path = write_report("ablation.txt", report)
+    print("\n" + report + f"\n[written to {path}]")
+
+    text_rows = sections[0][1]
+    # The heuristic never hurts and pays on at least one mixed-content query.
+    assert all(on <= off + 1e-9 for _, on, off in text_rows)
+    assert any(on < off * 0.9 for _, on, off in text_rows)
+    # Rewriting strictly improves the degenerate query.
+    rewrite_rows = sections[1][1]
+    assert rewrite_rows[0][1] < rewrite_rows[1][1] * 0.7
+    # Materialisation costs size (that is its point).
+    for _, with_mat, without_mat in sections[2][1]:
+        assert with_mat >= without_mat
+    # The depth heuristic never hurts and pays on recursive structure.
+    depth_rows = sections[3][1]
+    assert all(with_depth <= name_only + 1e-9 for _, with_depth, name_only in depth_rows)
+    assert any(with_depth < name_only * 0.95 for _, with_depth, name_only in depth_rows)

@@ -1,0 +1,111 @@
+"""Empirical completeness (Theorems 4.4/4.5/4.7) at benchmark scale.
+
+Two experiments:
+
+* **soundness sweep** — every Table-1 query answers identically on the
+  original and pruned document (Theorem 4.5 end-to-end; this is also the
+  correctness gate for all other benchmarks);
+* **minimality probe** — on a completeness-class DTD, for each inferred
+  projector no name is removable without changing some answer (Theorem
+  4.7); we report the fraction of removable names (expected: 0).
+
+Emits ``benchmarks/results/completeness.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import TABLE1_SELECTION, is_xquery, write_report
+from repro.core.projector import infer_projector
+from repro.dtd.grammar import grammar_from_text
+from repro.dtd.properties import analyze_grammar
+from repro.dtd.validator import validate
+from repro.projection.tree import prune_document
+from repro.workloads.randomgen import random_valid_document
+from repro.xpath.evaluator import XPathEvaluator
+from repro.xpath.xpathl import evaluate_pathl, parse_pathl
+from repro.xquery.evaluator import XQueryEvaluator
+
+CLEAN_DTD = """
+<!ELEMENT store (dept*)>
+<!ELEMENT dept (dname, (shelf)*)>
+<!ELEMENT shelf (slabel?, (tin | jar)*)>
+<!ELEMENT tin (tlabel)>
+<!ELEMENT jar (jlabel, note?)>
+<!ELEMENT dname (#PCDATA)>
+<!ELEMENT slabel (#PCDATA)>
+<!ELEMENT tlabel (#PCDATA)>
+<!ELEMENT jlabel (#PCDATA)>
+<!ELEMENT note (#PCDATA)>
+"""
+
+STRONGLY_SPECIFIED = [
+    "child::dept/child::shelf/child::tin",
+    "descendant::jar/child::jlabel",
+    "descendant::node()/self::tin/parent::node()",
+    "descendant::node()[child::jlabel]/self::jar",
+    "descendant::tin/ancestor::node()/self::dept",
+]
+
+
+def test_soundness_sweep(benchmark, bench_xmark, prepared_queries):
+    grammar, document, _ = bench_xmark
+
+    def sweep():
+        mismatches = []
+        for name, prepared in prepared_queries.items():
+            if is_xquery(name):
+                original = XQueryEvaluator(document).evaluate_serialized(prepared.query)
+                after = XQueryEvaluator(prepared.pruned_document).evaluate_serialized(prepared.query)
+            else:
+                original = XPathEvaluator(document).select_ids(prepared.query)
+                after = XPathEvaluator(prepared.pruned_document).select_ids(prepared.query)
+            if original != after:
+                mismatches.append(name)
+        return mismatches
+
+    mismatches = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert mismatches == []
+
+
+def test_minimality_probe(benchmark):
+    grammar = grammar_from_text(CLEAN_DTD, "store")
+    assert analyze_grammar(grammar).completeness_class
+
+    def probe():
+        removable = []
+        total = 0
+        for text in STRONGLY_SPECIFIED:
+            pathl = parse_pathl(text)
+            projector = infer_projector(grammar, pathl)
+            for name in sorted(projector - {grammar.root}):
+                total += 1
+                reduced = frozenset(projector - ({name} | grammar.descendants_of(name)))
+                if not _witness_exists(grammar, pathl, reduced):
+                    removable.append((text, name))
+        return total, removable
+
+    total, removable = benchmark.pedantic(probe, rounds=1, iterations=1)
+    report = (
+        "Theorem 4.7 minimality probe — completeness-class DTD, "
+        "strongly-specified queries\n\n"
+        f"projector names probed: {total}\n"
+        f"removable (completeness violations): {len(removable)}\n"
+        + "".join(f"  {text}: {name}\n" for text, name in removable)
+    )
+    path = write_report("completeness.txt", report)
+    print("\n" + report + f"\n[written to {path}]")
+    assert removable == []
+
+
+def _witness_exists(grammar, pathl, reduced, samples=60) -> bool:
+    for seed in range(samples):
+        document = random_valid_document(grammar, seed)
+        interpretation = validate(document, grammar)
+        original = sorted(n.node_id for n in evaluate_pathl(document, pathl))
+        pruned = prune_document(document, interpretation, reduced | {grammar.root})
+        after = sorted(n.node_id for n in evaluate_pathl(pruned, pathl))
+        if original != after:
+            return True
+    return False

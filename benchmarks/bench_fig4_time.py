@@ -1,0 +1,78 @@
+"""Figure 4 — query processing time, original vs pruned document.
+
+The paper's bar chart (56 MB document, Galax): per query, wall-clock of
+running it on the original document and on its pruned version.  We emit
+both series as a text table (``benchmarks/results/fig4_time.txt``) and
+benchmark each run so pytest-benchmark records the distributions.
+
+Shape claim reproduced: for every query, pruned-time <= original-time
+(within noise), with large factors for selective queries.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import TABLE1_SELECTION, write_report
+from repro.engine.executor import QueryEngine
+
+
+@pytest.mark.parametrize("name", sorted(TABLE1_SELECTION))
+def test_time_on_original(benchmark, prepared_queries, original_engine, name):
+    prepared = prepared_queries[name]
+    benchmark.group = f"fig4:{name}"
+    benchmark.name = f"original[{name}]"
+    benchmark(lambda: original_engine.run(prepared.query))
+
+
+@pytest.mark.parametrize("name", sorted(TABLE1_SELECTION))
+def test_time_on_pruned(benchmark, prepared_queries, name):
+    prepared = prepared_queries[name]
+    engine = QueryEngine(prepared.pruned_document)
+    benchmark.group = f"fig4:{name}"
+    benchmark.name = f"pruned[{name}]"
+    benchmark(lambda: engine.run(prepared.query))
+
+
+def test_fig4_report(benchmark, prepared_queries, original_engine):
+    def build():
+        rows = []
+        for name in sorted(prepared_queries):
+            prepared = prepared_queries[name]
+            pruned_engine = QueryEngine(prepared.pruned_document)
+            original = min(
+                _timed(original_engine, prepared.query) for _ in range(3)
+            )
+            pruned = min(_timed(pruned_engine, prepared.query) for _ in range(3))
+            rows.append((name, original, pruned))
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    lines = [f"{'query':>6} {'original s':>11} {'pruned s':>10} {'speedup':>8}"]
+    for name, original, pruned in rows:
+        lines.append(
+            f"{name:>6} {original:>11.4f} {pruned:>10.4f} "
+            f"{original / max(pruned, 1e-9):>7.1f}x"
+        )
+    report = "Figure 4 reproduction — query time, original vs pruned\n\n" + "\n".join(lines) + "\n"
+    path = write_report("fig4_time.txt", report)
+    print("\n" + report + f"\n[written to {path}]")
+
+    # Shape (mirrors the paper's Figure 4 spread, 1.0x-110x): queries that
+    # scan broadly gain big factors; microsecond-scale direct-path queries
+    # sit at ~1x (noise-dominated).  Assert the distribution, not the
+    # noise: median >= ~1x, a solid fraction above 1.5x, heavy hitters
+    # above 10x, and nothing substantially *slower*.
+    speedups = sorted(original / max(pruned, 1e-9) for _, original, pruned in rows)
+    assert speedups[len(speedups) // 2] > 0.9
+    assert sum(1 for s in speedups if s > 1.5) >= len(speedups) // 4
+    assert speedups[-1] > 10
+    assert speedups[0] > 0.5
+
+
+def _timed(engine: QueryEngine, query: str) -> float:
+    started = time.perf_counter()
+    engine.run(query)
+    return time.perf_counter() - started

@@ -1,0 +1,128 @@
+"""Prune-while-loading and index pruning — the conclusion's integrations.
+
+Compares three ways an engine can get a queryable tree:
+
+* full load (the unpruned baseline),
+* load → separate prune pass → pruned tree (what an external tool does),
+* load *through* the pruner, optionally validating, in one pass — the
+  paper's "pruning overhead diluted in the parsing/validation phase".
+
+Also measures tag-index pruning (the TIMBER scenario: indexes are a large
+fraction of the store and shrink with the projector).
+
+Emits ``benchmarks/results/loading.txt``.
+"""
+
+from __future__ import annotations
+
+import io
+import time
+
+import pytest
+
+from benchmarks.conftest import BENCH_FACTOR, write_report
+from repro.core.pipeline import analyze
+from repro.dtd.validator import validate
+from repro.engine.index import TagIndex
+from repro.engine.loader import load_full, load_pruned, load_pruned_validating
+from repro.projection.tree import prune_document
+from repro.workloads.xmark import generate_document, xmark_grammar
+from repro.xmltree.serializer import serialize
+
+QUERY = "/site/people/person[profile/age > 60]/name"
+
+
+@pytest.fixture(scope="module")
+def setup():
+    grammar = xmark_grammar()
+    document = generate_document(BENCH_FACTOR, seed=99)
+    text = serialize(document)
+    projector = analyze(grammar, [QUERY]).projector
+    return grammar, document, text, projector
+
+
+def test_load_full(benchmark, setup):
+    _, _, text, _ = setup
+    benchmark.group = "loading"
+    benchmark.pedantic(lambda: load_full(io.StringIO(text)), rounds=3, iterations=1)
+
+
+def test_load_pruned_one_pass(benchmark, setup):
+    grammar, _, text, projector = setup
+    benchmark.group = "loading"
+    benchmark.pedantic(
+        lambda: load_pruned(io.StringIO(text), grammar, projector),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_load_pruned_validating(benchmark, setup):
+    grammar, _, text, projector = setup
+    benchmark.group = "loading"
+    benchmark.pedantic(
+        lambda: load_pruned_validating(io.StringIO(text), grammar, projector),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_loading_report(benchmark, setup):
+    grammar, document, text, projector = setup
+
+    def build():
+        full = load_full(io.StringIO(text))
+
+        started = time.perf_counter()
+        interpretation = validate(full.document, grammar)
+        pruned_tree = prune_document(full.document, interpretation, projector)
+        two_pass_seconds = full.seconds + (time.perf_counter() - started)
+
+        one_pass = load_pruned(io.StringIO(text), grammar, projector)
+        one_pass_validating = load_pruned_validating(io.StringIO(text), grammar, projector)
+
+        index = TagIndex.build_for(full.document)
+        pruned_index = index.pruned(interpretation, projector)
+        from repro.engine.metrics import DEFAULT_MODEL
+
+        return {
+            "full": (full.seconds, full.model_bytes, full.nodes_built),
+            "two-pass": (two_pass_seconds, DEFAULT_MODEL.document_bytes(pruned_tree), pruned_tree.size()),
+            "one-pass": (one_pass.seconds, one_pass.model_bytes, one_pass.nodes_built),
+            "one-pass+validate": (
+                one_pass_validating.seconds,
+                one_pass_validating.model_bytes,
+                one_pass_validating.nodes_built,
+            ),
+            "index": (index.stats().model_bytes, pruned_index.stats().model_bytes),
+        }
+
+    data = benchmark.pedantic(build, rounds=1, iterations=1)
+    lines = [f"{'strategy':>20} {'seconds':>9} {'model MB':>9} {'nodes':>8}"]
+    for label in ("full", "two-pass", "one-pass", "one-pass+validate"):
+        seconds, model_bytes, nodes = data[label]
+        megabytes = model_bytes / 1e6 if model_bytes else float("nan")
+        lines.append(f"{label:>20} {seconds:>9.3f} {megabytes:>9.2f} {nodes:>8}")
+    index_bytes, pruned_index_bytes = data["index"]
+    lines.append("")
+    lines.append(
+        f"tag index: {index_bytes / 1e3:.1f} kB -> {pruned_index_bytes / 1e3:.1f} kB "
+        f"({100 * pruned_index_bytes / max(1, index_bytes):.1f}% kept)"
+    )
+    report = (
+        "Prune-while-loading (conclusion's engine integration)\n\n"
+        + "\n".join(lines)
+        + "\n"
+    )
+    path = write_report("loading.txt", report)
+    print("\n" + report + f"\n[written to {path}]")
+
+    full_seconds, full_bytes, full_nodes = data["full"]
+    one_seconds, one_bytes, one_nodes = data["one-pass"]
+    # One-pass pruned loading allocates a fraction of the nodes and is
+    # cheaper than load-then-prune.
+    assert one_nodes < 0.25 * full_nodes
+    assert one_bytes < 0.25 * full_bytes
+    assert one_seconds < data["two-pass"][0]
+    # Index pruning shrinks the index.
+    assert pruned_index_bytes < 0.25 * index_bytes

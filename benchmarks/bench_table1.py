@@ -1,0 +1,119 @@
+"""Table 1 — the paper's headline table.
+
+For every selected XMark (QM) and XPathMark (QP) query, regenerate:
+
+* **Gain in Size** (% of the original document the pruned one occupies),
+* **Main Memory Usage** (modelled engine bytes to process the pruned doc),
+* **Gain in Speed** (query time on original / query time on pruned),
+* **Original / Pruned max Document Size** under a 512 MB memory budget
+  (extrapolated, see ``largest_processable_megabytes``).
+
+Run::
+
+    pytest benchmarks/bench_table1.py --benchmark-only -q
+
+The full table is written to ``benchmarks/results/table1.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import TABLE1_SELECTION, write_report
+from repro.engine.executor import QueryEngine, largest_processable_megabytes
+from repro.xmltree.serializer import serialize
+
+BUDGET_BYTES = 512 * 10**6
+
+
+@pytest.mark.parametrize("name", sorted(TABLE1_SELECTION))
+def test_query_on_pruned_document(benchmark, prepared_queries, name):
+    """Per-query benchmark: execution time on the *pruned* document (the
+    quantity the pruned columns of Table 1 and Figure 4 report)."""
+    prepared = prepared_queries[name]
+    engine = QueryEngine(prepared.pruned_document)
+    benchmark.group = "table1:pruned-execution"
+    benchmark(lambda: engine.run(prepared.query))
+
+
+def _measure(engine: QueryEngine, query: str, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        engine.run(query)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_table1_report(benchmark, bench_xmark, prepared_queries, original_engine):
+    """Assemble and emit the full Table 1; asserts the paper's shape
+    claims (see inline comments)."""
+    grammar, document, _ = bench_xmark
+    original_bytes = len(serialize(document))
+    original_memory = original_engine.document_bytes
+    unpruned_max = largest_processable_megabytes(document, original_bytes, BUDGET_BYTES)
+
+    def build_rows():
+        rows = []
+        for name in sorted(prepared_queries):
+            prepared = prepared_queries[name]
+            pruned_engine = QueryEngine(prepared.pruned_document)
+            time_original = _measure(original_engine, prepared.query)
+            time_pruned = _measure(pruned_engine, prepared.query)
+            pruned_max = largest_processable_megabytes(
+                prepared.pruned_document, original_bytes, BUDGET_BYTES
+            )
+            rows.append(
+                {
+                    "query": name,
+                    "size_percent": prepared.size_percent,
+                    "memory_mb": pruned_engine.document_bytes / 1e6,
+                    "memory_gain": original_memory / max(1, pruned_engine.document_bytes),
+                    "speedup": time_original / max(time_pruned, 1e-9),
+                    "max_doc_mb": pruned_max,
+                    "analysis_ms": prepared.analysis_seconds * 1000,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+
+    header = (
+        f"Table 1 reproduction — XMark factor with original document "
+        f"{original_bytes / 1e6:.2f} MB, {document.size()} nodes; "
+        f"memory budget {BUDGET_BYTES / 1e6:.0f} MB (modelled)\n"
+        f"unpruned max document: {unpruned_max:.1f} MB; "
+        f"unpruned engine memory: {original_memory / 1e6:.2f} MB\n\n"
+    )
+    lines = [
+        f"{'query':>6} {'size kept%':>10} {'mem MB':>8} {'mem gain':>9} "
+        f"{'speedup':>8} {'max doc MB':>11} {'analysis ms':>12}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['query']:>6} {row['size_percent']:>10.1f} {row['memory_mb']:>8.2f} "
+            f"{row['memory_gain']:>8.1f}x {row['speedup']:>7.1f}x "
+            f"{row['max_doc_mb']:>11.1f} {row['analysis_ms']:>12.1f}"
+        )
+    report = header + "\n".join(lines) + "\n"
+    path = write_report("table1.txt", report)
+    print("\n" + report + f"\n[written to {path}]")
+
+    by_name = {row["query"]: row for row in rows}
+    # Shape claims from the paper's Table 1 / Section 6 prose:
+    # 1. Very selective queries prune away almost everything (QM06: 99.7%
+    #    discarded in the paper).
+    assert by_name["QM06"]["size_percent"] < 8.0
+    # 2. QM14 is the least-pruned XMark query (keeps descriptions).
+    xmark_rows = [row for row in rows if row["query"].startswith("QM")]
+    assert max(xmark_rows, key=lambda r: r["size_percent"])["query"] == "QM14"
+    # 3. Analysis time is negligible (< 0.5 s per query).
+    assert all(row["analysis_ms"] < 500 for row in rows)
+    # 4. Every query can process a larger document after pruning.
+    assert all(row["max_doc_mb"] >= unpruned_max * 0.99 for row in rows)
+    # 5. For most queries memory gain is substantial (> 2x for at least
+    #    half of the selection).
+    gains = sorted(row["memory_gain"] for row in rows)
+    assert gains[len(gains) // 2] > 2.0

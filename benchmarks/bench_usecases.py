@@ -1,0 +1,67 @@
+"""Section 4.1's DTD survey + Section 6's large-DTD analysis overhead.
+
+Two experiments:
+
+* **Use Cases classification** — the paper: "among the ten DTDs defined in
+  the [XML Query] Use Cases, seven are both non-recursive and \\*-guarded,
+  one is only \\*-guarded, one is only non-recursive, and just one does not
+  satisfy either property" (and five of ten are parent-unambiguous);
+* **XHTML-scale analysis** — Section 6: analysis time stays negligible
+  "even for complex queries and DTDs ... further experiments on large
+  DTDs (e.g. XHTML)".
+
+Emits ``benchmarks/results/usecases.txt``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_report
+from repro.core.pipeline import analyze
+from repro.workloads.usecases import classify_corpus, xhtml_grammar
+
+XHTML_QUERIES = [
+    "//div//table/tr/td//a",
+    "/html/body//ul/li[a]/span",
+    "//blockquote/ancestor::div/p",
+    "//form[div or p]//a[@href]",
+    "//td/preceding-sibling::th",
+]
+
+
+def test_classification_report(benchmark):
+    classification = benchmark.pedantic(classify_corpus, rounds=1, iterations=1)
+    lines = [f"{'DTD':>8} {'*-guarded':>10} {'recursive':>10} {'parent-unamb':>13}"]
+    both = only_guarded = only_nonrecursive = neither = unambiguous = 0
+    for name, props in classification.items():
+        lines.append(
+            f"{name:>8} {str(props.star_guarded):>10} {str(props.recursive):>10} "
+            f"{str(props.parent_unambiguous):>13}"
+        )
+        if props.star_guarded and not props.recursive:
+            both += 1
+        elif props.star_guarded:
+            only_guarded += 1
+        elif not props.recursive:
+            only_nonrecursive += 1
+        else:
+            neither += 1
+        unambiguous += props.parent_unambiguous
+    summary = (
+        f"\nboth={both} only-*-guarded={only_guarded} "
+        f"only-non-recursive={only_nonrecursive} neither={neither} "
+        f"parent-unambiguous={unambiguous}/10\n"
+        "(paper, Section 4.1: 7 / 1 / 1 / 1 and 5/10)\n"
+    )
+    report = "XML Query Use Cases DTD classification (Def 4.3)\n\n" + "\n".join(lines) + summary
+    path = write_report("usecases.txt", report)
+    print("\n" + report + f"\n[written to {path}]")
+    assert (both, only_guarded, only_nonrecursive, neither) == (7, 1, 1, 1)
+    assert unambiguous == 5
+
+
+def test_xhtml_analysis_overhead(benchmark):
+    grammar = xhtml_grammar()
+    benchmark.group = "usecases:xhtml-analysis"
+    result = benchmark(lambda: analyze(grammar, XHTML_QUERIES))
+    assert result.analysis_seconds < 0.5
+    assert grammar.is_projector(result.projector)

@@ -1,0 +1,94 @@
+"""Shared benchmark fixtures.
+
+The document scale is controlled by ``REPRO_BENCH_FACTOR`` (default 0.004
+≈ 0.3 MB serialised; the paper used a 56 MB document — ratios are
+scale-invariant, see DESIGN.md).  Reports are written to
+``benchmarks/results/`` so EXPERIMENTS.md can reference them.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.pipeline import analyze, analyze_xquery
+from repro.dtd.validator import validate
+from repro.engine.executor import QueryEngine
+from repro.projection.stats import compare_documents
+from repro.projection.tree import prune_document
+from repro.workloads.xmark import XMARK_QUERIES, generate_document, xmark_grammar
+from repro.workloads.xpathmark import XPATHMARK_QUERIES
+
+BENCH_FACTOR = float(os.environ.get("REPRO_BENCH_FACTOR", "0.004"))
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: The query selection reported in the paper's Table 1 / Figures 4-5.
+TABLE1_SELECTION: dict[str, str] = {
+    **{name: XMARK_QUERIES[name] for name in
+       ("QM01", "QM02", "QM03", "QM06", "QM07", "QM08", "QM13", "QM14", "QM18", "QM20")},
+    **{name: XPATHMARK_QUERIES[name] for name in sorted(XPATHMARK_QUERIES)},
+}
+
+
+def is_xquery(name: str) -> bool:
+    return name.startswith("QM")
+
+
+@dataclass(slots=True)
+class PreparedQuery:
+    """Everything Table 1 / Figures 4-5 need for one query."""
+
+    name: str
+    query: str
+    projector: frozenset
+    pruned_document: object
+    size_percent: float  # pruned bytes / original bytes * 100
+    node_percent: float
+    analysis_seconds: float
+
+
+@pytest.fixture(scope="session")
+def bench_xmark():
+    grammar = xmark_grammar()
+    document = generate_document(BENCH_FACTOR, seed=99)
+    interpretation = validate(document, grammar)
+    return grammar, document, interpretation
+
+
+@pytest.fixture(scope="session")
+def prepared_queries(bench_xmark) -> dict[str, PreparedQuery]:
+    grammar, document, interpretation = bench_xmark
+    prepared: dict[str, PreparedQuery] = {}
+    for name, query in TABLE1_SELECTION.items():
+        if is_xquery(name):
+            result = analyze_xquery(grammar, query)
+        else:
+            result = analyze(grammar, [query])
+        pruned = prune_document(document, interpretation, result.projector)
+        stats = compare_documents(document, pruned)
+        prepared[name] = PreparedQuery(
+            name=name,
+            query=query,
+            projector=result.projector,
+            pruned_document=pruned,
+            size_percent=stats.size_percent,
+            node_percent=100.0 * stats.node_ratio,
+            analysis_seconds=result.analysis_seconds,
+        )
+    return prepared
+
+
+@pytest.fixture(scope="session")
+def original_engine(bench_xmark):
+    _, document, _ = bench_xmark
+    return QueryEngine(document)
+
+
+def write_report(filename: str, text: str) -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, filename)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return path

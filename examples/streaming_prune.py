@@ -1,0 +1,54 @@
+"""Constant-memory streaming pruning of a document file.
+
+The paper's operational claim (Sections 1.2 and 6): pruning is "a single
+bufferless one-pass traversal" — it can run while parsing (or validating)
+and its memory footprint does not depend on document size.  This example
+writes an XMark file, prunes it file-to-file through the event pipeline,
+and shows the traversal state never exceeds the document depth.
+
+Run:  python examples/streaming_prune.py [factor]
+"""
+
+import os
+import sys
+import tempfile
+import time
+import tracemalloc
+
+from repro import analyze
+from repro.projection.streaming import prune_file
+from repro.workloads.xmark import generate_file, xmark_grammar
+
+QUERY = "/site/people/person[profile/age > 60]/name"
+
+
+def main() -> None:
+    factor = float(sys.argv[1]) if len(sys.argv) > 1 else 0.01
+    grammar = xmark_grammar()
+    result = analyze(grammar, [QUERY])
+    print(f"query: {QUERY}")
+    print(f"projector ({result.analysis_seconds * 1000:.1f} ms): {sorted(result.projector)}")
+
+    with tempfile.TemporaryDirectory() as workdir:
+        source = os.path.join(workdir, "auction.xml")
+        target = os.path.join(workdir, "pruned.xml")
+        written = generate_file(source, factor=factor)
+        print(f"\ngenerated {written / 1e6:.2f} MB at {source}")
+
+        tracemalloc.start()
+        started = time.perf_counter()
+        stats = prune_file(source, target, grammar, result.projector, validate=True)
+        elapsed = time.perf_counter() - started
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+        print(f"pruned (validating) in {elapsed:.2f} s "
+              f"({written / 1e6 / max(elapsed, 1e-9):.1f} MB/s)")
+        print(f"size: {stats.bytes_in} -> {stats.bytes_out} bytes "
+              f"({stats.size_percent:.2f}% kept)")
+        print(f"peak Python heap during pruning: {peak / 1e6:.2f} MB "
+              "(constant in document size — try a larger factor)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""XML Schema-style local elements (the paper's footnote 1).
+
+A DTD cannot give two <item> elements different content models; an XML
+Schema can (local element declarations).  This example builds the
+corresponding *single-type tree grammar*, where a node's name is resolved
+from its parent's name plus its tag, and shows that validation, projector
+inference and pruning all distinguish the two <item> types: a query over
+book pages prunes away every film — even though films share the tag.
+
+Run:  python examples/xml_schema_local_elements.py
+"""
+
+from repro.core.pipeline import analyze
+from repro.dtd.regex import Atom, Seq, Star
+from repro.dtd.singletype import single_type_grammar
+from repro.dtd.validator import validate
+from repro.projection.tree import prune_document
+from repro.xmltree.builder import parse_document
+from repro.xmltree.serializer import serialize
+from repro.xpath.evaluator import XPathEvaluator
+
+GRAMMAR = single_type_grammar(
+    "Lib",
+    {
+        "Lib": ("library", Seq([Atom("Books"), Atom("Films")])),
+        "Books": ("books", Star(Atom("Book"))),
+        "Films": ("films", Star(Atom("Film"))),
+        # Two *local* declarations of tag <item>:
+        "Book": ("item", Seq([Atom("BTitle"), Atom("Pages")])),
+        "Film": ("item", Seq([Atom("FTitle"), Atom("Minutes")])),
+        "BTitle": ("title", Star(Atom("BTitleS"))),
+        "FTitle": ("title", Star(Atom("FTitleS"))),
+        "Pages": ("pages", Star(Atom("PagesS"))),
+        "Minutes": ("minutes", Star(Atom("MinutesS"))),
+        "BTitleS": None,
+        "FTitleS": None,
+        "PagesS": None,
+        "MinutesS": None,
+    },
+)
+
+XML = (
+    "<library>"
+    "<books>"
+    "<item><title>Moby-Dick</title><pages>635</pages></item>"
+    "<item><title>Ulysses</title><pages>730</pages></item>"
+    "</books>"
+    "<films>"
+    "<item><title>Stalker</title><minutes>161</minutes></item>"
+    "</films>"
+    "</library>"
+)
+
+QUERY = "//item[pages > 700]/title"
+
+
+def main() -> None:
+    document = parse_document(XML)
+    interpretation = validate(document, GRAMMAR)
+
+    items = [node for node in document.elements() if node.tag == "item"]
+    print("interpretation of the three <item> nodes:",
+          [interpretation[node.node_id] for node in items])
+
+    result = analyze(GRAMMAR, [QUERY])
+    print(f"\nquery: {QUERY}")
+    print("projector:", sorted(result.projector))
+    assert "Film" not in result.projector  # films share the tag, not the name
+
+    pruned = prune_document(document, interpretation, result.projector)
+    print("\npruned document:")
+    print(serialize(pruned))
+
+    original = XPathEvaluator(document).select_ids(QUERY)
+    after = XPathEvaluator(pruned).select_ids(QUERY)
+    assert original == after
+    titles = [node.text_value() for node in XPathEvaluator(pruned).select(QUERY)]
+    print("\nanswers:", titles)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Type-based XML projection — a reproduction of Benzaken, Castagna,
+Colazzo & Nguyên, "Type-Based XML Projection", VLDB 2006.
+
+Quickstart::
+
+    from repro import grammar_from_text, parse_document, validate
+    from repro import analyze, prune_document
+
+    grammar = grammar_from_text(DTD_TEXT, "bib")
+    document = parse_document(XML_TEXT)
+    interpretation = validate(document, grammar)
+    result = analyze(grammar, ["//book[author='Dante']/title"])
+    pruned = prune_document(document, interpretation, result.projector)
+
+See README.md for the full tour and DESIGN.md for the paper-to-module map.
+"""
+
+from repro.core.inference import infer_type
+from repro.core.pipeline import (
+    AnalysisResult,
+    analyze,
+    analyze_query,
+    analyze_xquery,
+    type_of_query,
+)
+from repro.core.projector import infer_projector, materialized_projector
+from repro.dtd.grammar import Grammar, grammar_from_dtd, grammar_from_text
+from repro.dtd.parser import parse_dtd
+from repro.dtd.properties import analyze_grammar
+from repro.dtd.validator import Interpretation, validate
+from repro.engine.executor import QueryEngine
+from repro.errors import ReproError
+from repro.projection.streaming import prune_events, prune_file, prune_string
+from repro.projection.tree import prune_document
+from repro.xmltree.builder import parse_document
+from repro.xmltree.serializer import serialize
+from repro.xpath.evaluator import XPathEvaluator
+from repro.xquery.evaluator import XQueryEvaluator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisResult",
+    "Grammar",
+    "Interpretation",
+    "QueryEngine",
+    "ReproError",
+    "XPathEvaluator",
+    "XQueryEvaluator",
+    "__version__",
+    "analyze",
+    "analyze_grammar",
+    "analyze_query",
+    "analyze_xquery",
+    "grammar_from_dtd",
+    "grammar_from_text",
+    "infer_projector",
+    "infer_type",
+    "materialized_projector",
+    "parse_document",
+    "parse_dtd",
+    "prune_document",
+    "prune_events",
+    "prune_file",
+    "prune_string",
+    "serialize",
+    "type_of_query",
+    "validate",
+]

@@ -1,0 +1,22 @@
+"""Comparison baselines: the Marian & Siméon path-based loader-pruner."""
+
+from repro.baselines.marian_simeon import (
+    BaselineMetrics,
+    BaselineResult,
+    MarianSimeonPruner,
+    baseline_paths_for_query,
+    prune_with_baseline,
+)
+from repro.baselines.paths import ProjectionPath, PStep, PStepKind, degrade_pathl
+
+__all__ = [
+    "BaselineMetrics",
+    "BaselineResult",
+    "MarianSimeonPruner",
+    "ProjectionPath",
+    "PStep",
+    "PStepKind",
+    "baseline_paths_for_query",
+    "degrade_pathl",
+    "prune_with_baseline",
+]

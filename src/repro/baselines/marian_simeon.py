@@ -1,0 +1,226 @@
+"""Re-implementation of the Marian & Siméon loader-pruner [14].
+
+The paper's Section 1.1 baseline: extract projection paths from the query,
+then prune the document at load time by matching those paths.  The two
+structural weaknesses the paper measures are faithfully reproduced:
+
+* **``//`` cost** — a node under a live ``//`` state cannot be discarded
+  until its whole subtree has been inspected ("every occurrence of // may
+  yield a full exploration of the tree"); we count those speculative
+  visits (their memory footprint) explicitly;
+* **no predicates / backward axes** — paths are degraded by
+  :mod:`repro.baselines.paths`, so ``descendant::node[cond]`` and upward
+  steps collapse to keep-everything marks and precision is lost, which is
+  the paper's Section 5 degeneration argument.
+
+No type information is used anywhere here — that is the point of the
+comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.paths import ProjectionPath, PStep, PStepKind, degrade_pathl
+from repro.projection.stats import PruneStats, measure_document
+from repro.xmltree.nodes import Document, Element, Node, Text
+
+#: A match state: (path index, step index).  step index == len(steps)
+#: means the path is fully matched at this node.
+State = tuple[int, int]
+
+
+@dataclass(slots=True)
+class BaselineMetrics:
+    """Work/memory accounting of one baseline pruning run."""
+
+    visited_nodes: int = 0
+    #: Nodes inspected while *undecided* — held in the loader's buffer
+    #: until a descendant match (or exhaustion) resolves them.  This is the
+    #: memory footprint the paper says "drastically increases when the
+    #: number of // augments".
+    speculative_nodes: int = 0
+    matched_nodes: int = 0
+
+
+@dataclass(slots=True)
+class BaselineResult:
+    document: Document
+    stats: PruneStats
+    metrics: BaselineMetrics
+
+
+class MarianSimeonPruner:
+    """Path-based pruner over a list of projection paths."""
+
+    def __init__(self, paths: list[ProjectionPath]) -> None:
+        self.paths = paths
+        self.metrics = BaselineMetrics()
+
+    # -- state machine ------------------------------------------------------
+
+    def _advance(self, states: list[State], node: Node) -> tuple[list[State], bool, bool]:
+        """Advance parent states over ``node``.
+
+        Returns (child states, node fully matches some path, node matches
+        a keep-subtree path)."""
+        tag = node.tag if isinstance(node, Element) else None
+        next_states: list[State] = []
+        matched = False
+        keep_subtree = False
+        seen: set[State] = set()
+
+        def push(state: State) -> None:
+            if state not in seen:
+                seen.add(state)
+                next_states.append(state)
+
+        for path_index, step_index in states:
+            path = self.paths[path_index]
+            # Expand '//' self-loops: the step can consume this node and
+            # stay, or let the following step try to consume it.
+            positions = [step_index]
+            while (
+                positions[-1] < len(path.steps)
+                and path.steps[positions[-1]].kind is PStepKind.ANYWHERE
+            ):
+                positions.append(positions[-1] + 1)
+            for position in positions:
+                if position >= len(path.steps):
+                    matched = True
+                    keep_subtree = keep_subtree or path.keep_subtrees
+                    continue
+                step = path.steps[position]
+                if step.kind is PStepKind.ANYWHERE:
+                    push((path_index, position))  # consume node, stay on //
+                elif step.kind is PStepKind.CHILD_ANY:
+                    push((path_index, position + 1))
+                    if position + 1 == len(path.steps):
+                        matched = True
+                        keep_subtree = keep_subtree or path.keep_subtrees
+                elif step.kind is PStepKind.CHILD_TAG and tag == step.tag:
+                    push((path_index, position + 1))
+                    if position + 1 == len(path.steps):
+                        matched = True
+                        keep_subtree = keep_subtree or path.keep_subtrees
+        return next_states, matched, keep_subtree
+
+    # -- pruning ---------------------------------------------------------------
+
+    def prune(self, document: Document) -> Document:
+        initial: list[State] = [(index, 0) for index in range(len(self.paths))]
+        root_copy = self._prune_node(document.root, initial, speculative=False)
+        if root_copy is None:
+            # Nothing matched: the loader still has to keep a root.
+            root_copy = Element(document.root.tag, document.root.attributes)
+            root_copy.node_id = document.root.node_id
+        assert isinstance(root_copy, Element)
+        return Document(root_copy, renumber=False)
+
+    def _prune_node(self, node: Node, states: list[State], speculative: bool) -> Node | None:
+        metrics = self.metrics
+        metrics.visited_nodes += 1
+        child_states, matched, keep_subtree = self._advance(states, node)
+        if matched:
+            metrics.matched_nodes += 1
+        if matched and keep_subtree:
+            # A '#' path: the whole subtree is needed, copy it verbatim.
+            copy = _copy_subtree(node)
+            metrics.visited_nodes += copy_size(node) - 1
+            return copy
+        if speculative and not matched:
+            metrics.speculative_nodes += 1
+        if isinstance(node, Text):
+            if matched:
+                copy = Text(node.value)
+                copy.node_id = node.node_id
+                return copy
+            return None
+        assert isinstance(node, Element)
+        if not child_states and not matched:
+            return None
+        # Undecided: the loader must descend (and buffer) to find out
+        # whether any descendant is needed — the '//' cost.
+        kept_children: list[Node] = []
+        child_speculative = not matched  # children only justify this node
+        for child in node.children:
+            kept = self._prune_node(child, child_states, speculative=child_speculative or speculative)
+            if kept is not None:
+                kept_children.append(kept)
+        if not matched and not kept_children:
+            return None
+        copy = Element(node.tag, node.attributes)
+        copy.node_id = node.node_id
+        for child in kept_children:
+            copy.append(child)
+        return copy
+
+
+def copy_size(node: Node) -> int:
+    return node.subtree_size()
+
+
+def _copy_subtree(node: Node) -> Node:
+    if isinstance(node, Text):
+        copy = Text(node.value)
+        copy.node_id = node.node_id
+        return copy
+    assert isinstance(node, Element)
+    copy = Element(node.tag, node.attributes)
+    copy.node_id = node.node_id
+    stack = [(node, copy)]
+    while stack:
+        original, duplicate = stack.pop()
+        for child in original.children:
+            if isinstance(child, Text):
+                text = Text(child.value)
+                text.node_id = child.node_id
+                duplicate.append(text)
+            else:
+                assert isinstance(child, Element)
+                twin = Element(child.tag, child.attributes)
+                twin.node_id = child.node_id
+                duplicate.append(twin)
+                stack.append((child, twin))
+    return copy
+
+
+def baseline_paths_for_query(query: str, xquery: bool | None = None) -> list[ProjectionPath]:
+    """Projection paths for a query, the Marian–Siméon way: path
+    extraction (they pioneered it — we share the extractor), then
+    degradation into their predicate-free, forward-only path language."""
+    from repro.xpath.approximation import approximate_query
+    from repro.xpath.xpathl import PathL
+
+    if xquery is None:
+        xquery = query.lstrip().startswith(("for ", "let ", "if ", "<")) or " return " in query
+    paths: list[PathL] = []
+    if xquery:
+        from repro.xquery.extraction import extract_paths
+        from repro.xquery.parser import parse_xquery
+
+        # NOTE: no Section 5 rewriting — their extractor cannot push
+        # conditions into paths, which is the degeneration the paper shows.
+        paths = extract_paths(parse_xquery(query))
+    else:
+        approximation = approximate_query(query)
+        # Standalone XPath answers are materialised for a fair comparison
+        # with the type-based pipeline's default.
+        from repro.xpath.xpathl import DOS_NODE
+
+        paths = [approximation.main.append(DOS_NODE)] + approximation.absolute_paths
+    return [degrade_pathl(path) for path in paths]
+
+
+def prune_with_baseline(document: Document, paths: list[ProjectionPath]) -> BaselineResult:
+    """Run the baseline pruner and gather comparison statistics."""
+    from repro.xmltree.serializer import serialize
+
+    pruner = MarianSimeonPruner(paths)
+    pruned = pruner.prune(document)
+    stats = PruneStats()
+    stats.elements_in, stats.texts_in, stats.attributes_in, stats.distinct_tags_in = measure_document(document)
+    stats.elements_out, stats.texts_out, stats.attributes_out, stats.distinct_tags_out = measure_document(pruned)
+    stats.bytes_in = len(serialize(document))
+    stats.bytes_out = len(serialize(pruned))
+    return BaselineResult(pruned, stats, pruner.metrics)

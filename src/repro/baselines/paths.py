@@ -1,0 +1,99 @@
+"""Projection paths — the path language of Marian & Siméon [14].
+
+Their loader-pruner works with *simple downward* paths over tags::
+
+    ppath ::= step (/ step)*      step ::= child::t | desc-or-self::node | child::*
+
+No predicates, no backward axes, no types (Section 1.1 of the paper lists
+exactly these limitations).  This module defines the path representation
+and the degradation from our richer XPathℓ paths into it — which is where
+the baseline loses the precision the paper's technique keeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.xpath.ast import Axis, KindTest, NameTest
+from repro.xpath.xpathl import PathL
+
+
+class PStepKind(Enum):
+    CHILD_TAG = "child-tag"  # child::t
+    CHILD_ANY = "child-any"  # child::* / child::node
+    ANYWHERE = "anywhere"  # descendant-or-self::node ("//")
+
+
+@dataclass(frozen=True, slots=True)
+class PStep:
+    kind: PStepKind
+    tag: str | None = None
+
+    def __str__(self) -> str:
+        if self.kind is PStepKind.CHILD_TAG:
+            return str(self.tag)
+        if self.kind is PStepKind.CHILD_ANY:
+            return "*"
+        return "/"  # rendered as '//' by ProjectionPath
+
+
+@dataclass(frozen=True, slots=True)
+class ProjectionPath:
+    """One projection path; ``keep_subtrees`` marks a ``#`` path (the
+    matched node's whole subtree is needed — [14]'s returned-node paths)."""
+
+    steps: tuple[PStep, ...]
+    keep_subtrees: bool = False
+
+    def __str__(self) -> str:
+        pieces: list[str] = []
+        for step in self.steps:
+            if step.kind is PStepKind.ANYWHERE:
+                pieces.append("/")
+            else:
+                pieces.append("/" + str(step))
+        return "".join(pieces) + (" #" if self.keep_subtrees else "")
+
+
+def degrade_pathl(path: PathL) -> ProjectionPath:
+    """Degrade an XPathℓ path into a Marian–Siméon projection path.
+
+    Information their language cannot express is *widened* (soundness must
+    be preserved, so every loss makes the path keep more):
+
+    * predicates are dropped;
+    * a backward (parent/ancestor) or ``self`` step cannot be expressed:
+      everything from the previous step onward becomes ``//`` + subtree
+      (their technique simply does not support these queries — the paper,
+      Section 1.1: "the document loader-pruner is not able to manage
+      backward axes nor path expressions with predicates");
+    * a trailing ``descendant-or-self::node`` becomes a keep-subtree mark.
+    """
+    steps: list[PStep] = []
+    for index, lstep in enumerate(path.steps):
+        is_last = index == len(path.steps) - 1
+        if lstep.axis is Axis.CHILD:
+            steps.append(_child_step(lstep.test))
+        elif lstep.axis in (Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF):
+            if is_last and isinstance(lstep.test, KindTest) and lstep.test.kind == "node":
+                return ProjectionPath(tuple(steps), keep_subtrees=True)
+            steps.append(PStep(PStepKind.ANYWHERE))
+            steps.append(_child_step(lstep.test))
+        elif lstep.axis is Axis.ATTRIBUTE:
+            # Attributes ride with their element: stop here, keep the node.
+            return ProjectionPath(tuple(steps), keep_subtrees=False)
+        elif lstep.axis is Axis.SELF:
+            continue  # self::Test only narrows; dropping it widens (sound)
+        else:
+            # Backward axis: unsupported — keep everything reachable from
+            # the prefix (the sound but catastrophic fallback).
+            steps.append(PStep(PStepKind.ANYWHERE))
+            return ProjectionPath(tuple(steps), keep_subtrees=True)
+    return ProjectionPath(tuple(steps))
+
+
+def _child_step(test) -> PStep:
+    if isinstance(test, NameTest) and test.name is not None:
+        return PStep(PStepKind.CHILD_TAG, test.name)
+    return PStep(PStepKind.CHILD_ANY)

@@ -1,0 +1,201 @@
+"""Command-line interface: ``repro-xml`` (or ``python -m repro``).
+
+Subcommands::
+
+    analyze   infer and print a type projector for queries + DTD
+    prune     prune a document file (streaming) with an inferred projector
+    validate  validate a document against a DTD
+    generate  emit an XMark benchmark document
+    run       run a query on a document, optionally after pruning
+
+Example::
+
+    repro-xml generate --factor 0.01 --output auction.xml
+    repro-xml analyze --dtd auction.dtd --root site --query "//item/name"
+    repro-xml prune --dtd auction.dtd --root site \\
+        --query "//item/name" auction.xml pruned.xml
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _load_grammar(args, document_path: str | None = None):
+    from repro.dtd.grammar import grammar_from_text
+
+    if args.xmark:
+        from repro.workloads.xmark import xmark_grammar
+
+        return xmark_grammar()
+    if getattr(args, "infer_dtd", False):
+        if document_path is None:
+            raise SystemExit("--infer-dtd requires a document to summarise")
+        from repro.dtd.dataguide import grammar_from_file
+
+        return grammar_from_file(document_path)
+    if not args.dtd or not args.root:
+        raise SystemExit("--dtd and --root are required (or pass --xmark / --infer-dtd)")
+    with open(args.dtd, "r", encoding="utf-8") as handle:
+        return grammar_from_text(handle.read(), args.root)
+
+
+def _is_xquery(query: str) -> bool:
+    stripped = query.lstrip()
+    return stripped.startswith(("for ", "let ", "if ", "<")) or " return " in query
+
+
+def _projector(grammar, queries):
+    from repro.core.pipeline import analyze, analyze_xquery
+
+    xpath_queries = [query for query in queries if not _is_xquery(query)]
+    xquery_queries = [query for query in queries if _is_xquery(query)]
+    projector: set[str] = set()
+    seconds = 0.0
+    if xpath_queries:
+        result = analyze(grammar, xpath_queries)
+        projector |= result.projector
+        seconds += result.analysis_seconds
+    if xquery_queries:
+        result = analyze_xquery(grammar, xquery_queries)
+        projector |= result.projector
+        seconds += result.analysis_seconds
+    return frozenset(projector), seconds
+
+
+def cmd_analyze(args) -> int:
+    grammar = _load_grammar(args)
+    projector, seconds = _projector(grammar, args.query)
+    reachable = grammar.reachable_names()
+    print(f"# analysis time: {seconds * 1000:.1f} ms")
+    print(f"# projector: {len(projector)} of {len(reachable)} reachable names "
+          f"({100 * len(projector & reachable) / max(1, len(reachable)):.1f}%)")
+    for name in sorted(projector):
+        print(name)
+    return 0
+
+
+def cmd_prune(args) -> int:
+    from repro.projection.streaming import prune_file
+
+    grammar = _load_grammar(args, document_path=args.input)
+    projector, seconds = _projector(grammar, args.query)
+    started = time.perf_counter()
+    stats = prune_file(args.input, args.output, grammar, projector, validate=args.validate)
+    elapsed = time.perf_counter() - started
+    print(f"analysis: {seconds * 1000:.1f} ms, pruning: {elapsed:.2f} s")
+    print(f"size: {stats.bytes_in} -> {stats.bytes_out} bytes ({stats.size_percent:.1f}% kept)")
+    print(f"nodes: {stats.nodes_in} -> {stats.nodes_out}")
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from repro.dtd.validator import validate
+    from repro.errors import ValidationError
+    from repro.xmltree.builder import parse_document
+
+    grammar = _load_grammar(args)
+    with open(args.input, "r", encoding="utf-8") as handle:
+        document = parse_document(handle, strip_whitespace=True)
+    try:
+        interpretation = validate(document, grammar)
+    except ValidationError as error:
+        print(f"INVALID: {error}", file=sys.stderr)
+        return 1
+    print(f"valid: {document.size()} nodes, {len(set(interpretation.names.values()))} distinct names")
+    return 0
+
+
+def cmd_generate(args) -> int:
+    from repro.workloads.xmark.generator import generate_file
+
+    written = generate_file(args.output, factor=args.factor, seed=args.seed)
+    print(f"wrote {written} bytes to {args.output}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    from repro.engine.executor import QueryEngine
+    from repro.projection.tree import prune_document
+    from repro.dtd.validator import validate
+    from repro.xmltree.builder import parse_document
+
+    grammar = (
+        _load_grammar(args, document_path=args.input)
+        if (args.dtd or args.xmark or getattr(args, "infer_dtd", False))
+        else None
+    )
+    with open(args.input, "r", encoding="utf-8") as handle:
+        document = parse_document(handle, strip_whitespace=True)
+    query = args.query[0]
+    if args.prune:
+        if grammar is None:
+            raise SystemExit("--prune requires --dtd/--root, --xmark or --infer-dtd")
+        projector, _ = _projector(grammar, [query])
+        interpretation = validate(document, grammar)
+        document = prune_document(document, interpretation, projector)
+    engine = QueryEngine(document)
+    report = engine.run(query)
+    print(f"results: {report.result_count}")
+    print(f"query time: {report.query_seconds:.3f} s, nodes touched: {report.nodes_touched}")
+    print(f"modelled memory: {report.total_bytes / 1e6:.2f} MB")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-xml", description="Type-based XML projection (VLDB 2006)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, with_query=True):
+        p.add_argument("--dtd", help="path to the DTD file")
+        p.add_argument("--root", help="root element tag")
+        p.add_argument("--xmark", action="store_true", help="use the built-in XMark DTD")
+        p.add_argument("--infer-dtd", action="store_true",
+                       help="summarise the input document into a dataguide grammar (no DTD needed)")
+        if with_query:
+            p.add_argument("--query", action="append", required=True,
+                           help="XPath or XQuery (repeatable: projectors union)")
+
+    p = sub.add_parser("analyze", help="infer a type projector")
+    common(p)
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("prune", help="prune a document file (streaming)")
+    common(p)
+    p.add_argument("input")
+    p.add_argument("output")
+    p.add_argument("--validate", action="store_true", help="validate while pruning")
+    p.set_defaults(func=cmd_prune)
+
+    p = sub.add_parser("validate", help="validate a document")
+    common(p, with_query=False)
+    p.add_argument("input")
+    p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser("generate", help="generate an XMark document")
+    p.add_argument("--factor", type=float, default=0.01, help="scale factor (1.0 ≈ 80 MB)")
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--output", required=True)
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("run", help="run a query (optionally with pruning)")
+    common(p)
+    p.add_argument("input")
+    p.add_argument("--prune", action="store_true", help="prune before running")
+    p.set_defaults(func=cmd_run)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

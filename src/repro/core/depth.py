@@ -1,0 +1,144 @@
+"""The Section 6 depth heuristic, via depth unfolding.
+
+The paper's implementation "keeps track of the depth of elements in the
+paths in order to improve pruning, especially in presence of recursive
+DTDs (this latter heuristics could be embedded in the formal treatment,
+but we preferred to keep it simpler)".
+
+We embed it without new inference machinery: *unfold the grammar by
+depth*.  Each name ``Y`` becomes the family ``(Y, 0) … (Y, K-1)`` plus a
+``(Y, ⊤)`` bucket for depths ≥ K; the edge ``Y ⇒ Z`` becomes
+``(Y, d) ⇒ (Z, d+1)`` (saturating at ⊤).  The result is a *single-type*
+tree grammar — two depths of one tag are distinct names resolved by parent
+context — so validation, the Figures 1/2 inference, and both pruners run
+unchanged on it, and Theorem 4.5 on the unfolded grammar *is* the
+soundness of depth-aware pruning.
+
+The payoff is on recursive schemas: for the TREE use case
+(``section`` nests in ``section``), the query ``/book/section/title``
+keeps only depth-correct sections — the plain name projector keeps them
+at every depth.
+
+    unfolded = depth_unfolded_grammar(grammar, max_depth=8)
+    interpretation = validate(document, unfolded)
+    projector = analyze(unfolded, [query]).projector
+    pruned = prune_document(document, interpretation, projector)
+"""
+
+from __future__ import annotations
+
+from repro.dtd.grammar import (
+    AttributeProduction,
+    ElementProduction,
+    Grammar,
+    Production,
+    TextProduction,
+    attribute_name,
+)
+from repro.dtd.regex import (
+    Alt,
+    Atom,
+    Empty,
+    Epsilon,
+    Opt,
+    Plus,
+    Regex,
+    Seq,
+    Star,
+)
+from repro.dtd.singletype import SingleTypeGrammar
+
+#: Separator between the base name and the depth tag.  '§' (§) cannot
+#: appear in element tags, so unfolded names never collide with real ones.
+DEPTH_SEPARATOR = "§"
+TOP = "inf"
+
+
+def depth_name(name: str, depth: "int | str") -> str:
+    """The unfolded name for ``name`` at ``depth`` (an int or ``TOP``)."""
+    return f"{name}{DEPTH_SEPARATOR}{depth}"
+
+
+def base_name(unfolded: str) -> str:
+    """Invert :func:`depth_name`."""
+    return unfolded.rsplit(DEPTH_SEPARATOR, 1)[0]
+
+
+def depth_of(unfolded: str) -> "int | str":
+    token = unfolded.rsplit(DEPTH_SEPARATOR, 1)[1]
+    # Attribute names carry a '@attr' suffix after the depth tag.
+    token = token.split("@", 1)[0]
+    return TOP if token == TOP else int(token)
+
+
+def _rename(regex: Regex, child_depth: "int | str") -> Regex:
+    if isinstance(regex, Atom):
+        return Atom(depth_name(regex.name, child_depth))
+    if isinstance(regex, (Empty, Epsilon)):
+        return regex
+    if isinstance(regex, Seq):
+        return Seq([_rename(item, child_depth) for item in regex.items])
+    if isinstance(regex, Alt):
+        return Alt([_rename(item, child_depth) for item in regex.items])
+    if isinstance(regex, Star):
+        return Star(_rename(regex.inner, child_depth))
+    if isinstance(regex, Plus):
+        return Plus(_rename(regex.inner, child_depth))
+    if isinstance(regex, Opt):
+        return Opt(_rename(regex.inner, child_depth))
+    raise TypeError(f"unknown regex node {regex!r}")
+
+
+def depth_unfolded_grammar(grammar: Grammar, max_depth: int = 8) -> SingleTypeGrammar:
+    """Unfold ``grammar`` by depth (0 … max_depth-1, then the ⊤ bucket).
+
+    Every document valid for ``grammar`` is valid for the unfolded grammar
+    (contents are isomorphic level by level), and its interpretation maps
+    each node to ``(name, its depth)`` — which is exactly the extra
+    information the depth heuristic prunes with.
+    """
+    if max_depth < 1:
+        raise ValueError("max_depth must be at least 1")
+    depths: list["int | str"] = list(range(max_depth)) + [TOP]
+
+    def child_depth(depth: "int | str") -> "int | str":
+        if depth == TOP:
+            return TOP
+        return depth + 1 if depth + 1 < max_depth else TOP
+
+    productions: list[Production] = []
+    for name, production in grammar.productions.items():
+        for depth in depths:
+            unfolded = depth_name(name, depth)
+            if isinstance(production, ElementProduction):
+                productions.append(
+                    ElementProduction(
+                        unfolded,
+                        production.tag,
+                        _rename(production.regex, child_depth(depth)),
+                        production.attributes,
+                    )
+                )
+                for attr in production.attributes:
+                    productions.append(
+                        AttributeProduction(
+                            attribute_name(unfolded, attr.name),
+                            production.tag,
+                            attr.name,
+                        )
+                    )
+            elif isinstance(production, TextProduction):
+                productions.append(TextProduction(unfolded))
+            # AttributeProductions of the base grammar are re-derived above
+            # (their names key on the unfolded owner).
+
+    return SingleTypeGrammar(depth_name(grammar.root, 0), productions)
+
+
+def fold_names(projector: frozenset[str]) -> dict[str, set]:
+    """Summarise an unfolded projector as ``base name -> kept depths``
+    (for inspection and reports)."""
+    folded: dict[str, set] = {}
+    for unfolded in projector:
+        folded.setdefault(base_name(unfolded), set()).add(depth_of(unfolded))
+    return folded

@@ -1,0 +1,137 @@
+"""The XPathℓ type system of Figure 1: ``Σ ⊢E Path : Σ′``.
+
+An environment ``Σ = (τ, κ)`` pairs the current *type* (names the current
+node set may have) with a *context* (names encountered on the traversal —
+the device that keeps upward axes precise, Section 4.1).  The invariants,
+preserved by every rule:
+
+* well-formedness: ``κ ⊆ τ ∪ A_E(τ, ancestor)``;
+* ``τ ⊆ κ`` (the current names are part of the traversal).
+
+The judgement is deterministic and total on XPathℓ; see
+:func:`infer_type`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.types import EMPTY, NameSet, TypeOperators
+from repro.dtd.grammar import Grammar
+from repro.xpath.ast import Axis, KindTest, NodeTest
+from repro.xpath.xpathl import LStep, PathL, SimplePath
+
+
+@dataclass(frozen=True, slots=True)
+class Env:
+    """``Σ = (τ, κ)``."""
+
+    tau: NameSet
+    kappa: NameSet
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.tau
+
+    def __iter__(self):
+        return iter((self.tau, self.kappa))
+
+
+def initial_env(grammar: Grammar) -> Env:
+    """``({X}, {X})`` — the judgement's starting point (Theorem 4.4)."""
+    return Env(frozenset((grammar.root,)), frozenset((grammar.root,)))
+
+
+_EMPTY_ENV = Env(EMPTY, EMPTY)
+
+_NODE = KindTest("node")
+
+
+def _is_node_test(test: NodeTest) -> bool:
+    return isinstance(test, KindTest) and test.kind == "node"
+
+
+class TypeInference:
+    """Figure 1, bound to one grammar, with memoisation."""
+
+    def __init__(self, grammar: Grammar) -> None:
+        self.grammar = grammar
+        self.ops = TypeOperators(grammar)
+        self._memo: dict[tuple, Env] = {}
+
+    # -- public ----------------------------------------------------------------
+
+    def infer(self, env: Env, steps: tuple[LStep, ...]) -> Env:
+        """``env ⊢E steps : result`` (rule 7 composes steps left to
+        right)."""
+        for step in steps:
+            if env.is_empty:
+                return _EMPTY_ENV
+            env = self._infer_step(env, step)
+        return env
+
+    def infer_path(self, env: Env, path: PathL | SimplePath) -> Env:
+        return self.infer(env, path.steps)
+
+    # -- one step ----------------------------------------------------------------
+
+    def _infer_step(self, env: Env, step: LStep) -> Env:
+        key = (env.tau, env.kappa, step)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        result = self._infer_step_uncached(env, step)
+        if result.is_empty:
+            # Normalise dead environments so well-formedness (κ ⊆ τ ∪
+            # A_E(τ, ancestor)) holds trivially.
+            result = _EMPTY_ENV
+        self._memo[key] = result
+        return result
+
+    def _infer_step_uncached(self, env: Env, step: LStep) -> Env:
+        ops = self.ops
+        # Rule 6: Axis::Test[Cond]  ≡  Axis::Test / self::node[Cond]
+        if step.condition is not None and not (step.axis is Axis.SELF and _is_node_test(step.test)):
+            bare = LStep(step.axis, step.test)
+            conditional = LStep(Axis.SELF, _NODE, step.condition)
+            return self._infer_step(self._infer_step(env, bare), conditional)
+        # Rule 5: Axis::Test  ≡  Axis::node / self::Test   (Axis ≠ self)
+        if step.axis is not Axis.SELF and not _is_node_test(step.test):
+            axis_step = LStep(step.axis, _NODE)
+            test_step = LStep(Axis.SELF, step.test)
+            return self._infer_step(self._infer_step(env, axis_step), test_step)
+
+        if step.axis is Axis.SELF:
+            if step.condition is not None:
+                return self._infer_condition(env, step.condition)
+            # Rule 3: self::Test.
+            tau = ops.test(env.tau, step.test)
+            return Env(tau, ops.context_restrict(env.kappa, tau))
+
+        # Rules 1 and 2: Axis::node for a non-self axis.
+        if step.axis.is_upward:
+            tau = ops.axis(env.tau, step.axis) & env.kappa
+            return Env(tau, ops.context_restrict(env.kappa, tau))
+        tau = ops.axis(env.tau, step.axis)
+        return Env(tau, env.kappa | tau)
+
+    def _infer_condition(self, env: Env, condition: tuple[SimplePath, ...]) -> Env:
+        """Rule 4: ``self::node[P1 or ... or Pn]`` keeps the names for
+        which at least one disjunct may yield a non-empty result."""
+        ops = self.ops
+        kept: set[str] = set()
+        for name in env.tau:
+            singleton = frozenset((name,))
+            local = Env(singleton, ops.context_restrict(env.kappa, singleton))
+            for disjunct in condition:
+                if not self.infer(local, disjunct.steps).is_empty:
+                    kept.add(name)
+                    break
+        tau = frozenset(kept)
+        return Env(tau, ops.context_restrict(env.kappa, tau))
+
+
+def infer_type(grammar: Grammar, path: PathL | SimplePath, env: Env | None = None) -> Env:
+    """One-shot Figure 1 judgement from ``({X}, {X})`` (or ``env``)."""
+    inference = TypeInference(grammar)
+    return inference.infer_path(env if env is not None else initial_env(grammar), path)

@@ -1,0 +1,199 @@
+"""Projector inference — the ``Σ ⊩E P : τ`` rules of Figure 2.
+
+Given an XPathℓ path and a grammar, infer the set of names whose nodes
+must survive pruning for the path to evaluate identically on the pruned
+document (Theorem 4.5: soundness; Theorem 4.7: completeness on
+\\*-guarded, non-recursive, parent-unambiguous grammars and
+strongly-specified paths).
+
+Shape of the algorithm (mirroring the figure):
+
+* *Base rules* handle a final step with and without a condition;
+* *Encoded rules* normalise every non-final step into one of the three
+  primitive forms ``self::Test``, ``self::node[Cond]``, ``Axis::node``;
+* *Primitive rules* use the Figure 1 type system both to advance the
+  environment and to *filter out* names whose continuation type is empty —
+  the key precision device for ``descendant``/``ancestor`` steps.
+
+The ``-or-self`` axes (not in the paper's formal core but in its
+implementation) are handled by the set equation
+``[[axis-or-self::node/P]] = [[P]] ∪ [[axis::node/P]]``.
+"""
+
+from __future__ import annotations
+
+from repro.core.inference import Env, TypeInference, initial_env
+from repro.core.types import EMPTY, NameSet
+from repro.dtd.grammar import Grammar
+from repro.errors import AnalysisError
+from repro.xpath.ast import Axis, KindTest, NodeTest
+from repro.xpath.xpathl import LStep, PathL, SimplePath
+
+_NODE = KindTest("node")
+
+
+def _is_node_test(test: NodeTest) -> bool:
+    return isinstance(test, KindTest) and test.kind == "node"
+
+
+class ProjectorInference:
+    """Figure 2, bound to one grammar, with memoisation."""
+
+    def __init__(self, grammar: Grammar) -> None:
+        self.grammar = grammar
+        self.types = TypeInference(grammar)
+        self._memo: dict[tuple, NameSet] = {}
+
+    # -- public ------------------------------------------------------------
+
+    def infer(self, env: Env, steps: tuple[LStep, ...]) -> NameSet:
+        """``env ⊩E steps : τ``."""
+        if not steps:
+            # An empty continuation needs nothing beyond what the caller
+            # already collected.
+            return EMPTY
+        if not env.tau:
+            return EMPTY
+        if len(env.tau) > 1:
+            # Decomposition rule: union over singleton sub-environments
+            # (same context).
+            result: set[str] = set()
+            for name in sorted(env.tau):
+                result |= self.infer(Env(frozenset((name,)), env.kappa), steps)
+            return frozenset(result)
+        key = (env.tau, env.kappa, steps)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        computed = self._infer_singleton(env, steps)
+        self._memo[key] = computed
+        return computed
+
+    def infer_path(self, path: PathL | SimplePath, env: Env | None = None) -> NameSet:
+        """Top-level entry: the starting names (normally the grammar root)
+        are always part of the result, so even a statically-dead path
+        yields a usable projector ({X} — prune everything)."""
+        if env is None:
+            env = initial_env(self.grammar)
+        return self.infer(env, path.steps) | env.tau
+
+    # -- the rules (singleton τ) ------------------------------------------------
+
+    def _infer_singleton(self, env: Env, steps: tuple[LStep, ...]) -> NameSet:
+        step, rest = steps[0], steps[1:]
+
+        # ---- base rules (final step) ----
+        if not rest:
+            if step.condition is None:
+                # Σ ⊢ Step : (τ, κ)  ⟹  Σ ⊩ Step : τ ∪ κ
+                result_env = self.types.infer(env, (step,))
+                return result_env.tau | result_env.kappa
+            # Σ ⊩ Step[Cond]/self::node : τ  ⟹  Σ ⊩ Step[Cond] : τ
+            return self.infer(env, (step, LStep(Axis.SELF, _NODE)))
+
+        # ---- encoded rules ----
+        # Axis::Test[Cond]/P  ⟹  Axis::Test/self::node[Cond]/P
+        if step.condition is not None and not (step.axis is Axis.SELF and _is_node_test(step.test)):
+            bare = LStep(step.axis, step.test)
+            conditional = LStep(Axis.SELF, _NODE, step.condition)
+            return self.infer(env, (bare, conditional) + rest)
+        # Axis::Test/P  ⟹  Axis::node/self::Test/P   (Axis ≠ self, Test ≠ node)
+        if step.axis is not Axis.SELF and not _is_node_test(step.test):
+            return self.infer(env, (LStep(step.axis, _NODE), LStep(Axis.SELF, step.test)) + rest)
+
+        # ---- -or-self unfolding:  [[axis-or-self::node/P]] = [[P]] ∪ [[axis::node/P]]
+        if step.axis is Axis.DESCENDANT_OR_SELF:
+            return self.infer(env, rest) | self.infer(env, (LStep(Axis.DESCENDANT, _NODE),) + rest)
+        if step.axis is Axis.ANCESTOR_OR_SELF:
+            return self.infer(env, rest) | self.infer(env, (LStep(Axis.ANCESTOR, _NODE),) + rest)
+
+        # ---- primitive rules ----
+        if step.axis is Axis.SELF:
+            if step.condition is not None:
+                return self._rule_conditional_self(env, step, rest)
+            return self._rule_self_test(env, step, rest)
+        if step.axis in (Axis.CHILD, Axis.PARENT, Axis.ATTRIBUTE):
+            return self._rule_one_step_axis(env, step.axis, rest)
+        if step.axis is Axis.DESCENDANT:
+            return self._rule_recursive_axis(env, Axis.DESCENDANT, Axis.CHILD, rest)
+        if step.axis is Axis.ANCESTOR:
+            return self._rule_recursive_axis(env, Axis.ANCESTOR, Axis.PARENT, rest)
+        raise AnalysisError(f"axis {step.axis.value} is outside XPathℓ")
+
+    def _rule_self_test(self, env: Env, step: LStep, rest: tuple[LStep, ...]) -> NameSet:
+        # ({Y}, κ) ⊢ self::Test : Σ    Σ ⊩ P : τ
+        # ----------------------------------------
+        # ({Y}, κ) ⊩ self::Test/P : {Y} ∪ τ
+        sigma = self.types.infer(env, (step,))
+        return env.tau | self.infer(sigma, rest)
+
+    def _rule_conditional_self(self, env: Env, step: LStep, rest: tuple[LStep, ...]) -> NameSet:
+        # ({Y}, κ) ⊢ self::node[P1 or ... or Pn] : Σ
+        # Σ ⊩ P : τ      Σ ⊩ Pi : τi
+        # --------------------------------------------------
+        # ({Y}, κ) ⊩ self::node[...]/P : {Y} ∪ τ ∪ τ1 ∪ ... ∪ τn
+        assert step.condition is not None
+        sigma = self.types.infer(env, (step,))
+        result = set(env.tau)
+        result |= self.infer(sigma, rest)
+        for disjunct in step.condition:
+            result |= self.infer(sigma, disjunct.steps)
+        return frozenset(result)
+
+    def _rule_one_step_axis(self, env: Env, axis: Axis, rest: tuple[LStep, ...]) -> NameSet:
+        # ({Y}, κ) ⊢ Axis::node : ({X1..Xn}, κ')
+        # ({Xi}, κ') ⊢ P : Σi       (τ, κ') ⊩ P : τ'
+        # --------------------------------------------   τ = {Xi | Σi_τ ≠ ∅}
+        # ({Y}, κ) ⊩ Axis::node/P : {Y} ∪ τ ∪ τ'
+        sigma = self.types.infer(env, (LStep(axis, _NODE),))
+        kept = frozenset(
+            name for name in sigma.tau
+            if not self.types.infer(Env(frozenset((name,)), sigma.kappa), rest).is_empty
+        )
+        tail = self.infer(Env(kept, sigma.kappa), rest)
+        return env.tau | kept | tail
+
+    def _rule_recursive_axis(
+        self, env: Env, axis: Axis, one_step: Axis, rest: tuple[LStep, ...]
+    ) -> NameSet:
+        # Figure 2, last two rules (desc / ancs):
+        # ({Y}, κ) ⊢ axis::node : ({X1..Xn}, κ')
+        # ({Xi}, κ') ⊢ axis::node/P : Σi
+        # τ = {Xi | Σi_τ ≠ ∅} ∪ {Y}
+        # (τ, κ') ⊩ one_step::node/P : τ'
+        # --------------------------------
+        # ({Y}, κ) ⊩ axis::node/P : τ ∪ τ'
+        axis_step = LStep(axis, _NODE)
+        sigma = self.types.infer(env, (axis_step,))
+        kept = set(env.tau)
+        for name in sigma.tau:
+            continuation = self.types.infer(
+                Env(frozenset((name,)), sigma.kappa), (axis_step,) + rest
+            )
+            if not continuation.is_empty:
+                kept.add(name)
+        tail = self.infer(Env(frozenset(kept), sigma.kappa), (LStep(one_step, _NODE),) + rest)
+        return frozenset(kept) | tail
+
+
+def infer_projector(grammar: Grammar, path: PathL | SimplePath, env: Env | None = None) -> NameSet:
+    """One-shot Figure 2 judgement ``({X}, {X}) ⊩E P : τ``.
+
+    The result is the *query answering* projector: it preserves the node
+    set ``[[P]]`` but not necessarily the subtrees below the answers.  Use
+    :func:`materialized_projector` when results must be serialised.
+    """
+    inference = ProjectorInference(grammar)
+    return inference.infer_path(path, env)
+
+
+def materialized_projector(grammar: Grammar, path: PathL | SimplePath) -> NameSet:
+    """The materialisation variant (end of Section 4.2):
+    ``τ' ∪ A_E(τ'', descendant)`` where ``⊩ P : τ'`` and ``⊢ P : (τ'', _)``
+    — the answers' subtrees (including attributes) survive pruning so the
+    result can be output."""
+    from repro.core.inference import infer_type
+
+    answering = infer_projector(grammar, path)
+    result_type = infer_type(grammar, path)
+    return answering | grammar.descendant_closure(result_type.tau)

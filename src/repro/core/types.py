@@ -1,0 +1,152 @@
+"""Single-step typing — the paper's ``A_E`` and ``T_E`` (Definition 4.1).
+
+``A_E(τ, Axis)`` maps a set of names through an axis at the type level;
+``T_E(τ, Test)`` filters a set of names by a node test.  Lemma 4.2 states
+their soundness: if ``ℑ(S) ⊆ τ`` then ``ℑ([[Axis]](S)) ⊆ A_E(τ, Axis)``
+and ``ℑ(S :: Test) ⊆ T_E(τ, Test)``.
+
+Attributes (our data-model extension, matching the paper's implementation)
+ride along: the ``attribute`` axis maps to attribute names; the child /
+descendant axes never produce them (XPath's child axis does not select
+attributes).
+"""
+
+from __future__ import annotations
+
+from repro.dtd.grammar import (
+    AttributeProduction,
+    ElementProduction,
+    Grammar,
+    TextProduction,
+)
+from repro.errors import AnalysisError
+from repro.xpath.ast import Axis, KindTest, NameTest, NodeTest
+
+NameSet = frozenset[str]
+
+EMPTY: NameSet = frozenset()
+
+
+def _child_descendants(grammar: Grammar, name: str, cache: dict[str, NameSet]) -> NameSet:
+    """Transitive closure of the *child* relation (attributes excluded) —
+    the type-level descendant axis."""
+    cached = cache.get(name)
+    if cached is not None:
+        return cached
+    seen: set[str] = set()
+    frontier = list(grammar.children_of(name))
+    while frontier:
+        current = frontier.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        frontier.extend(grammar.children_of(current))
+    result = frozenset(seen)
+    cache[name] = result
+    return result
+
+
+class TypeOperators:
+    """``A_E`` / ``T_E`` bound to one grammar, with closure caches."""
+
+    def __init__(self, grammar: Grammar) -> None:
+        self.grammar = grammar
+        self._descendant_cache: dict[str, NameSet] = {}
+        self._ancestor_cache: dict[str, NameSet] = {}
+
+    # -- A_E -----------------------------------------------------------------
+
+    def axis(self, names: NameSet, axis: Axis) -> NameSet:
+        """``A_E(τ, Axis)`` for the XPathℓ axes."""
+        grammar = self.grammar
+        if axis is Axis.SELF:
+            return names
+        if axis is Axis.CHILD:
+            result: set[str] = set()
+            for name in names:
+                result |= grammar.children_of(name)
+            return frozenset(result)
+        if axis is Axis.DESCENDANT:
+            result = set()
+            for name in names:
+                result |= _child_descendants(grammar, name, self._descendant_cache)
+            return frozenset(result)
+        if axis is Axis.DESCENDANT_OR_SELF:
+            return names | self.axis(names, Axis.DESCENDANT)
+        if axis is Axis.PARENT:
+            result = set()
+            for name in names:
+                result |= grammar.parents_of(name)
+            return frozenset(result)
+        if axis is Axis.ANCESTOR:
+            result = set()
+            for name in names:
+                result |= self._ancestors(name)
+            return frozenset(result)
+        if axis is Axis.ANCESTOR_OR_SELF:
+            return names | self.axis(names, Axis.ANCESTOR)
+        if axis is Axis.ATTRIBUTE:
+            result = set()
+            for name in names:
+                result |= grammar.attributes_of(name)
+            return frozenset(result)
+        raise AnalysisError(f"axis {axis.value} is not typable (rewrite it first)")
+
+    def _ancestors(self, name: str) -> NameSet:
+        cached = self._ancestor_cache.get(name)
+        if cached is not None:
+            return cached
+        seen: set[str] = set()
+        frontier = list(self.grammar.parents_of(name))
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self.grammar.parents_of(current))
+        result = frozenset(seen)
+        self._ancestor_cache[name] = result
+        return result
+
+    # -- T_E -----------------------------------------------------------------
+
+    def test(self, names: NameSet, test: NodeTest) -> NameSet:
+        """``T_E(τ, Test)``."""
+        grammar = self.grammar
+        if isinstance(test, KindTest):
+            if test.kind == "node":
+                return names
+            if test.kind == "text":
+                return frozenset(
+                    name for name in names
+                    if isinstance(grammar.production(name), TextProduction)
+                )
+            if test.kind == "element":
+                return frozenset(
+                    name for name in names
+                    if isinstance(grammar.production(name), ElementProduction)
+                )
+            # comment() / processing-instruction() select nothing typable.
+            return EMPTY
+        assert isinstance(test, NameTest)
+        if test.name is None:  # '*': elements (or attributes on @*)
+            return frozenset(
+                name for name in names
+                if not isinstance(grammar.production(name), TextProduction)
+            )
+        matched: set[str] = set()
+        for name in names:
+            production = grammar.production(name)
+            if isinstance(production, ElementProduction) and production.tag == test.name:
+                matched.add(name)
+            elif isinstance(production, AttributeProduction) and production.attribute == test.name:
+                matched.add(name)
+        return frozenset(matched)
+
+    # -- context helper --------------------------------------------------------
+
+    def context_restrict(self, kappa: NameSet, tau: NameSet) -> NameSet:
+        """``κ ∩ (τ ∪ A_E(τ, ancestor))`` — the context update used by the
+        ``self::Test`` and upward rules of Figure 1: keep only context
+        names lying on chains that end in ``τ``."""
+        return kappa & (tau | self.axis(tau, Axis.ANCESTOR))

@@ -1,0 +1,91 @@
+"""DTD substrate: parsing, local tree grammars, properties, validation.
+
+The paper treats a DTD as a local tree grammar ``(X, E)`` (Section 2.2).
+This package parses real ``.dtd`` syntax, lowers it to that formal object,
+checks the Definition 4.3 properties that gate completeness, and validates
+documents producing the interpretation ``ℑ`` used by type-driven
+projection.
+"""
+
+from repro.dtd.ast import (
+    AttlistDecl,
+    AttributeDef,
+    AttributeDefaultKind,
+    ContentKind,
+    ContentModel,
+    DTDDocument,
+    ElementDecl,
+)
+from repro.dtd.automaton import GlushkovAutomaton
+from repro.dtd.grammar import (
+    AttributeProduction,
+    ElementProduction,
+    Grammar,
+    Production,
+    TextProduction,
+    attribute_name,
+    grammar_from_dtd,
+    grammar_from_productions,
+    grammar_from_text,
+    is_attribute_name,
+    is_text_name,
+    text_name,
+)
+from repro.dtd.parser import DTDParser, parse_dtd
+from repro.dtd.singletype import SingleTypeGrammar, single_type_grammar
+from repro.dtd.properties import (
+    GrammarProperties,
+    analyze_grammar,
+    is_parent_unambiguous,
+    is_recursive,
+    is_star_guarded,
+    recursive_names,
+)
+from repro.dtd.regex import Alt, Atom, Empty, Epsilon, Opt, Plus, Regex, Seq, Star
+from repro.dtd.validator import EventValidator, Interpretation, TreeValidator, validate
+
+__all__ = [
+    "Alt",
+    "Atom",
+    "AttlistDecl",
+    "AttributeDef",
+    "AttributeDefaultKind",
+    "AttributeProduction",
+    "ContentKind",
+    "ContentModel",
+    "DTDDocument",
+    "DTDParser",
+    "ElementDecl",
+    "ElementProduction",
+    "Empty",
+    "Epsilon",
+    "EventValidator",
+    "GlushkovAutomaton",
+    "Grammar",
+    "GrammarProperties",
+    "Interpretation",
+    "Opt",
+    "Plus",
+    "Production",
+    "Regex",
+    "Seq",
+    "SingleTypeGrammar",
+    "Star",
+    "TextProduction",
+    "TreeValidator",
+    "analyze_grammar",
+    "attribute_name",
+    "grammar_from_dtd",
+    "grammar_from_productions",
+    "grammar_from_text",
+    "is_attribute_name",
+    "is_parent_unambiguous",
+    "is_recursive",
+    "is_star_guarded",
+    "is_text_name",
+    "parse_dtd",
+    "recursive_names",
+    "single_type_grammar",
+    "text_name",
+    "validate",
+]

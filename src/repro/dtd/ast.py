@@ -1,0 +1,94 @@
+"""Syntactic AST for parsed DTD declarations.
+
+This is the *surface* representation produced by :mod:`repro.dtd.parser`
+(element declarations with EMPTY/ANY/mixed/children content, attribute
+lists).  :mod:`repro.dtd.grammar` lowers it to the paper's semantic object,
+a local tree grammar over names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.dtd.regex import Regex
+
+
+class ContentKind(Enum):
+    EMPTY = "EMPTY"
+    ANY = "ANY"
+    MIXED = "MIXED"
+    CHILDREN = "CHILDREN"
+
+
+@dataclass(frozen=True, slots=True)
+class ContentModel:
+    """Content of an ``<!ELEMENT ...>`` declaration.
+
+    * ``EMPTY``   — no content; ``regex`` and ``mixed_tags`` unused.
+    * ``ANY``     — any mixture of declared elements and text.
+    * ``MIXED``   — ``(#PCDATA | t1 | ... | tn)*``; ``mixed_tags`` holds
+      the ``ti`` (possibly empty, for text-only elements).
+    * ``CHILDREN``— a deterministic content model; ``regex`` is over
+      element *tags* at this stage.
+    """
+
+    kind: ContentKind
+    regex: Regex | None = None
+    mixed_tags: tuple[str, ...] = ()
+
+    def allows_text(self) -> bool:
+        return self.kind in (ContentKind.MIXED, ContentKind.ANY)
+
+
+@dataclass(frozen=True, slots=True)
+class ElementDecl:
+    """``<!ELEMENT tag content>``."""
+
+    tag: str
+    content: ContentModel
+
+
+class AttributeDefaultKind(Enum):
+    REQUIRED = "#REQUIRED"
+    IMPLIED = "#IMPLIED"
+    FIXED = "#FIXED"
+    DEFAULT = "default"  # a plain default value
+
+
+@dataclass(frozen=True, slots=True)
+class AttributeDef:
+    """A single attribute definition inside an ``<!ATTLIST ...>``.
+
+    ``attribute_type`` is the raw type token (``CDATA``, ``ID``, an
+    enumeration rendered as ``(a|b|c)``...); the static analysis only needs
+    the attribute's existence, but the type is kept for completeness.
+    """
+
+    name: str
+    attribute_type: str
+    default_kind: AttributeDefaultKind
+    default_value: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class AttlistDecl:
+    """``<!ATTLIST tag attdefs...>``."""
+
+    tag: str
+    attributes: tuple[AttributeDef, ...]
+
+
+@dataclass(slots=True)
+class DTDDocument:
+    """All declarations of one DTD, in source order.
+
+    Multiple ATTLIST declarations for one element are legal in XML and are
+    merged by the grammar lowering.
+    """
+
+    elements: list[ElementDecl] = field(default_factory=list)
+    attlists: list[AttlistDecl] = field(default_factory=list)
+
+    def element_tags(self) -> list[str]:
+        return [declaration.tag for declaration in self.elements]

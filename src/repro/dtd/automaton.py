@@ -1,0 +1,98 @@
+"""Glushkov automata for content-model validation.
+
+A content model ``r`` over names compiles to a position automaton with one
+state per atom occurrence plus a start state.  XML content models are
+required to be deterministic ("1-unambiguous"), in which case the Glushkov
+automaton is a DFA; we do not *rely* on that — transitions are computed as
+subset moves with on-the-fly determinisation and memoisation — so the
+validator also works for arbitrary (test-generated) grammars.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.dtd.regex import Regex, assign_positions, first_set, follow_map, last_set
+
+
+class GlushkovAutomaton:
+    """Compiled matcher for one content model.
+
+    States are frozensets of Glushkov positions; position 0 is the start
+    state.  ``step`` and ``matches`` are the full protocol; the streaming
+    validator keeps one live state per open element.
+    """
+
+    __slots__ = ("_names", "_initial", "_accepting", "_transitions", "_dfa_cache", "_position_names")
+
+    def __init__(self, regex: Regex) -> None:
+        atoms = assign_positions(regex)
+        names_by_position = {atom.position: atom.name for atom in atoms}
+        self._position_names = names_by_position
+        self._names = regex.names()
+
+        firsts = first_set(regex)
+        lasts = last_set(regex)
+        follow = follow_map(regex)
+
+        # _transitions[p] = positions reachable from p, keyed by name.
+        self._transitions: dict[int, dict[str, frozenset[int]]] = {0: {}}
+        for position in firsts:
+            name = names_by_position[position]
+            self._transitions[0].setdefault(name, frozenset())
+            self._transitions[0][name] |= {position}
+        for atom in atoms:
+            table: dict[str, frozenset[int]] = {}
+            for successor in follow[atom.position]:
+                name = names_by_position[successor]
+                table.setdefault(name, frozenset())
+                table[name] |= {successor}
+            self._transitions[atom.position] = table
+
+        self._initial: frozenset[int] = frozenset((0,))
+        self._accepting: frozenset[int] = lasts | (frozenset((0,)) if regex.nullable() else frozenset())
+        self._dfa_cache: dict[tuple[frozenset[int], str], frozenset[int]] = {}
+
+    # -- protocol ------------------------------------------------------------
+
+    @property
+    def initial(self) -> frozenset[int]:
+        return self._initial
+
+    def step(self, state: frozenset[int], name: str) -> frozenset[int]:
+        """Advance by one name.  The empty frozenset is the sink state."""
+        key = (state, name)
+        cached = self._dfa_cache.get(key)
+        if cached is not None:
+            return cached
+        result: set[int] = set()
+        for position in state:
+            targets = self._transitions.get(position, {}).get(name)
+            if targets:
+                result.update(targets)
+        frozen = frozenset(result)
+        self._dfa_cache[key] = frozen
+        return frozen
+
+    def is_accepting(self, state: frozenset[int]) -> bool:
+        return bool(state & self._accepting)
+
+    def matches(self, sequence: Iterable[str]) -> bool:
+        state = self._initial
+        for name in sequence:
+            state = self.step(state, name)
+            if not state:
+                return False
+        return self.is_accepting(state)
+
+    def allowed_names(self, state: frozenset[int]) -> set[str]:
+        """Names with a non-sink transition from ``state`` (for error
+        messages: "expected one of ...")."""
+        allowed: set[str] = set()
+        for position in state:
+            allowed.update(self._transitions.get(position, {}))
+        return allowed
+
+    @property
+    def alphabet(self) -> frozenset[str]:
+        return self._names

@@ -1,0 +1,187 @@
+"""Dataguide-based grammar inference — pruning without a DTD.
+
+The paper's conclusion: "it should be easy to adapt the approach to work
+in the absence of DTDs, by using dataguides/path-summaries instead".
+This module does exactly that: it summarises one or more documents into a
+local tree grammar whose language contains them, so the whole static
+analysis (Figures 1 and 2) and the streaming pruner run unchanged.
+
+The summary is the classic *strong dataguide* collapsed by label —
+legitimate here because local tree grammars cannot distinguish two
+elements with the same tag anyway (condition 3 of Section 2.2).  For each
+tag we record:
+
+* the set of child tags observed anywhere under it,
+* whether text content was observed,
+* the set of attributes observed,
+
+and emit the production ``Tag -> tag[(C1 | ... | Cn | tag#text?)*]``.
+The starred union over-approximates every observed child sequence, so
+every summarised document validates against the inferred grammar
+(:func:`grammar_from_documents` is *sound* for them); by Theorem 4.5 any
+projector inferred from it prunes those documents soundly.
+
+Precision note: the starred-union content models are not \\*-guarded in a
+useful sense for completeness (every union is starred, so they *are*
+\\*-guarded — but parent ambiguity is common in summarised data), so the
+completeness guarantee usually does not apply; soundness always does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.dtd.ast import AttributeDef, AttributeDefaultKind
+from repro.dtd.grammar import (
+    AttributeProduction,
+    ElementProduction,
+    Grammar,
+    Production,
+    TextProduction,
+    attribute_name,
+    text_name,
+)
+from repro.dtd.regex import Alt, Atom, Epsilon, Regex, Star
+from repro.errors import GrammarError
+from repro.xmltree.events import Characters, EndElement, Event, StartElement
+from repro.xmltree.nodes import Document, Element, Text
+
+
+@dataclass(slots=True)
+class TagSummary:
+    """What has been observed for one element tag."""
+
+    children: set[str] = field(default_factory=set)
+    attributes: set[str] = field(default_factory=set)
+    has_text: bool = False
+    occurrences: int = 0
+
+
+class DataguideBuilder:
+    """Incremental dataguide: feed documents (or raw event streams), then
+    materialise the grammar.
+
+    >>> builder = DataguideBuilder()
+    >>> builder.add_document(document)
+    >>> grammar = builder.grammar()
+    """
+
+    def __init__(self) -> None:
+        self._summaries: dict[str, TagSummary] = {}
+        self._roots: set[str] = set()
+        # Event-mode state.
+        self._stack: list[str] = []
+
+    # -- ingestion ---------------------------------------------------------
+
+    def add_document(self, document: Document) -> None:
+        self._roots.add(document.root.tag)
+        stack: list[Element] = [document.root]
+        while stack:
+            element = stack.pop()
+            summary = self._summary(element.tag)
+            summary.occurrences += 1
+            summary.attributes.update(element.attributes)
+            for child in element.children:
+                if isinstance(child, Text):
+                    if child.value.strip():
+                        summary.has_text = True
+                else:
+                    assert isinstance(child, Element)
+                    summary.children.add(child.tag)
+                    stack.append(child)
+
+    def add_event(self, event: Event) -> None:
+        """Streaming ingestion: summarise without building a tree."""
+        if isinstance(event, StartElement):
+            if not self._stack:
+                self._roots.add(event.tag)
+            else:
+                self._summary(self._stack[-1]).children.add(event.tag)
+            summary = self._summary(event.tag)
+            summary.occurrences += 1
+            summary.attributes.update(event.attributes)
+            self._stack.append(event.tag)
+        elif isinstance(event, EndElement):
+            self._stack.pop()
+        elif isinstance(event, Characters):
+            if self._stack and event.text.strip():
+                self._summary(self._stack[-1]).has_text = True
+
+    def add_events(self, events: Iterable[Event]) -> None:
+        for event in events:
+            self.add_event(event)
+
+    def _summary(self, tag: str) -> TagSummary:
+        summary = self._summaries.get(tag)
+        if summary is None:
+            summary = TagSummary()
+            self._summaries[tag] = summary
+        return summary
+
+    # -- materialisation -------------------------------------------------------
+
+    def grammar(self, root: str | None = None) -> Grammar:
+        """The inferred local tree grammar.
+
+        ``root`` defaults to the single observed root tag; summarising
+        documents with different roots requires choosing one explicitly.
+        """
+        if not self._summaries:
+            raise GrammarError("no documents were summarised")
+        if root is None:
+            if len(self._roots) != 1:
+                raise GrammarError(
+                    f"ambiguous root (observed {sorted(self._roots)}); pass root="
+                )
+            root = next(iter(self._roots))
+        if root not in self._summaries:
+            raise GrammarError(f"root tag {root!r} was never observed")
+
+        productions: list[Production] = []
+        for tag, summary in sorted(self._summaries.items()):
+            alternatives: list[Regex] = [Atom(child) for child in sorted(summary.children)]
+            if summary.has_text:
+                alternatives.append(Atom(text_name(tag)))
+            if not alternatives:
+                regex: Regex = Epsilon()
+            elif len(alternatives) == 1:
+                regex = Star(alternatives[0])
+            else:
+                regex = Star(Alt(alternatives))
+            attributes = tuple(
+                AttributeDef(name, "CDATA", AttributeDefaultKind.IMPLIED)
+                for name in sorted(summary.attributes)
+            )
+            productions.append(ElementProduction(tag, tag, regex, attributes))
+            if summary.has_text:
+                productions.append(TextProduction(text_name(tag)))
+            for name in sorted(summary.attributes):
+                productions.append(AttributeProduction(attribute_name(tag, name), tag, name))
+        return Grammar(root, productions)
+
+    def statistics(self) -> dict[str, TagSummary]:
+        """The raw per-tag summaries (for inspection and tests)."""
+        return dict(self._summaries)
+
+
+def grammar_from_documents(documents: Iterable[Document] | Document, root: str | None = None) -> Grammar:
+    """One-shot: summarise document(s) into a grammar (sound for them)."""
+    builder = DataguideBuilder()
+    if isinstance(documents, Document):
+        documents = [documents]
+    for document in documents:
+        builder.add_document(document)
+    return builder.grammar(root)
+
+
+def grammar_from_file(path: str, root: str | None = None) -> Grammar:
+    """Summarise a document file *streaming* — the dataguide never holds
+    the tree, so arbitrarily large inputs summarise in constant memory."""
+    from repro.xmltree.parser import parse_events
+
+    builder = DataguideBuilder()
+    with open(path, "r", encoding="utf-8") as handle:
+        builder.add_events(parse_events(handle))
+    return builder.grammar(root)

@@ -1,0 +1,341 @@
+"""DTD parser: ``<!ELEMENT ...>`` / ``<!ATTLIST ...>`` text to
+:class:`~repro.dtd.ast.DTDDocument`.
+
+Supports the full element content-model grammar (EMPTY, ANY, mixed,
+deterministic children models with ``, | ? * +`` and nesting), attribute
+lists, comments, processing instructions and — because real-world DTDs
+such as XMark's rely on them — parameter entities (``<!ENTITY % n "...">``
+with ``%n;`` references, expanded textually as per XML 1.0).
+"""
+
+from __future__ import annotations
+
+from repro.dtd.ast import (
+    AttlistDecl,
+    AttributeDef,
+    AttributeDefaultKind,
+    ContentKind,
+    ContentModel,
+    DTDDocument,
+    ElementDecl,
+)
+from repro.dtd.regex import Alt, Atom, Opt, Plus, Regex, Seq, Star
+from repro.errors import DTDSyntaxError
+from repro.xmltree.lexer import is_name_char, is_name_start
+
+
+class _Cursor:
+    """Tiny in-memory scanner for DTD text (DTDs are small; no need for
+    the chunked scanner used on documents)."""
+
+    __slots__ = ("text", "position")
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.position = 0
+
+    def at_eof(self) -> bool:
+        return self.position >= len(self.text)
+
+    def peek(self) -> str:
+        if self.at_eof():
+            return ""
+        return self.text[self.position]
+
+    def advance(self) -> str:
+        char = self.peek()
+        self.position += 1
+        return char
+
+    def startswith(self, prefix: str) -> bool:
+        return self.text.startswith(prefix, self.position)
+
+    def try_consume(self, prefix: str) -> bool:
+        if self.startswith(prefix):
+            self.position += len(prefix)
+            return True
+        return False
+
+    def expect(self, prefix: str, context: str) -> None:
+        if not self.try_consume(prefix):
+            found = self.text[self.position : self.position + 16]
+            raise DTDSyntaxError(f"expected {prefix!r} in {context}, found {found!r}")
+
+    def skip_whitespace(self) -> None:
+        while not self.at_eof() and self.text[self.position] in " \t\r\n":
+            self.position += 1
+
+    def read_name(self, context: str) -> str:
+        start = self.position
+        char = self.peek()
+        if not char or not is_name_start(char):
+            raise DTDSyntaxError(f"expected a name in {context}, found {char!r}")
+        self.position += 1
+        while not self.at_eof() and is_name_char(self.text[self.position]):
+            self.position += 1
+        return self.text[start : self.position]
+
+    def read_until(self, delimiter: str, context: str) -> str:
+        index = self.text.find(delimiter, self.position)
+        if index == -1:
+            raise DTDSyntaxError(f"unterminated {context}")
+        result = self.text[self.position : index]
+        self.position = index + len(delimiter)
+        return result
+
+    def read_quoted(self, context: str) -> str:
+        quote = self.peek()
+        if quote not in ("'", '"'):
+            raise DTDSyntaxError(f"expected quoted literal in {context}")
+        self.advance()
+        return self.read_until(quote, context)
+
+
+def _expand_parameter_entities(text: str, entities: dict[str, str], depth: int = 0) -> str:
+    """Textually expand ``%name;`` references (recursively, with a depth
+    guard against definition cycles)."""
+    if depth > 32:
+        raise DTDSyntaxError("parameter entity expansion too deep (cycle?)")
+    if "%" not in text:
+        return text
+    pieces: list[str] = []
+    position = 0
+    while True:
+        percent = text.find("%", position)
+        if percent == -1:
+            pieces.append(text[position:])
+            return "".join(pieces)
+        semi = text.find(";", percent + 1)
+        name = text[percent + 1 : semi] if semi != -1 else ""
+        if semi == -1 or not name or not all(is_name_char(c) or is_name_start(c) for c in name):
+            # A bare '%' (e.g. inside a quoted literal) — keep it.
+            pieces.append(text[position : percent + 1])
+            position = percent + 1
+            continue
+        pieces.append(text[position:percent])
+        if name not in entities:
+            raise DTDSyntaxError(f"undefined parameter entity %{name};")
+        pieces.append(_expand_parameter_entities(entities[name], entities, depth + 1))
+        position = semi + 1
+
+
+class DTDParser:
+    """Parser over (parameter-entity-expanded) DTD text."""
+
+    def __init__(self) -> None:
+        self._entities: dict[str, str] = {}
+
+    # -- public -----------------------------------------------------------
+
+    def parse(self, text: str) -> DTDDocument:
+        document = DTDDocument()
+        cursor = _Cursor(text)
+        while True:
+            cursor.skip_whitespace()
+            if cursor.at_eof():
+                return document
+            if cursor.try_consume("<!--"):
+                cursor.read_until("-->", "comment")
+            elif cursor.try_consume("<?"):
+                cursor.read_until("?>", "processing instruction")
+            elif cursor.startswith("<!ENTITY"):
+                self._parse_entity(cursor)
+            elif cursor.startswith("<!ELEMENT"):
+                document.elements.append(self._parse_element(cursor))
+            elif cursor.startswith("<!ATTLIST"):
+                document.attlists.append(self._parse_attlist(cursor))
+            elif cursor.startswith("<!NOTATION"):
+                cursor.read_until(">", "notation declaration")
+            elif cursor.peek() == "%":
+                # A declaration-level parameter entity reference.
+                cursor.advance()
+                name = cursor.read_name("parameter entity reference")
+                cursor.expect(";", "parameter entity reference")
+                if name not in self._entities:
+                    raise DTDSyntaxError(f"undefined parameter entity %{name};")
+                replacement = _expand_parameter_entities(self._entities[name], self._entities)
+                rest = cursor.text[cursor.position :]
+                cursor.text = replacement + rest
+                cursor.position = 0
+            else:
+                found = cursor.text[cursor.position : cursor.position + 24]
+                raise DTDSyntaxError(f"unrecognised DTD content: {found!r}")
+
+    # -- declarations --------------------------------------------------------
+
+    def _parse_entity(self, cursor: _Cursor) -> None:
+        cursor.expect("<!ENTITY", "entity declaration")
+        cursor.skip_whitespace()
+        if cursor.try_consume("%"):
+            cursor.skip_whitespace()
+            name = cursor.read_name("parameter entity declaration")
+            cursor.skip_whitespace()
+            value = cursor.read_quoted("parameter entity declaration")
+            cursor.skip_whitespace()
+            cursor.expect(">", "parameter entity declaration")
+            # First definition wins, as per the XML specification.
+            self._entities.setdefault(name, value)
+        else:
+            # General entity: record nothing (documents using it are out of
+            # the reproduced scope) but consume the declaration.
+            cursor.read_until(">", "entity declaration")
+
+    def _parse_element(self, cursor: _Cursor) -> ElementDecl:
+        cursor.expect("<!ELEMENT", "element declaration")
+        cursor.skip_whitespace()
+        tag = cursor.read_name("element declaration")
+        cursor.skip_whitespace()
+        remainder = self._expanded_declaration_body(cursor, "element declaration")
+        body = _Cursor(remainder)
+        body.skip_whitespace()
+        content = self._parse_content_model(body, tag)
+        body.skip_whitespace()
+        if not body.at_eof():
+            raise DTDSyntaxError(f"trailing content in <!ELEMENT {tag}>: {body.text[body.position:]!r}")
+        return ElementDecl(tag, content)
+
+    def _expanded_declaration_body(self, cursor: _Cursor, context: str) -> str:
+        """Consume up to the closing '>' (quote-aware, so a '>' inside a
+        quoted default value does not end the declaration) and expand
+        parameter entities in the body."""
+        start = cursor.position
+        quote = ""
+        while True:
+            char = cursor.peek()
+            if not char:
+                raise DTDSyntaxError(f"unterminated {context}")
+            if quote:
+                if char == quote:
+                    quote = ""
+            elif char in ("'", '"'):
+                quote = char
+            elif char == ">":
+                raw = cursor.text[start : cursor.position]
+                cursor.advance()
+                return _expand_parameter_entities(raw, self._entities)
+            cursor.advance()
+
+    def _parse_content_model(self, cursor: _Cursor, tag: str) -> ContentModel:
+        if cursor.try_consume("EMPTY"):
+            return ContentModel(ContentKind.EMPTY)
+        if cursor.try_consume("ANY"):
+            return ContentModel(ContentKind.ANY)
+        if cursor.peek() != "(":
+            raise DTDSyntaxError(f"bad content model for <!ELEMENT {tag}>")
+        # Look ahead for #PCDATA to distinguish mixed content.
+        probe = cursor.text[cursor.position :].lstrip("( \t\r\n")
+        if probe.startswith("#PCDATA"):
+            return self._parse_mixed(cursor, tag)
+        regex = self._parse_children_expression(cursor, tag)
+        return ContentModel(ContentKind.CHILDREN, regex=regex)
+
+    def _parse_mixed(self, cursor: _Cursor, tag: str) -> ContentModel:
+        cursor.expect("(", f"mixed content of {tag}")
+        cursor.skip_whitespace()
+        cursor.expect("#PCDATA", f"mixed content of {tag}")
+        tags: list[str] = []
+        while True:
+            cursor.skip_whitespace()
+            if cursor.try_consume(")"):
+                break
+            cursor.expect("|", f"mixed content of {tag}")
+            cursor.skip_whitespace()
+            tags.append(cursor.read_name(f"mixed content of {tag}"))
+        if tags:
+            cursor.expect("*", f"mixed content of {tag}")
+        else:
+            cursor.try_consume("*")  # "(#PCDATA)*" is legal too
+        return ContentModel(ContentKind.MIXED, mixed_tags=tuple(tags))
+
+    def _parse_children_expression(self, cursor: _Cursor, tag: str) -> Regex:
+        """Parse a parenthesised choice/sequence with occurrence suffix."""
+        cursor.expect("(", f"content model of {tag}")
+        items: list[Regex] = [self._parse_cp(cursor, tag)]
+        cursor.skip_whitespace()
+        separator = ""
+        while cursor.peek() in (",", "|"):
+            char = cursor.advance()
+            if separator and char != separator:
+                raise DTDSyntaxError(f"mixed ',' and '|' at the same level in content model of {tag}")
+            separator = char
+            items.append(self._parse_cp(cursor, tag))
+            cursor.skip_whitespace()
+        cursor.expect(")", f"content model of {tag}")
+        inner: Regex
+        if len(items) == 1:
+            inner = items[0]
+        elif separator == "|":
+            inner = Alt(items)
+        else:
+            inner = Seq(items)
+        return self._apply_occurrence(cursor, inner)
+
+    def _parse_cp(self, cursor: _Cursor, tag: str) -> Regex:
+        cursor.skip_whitespace()
+        if cursor.peek() == "(":
+            return self._parse_children_expression(cursor, tag)
+        name = cursor.read_name(f"content model of {tag}")
+        return self._apply_occurrence(cursor, Atom(name))
+
+    @staticmethod
+    def _apply_occurrence(cursor: _Cursor, regex: Regex) -> Regex:
+        char = cursor.peek()
+        if char == "?":
+            cursor.advance()
+            return Opt(regex)
+        if char == "*":
+            cursor.advance()
+            return Star(regex)
+        if char == "+":
+            cursor.advance()
+            return Plus(regex)
+        return regex
+
+    def _parse_attlist(self, cursor: _Cursor) -> AttlistDecl:
+        cursor.expect("<!ATTLIST", "attribute list")
+        cursor.skip_whitespace()
+        tag = cursor.read_name("attribute list")
+        remainder = self._expanded_declaration_body(cursor, f"<!ATTLIST {tag}>")
+        body = _Cursor(remainder)
+        attributes: list[AttributeDef] = []
+        while True:
+            body.skip_whitespace()
+            if body.at_eof():
+                return AttlistDecl(tag, tuple(attributes))
+            name = body.read_name(f"<!ATTLIST {tag}>")
+            body.skip_whitespace()
+            attribute_type = self._parse_attribute_type(body, tag)
+            body.skip_whitespace()
+            default_kind, default_value = self._parse_attribute_default(body, tag)
+            attributes.append(AttributeDef(name, attribute_type, default_kind, default_value))
+
+    @staticmethod
+    def _parse_attribute_type(body: _Cursor, tag: str) -> str:
+        if body.peek() == "(":
+            # Enumeration: normalise as "(a|b|c)".
+            raw = body.read_until(")", f"enumeration in <!ATTLIST {tag}>")
+            values = [value.strip() for value in raw.lstrip("(").split("|")]
+            return "(" + "|".join(values) + ")"
+        token = body.read_name(f"attribute type in <!ATTLIST {tag}>")
+        if token == "NOTATION":
+            body.skip_whitespace()
+            raw = body.read_until(")", f"NOTATION in <!ATTLIST {tag}>")
+            values = [value.strip() for value in raw.lstrip("(").split("|")]
+            return "NOTATION(" + "|".join(values) + ")"
+        return token
+
+    @staticmethod
+    def _parse_attribute_default(body: _Cursor, tag: str) -> tuple[AttributeDefaultKind, str | None]:
+        if body.try_consume("#REQUIRED"):
+            return AttributeDefaultKind.REQUIRED, None
+        if body.try_consume("#IMPLIED"):
+            return AttributeDefaultKind.IMPLIED, None
+        if body.try_consume("#FIXED"):
+            body.skip_whitespace()
+            return AttributeDefaultKind.FIXED, body.read_quoted(f"#FIXED default in <!ATTLIST {tag}>")
+        return AttributeDefaultKind.DEFAULT, body.read_quoted(f"default value in <!ATTLIST {tag}>")
+
+
+def parse_dtd(text: str) -> DTDDocument:
+    """Parse DTD text into its declaration list."""
+    return DTDParser().parse(text)

@@ -1,0 +1,108 @@
+"""The Definition 4.3 DTD properties.
+
+Completeness of the static analysis (Theorems 4.4 and 4.7) requires the
+DTD to be *\\*-guarded*, *non-recursive* and *parent-unambiguous*.  These
+predicates let callers (and the benchmark harness) decide whether the
+completeness guarantee applies to a given grammar; soundness never depends
+on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dtd.grammar import ElementProduction, Grammar
+from repro.dtd.regex import Alt, Opt, Plus, Regex, Seq, Star
+
+
+def _contains_union(regex: Regex) -> bool:
+    if isinstance(regex, Alt):
+        return True
+    if isinstance(regex, Seq):
+        return any(_contains_union(item) for item in regex.items)
+    if isinstance(regex, (Star, Plus, Opt)):
+        return _contains_union(regex.inner)
+    return False
+
+
+def _product_factors(regex: Regex) -> list[Regex]:
+    """View a regex as a product ``r1, ..., rn`` (flattening nested
+    sequences; a non-sequence is a one-factor product)."""
+    if isinstance(regex, Seq):
+        factors: list[Regex] = []
+        for item in regex.items:
+            factors.extend(_product_factors(item))
+        return factors
+    return [regex]
+
+
+def is_star_guarded_regex(regex: Regex) -> bool:
+    """Def 4.3(1) for one production: the regex is a product whose factors
+    containing a union are guarded by ``*`` (or ``+``)."""
+    for factor in _product_factors(regex):
+        if _contains_union(factor) and not isinstance(factor, (Star, Plus)):
+            return False
+    return True
+
+
+def is_star_guarded(grammar: Grammar) -> bool:
+    """Def 4.3(1): every production's content model is *-guarded."""
+    return all(
+        is_star_guarded_regex(production.regex)
+        for production in grammar.productions.values()
+        if isinstance(production, ElementProduction)
+    )
+
+
+def is_recursive(grammar: Grammar) -> bool:
+    """Def 4.3(2) negated: some name satisfies ``Y ⇒E+ Y``."""
+    return any(name in grammar.descendants_of(name) for name in grammar.names())
+
+
+def recursive_names(grammar: Grammar) -> frozenset[str]:
+    """The names lying on a cycle of ``⇒E``."""
+    return frozenset(name for name in grammar.names() if name in grammar.descendants_of(name))
+
+
+def is_parent_unambiguous(grammar: Grammar) -> bool:
+    """Def 4.3(3): for every chain ``c Y Z`` rooted at ``X``, if
+    ``c Y c' Z`` is also a rooted chain then ``c'`` is empty.
+
+    Operationally: for every reachable ``Y`` and every direct successor
+    ``Z`` of ``Y``, there is no path of length >= 2 from ``Y`` to ``Z``
+    (the rooted prefix ``c`` exists for both chains exactly when ``Y`` is
+    reachable, so reachability of ``Y`` is the only premise)."""
+    for name in grammar.reachable_names():
+        successors = grammar.successors_of(name)
+        if not successors:
+            continue
+        via_longer_path: set[str] = set()
+        for successor in successors:
+            via_longer_path |= grammar.descendants_of(successor)
+        if successors & via_longer_path:
+            return False
+    return True
+
+
+@dataclass(frozen=True, slots=True)
+class GrammarProperties:
+    """Bundle of the Def 4.3 predicates for one grammar."""
+
+    star_guarded: bool
+    recursive: bool
+    parent_unambiguous: bool
+
+    @property
+    def completeness_class(self) -> bool:
+        """Whether the grammar is in the class for which Theorems 4.4/4.7
+        guarantee completeness (given a strongly-specified query)."""
+        return self.star_guarded and not self.recursive and self.parent_unambiguous
+
+
+def analyze_grammar(grammar: Grammar) -> GrammarProperties:
+    """Evaluate all Definition 4.3 properties."""
+    return GrammarProperties(
+        star_guarded=is_star_guarded(grammar),
+        recursive=is_recursive(grammar),
+        parent_unambiguous=is_parent_unambiguous(grammar),
+    )

@@ -1,0 +1,342 @@
+"""Regular expressions over grammar names.
+
+The right-hand side of every DTD production ``X -> a[r]`` is a regular
+expression ``r`` over names (Section 2.2 of the paper).  This module
+defines the expression AST, the usual derived queries (``names``,
+``nullable``) and the Glushkov position sets (``first``, ``last``,
+``follow``) that :mod:`repro.dtd.automaton` turns into a finite automaton
+for validation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+class Regex:
+    """Base class for regular expressions over names."""
+
+    __slots__ = ()
+
+    def names(self) -> frozenset[str]:
+        """``Names(r)``: every name occurring in the expression."""
+        raise NotImplementedError
+
+    def nullable(self) -> bool:
+        """Whether the expression matches the empty sequence."""
+        raise NotImplementedError
+
+    def atoms(self) -> Iterator["Atom"]:
+        """All atom occurrences (Glushkov positions), left to right."""
+        raise NotImplementedError
+
+    # Structural equality/hashing lets tests compare parsed content models.
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self):
+        raise NotImplementedError
+
+
+class Empty(Regex):
+    """The empty language (matches nothing).  Not produced by the DTD
+    parser but useful as an algebraic unit."""
+
+    __slots__ = ()
+
+    def names(self) -> frozenset[str]:
+        return frozenset()
+
+    def nullable(self) -> bool:
+        return False
+
+    def atoms(self) -> Iterator["Atom"]:
+        return iter(())
+
+    def _key(self):
+        return ()
+
+    def __str__(self) -> str:
+        return "∅"
+
+
+class Epsilon(Regex):
+    """The empty sequence (the DTD content model ``EMPTY``)."""
+
+    __slots__ = ()
+
+    def names(self) -> frozenset[str]:
+        return frozenset()
+
+    def nullable(self) -> bool:
+        return True
+
+    def atoms(self) -> Iterator["Atom"]:
+        return iter(())
+
+    def _key(self):
+        return ()
+
+    def __str__(self) -> str:
+        return "()"
+
+
+class Atom(Regex):
+    """A single name occurrence."""
+
+    __slots__ = ("name", "position")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        # Glushkov position, assigned by automaton construction.
+        self.position = -1
+
+    def names(self) -> frozenset[str]:
+        return frozenset((self.name,))
+
+    def nullable(self) -> bool:
+        return False
+
+    def atoms(self) -> Iterator["Atom"]:
+        yield self
+
+    def _key(self):
+        return (self.name,)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Seq(Regex):
+    """Concatenation ``r1, r2, ..., rn``."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: list[Regex]) -> None:
+        self.items = list(items)
+
+    def names(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for item in self.items:
+            result |= item.names()
+        return result
+
+    def nullable(self) -> bool:
+        return all(item.nullable() for item in self.items)
+
+    def atoms(self) -> Iterator[Atom]:
+        for item in self.items:
+            yield from item.atoms()
+
+    def _key(self):
+        return tuple(self.items)
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(item) for item in self.items) + ")"
+
+
+class Alt(Regex):
+    """Union ``r1 | r2 | ... | rn``."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: list[Regex]) -> None:
+        self.items = list(items)
+
+    def names(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for item in self.items:
+            result |= item.names()
+        return result
+
+    def nullable(self) -> bool:
+        return any(item.nullable() for item in self.items)
+
+    def atoms(self) -> Iterator[Atom]:
+        for item in self.items:
+            yield from item.atoms()
+
+    def _key(self):
+        return tuple(self.items)
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(str(item) for item in self.items) + ")"
+
+
+class Star(Regex):
+    """Kleene star ``r*``."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Regex) -> None:
+        self.inner = inner
+
+    def names(self) -> frozenset[str]:
+        return self.inner.names()
+
+    def nullable(self) -> bool:
+        return True
+
+    def atoms(self) -> Iterator[Atom]:
+        return self.inner.atoms()
+
+    def _key(self):
+        return (self.inner,)
+
+    def __str__(self) -> str:
+        return f"{self.inner}*"
+
+
+class Plus(Regex):
+    """``r+`` (one or more)."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Regex) -> None:
+        self.inner = inner
+
+    def names(self) -> frozenset[str]:
+        return self.inner.names()
+
+    def nullable(self) -> bool:
+        return self.inner.nullable()
+
+    def atoms(self) -> Iterator[Atom]:
+        return self.inner.atoms()
+
+    def _key(self):
+        return (self.inner,)
+
+    def __str__(self) -> str:
+        return f"{self.inner}+"
+
+
+class Opt(Regex):
+    """``r?`` (zero or one)."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Regex) -> None:
+        self.inner = inner
+
+    def names(self) -> frozenset[str]:
+        return self.inner.names()
+
+    def nullable(self) -> bool:
+        return True
+
+    def atoms(self) -> Iterator[Atom]:
+        return self.inner.atoms()
+
+    def _key(self):
+        return (self.inner,)
+
+    def __str__(self) -> str:
+        return f"{self.inner}?"
+
+
+# -- Glushkov position sets ---------------------------------------------------
+#
+# Atoms compare *structurally* (two occurrences of the same name are
+# equal), so the Glushkov machinery must never put Atom objects in
+# sets/dicts — it works with the integer positions assigned by
+# :func:`assign_positions` instead.
+
+
+def assign_positions(regex: Regex) -> list[Atom]:
+    """Number every atom occurrence 1..n (mutating ``position``) and
+    return them in order."""
+    atoms = list(regex.atoms())
+    for position, atom in enumerate(atoms, start=1):
+        atom.position = position
+    return atoms
+
+
+def first_set(regex: Regex) -> frozenset[int]:
+    """Positions that can begin a match (positions must be assigned)."""
+    if isinstance(regex, (Empty, Epsilon)):
+        return frozenset()
+    if isinstance(regex, Atom):
+        return frozenset((regex.position,))
+    if isinstance(regex, Seq):
+        result: set[int] = set()
+        for item in regex.items:
+            result |= first_set(item)
+            if not item.nullable():
+                break
+        return frozenset(result)
+    if isinstance(regex, Alt):
+        result = set()
+        for item in regex.items:
+            result |= first_set(item)
+        return frozenset(result)
+    if isinstance(regex, (Star, Plus, Opt)):
+        return first_set(regex.inner)
+    raise TypeError(f"unknown regex node {regex!r}")
+
+
+def last_set(regex: Regex) -> frozenset[int]:
+    """Positions that can end a match (positions must be assigned)."""
+    if isinstance(regex, (Empty, Epsilon)):
+        return frozenset()
+    if isinstance(regex, Atom):
+        return frozenset((regex.position,))
+    if isinstance(regex, Seq):
+        result: set[int] = set()
+        for item in reversed(regex.items):
+            result |= last_set(item)
+            if not item.nullable():
+                break
+        return frozenset(result)
+    if isinstance(regex, Alt):
+        result = set()
+        for item in regex.items:
+            result |= last_set(item)
+        return frozenset(result)
+    if isinstance(regex, (Star, Plus, Opt)):
+        return last_set(regex.inner)
+    raise TypeError(f"unknown regex node {regex!r}")
+
+
+def follow_map(regex: Regex) -> dict[int, set[int]]:
+    """The Glushkov follow relation over positions (must be assigned)."""
+    follow: dict[int, set[int]] = {atom.position: set() for atom in regex.atoms()}
+
+    def visit(node: Regex) -> None:
+        if isinstance(node, Seq):
+            for item in node.items:
+                visit(item)
+            for index in range(len(node.items) - 1):
+                lasts = last_set(node.items[index])
+                # first() of the remainder, skipping nullable items.
+                for nxt in range(index + 1, len(node.items)):
+                    firsts = first_set(node.items[nxt])
+                    for position in lasts:
+                        follow[position] |= firsts
+                    if not node.items[nxt].nullable():
+                        break
+        elif isinstance(node, Alt):
+            for item in node.items:
+                visit(item)
+        elif isinstance(node, (Star, Plus)):
+            visit(node.inner)
+            firsts = first_set(node.inner)
+            for position in last_set(node.inner):
+                follow[position] |= firsts
+        elif isinstance(node, Opt):
+            visit(node.inner)
+
+    visit(regex)
+    return follow
+
+
+def matches(regex: Regex, sequence: list[str]) -> bool:
+    """Direct (uncached) membership test; the validator uses the compiled
+    automaton from :mod:`repro.dtd.automaton` instead."""
+    from repro.dtd.automaton import GlushkovAutomaton
+
+    return GlushkovAutomaton(regex).matches(sequence)

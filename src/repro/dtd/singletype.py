@@ -1,0 +1,98 @@
+"""Single-type tree grammars — the XML Schema extension of footnote 1.
+
+The paper: "The extension of our approach to XML Schema simply needs some
+special treatment of local elements."  XML Schema corresponds to
+*single-type* tree grammars [Murata/Lee/Mani]: unlike a DTD, two names may
+define the same element tag (*local elements* — ``title`` inside ``book``
+vs ``title`` inside ``chapter``), as long as competing names never appear
+in the same content model.  That restriction keeps the interpretation
+deterministic: a node's name is determined by its *parent's name* plus its
+tag, so validation, the streaming pruner and the whole static analysis
+work exactly as for DTDs — only name resolution changes.
+
+No XSD *syntax* parser is provided (the semantic object is what the
+analysis consumes); build grammars programmatically with
+:func:`single_type_grammar`, in the paper's notation::
+
+    grammar = single_type_grammar("Root", {
+        "Root":    ("library", Seq([Star(Atom("Book")), Star(Atom("Film"))])),
+        "Book":    ("item",    Seq([Atom("BTitle"), Atom("Pages")])),
+        "Film":    ("item",    Seq([Atom("FTitle"), Atom("Minutes")])),
+        ...
+    })
+
+Here both ``Book`` and ``Film`` define tag ``item`` — a local-element
+setup a DTD cannot express.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.dtd.grammar import (
+    AttributeProduction,
+    ElementProduction,
+    Grammar,
+    Production,
+    TextProduction,
+)
+from repro.dtd.regex import Regex
+from repro.errors import GrammarError
+
+
+class SingleTypeGrammar(Grammar):
+    """A tree grammar in the single-type class (XML Schema).
+
+    Construction checks the single-type restriction: within any one
+    content model, two distinct names must not share an element tag
+    (otherwise the interpretation would be ambiguous — that would be the
+    *regular* tree grammar class, beyond XML Schema).
+    """
+
+    def __init__(self, root: str, productions: Iterable[Production]) -> None:
+        super().__init__(root, productions, require_local=False)
+        # (parent name, tag) -> child name; the single-type resolver.
+        self._child_by_tag: dict[tuple[str, str], str] = {}
+        for name, production in self.productions.items():
+            if not isinstance(production, ElementProduction):
+                continue
+            seen: dict[str, str] = {}
+            for child in self.children_of(name):
+                child_production = self.productions[child]
+                if not isinstance(child_production, ElementProduction):
+                    continue
+                clash = seen.get(child_production.tag)
+                if clash is not None and clash != child:
+                    raise GrammarError(
+                        f"content model of {name!r} is not single-type: names "
+                        f"{clash!r} and {child!r} both define tag "
+                        f"{child_production.tag!r}"
+                    )
+                seen[child_production.tag] = child
+                self._child_by_tag[(name, child_production.tag)] = child
+
+    def child_element_name(self, parent_name: str | None, tag: str) -> str | None:
+        """Resolve the name of a ``tag`` element appearing under an
+        element named ``parent_name`` (None resolves the document root)."""
+        if parent_name is None:
+            root_production = self.productions[self.root]
+            if isinstance(root_production, ElementProduction) and root_production.tag == tag:
+                return self.root
+            return None
+        return self._child_by_tag.get((parent_name, tag))
+
+
+def single_type_grammar(
+    root: str, edges: Mapping[str, "tuple[str, Regex] | None"]
+) -> SingleTypeGrammar:
+    """Build a single-type grammar in the paper's ``Y -> a[r]`` notation
+    (None defines ``Y -> String``), mirroring
+    :func:`repro.dtd.grammar.grammar_from_productions`."""
+    productions: list[Production] = []
+    for name, edge in edges.items():
+        if edge is None:
+            productions.append(TextProduction(name))
+        else:
+            tag, regex = edge
+            productions.append(ElementProduction(name, tag, regex))
+    return SingleTypeGrammar(root, productions)

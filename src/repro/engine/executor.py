@@ -1,0 +1,115 @@
+"""Main-memory query engine with explicit accounting.
+
+``QueryEngine`` plays the role Galax plays in the paper's Section 6: it
+loads a document (optionally under a memory budget — the paper's 512 MB
+machine with swap disabled), runs XPath or XQuery over it, and reports
+time plus modelled memory.  Running the *same* engine on the original and
+the pruned document is what Table 1 and Figures 4/5 measure.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.engine.metrics import DEFAULT_MODEL, EVAL_BYTES_PER_TOUCH, MemoryModel, RunReport
+from repro.errors import BudgetExceededError
+from repro.xmltree.nodes import Document
+from repro.xpath.evaluator import XPathEvaluator
+from repro.xquery.evaluator import XQueryEvaluator
+
+
+def _looks_like_xquery(query: str) -> bool:
+    stripped = query.lstrip()
+    return stripped.startswith(("for ", "let ", "if ", "<")) or " return " in query
+
+
+class QueryEngine:
+    """A metered main-memory engine bound to one document."""
+
+    def __init__(self, document: Document, model: MemoryModel = DEFAULT_MODEL, memory_budget: int | None = None) -> None:
+        started = time.perf_counter()
+        self.document = document
+        self.model = model
+        self.document_bytes = model.document_bytes(document)
+        self.load_seconds = time.perf_counter() - started
+        if memory_budget is not None and self.document_bytes > memory_budget:
+            raise BudgetExceededError(
+                f"document needs {self.document_bytes} modelled bytes, "
+                f"budget is {memory_budget}",
+                used=self.document_bytes,
+                budget=memory_budget,
+            )
+        self.memory_budget = memory_budget
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, query: str) -> RunReport:
+        """Execute ``query`` (XPath or XQuery, auto-detected) and report."""
+        if _looks_like_xquery(query):
+            return self.run_xquery(query)
+        return self.run_xpath(query)
+
+    def run_xpath(self, query: str) -> RunReport:
+        evaluator = XPathEvaluator(self.document)
+        started = time.perf_counter()
+        result = evaluator.evaluate(query)
+        elapsed = time.perf_counter() - started
+        count = len(result) if isinstance(result, list) else 1
+        return self._report(query, elapsed, count, evaluator.nodes_touched)
+
+    def run_xquery(self, query: str) -> RunReport:
+        evaluator = XQueryEvaluator(self.document)
+        started = time.perf_counter()
+        result = evaluator.evaluate(query)
+        elapsed = time.perf_counter() - started
+        return self._report(query, elapsed, len(result), evaluator.nodes_touched)
+
+    def run_serialized(self, query: str) -> str:
+        """Execute and serialise — the form used for original-vs-pruned
+        equivalence checks."""
+        if _looks_like_xquery(query):
+            return XQueryEvaluator(self.document).evaluate_serialized(query)
+        evaluator = XPathEvaluator(self.document)
+        return repr(evaluator.select_ids(query))
+
+    def _report(self, query: str, elapsed: float, count: int, touched: int) -> RunReport:
+        eval_bytes = touched * EVAL_BYTES_PER_TOUCH
+        if self.memory_budget is not None and self.document_bytes + eval_bytes > self.memory_budget:
+            raise BudgetExceededError(
+                "evaluation exceeded the memory budget",
+                used=self.document_bytes + eval_bytes,
+                budget=self.memory_budget,
+            )
+        return RunReport(
+            query=query,
+            load_seconds=self.load_seconds,
+            query_seconds=elapsed,
+            document_bytes=self.document_bytes,
+            eval_bytes=eval_bytes,
+            result_count=count,
+            nodes_touched=touched,
+            document_nodes=self.document.size(),
+        )
+
+
+def largest_processable_megabytes(
+    document: Document,
+    serialized_bytes: int,
+    memory_budget: int,
+    model: MemoryModel = DEFAULT_MODEL,
+) -> float:
+    """Extrapolate the largest on-disk document (MB) processable under a
+    memory budget — the paper's Table 1 line 1/2 methodology, without
+    materialising multi-GB files.
+
+    Engine memory scales linearly in document size for a fixed schema
+    (XMark documents are statistically self-similar across scale factors),
+    so the slope measured on one document extrapolates: ``max_MB = budget
+    / (model_bytes / serialized_MB)``.
+    """
+    if serialized_bytes <= 0:
+        return 0.0
+    bytes_per_mb = model.document_bytes(document) / (serialized_bytes / 1_000_000)
+    if bytes_per_mb <= 0:
+        return float("inf")
+    return memory_budget / bytes_per_mb

@@ -1,0 +1,135 @@
+"""Element-tag indexes and index pruning.
+
+The paper's conclusion (database integration): "our pruning technique can
+also be used for pruning indexes.  For example, if indexes over element
+tags are present before query processing (like in the TIMBER system), the
+index can be pruned as well ... it is worth being pruned, in order to
+improve buffer management".
+
+:class:`TagIndex` is the classic tag → node-list index a DOM-style engine
+keeps; :meth:`TagIndex.pruned` restricts it to a type projector without
+touching the document — entries for pruned-away names disappear and the
+per-entry lists shrink to the nodes the projector keeps, exactly mirroring
+what ``prune_document`` would leave behind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dtd.grammar import Grammar, is_text_name
+from repro.dtd.validator import Interpretation
+from repro.errors import ProjectorError
+from repro.xmltree.nodes import Document, Element, Text
+
+
+@dataclass(frozen=True, slots=True)
+class IndexStats:
+    """Size accounting for one index (the TIMBER comparison: a 472 MB
+    document carried a 241 MB tag index)."""
+
+    entries: int  # distinct tags
+    postings: int  # total node references
+    model_bytes: int  # 64 bytes/entry + 8 bytes/posting, the usual shape
+
+    @staticmethod
+    def of(index: "TagIndex") -> "IndexStats":
+        postings = sum(len(nodes) for nodes in index.by_tag.values())
+        return IndexStats(
+            entries=len(index.by_tag),
+            postings=postings,
+            model_bytes=64 * len(index.by_tag) + 8 * postings,
+        )
+
+
+class TagIndex:
+    """tag → [element node ids], in document order, plus a text-node list."""
+
+    def __init__(self, by_tag: dict[str, list[int]], text_nodes: list[int]) -> None:
+        self.by_tag = by_tag
+        self.text_nodes = text_nodes
+
+    @staticmethod
+    def build(document: Document) -> "TagIndex":
+        by_tag: dict[str, list[int]] = {}
+        text_nodes: list[int] = []
+        for node in document.iter():
+            if isinstance(node, Element):
+                by_tag.setdefault(node.tag, []).append(node.node_id)
+            elif isinstance(node, Text):
+                text_nodes.append(node.node_id)
+        return TagIndex(by_tag, text_nodes)
+
+    def lookup(self, tag: str) -> list[int]:
+        return self.by_tag.get(tag, [])
+
+    def stats(self) -> IndexStats:
+        return IndexStats.of(self)
+
+    # -- index pruning ------------------------------------------------------
+
+    def pruned(self, interpretation: Interpretation, projector: frozenset[str] | set[str]) -> "TagIndex":
+        """The index of the π-projection, computed *from the index alone*
+        (no document traversal): a node survives iff its name and all of
+        its ancestors' names are in π.  Because the interpretation is
+        tag-determined, the ancestor check reduces to walking the stored
+        parent pointers of the data model once per posting."""
+        grammar = interpretation.grammar
+        frozen = grammar.check_projector(frozenset(projector))
+        if grammar.root not in frozen:
+            raise ProjectorError("projector does not keep the document root")
+
+        kept_cache: dict[int, bool] = {}
+
+        def kept(node_id: int) -> bool:
+            cached = kept_cache.get(node_id)
+            if cached is not None:
+                return cached
+            if node_id not in interpretation:
+                # Ignorable whitespace never has a name: it is dropped.
+                kept_cache[node_id] = False
+                return False
+            if interpretation[node_id] not in frozen:
+                result = False
+            else:
+                # Find the parent through the document (the engine keeps
+                # parent pointers; the paper's shredded stores keep a
+                # parent column).
+                node = interpretation_document.node(node_id)
+                parent = node.parent
+                result = parent is None or kept(parent.node_id)
+            kept_cache[node_id] = result
+            return result
+
+        # The interpretation does not carry the document; recover it from
+        # any indexed node via the bound document set by build_for().
+        interpretation_document = self._document
+        by_tag = {
+            tag: [node_id for node_id in nodes if kept(node_id)]
+            for tag, nodes in self.by_tag.items()
+        }
+        by_tag = {tag: nodes for tag, nodes in by_tag.items() if nodes}
+        text_nodes = [node_id for node_id in self.text_nodes if kept(node_id)]
+        pruned = TagIndex(by_tag, text_nodes)
+        pruned._document = interpretation_document
+        return pruned
+
+    # A TagIndex used for pruning must know its document (for parent
+    # pointers); build_for() wires it.
+    _document: Document | None = None
+
+    @staticmethod
+    def build_for(document: Document) -> "TagIndex":
+        index = TagIndex.build(document)
+        index._document = document
+        return index
+
+
+def index_of_pruned_document(document: Document, interpretation: Interpretation,
+                             projector: frozenset[str] | set[str]) -> TagIndex:
+    """Reference implementation: prune the document, then index it — used
+    by tests to check that :meth:`TagIndex.pruned` matches."""
+    from repro.projection.tree import prune_document
+
+    pruned = prune_document(document, interpretation, projector)
+    return TagIndex.build(pruned)

@@ -1,0 +1,113 @@
+"""Prune-while-loading — the conclusion's engine integration, realised.
+
+The paper's closing implementation note: interfacing the pruner with a
+query engine means "the pruning overhead would be diluted in the
+parsing/validation phase".  This module is that interface: the engine
+loads its in-memory tree *through* the streaming pruner, so discarded
+subtrees are never allocated at all — the paper's central memory argument
+applied at load time rather than as a separate prune-then-reload step.
+
+Three loading strategies are exposed for comparison (and benchmarked in
+``benchmarks/bench_loading.py``):
+
+* :func:`load_full`           — parse everything (the unpruned baseline);
+* :func:`load_pruned`         — parse → prune events → build (one pass,
+  pruned subtrees never materialise);
+* :func:`load_pruned_validating` — ditto, with DTD validation folded into
+  the same pass (the "no overhead" deployment of Section 1.2).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.dtd.grammar import Grammar
+from repro.engine.metrics import DEFAULT_MODEL, MemoryModel
+from repro.projection.stats import PruneStats
+from repro.projection.streaming import prune_events
+from repro.xmltree.builder import TreeBuilder
+from repro.xmltree.lexer import Source
+from repro.xmltree.nodes import Document
+from repro.xmltree.parser import parse_events
+
+
+@dataclass(slots=True)
+class LoadReport:
+    """What one load cost."""
+
+    document: Document
+    seconds: float
+    model_bytes: int
+    nodes_built: int
+    prune_stats: PruneStats | None = None
+
+    @property
+    def megabytes(self) -> float:
+        return self.model_bytes / 1e6
+
+
+def _build(events, strip_whitespace: bool) -> Document:
+    builder = TreeBuilder(strip_whitespace=strip_whitespace)
+    for event in events:
+        builder.feed(event)
+    return builder.document()
+
+
+def load_full(
+    source: Source,
+    strip_whitespace: bool = True,
+    model: MemoryModel = DEFAULT_MODEL,
+) -> LoadReport:
+    """Plain load: every node of the document is allocated."""
+    started = time.perf_counter()
+    document = _build(parse_events(source), strip_whitespace)
+    elapsed = time.perf_counter() - started
+    return LoadReport(
+        document=document,
+        seconds=elapsed,
+        model_bytes=model.document_bytes(document),
+        nodes_built=document.size(),
+    )
+
+
+def load_pruned(
+    source: Source,
+    grammar: Grammar,
+    projector: frozenset[str] | set[str],
+    strip_whitespace: bool = True,
+    validate: bool = False,
+    model: MemoryModel = DEFAULT_MODEL,
+) -> LoadReport:
+    """Load through the streaming pruner: nodes outside the projector are
+    skipped *before* tree construction, so they cost neither allocation
+    nor model memory.  ``validate=True`` folds DTD validation into the
+    same single pass."""
+    stats = PruneStats()
+    started = time.perf_counter()
+    events = prune_events(
+        parse_events(source), grammar, projector, validate=validate, stats=stats
+    )
+    document = _build(events, strip_whitespace)
+    elapsed = time.perf_counter() - started
+    return LoadReport(
+        document=document,
+        seconds=elapsed,
+        model_bytes=model.document_bytes(document),
+        nodes_built=document.size(),
+        prune_stats=stats,
+    )
+
+
+def load_pruned_validating(
+    source: Source,
+    grammar: Grammar,
+    projector: frozenset[str] | set[str],
+    strip_whitespace: bool = True,
+    model: MemoryModel = DEFAULT_MODEL,
+) -> LoadReport:
+    """Validate-and-prune-while-loading, one pass."""
+    return load_pruned(
+        source, grammar, projector,
+        strip_whitespace=strip_whitespace, validate=True, model=model,
+    )

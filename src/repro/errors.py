@@ -1,0 +1,104 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single type at API boundaries.  Sub-hierarchies mirror
+the subsystems: XML parsing, DTD handling, validation, XPath, XQuery and
+static analysis.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class XMLError(ReproError):
+    """Base class for XML data-model and parsing errors."""
+
+
+class XMLSyntaxError(XMLError):
+    """Raised when the XML parser encounters malformed input.
+
+    Attributes
+    ----------
+    line, column:
+        1-based position of the offending character in the input.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class DTDError(ReproError):
+    """Base class for DTD errors."""
+
+
+class DTDSyntaxError(DTDError):
+    """Raised when a DTD document cannot be parsed."""
+
+
+class GrammarError(DTDError):
+    """Raised when a set of productions is not a valid local tree grammar.
+
+    For example: duplicate definitions for a name, two names defining the
+    same element tag, or a production referencing an undefined name.
+    """
+
+
+class ValidationError(ReproError):
+    """Raised when a document does not validate against a DTD."""
+
+    def __init__(self, message: str, node_id: int | None = None) -> None:
+        self.node_id = node_id
+        super().__init__(message)
+
+
+class XPathError(ReproError):
+    """Base class for XPath errors."""
+
+
+class XPathSyntaxError(XPathError):
+    """Raised when an XPath expression cannot be parsed."""
+
+
+class XPathTypeError(XPathError):
+    """Raised when an XPath expression is applied to a value of the wrong
+    kind (e.g. a location step applied to a number)."""
+
+
+class XQueryError(ReproError):
+    """Base class for XQuery errors."""
+
+
+class XQuerySyntaxError(XQueryError):
+    """Raised when an XQuery expression cannot be parsed."""
+
+
+class XQueryEvaluationError(XQueryError):
+    """Raised when evaluation of a (syntactically valid) query fails, e.g.
+    an unbound variable."""
+
+
+class AnalysisError(ReproError):
+    """Raised when static analysis is asked something it cannot answer,
+    e.g. inferring a projector for a query over an unknown DTD name."""
+
+
+class ProjectorError(ReproError):
+    """Raised when a set of names is used as a projector but is not one
+    (not chain-closed from the root, see Definition 2.6)."""
+
+
+class BudgetExceededError(ReproError):
+    """Raised by the metered query engine when a configured memory budget
+    is exhausted (used to reproduce the paper's 512 MB-limit experiments)."""
+
+    def __init__(self, message: str, used: int = 0, budget: int = 0) -> None:
+        self.used = used
+        self.budget = budget
+        super().__init__(message)

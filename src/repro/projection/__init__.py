@@ -1,0 +1,24 @@
+"""Type-driven projection: in-memory (Def 2.7) and streaming pruning."""
+
+from repro.projection.stats import PruneStats, compare_documents, measure_document
+from repro.projection.streaming import (
+    StreamingPruner,
+    prune_events,
+    prune_file,
+    prune_stream,
+    prune_string,
+)
+from repro.projection.tree import prune_document, prune_tree
+
+__all__ = [
+    "PruneStats",
+    "StreamingPruner",
+    "compare_documents",
+    "measure_document",
+    "prune_document",
+    "prune_events",
+    "prune_file",
+    "prune_stream",
+    "prune_string",
+    "prune_tree",
+]

@@ -1,0 +1,109 @@
+"""Type-driven projection of in-memory documents (Definition 2.7).
+
+``prune_document(t, ℑ, π)`` computes ``t \\ℑ π``: every node whose name is
+not in the projector is replaced by the empty forest (its whole subtree
+disappears).  Pruned nodes keep their original identifiers, which is what
+lets tests compare query answers across the original and pruned documents
+by id (Theorem 4.5).
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+from repro.dtd.grammar import Grammar, attribute_name
+from repro.dtd.validator import Interpretation
+from repro.errors import ProjectorError
+from repro.xmltree.nodes import Document, Element, Node, Text
+
+AttributePolicy = Literal["auto", "all"]
+
+
+def prune_tree(
+    node: Node,
+    interpretation: Interpretation,
+    projector: frozenset[str],
+    attribute_policy: AttributePolicy = "auto",
+) -> Node | None:
+    """Def 2.7 on a subtree; returns the pruned copy or None if erased.
+
+    Iterative (explicit work stack) so arbitrarily deep documents prune
+    without hitting the interpreter's recursion limit.
+    """
+    grammar = interpretation.grammar
+    if interpretation[node.node_id] not in projector:
+        return None
+    if isinstance(node, Text):
+        copy: Node = Text(node.value)
+        copy.node_id = node.node_id
+        return copy
+    assert isinstance(node, Element)
+
+    def copy_element(source: Element) -> Element:
+        name = interpretation[source.node_id]
+        attributes = _kept_attributes(source, name, grammar, projector, attribute_policy)
+        duplicate = Element(source.tag, attributes)
+        duplicate.node_id = source.node_id
+        return duplicate
+
+    root_copy = copy_element(node)
+    # Each entry pairs an original element with its already-created copy;
+    # children are examined breadth-up via an explicit stack.
+    stack: list[tuple[Element, Element]] = [(node, root_copy)]
+    while stack:
+        original, duplicate = stack.pop()
+        for child in original.children:
+            if interpretation[child.node_id] not in projector:
+                continue
+            if isinstance(child, Text):
+                text_copy = Text(child.value)
+                text_copy.node_id = child.node_id
+                duplicate.append(text_copy)
+            else:
+                assert isinstance(child, Element)
+                child_copy = copy_element(child)
+                duplicate.append(child_copy)
+                stack.append((child, child_copy))
+    return root_copy
+
+
+def _kept_attributes(
+    element: Element,
+    name: str,
+    grammar: Grammar,
+    projector: frozenset[str],
+    policy: AttributePolicy,
+) -> dict[str, str]:
+    if policy == "all" or not element.attributes:
+        return dict(element.attributes)
+    grammar_names = grammar.names()
+    kept: dict[str, str] = {}
+    for attr, value in element.attributes.items():
+        attr_name = attribute_name(name, attr)
+        # Undeclared attributes have no grammar name: always kept (they are
+        # invisible to the analysis, so pruning them could be unsound).
+        if attr_name not in grammar_names or attr_name in projector:
+            kept[attr] = value
+    return kept
+
+
+def prune_document(
+    document: Document,
+    interpretation: Interpretation,
+    projector: frozenset[str] | set[str],
+    attribute_policy: AttributePolicy = "auto",
+) -> Document:
+    """``t \\ℑ π`` for a whole document.
+
+    The projector must contain the root name (an empty pruned document has
+    no XML serialisation); :class:`ProjectorError` otherwise.
+    """
+    frozen = interpretation.grammar.check_projector(frozenset(projector))
+    root = prune_tree(document.root, interpretation, frozen, attribute_policy)
+    if root is None:
+        raise ProjectorError(
+            "the projector does not retain the document root; "
+            "the pruned document would be empty"
+        )
+    assert isinstance(root, Element)
+    return Document(root, renumber=False)

@@ -1,0 +1,23 @@
+"""Benchmark workloads: XMark, XPathMark, the Use Cases DTD corpus, the
+Shakespeare play corpus, and random generators for property tests."""
+
+from repro.workloads.shakespeare import (
+    SHAKESPEARE_QUERIES,
+    generate_play,
+    shakespeare_grammar,
+)
+from repro.workloads.usecases import USE_CASES, classify_corpus, use_case_grammar, xhtml_grammar
+from repro.workloads.xpathmark import TABLE1_XPATHMARK, XPATHMARK_QUERIES, xpathmark_query
+
+__all__ = [
+    "SHAKESPEARE_QUERIES",
+    "TABLE1_XPATHMARK",
+    "USE_CASES",
+    "XPATHMARK_QUERIES",
+    "classify_corpus",
+    "generate_play",
+    "shakespeare_grammar",
+    "use_case_grammar",
+    "xhtml_grammar",
+    "xpathmark_query",
+]

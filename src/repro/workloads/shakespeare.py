@@ -1,0 +1,140 @@
+"""A Shakespeare-plays workload (Bosak's classic ``play.dtd``).
+
+A second document corpus beside XMark, with a very different shape: deep
+act/scene/speech nesting, no attributes, text-dominant.  Used by tests and
+benchmarks to show the pipeline generalises beyond the auction schema.
+
+The DTD follows Jon Bosak's play markup (the fixture every 1990s XML tool
+shipped with); the generator emits deterministic pseudo-plays with the
+same structural statistics (5 acts, a handful of scenes, alternating
+speeches and stage directions).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dtd.grammar import Grammar, grammar_from_text
+from repro.xmltree.nodes import Document, Element, Text
+
+PLAY_DTD = """
+<!ELEMENT PLAY (TITLE, FM?, PERSONAE, SCNDESCR, PLAYSUBT, PROLOGUE?, ACT+, EPILOGUE?)>
+<!ELEMENT FM (P+)>
+<!ELEMENT P (#PCDATA)>
+<!ELEMENT TITLE (#PCDATA)>
+<!ELEMENT PERSONAE (TITLE, (PERSONA | PGROUP)+)>
+<!ELEMENT PGROUP (PERSONA+, GRPDESCR)>
+<!ELEMENT PERSONA (#PCDATA)>
+<!ELEMENT GRPDESCR (#PCDATA)>
+<!ELEMENT SCNDESCR (#PCDATA)>
+<!ELEMENT PLAYSUBT (#PCDATA)>
+<!ELEMENT PROLOGUE (TITLE, (STAGEDIR | SPEECH)+)>
+<!ELEMENT EPILOGUE (TITLE, (STAGEDIR | SPEECH)+)>
+<!ELEMENT ACT (TITLE, PROLOGUE?, SCENE+, EPILOGUE?)>
+<!ELEMENT SCENE (TITLE, (SPEECH | STAGEDIR | SUBHEAD)+)>
+<!ELEMENT SUBHEAD (#PCDATA)>
+<!ELEMENT SPEECH (SPEAKER+, (LINE | STAGEDIR | SUBHEAD)+)>
+<!ELEMENT SPEAKER (#PCDATA)>
+<!ELEMENT LINE (#PCDATA | STAGEDIR)*>
+<!ELEMENT STAGEDIR (#PCDATA)>
+"""
+
+ROOT_TAG = "PLAY"
+
+_WORDS = (
+    "love night crown grave sword storm ghost blood throne mercy "
+    "honour exile folly jest vow quarrel sleep dream oath realm"
+).split()
+
+_SPEAKERS = ("HAMLET", "OPHELIA", "DUKE", "FOOL", "MESSENGER", "FIRST WITCH", "CHORUS")
+
+
+class ShakespeareGenerator:
+    """Deterministic pseudo-play generator."""
+
+    def __init__(self, acts: int = 5, scenes_per_act: int = 3, speeches_per_scene: int = 12, seed: int = 1600) -> None:
+        self.acts = acts
+        self.scenes_per_act = scenes_per_act
+        self.speeches_per_scene = speeches_per_scene
+        self._rng = random.Random(seed)
+
+    def _line_text(self, low: int = 5, high: int = 9) -> str:
+        rng = self._rng
+        return " ".join(rng.choice(_WORDS) for _ in range(rng.randint(low, high)))
+
+    @staticmethod
+    def _leaf(tag: str, text: str) -> Element:
+        element = Element(tag)
+        element.append(Text(text))
+        return element
+
+    def document(self) -> Document:
+        rng = self._rng
+        play = Element("PLAY")
+        play.append(self._leaf("TITLE", f"The Tragedie of {self._line_text(1, 2).title()}"))
+        personae = Element("PERSONAE")
+        personae.append(self._leaf("TITLE", "Dramatis Personae"))
+        for speaker in _SPEAKERS[:4]:
+            personae.append(self._leaf("PERSONA", speaker.title()))
+        group = Element("PGROUP")
+        for speaker in _SPEAKERS[4:6]:
+            group.append(self._leaf("PERSONA", speaker.title()))
+        group.append(self._leaf("GRPDESCR", "attendants and spirits"))
+        personae.append(group)
+        play.append(personae)
+        play.append(self._leaf("SCNDESCR", f"SCENE {self._line_text(2, 4)}"))
+        play.append(self._leaf("PLAYSUBT", "A PSEUDO-TRAGEDY"))
+        for act_number in range(1, self.acts + 1):
+            act = Element("ACT")
+            act.append(self._leaf("TITLE", f"ACT {act_number}"))
+            for scene_number in range(1, self.scenes_per_act + 1):
+                scene = Element("SCENE")
+                scene.append(self._leaf("TITLE", f"SCENE {scene_number}. {self._line_text(3, 5)}."))
+                scene.append(self._leaf("STAGEDIR", f"Enter {rng.choice(_SPEAKERS).title()}"))
+                for _ in range(self.speeches_per_scene):
+                    if rng.random() < 0.12:
+                        scene.append(self._leaf("STAGEDIR", f"Exit {rng.choice(_SPEAKERS).title()}"))
+                        continue
+                    speech = Element("SPEECH")
+                    speech.append(self._leaf("SPEAKER", rng.choice(_SPEAKERS)))
+                    if rng.random() < 0.1:
+                        speech.append(self._leaf("SPEAKER", rng.choice(_SPEAKERS)))
+                    for _ in range(rng.randint(1, 6)):
+                        line = Element("LINE")
+                        line.append(Text(self._line_text()))
+                        if rng.random() < 0.08:
+                            line.append(self._leaf("STAGEDIR", "Aside"))
+                            line.append(Text(self._line_text(2, 4)))
+                        speech.append(line)
+                    scene.append(speech)
+                act.append(scene)
+            play.append(act)
+        return Document(play)
+
+
+_GRAMMAR: Grammar | None = None
+
+
+def shakespeare_grammar() -> Grammar:
+    global _GRAMMAR
+    if _GRAMMAR is None:
+        _GRAMMAR = grammar_from_text(PLAY_DTD, ROOT_TAG)
+    return _GRAMMAR
+
+
+def generate_play(acts: int = 5, seed: int = 1600) -> Document:
+    return ShakespeareGenerator(acts=acts, seed=seed).document()
+
+
+#: A query set over plays (XPath), exercising value predicates and
+#: backward axes on a text-heavy corpus.
+SHAKESPEARE_QUERIES: dict[str, str] = {
+    "speakers": "//SPEAKER",
+    "hamlet-lines": "//SPEECH[SPEAKER = 'HAMLET']/LINE",
+    "act-titles": "/PLAY/ACT/TITLE",
+    "stagedirs-in-lines": "//LINE/STAGEDIR",
+    "scenes-with-witches": "//SCENE[SPEECH/SPEAKER = 'FIRST WITCH']/TITLE",
+    "speech-of-stagedir": "//STAGEDIR/ancestor::SPEECH/SPEAKER",
+    "multi-speaker": "//SPEECH[count(SPEAKER) > 1]",
+    "personae": "/PLAY/PERSONAE//PERSONA",
+}

@@ -1,0 +1,283 @@
+"""The XML Query Use Cases DTD corpus (Section 4.1's survey).
+
+The paper motivates the Definition 4.3 restrictions with a survey of the
+ten DTDs in the W3C XML Query Use Cases [3]: "seven are both non-recursive
+and \\*-guarded, one is only \\*-guarded, one is only non-recursive, and
+just one does not satisfy either property"; five of the ten are
+parent-unambiguous.  This module reconstructs the corpus following the Use
+Cases' documented schemas (W3C, "XML Query Use Cases", 1.9.4 etc.), so the
+classification experiment (``benchmarks/bench_usecases.py``) can reproduce
+those counts.
+
+It also ships an XHTML-flavoured DTD (~45 elements, heavily recursive)
+for the paper's "large DTDs (e.g. XHTML)" analysis-overhead experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dtd.grammar import Grammar, grammar_from_text
+from repro.dtd.properties import GrammarProperties, analyze_grammar
+
+
+@dataclass(frozen=True, slots=True)
+class UseCaseDTD:
+    name: str
+    root: str
+    dtd: str
+    description: str
+
+
+USE_CASES: tuple[UseCaseDTD, ...] = (
+    UseCaseDTD(
+        "XMP",
+        "bib",
+        """
+        <!ELEMENT bib (book*)>
+        <!ELEMENT book (title, (author+ | editor+), publisher, price)>
+        <!ATTLIST book year CDATA #REQUIRED>
+        <!ELEMENT author (last, first)>
+        <!ELEMENT editor (last, first, affiliation)>
+        <!ELEMENT title (#PCDATA)>
+        <!ELEMENT last (#PCDATA)>
+        <!ELEMENT first (#PCDATA)>
+        <!ELEMENT affiliation (#PCDATA)>
+        <!ELEMENT publisher (#PCDATA)>
+        <!ELEMENT price (#PCDATA)>
+        """,
+        "bibliography: the unstarred union (author+ | editor+) breaks *-guardedness",
+    ),
+    UseCaseDTD(
+        "TREE",
+        "book",
+        """
+        <!ELEMENT book (title, (p | section)*)>
+        <!ELEMENT section (title, (p | section)*)>
+        <!ELEMENT title (#PCDATA)>
+        <!ELEMENT p (#PCDATA)>
+        """,
+        "recursive sections; every union is starred",
+    ),
+    UseCaseDTD(
+        "SEQ",
+        "report",
+        """
+        <!ELEMENT report (section*)>
+        <!ELEMENT section (section.title, section.content)>
+        <!ELEMENT section.title (#PCDATA)>
+        <!ELEMENT section.content (#PCDATA | anesthesia | prep | incision | observation | action)*>
+        <!ELEMENT anesthesia (#PCDATA)>
+        <!ELEMENT prep (#PCDATA | action)*>
+        <!ELEMENT incision (#PCDATA | geography | instrument)*>
+        <!ELEMENT observation (#PCDATA)>
+        <!ELEMENT action (#PCDATA | instrument)*>
+        <!ELEMENT geography (#PCDATA)>
+        <!ELEMENT instrument (#PCDATA)>
+        """,
+        "surgical report; mixed content everywhere (starred), non-recursive",
+    ),
+    UseCaseDTD(
+        "R",
+        "auction-site",
+        """
+        <!ELEMENT auction-site (users, items, bids)>
+        <!ELEMENT users (user_tuple*)>
+        <!ELEMENT user_tuple (userid, name, rating?)>
+        <!ELEMENT items (item_tuple*)>
+        <!ELEMENT item_tuple (itemno, description, offered_by, start_date?, end_date?, reserve_price?)>
+        <!ELEMENT bids (bid_tuple*)>
+        <!ELEMENT bid_tuple (userid, itemno, bid, bid_date)>
+        <!ELEMENT userid (#PCDATA)>
+        <!ELEMENT name (#PCDATA)>
+        <!ELEMENT rating (#PCDATA)>
+        <!ELEMENT itemno (#PCDATA)>
+        <!ELEMENT description (#PCDATA)>
+        <!ELEMENT offered_by (#PCDATA)>
+        <!ELEMENT start_date (#PCDATA)>
+        <!ELEMENT end_date (#PCDATA)>
+        <!ELEMENT reserve_price (#PCDATA)>
+        <!ELEMENT bid (#PCDATA)>
+        <!ELEMENT bid_date (#PCDATA)>
+        """,
+        "relational projection of an auction database; flat, unambiguous",
+    ),
+    UseCaseDTD(
+        "SGML",
+        "sgmldoc",
+        """
+        <!ELEMENT sgmldoc (title, chapter+)>
+        <!ELEMENT chapter (chapter.title, intro?, topic*)>
+        <!ELEMENT topic (topic.title, intro?)>
+        <!ELEMENT intro (para+)>
+        <!ELEMENT para (#PCDATA)>
+        <!ELEMENT title (#PCDATA)>
+        <!ELEMENT chapter.title (#PCDATA)>
+        <!ELEMENT topic.title (#PCDATA)>
+        """,
+        "SGML conference paper; intro under both chapter and topic (parent-ambiguous)",
+    ),
+    UseCaseDTD(
+        "STRING",
+        "news",
+        """
+        <!ELEMENT news (news_item*)>
+        <!ELEMENT news_item (title, content, date, author?, news_agent)>
+        <!ELEMENT content (par | figure)*>
+        <!ELEMENT par (#PCDATA)>
+        <!ELEMENT figure (image, caption?)>
+        <!ELEMENT image EMPTY>
+        <!ATTLIST image source CDATA #REQUIRED>
+        <!ELEMENT caption (#PCDATA)>
+        <!ELEMENT title (#PCDATA)>
+        <!ELEMENT date (#PCDATA)>
+        <!ELEMENT author (#PCDATA)>
+        <!ELEMENT news_agent (#PCDATA)>
+        """,
+        "news corpus for full-text predicates; starred unions only",
+    ),
+    UseCaseDTD(
+        "NS",
+        "catalog",
+        """
+        <!ELEMENT catalog (record*)>
+        <!ELEMENT record (ident, descriptor, pricing)>
+        <!ELEMENT ident (#PCDATA)>
+        <!ELEMENT descriptor (keywords?, summary?)>
+        <!ELEMENT keywords (#PCDATA)>
+        <!ELEMENT summary (#PCDATA)>
+        <!ELEMENT pricing (retail, wholesale?)>
+        <!ELEMENT retail (#PCDATA)>
+        <!ELEMENT wholesale (#PCDATA)>
+        """,
+        "namespaced catalog records (namespaces elided); flat",
+    ),
+    UseCaseDTD(
+        "PARTS",
+        "partlist",
+        """
+        <!ELEMENT partlist (part*)>
+        <!ELEMENT part ((maker | assembly)?, part*)>
+        <!ATTLIST part partid CDATA #REQUIRED name CDATA #REQUIRED>
+        <!ELEMENT maker (#PCDATA)>
+        <!ELEMENT assembly (#PCDATA)>
+        """,
+        "recursive part hierarchy with an optional origin marker: recursive "
+        "AND not *-guarded — the corpus' 'neither' entry",
+    ),
+    UseCaseDTD(
+        "REF",
+        "census",
+        """
+        <!ELEMENT census (person*)>
+        <!ELEMENT person (name, job?, (spouse | parent1)*)>
+        <!ELEMENT spouse (name)>
+        <!ELEMENT parent1 (name)>
+        <!ELEMENT name (#PCDATA)>
+        <!ELEMENT job (#PCDATA)>
+        """,
+        "id/idref census: starred relation union; name under three parents "
+        "(parent-ambiguous)",
+    ),
+    UseCaseDTD(
+        "TEXT",
+        "company-profile",
+        """
+        <!ELEMENT company-profile (name, ticker?, headquarters, overview)>
+        <!ELEMENT overview (heading, paragraph+)>
+        <!ELEMENT heading (#PCDATA)>
+        <!ELEMENT paragraph (#PCDATA)>
+        <!ELEMENT name (#PCDATA)>
+        <!ELEMENT ticker (#PCDATA)>
+        <!ELEMENT headquarters (#PCDATA)>
+        """,
+        "company profiles for text search; flat and unambiguous",
+    ),
+)
+
+
+#: An XHTML-flavoured DTD — large and heavily recursive — for the
+#: "analysis time on large DTDs" overhead experiment of Section 6.
+XHTML_LIKE_DTD = """
+<!ENTITY % inline "a | span | em | strong | code | img | br | sub | sup | q | abbr | cite | kbd | samp | var | small | b | i">
+<!ENTITY % block "p | div | ul | ol | dl | pre | blockquote | table | h1 | h2 | h3 | h4 | h5 | h6 | hr | form | address">
+<!ELEMENT html (head, body)>
+<!ELEMENT head (title, (meta | link | style | script | base)*)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT meta EMPTY>
+<!ATTLIST meta name CDATA #IMPLIED content CDATA #IMPLIED>
+<!ELEMENT link EMPTY>
+<!ATTLIST link rel CDATA #IMPLIED href CDATA #IMPLIED>
+<!ELEMENT style (#PCDATA)>
+<!ELEMENT script (#PCDATA)>
+<!ELEMENT base EMPTY>
+<!ATTLIST base href CDATA #REQUIRED>
+<!ELEMENT body (%block;)*>
+<!ATTLIST body class CDATA #IMPLIED id CDATA #IMPLIED>
+<!ELEMENT div (#PCDATA | %inline; | %block;)*>
+<!ATTLIST div class CDATA #IMPLIED id CDATA #IMPLIED>
+<!ELEMENT p (#PCDATA | %inline;)*>
+<!ELEMENT h1 (#PCDATA | %inline;)*>
+<!ELEMENT h2 (#PCDATA | %inline;)*>
+<!ELEMENT h3 (#PCDATA | %inline;)*>
+<!ELEMENT h4 (#PCDATA | %inline;)*>
+<!ELEMENT h5 (#PCDATA | %inline;)*>
+<!ELEMENT h6 (#PCDATA | %inline;)*>
+<!ELEMENT ul (li+)>
+<!ELEMENT ol (li+)>
+<!ELEMENT li (#PCDATA | %inline; | %block;)*>
+<!ELEMENT dl (dt | dd)+>
+<!ELEMENT dt (#PCDATA | %inline;)*>
+<!ELEMENT dd (#PCDATA | %inline; | %block;)*>
+<!ELEMENT pre (#PCDATA | a | span | code)*>
+<!ELEMENT blockquote (%block;)*>
+<!ELEMENT hr EMPTY>
+<!ELEMENT address (#PCDATA | %inline;)*>
+<!ELEMENT a (#PCDATA | span | em | strong | code | img | br)*>
+<!ATTLIST a href CDATA #IMPLIED name CDATA #IMPLIED>
+<!ELEMENT span (#PCDATA | %inline;)*>
+<!ELEMENT em (#PCDATA | %inline;)*>
+<!ELEMENT strong (#PCDATA | %inline;)*>
+<!ELEMENT code (#PCDATA | %inline;)*>
+<!ELEMENT q (#PCDATA | %inline;)*>
+<!ELEMENT abbr (#PCDATA)>
+<!ELEMENT cite (#PCDATA | %inline;)*>
+<!ELEMENT kbd (#PCDATA | %inline;)*>
+<!ELEMENT samp (#PCDATA | %inline;)*>
+<!ELEMENT var (#PCDATA | %inline;)*>
+<!ELEMENT small (#PCDATA | %inline;)*>
+<!ELEMENT b (#PCDATA | %inline;)*>
+<!ELEMENT i (#PCDATA | %inline;)*>
+<!ELEMENT sub (#PCDATA | %inline;)*>
+<!ELEMENT sup (#PCDATA | %inline;)*>
+<!ELEMENT img EMPTY>
+<!ATTLIST img src CDATA #REQUIRED alt CDATA #IMPLIED>
+<!ELEMENT br EMPTY>
+<!ELEMENT table (caption?, tr+)>
+<!ELEMENT caption (#PCDATA | %inline;)*>
+<!ELEMENT tr (th | td)+>
+<!ELEMENT th (#PCDATA | %inline; | %block;)*>
+<!ELEMENT td (#PCDATA | %inline; | %block;)*>
+<!ELEMENT form (%block;)*>
+<!ATTLIST form action CDATA #REQUIRED method CDATA #IMPLIED>
+"""
+
+
+def use_case_grammar(name: str) -> Grammar:
+    """Lower one Use Case DTD by name."""
+    for case in USE_CASES:
+        if case.name == name:
+            return grammar_from_text(case.dtd, case.root)
+    raise KeyError(name)
+
+
+def xhtml_grammar() -> Grammar:
+    return grammar_from_text(XHTML_LIKE_DTD, "html")
+
+
+def classify_corpus() -> dict[str, GrammarProperties]:
+    """Def 4.3 classification of the whole corpus (the §4.1 survey)."""
+    return {
+        case.name: analyze_grammar(grammar_from_text(case.dtd, case.root))
+        for case in USE_CASES
+    }

@@ -1,0 +1,25 @@
+"""The XMark benchmark substrate: DTD, generator, queries."""
+
+from repro.workloads.xmark.dtd import ROOT_TAG, XMARK_DTD, xmark_grammar
+from repro.workloads.xmark.generator import (
+    XMarkCounts,
+    XMarkGenerator,
+    factor_for_megabytes,
+    generate_document,
+    generate_file,
+)
+from repro.workloads.xmark.queries import TABLE1_XMARK, XMARK_QUERIES, xmark_query
+
+__all__ = [
+    "ROOT_TAG",
+    "TABLE1_XMARK",
+    "XMARK_DTD",
+    "XMARK_QUERIES",
+    "XMarkCounts",
+    "XMarkGenerator",
+    "factor_for_megabytes",
+    "generate_document",
+    "generate_file",
+    "xmark_grammar",
+    "xmark_query",
+]

@@ -1,0 +1,124 @@
+"""The XMark auction DTD [Schmidt et al., VLDB'02].
+
+This is the schema both benchmarks in the paper's Section 6 run against
+(XPathMark queries XMark-generated data too).  The text below follows the
+standard ``auction.dtd`` distributed with the XMark generator; the only
+liberty taken is dropping the unused NOTATION machinery.
+"""
+
+XMARK_DTD = """
+<!ELEMENT site (regions, categories, catgraph, people, open_auctions, closed_auctions)>
+
+<!ELEMENT categories (category+)>
+<!ELEMENT category (name, description)>
+<!ATTLIST category id ID #REQUIRED>
+<!ELEMENT name (#PCDATA)>
+
+<!ELEMENT description (text | parlist)>
+<!ELEMENT text (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT bold (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT keyword (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT emph (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT parlist (listitem)*>
+<!ELEMENT listitem (text | parlist)*>
+
+<!ELEMENT catgraph (edge*)>
+<!ELEMENT edge EMPTY>
+<!ATTLIST edge from IDREF #REQUIRED to IDREF #REQUIRED>
+
+<!ELEMENT regions (africa, asia, australia, europe, namerica, samerica)>
+<!ELEMENT africa (item*)>
+<!ELEMENT asia (item*)>
+<!ELEMENT australia (item*)>
+<!ELEMENT europe (item*)>
+<!ELEMENT namerica (item*)>
+<!ELEMENT samerica (item*)>
+
+<!ELEMENT item (location, quantity, name, payment, description, shipping, incategory+, mailbox)>
+<!ATTLIST item id ID #REQUIRED featured CDATA #IMPLIED>
+<!ELEMENT location (#PCDATA)>
+<!ELEMENT quantity (#PCDATA)>
+<!ELEMENT payment (#PCDATA)>
+<!ELEMENT shipping (#PCDATA)>
+<!ELEMENT reserve (#PCDATA)>
+<!ELEMENT incategory EMPTY>
+<!ATTLIST incategory category IDREF #REQUIRED>
+<!ELEMENT mailbox (mail*)>
+<!ELEMENT mail (from, to, date, text)>
+<!ELEMENT from (#PCDATA)>
+<!ELEMENT to (#PCDATA)>
+<!ELEMENT date (#PCDATA)>
+
+<!ELEMENT itemref EMPTY>
+<!ATTLIST itemref item IDREF #REQUIRED>
+<!ELEMENT personref EMPTY>
+<!ATTLIST personref person IDREF #REQUIRED>
+
+<!ELEMENT people (person*)>
+<!ELEMENT person (name, emailaddress, phone?, address?, homepage?, creditcard?, profile?, watches?)>
+<!ATTLIST person id ID #REQUIRED>
+<!ELEMENT emailaddress (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+<!ELEMENT address (street, city, country, province?, zipcode)>
+<!ELEMENT street (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT province (#PCDATA)>
+<!ELEMENT zipcode (#PCDATA)>
+<!ELEMENT country (#PCDATA)>
+<!ELEMENT homepage (#PCDATA)>
+<!ELEMENT creditcard (#PCDATA)>
+
+<!ELEMENT profile (interest*, education?, gender?, business, age?)>
+<!ATTLIST profile income CDATA #IMPLIED>
+<!ELEMENT interest EMPTY>
+<!ATTLIST interest category IDREF #REQUIRED>
+<!ELEMENT education (#PCDATA)>
+<!ELEMENT gender (#PCDATA)>
+<!ELEMENT business (#PCDATA)>
+<!ELEMENT age (#PCDATA)>
+
+<!ELEMENT watches (watch*)>
+<!ELEMENT watch EMPTY>
+<!ATTLIST watch open_auction IDREF #REQUIRED>
+
+<!ELEMENT open_auctions (open_auction*)>
+<!ELEMENT open_auction (initial, reserve?, bidder*, current, privacy?, itemref, seller, annotation, quantity, type, interval)>
+<!ATTLIST open_auction id ID #REQUIRED>
+<!ELEMENT initial (#PCDATA)>
+<!ELEMENT current (#PCDATA)>
+<!ELEMENT privacy (#PCDATA)>
+<!ELEMENT seller EMPTY>
+<!ATTLIST seller person IDREF #REQUIRED>
+<!ELEMENT bidder (date, time, personref, increase)>
+<!ELEMENT time (#PCDATA)>
+<!ELEMENT increase (#PCDATA)>
+<!ELEMENT annotation (author, description?, happiness)>
+<!ELEMENT author EMPTY>
+<!ATTLIST author person IDREF #REQUIRED>
+<!ELEMENT happiness (#PCDATA)>
+<!ELEMENT interval (start, end)>
+<!ELEMENT start (#PCDATA)>
+<!ELEMENT end (#PCDATA)>
+<!ELEMENT type (#PCDATA)>
+
+<!ELEMENT closed_auctions (closed_auction*)>
+<!ELEMENT closed_auction (seller, buyer, itemref, price, date, quantity, type, annotation)>
+<!ELEMENT buyer EMPTY>
+<!ATTLIST buyer person IDREF #REQUIRED>
+<!ELEMENT price (#PCDATA)>
+"""
+
+ROOT_TAG = "site"
+
+
+def xmark_grammar():
+    """The XMark DTD lowered to a local tree grammar, cached per process."""
+    global _GRAMMAR
+    if _GRAMMAR is None:
+        from repro.dtd.grammar import grammar_from_text
+
+        _GRAMMAR = grammar_from_text(XMARK_DTD, ROOT_TAG)
+    return _GRAMMAR
+
+
+_GRAMMAR = None

@@ -1,0 +1,339 @@
+"""Deterministic XMark-style document generator.
+
+Produces documents valid with respect to :data:`~repro.workloads.xmark.dtd.XMARK_DTD`
+with the statistical shape of real XMark data: the entity counts scale
+linearly with the factor (XMark's own proportions: at factor 1.0 XMark
+emits 21 750 items / 25 500 persons / 12 000 open and 9 750 closed
+auctions for ~100 MB).  Our default factor 0.01 yields ~1 MB, which keeps
+benchmarks laptop-scale; pruning ratios are scale-invariant because the
+document is statistically self-similar across factors (see DESIGN.md,
+"Substitutions").
+
+The signature structural property the paper leans on is preserved:
+mixed-content ``<description>`` subtrees (text with nested
+bold/keyword/emph and parlists) dominate the byte count (~70% of the
+document, Section 6: "XMark documents contain mixed-content <description>
+elements which account for about 70% of the total size").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.xmltree.nodes import Document, Element, Text
+
+_WORDS = (
+    "gold silver sword honour duteous grave widow sorrow summer winter "
+    "passion merchant vessel anchor harbour crown garden whisper shadow "
+    "mirror copper marble velvet journey mountain river castle bridge "
+    "letter promise stranger fortune destiny virtue courage wisdom folly "
+    "serpent eagle falcon stallion banner trumpet feast famine plague "
+    "remedy scholar soldier sailor tailor hunter shepherd monarch tyrant"
+).split()
+
+_CITIES = ("Paris", "Seoul", "Lisbon", "Bergen", "Quito", "Osaka", "Cairo", "Perth")
+_COUNTRIES = ("France", "Korea", "Portugal", "Norway", "Ecuador", "Japan", "Egypt", "Australia")
+_REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+# Real XMark skews items towards some continents; mirror that roughly.
+_REGION_WEIGHTS = (0.10, 0.20, 0.05, 0.25, 0.30, 0.10)
+
+
+@dataclass(frozen=True, slots=True)
+class XMarkCounts:
+    """Entity counts for one scale factor (XMark's factor-1 proportions)."""
+
+    items: int
+    persons: int
+    open_auctions: int
+    closed_auctions: int
+    categories: int
+
+    @staticmethod
+    def for_factor(factor: float) -> "XMarkCounts":
+        return XMarkCounts(
+            items=max(6, round(21750 * factor)),
+            persons=max(4, round(25500 * factor)),
+            open_auctions=max(3, round(12000 * factor)),
+            closed_auctions=max(3, round(9750 * factor)),
+            categories=max(2, round(1000 * factor)),
+        )
+
+
+class XMarkGenerator:
+    """Generator instance; deterministic for a given (factor, seed)."""
+
+    def __init__(self, factor: float = 0.01, seed: int = 42) -> None:
+        self.factor = factor
+        self.counts = XMarkCounts.for_factor(factor)
+        self._rng = random.Random(seed)
+
+    # -- public ------------------------------------------------------------
+
+    def document(self) -> Document:
+        return Document(self.site())
+
+    def site(self) -> Element:
+        counts = self.counts
+        site = Element("site")
+        site.append(self._regions())
+        site.append(self._categories())
+        site.append(self._catgraph())
+        site.append(self._people())
+        site.append(self._open_auctions())
+        site.append(self._closed_auctions())
+        return site
+
+    # -- text fabric ----------------------------------------------------------
+
+    def _sentence(self, low: int = 6, high: int = 18) -> str:
+        rng = self._rng
+        return " ".join(rng.choice(_WORDS) for _ in range(rng.randint(low, high)))
+
+    def _rich_text(self, budget: int) -> Element:
+        """A mixed-content <text> node with nested bold/keyword/emph."""
+        rng = self._rng
+        text = Element("text")
+        text.append(Text(self._sentence()))
+        for _ in range(budget):
+            kind = rng.choice(("bold", "keyword", "emph"))
+            inline = Element(kind)
+            inline.append(Text(self._sentence(2, 6)))
+            if rng.random() < 0.25:
+                nested = Element(rng.choice(("bold", "keyword", "emph")))
+                nested.append(Text(self._sentence(1, 4)))
+                inline.append(nested)
+            text.append(inline)
+            text.append(Text(self._sentence(2, 8)))
+        return text
+
+    def _description(self) -> Element:
+        """The paper's byte-dominant element: ~70% of document weight."""
+        rng = self._rng
+        description = Element("description")
+        if rng.random() < 0.75:
+            description.append(self._rich_text(rng.randint(6, 14)))
+        else:
+            parlist = Element("parlist")
+            for _ in range(rng.randint(1, 3)):
+                listitem = Element("listitem")
+                if rng.random() < 0.3:
+                    inner = Element("parlist")
+                    item = Element("listitem")
+                    item.append(self._rich_text(1))
+                    inner.append(item)
+                    listitem.append(inner)
+                else:
+                    listitem.append(self._rich_text(rng.randint(3, 8)))
+                parlist.append(listitem)
+            description.append(parlist)
+        return description
+
+    @staticmethod
+    def _leaf(tag: str, value: str) -> Element:
+        element = Element(tag)
+        element.append(Text(value))
+        return element
+
+    # -- sections ---------------------------------------------------------------
+
+    def _regions(self) -> Element:
+        rng = self._rng
+        regions = Element("regions")
+        # Deterministic partition of item ids across continents.
+        assignments: list[list[int]] = [[] for _ in _REGIONS]
+        cumulative = []
+        total = 0.0
+        for weight in _REGION_WEIGHTS:
+            total += weight
+            cumulative.append(total)
+        for item_id in range(self.counts.items):
+            draw = rng.random()
+            region_index = next(i for i, edge in enumerate(cumulative) if draw <= edge)
+            assignments[region_index].append(item_id)
+        for region_name, item_ids in zip(_REGIONS, assignments):
+            region = Element(region_name)
+            for item_id in item_ids:
+                region.append(self._item(item_id))
+            regions.append(region)
+        return regions
+
+    def _item(self, item_id: int) -> Element:
+        rng = self._rng
+        item = Element("item", {"id": f"item{item_id}"})
+        if rng.random() < 0.1:
+            item.attributes["featured"] = "yes"
+        item.append(self._leaf("location", rng.choice(_COUNTRIES)))
+        item.append(self._leaf("quantity", str(rng.randint(1, 5))))
+        item.append(self._leaf("name", self._sentence(2, 4)))
+        item.append(self._leaf("payment", rng.choice(("Cash", "Creditcard", "Money order"))))
+        item.append(self._description())
+        item.append(self._leaf("shipping", rng.choice(("Will ship internationally", "Buyer pays shipping"))))
+        for _ in range(rng.randint(1, 3)):
+            item.append(Element("incategory", {"category": f"category{rng.randrange(self.counts.categories)}"}))
+        mailbox = Element("mailbox")
+        for _ in range(rng.randint(0, 2)):
+            mail = Element("mail")
+            mail.append(self._leaf("from", self._person_name(rng.randrange(self.counts.persons))))
+            mail.append(self._leaf("to", self._person_name(rng.randrange(self.counts.persons))))
+            mail.append(self._leaf("date", self._date()))
+            mail.append(self._rich_text(rng.randint(1, 3)))
+            mailbox.append(mail)
+        item.append(mailbox)
+        return item
+
+    def _categories(self) -> Element:
+        categories = Element("categories")
+        for category_id in range(self.counts.categories):
+            category = Element("category", {"id": f"category{category_id}"})
+            category.append(self._leaf("name", self._sentence(1, 3)))
+            category.append(self._description())
+            categories.append(category)
+        return categories
+
+    def _catgraph(self) -> Element:
+        rng = self._rng
+        catgraph = Element("catgraph")
+        for _ in range(self.counts.categories):
+            catgraph.append(
+                Element(
+                    "edge",
+                    {
+                        "from": f"category{rng.randrange(self.counts.categories)}",
+                        "to": f"category{rng.randrange(self.counts.categories)}",
+                    },
+                )
+            )
+        return catgraph
+
+    @staticmethod
+    def _person_name(person_id: int) -> str:
+        first = ("Ada", "Brad", "Chen", "Dina", "Egon", "Fatima", "Goran", "Hana")
+        last = ("Okafor", "Svensson", "Murakami", "Costa", "Novak", "Achebe", "Laurent", "Kim")
+        return f"{first[person_id % len(first)]} {last[(person_id // 8) % len(last)]}"
+
+    def _date(self) -> str:
+        rng = self._rng
+        return f"{rng.randint(1, 28):02d}/{rng.randint(1, 12):02d}/{rng.randint(1998, 2001)}"
+
+    def _people(self) -> Element:
+        rng = self._rng
+        people = Element("people")
+        for person_id in range(self.counts.persons):
+            person = Element("person", {"id": f"person{person_id}"})
+            person.append(self._leaf("name", self._person_name(person_id)))
+            person.append(self._leaf("emailaddress", f"mailto:person{person_id}@example.net"))
+            if rng.random() < 0.5:
+                person.append(self._leaf("phone", f"+{rng.randint(1, 99)} ({rng.randint(10, 999)}) {rng.randint(1000000, 9999999)}"))
+            if rng.random() < 0.6:
+                address = Element("address")
+                address.append(self._leaf("street", f"{rng.randint(1, 99)} {rng.choice(_WORDS).title()} St"))
+                address.append(self._leaf("city", rng.choice(_CITIES)))
+                address.append(self._leaf("country", rng.choice(_COUNTRIES)))
+                if rng.random() < 0.3:
+                    address.append(self._leaf("province", rng.choice(_WORDS).title()))
+                address.append(self._leaf("zipcode", str(rng.randint(10000, 99999))))
+                person.append(address)
+            if rng.random() < 0.3:
+                person.append(self._leaf("homepage", f"http://example.net/~person{person_id}"))
+            if rng.random() < 0.4:
+                person.append(self._leaf("creditcard", " ".join(str(rng.randint(1000, 9999)) for _ in range(4))))
+            if rng.random() < 0.7:
+                profile = Element("profile")
+                if rng.random() < 0.5:
+                    profile.attributes["income"] = f"{rng.uniform(9000, 100000):.2f}"
+                for _ in range(rng.randint(0, 3)):
+                    profile.append(Element("interest", {"category": f"category{rng.randrange(self.counts.categories)}"}))
+                if rng.random() < 0.5:
+                    profile.append(self._leaf("education", rng.choice(("High School", "College", "Graduate School", "Other"))))
+                if rng.random() < 0.8:
+                    profile.append(self._leaf("gender", rng.choice(("male", "female"))))
+                profile.append(self._leaf("business", rng.choice(("Yes", "No"))))
+                if rng.random() < 0.6:
+                    profile.append(self._leaf("age", str(rng.randint(18, 80))))
+                person.append(profile)
+            if rng.random() < 0.5:
+                watches = Element("watches")
+                for _ in range(rng.randint(0, 4)):
+                    watches.append(Element("watch", {"open_auction": f"open_auction{rng.randrange(self.counts.open_auctions)}"}))
+                person.append(watches)
+            people.append(person)
+        return people
+
+    def _annotation(self) -> Element:
+        rng = self._rng
+        annotation = Element("annotation")
+        annotation.append(Element("author", {"person": f"person{rng.randrange(self.counts.persons)}"}))
+        if rng.random() < 0.7:
+            annotation.append(self._description())
+        annotation.append(self._leaf("happiness", str(rng.randint(1, 10))))
+        return annotation
+
+    def _open_auctions(self) -> Element:
+        rng = self._rng
+        auctions = Element("open_auctions")
+        for auction_id in range(self.counts.open_auctions):
+            auction = Element("open_auction", {"id": f"open_auction{auction_id}"})
+            initial = rng.uniform(1, 300)
+            auction.append(self._leaf("initial", f"{initial:.2f}"))
+            if rng.random() < 0.4:
+                auction.append(self._leaf("reserve", f"{initial * rng.uniform(1.2, 2.5):.2f}"))
+            current = initial
+            for _ in range(rng.randint(0, 5)):
+                bidder = Element("bidder")
+                bidder.append(self._leaf("date", self._date()))
+                bidder.append(self._leaf("time", f"{rng.randint(0, 23):02d}:{rng.randint(0, 59):02d}:{rng.randint(0, 59):02d}"))
+                bidder.append(Element("personref", {"person": f"person{rng.randrange(self.counts.persons)}"}))
+                increase = rng.choice((1.5, 3.0, 4.5, 6.0, 12.0, 24.0))
+                current += increase
+                bidder.append(self._leaf("increase", f"{increase:.2f}"))
+                auction.append(bidder)
+            auction.append(self._leaf("current", f"{current:.2f}"))
+            if rng.random() < 0.3:
+                auction.append(self._leaf("privacy", "Yes"))
+            auction.append(Element("itemref", {"item": f"item{rng.randrange(self.counts.items)}"}))
+            auction.append(Element("seller", {"person": f"person{rng.randrange(self.counts.persons)}"}))
+            auction.append(self._annotation())
+            auction.append(self._leaf("quantity", str(rng.randint(1, 5))))
+            auction.append(self._leaf("type", rng.choice(("Regular", "Featured"))))
+            interval = Element("interval")
+            interval.append(self._leaf("start", self._date()))
+            interval.append(self._leaf("end", self._date()))
+            auction.append(interval)
+            auctions.append(auction)
+        return auctions
+
+    def _closed_auctions(self) -> Element:
+        rng = self._rng
+        auctions = Element("closed_auctions")
+        for _ in range(self.counts.closed_auctions):
+            auction = Element("closed_auction")
+            auction.append(Element("seller", {"person": f"person{rng.randrange(self.counts.persons)}"}))
+            auction.append(Element("buyer", {"person": f"person{rng.randrange(self.counts.persons)}"}))
+            auction.append(Element("itemref", {"item": f"item{rng.randrange(self.counts.items)}"}))
+            auction.append(self._leaf("price", f"{rng.uniform(5, 500):.2f}"))
+            auction.append(self._leaf("date", self._date()))
+            auction.append(self._leaf("quantity", str(rng.randint(1, 5))))
+            auction.append(self._leaf("type", rng.choice(("Regular", "Featured"))))
+            auction.append(self._annotation())
+            auctions.append(auction)
+        return auctions
+
+
+def generate_document(factor: float = 0.01, seed: int = 42) -> Document:
+    """Generate an XMark document (factor 0.01 ≈ 0.8 MB serialised)."""
+    return XMarkGenerator(factor, seed).document()
+
+
+def generate_file(path: str, factor: float = 0.01, seed: int = 42) -> int:
+    """Generate straight to a file; returns bytes written."""
+    from repro.xmltree.serializer import write_document
+
+    document = generate_document(factor, seed)
+    with open(path, "w", encoding="utf-8") as sink:
+        return write_document(document, sink)
+
+
+def factor_for_megabytes(megabytes: float) -> float:
+    """Rough inverse of document size: factor 1.0 ≈ 80 MB."""
+    return megabytes / 80.0

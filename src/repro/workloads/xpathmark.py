@@ -1,0 +1,58 @@
+"""XPathMark-style query set (QP01–QP23) over XMark data.
+
+XPathMark [Franceschet, XSym'05] exercises the *whole* axis repertoire
+over XMark documents, which is why the paper uses it: its queries are
+where backward axes, ``following``/``preceding`` and predicates earn their
+keep.  The set below follows XPathMark's A (downward), B (all axes) and
+filter sections, numbered QP01.. to match the paper's Table 1 labels.
+"""
+
+from __future__ import annotations
+
+XPATHMARK_QUERIES: dict[str, str] = {
+    # -- A: downward, increasingly selective paths --------------------------
+    "QP01": "/site/closed_auctions/closed_auction/annotation/description/text/keyword",
+    "QP02": "//closed_auction//keyword",
+    "QP03": "/site/closed_auctions/closed_auction//keyword",
+    "QP04": "/site/closed_auctions/closed_auction[annotation/description/text/keyword]/date",
+    "QP05": "/site/closed_auctions/closed_auction[descendant::keyword]/date",
+    "QP06": "/site/people/person[profile/gender and profile/age]/name",
+    "QP07": "/site/people/person[phone or homepage]/name",
+    "QP08": "/site/people/person[address and (phone or homepage) and (creditcard or profile)]/name",
+    # -- B: the other axes ---------------------------------------------------
+    "QP09": "//item[parent::namerica or parent::samerica]/name",
+    "QP10": "//keyword/ancestor::listitem/text/keyword",
+    "QP11": "/site/open_auctions/open_auction/bidder[following-sibling::bidder]",
+    "QP12": "/site/open_auctions/open_auction/bidder[preceding-sibling::bidder]",
+    "QP13": "/site/regions/*/item[following::item]/name",
+    "QP14": "/site/regions/*/item[preceding::item]/name",
+    "QP15": "//person[profile/@income]/name",
+    "QP16": "/site/open_auctions/open_auction[bidder and not(bidder/preceding-sibling::bidder)]/interval",
+    # -- predicates on values and positions ---------------------------------
+    "QP17": "/site/people/person[@id='person0']/name",
+    "QP18": "/site/open_auctions/open_auction[bidder[1]/increase = bidder[last()]/increase]/interval",
+    "QP19": "/site/closed_auctions/closed_auction[price > 400]/price",
+    "QP20": "/site/people/person[profile/age > 60]/name",
+    # -- functions ------------------------------------------------------------
+    "QP21": "/site/open_auctions/open_auction[count(bidder) > 3]/reserve",
+    "QP22": "//person[contains(name, 'Ada')]/emailaddress",
+    "QP23": "/site/regions/*/item[position() = 1]/name",
+    # -- C/D/E families: comparisons, id() dereferencing, aggregates ---------
+    "QP24": "/site/open_auctions/open_auction[initial >= 200]/interval/start",
+    "QP25": "//closed_auction[price >= 40][quantity > 1]/date",
+    "QP26": "id('person1')/name",
+    "QP27": "id('item0')/description//keyword",
+    "QP28": "//open_auction[id(seller/@person)/homepage]/initial",
+    "QP29": "/site/people/person[not(homepage)][address/country = 'France']/name",
+    "QP30": "//item[quantity * 2 >= 4]/name",
+    "QP31": "/site/closed_auctions/closed_auction[annotation/happiness >= 9]/price",
+    "QP32": "//person[starts-with(emailaddress, 'mailto:person1')]/name",
+    "QP33": "/site/open_auctions/open_auction[sum(bidder/increase) > 50]/current",
+}
+
+#: The selection shown in the paper's Table 1 (QP columns).
+TABLE1_XPATHMARK = tuple(sorted(XPATHMARK_QUERIES))
+
+
+def xpathmark_query(name: str) -> str:
+    return XPATHMARK_QUERIES[name]

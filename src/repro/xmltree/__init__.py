@@ -1,0 +1,53 @@
+"""XML substrate: data model, streaming parser, builder and serializer.
+
+This package is self-contained (no external XML library): it implements the
+XQuery data model fragment of the paper's Section 2.1 together with the
+plumbing every other subsystem uses — the DTD validator, the XPath/XQuery
+evaluators, the static analysis and, centrally, the streaming pruner.
+"""
+
+from repro.xmltree.builder import (
+    TreeBuilder,
+    build_tree,
+    parse_document,
+    parse_document_with_doctype,
+)
+from repro.xmltree.events import (
+    Characters,
+    Comment,
+    Doctype,
+    EndDocument,
+    EndElement,
+    Event,
+    ProcessingInstruction,
+    StartDocument,
+    StartElement,
+)
+from repro.xmltree.nodes import Document, Element, Node, Text, is_projection_of
+from repro.xmltree.parser import parse_events
+from repro.xmltree.serializer import serialize, write_document, write_events
+
+__all__ = [
+    "Characters",
+    "Comment",
+    "Doctype",
+    "Document",
+    "Element",
+    "EndDocument",
+    "EndElement",
+    "Event",
+    "Node",
+    "ProcessingInstruction",
+    "StartDocument",
+    "StartElement",
+    "Text",
+    "TreeBuilder",
+    "build_tree",
+    "is_projection_of",
+    "parse_document",
+    "parse_document_with_doctype",
+    "parse_events",
+    "serialize",
+    "write_document",
+    "write_events",
+]

@@ -1,0 +1,97 @@
+"""Tree construction from the event stream."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import XMLSyntaxError
+from repro.xmltree.events import (
+    Characters,
+    Doctype,
+    EndElement,
+    Event,
+    StartElement,
+)
+from repro.xmltree.lexer import Source
+from repro.xmltree.nodes import Document, Element, Text
+from repro.xmltree.parser import parse_events
+
+
+class TreeBuilder:
+    """Fold an event stream into a :class:`Document`.
+
+    Adjacent character events are merged into a single text node, and —
+    matching the paper's data model, where leaves are either strings or
+    empty trees — purely inter-element whitespace can optionally be dropped
+    (``strip_whitespace=True``), which is what the XMark tooling does.
+    Comments and processing instructions are not part of the data model and
+    are skipped.
+    """
+
+    def __init__(self, strip_whitespace: bool = False) -> None:
+        self._strip_whitespace = strip_whitespace
+        self._stack: list[Element] = []
+        self._root: Element | None = None
+        self._text_pieces: list[str] = []
+        self.doctype: Doctype | None = None
+
+    def feed(self, event: Event) -> None:
+        if isinstance(event, StartElement):
+            self._flush_text()
+            element = Element(event.tag, event.attributes)
+            if self._stack:
+                self._stack[-1].append(element)
+            elif self._root is None:
+                self._root = element
+            else:
+                raise XMLSyntaxError("multiple root elements")
+            self._stack.append(element)
+        elif isinstance(event, EndElement):
+            self._flush_text()
+            self._stack.pop()
+        elif isinstance(event, Characters):
+            if self._stack:
+                self._text_pieces.append(event.text)
+        elif isinstance(event, Doctype):
+            self.doctype = event
+        # StartDocument / EndDocument / Comment / PI carry no tree content.
+
+    def _flush_text(self) -> None:
+        if not self._text_pieces:
+            return
+        text = "".join(self._text_pieces)
+        self._text_pieces.clear()
+        if self._strip_whitespace and not text.strip():
+            return
+        self._stack[-1].append(Text(text))
+
+    def document(self) -> Document:
+        if self._root is None:
+            raise XMLSyntaxError("no root element was built")
+        if self._stack:
+            raise XMLSyntaxError(f"unclosed element <{self._stack[-1].tag}>")
+        return Document(self._root)
+
+
+def build_tree(events: Iterable[Event], strip_whitespace: bool = False) -> Document:
+    """Build a document from an already-parsed event stream."""
+    builder = TreeBuilder(strip_whitespace=strip_whitespace)
+    for event in events:
+        builder.feed(event)
+    return builder.document()
+
+
+def parse_document(source: Source, strip_whitespace: bool = False) -> Document:
+    """Parse XML text (or a text-mode file object) into a document."""
+    return build_tree(parse_events(source), strip_whitespace=strip_whitespace)
+
+
+def parse_document_with_doctype(
+    source: Source, strip_whitespace: bool = False
+) -> tuple[Document, Doctype | None]:
+    """Like :func:`parse_document` but also return the DOCTYPE event, whose
+    ``internal_subset`` feeds the DTD parser for inline DTDs."""
+    builder = TreeBuilder(strip_whitespace=strip_whitespace)
+    for event in parse_events(source):
+        builder.feed(event)
+    return builder.document(), builder.doctype

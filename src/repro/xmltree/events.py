@@ -1,0 +1,84 @@
+"""SAX-like event stream vocabulary.
+
+The streaming parser (:mod:`repro.xmltree.parser`) emits a flat sequence of
+these events; the tree builder, the serializer, the validator and — most
+importantly — the streaming pruner (:mod:`repro.projection.streaming`) all
+consume the same stream.  This is what makes pruning "a single bufferless
+one-pass traversal of the parsed document" (Section 1.2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class Event:
+    """Base class for parse events."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class StartDocument(Event):
+    """Start of the document.  ``standalone``/``encoding`` come from the
+    XML declaration when present."""
+
+    version: str = "1.0"
+    encoding: str | None = None
+    standalone: bool | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class EndDocument(Event):
+    """End of the document."""
+
+
+@dataclass(frozen=True, slots=True)
+class Doctype(Event):
+    """``<!DOCTYPE name SYSTEM "uri" [internal subset]>``.
+
+    ``internal_subset`` is the *raw text* between ``[`` and ``]`` so the
+    DTD parser can consume inline DTDs without re-reading the file.
+    """
+
+    name: str
+    system_id: str | None = None
+    public_id: str | None = None
+    internal_subset: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class StartElement(Event):
+    """``<tag attr="v" ...>`` (or the opening half of ``<tag/>``)."""
+
+    tag: str
+    attributes: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True, slots=True)
+class EndElement(Event):
+    """``</tag>`` (an empty-element tag emits Start then End)."""
+
+    tag: str
+
+
+@dataclass(frozen=True, slots=True)
+class Characters(Event):
+    """Text content, after entity expansion and CDATA unwrapping."""
+
+    text: str
+
+
+@dataclass(frozen=True, slots=True)
+class Comment(Event):
+    """``<!-- ... -->``."""
+
+    text: str
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessingInstruction(Event):
+    """``<?target data?>``."""
+
+    target: str
+    data: str

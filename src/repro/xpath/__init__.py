@@ -1,0 +1,87 @@
+"""XPath substrate: full XPath 1.0 engine + the XPathℓ sub-language.
+
+* :mod:`repro.xpath.parser` / :mod:`repro.xpath.evaluator` — a complete
+  XPath engine (all axes, predicates, core function library) used to run
+  queries on original and pruned documents;
+* :mod:`repro.xpath.xpathl` — the paper's analysis sub-language with its
+  denotational semantics (Definitions 3.1–3.3);
+* :mod:`repro.xpath.approximation` — full XPath → XPathℓ (Sections 3.3
+  and 4.3).
+"""
+
+from repro.xpath.ast import (
+    AndExpr,
+    Axis,
+    BinaryExpr,
+    Expr,
+    FilterExpr,
+    FunctionCall,
+    KindTest,
+    Literal,
+    LocationPath,
+    NameTest,
+    NodeTest,
+    Number,
+    OrExpr,
+    PathExpr,
+    Step,
+    UnaryMinus,
+    UnionExpr,
+    VariableRef,
+)
+from repro.xpath.approximation import Approximation, approximate_query
+from repro.xpath.evaluator import Context, XPathEvaluator, evaluate, select
+from repro.xpath.parser import parse_location_path, parse_xpath
+from repro.xpath.values import AttributeNode, XPathValue, string_value
+from repro.xpath.xpathl import (
+    LStep,
+    PathL,
+    SimplePath,
+    evaluate_pathl,
+    parse_pathl,
+    path,
+    simple,
+    step,
+    to_xpath,
+)
+
+__all__ = [
+    "AndExpr",
+    "Approximation",
+    "AttributeNode",
+    "Axis",
+    "BinaryExpr",
+    "Context",
+    "Expr",
+    "FilterExpr",
+    "FunctionCall",
+    "KindTest",
+    "LStep",
+    "Literal",
+    "LocationPath",
+    "NameTest",
+    "NodeTest",
+    "Number",
+    "OrExpr",
+    "PathExpr",
+    "PathL",
+    "SimplePath",
+    "Step",
+    "UnaryMinus",
+    "UnionExpr",
+    "VariableRef",
+    "XPathEvaluator",
+    "XPathValue",
+    "approximate_query",
+    "evaluate",
+    "evaluate_pathl",
+    "parse_location_path",
+    "parse_pathl",
+    "parse_xpath",
+    "path",
+    "select",
+    "simple",
+    "step",
+    "string_value",
+    "to_xpath",
+]

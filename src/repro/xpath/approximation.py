@@ -1,0 +1,322 @@
+"""Approximation of full XPath into XPathℓ (Sections 3.3 and 4.3).
+
+Two transformations happen here:
+
+1. **Axis rewriting** (Section 4.3).  ``preceding``/``following`` are first
+   expanded per the W3C equivalence::
+
+       Axis::Test  ≡  ancestor-or-self::node /
+                      (Axis)-sibling::node /
+                      descendant-or-self::Test
+
+   then the sibling axes are *approximated* by ``parent::node/child::Test``
+   — the only lossy step, and the one the paper measures (QP9/QP11 still
+   prune to 7.5%).
+
+2. **Predicate approximation** (Section 3.3).  Every general predicate
+   ``Exp`` is rewritten to a disjunction of simple paths by the extractor
+   ``P``: structural paths are retained; non-structural conditions
+   contribute the always-true ``{self::node}`` so the inferred projector is
+   never *restricted* by something the analysis cannot see; function
+   arguments are suffixed according to the ``F(f, i)`` table
+   (:func:`repro.xpath.functions.function_needs_subtree`).
+
+   One deliberate divergence from the paper's (informal, footnote 3)
+   presentation: operands of *value* comparisons are suffixed with
+   ``descendant-or-self::node``.  The comparison ``author = "Dante"``
+   reads the string-value of ``author``, i.e. its text descendants;
+   extracting the bare path ``author`` would let the projector prune the
+   text and change the comparison's outcome.  The paper's worked example
+   elides this; its prose rule for functions (``F(string, 1) =
+   descendant-or-self::node``) shows the intended mechanism, which we
+   apply to comparison operands uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AnalysisError
+from repro.xpath import ast as xp
+from repro.xpath.functions import function_needs_subtree
+from repro.xpath.xpathl import (
+    DOS_NODE,
+    SELF_NODE_PATH,
+    LStep,
+    PathL,
+    SimplePath,
+    step,
+)
+
+_VALUE_COMPARISONS = frozenset(("=", "!=", "<", "<=", ">", ">=", "eq", "ne", "lt", "le", "gt", "ge"))
+_NODE_COMPARISONS = frozenset(("is", "<<", ">>"))
+
+
+@dataclass(slots=True)
+class Approximation:
+    """Result of approximating one query.
+
+    ``main`` is the XPathℓ approximation of the query itself;
+    ``absolute_paths`` collects paths found inside predicates that are
+    rooted at the document root (each analysed separately and unioned into
+    the projector).
+    """
+
+    main: PathL
+    absolute_paths: list[PathL] = field(default_factory=list)
+
+
+# -- Section 4.3: axis rewriting ------------------------------------------------
+
+
+def rewrite_axis_steps(axis: xp.Axis, test: xp.NodeTest) -> list[tuple[xp.Axis, xp.NodeTest]]:
+    """Rewrite one ``Axis::Test`` into a sequence of XPathℓ
+    ``(axis, test)`` pairs, per Section 4.3."""
+    if axis in (xp.Axis.PRECEDING, xp.Axis.FOLLOWING):
+        # Pass 1 (exact):  ancestor-or-self::node / Axis-sibling::node /
+        #                  descendant-or-self::Test
+        # Pass 2 (approx): the sibling step becomes parent::node/child::node.
+        return [
+            (xp.Axis.ANCESTOR_OR_SELF, xp.KindTest("node")),
+            (xp.Axis.PARENT, xp.KindTest("node")),
+            (xp.Axis.CHILD, xp.KindTest("node")),
+            (xp.Axis.DESCENDANT_OR_SELF, test),
+        ]
+    if axis in (xp.Axis.PRECEDING_SIBLING, xp.Axis.FOLLOWING_SIBLING):
+        return [
+            (xp.Axis.PARENT, xp.KindTest("node")),
+            (xp.Axis.CHILD, test),
+        ]
+    return [(axis, test)]
+
+
+def _rewrite_step(xstep: xp.Step, condition: tuple[SimplePath, ...] | None) -> list[LStep]:
+    """Axis-rewrite one full-XPath step; the (already approximated)
+    condition lands on the last produced step."""
+    pairs = rewrite_axis_steps(xstep.axis, xstep.test)
+    steps = [LStep(axis, test) for axis, test in pairs[:-1]]
+    last_axis, last_test = pairs[-1]
+    steps.append(LStep(last_axis, last_test, condition))
+    return steps
+
+
+# -- Section 3.3: the path extractor P ----------------------------------------
+
+
+class PredicateApproximator:
+    """Stateful extractor: accumulates absolute side-paths while
+    extracting condition paths."""
+
+    def __init__(self) -> None:
+        self.absolute_paths: list[PathL] = []
+
+    # P : Expr -> list[SimplePath]
+    def extract(self, expr: xp.Expr) -> list[SimplePath]:
+        if isinstance(expr, xp.LocationPath):
+            if expr.absolute:
+                # Data needs are rooted at the document, not the context
+                # node: hoist the path, keep the context node.
+                self.absolute_paths.append(self._hoist_absolute(expr))
+                return [SELF_NODE_PATH]
+            return self.flatten_relative(expr)
+        if isinstance(expr, (xp.OrExpr, xp.AndExpr)):
+            return _dedup(self.extract(expr.left) + self.extract(expr.right))
+        if isinstance(expr, xp.BinaryExpr):
+            return self._extract_binary(expr)
+        if isinstance(expr, xp.UnaryMinus):
+            return _dedup(self.extract(expr.operand) + [SELF_NODE_PATH])
+        if isinstance(expr, xp.UnionExpr):
+            return _dedup(self.extract(expr.left) + self.extract(expr.right))
+        if isinstance(expr, xp.FunctionCall):
+            return self._extract_function(expr)
+        if isinstance(expr, (xp.Literal, xp.Number)):
+            # AExp / base value: non-structural (a bare number predicate is
+            # positional!), keep the context node.
+            return [SELF_NODE_PATH]
+        if isinstance(expr, xp.VariableRef):
+            # Variables are resolved by the XQuery extractor before we get
+            # here; a residual variable is treated as non-structural.
+            return [SELF_NODE_PATH]
+        if isinstance(expr, (xp.PathExpr, xp.FilterExpr)):
+            # Variable-rooted or filtered paths inside predicates: extract
+            # from every component conservatively.
+            paths: list[SimplePath] = [SELF_NODE_PATH]
+            if isinstance(expr, xp.PathExpr):
+                paths += self.extract(expr.source)
+                if isinstance(expr.source, xp.VariableRef):
+                    # Variable-rooted: the XQuery extractor anchors these.
+                    paths += self.flatten_relative(xp.LocationPath(expr.steps, absolute=False))
+                else:
+                    # Computed source (e.g. id('x')/name): the results may
+                    # live anywhere in the document, so the continuation is
+                    # hoisted as a document-wide side path (sound: keeps
+                    # every possible target).
+                    continuation = approximate_query(
+                        xp.LocationPath(expr.steps, absolute=False)
+                    )
+                    self.absolute_paths.extend(continuation.absolute_paths)
+                    self.absolute_paths.append(
+                        continuation.main.prepend(DOS_NODE).append(DOS_NODE)
+                    )
+            else:
+                paths += self.extract(expr.primary)
+                for predicate in expr.predicates:
+                    paths += self.extract(predicate)
+            return _dedup(paths)
+        raise AnalysisError(f"cannot approximate predicate {expr}")
+
+    # -- operators -----------------------------------------------------------
+
+    def _extract_binary(self, expr: xp.BinaryExpr) -> list[SimplePath]:
+        if expr.op in _VALUE_COMPARISONS or expr.op in _NODE_COMPARISONS:
+            # A comparison with a *path* operand can only hold when that
+            # path is non-empty (general comparisons are existential), so
+            # the operand paths themselves guard the condition and no
+            # always-true disjunct is needed.  Only a comparison with no
+            # guarding path operand (e.g. [position() > 1], [1 = 1]) must
+            # keep the context node unconditionally.
+            reads_values = expr.op in _VALUE_COMPARISONS
+            parts: list[SimplePath] = []
+            guarded = False
+            for operand in (expr.left, expr.right):
+                if isinstance(operand, (xp.Literal, xp.Number)):
+                    continue
+                if isinstance(operand, xp.LocationPath):
+                    guarded = guarded or not operand.absolute
+                    parts += self._materialized(operand) if reads_values else self.extract(operand)
+                else:
+                    parts += self._materialized(operand) if reads_values else self.extract(operand)
+            if not guarded:
+                parts.append(SELF_NODE_PATH)
+            return _dedup(parts)
+        # Arithmetic: operands are read as numbers (string values); a bare
+        # arithmetic predicate is positional, hence the self::node.
+        left = self._materialized(expr.left)
+        right = self._materialized(expr.right)
+        return _dedup(left + right + [SELF_NODE_PATH])
+
+    def _materialized(self, expr: xp.Expr) -> list[SimplePath]:
+        """Extraction for an operand whose *string value* is read: path
+        operands get the ``descendant-or-self::node`` suffix."""
+        if isinstance(expr, xp.LocationPath) and not expr.absolute:
+            return [_with_subtree(p) for p in self.flatten_relative(expr)]
+        if isinstance(expr, xp.LocationPath):
+            self.absolute_paths.append(self._hoist_absolute(expr, materialize=True))
+            return [SELF_NODE_PATH]
+        return self.extract(expr)
+
+    def _extract_function(self, expr: xp.FunctionCall) -> list[SimplePath]:
+        # P(f(E1..En)) = ∪i P(Ei)/F(f,i) ∪ {self::node}
+        if expr.name == "id":
+            # id() dereferences the document-wide ID map: every element's
+            # id attribute is a data need (hoisted as a side path).
+            self.absolute_paths.append(
+                PathL((DOS_NODE, step(xp.Axis.ATTRIBUTE, "id")))
+            )
+        paths: list[SimplePath] = [SELF_NODE_PATH]
+        for index, arg in enumerate(expr.args):
+            if function_needs_subtree(expr.name, index):
+                paths += self._materialized(arg)
+            else:
+                paths += self.extract(arg)
+        return _dedup(paths)
+
+    # -- path flattening -------------------------------------------------------
+
+    def flatten_relative(self, location: xp.LocationPath) -> list[SimplePath]:
+        """Flatten a relative path (with arbitrary predicates) into the set
+        of simple paths denoting its data needs: the predicate-stripped
+        spine plus, for every predicate, the spine-prefixed extraction of
+        that predicate."""
+        prefixes: list[tuple[LStep, ...]] = [()]
+        results: list[SimplePath] = []
+        spine: list[LStep] = []
+        for xstep in location.steps:
+            rewritten = _rewrite_step(xp.Step(xstep.axis, xstep.test), None)
+            spine.extend(rewritten)
+            for predicate in xstep.predicates:
+                for sub in self.extract(predicate):
+                    results.append(SimplePath(tuple(spine) + sub.steps))
+        results.insert(0, SimplePath(tuple(spine)))
+        del prefixes
+        return _dedup(results)
+
+    def _hoist_absolute(self, location: xp.LocationPath, materialize: bool = False) -> PathL:
+        """Turn an absolute path found inside a predicate into a root-level
+        XPathℓ path to be analysed on its own."""
+        approximation = approximate_query(xp.LocationPath(location.steps, absolute=True))
+        self.absolute_paths.extend(approximation.absolute_paths)
+        main = approximation.main
+        if materialize:
+            main = main.append(DOS_NODE)
+        return main
+
+
+def _with_subtree(path: SimplePath) -> SimplePath:
+    """Append ``descendant-or-self::node`` unless the path already ends in
+    it, or ends at an attribute or text node (their string value is
+    self-contained)."""
+    if not path.steps:
+        return SimplePath((DOS_NODE,))
+    last = path.steps[-1]
+    if last.axis is xp.Axis.ATTRIBUTE:
+        return path
+    if isinstance(last.test, xp.KindTest) and last.test.kind == "text":
+        return path
+    if last.axis is xp.Axis.DESCENDANT_OR_SELF and isinstance(last.test, xp.KindTest) and last.test.kind == "node":
+        return path
+    return SimplePath(path.steps + (DOS_NODE,))
+
+
+def _dedup(paths: list[SimplePath]) -> list[SimplePath]:
+    seen: set[tuple] = set()
+    result: list[SimplePath] = []
+    for path in paths:
+        if path.steps not in seen:
+            seen.add(path.steps)
+            result.append(path)
+    return result
+
+
+# -- the public entry point ------------------------------------------------------
+
+
+def approximate_query(query: xp.Expr | str) -> Approximation:
+    """Approximate a full XPath query into XPathℓ.
+
+    The result's ``main`` path soundly approximates the query for
+    projector-inference purposes (Section 3.3): infer a projector for the
+    approximation (plus one per ``absolute_paths`` entry, unioned) and it
+    is a sound projector for the original query.
+    """
+    from repro.xpath.parser import parse_xpath
+
+    expr = parse_xpath(query) if isinstance(query, str) else query
+    if isinstance(expr, xp.PathExpr) and not isinstance(expr.source, xp.VariableRef):
+        # A computed path source at top level (id('x')/name, (…)[1]/a):
+        # results may live anywhere, so the main data-need path is the
+        # document-wide continuation; the source's own needs become side
+        # paths (all rooted at the document root at top level).
+        approximator = PredicateApproximator()
+        source_needs = approximator.extract(expr.source)
+        inner = approximate_query(xp.LocationPath(expr.steps, absolute=False))
+        main = inner.main.prepend(DOS_NODE)
+        side = list(inner.absolute_paths) + approximator.absolute_paths
+        side += [PathL(simple_path.steps) for simple_path in source_needs]
+        return Approximation(main, side)
+    if not isinstance(expr, xp.LocationPath):
+        raise AnalysisError(
+            f"not a location path: {expr} (XQuery expressions go through "
+            "repro.xquery.extraction instead)"
+        )
+    approximator = PredicateApproximator()
+    steps: list[LStep] = []
+    for xstep in expr.steps:
+        condition: tuple[SimplePath, ...] | None = None
+        if xstep.predicates:
+            extracted: list[SimplePath] = []
+            for predicate in xstep.predicates:
+                extracted += approximator.extract(predicate)
+            condition = tuple(_dedup(extracted))
+        steps.extend(_rewrite_step(xstep, condition))
+    return Approximation(PathL(tuple(steps), absolute=expr.absolute), approximator.absolute_paths)

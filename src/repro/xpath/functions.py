@@ -1,0 +1,269 @@
+"""The XPath core function library.
+
+Every function receives the evaluation context and its already-evaluated
+arguments.  The registry also records, for the static analysis, which
+argument positions need the *whole subtree* of the nodes they denote — the
+paper's ``F(f, i)`` table of Section 3.3: ``F`` returns either
+``self::node`` (only the root nodes are needed, e.g. ``count``) or
+``descendant-or-self::node`` (string-value functions need everything below,
+e.g. ``string`` or ``contains``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import XPathTypeError
+from repro.xpath.values import (
+    XPathValue,
+    node_name,
+    string_value,
+    to_boolean,
+    to_number,
+    to_string,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionSpec:
+    """Signature + implementation + data-need of one library function.
+
+    ``needs_subtree`` is the paper's ``F(f, i)``: ``True`` means argument
+    ``i`` must be approximated by ``SPath/descendant-or-self::node`` (the
+    function reads string values), ``False`` means ``SPath/self::node``
+    suffices (the function only counts/tests nodes).  A single flag covers
+    all arguments; no core function mixes the two behaviours across its
+    node-set arguments.
+    """
+
+    name: str
+    min_args: int
+    max_args: int  # -1 for unbounded (concat)
+    implementation: Callable
+    needs_subtree: bool
+
+    def check_arity(self, count: int) -> None:
+        if count < self.min_args or (self.max_args >= 0 and count > self.max_args):
+            raise XPathTypeError(
+                f"{self.name}() takes {self.min_args}"
+                + (f"..{self.max_args}" if self.max_args != self.min_args else "")
+                + f" arguments, got {count}"
+            )
+
+
+def _require_nodeset(name: str, value: XPathValue) -> list:
+    if not isinstance(value, list):
+        raise XPathTypeError(f"{name}() requires a node-set argument")
+    return value
+
+
+# -- node-set functions -------------------------------------------------------
+
+
+def _fn_last(context, args):
+    return float(context.size)
+
+
+def _fn_position(context, args):
+    return float(context.position)
+
+
+def _fn_count(context, args):
+    return float(len(_require_nodeset("count", args[0])))
+
+
+def _fn_local_name(context, args):
+    nodes = args[0] if args else [context.node]
+    if not isinstance(nodes, list):
+        raise XPathTypeError("local-name() requires a node-set")
+    if not nodes:
+        return ""
+    return node_name(nodes[0])
+
+
+def _fn_name(context, args):
+    return _fn_local_name(context, args)
+
+
+# -- string functions ------------------------------------------------------------
+
+
+def _fn_string(context, args):
+    if not args:
+        return string_value(context.node)
+    return to_string(args[0])
+
+
+def _fn_concat(context, args):
+    return "".join(to_string(arg) for arg in args)
+
+
+def _fn_starts_with(context, args):
+    return to_string(args[0]).startswith(to_string(args[1]))
+
+
+def _fn_ends_with(context, args):
+    return to_string(args[0]).endswith(to_string(args[1]))
+
+
+def _fn_contains(context, args):
+    return to_string(args[1]) in to_string(args[0])
+
+
+def _fn_substring_before(context, args):
+    haystack, needle = to_string(args[0]), to_string(args[1])
+    index = haystack.find(needle)
+    return haystack[:index] if index >= 0 else ""
+
+
+def _fn_substring_after(context, args):
+    haystack, needle = to_string(args[0]), to_string(args[1])
+    index = haystack.find(needle)
+    return haystack[index + len(needle) :] if index >= 0 else ""
+
+
+def _fn_substring(context, args):
+    text = to_string(args[0])
+    start = to_number(args[1])
+    if math.isnan(start):
+        return ""
+    begin = int(round(start)) - 1
+    if len(args) >= 3:
+        length = to_number(args[2])
+        if math.isnan(length):
+            return ""
+        end = begin + int(round(length))
+    else:
+        end = len(text)
+    begin = max(begin, 0)
+    end = max(end, begin)
+    return text[begin:end]
+
+
+def _fn_string_length(context, args):
+    text = to_string(args[0]) if args else string_value(context.node)
+    return float(len(text))
+
+
+def _fn_normalize_space(context, args):
+    text = to_string(args[0]) if args else string_value(context.node)
+    return " ".join(text.split())
+
+
+def _fn_translate(context, args):
+    text, source, target = (to_string(arg) for arg in args)
+    table: dict[int, int | None] = {}
+    for index, char in enumerate(source):
+        if ord(char) in table:
+            continue
+        table[ord(char)] = ord(target[index]) if index < len(target) else None
+    return text.translate(table)
+
+
+# -- boolean functions -------------------------------------------------------------
+
+
+def _fn_boolean(context, args):
+    return to_boolean(args[0])
+
+
+def _fn_not(context, args):
+    return not to_boolean(args[0])
+
+
+def _fn_true(context, args):
+    return True
+
+
+def _fn_false(context, args):
+    return False
+
+
+def _fn_empty(context, args):
+    return not _require_nodeset("empty", args[0])
+
+
+def _fn_exists(context, args):
+    return bool(_require_nodeset("exists", args[0]))
+
+
+# -- number functions ----------------------------------------------------------------
+
+
+def _fn_number(context, args):
+    if not args:
+        return to_number(string_value(context.node))
+    return to_number(args[0])
+
+
+def _fn_sum(context, args):
+    return float(sum(to_number(string_value(node)) for node in _require_nodeset("sum", args[0])))
+
+
+def _fn_floor(context, args):
+    return float(math.floor(to_number(args[0])))
+
+
+def _fn_ceiling(context, args):
+    return float(math.ceil(to_number(args[0])))
+
+
+def _fn_round(context, args):
+    value = to_number(args[0])
+    if math.isnan(value) or math.isinf(value):
+        return value
+    return float(math.floor(value + 0.5))  # XPath rounds .5 up
+
+
+def _fn_zero_or_one(context, args):
+    nodes = _require_nodeset("zero-or-one", args[0])
+    if len(nodes) > 1:
+        raise XPathTypeError("zero-or-one() applied to more than one node")
+    return nodes
+
+
+_SPECS = [
+    # name, min, max, impl, needs_subtree (the paper's F(f, i))
+    FunctionSpec("last", 0, 0, _fn_last, False),
+    FunctionSpec("position", 0, 0, _fn_position, False),
+    FunctionSpec("count", 1, 1, _fn_count, False),
+    FunctionSpec("local-name", 0, 1, _fn_local_name, False),
+    FunctionSpec("name", 0, 1, _fn_name, False),
+    FunctionSpec("string", 0, 1, _fn_string, True),
+    FunctionSpec("concat", 2, -1, _fn_concat, True),
+    FunctionSpec("starts-with", 2, 2, _fn_starts_with, True),
+    FunctionSpec("ends-with", 2, 2, _fn_ends_with, True),
+    FunctionSpec("contains", 2, 2, _fn_contains, True),
+    FunctionSpec("substring-before", 2, 2, _fn_substring_before, True),
+    FunctionSpec("substring-after", 2, 2, _fn_substring_after, True),
+    FunctionSpec("substring", 2, 3, _fn_substring, True),
+    FunctionSpec("string-length", 0, 1, _fn_string_length, True),
+    FunctionSpec("normalize-space", 0, 1, _fn_normalize_space, True),
+    FunctionSpec("translate", 3, 3, _fn_translate, True),
+    FunctionSpec("boolean", 1, 1, _fn_boolean, False),
+    FunctionSpec("not", 1, 1, _fn_not, False),
+    FunctionSpec("true", 0, 0, _fn_true, False),
+    FunctionSpec("false", 0, 0, _fn_false, False),
+    FunctionSpec("empty", 1, 1, _fn_empty, False),
+    FunctionSpec("exists", 1, 1, _fn_exists, False),
+    FunctionSpec("number", 0, 1, _fn_number, True),
+    FunctionSpec("sum", 1, 1, _fn_sum, True),
+    FunctionSpec("floor", 1, 1, _fn_floor, False),
+    FunctionSpec("ceiling", 1, 1, _fn_ceiling, False),
+    FunctionSpec("round", 1, 1, _fn_round, False),
+    FunctionSpec("zero-or-one", 1, 1, _fn_zero_or_one, False),
+]
+
+FUNCTIONS: dict[str, FunctionSpec] = {spec.name: spec for spec in _SPECS}
+
+
+def function_needs_subtree(name: str, argument_index: int = 0) -> bool:
+    """The paper's ``F(f, i)``: True → ``descendant-or-self::node``,
+    False → ``self::node``.  Unknown functions conservatively need the
+    whole subtree (soundness first)."""
+    spec = FUNCTIONS.get(name)
+    if spec is None:
+        return True
+    return spec.needs_subtree

@@ -1,0 +1,193 @@
+"""XPath tokenizer.
+
+Implements the XPath 1.0 lexical rules, including the two disambiguation
+rules of the specification:
+
+* a ``*`` is the multiply operator when the previous token could end an
+  operand, otherwise it is the wildcard name test;
+* an NCName is an operator name (``and``, ``or``, ``div``, ``mod`` and the
+  XPath 2.0 value comparisons) in the same "after an operand" position; it
+  is a function name when followed by ``(`` and an axis name when followed
+  by ``::``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import XPathSyntaxError
+from repro.xmltree.lexer import is_name_char, is_name_start
+
+
+class TokenKind(Enum):
+    NAME = "name"  # element/attribute/function name test material
+    AXIS = "axis"  # name followed by '::'
+    OPERATOR = "operator"  # symbols and word operators
+    FUNCTION = "function"  # name followed by '('
+    NODE_TYPE = "node-type"  # node/text/comment/processing-instruction before '('
+    LITERAL = "literal"
+    NUMBER = "number"
+    VARIABLE = "variable"
+    STAR = "star"  # wildcard '*'
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    DOT = "."
+    DOTDOT = ".."
+    AT = "@"
+    COMMA = ","
+    SLASH = "/"
+    DOUBLE_SLASH = "//"
+    EOF = "eof"
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: TokenKind
+    value: str
+    position: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.value!r})"
+
+
+_WORD_OPERATORS = frozenset(("and", "or", "div", "mod", "eq", "ne", "lt", "le", "gt", "ge", "is"))
+_NODE_TYPES = frozenset(("node", "text", "comment", "processing-instruction", "element"))
+
+# Tokens after which a NAME/'*' must be read as an operator (XPath 1.0 §3.7).
+_OPERAND_ENDERS = frozenset(
+    (
+        TokenKind.NAME,
+        TokenKind.LITERAL,
+        TokenKind.NUMBER,
+        TokenKind.VARIABLE,
+        TokenKind.RPAREN,
+        TokenKind.RBRACKET,
+        TokenKind.DOT,
+        TokenKind.DOTDOT,
+        TokenKind.STAR,
+    )
+)
+
+
+def tokenize(expression: str) -> list[Token]:
+    """Tokenize an XPath expression; raises :class:`XPathSyntaxError`."""
+    tokens: list[Token] = []
+    position = 0
+    length = len(expression)
+
+    def previous_kind() -> TokenKind | None:
+        return tokens[-1].kind if tokens else None
+
+    while position < length:
+        char = expression[position]
+        if char in " \t\r\n":
+            position += 1
+            continue
+        start = position
+        if char == "(":
+            tokens.append(Token(TokenKind.LPAREN, "(", start))
+            position += 1
+        elif char == ")":
+            tokens.append(Token(TokenKind.RPAREN, ")", start))
+            position += 1
+        elif char == "[":
+            tokens.append(Token(TokenKind.LBRACKET, "[", start))
+            position += 1
+        elif char == "]":
+            tokens.append(Token(TokenKind.RBRACKET, "]", start))
+            position += 1
+        elif char == ",":
+            tokens.append(Token(TokenKind.COMMA, ",", start))
+            position += 1
+        elif char == "@":
+            tokens.append(Token(TokenKind.AT, "@", start))
+            position += 1
+        elif char == "$":
+            position += 1
+            name, position = _read_name(expression, position, "variable name")
+            tokens.append(Token(TokenKind.VARIABLE, name, start))
+        elif char == "/":
+            if expression.startswith("//", position):
+                tokens.append(Token(TokenKind.DOUBLE_SLASH, "//", start))
+                position += 2
+            else:
+                tokens.append(Token(TokenKind.SLASH, "/", start))
+                position += 1
+        elif char == ".":
+            if expression.startswith("..", position):
+                tokens.append(Token(TokenKind.DOTDOT, "..", start))
+                position += 2
+            elif position + 1 < length and expression[position + 1].isdigit():
+                number, position = _read_number(expression, position)
+                tokens.append(Token(TokenKind.NUMBER, number, start))
+            else:
+                tokens.append(Token(TokenKind.DOT, ".", start))
+                position += 1
+        elif char in "'\"":
+            closing = expression.find(char, position + 1)
+            if closing == -1:
+                raise XPathSyntaxError(f"unterminated literal at offset {position}")
+            tokens.append(Token(TokenKind.LITERAL, expression[position + 1 : closing], start))
+            position = closing + 1
+        elif char.isdigit():
+            number, position = _read_number(expression, position)
+            tokens.append(Token(TokenKind.NUMBER, number, start))
+        elif char == "*":
+            if previous_kind() in _OPERAND_ENDERS:
+                tokens.append(Token(TokenKind.OPERATOR, "*", start))
+            else:
+                tokens.append(Token(TokenKind.STAR, "*", start))
+            position += 1
+        elif expression.startswith("<<", position) or expression.startswith(">>", position):
+            tokens.append(Token(TokenKind.OPERATOR, expression[position : position + 2], start))
+            position += 2
+        elif expression.startswith("!=", position) or expression.startswith("<=", position) or expression.startswith(">=", position):
+            tokens.append(Token(TokenKind.OPERATOR, expression[position : position + 2], start))
+            position += 2
+        elif char in "=<>|+-":
+            tokens.append(Token(TokenKind.OPERATOR, char, start))
+            position += 1
+        elif is_name_start(char):
+            name, position = _read_name(expression, position, "name")
+            rest = expression[position:].lstrip()
+            if name in _WORD_OPERATORS and previous_kind() in _OPERAND_ENDERS:
+                tokens.append(Token(TokenKind.OPERATOR, name, start))
+            elif rest.startswith("::"):
+                tokens.append(Token(TokenKind.AXIS, name, start))
+                position = expression.index("::", position) + 2
+            elif rest.startswith("(") and name in _NODE_TYPES:
+                tokens.append(Token(TokenKind.NODE_TYPE, name, start))
+            elif rest.startswith("("):
+                tokens.append(Token(TokenKind.FUNCTION, name, start))
+            else:
+                tokens.append(Token(TokenKind.NAME, name, start))
+        else:
+            raise XPathSyntaxError(f"unexpected character {char!r} at offset {position}")
+    tokens.append(Token(TokenKind.EOF, "", length))
+    return tokens
+
+
+def _read_name(expression: str, position: int, context: str) -> tuple[str, int]:
+    if position >= len(expression) or not is_name_start(expression[position]):
+        raise XPathSyntaxError(f"expected {context} at offset {position}")
+    start = position
+    position += 1
+    # XPath names may not contain ':' outside a prefix — we accept plain
+    # NCNames with dashes/dots (is_name_char minus ':').
+    while position < len(expression) and is_name_char(expression[position]) and expression[position] != ":":
+        position += 1
+    return expression[start:position], position
+
+
+def _read_number(expression: str, position: int) -> tuple[str, int]:
+    start = position
+    while position < len(expression) and expression[position].isdigit():
+        position += 1
+    if position < len(expression) and expression[position] == ".":
+        position += 1
+        while position < len(expression) and expression[position].isdigit():
+            position += 1
+    return expression[start:position], position

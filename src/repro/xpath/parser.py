@@ -1,0 +1,320 @@
+"""Recursive-descent parser for XPath.
+
+Produces the :mod:`repro.xpath.ast` tree.  The grammar is XPath 1.0 with
+the abbreviations expanded during parsing:
+
+* ``//``     → ``/descendant-or-self::node()/``
+* ``.``      → ``self::node()``
+* ``..``     → ``parent::node()``
+* ``@name``  → ``attribute::name``
+* no axis    → ``child::``
+"""
+
+from __future__ import annotations
+
+from repro.errors import XPathSyntaxError
+from repro.xpath.ast import (
+    Axis,
+    BinaryExpr,
+    Expr,
+    FilterExpr,
+    FunctionCall,
+    KindTest,
+    Literal,
+    LocationPath,
+    NameTest,
+    NodeTest,
+    Number,
+    OrExpr,
+    AndExpr,
+    PathExpr,
+    Step,
+    UnaryMinus,
+    UnionExpr,
+    VariableRef,
+)
+from repro.xpath.lexer import Token, TokenKind, tokenize
+
+_AXES_BY_NAME = {axis.value: axis for axis in Axis}
+
+_DESCENDANT_OR_SELF_STEP = Step(Axis.DESCENDANT_OR_SELF, KindTest("node"))
+
+
+class XPathParser:
+    """One-shot parser instance; use :func:`parse_xpath`."""
+
+    def __init__(self, expression: str) -> None:
+        self._expression = expression
+        self._tokens = tokenize(expression)
+        self._index = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind is not TokenKind.EOF:
+            self._index += 1
+        return token
+
+    def _check(self, kind: TokenKind, value: str | None = None) -> bool:
+        token = self._peek()
+        return token.kind is kind and (value is None or token.value == value)
+
+    def _accept(self, kind: TokenKind, value: str | None = None) -> Token | None:
+        if self._check(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: TokenKind, context: str) -> Token:
+        token = self._peek()
+        if token.kind is not kind:
+            raise XPathSyntaxError(
+                f"expected {kind.value} in {context}, found {token.value!r} "
+                f"(offset {token.position}) in {self._expression!r}"
+            )
+        return self._advance()
+
+    def _error(self, message: str) -> XPathSyntaxError:
+        token = self._peek()
+        return XPathSyntaxError(
+            f"{message} at offset {token.position} (near {token.value!r}) in {self._expression!r}"
+        )
+
+    # -- entry points ------------------------------------------------------
+
+    def parse(self) -> Expr:
+        expr = self._parse_or()
+        if self._peek().kind is not TokenKind.EOF:
+            raise self._error("trailing input")
+        return expr
+
+    # -- expression levels ----------------------------------------------------
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self._accept(TokenKind.OPERATOR, "or"):
+            left = OrExpr(left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_comparison()
+        while self._accept(TokenKind.OPERATOR, "and"):
+            left = AndExpr(left, self._parse_comparison())
+        return left
+
+    _EQUALITY = ("=", "!=", "eq", "ne", "is", "<<", ">>")
+    _RELATIONAL = ("<", "<=", ">", ">=", "lt", "le", "gt", "ge")
+
+    def _parse_comparison(self) -> Expr:
+        left = self._parse_relational()
+        while True:
+            token = self._peek()
+            if token.kind is TokenKind.OPERATOR and token.value in self._EQUALITY:
+                self._advance()
+                left = BinaryExpr(token.value, left, self._parse_relational())
+            else:
+                return left
+
+    def _parse_relational(self) -> Expr:
+        left = self._parse_additive()
+        while True:
+            token = self._peek()
+            if token.kind is TokenKind.OPERATOR and token.value in self._RELATIONAL:
+                self._advance()
+                left = BinaryExpr(token.value, left, self._parse_additive())
+            else:
+                return left
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while True:
+            token = self._peek()
+            if token.kind is TokenKind.OPERATOR and token.value in ("+", "-"):
+                self._advance()
+                left = BinaryExpr(token.value, left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.kind is TokenKind.OPERATOR and token.value in ("*", "div", "mod"):
+                self._advance()
+                left = BinaryExpr(token.value, left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self) -> Expr:
+        if self._accept(TokenKind.OPERATOR, "-"):
+            return UnaryMinus(self._parse_unary())
+        return self._parse_union()
+
+    def _parse_union(self) -> Expr:
+        left = self._parse_path()
+        while self._accept(TokenKind.OPERATOR, "|"):
+            left = UnionExpr(left, self._parse_path())
+        return left
+
+    # -- paths ------------------------------------------------------------------
+
+    def _parse_path(self) -> Expr:
+        token = self._peek()
+        if token.kind in (TokenKind.SLASH, TokenKind.DOUBLE_SLASH):
+            return self._parse_absolute_path()
+        if self._starts_step(token):
+            steps = self._parse_relative_steps()
+            return LocationPath(tuple(steps), absolute=False)
+        # FilterExpr, optionally continued by '/' or '//'.
+        primary = self._parse_primary()
+        predicates: list[Expr] = []
+        while self._check(TokenKind.LBRACKET):
+            predicates.append(self._parse_predicate())
+        source: Expr = FilterExpr(primary, tuple(predicates)) if predicates else primary
+        if self._peek().kind in (TokenKind.SLASH, TokenKind.DOUBLE_SLASH):
+            steps: list[Step] = []
+            if self._accept(TokenKind.DOUBLE_SLASH):
+                steps.append(_DESCENDANT_OR_SELF_STEP)
+            else:
+                self._expect(TokenKind.SLASH, "path continuation")
+            steps.extend(self._parse_relative_steps())
+            return PathExpr(source, tuple(steps))
+        return source
+
+    def _parse_absolute_path(self) -> LocationPath:
+        steps: list[Step] = []
+        if self._accept(TokenKind.DOUBLE_SLASH):
+            steps.append(_DESCENDANT_OR_SELF_STEP)
+            steps.extend(self._parse_relative_steps())
+        else:
+            self._expect(TokenKind.SLASH, "absolute path")
+            if self._starts_step(self._peek()):
+                steps.extend(self._parse_relative_steps())
+        return LocationPath(tuple(steps), absolute=True)
+
+    @staticmethod
+    def _starts_step(token: Token) -> bool:
+        return token.kind in (
+            TokenKind.NAME,
+            TokenKind.AXIS,
+            TokenKind.STAR,
+            TokenKind.NODE_TYPE,
+            TokenKind.AT,
+            TokenKind.DOT,
+            TokenKind.DOTDOT,
+        )
+
+    def _parse_relative_steps(self) -> list[Step]:
+        steps = [self._parse_step()]
+        while True:
+            if self._accept(TokenKind.DOUBLE_SLASH):
+                steps.append(_DESCENDANT_OR_SELF_STEP)
+                steps.append(self._parse_step())
+            elif self._accept(TokenKind.SLASH):
+                steps.append(self._parse_step())
+            else:
+                return steps
+
+    def _parse_step(self) -> Step:
+        token = self._peek()
+        if token.kind is TokenKind.DOT:
+            self._advance()
+            return Step(Axis.SELF, KindTest("node"))
+        if token.kind is TokenKind.DOTDOT:
+            self._advance()
+            return Step(Axis.PARENT, KindTest("node"))
+        axis = Axis.CHILD
+        if token.kind is TokenKind.AXIS:
+            self._advance()
+            try:
+                axis = _AXES_BY_NAME[token.value]
+            except KeyError:
+                raise XPathSyntaxError(f"unknown axis {token.value!r}") from None
+        elif token.kind is TokenKind.AT:
+            self._advance()
+            axis = Axis.ATTRIBUTE
+        test = self._parse_node_test()
+        predicates: list[Expr] = []
+        while self._check(TokenKind.LBRACKET):
+            predicates.append(self._parse_predicate())
+        return Step(axis, test, tuple(predicates))
+
+    def _parse_node_test(self) -> NodeTest:
+        token = self._peek()
+        if token.kind is TokenKind.STAR:
+            self._advance()
+            return NameTest(None)
+        if token.kind is TokenKind.NODE_TYPE:
+            self._advance()
+            self._expect(TokenKind.LPAREN, f"{token.value}()")
+            if token.value == "processing-instruction" and self._check(TokenKind.LITERAL):
+                self._advance()  # PI target is accepted and ignored
+            self._expect(TokenKind.RPAREN, f"{token.value}()")
+            return KindTest(token.value)
+        if token.kind is TokenKind.NAME:
+            self._advance()
+            # The paper writes the node kind test without parentheses
+            # (self::node, parent::node); accept that spelling.  Bare
+            # ``text`` stays a *name* test — XMark has an element named
+            # text — so text nodes are selected with standard ``text()``.
+            if token.value == "node":
+                return KindTest("node")
+            return NameTest(token.value)
+        # A bare node-type name used without parentheses in axis position
+        # (the paper writes child::text and self::node): accept it.
+        if token.kind is TokenKind.FUNCTION and token.value in ("node", "text", "element", "comment"):
+            self._advance()
+            self._expect(TokenKind.LPAREN, f"{token.value}()")
+            self._expect(TokenKind.RPAREN, f"{token.value}()")
+            return KindTest(token.value)
+        raise self._error("expected a node test")
+
+    def _parse_predicate(self) -> Expr:
+        self._expect(TokenKind.LBRACKET, "predicate")
+        expr = self._parse_or()
+        self._expect(TokenKind.RBRACKET, "predicate")
+        return expr
+
+    def _parse_primary(self) -> Expr:
+        token = self._peek()
+        if token.kind is TokenKind.VARIABLE:
+            self._advance()
+            return VariableRef(token.value)
+        if token.kind is TokenKind.LITERAL:
+            self._advance()
+            return Literal(token.value)
+        if token.kind is TokenKind.NUMBER:
+            self._advance()
+            return Number(float(token.value))
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            expr = self._parse_or()
+            self._expect(TokenKind.RPAREN, "parenthesised expression")
+            return expr
+        if token.kind is TokenKind.FUNCTION:
+            self._advance()
+            self._expect(TokenKind.LPAREN, f"{token.value}()")
+            args: list[Expr] = []
+            if not self._check(TokenKind.RPAREN):
+                args.append(self._parse_or())
+                while self._accept(TokenKind.COMMA):
+                    args.append(self._parse_or())
+            self._expect(TokenKind.RPAREN, f"{token.value}()")
+            return FunctionCall(token.value, tuple(args))
+        raise self._error("expected an expression")
+
+
+def parse_xpath(expression: str) -> Expr:
+    """Parse an XPath expression into the AST."""
+    return XPathParser(expression).parse()
+
+
+def parse_location_path(expression: str) -> LocationPath:
+    """Parse, requiring the result to be a plain location path."""
+    expr = parse_xpath(expression)
+    if not isinstance(expr, LocationPath):
+        raise XPathSyntaxError(f"{expression!r} is not a location path")
+    return expr

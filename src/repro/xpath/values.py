@@ -1,0 +1,251 @@
+"""XPath value system: node-sets, booleans, numbers, strings.
+
+Implements the XPath 1.0 coercion and comparison semantics, plus attribute
+"nodes".  The tree data model (Section 2.1 of the paper) does not reify
+attributes as nodes, so the evaluator materialises lightweight
+:class:`AttributeNode` proxies on demand; identity is (owner id, name) and
+document order places them after their owner and before its children.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+from repro.xmltree.nodes import Element, Node, Text
+
+
+class AttributeNode:
+    """An attribute viewed as an XPath node."""
+
+    __slots__ = ("owner", "name", "value", "_order")
+
+    def __init__(self, owner: Element, name: str, value: str, order: int) -> None:
+        self.owner = owner
+        self.name = name
+        self.value = value
+        self._order = order  # index among the owner's attributes
+
+    @property
+    def parent(self) -> Element:
+        return self.owner
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, AttributeNode)
+            and other.owner is self.owner
+            and other.name == self.name
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.owner), self.name))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AttributeNode({self.name}={self.value!r} on <{self.owner.tag}>)"
+
+
+XPathNode = Union[Node, AttributeNode]
+#: An XPath value: node-set (list in document order), number, string, bool.
+XPathValue = Union[list, float, str, bool]
+
+
+def document_order_key(node: XPathNode) -> tuple[int, int, int]:
+    """Sort key realising document order including attribute nodes:
+    an element at preorder id ``i`` sorts as (i, 0, 0); its attributes as
+    (i, 1, k); its first child has preorder id > i so sorts after both."""
+    if isinstance(node, AttributeNode):
+        return (node.owner.node_id, 1, node._order)
+    return (node.node_id, 0, 0)
+
+
+def identity_key(node: XPathNode) -> tuple:
+    if isinstance(node, AttributeNode):
+        return ("attr", id(node.owner), node.name)
+    return ("node", id(node))
+
+
+def sort_document_order(nodes: list) -> list:
+    """Sort and deduplicate a node list into document order."""
+    seen: set = set()
+    unique = []
+    for node in nodes:
+        key = identity_key(node)
+        if key not in seen:
+            seen.add(key)
+            unique.append(node)
+    unique.sort(key=document_order_key)
+    return unique
+
+
+def string_value(node: XPathNode) -> str:
+    """The XPath string-value of a node (elements, text, attributes and
+    the virtual document root all answer ``text_value``-style)."""
+    if isinstance(node, AttributeNode):
+        return node.value
+    if isinstance(node, Text):
+        return node.value
+    return node.text_value()
+
+
+def node_name(node: XPathNode) -> str:
+    if isinstance(node, AttributeNode):
+        return node.name
+    if isinstance(node, Element):
+        return node.tag
+    return ""
+
+
+# -- coercions (XPath 1.0 section 3 / 4) -----------------------------------
+
+
+def to_boolean(value: XPathValue) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        return bool(value) and not math.isnan(value)
+    if isinstance(value, str):
+        return len(value) > 0
+    if isinstance(value, list):
+        return len(value) > 0
+    raise TypeError(f"not an XPath value: {value!r}")
+
+
+def to_number(value: XPathValue) -> float:
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, float):
+        return value
+    if isinstance(value, str):
+        try:
+            return float(value.strip())
+        except ValueError:
+            return math.nan
+    if isinstance(value, list):
+        return to_number(to_string(value))
+    raise TypeError(f"not an XPath value: {value!r}")
+
+
+def to_string(value: XPathValue) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return format_number(value)
+    if isinstance(value, str):
+        return value
+    if isinstance(value, list):
+        if not value:
+            return ""
+        return string_value(value[0])
+    raise TypeError(f"not an XPath value: {value!r}")
+
+
+def format_number(value: float) -> str:
+    """XPath number-to-string: integers print without a decimal point."""
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "Infinity" if value > 0 else "-Infinity"
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+# -- comparisons ------------------------------------------------------------
+
+_NUMERIC_OPS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+_VALUE_OPS = {"eq": "=", "ne": "!=", "lt": "<", "le": "<=", "gt": ">", "ge": ">="}
+
+
+def compare(op: str, left: XPathValue, right: XPathValue) -> bool:
+    """Evaluate a comparison operator on two XPath values.
+
+    ``= != < <= > >=`` follow the XPath 1.0 general-comparison rules
+    (existential over node-sets); ``eq ne lt le gt ge`` are the XPath 2.0
+    value comparisons applied to atomised operands; ``is << >>`` compare
+    node identity / document order of singleton node-sets.
+    """
+    if op in _VALUE_OPS:
+        return _compare_atomic(_VALUE_OPS[op], _atomize_first(left), _atomize_first(right))
+    if op in ("is", "<<", ">>"):
+        return _compare_nodes(op, left, right)
+    if op in _NUMERIC_OPS:
+        return _general_compare(op, left, right)
+    raise ValueError(f"unknown comparison operator {op!r}")
+
+
+def _atomize_first(value: XPathValue) -> XPathValue:
+    if isinstance(value, list):
+        if not value:
+            return value  # empty sequence: comparisons yield False
+        return string_value(value[0])
+    return value
+
+
+def _compare_atomic(op: str, left: XPathValue, right: XPathValue) -> bool:
+    if isinstance(left, list) or isinstance(right, list):
+        return False  # an empty sequence compares to nothing
+    if isinstance(left, bool) or isinstance(right, bool):
+        return _NUMERIC_OPS[op](to_boolean(left), to_boolean(right))
+    if isinstance(left, float) or isinstance(right, float):
+        return _NUMERIC_OPS[op](to_number(left), to_number(right))
+    if op in ("=", "!="):
+        return _NUMERIC_OPS[op](to_string(left), to_string(right))
+    # Value comparison of two strings: XPath 2.0 compares them as strings.
+    return _NUMERIC_OPS[op](to_string(left), to_string(right))
+
+
+def _compare_nodes(op: str, left: XPathValue, right: XPathValue) -> bool:
+    if not (isinstance(left, list) and isinstance(right, list)):
+        raise TypeError(f"operator {op!r} requires node-set operands")
+    if not left or not right:
+        return False
+    a, b = left[0], right[0]
+    if op == "is":
+        return identity_key(a) == identity_key(b)
+    if op == "<<":
+        return document_order_key(a) < document_order_key(b)
+    return document_order_key(a) > document_order_key(b)
+
+
+def _general_compare(op: str, left: XPathValue, right: XPathValue) -> bool:
+    # XPath 1.0 §3.4: when either operand is a boolean, both are compared
+    # as booleans — this takes precedence over the node-set rules (so
+    # ``false() = //nothing`` is true).
+    if isinstance(left, bool) or isinstance(right, bool):
+        return _NUMERIC_OPS[op](to_boolean(left), to_boolean(right))
+    left_is_set = isinstance(left, list)
+    right_is_set = isinstance(right, list)
+    if left_is_set and right_is_set:
+        for lnode in left:
+            lvalue = string_value(lnode)
+            for rnode in right:
+                if _general_atomic(op, lvalue, string_value(rnode)):
+                    return True
+        return False
+    if left_is_set:
+        return any(_general_atomic(op, string_value(node), right) for node in left)
+    if right_is_set:
+        # Mirror the operator so the node is always the left operand.
+        mirrored = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}[op]
+        return any(_general_atomic(mirrored, string_value(node), left) for node in right)
+    return _general_atomic(op, left, right)
+
+
+def _general_atomic(op: str, left: XPathValue, right: XPathValue) -> bool:
+    """General comparison where neither operand is a node-set (but either
+    may be a node's string-value)."""
+    if isinstance(left, bool) or isinstance(right, bool):
+        return _NUMERIC_OPS[op](to_boolean(left), to_boolean(right))
+    if op in ("=", "!="):
+        if isinstance(left, float) or isinstance(right, float):
+            return _NUMERIC_OPS[op](to_number(left), to_number(right))
+        return _NUMERIC_OPS[op](to_string(left), to_string(right))
+    return _NUMERIC_OPS[op](to_number(left), to_number(right))

@@ -1,0 +1,335 @@
+"""XPathℓ — the paper's analysis sub-language (Section 3).
+
+XPathℓ paths contain only upward/downward axes and unnested disjunctive
+predicates::
+
+    Axis  ::= self | child | descendant | parent | ancestor
+            | descendant-or-self | ancestor-or-self | attribute
+    Test  ::= tag | node | text | * | element()
+    SPath ::= Axis::Test | Axis::Test/SPath
+    Cond  ::= SPath or ... or SPath
+    Path  ::= Step | Step/Path,  Step ::= Axis::Test | Axis::Test[Cond]
+
+(The formal development in the paper omits the ``-or-self`` axes and
+attributes "for the sake of presentation"; its implementation — and ours —
+supports them, see Section 6.)
+
+The module defines the AST, the denotational semantics of Definitions
+3.1–3.3 (used by tests to cross-check the full XPath evaluator and by the
+completeness experiments), conversion to the full-XPath AST, and a parser
+for paths already in XPathℓ form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import XPathSyntaxError, XPathTypeError
+from repro.xmltree.nodes import Document, Element, Node, Text
+from repro.xpath import ast as xp
+from repro.xpath.parser import parse_xpath
+from repro.xpath.values import AttributeNode, XPathNode
+
+#: Axes admitted in XPathℓ.
+L_AXES = frozenset(
+    (
+        xp.Axis.SELF,
+        xp.Axis.CHILD,
+        xp.Axis.DESCENDANT,
+        xp.Axis.PARENT,
+        xp.Axis.ANCESTOR,
+        xp.Axis.DESCENDANT_OR_SELF,
+        xp.Axis.ANCESTOR_OR_SELF,
+        xp.Axis.ATTRIBUTE,
+    )
+)
+
+
+@dataclass(frozen=True, slots=True)
+class LStep:
+    """One XPathℓ step.  ``condition`` is a disjunction of *simple* paths
+    (no nested conditions), or None."""
+
+    axis: xp.Axis
+    test: xp.NodeTest
+    condition: tuple["SimplePath", ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.axis not in L_AXES:
+            raise XPathTypeError(f"axis {self.axis.value} is not part of XPathℓ")
+        if self.condition is not None:
+            for path in self.condition:
+                for step in path.steps:
+                    if step.condition is not None:
+                        raise XPathTypeError("XPathℓ conditions must be simple paths")
+
+    def __str__(self) -> str:
+        base = f"{self.axis.value}::{self.test}"
+        if self.condition is None:
+            return base
+        cond = " or ".join(str(path) for path in self.condition)
+        return f"{base}[{cond}]"
+
+
+@dataclass(frozen=True, slots=True)
+class SimplePath:
+    """A predicate-free XPathℓ path (the paper's SPath)."""
+
+    steps: tuple[LStep, ...]
+
+    def __post_init__(self) -> None:
+        for step in self.steps:
+            if step.condition is not None:
+                raise XPathTypeError("a SimplePath cannot carry conditions")
+
+    def __str__(self) -> str:
+        return "/".join(str(step) for step in self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+@dataclass(frozen=True, slots=True)
+class PathL:
+    """A full XPathℓ path (steps may carry disjunctive conditions).
+
+    ``absolute`` records the path's anchor: True means document-rooted
+    (a leading ``/`` — the first step applies at the virtual document
+    node), False means rooted at the root *element* (the paper's
+    convention, which "omits the treatment of leading /").
+    :func:`element_rooted` converts the former into the latter for the
+    static analysis.
+    """
+
+    steps: tuple[LStep, ...]
+    absolute: bool = False
+
+    def __str__(self) -> str:
+        body = "/".join(str(step) for step in self.steps)
+        return ("/" + body) if self.absolute else body
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def prepend(self, *steps: LStep) -> "PathL":
+        return PathL(tuple(steps) + self.steps, self.absolute)
+
+    def append(self, *steps: LStep) -> "PathL":
+        return PathL(self.steps + tuple(steps), self.absolute)
+
+
+# -- constructors --------------------------------------------------------------
+
+
+def step(axis: xp.Axis, test: xp.NodeTest | str, condition: Iterable[SimplePath] | None = None) -> LStep:
+    """Convenience step constructor: ``test`` may be a tag string,
+    ``"node"``, ``"text"`` or ``"*"``."""
+    if isinstance(test, str):
+        if test == "node":
+            test = xp.KindTest("node")
+        elif test == "text":
+            test = xp.KindTest("text")
+        elif test == "*":
+            test = xp.NameTest(None)
+        else:
+            test = xp.NameTest(test)
+    cond = tuple(condition) if condition is not None else None
+    return LStep(axis, test, cond)
+
+
+def simple(*steps: LStep) -> SimplePath:
+    return SimplePath(tuple(steps))
+
+
+def path(*steps: LStep) -> PathL:
+    return PathL(tuple(steps))
+
+
+SELF_NODE = step(xp.Axis.SELF, "node")
+DOS_NODE = step(xp.Axis.DESCENDANT_OR_SELF, "node")
+
+#: ``{self::node}`` as a SimplePath — the "always true" condition added
+#: when a predicate has non-structural parts (Section 3.3).
+SELF_NODE_PATH = simple(SELF_NODE)
+#: ``descendant-or-self::node`` as a SimplePath suffix.
+DOS_NODE_PATH = simple(DOS_NODE)
+
+
+# -- semantics (Definitions 3.1 - 3.3) ----------------------------------------
+
+
+def _filter_test(nodes: Iterable[XPathNode], test: xp.NodeTest, axis: xp.Axis) -> Iterator[XPathNode]:
+    """Def 3.1 ``S ::_t Test`` (plus attribute/wildcard extensions)."""
+    attribute_axis = axis is xp.Axis.ATTRIBUTE
+    for node in nodes:
+        if isinstance(test, xp.KindTest):
+            if test.kind == "node":
+                yield node
+            elif test.kind == "text" and isinstance(node, Text):
+                yield node
+            elif test.kind == "element" and isinstance(node, Element):
+                yield node
+        else:
+            assert isinstance(test, xp.NameTest)
+            if attribute_axis:
+                if isinstance(node, AttributeNode) and (test.name is None or node.name == test.name):
+                    yield node
+            elif isinstance(node, Element) and (test.name is None or node.tag == test.name):
+                yield node
+
+
+def _axis_select(nodes: Iterable[XPathNode], axis: xp.Axis) -> Iterator[XPathNode]:
+    """Def 3.2 ``[[Axis]]_t(S)`` for the XPathℓ axes."""
+    for node in nodes:
+        if isinstance(node, AttributeNode):
+            if axis is xp.Axis.SELF:
+                yield node
+            elif axis is xp.Axis.PARENT:
+                yield node.owner
+            elif axis is xp.Axis.ANCESTOR:
+                yield node.owner
+                yield from node.owner.ancestors()
+            elif axis is xp.Axis.ANCESTOR_OR_SELF:
+                yield node
+                yield node.owner
+                yield from node.owner.ancestors()
+            continue
+        if axis is xp.Axis.SELF:
+            yield node
+        elif axis is xp.Axis.CHILD:
+            if isinstance(node, Element):
+                yield from node.children
+        elif axis is xp.Axis.DESCENDANT:
+            yield from node.descendants()
+        elif axis is xp.Axis.DESCENDANT_OR_SELF:
+            yield from node.self_and_descendants()
+        elif axis is xp.Axis.PARENT:
+            if node.parent is not None:
+                yield node.parent
+        elif axis is xp.Axis.ANCESTOR:
+            yield from node.ancestors()
+        elif axis is xp.Axis.ANCESTOR_OR_SELF:
+            yield from node.ancestors_or_self()
+        elif axis is xp.Axis.ATTRIBUTE:
+            if isinstance(node, Element):
+                for order, (name, value) in enumerate(node.attributes.items()):
+                    yield AttributeNode(node, name, value, order)
+
+
+def _unique(nodes: Iterable[XPathNode]) -> list[XPathNode]:
+    seen: set = set()
+    result: list[XPathNode] = []
+    for node in nodes:
+        key = (id(node.owner), node.name) if isinstance(node, AttributeNode) else id(node)
+        if key not in seen:
+            seen.add(key)
+            result.append(node)
+    return result
+
+
+def evaluate_steps(nodes: list[XPathNode], steps: tuple[LStep, ...]) -> list[XPathNode]:
+    """Def 3.3 extended with conditions (Section 3.2)."""
+    current = nodes
+    for lstep in steps:
+        selected = _unique(_filter_test(_axis_select(current, lstep.axis), lstep.test, lstep.axis))
+        if lstep.condition is not None:
+            selected = [node for node in selected if check_condition(node, lstep.condition)]
+        current = selected
+    return current
+
+
+def check_condition(node: XPathNode, condition: tuple[SimplePath, ...]) -> bool:
+    """``Check_t[Cond](i)`` (Section 3.2): some disjunct is non-empty."""
+    return any(evaluate_steps([node], disjunct.steps) for disjunct in condition)
+
+
+def evaluate_pathl(document: Document, query: PathL | SimplePath, start: list[XPathNode] | None = None) -> list[XPathNode]:
+    """Evaluate an XPathℓ path from the document root (or ``start``).
+    Absolute paths are element-rooted first (see :func:`element_rooted`)."""
+    if isinstance(query, PathL) and query.absolute and start is None:
+        adjusted = element_rooted(query)
+        if adjusted is None:
+            return []
+        query = adjusted
+    nodes: list[XPathNode] = start if start is not None else [document.root]
+    return evaluate_steps(nodes, query.steps)
+
+
+def element_rooted(query: PathL) -> PathL | None:
+    """Convert a document-rooted path into the equivalent path rooted at
+    the root *element* (the anchor the Figures 1/2 judgements use):
+
+    * ``/child::T...``       → ``self::T...``
+    * ``/descendant::T...``  → ``descendant-or-self::T...``
+    * other leading axes select nothing from the virtual document node —
+      the function returns None (the path is dead).
+    """
+    if not query.absolute:
+        return query
+    if not query.steps:
+        return None
+    first = query.steps[0]
+    if first.axis is xp.Axis.CHILD:
+        adjusted = LStep(xp.Axis.SELF, first.test, first.condition)
+    elif first.axis is xp.Axis.DESCENDANT:
+        adjusted = LStep(xp.Axis.DESCENDANT_OR_SELF, first.test, first.condition)
+    elif first.axis in (xp.Axis.DESCENDANT_OR_SELF, xp.Axis.SELF):
+        adjusted = first
+    else:
+        return None
+    return PathL((adjusted,) + query.steps[1:], absolute=False)
+
+
+# -- conversions ------------------------------------------------------------------
+
+
+def to_xpath(query: PathL | SimplePath) -> xp.LocationPath:
+    """Render an XPathℓ path as a full-XPath location path (so the generic
+    evaluator can run it — used in cross-checking tests)."""
+    steps = []
+    for lstep in query.steps:
+        predicates: tuple[xp.Expr, ...] = ()
+        if lstep.condition is not None:
+            disjuncts = [to_xpath(disjunct) for disjunct in lstep.condition]
+            expr: xp.Expr = disjuncts[0]
+            for disjunct in disjuncts[1:]:
+                expr = xp.OrExpr(expr, disjunct)
+            predicates = (expr,)
+        steps.append(xp.Step(lstep.axis, lstep.test, predicates))
+    absolute = isinstance(query, PathL) and query.absolute
+    return xp.LocationPath(tuple(steps), absolute=absolute)
+
+
+def from_xpath(expr: xp.Expr) -> PathL:
+    """Interpret a full-XPath AST as XPathℓ, raising if it is not already
+    in the sub-language.  (For arbitrary XPath use
+    :func:`repro.xpath.approximation.approximate_query` instead.)"""
+    if not isinstance(expr, xp.LocationPath):
+        raise XPathTypeError(f"not an XPathℓ path: {expr}")
+    steps: list[LStep] = []
+    for xstep in expr.steps:
+        condition = None
+        if xstep.predicates:
+            if len(xstep.predicates) > 1:
+                raise XPathTypeError("XPathℓ steps take a single [Cond] predicate")
+            condition = tuple(_condition_from_expr(xstep.predicates[0]))
+        steps.append(LStep(xstep.axis, xstep.test, condition))
+    return PathL(tuple(steps), absolute=expr.absolute)
+
+
+def _condition_from_expr(expr: xp.Expr) -> list[SimplePath]:
+    if isinstance(expr, xp.OrExpr):
+        return _condition_from_expr(expr.left) + _condition_from_expr(expr.right)
+    if isinstance(expr, xp.LocationPath) and not expr.absolute:
+        lpath = from_xpath(expr)
+        return [SimplePath(lpath.steps)]
+    raise XPathTypeError(f"not an XPathℓ condition: {expr}")
+
+
+def parse_pathl(expression: str) -> PathL:
+    """Parse a string that must already be in XPathℓ."""
+    try:
+        return from_xpath(parse_xpath(expression))
+    except XPathTypeError as exc:
+        raise XPathSyntaxError(str(exc)) from exc

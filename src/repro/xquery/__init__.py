@@ -1,0 +1,51 @@
+"""XQuery FLWR core (Section 5): parser, evaluator, path extraction.
+
+The projector pipeline for XQuery::
+
+    q  --rewrite_query-->  q'  --extract_paths (Fig. 3)-->  {P1..Pn}
+       --infer projector per Pi, union-->  π
+"""
+
+from repro.xquery.ast import (
+    AttributeValue,
+    ElementConstructor,
+    EmptySequence,
+    ForExpr,
+    IfExpr,
+    LetExpr,
+    OrderByExpr,
+    QExpr,
+    QuantifiedExpr,
+    Sequence,
+    free_variables,
+)
+from repro.xquery.evaluator import (
+    XQueryEvaluator,
+    effective_boolean,
+    evaluate_xquery,
+    serialize_sequence,
+)
+from repro.xquery.extraction import extract_paths
+from repro.xquery.parser import parse_xquery
+from repro.xquery.rewrite import rewrite_query
+
+__all__ = [
+    "AttributeValue",
+    "ElementConstructor",
+    "EmptySequence",
+    "ForExpr",
+    "IfExpr",
+    "LetExpr",
+    "OrderByExpr",
+    "QExpr",
+    "QuantifiedExpr",
+    "Sequence",
+    "XQueryEvaluator",
+    "effective_boolean",
+    "evaluate_xquery",
+    "extract_paths",
+    "free_variables",
+    "parse_xquery",
+    "rewrite_query",
+    "serialize_sequence",
+]

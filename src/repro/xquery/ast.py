@@ -1,0 +1,238 @@
+"""AST for the XQuery FLWR core of Section 5.
+
+The grammar (paper, Section 5)::
+
+    q ::= () | AExp | q, q | <tag>q</tag> | x | Q | x/Q | /Q
+        | if Exp then q else q
+        | for x in q return q
+        | let x := q return q
+
+Plain expressions (paths, comparisons, function calls, literals,
+variables) reuse the XPath AST (:mod:`repro.xpath.ast`) — a ``VariableRef``
+or variable-rooted ``PathExpr`` is exactly the paper's ``x`` / ``x/Q``.
+Only the XQuery-specific forms get nodes here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.xpath import ast as xp
+
+QExpr = Union[
+    xp.Expr,
+    "EmptySequence",
+    "Sequence",
+    "ElementConstructor",
+    "IfExpr",
+    "ForExpr",
+    "LetExpr",
+    "QuantifiedExpr",
+    "OrderByExpr",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class EmptySequence:
+    """``()``."""
+
+    def __str__(self) -> str:
+        return "()"
+
+
+@dataclass(frozen=True, slots=True)
+class Sequence:
+    """``q1, q2, ...``."""
+
+    items: tuple[QExpr, ...]
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(item) for item in self.items) + ")"
+
+
+@dataclass(frozen=True, slots=True)
+class AttributeValue:
+    """A constructor attribute value: literal text mixed with enclosed
+    expressions, e.g. ``name="{$p/name} esq."``."""
+
+    parts: tuple[Union[str, QExpr], ...]
+
+    def __str__(self) -> str:
+        rendered = []
+        for part in self.parts:
+            rendered.append(part if isinstance(part, str) else "{" + str(part) + "}")
+        return "".join(rendered)
+
+
+@dataclass(frozen=True, slots=True)
+class ElementConstructor:
+    """``<tag attr="...">content</tag>``; content interleaves literal text
+    (str) and enclosed expressions (QExpr)."""
+
+    tag: str
+    attributes: tuple[tuple[str, AttributeValue], ...] = ()
+    content: tuple[Union[str, QExpr], ...] = ()
+
+    def __str__(self) -> str:
+        attrs = "".join(f' {name}="{value}"' for name, value in self.attributes)
+        body = "".join(
+            part if isinstance(part, str) else "{" + str(part) + "}" for part in self.content
+        )
+        return f"<{self.tag}{attrs}>{body}</{self.tag}>"
+
+
+@dataclass(frozen=True, slots=True)
+class IfExpr:
+    """``if (cond) then q1 else q2``."""
+
+    condition: QExpr
+    then_branch: QExpr
+    else_branch: QExpr
+
+    def __str__(self) -> str:
+        return f"if ({self.condition}) then {self.then_branch} else {self.else_branch}"
+
+
+@dataclass(frozen=True, slots=True)
+class ForExpr:
+    """``for $var in source return body`` (where-clauses are desugared to
+    an ``if`` in the body by the parser)."""
+
+    variable: str
+    source: QExpr
+    body: QExpr
+
+    def __str__(self) -> str:
+        return f"for ${self.variable} in {self.source} return {self.body}"
+
+
+@dataclass(frozen=True, slots=True)
+class LetExpr:
+    """``let $var := value return body``."""
+
+    variable: str
+    value: QExpr
+    body: QExpr
+
+    def __str__(self) -> str:
+        return f"let ${self.variable} := {self.value} return {self.body}"
+
+
+@dataclass(frozen=True, slots=True)
+class QuantifiedExpr:
+    """``some $var in source satisfies condition`` (or ``every``)."""
+
+    every: bool
+    variable: str
+    source: QExpr
+    condition: QExpr
+
+    def __str__(self) -> str:
+        kind = "every" if self.every else "some"
+        return f"{kind} ${self.variable} in {self.source} satisfies {self.condition}"
+
+
+@dataclass(frozen=True, slots=True)
+class OrderByExpr:
+    """A single-``for`` FLWOR with an ``order by`` clause::
+
+        for $var in source (let $v := e)* (where cond)?
+        order by key (descending)? return body
+
+    ``lets`` are per-iteration bindings evaluated before the condition and
+    the key.
+    """
+
+    variable: str
+    source: QExpr
+    lets: tuple[tuple[str, QExpr], ...]
+    condition: QExpr | None
+    key: QExpr
+    descending: bool
+    body: QExpr
+
+    def __str__(self) -> str:
+        lets = "".join(f" let ${name} := {value}" for name, value in self.lets)
+        where = f" where {self.condition}" if self.condition is not None else ""
+        order = f" order by {self.key}" + (" descending" if self.descending else "")
+        return f"for ${self.variable} in {self.source}{lets}{where}{order} return {self.body}"
+
+
+def free_variables(expr: QExpr) -> frozenset[str]:
+    """Variables occurring free in a query expression."""
+    if isinstance(expr, EmptySequence):
+        return frozenset()
+    if isinstance(expr, Sequence):
+        result: frozenset[str] = frozenset()
+        for item in expr.items:
+            result |= free_variables(item)
+        return result
+    if isinstance(expr, ElementConstructor):
+        result = frozenset()
+        for _, value in expr.attributes:
+            for part in value.parts:
+                if not isinstance(part, str):
+                    result |= free_variables(part)
+        for part in expr.content:
+            if not isinstance(part, str):
+                result |= free_variables(part)
+        return result
+    if isinstance(expr, IfExpr):
+        return (
+            free_variables(expr.condition)
+            | free_variables(expr.then_branch)
+            | free_variables(expr.else_branch)
+        )
+    if isinstance(expr, ForExpr):
+        return free_variables(expr.source) | (free_variables(expr.body) - {expr.variable})
+    if isinstance(expr, LetExpr):
+        return free_variables(expr.value) | (free_variables(expr.body) - {expr.variable})
+    if isinstance(expr, QuantifiedExpr):
+        return free_variables(expr.source) | (free_variables(expr.condition) - {expr.variable})
+    if isinstance(expr, OrderByExpr):
+        bound = {expr.variable}
+        result = free_variables(expr.source)
+        for name, value in expr.lets:
+            result |= free_variables(value) - bound
+            bound.add(name)
+        if expr.condition is not None:
+            result |= free_variables(expr.condition) - bound
+        result |= free_variables(expr.key) - bound
+        result |= free_variables(expr.body) - bound
+        return result
+    return _xpath_free_variables(expr)
+
+
+def _xpath_free_variables(expr: xp.Expr) -> frozenset[str]:
+    if isinstance(expr, xp.VariableRef):
+        return frozenset((expr.name,))
+    if isinstance(expr, xp.LocationPath):
+        result: frozenset[str] = frozenset()
+        for step in expr.steps:
+            for predicate in step.predicates:
+                result |= _xpath_free_variables(predicate)
+        return result
+    if isinstance(expr, xp.PathExpr):
+        result = _xpath_free_variables(expr.source)
+        for step in expr.steps:
+            for predicate in step.predicates:
+                result |= _xpath_free_variables(predicate)
+        return result
+    if isinstance(expr, xp.FilterExpr):
+        result = _xpath_free_variables(expr.primary)
+        for predicate in expr.predicates:
+            result |= _xpath_free_variables(predicate)
+        return result
+    if isinstance(expr, (xp.OrExpr, xp.AndExpr)):
+        return _xpath_free_variables(expr.left) | _xpath_free_variables(expr.right)
+    if isinstance(expr, (xp.BinaryExpr, xp.UnionExpr)):
+        return _xpath_free_variables(expr.left) | _xpath_free_variables(expr.right)
+    if isinstance(expr, xp.UnaryMinus):
+        return _xpath_free_variables(expr.operand)
+    if isinstance(expr, xp.FunctionCall):
+        result = frozenset()
+        for arg in expr.args:
+            result |= _xpath_free_variables(arg)
+        return result
+    return frozenset()

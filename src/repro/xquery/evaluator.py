@@ -1,0 +1,244 @@
+"""Evaluator for the XQuery FLWR core.
+
+Sequences are Python lists of items; an item is a tree node, an attribute
+node, or an atomic value (str/float/bool).  Plain-expression islands are
+delegated to the XPath evaluator with the current variable bindings — the
+same engine that runs standalone XPath, so original-vs-pruned comparisons
+exercise one code path.
+
+Element constructors copy their content (XQuery semantics): constructed
+trees are fresh nodes detached from the source document.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import XQueryEvaluationError
+from repro.xmltree.nodes import Document, Element, Node, Text
+from repro.xmltree.serializer import node_markup
+from repro.xpath import ast as xp
+from repro.xpath.evaluator import XPathEvaluator
+from repro.xpath.values import AttributeNode, string_value, to_boolean, to_string
+from repro.xquery.ast import (
+    AttributeValue,
+    ElementConstructor,
+    EmptySequence,
+    ForExpr,
+    IfExpr,
+    LetExpr,
+    OrderByExpr,
+    QExpr,
+    QuantifiedExpr,
+    Sequence,
+)
+from repro.xquery.parser import parse_xquery
+
+Item = "Node | AttributeNode | str | float | bool"
+
+
+class XQueryEvaluator:
+    """Evaluator bound to one document."""
+
+    def __init__(self, document: Document) -> None:
+        self.document = document
+        self._xpath = XPathEvaluator(document)
+
+    # -- public ------------------------------------------------------------
+
+    def evaluate(self, query: "str | QExpr") -> list:
+        expr = parse_xquery(query) if isinstance(query, str) else query
+        return self._eval(expr, {})
+
+    def evaluate_serialized(self, query: "str | QExpr") -> str:
+        """Evaluate and serialise the result sequence — the stable form
+        used to compare runs on original vs pruned documents."""
+        return serialize_sequence(self.evaluate(query))
+
+    @property
+    def nodes_touched(self) -> int:
+        return self._xpath.nodes_touched
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _eval(self, expr: QExpr, bindings: dict[str, list]) -> list:
+        if isinstance(expr, EmptySequence):
+            return []
+        if isinstance(expr, Sequence):
+            result: list = []
+            for item in expr.items:
+                result.extend(self._eval(item, bindings))
+            return result
+        if isinstance(expr, IfExpr):
+            if effective_boolean(self._eval(expr.condition, bindings)):
+                return self._eval(expr.then_branch, bindings)
+            return self._eval(expr.else_branch, bindings)
+        if isinstance(expr, ForExpr):
+            source = self._eval(expr.source, bindings)
+            result = []
+            for item in source:
+                inner = dict(bindings)
+                inner[expr.variable] = [item]
+                result.extend(self._eval(expr.body, inner))
+            return result
+        if isinstance(expr, LetExpr):
+            inner = dict(bindings)
+            inner[expr.variable] = self._eval(expr.value, bindings)
+            return self._eval(expr.body, inner)
+        if isinstance(expr, QuantifiedExpr):
+            source = self._eval(expr.source, bindings)
+            holds = (all if expr.every else any)(
+                effective_boolean(
+                    self._eval(expr.condition, {**bindings, expr.variable: [item]})
+                )
+                for item in source
+            )
+            return [holds]
+        if isinstance(expr, OrderByExpr):
+            return self._eval_order_by(expr, bindings)
+        if isinstance(expr, ElementConstructor):
+            return [self._construct(expr, bindings)]
+        if isinstance(expr, xp.Expr):
+            return self._eval_xpath(expr, bindings)
+        raise XQueryEvaluationError(f"cannot evaluate {expr!r}")
+
+    def _eval_order_by(self, expr: OrderByExpr, bindings: dict[str, list]) -> list:
+        keyed: list[tuple, dict] = []
+        for item in self._eval(expr.source, bindings):
+            inner = dict(bindings)
+            inner[expr.variable] = [item]
+            for name, value in expr.lets:
+                inner[name] = self._eval(value, inner)
+            if expr.condition is not None and not effective_boolean(
+                self._eval(expr.condition, inner)
+            ):
+                continue
+            key_items = self._eval(expr.key, inner)
+            keyed.append((_sort_key(key_items), inner))
+        keyed.sort(key=lambda pair: pair[0], reverse=expr.descending)
+        result: list = []
+        for _, inner in keyed:
+            result.extend(self._eval(expr.body, inner))
+        return result
+
+    def _eval_xpath(self, expr: xp.Expr, bindings: dict[str, list]) -> list:
+        evaluator = self._xpath
+        saved = evaluator.variables
+        evaluator.variables = {name: value for name, value in bindings.items()}
+        try:
+            value = evaluator.evaluate(expr)
+        finally:
+            evaluator.variables = saved
+        if isinstance(value, list):
+            return value
+        return [value]
+
+    # -- construction ----------------------------------------------------------
+
+    def _construct(self, constructor: ElementConstructor, bindings: dict[str, list]) -> Element:
+        element = Element(constructor.tag)
+        for name, value in constructor.attributes:
+            element.attributes[name] = self._attribute_text(value, bindings)
+        pending_atomics: list[str] = []
+
+        def flush_atomics() -> None:
+            if pending_atomics:
+                element.append(Text(" ".join(pending_atomics)))
+                pending_atomics.clear()
+
+        for part in constructor.content:
+            if isinstance(part, str):
+                flush_atomics()
+                element.append(Text(part))
+                continue
+            for item in self._eval(part, bindings):
+                if isinstance(item, (Element, Text)):
+                    flush_atomics()
+                    element.append(copy_node(item))
+                elif isinstance(item, AttributeNode):
+                    pending_atomics.append(item.value)
+                else:
+                    pending_atomics.append(to_string(item))
+        flush_atomics()
+        return element
+
+    def _attribute_text(self, value: AttributeValue, bindings: dict[str, list]) -> str:
+        pieces: list[str] = []
+        for part in value.parts:
+            if isinstance(part, str):
+                pieces.append(part)
+            else:
+                items = self._eval(part, bindings)
+                pieces.append(" ".join(_item_string(item) for item in items))
+        return "".join(pieces)
+
+
+def _item_string(item) -> str:
+    if isinstance(item, (Element, Text)):
+        return string_value(item)
+    if isinstance(item, AttributeNode):
+        return item.value
+    return to_string(item)
+
+
+def _sort_key(items: list) -> tuple:
+    """An order-by sort key: numeric when the value parses as a number
+    (the common XMark case), string otherwise; empty sequences sort
+    first (XQuery's 'empty least')."""
+    if not items:
+        return (0, 0.0, "")
+    text = _item_string(items[0])
+    try:
+        return (1, float(text), "")
+    except ValueError:
+        return (2, 0.0, text)
+
+
+def effective_boolean(sequence: list) -> bool:
+    """The XQuery effective boolean value of a sequence."""
+    if not sequence:
+        return False
+    first = sequence[0]
+    if isinstance(first, (Element, Text, AttributeNode)):
+        return True
+    if len(sequence) > 1:
+        raise XQueryEvaluationError("effective boolean value of a multi-item atomic sequence")
+    return to_boolean(first)
+
+
+def copy_node(node: Node) -> Node:
+    """Deep-copy a subtree (constructed results own their content)."""
+    if isinstance(node, Text):
+        return Text(node.value)
+    assert isinstance(node, Element)
+    fresh = Element(node.tag, dict(node.attributes))
+    stack: list[tuple[Element, Element]] = [(node, fresh)]
+    while stack:
+        original, duplicate = stack.pop()
+        for child in original.children:
+            if isinstance(child, Text):
+                duplicate.append(Text(child.value))
+            else:
+                assert isinstance(child, Element)
+                twin = Element(child.tag, dict(child.attributes))
+                duplicate.append(twin)
+                stack.append((child, twin))
+    return fresh
+
+
+def serialize_sequence(items: Iterable) -> str:
+    """Stable textual form of a result sequence."""
+    pieces: list[str] = []
+    for item in items:
+        if isinstance(item, (Element, Text)):
+            pieces.append("".join(node_markup(item)))
+        elif isinstance(item, AttributeNode):
+            pieces.append(f'{item.name}="{item.value}"')
+        else:
+            pieces.append(to_string(item))
+    return " ".join(pieces)
+
+
+def evaluate_xquery(document: Document, query: "str | QExpr") -> list:
+    """One-shot evaluation."""
+    return XQueryEvaluator(document).evaluate(query)

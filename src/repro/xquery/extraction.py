@@ -1,0 +1,314 @@
+"""Path extraction from XQuery — the function ``E`` of Figure 3.
+
+``E(q, Γ, m)`` walks a query collecting the XPathℓ paths that denote its
+data needs.  ``Γ`` tracks for/let variable bindings to the paths that
+define them; ``m`` flags whether ``q`` computes a (partial) result that
+must be *materialised* — in which case its paths are extended with
+``descendant-or-self::node`` (lines 6, 8, 10 of the figure).
+
+The union of the projectors inferred for the extracted paths is a sound
+projector for the query (Section 5); :func:`repro.analyze_xquery` wires
+this up.
+
+Same deliberate refinement as in :mod:`repro.xpath.approximation`: paths
+whose *string value* feeds a comparison, an arithmetic operator or a
+string function are materialised even at ``m = 0`` — extracting the bare
+path would allow the projector to prune the very text the operator reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import AnalysisError
+from repro.xpath import ast as xp
+from repro.xpath.approximation import approximate_query
+from repro.xpath.functions import function_needs_subtree
+from repro.xpath.xpathl import DOS_NODE, LStep, PathL
+from repro.xquery.ast import (
+    AttributeValue,
+    ElementConstructor,
+    EmptySequence,
+    ForExpr,
+    IfExpr,
+    LetExpr,
+    OrderByExpr,
+    QExpr,
+    QuantifiedExpr,
+    Sequence,
+)
+from repro.xquery.parser import parse_xquery
+
+
+class BindingKind(Enum):
+    FOR = "for"
+    LET = "let"
+
+
+@dataclass(frozen=True, slots=True)
+class Binding:
+    kind: BindingKind
+    paths: tuple[PathL, ...]
+
+
+Gamma = dict[str, Binding]
+
+
+def _with_subtree(path: PathL) -> PathL:
+    """Append ``descendant-or-self::node`` unless redundant (already
+    there, or the path ends at an attribute or text node)."""
+    if not path.steps:
+        return PathL((DOS_NODE,))
+    last = path.steps[-1]
+    if last.axis is xp.Axis.ATTRIBUTE:
+        return path
+    if isinstance(last.test, xp.KindTest) and last.test.kind == "text":
+        return path
+    if (
+        last.axis is xp.Axis.DESCENDANT_OR_SELF
+        and isinstance(last.test, xp.KindTest)
+        and last.test.kind == "node"
+        and last.condition is None
+    ):
+        return path
+    return path.append(DOS_NODE)
+
+
+class PathExtractor:
+    """One extraction run; use :func:`extract_paths`."""
+
+    def __init__(self) -> None:
+        self.collected: dict[tuple, PathL] = {}
+
+    # -- collection helpers ---------------------------------------------------
+
+    def _add(self, path: PathL) -> None:
+        self.collected.setdefault(path.steps, path)
+
+    def _add_all(self, paths) -> list[PathL]:
+        result = list(paths)
+        for path in result:
+            self._add(path)
+        return result
+
+    # -- E(q, Γ, m) ------------------------------------------------------------
+
+    def extract(self, query: QExpr, gamma: Gamma, materialize: bool) -> list[PathL]:
+        if isinstance(query, EmptySequence):
+            return []
+        if isinstance(query, Sequence):
+            paths: list[PathL] = []
+            for item in query.items:
+                paths += self.extract(item, gamma, materialize)
+            return paths
+        if isinstance(query, ElementConstructor):
+            # Line 5: constructing output adds the for-paths in scope.
+            paths = self._for_paths(gamma)
+            for _, value in query.attributes:
+                paths += self._extract_attribute(value, gamma)
+            for part in query.content:
+                if not isinstance(part, str):
+                    paths += self.extract(part, gamma, True)
+            return self._add_all(paths)
+        if isinstance(query, IfExpr):
+            # Line 15 (branches are materialised, both binding kinds added).
+            paths = self.extract(query.condition, gamma, False)
+            paths += self.extract(query.then_branch, gamma, True)
+            paths += self.extract(query.else_branch, gamma, True)
+            paths += [path for binding in gamma.values() for path in binding.paths]
+            return self._add_all(paths)
+        if isinstance(query, ForExpr):
+            # Line 16.
+            source_paths = self.extract(query.source, gamma, False)
+            inner = dict(gamma)
+            inner[query.variable] = Binding(BindingKind.FOR, tuple(source_paths))
+            return self._add_all(source_paths + self.extract(query.body, inner, materialize))
+        if isinstance(query, LetExpr):
+            # Line 17.
+            value_paths = self.extract(query.value, gamma, False)
+            inner = dict(gamma)
+            inner[query.variable] = Binding(BindingKind.LET, tuple(value_paths))
+            return self._add_all(value_paths + self.extract(query.body, inner, materialize))
+        if isinstance(query, QuantifiedExpr):
+            # Like a for whose body is a condition (existence only).
+            source_paths = self.extract(query.source, gamma, False)
+            inner = dict(gamma)
+            inner[query.variable] = Binding(BindingKind.FOR, tuple(source_paths))
+            return self._add_all(source_paths + self.extract(query.condition, inner, False))
+        if isinstance(query, OrderByExpr):
+            return self._extract_order_by(query, gamma, materialize)
+        if isinstance(query, xp.Expr):
+            return self._add_all(self._extract_xpath(query, gamma, materialize))
+        raise AnalysisError(f"cannot extract paths from {query!r}")
+
+    def _extract_order_by(self, query: OrderByExpr, gamma: Gamma, materialize: bool) -> list[PathL]:
+        paths = self.extract(query.source, gamma, False)
+        inner = dict(gamma)
+        inner[query.variable] = Binding(BindingKind.FOR, tuple(paths))
+        for name, value in query.lets:
+            value_paths = self.extract(value, inner, False)
+            paths += value_paths
+            inner[name] = Binding(BindingKind.LET, tuple(value_paths))
+        if query.condition is not None:
+            paths += self.extract(query.condition, inner, False)
+        # Sort keys are read as *values*: materialise them.
+        paths += [_with_subtree(path) for path in self.extract(query.key, inner, False)]
+        paths += self.extract(query.body, inner, materialize)
+        return self._add_all(paths)
+
+    def _for_paths(self, gamma: Gamma) -> list[PathL]:
+        return [
+            path
+            for binding in gamma.values()
+            if binding.kind is BindingKind.FOR
+            for path in binding.paths
+        ]
+
+    def _extract_attribute(self, value: AttributeValue, gamma: Gamma) -> list[PathL]:
+        paths: list[PathL] = []
+        for part in value.parts:
+            if isinstance(part, str):
+                continue
+            # Attribute content reads string values: materialise.
+            paths += [_with_subtree(path) for path in self.extract(part, gamma, False)]
+        return paths
+
+    # -- the Exp cases (lines 6-14) -----------------------------------------------
+
+    def _extract_xpath(self, expr: xp.Expr, gamma: Gamma, materialize: bool) -> list[PathL]:
+        if isinstance(expr, xp.VariableRef):
+            # Lines 6/7.
+            paths = list(self._binding(expr.name, gamma).paths)
+            return [_with_subtree(path) for path in paths] if materialize else paths
+        if isinstance(expr, xp.LocationPath):
+            # Lines 8/9 (+11/12 via the approximation machinery).
+            return self._extract_location(expr, None, gamma, materialize)
+        if isinstance(expr, xp.PathExpr):
+            # Line 10: x/P.
+            return self._extract_location(
+                xp.LocationPath(expr.steps, absolute=False), expr.source, gamma, materialize
+            )
+        if isinstance(expr, xp.FilterExpr):
+            paths = self._extract_xpath(expr.primary, gamma, materialize)
+            extra: list[PathL] = []
+            for predicate in expr.predicates:
+                extra += self._predicate_paths(predicate, paths, gamma)
+            return paths + extra
+        if isinstance(expr, (xp.OrExpr, xp.AndExpr)):
+            # Boolean connectives: existence only (line 13 with op ∈ {or, and}).
+            return self.extract(expr.left, gamma, False) + self.extract(expr.right, gamma, False)
+        if isinstance(expr, xp.BinaryExpr):
+            # Line 13.  Value comparisons and arithmetic read string
+            # values → materialise path operands.
+            reads_values = expr.op not in ("is", "<<", ">>")
+            return self._extract_operand(expr.left, gamma, reads_values) + self._extract_operand(
+                expr.right, gamma, reads_values
+            )
+        if isinstance(expr, xp.UnaryMinus):
+            return self._extract_operand(expr.operand, gamma, True)
+        if isinstance(expr, xp.UnionExpr):
+            return self.extract(expr.left, gamma, materialize) + self.extract(
+                expr.right, gamma, materialize
+            )
+        if isinstance(expr, xp.FunctionCall):
+            # Line 14: each argument suffixed per F(f, i).
+            paths: list[PathL] = []
+            if expr.name == "id":
+                # The ID map reads every element's id attribute.
+                paths.append(PathL((DOS_NODE, LStep(xp.Axis.ATTRIBUTE, xp.NameTest("id")))))
+            for index, arg in enumerate(expr.args):
+                paths += self._extract_operand(arg, gamma, function_needs_subtree(expr.name, index))
+            return paths
+        if isinstance(expr, (xp.Literal, xp.Number)):
+            # Lines 2/3: AExp.
+            return self._for_paths(gamma) if materialize else []
+        raise AnalysisError(f"cannot extract paths from expression {expr}")
+
+    def _extract_operand(self, expr: xp.Expr, gamma: Gamma, reads_values: bool) -> list[PathL]:
+        """Extraction for an operand whose string value may be read: path
+        and variable operands get the subtree suffix."""
+        if reads_values and isinstance(
+            expr, (xp.LocationPath, xp.PathExpr, xp.VariableRef, xp.FilterExpr)
+        ):
+            return [_with_subtree(path) for path in self.extract(expr, gamma, False)]
+        return self.extract(expr, gamma, False)
+
+    def _extract_location(
+        self,
+        location: xp.LocationPath,
+        source: xp.Expr | None,
+        gamma: Gamma,
+        materialize: bool,
+    ) -> list[PathL]:
+        approximation = approximate_query(location)
+        paths: list[PathL] = []
+        # Prefixes (steps, absolute): the document root, or the paths
+        # binding the source variable.
+        if source is None:
+            prefixes: list[tuple[tuple[LStep, ...], bool]] = [((), approximation.main.absolute)]
+        elif isinstance(source, xp.VariableRef):
+            prefixes = [
+                (prefix.steps, prefix.absolute)
+                for prefix in self._binding(source.name, gamma).paths
+            ]
+        else:
+            # (expr)/path with a computed source: extract the source on its
+            # own and fall back to an unanchored (root-prefixed) suffix —
+            # conservative but sound.
+            paths += self.extract(source, gamma, False)
+            prefixes = [((DOS_NODE,), False)]
+        for prefix_steps, prefix_absolute in prefixes:
+            combined = PathL(tuple(prefix_steps) + approximation.main.steps, prefix_absolute)
+            paths.append(_with_subtree(combined) if materialize else combined)
+        paths.extend(approximation.absolute_paths)
+        # Variables inside predicates: their values are read by the
+        # predicate, so their defining paths are materialised.
+        for name in _predicate_variables(location):
+            paths += [_with_subtree(path) for path in self._binding(name, gamma).paths]
+        return paths
+
+    def _predicate_paths(self, predicate: xp.Expr, bases: list[PathL], gamma: Gamma) -> list[PathL]:
+        """Data needs of a filter predicate, anchored at each base path."""
+        from repro.xpath.approximation import PredicateApproximator
+
+        approximator = PredicateApproximator()
+        simple_paths = approximator.extract(predicate)
+        paths: list[PathL] = list(approximator.absolute_paths)
+        for base in bases:
+            for sub in simple_paths:
+                paths.append(PathL(base.steps + sub.steps))
+        for name in sorted(_expression_variables(predicate)):
+            paths += [_with_subtree(path) for path in self._binding(name, gamma).paths]
+        return paths
+
+    def _binding(self, name: str, gamma: Gamma) -> Binding:
+        try:
+            return gamma[name]
+        except KeyError:
+            raise AnalysisError(
+                f"free variable ${name}: persistent roots must be bound before analysis"
+            ) from None
+
+
+def _predicate_variables(location: xp.LocationPath) -> list[str]:
+    names: set[str] = set()
+    for step in location.steps:
+        for predicate in step.predicates:
+            names |= _expression_variables(predicate)
+    return sorted(names)
+
+
+def _expression_variables(expr: xp.Expr) -> set[str]:
+    from repro.xquery.ast import _xpath_free_variables
+
+    return set(_xpath_free_variables(expr))
+
+
+def extract_paths(query: "str | QExpr") -> list[PathL]:
+    """Figure 3 entry point: ``E(q, ∅, 1)`` — all data-need paths of a
+    top-level query, deduplicated, in first-seen order."""
+    expr = parse_xquery(query) if isinstance(query, str) else query
+    extractor = PathExtractor()
+    extractor.extract(expr, {}, True)
+    return list(extractor.collected.values())

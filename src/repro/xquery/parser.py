@@ -1,0 +1,477 @@
+"""Parser for the XQuery FLWR core.
+
+Structure-bearing forms (FLWOR, ``if``, element constructors, sequences)
+are parsed character-level; plain expression islands are delimited by
+keyword/bracket scanning and handed to the XPath parser, whose AST is
+shared (Section 5's ``Exp``/``Q`` productions *are* XPath).
+
+Supported surface syntax::
+
+    for $x in Expr (, $y in Expr)* (where Expr)? return Expr
+    let $x := Expr (where Expr)? return Expr
+    if (Expr) then Expr else Expr
+    <tag a="v{Expr}">text{Expr}text</tag>
+    ( Expr, Expr, ... )        ()        Expr
+
+plus everything the XPath parser accepts (variable-rooted paths,
+comparisons, the function library).  ``where`` desugars to ``if`` with an
+empty else-branch, which is exactly the form the Section 5 rewriting
+heuristic targets.  XQuery comments ``(: ... :)`` are stripped.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XQuerySyntaxError
+from repro.xmltree.lexer import is_name_char, is_name_start
+from repro.xpath.parser import parse_xpath
+from repro.xquery.ast import (
+    AttributeValue,
+    ElementConstructor,
+    EmptySequence,
+    ForExpr,
+    IfExpr,
+    LetExpr,
+    QExpr,
+    Sequence,
+)
+
+_KEYWORDS_STOPPING_EXPR = frozenset(
+    (
+        "return", "where", "then", "else", "in", "let", "for",
+        "satisfies", "order", "at", "ascending", "descending",
+    )
+)
+
+
+def _starts_keyword(text: str) -> bool:
+    """Whether ``text`` (already lstripped) begins with a stop keyword."""
+    for keyword in _KEYWORDS_STOPPING_EXPR:
+        if text.startswith(keyword):
+            end = len(keyword)
+            if end >= len(text) or not (text[end].isalnum() or text[end] in "_-."):
+                return True
+    return False
+
+
+def strip_comments(text: str) -> str:
+    """Remove (possibly nested) ``(: ... :)`` comments."""
+    pieces: list[str] = []
+    position = 0
+    depth = 0
+    length = len(text)
+    while position < length:
+        if text.startswith("(:", position):
+            depth += 1
+            position += 2
+        elif depth and text.startswith(":)", position):
+            depth -= 1
+            position += 2
+        elif depth:
+            position += 1
+        else:
+            pieces.append(text[position])
+            position += 1
+    if depth:
+        raise XQuerySyntaxError("unterminated XQuery comment")
+    return "".join(pieces)
+
+
+class XQueryParser:
+    def __init__(self, text: str) -> None:
+        self.text = strip_comments(text)
+        self.position = 0
+
+    # -- low-level helpers --------------------------------------------------
+
+    def _skip_ws(self) -> None:
+        while self.position < len(self.text) and self.text[self.position] in " \t\r\n":
+            self.position += 1
+
+    def _at_word(self, word: str) -> bool:
+        """Whether ``word`` starts here as a whole identifier."""
+        text, pos = self.text, self.position
+        if not text.startswith(word, pos):
+            return False
+        end = pos + len(word)
+        if end < len(text) and (is_name_char(text[end]) or text[end] == ":"):
+            return False
+        if pos > 0 and is_name_char(text[pos - 1]):
+            return False
+        return True
+
+    def _expect_word(self, word: str) -> None:
+        self._skip_ws()
+        if not self._at_word(word):
+            raise self._error(f"expected {word!r}")
+        self.position += len(word)
+
+    def _expect_char(self, char: str) -> None:
+        self._skip_ws()
+        if self.position >= len(self.text) or self.text[self.position] != char:
+            raise self._error(f"expected {char!r}")
+        self.position += 1
+
+    def _error(self, message: str) -> XQuerySyntaxError:
+        context = self.text[self.position : self.position + 32]
+        return XQuerySyntaxError(f"{message} at offset {self.position} (near {context!r})")
+
+    def _read_variable(self) -> str:
+        self._skip_ws()
+        self._expect_char("$")
+        start = self.position
+        if start >= len(self.text) or not is_name_start(self.text[start]):
+            raise self._error("expected a variable name")
+        while self.position < len(self.text) and is_name_char(self.text[self.position]):
+            self.position += 1
+        return self.text[start : self.position]
+
+    def _read_tag_name(self) -> str:
+        start = self.position
+        if start >= len(self.text) or not is_name_start(self.text[start]):
+            raise self._error("expected an element name")
+        while self.position < len(self.text) and is_name_char(self.text[self.position]):
+            self.position += 1
+        return self.text[start : self.position]
+
+    # -- entry point ----------------------------------------------------------
+
+    def parse(self) -> QExpr:
+        expr = self.parse_sequence()
+        self._skip_ws()
+        if self.position < len(self.text):
+            raise self._error("trailing input")
+        return expr
+
+    def parse_sequence(self) -> QExpr:
+        items = [self.parse_single()]
+        while True:
+            self._skip_ws()
+            if self.position < len(self.text) and self.text[self.position] == ",":
+                self.position += 1
+                items.append(self.parse_single())
+            else:
+                break
+        if len(items) == 1:
+            return items[0]
+        return Sequence(tuple(items))
+
+    # -- single expressions -------------------------------------------------------
+
+    def parse_single(self) -> QExpr:
+        self._skip_ws()
+        if self._at_word("for"):
+            return self._parse_for()
+        if self._at_word("let"):
+            return self._parse_let()
+        if self._at_word("if"):
+            return self._parse_if()
+        if self._at_word("some") or self._at_word("every"):
+            return self._parse_quantified()
+        if self.position < len(self.text) and self.text[self.position] == "<" and self._looks_like_constructor():
+            return self._parse_constructor()
+        if self.text.startswith("()", self.position):
+            self.position += 2
+            return EmptySequence()
+        if self.position < len(self.text) and self.text[self.position] == "(" and self._paren_contains_query():
+            self._expect_char("(")
+            inner = self.parse_sequence()
+            self._expect_char(")")
+            return inner
+        return self._parse_xpath_island()
+
+    def _looks_like_constructor(self) -> bool:
+        # '<' begins a constructor only when followed by a name start
+        # (otherwise it is a comparison operator — but a comparison never
+        # *starts* an expression, so '<name' here is always a constructor).
+        nxt = self.text[self.position + 1 : self.position + 2]
+        return bool(nxt) and is_name_start(nxt)
+
+    def _paren_contains_query(self) -> bool:
+        """A parenthesised group is parsed as an XQuery sequence only when
+        it directly contains FLWOR/if/constructor syntax; otherwise the
+        whole group (with any operator continuation: ``(a|b)/c``) is an
+        XPath island."""
+        depth = 0
+        position = self.position
+        text = self.text
+        while position < len(text):
+            char = text[position]
+            if char in "'\"":
+                closing = text.find(char, position + 1)
+                if closing == -1:
+                    return False
+                position = closing + 1
+                continue
+            if char == "(":
+                depth += 1
+            elif char == ")":
+                depth -= 1
+                if depth == 0:
+                    # Continuation after the group => XPath island.
+                    rest = text[position + 1 :].lstrip()
+                    return not rest or rest[0] in "),}" or _starts_keyword(rest)
+            elif char == "<" and position + 1 < len(text) and is_name_start(text[position + 1]):
+                return True
+            elif depth >= 1:
+                for keyword in ("for", "let", "if", "return"):
+                    if text.startswith(keyword, position):
+                        end = position + len(keyword)
+                        before_ok = position == 0 or not is_name_char(text[position - 1])
+                        after_ok = end >= len(text) or not (is_name_char(text[end]))
+                        if before_ok and after_ok:
+                            return True
+            position += 1
+        return False
+
+    def _parse_for(self) -> QExpr:
+        return self._parse_flwor()
+
+    def _parse_let(self) -> QExpr:
+        return self._parse_flwor()
+
+    def _parse_flwor(self) -> QExpr:
+        """FLWOR: (for | let)+ clauses in any interleaving, an optional
+        where, and the return."""
+        clauses: list[tuple[str, str, QExpr]] = []
+        while True:
+            self._skip_ws()
+            if self._at_word("for"):
+                self._expect_word("for")
+                while True:
+                    variable = self._read_variable()
+                    self._expect_word("in")
+                    clauses.append(("for", variable, self.parse_single()))
+                    self._skip_ws()
+                    if self.position < len(self.text) and self.text[self.position] == ",":
+                        self.position += 1
+                        continue
+                    break
+            elif self._at_word("let"):
+                self._expect_word("let")
+                while True:
+                    variable = self._read_variable()
+                    self._skip_ws()
+                    if self.text.startswith(":=", self.position):
+                        self.position += 2
+                    else:
+                        raise self._error("expected ':=' in let clause")
+                    clauses.append(("let", variable, self.parse_single()))
+                    self._skip_ws()
+                    if self.position < len(self.text) and self.text[self.position] == ",":
+                        self.position += 1
+                        continue
+                    break
+            else:
+                break
+        if not clauses:
+            raise self._error("expected a for or let clause")
+        condition = None
+        self._skip_ws()
+        if self._at_word("where"):
+            self._expect_word("where")
+            condition = self.parse_single()
+        self._skip_ws()
+        if self._at_word("order"):
+            return self._finish_order_by(clauses, condition)
+        self._expect_word("return")
+        body = self.parse_single()
+        if condition is not None:
+            body = IfExpr(condition, body, EmptySequence())
+        for kind, variable, expr in reversed(clauses):
+            if kind == "for":
+                body = ForExpr(variable, expr, body)
+            else:
+                body = LetExpr(variable, expr, body)
+        return body
+
+    def _finish_order_by(self, clauses, condition) -> QExpr:
+        """``order by`` — supported for the common shape of one leading
+        ``for`` clause followed by ``let`` clauses (XMark Q19 etc.)."""
+        from repro.xquery.ast import OrderByExpr
+
+        self._expect_word("order")
+        self._expect_word("by")
+        key = self.parse_single()
+        descending = False
+        self._skip_ws()
+        if self._at_word("descending"):
+            self._expect_word("descending")
+            descending = True
+        elif self._at_word("ascending"):
+            self._expect_word("ascending")
+        self._expect_word("return")
+        body = self.parse_single()
+        if not clauses or clauses[0][0] != "for" or any(k == "for" for k, _, _ in clauses[1:]):
+            raise self._error(
+                "order by is supported for FLWORs with one leading for clause"
+            )
+        _, variable, source = clauses[0]
+        lets = tuple((name, value) for kind, name, value in clauses[1:])
+        return OrderByExpr(variable, source, lets, condition, key, descending, body)
+
+    def _parse_quantified(self) -> QExpr:
+        from repro.xquery.ast import QuantifiedExpr
+
+        every = self._at_word("every")
+        self._expect_word("every" if every else "some")
+        variable = self._read_variable()
+        self._expect_word("in")
+        source = self.parse_single()
+        self._expect_word("satisfies")
+        condition = self.parse_single()
+        return QuantifiedExpr(every, variable, source, condition)
+
+    def _parse_if(self) -> QExpr:
+        self._expect_word("if")
+        self._expect_char("(")
+        condition = self.parse_sequence()
+        self._expect_char(")")
+        self._expect_word("then")
+        then_branch = self.parse_single()
+        self._expect_word("else")
+        else_branch = self.parse_single()
+        return IfExpr(condition, then_branch, else_branch)
+
+    # -- element constructors --------------------------------------------------------
+
+    def _parse_constructor(self) -> ElementConstructor:
+        self._expect_char("<")
+        tag = self._read_tag_name()
+        attributes: list[tuple[str, AttributeValue]] = []
+        while True:
+            self._skip_ws()
+            if self.text.startswith("/>", self.position):
+                self.position += 2
+                return ElementConstructor(tag, tuple(attributes), ())
+            if self.position < len(self.text) and self.text[self.position] == ">":
+                self.position += 1
+                break
+            name = self._read_tag_name()
+            self._expect_char("=")
+            self._skip_ws()
+            attributes.append((name, self._parse_attribute_value()))
+        content = self._parse_constructor_content(tag)
+        return ElementConstructor(tag, tuple(attributes), tuple(content))
+
+    def _parse_attribute_value(self) -> AttributeValue:
+        if self.position >= len(self.text) or self.text[self.position] not in "'\"":
+            raise self._error("expected a quoted attribute value")
+        quote = self.text[self.position]
+        self.position += 1
+        parts: list = []
+        literal: list[str] = []
+        while True:
+            if self.position >= len(self.text):
+                raise self._error("unterminated attribute value")
+            char = self.text[self.position]
+            if char == quote:
+                self.position += 1
+                if literal:
+                    parts.append("".join(literal))
+                return AttributeValue(tuple(parts))
+            if char == "{":
+                if literal:
+                    parts.append("".join(literal))
+                    literal = []
+                self.position += 1
+                parts.append(self.parse_sequence())
+                self._expect_char("}")
+            else:
+                literal.append(char)
+                self.position += 1
+
+    def _parse_constructor_content(self, tag: str) -> list:
+        content: list = []
+        literal: list[str] = []
+
+        def flush() -> None:
+            if literal:
+                text = "".join(literal)
+                if text.strip():
+                    content.append(text)
+                literal.clear()
+
+        while True:
+            if self.position >= len(self.text):
+                raise self._error(f"unterminated <{tag}> constructor")
+            char = self.text[self.position]
+            if char == "{":
+                flush()
+                self.position += 1
+                content.append(self.parse_sequence())
+                self._expect_char("}")
+            elif self.text.startswith(f"</", self.position):
+                flush()
+                self.position += 2
+                closing = self._read_tag_name()
+                if closing != tag:
+                    raise self._error(f"mismatched </{closing}>, expected </{tag}>")
+                self._expect_char(">")
+                return content
+            elif char == "<":
+                flush()
+                content.append(self._parse_constructor())
+            else:
+                literal.append(char)
+                self.position += 1
+
+    # -- XPath islands -----------------------------------------------------------------
+
+    def _parse_xpath_island(self) -> QExpr:
+        chunk = self._scan_expression_chunk()
+        if not chunk.strip():
+            raise self._error("expected an expression")
+        try:
+            return parse_xpath(chunk)
+        except Exception as exc:
+            raise XQuerySyntaxError(f"in XPath fragment {chunk!r}: {exc}") from exc
+
+    def _scan_expression_chunk(self) -> str:
+        """Consume a maximal plain-XPath region: up to an unbalanced
+        closing bracket, a top-level comma/brace, or a stopping keyword."""
+        text = self.text
+        start = self.position
+        depth = 0
+        position = start
+        while position < len(text):
+            char = text[position]
+            if char in "'\"":
+                closing = text.find(char, position + 1)
+                if closing == -1:
+                    raise self._error("unterminated string literal")
+                position = closing + 1
+                continue
+            if char in "([":
+                depth += 1
+            elif char in ")]":
+                if depth == 0:
+                    break
+                depth -= 1
+            elif depth == 0:
+                if char in ",}{":
+                    break
+                if char == "<" and position + 1 < len(text) and is_name_start(text[position + 1]):
+                    # '<' starting a constructor can only follow an
+                    # operator; inside an island it is always comparison,
+                    # except at the very start (handled by parse_single).
+                    pass
+                if is_name_start(char) and (position == start or not is_name_char(text[position - 1])):
+                    for keyword in _KEYWORDS_STOPPING_EXPR:
+                        if text.startswith(keyword, position):
+                            end = position + len(keyword)
+                            if end >= len(text) or not is_name_char(text[end]):
+                                # Word operators that *continue* an
+                                # expression are not stops ('in' is: FLWOR
+                                # handles bindings before islands).
+                                if keyword not in ("and", "or", "div", "mod"):
+                                    self.position = position
+                                    return text[start:position]
+            position += 1
+        self.position = position
+        return text[start:position]
+
+
+def parse_xquery(text: str) -> QExpr:
+    """Parse an XQuery FLWR-core query."""
+    parser = XQueryParser(text)
+    return parser.parse()

@@ -1,0 +1,191 @@
+"""The Section 5 pre-extraction rewriting heuristic.
+
+The paper's key rewrite turns::
+
+    for $y in Q/descendant-or-self::node return if C($y) then q else ()
+
+into::
+
+    for $y in Q/descendant-or-self::node[C(self::node)] return q
+
+whenever ``C`` refers only to ``$y`` and uses no external functions.
+Without it, a path ending in ``descendant-or-self::node`` is extracted and
+pruning is annulled; with it, the predicate is pushed into the path and
+the projector inference can use it.  (This is also where the paper shows
+Marian & Siméon's approach degenerating: their extractor cannot carry the
+predicate at all.)
+
+We apply the generalised form: the rewrite is valid for *any* ``for``
+binding source that is a path (filtering at the source equals filtering in
+the body when the else-branch is empty and ``C`` is independent of the
+iteration, i.e. position()/last()-free).
+"""
+
+from __future__ import annotations
+
+from repro.xpath import ast as xp
+from repro.xquery.ast import (
+    AttributeValue,
+    ElementConstructor,
+    EmptySequence,
+    ForExpr,
+    IfExpr,
+    LetExpr,
+    OrderByExpr,
+    QExpr,
+    QuantifiedExpr,
+    Sequence,
+)
+
+
+def rewrite_query(query: QExpr) -> QExpr:
+    """Apply the heuristic bottom-up over the whole query."""
+    if isinstance(query, Sequence):
+        return Sequence(tuple(rewrite_query(item) for item in query.items))
+    if isinstance(query, ElementConstructor):
+        attributes = tuple(
+            (name, AttributeValue(tuple(
+                part if isinstance(part, str) else rewrite_query(part) for part in value.parts
+            )))
+            for name, value in query.attributes
+        )
+        content = tuple(
+            part if isinstance(part, str) else rewrite_query(part) for part in query.content
+        )
+        return ElementConstructor(query.tag, attributes, content)
+    if isinstance(query, IfExpr):
+        return IfExpr(
+            rewrite_query(query.condition),
+            rewrite_query(query.then_branch),
+            rewrite_query(query.else_branch),
+        )
+    if isinstance(query, LetExpr):
+        return LetExpr(query.variable, rewrite_query(query.value), rewrite_query(query.body))
+    if isinstance(query, ForExpr):
+        body = rewrite_query(query.body)
+        source = rewrite_query(query.source)
+        rewritten = _try_push_condition(query.variable, source, body)
+        if rewritten is not None:
+            return rewritten
+        return ForExpr(query.variable, source, body)
+    if isinstance(query, QuantifiedExpr):
+        return QuantifiedExpr(
+            query.every,
+            query.variable,
+            rewrite_query(query.source),
+            rewrite_query(query.condition),
+        )
+    if isinstance(query, OrderByExpr):
+        return OrderByExpr(
+            query.variable,
+            rewrite_query(query.source),
+            tuple((name, rewrite_query(value)) for name, value in query.lets),
+            rewrite_query(query.condition) if query.condition is not None else None,
+            rewrite_query(query.key),
+            query.descending,
+            rewrite_query(query.body),
+        )
+    return query
+
+
+def _try_push_condition(variable: str, source: QExpr, body: QExpr) -> ForExpr | None:
+    if not isinstance(body, IfExpr) or not isinstance(body.else_branch, EmptySequence):
+        return None
+    condition = body.condition
+    if not isinstance(condition, xp.Expr):
+        return None
+    predicate = _as_self_rooted_predicate(condition, variable)
+    if predicate is None:
+        return None
+    filtered = _with_predicate(source, predicate)
+    if filtered is None:
+        return None
+    return ForExpr(variable, filtered, rewrite_query(body.then_branch))
+
+
+def _with_predicate(source: QExpr, predicate: xp.Expr) -> QExpr | None:
+    """Attach ``[predicate]`` to the last step of a path source."""
+    if isinstance(source, xp.LocationPath) and source.steps:
+        last = source.steps[-1]
+        new_last = xp.Step(last.axis, last.test, last.predicates + (predicate,))
+        return xp.LocationPath(source.steps[:-1] + (new_last,), source.absolute)
+    if isinstance(source, xp.PathExpr) and source.steps:
+        last = source.steps[-1]
+        new_last = xp.Step(last.axis, last.test, last.predicates + (predicate,))
+        return xp.PathExpr(source.source, source.steps[:-1] + (new_last,))
+    return None
+
+
+def _as_self_rooted_predicate(expr: xp.Expr, variable: str) -> xp.Expr | None:
+    """``C($y)`` → ``C(self::node)``: substitute the variable by a
+    self-rooted path.  Returns None when the condition cannot be expressed
+    as an XPath predicate over the bound node: other variables, relative
+    paths not rooted at ``$y``, or positional functions (whose meaning
+    changes when moved into a predicate)."""
+    if isinstance(expr, xp.VariableRef):
+        if expr.name != variable:
+            return None
+        return xp.LocationPath((xp.Step(xp.Axis.SELF, xp.KindTest("node")),), absolute=False)
+    if isinstance(expr, xp.PathExpr):
+        if not (isinstance(expr.source, xp.VariableRef) and expr.source.name == variable):
+            return None
+        steps = _substitute_in_steps(expr.steps, variable)
+        if steps is None:
+            return None
+        return xp.LocationPath(steps, absolute=False)
+    if isinstance(expr, xp.LocationPath):
+        if not expr.absolute:
+            # A relative path at query level has no context node; it cannot
+            # appear in a well-formed query, so bail out.
+            return None
+        steps = _substitute_in_steps(expr.steps, variable)
+        if steps is None:
+            return None
+        return xp.LocationPath(steps, absolute=True)
+    if isinstance(expr, xp.OrExpr):
+        left = _as_self_rooted_predicate(expr.left, variable)
+        right = _as_self_rooted_predicate(expr.right, variable)
+        if left is None or right is None:
+            return None
+        return xp.OrExpr(left, right)
+    if isinstance(expr, xp.AndExpr):
+        left = _as_self_rooted_predicate(expr.left, variable)
+        right = _as_self_rooted_predicate(expr.right, variable)
+        if left is None or right is None:
+            return None
+        return xp.AndExpr(left, right)
+    if isinstance(expr, xp.BinaryExpr):
+        left = _as_self_rooted_predicate(expr.left, variable)
+        right = _as_self_rooted_predicate(expr.right, variable)
+        if left is None or right is None:
+            return None
+        return xp.BinaryExpr(expr.op, left, right)
+    if isinstance(expr, xp.UnaryMinus):
+        operand = _as_self_rooted_predicate(expr.operand, variable)
+        return xp.UnaryMinus(operand) if operand is not None else None
+    if isinstance(expr, xp.FunctionCall):
+        if expr.name in ("position", "last"):
+            return None
+        args = []
+        for arg in expr.args:
+            converted = _as_self_rooted_predicate(arg, variable)
+            if converted is None:
+                return None
+            args.append(converted)
+        return xp.FunctionCall(expr.name, tuple(args))
+    if isinstance(expr, (xp.Literal, xp.Number)):
+        return expr
+    return None
+
+
+def _substitute_in_steps(steps: tuple[xp.Step, ...], variable: str) -> tuple[xp.Step, ...] | None:
+    """Steps hanging off ``$y`` keep their own predicates — those are
+    ordinary context-rooted XPath — provided they are variable-free (a
+    nested ``$y`` would refer to a *different* context after pushing)."""
+    from repro.xquery.ast import _xpath_free_variables
+
+    for step in steps:
+        for predicate in step.predicates:
+            if _xpath_free_variables(predicate):
+                return None
+    return steps

@@ -1,0 +1,177 @@
+"""Approximation tests: §3.3 predicate extraction and §4.3 axis rewriting."""
+
+import pytest
+
+from repro.xpath.approximation import approximate_query, rewrite_axis_steps
+from repro.xpath.ast import Axis, KindTest, NameTest
+from repro.xpath.parser import parse_xpath
+from repro.xpath.xpathl import PathL
+
+
+def approx(query: str) -> PathL:
+    return approximate_query(query).main
+
+
+class TestAxisRewriting:
+    def test_following_expands_per_spec_then_approximates(self):
+        pairs = rewrite_axis_steps(Axis.FOLLOWING, NameTest("a"))
+        axes = [axis for axis, _ in pairs]
+        assert axes == [
+            Axis.ANCESTOR_OR_SELF,
+            Axis.PARENT,
+            Axis.CHILD,
+            Axis.DESCENDANT_OR_SELF,
+        ]
+        assert pairs[-1][1] == NameTest("a")
+
+    def test_sibling_becomes_parent_child(self):
+        pairs = rewrite_axis_steps(Axis.PRECEDING_SIBLING, NameTest("b"))
+        assert pairs == [
+            (Axis.PARENT, KindTest("node")),
+            (Axis.CHILD, NameTest("b")),
+        ]
+
+    def test_xpathl_axes_pass_through(self):
+        assert rewrite_axis_steps(Axis.DESCENDANT, KindTest("node")) == [
+            (Axis.DESCENDANT, KindTest("node"))
+        ]
+
+    def test_rewritten_query_is_pure_xpathl(self):
+        result = approx("//a/preceding-sibling::b/following::c")
+        from repro.xpath.xpathl import L_AXES
+
+        assert all(step.axis in L_AXES for step in result.steps)
+
+
+class TestPredicateApproximation:
+    def test_structural_predicate_is_kept(self):
+        result = approx("descendant::node()[child::a]")
+        condition = result.steps[-1].condition
+        assert condition is not None
+        assert [str(p) for p in condition] == ["child::a"]
+
+    def test_non_structural_adds_self_node(self):
+        # The paper: descendant::node[count(child::a) < 5] must keep
+        # self::node so the projector is not restricted unsoundly.
+        result = approx("descendant::node()[count(child::a) < 5]")
+        condition = result.steps[-1].condition
+        assert "self::node()" in {str(p) for p in condition}
+        assert any("child::a" in str(p) for p in condition)
+
+    def test_not_function_adds_self_node(self):
+        result = approx("descendant::node()[not(child::a)]")
+        condition = {str(p) for p in result.steps[-1].condition}
+        assert "self::node()" in condition
+        assert "child::a" in condition
+
+    def test_paper_worked_example(self):
+        # [position()>1 and parent::node/book/author="Dante" and year>1313]
+        result = approx(
+            'a[position() > 1 and parent::node()/book/author = "Dante" and year > 1313]'
+        )
+        condition = {str(p) for p in result.steps[-1].condition}
+        assert "self::node()" in condition  # from position()
+        assert any(p.startswith("parent::node()/child::book/child::author") for p in condition)
+        assert any(p.startswith("child::year") for p in condition)
+
+    def test_value_comparison_materialises_operand(self):
+        # author = "Dante" reads author's string value: the condition path
+        # must reach its text (our documented refinement of the paper).
+        result = approx('book[author = "Dante"]')
+        condition = {str(p) for p in result.steps[-1].condition}
+        assert "child::author/descendant-or-self::node()" in condition
+        # and no degenerate always-true disjunct:
+        assert "self::node()" not in condition
+
+    def test_existence_predicate_needs_no_subtree(self):
+        result = approx("book[author]")
+        condition = {str(p) for p in result.steps[-1].condition}
+        assert condition == {"child::author"}
+
+    def test_attribute_comparison_gets_no_dos_suffix(self):
+        result = approx("person[@id = 'p0']")
+        condition = {str(p) for p in result.steps[-1].condition}
+        assert condition == {"attribute::id"}
+
+    def test_positional_number_predicate(self):
+        result = approx("a[3]")
+        assert {str(p) for p in result.steps[-1].condition} == {"self::node()"}
+
+    def test_nested_predicates_are_flattened(self):
+        result = approx("a[b[c]/d]")
+        condition = {str(p) for p in result.steps[-1].condition}
+        assert "child::b/child::d" in condition
+        assert "child::b/child::c" in condition
+
+    def test_or_predicates_union(self):
+        result = approx("a[b or c]")
+        condition = {str(p) for p in result.steps[-1].condition}
+        assert condition == {"child::b", "child::c"}
+
+    def test_multiple_predicates_merge(self):
+        result = approx("a[b][c]")
+        condition = {str(p) for p in result.steps[-1].condition}
+        assert condition == {"child::b", "child::c"}
+
+    def test_absolute_path_in_predicate_is_hoisted(self):
+        approximation = approximate_query("a[/r/config]")
+        condition = {str(p) for p in approximation.main.steps[-1].condition}
+        assert condition == {"self::node()"}
+        assert len(approximation.absolute_paths) == 1
+        assert str(approximation.absolute_paths[0]).startswith("/child::r/child::config")
+
+    def test_string_function_materialises(self):
+        result = approx("a[contains(string(b), 'x')]")
+        condition = {str(p) for p in result.steps[-1].condition}
+        assert any("child::b/descendant-or-self::node()" in p for p in condition)
+
+
+class TestWholeQueries:
+    def test_absolute_flag_propagates(self):
+        assert approx("/a/b").absolute
+        assert not approx("a/b").absolute
+
+    def test_double_slash(self):
+        result = approx("//keyword")
+        assert str(result) == "/descendant-or-self::node()/child::keyword"
+
+    def test_non_path_rejected(self):
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError):
+            approximate_query("1 + 2")
+
+    def test_idempotent_on_xpathl(self):
+        text = "descendant::a[child::b or self::node()]/parent::node()"
+        once = approx(text)
+        again = approximate_query(parse_xpath(str(once))).main
+        assert str(once) == str(again)
+
+
+class TestApproximationSoundness:
+    """The approximated query must select a superset-compatible condition:
+    wherever the original query selects a node, the approximation's
+    condition also holds (weakening).  We check result containment of the
+    *filtering skeleton* on sample documents."""
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "//book[author = 'Dante']/title",
+            "//book[not(author)]/title",
+            "//book[count(author) > 1]",
+            "//book[author][2]",
+        ],
+    )
+    def test_approximation_is_weaker(self, query, book_document):
+        from repro.xpath.evaluator import XPathEvaluator
+        from repro.xpath.xpathl import to_xpath
+
+        evaluator = XPathEvaluator(book_document)
+        original = {
+            node.node_id for node in evaluator.select(query)
+        }
+        approximated = {
+            node.node_id for node in evaluator.select(to_xpath(approx(query)))
+        }
+        assert original <= approximated

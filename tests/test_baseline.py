@@ -1,0 +1,124 @@
+"""Baseline (Marian & Siméon) tests: path degradation, pruning soundness,
+and the comparative behaviours the paper describes."""
+
+import pytest
+
+from repro.baselines.marian_simeon import (
+    MarianSimeonPruner,
+    baseline_paths_for_query,
+    prune_with_baseline,
+)
+from repro.baselines.paths import ProjectionPath, PStep, PStepKind, degrade_pathl
+from repro.core.pipeline import analyze_xquery
+from repro.projection.tree import prune_document
+from repro.xpath.xpathl import parse_pathl
+from repro.xquery.evaluator import XQueryEvaluator
+
+
+class TestDegradation:
+    def test_child_chain_survives(self):
+        degraded = degrade_pathl(parse_pathl("child::a/child::b"))
+        assert [step.kind for step in degraded.steps] == [
+            PStepKind.CHILD_TAG,
+            PStepKind.CHILD_TAG,
+        ]
+        assert not degraded.keep_subtrees
+
+    def test_predicates_are_dropped(self):
+        degraded = degrade_pathl(parse_pathl("child::a[child::cond]/child::b"))
+        assert str(degraded) == "/a/b"
+
+    def test_descendant_becomes_anywhere(self):
+        degraded = degrade_pathl(parse_pathl("descendant::a"))
+        assert [step.kind for step in degraded.steps] == [
+            PStepKind.ANYWHERE,
+            PStepKind.CHILD_TAG,
+        ]
+
+    def test_trailing_dos_node_is_keep_subtree(self):
+        degraded = degrade_pathl(parse_pathl("child::a/descendant-or-self::node()"))
+        assert degraded.keep_subtrees
+        assert len(degraded.steps) == 1
+
+    def test_backward_axis_degenerates(self):
+        degraded = degrade_pathl(parse_pathl("child::a/parent::node()/child::b"))
+        assert degraded.keep_subtrees
+        assert degraded.steps[-1].kind is PStepKind.ANYWHERE
+
+    def test_self_step_is_widened_away(self):
+        degraded = degrade_pathl(parse_pathl("child::a/self::a/child::b"))
+        assert str(degraded) == "/a/b"
+
+    def test_attribute_stops_the_path(self):
+        degraded = degrade_pathl(parse_pathl("child::a/attribute::id"))
+        assert str(degraded) == "/a"
+
+
+class TestBaselinePruning:
+    def test_soundness_on_workload(self, xmark):
+        grammar, document, interpretation = xmark
+        from repro.workloads.xmark import XMARK_QUERIES
+
+        for name in ("QM01", "QM02", "QM06", "QM13", "QM17"):
+            query = XMARK_QUERIES[name]
+            result = prune_with_baseline(document, baseline_paths_for_query(query))
+            original = XQueryEvaluator(document).evaluate_serialized(query)
+            after = XQueryEvaluator(result.document).evaluate_serialized(query)
+            assert original == after, name
+
+    def test_type_based_is_at_least_as_precise(self, xmark):
+        """Paper: 'the amount of pruning on common experiments is always
+        equal or better with our approach' (we check on a sample)."""
+        grammar, document, interpretation = xmark
+        from repro.workloads.xmark import XMARK_QUERIES
+
+        for name in ("QM01", "QM06", "QM07", "QM14"):
+            query = XMARK_QUERIES[name]
+            ours = prune_document(
+                document, interpretation, analyze_xquery(grammar, query).projector
+            )
+            baseline = prune_with_baseline(document, baseline_paths_for_query(query))
+            assert ours.size() <= baseline.document.size(), name
+
+    def test_slash_slash_causes_speculation(self, xmark):
+        """The '//' cost: speculative (buffered) nodes grow with //-width
+        while the type-based pruner buffers nothing by construction."""
+        grammar, document, interpretation = xmark
+        from repro.workloads.xmark import XMARK_QUERIES
+
+        narrow = prune_with_baseline(
+            document, baseline_paths_for_query("/site/people/person/name")
+        )
+        wide = prune_with_baseline(
+            document, baseline_paths_for_query(XMARK_QUERIES["QM07"])
+        )
+        assert wide.metrics.speculative_nodes > narrow.metrics.speculative_nodes
+
+    def test_condition_degeneration(self, xmark):
+        """descendant-or-self + condition: the paper's Section 5 argument —
+        the baseline keeps everything, the type-based pipeline does not."""
+        grammar, document, interpretation = xmark
+        query = (
+            "for $y in /site//node() return "
+            "if ($y/author = 'nobody') then <r>{$y}</r> else ()"
+        )
+        baseline = prune_with_baseline(document, baseline_paths_for_query(query))
+        ours = prune_document(
+            document, interpretation, analyze_xquery(grammar, query).projector
+        )
+        assert baseline.document.size() == document.size()  # no pruning at all
+        assert ours.size() < 0.6 * document.size()
+
+    def test_unmatched_paths_keep_bare_root(self, xmark):
+        grammar, document, interpretation = xmark
+        path = ProjectionPath((PStep(PStepKind.CHILD_TAG, "nonexistent"),))
+        result = prune_with_baseline(document, [path])
+        assert result.document.size() == 1
+
+    def test_metrics_populated(self, xmark):
+        grammar, document, interpretation = xmark
+        result = prune_with_baseline(
+            document, baseline_paths_for_query("//keyword")
+        )
+        assert result.metrics.visited_nodes > 0
+        assert result.stats.bytes_in > result.stats.bytes_out

@@ -1,0 +1,152 @@
+"""Theorem 4.7 completeness experiments.
+
+On a \\*-guarded, non-recursive, parent-unambiguous DTD and a
+strongly-specified path, the inferred projector is *optimal*: removing any
+name (with its descendants) from it changes the query answer on some
+witness document.  We verify this empirically by searching sampled valid
+documents for witnesses."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.projector import infer_projector
+from repro.dtd.grammar import Grammar, grammar_from_text
+from repro.dtd.properties import analyze_grammar
+from repro.dtd.validator import validate
+from repro.projection.tree import prune_document
+from repro.workloads.randomgen import random_grammar, random_valid_document
+from repro.xpath.ast import Axis, KindTest
+from repro.xpath.xpathl import PathL, evaluate_pathl, parse_pathl
+
+#: A *-guarded, non-recursive, parent-unambiguous DTD for the experiments.
+#: (Each tag has a unique parent; a shared "label" child of both shelf and
+#: tin would already be parent-ambiguous per Def 4.3(3).)
+CLEAN_DTD = """
+<!ELEMENT store (dept*)>
+<!ELEMENT dept (dname, (shelf)*)>
+<!ELEMENT shelf (slabel?, (tin | jar)*)>
+<!ELEMENT tin (tlabel)>
+<!ELEMENT jar (jlabel, note?)>
+<!ELEMENT dname (#PCDATA)>
+<!ELEMENT slabel (#PCDATA)>
+<!ELEMENT tlabel (#PCDATA)>
+<!ELEMENT jlabel (#PCDATA)>
+<!ELEMENT note (#PCDATA)>
+"""
+
+
+@pytest.fixture(scope="module")
+def clean_grammar() -> Grammar:
+    grammar = grammar_from_text(CLEAN_DTD, "store")
+    assert analyze_grammar(grammar).completeness_class
+    return grammar
+
+
+STRONGLY_SPECIFIED = [
+    "child::dept/child::shelf/child::tin",
+    "descendant::jar/child::jlabel",
+    "descendant::node()/self::tin/parent::node()",
+    "descendant::node()[child::jlabel]/self::jar",
+    "child::dept/child::dname",
+    "descendant::tin/ancestor::node()/self::dept",
+]
+
+
+def is_strongly_specified(pathl: PathL) -> bool:
+    """Definition 4.6 (used by the random experiment to filter paths)."""
+
+    def node_test(step):
+        return isinstance(step.test, KindTest) and step.test.kind == "node"
+
+    steps = pathl.steps
+    for index, step in enumerate(steps):
+        if step.condition is not None:
+            if len(step.condition) != 1:
+                return False  # (iii): at most one path per predicate
+            disjunct = step.condition[0]
+            if node_test(disjunct.steps[-1]):
+                return False  # (iii): must not end with a node test
+            for inner in disjunct.steps:
+                if inner.axis in (Axis.PARENT, Axis.ANCESTOR, Axis.ANCESTOR_OR_SELF):
+                    return False  # (i): no backward axes in predicates
+            for first, second in zip(disjunct.steps, disjunct.steps[1:]):
+                if node_test(first) and node_test(second):
+                    return False  # (ii) inside predicates
+        if index + 1 < len(steps):
+            if node_test(step) and node_test(steps[index + 1]):
+                return False  # (ii): no two consecutive node tests
+    return True
+
+
+def find_witness(grammar, pathl, reduced, samples=60):
+    """Search sampled documents for one where pruning with ``reduced``
+    changes the answer."""
+    for seed in range(samples):
+        document = random_valid_document(grammar, seed)
+        interpretation = validate(document, grammar)
+        original = sorted(n.node_id for n in evaluate_pathl(document, pathl))
+        pruned = prune_document(document, interpretation, reduced | {grammar.root})
+        after = sorted(n.node_id for n in evaluate_pathl(pruned, pathl))
+        if original != after:
+            return document
+    return None
+
+
+@pytest.mark.parametrize("text", STRONGLY_SPECIFIED)
+def test_paper_definition_accepts_these(text):
+    assert is_strongly_specified(parse_pathl(text))
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "descendant::node()/ancestor::node()/self::tin",  # (ii) on the spine
+        "descendant::node()[child::tlabel/child::node()]/self::tin",  # (ii) inside
+        "child::dept[descendant::node()/parent::shelf]/child::dname",  # (i)
+        "self::store[child::dept or child::dname]",  # (iii): two paths
+        "child::dept[child::node()]",  # (iii): ends with node test
+    ],
+)
+def test_paper_definition_rejects_these(text):
+    assert not is_strongly_specified(parse_pathl(text))
+
+
+@pytest.mark.parametrize("text", STRONGLY_SPECIFIED)
+def test_theorem_4_7_no_name_is_removable(clean_grammar, text):
+    """For each name Y in the inferred projector, pruning with
+    π \\ ({Y} ∪ descendants(Y)) changes the answer on some document."""
+    pathl = parse_pathl(text)
+    projector = infer_projector(clean_grammar, pathl)
+    for name in sorted(projector):
+        if name == clean_grammar.root:
+            continue  # removing the root empties the document trivially
+        reduced = frozenset(
+            projector - ({name} | clean_grammar.descendants_of(name))
+        )
+        witness = find_witness(clean_grammar, pathl, reduced)
+        assert witness is not None, (
+            f"{name} is removable from the projector of {text}: not complete"
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 5_000), st.integers(0, 5_000))
+def test_theorem_4_7_random(grammar_seed, path_seed):
+    """Randomised variant over generated completeness-class grammars and
+    strongly-specified condition-free downward paths."""
+    from repro.workloads.randomgen import random_pathl
+
+    grammar = random_grammar(grammar_seed, star_guarded_only=True)
+    if not analyze_grammar(grammar).completeness_class:
+        return
+    pathl = random_pathl(grammar, path_seed, with_conditions=False)
+    if not is_strongly_specified(pathl):
+        return
+    if any(step.axis in (Axis.PARENT, Axis.ANCESTOR, Axis.ANCESTOR_OR_SELF) for step in pathl.steps):
+        return  # keep the witness search cheap and decisive
+    projector = infer_projector(grammar, pathl)
+    # Check at most three names to bound runtime.
+    for name in sorted(projector - {grammar.root})[:3]:
+        reduced = frozenset(projector - ({name} | grammar.descendants_of(name)))
+        assert find_witness(grammar, pathl, reduced, samples=40) is not None, name

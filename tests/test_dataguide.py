@@ -1,0 +1,141 @@
+"""Dataguide (DTD-less) grammar inference tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import analyze
+from repro.dtd.dataguide import DataguideBuilder, grammar_from_documents
+from repro.dtd.grammar import text_name
+from repro.dtd.validator import validate
+from repro.errors import GrammarError
+from repro.projection.tree import prune_document
+from repro.workloads.randomgen import random_grammar, random_pathl, random_valid_document
+from repro.xmltree.builder import parse_document
+from repro.xmltree.parser import parse_events
+from repro.xmltree.serializer import serialize
+from repro.xpath.evaluator import XPathEvaluator
+from repro.xpath.xpathl import evaluate_pathl
+from tests.conftest import BOOK_XML
+
+
+class TestSummarisation:
+    def test_children_and_text_observed(self):
+        grammar = grammar_from_documents(parse_document(BOOK_XML))
+        assert grammar.root == "bib"
+        assert grammar.children_of("bib") == {"book"}
+        assert text_name("title") in grammar.children_of("title")
+
+    def test_attributes_observed(self):
+        grammar = grammar_from_documents(parse_document(BOOK_XML))
+        assert "book@isbn" in grammar.names()
+
+    def test_summarised_document_validates(self):
+        document = parse_document(BOOK_XML)
+        grammar = grammar_from_documents(document)
+        interpretation = validate(document, grammar)
+        assert set(interpretation.names) == document.ids()
+
+    def test_multiple_documents_union(self):
+        first = parse_document("<r><a>1</a></r>")
+        second = parse_document("<r><b/></r>")
+        grammar = grammar_from_documents([first, second])
+        assert grammar.children_of("r") == {"a", "b"}
+        validate(first, grammar)
+        validate(second, grammar)
+
+    def test_streaming_ingestion_matches_tree_ingestion(self):
+        document = parse_document(BOOK_XML)
+        tree_builder = DataguideBuilder()
+        tree_builder.add_document(document)
+        event_builder = DataguideBuilder()
+        event_builder.add_events(parse_events(BOOK_XML))
+        tree_names = tree_builder.grammar().names()
+        event_names = event_builder.grammar().names()
+        assert tree_names == event_names
+
+    def test_statistics_counts_occurrences(self):
+        builder = DataguideBuilder()
+        builder.add_document(parse_document(BOOK_XML))
+        assert builder.statistics()["book"].occurrences == 3
+
+    def test_empty_builder_raises(self):
+        with pytest.raises(GrammarError):
+            DataguideBuilder().grammar()
+
+    def test_ambiguous_root_requires_choice(self):
+        builder = DataguideBuilder()
+        builder.add_document(parse_document("<a/>"))
+        builder.add_document(parse_document("<b/>"))
+        with pytest.raises(GrammarError):
+            builder.grammar()
+        builder.grammar(root="a")
+
+
+class TestDTDLessPruning:
+    def test_analyze_and_prune_without_a_dtd(self):
+        document = parse_document(BOOK_XML)
+        grammar = grammar_from_documents(document)
+        interpretation = validate(document, grammar)
+        query = "//book[author = 'Dante']/title"
+        result = analyze(grammar, [query])
+        pruned = prune_document(document, interpretation, result.projector)
+        assert (
+            XPathEvaluator(pruned).select_ids(query)
+            == XPathEvaluator(document).select_ids(query)
+        )
+        assert pruned.size() < document.size()
+
+    def test_pruning_power_survives(self):
+        document = parse_document(BOOK_XML)
+        grammar = grammar_from_documents(document)
+        interpretation = validate(document, grammar)
+        result = analyze(grammar, ["//price"])
+        pruned = prune_document(document, interpretation, result.projector)
+        tags = {node.tag for node in pruned.elements()}
+        assert "author" not in tags and "price" in tags
+
+    def test_on_xmark_sample(self, xmark):
+        _, document, _ = xmark
+        grammar = grammar_from_documents(document)
+        interpretation = validate(document, grammar)
+        query = "/site/people/person/name"
+        result = analyze(grammar, [query])
+        pruned = prune_document(document, interpretation, result.projector)
+        assert (
+            XPathEvaluator(pruned).select_ids(query)
+            == XPathEvaluator(document).select_ids(query)
+        )
+        assert pruned.size() < 0.2 * document.size()
+
+
+# -- property: the dataguide pipeline is sound for the summarised document ------
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(0, 10_000), st.integers(0, 10_000), st.integers(0, 10_000))
+def test_dataguide_projector_soundness(grammar_seed, document_seed, path_seed):
+    source = random_grammar(grammar_seed)
+    document = random_valid_document(source, document_seed)
+    inferred = grammar_from_documents(document)
+    interpretation = validate(document, inferred)
+    pathl = random_pathl(source, path_seed)
+    from repro.core.projector import infer_projector
+
+    projector = infer_projector(inferred, pathl)
+    pruned = prune_document(document, interpretation, projector | {inferred.root})
+    original = sorted(node.node_id for node in evaluate_pathl(document, pathl))
+    after = sorted(node.node_id for node in evaluate_pathl(pruned, pathl))
+    assert original == after
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000), st.integers(0, 10_000))
+def test_summarised_documents_always_validate(grammar_seed, document_seed):
+    source = random_grammar(grammar_seed, allow_recursion=grammar_seed % 2 == 0)
+    document = random_valid_document(source, document_seed, max_depth=10)
+    inferred = grammar_from_documents(document)
+    validate(document, inferred)
+    # And re-serialised copies too (idempotence of the summary).
+    again = parse_document(serialize(document))
+    validate(again, inferred)

@@ -1,0 +1,180 @@
+"""Depth-heuristic tests (Section 6): grammar unfolding, precision on
+recursive DTDs, and soundness through the unchanged pipeline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.depth import (
+    TOP,
+    base_name,
+    depth_name,
+    depth_of,
+    depth_unfolded_grammar,
+    fold_names,
+)
+from repro.core.pipeline import analyze
+from repro.core.projector import infer_projector
+from repro.dtd.grammar import grammar_from_text
+from repro.dtd.singletype import SingleTypeGrammar
+from repro.dtd.validator import validate
+from repro.projection.streaming import prune_string
+from repro.projection.tree import prune_document
+from repro.workloads.randomgen import (
+    random_grammar,
+    random_pathl,
+    random_valid_document,
+)
+from repro.xmltree.builder import parse_document
+from repro.xmltree.serializer import serialize
+from repro.xpath.evaluator import XPathEvaluator
+from repro.xpath.xpathl import evaluate_pathl
+
+TREE_DTD = """
+<!ELEMENT book (title, (p | section)*)>
+<!ELEMENT section (title, (p | section)*)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT p (#PCDATA)>
+"""
+
+TREE_XML = (
+    "<book><title>B</title>"
+    "<section><title>S1</title><p>x</p>"
+    "<section><title>S1.1</title><p>deep</p>"
+    "<section><title>S1.1.1</title></section>"
+    "</section></section>"
+    "<section><title>S2</title><p>y</p></section>"
+    "</book>"
+)
+
+
+@pytest.fixture(scope="module")
+def tree():
+    grammar = grammar_from_text(TREE_DTD, "book")
+    unfolded = depth_unfolded_grammar(grammar, max_depth=4)
+    return grammar, unfolded
+
+
+class TestUnfolding:
+    def test_produces_single_type_grammar(self, tree):
+        _, unfolded = tree
+        assert isinstance(unfolded, SingleTypeGrammar)
+        assert unfolded.root == depth_name("book", 0)
+
+    def test_name_count(self, tree):
+        grammar, unfolded = tree
+        # (max_depth + 1 for the top bucket) copies of every name.
+        assert len(unfolded.names()) == len(grammar.names()) * 5
+
+    def test_name_roundtrip(self):
+        assert base_name(depth_name("section", 3)) == "section"
+        assert depth_of(depth_name("section", 3)) == 3
+        assert depth_of(depth_name("section", TOP)) == TOP
+
+    def test_valid_documents_stay_valid(self, tree):
+        _, unfolded = tree
+        document = parse_document(TREE_XML)
+        interpretation = validate(document, unfolded)
+        # The root maps to depth 0; its children to depth 1; …
+        assert interpretation[document.root.node_id] == depth_name("book", 0)
+        first_section = next(n for n in document.elements() if n.tag == "section")
+        assert interpretation[first_section.node_id] == depth_name("section", 1)
+
+    def test_depths_beyond_cap_land_in_top(self):
+        grammar = grammar_from_text(TREE_DTD, "book")
+        unfolded = depth_unfolded_grammar(grammar, max_depth=2)
+        document = parse_document(TREE_XML)
+        interpretation = validate(document, unfolded)
+        deep_title = [
+            interpretation[node.node_id]
+            for node in document.elements()
+            if node.tag == "title"
+        ]
+        assert depth_name("title", TOP) in deep_title
+
+    def test_bad_max_depth(self):
+        grammar = grammar_from_text(TREE_DTD, "book")
+        with pytest.raises(ValueError):
+            depth_unfolded_grammar(grammar, max_depth=0)
+
+    def test_attributes_unfold(self):
+        grammar = grammar_from_text(
+            "<!ELEMENT a (b*)><!ELEMENT b EMPTY><!ATTLIST b k CDATA #IMPLIED>", "a"
+        )
+        unfolded = depth_unfolded_grammar(grammar, max_depth=3)
+        assert depth_name("b", 1) + "@k" in unfolded.names()
+
+
+class TestPrecision:
+    def test_deep_recursion_is_pruned(self, tree):
+        """The heuristic's raison d'être: /book/section/title keeps only
+        depth-1 sections; the name projector keeps them at every depth."""
+        grammar, unfolded = tree
+        document = parse_document(TREE_XML)
+        query = "/book/section/title"
+
+        depth_projector = analyze(unfolded, [query]).projector
+        name_projector = analyze(grammar, [query]).projector
+
+        depth_pruned = prune_document(
+            document, validate(document, unfolded), depth_projector
+        )
+        name_pruned = prune_document(
+            document, validate(document, grammar), name_projector
+        )
+        assert depth_pruned.size() < name_pruned.size()
+        assert "S1.1" not in serialize(depth_pruned)
+        assert (
+            XPathEvaluator(depth_pruned).select_ids(query)
+            == XPathEvaluator(document).select_ids(query)
+        )
+
+    def test_folded_projector_reports_depths(self, tree):
+        _, unfolded = tree
+        projector = analyze(unfolded, ["/book/section/title"]).projector
+        folded = fold_names(projector)
+        assert folded["section"] == {1}
+        assert folded["book"] == {0}
+
+    def test_descendant_queries_keep_all_depths(self, tree):
+        """//title must keep titles at every depth (incl. the top bucket)
+        — the heuristic must not over-prune descendant queries."""
+        _, unfolded = tree
+        document = parse_document(TREE_XML)
+        query = "//title"
+        projector = analyze(unfolded, [query]).projector
+        pruned = prune_document(document, validate(document, unfolded), projector)
+        assert (
+            XPathEvaluator(pruned).select_ids(query)
+            == XPathEvaluator(document).select_ids(query)
+        )
+        folded = fold_names(projector)
+        assert TOP in folded["title"]
+
+    def test_streaming_pruner_agrees(self, tree):
+        _, unfolded = tree
+        projector = analyze(unfolded, ["/book/section/p"]).projector
+        document = parse_document(TREE_XML)
+        via_tree = serialize(
+            prune_document(document, validate(document, unfolded), projector)
+        )
+        via_stream, _ = prune_string(TREE_XML, unfolded, projector)
+        assert via_tree == via_stream
+
+
+# -- soundness: Theorem 4.5 on unfolded grammars -------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(0, 10_000), st.integers(0, 10_000), st.integers(0, 10_000))
+def test_depth_unfolded_soundness(grammar_seed, document_seed, path_seed):
+    grammar = random_grammar(grammar_seed, allow_recursion=grammar_seed % 2 == 0)
+    unfolded = depth_unfolded_grammar(grammar, max_depth=4)
+    document = random_valid_document(grammar, document_seed, max_depth=8)
+    interpretation = validate(document, unfolded)
+    pathl = random_pathl(grammar, path_seed)
+    projector = infer_projector(unfolded, pathl) | {unfolded.root}
+    pruned = prune_document(document, interpretation, projector)
+    original = sorted(node.node_id for node in evaluate_pathl(document, pathl))
+    after = sorted(node.node_id for node in evaluate_pathl(pruned, pathl))
+    assert original == after

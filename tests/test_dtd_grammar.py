@@ -1,0 +1,163 @@
+"""Local tree grammar tests: lowering, reachability, projector algebra."""
+
+import pytest
+
+from repro.dtd.grammar import (
+    AttributeProduction,
+    ElementProduction,
+    Grammar,
+    TextProduction,
+    attribute_name,
+    grammar_from_productions,
+    grammar_from_text,
+    is_attribute_name,
+    is_text_name,
+    text_name,
+)
+from repro.dtd.regex import Atom, Epsilon, Seq, Star
+from repro.errors import GrammarError, ProjectorError
+
+
+class TestLowering:
+    def test_names_include_text_and_attribute_names(self, book_grammar):
+        names = book_grammar.names()
+        assert "book" in names
+        assert text_name("title") in names
+        assert attribute_name("book", "isbn") in names
+
+    def test_text_name_occurs_exactly_once_heuristic(self, book_grammar):
+        """The Section 6 heuristic: every Y -> String occurs in exactly one
+        right-hand side."""
+        for candidate in book_grammar.text_names():
+            owners = [
+                name for name in book_grammar.names()
+                if candidate in book_grammar.children_of(name)
+            ]
+            assert len(owners) == 1, candidate
+
+    def test_empty_content_model(self):
+        grammar = grammar_from_text("<!ELEMENT a EMPTY>", "a")
+        production = grammar.production("a")
+        assert isinstance(production, ElementProduction)
+        assert production.regex == Epsilon()
+
+    def test_any_content_references_all_elements_and_text(self):
+        grammar = grammar_from_text("<!ELEMENT a ANY><!ELEMENT b EMPTY>", "a")
+        children = grammar.children_of("a")
+        assert {"a", "b", text_name("a")} <= children
+
+    def test_undeclared_reference_rejected(self):
+        with pytest.raises(GrammarError):
+            grammar_from_text("<!ELEMENT a (ghost)>", "a")
+
+    def test_unknown_root_rejected(self):
+        with pytest.raises(GrammarError):
+            grammar_from_text("<!ELEMENT a EMPTY>", "nope")
+
+    def test_duplicate_tag_rejected(self):
+        with pytest.raises(GrammarError):
+            Grammar(
+                "x",
+                [
+                    ElementProduction("x", "same", Epsilon()),
+                    ElementProduction("y", "same", Epsilon()),
+                ],
+            )
+
+    def test_name_kind_predicates(self):
+        assert is_text_name("a#text")
+        assert not is_text_name("a")
+        assert is_attribute_name("a@id")
+        assert not is_attribute_name("a#text")
+
+
+class TestReachability:
+    def test_successors_and_parents(self, book_grammar):
+        assert "title" in book_grammar.children_of("book")
+        assert attribute_name("book", "isbn") in book_grammar.successors_of("book")
+        assert book_grammar.parents_of("title") == {"book"}
+
+    def test_descendants_are_transitive(self, book_grammar):
+        descendants = book_grammar.descendants_of("bib")
+        assert text_name("author") in descendants
+        assert "bib" not in descendants  # non-recursive: not reflexive
+
+    def test_ancestors(self, book_grammar):
+        assert book_grammar.ancestors_of(text_name("title")) == {"title", "book", "bib"}
+
+    def test_reachable_names_cover_everything_in_a_connected_dtd(self, book_grammar):
+        assert book_grammar.reachable_names() == book_grammar.names()
+
+    def test_recursive_reachability(self):
+        grammar = grammar_from_productions(
+            "X", {"X": ("a", Star(Atom("X")))}
+        )
+        assert grammar.descendants_of("X") == {"X"}
+
+
+class TestProjectorAlgebra:
+    def test_empty_set_is_a_projector(self, book_grammar):
+        assert book_grammar.is_projector(frozenset())
+
+    def test_root_alone_is_a_projector(self, book_grammar):
+        assert book_grammar.is_projector({"bib"})
+
+    def test_chain_closed_set_is_a_projector(self, book_grammar):
+        assert book_grammar.is_projector({"bib", "book", "title", text_name("title")})
+
+    def test_missing_link_is_not_a_projector(self, book_grammar):
+        assert not book_grammar.is_projector({"bib", "title"})  # book missing
+        assert not book_grammar.is_projector({"book", "title"})  # root missing
+
+    def test_unknown_name_is_not_a_projector(self, book_grammar):
+        assert not book_grammar.is_projector({"bib", "ghost"})
+
+    def test_check_projector_raises(self, book_grammar):
+        with pytest.raises(ProjectorError):
+            book_grammar.check_projector({"title"})
+
+    def test_projector_closure_adds_ancestors(self, book_grammar):
+        closure = book_grammar.projector_closure([text_name("author")])
+        assert closure == {"bib", "book", "author", text_name("author")}
+        assert book_grammar.is_projector(closure)
+
+    def test_union_of_projectors_is_a_projector(self, book_grammar):
+        left = book_grammar.projector_closure(["title"])
+        right = book_grammar.projector_closure(["price"])
+        union = book_grammar.union_projectors([left, right])
+        assert book_grammar.is_projector(union)
+        assert "title" in union and "price" in union
+
+    def test_descendant_closure_includes_attributes(self, book_grammar):
+        closed = book_grammar.descendant_closure({"book"})
+        assert attribute_name("book", "isbn") in closed
+        assert text_name("year") in closed
+
+    def test_attribute_names_are_projectable(self, book_grammar):
+        projector = book_grammar.projector_closure([attribute_name("book", "isbn")])
+        assert book_grammar.is_projector(projector)
+
+
+class TestDirectConstruction:
+    def test_paper_notation(self):
+        grammar = grammar_from_productions(
+            "X",
+            {
+                "X": ("c", Seq([Atom("Y"), Atom("Z")])),
+                "Y": ("a", Epsilon()),
+                "Z": ("b", Epsilon()),
+            },
+        )
+        assert grammar.name_of_tag("c") == "X"
+        assert grammar.tag_of("Y") == "a"
+        assert grammar.children_of("X") == {"Y", "Z"}
+
+    def test_text_production_via_none(self):
+        grammar = grammar_from_productions(
+            "X", {"X": ("a", Atom("S")), "S": None}
+        )
+        assert isinstance(grammar.production("S"), TextProduction)
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(GrammarError):
+            Grammar("x", [ElementProduction("x", "a", Epsilon()), TextProduction("x")])

@@ -1,0 +1,135 @@
+"""DTD syntax parser tests."""
+
+import pytest
+
+from repro.dtd.ast import AttributeDefaultKind, ContentKind
+from repro.dtd.parser import parse_dtd
+from repro.dtd.regex import Alt, Atom, Opt, Plus, Seq, Star
+from repro.errors import DTDSyntaxError
+
+
+class TestElementDeclarations:
+    def test_empty_and_any(self):
+        document = parse_dtd("<!ELEMENT a EMPTY><!ELEMENT b ANY>")
+        assert document.elements[0].content.kind is ContentKind.EMPTY
+        assert document.elements[1].content.kind is ContentKind.ANY
+
+    def test_pcdata_only(self):
+        document = parse_dtd("<!ELEMENT t (#PCDATA)>")
+        content = document.elements[0].content
+        assert content.kind is ContentKind.MIXED
+        assert content.mixed_tags == ()
+
+    def test_mixed_content(self):
+        document = parse_dtd("<!ELEMENT t (#PCDATA | b | k)*>")
+        content = document.elements[0].content
+        assert content.kind is ContentKind.MIXED
+        assert content.mixed_tags == ("b", "k")
+
+    def test_sequence_model(self):
+        document = parse_dtd("<!ELEMENT b (t, a+, y?)>")
+        regex = document.elements[0].content.regex
+        assert regex == Seq([Atom("t"), Plus(Atom("a")), Opt(Atom("y"))])
+
+    def test_choice_model(self):
+        document = parse_dtd("<!ELEMENT d (t | p)>")
+        assert document.elements[0].content.regex == Alt([Atom("t"), Atom("p")])
+
+    def test_nested_groups_with_occurrences(self):
+        document = parse_dtd("<!ELEMENT x ((a, b)* , (c | d)+)?>")
+        regex = document.elements[0].content.regex
+        assert regex == Opt(Seq([Star(Seq([Atom("a"), Atom("b")])), Plus(Alt([Atom("c"), Atom("d")]))]))
+
+    def test_single_child_group(self):
+        document = parse_dtd("<!ELEMENT x (a)>")
+        assert document.elements[0].content.regex == Atom("a")
+
+    def test_mixed_separators_rejected(self):
+        with pytest.raises(DTDSyntaxError):
+            parse_dtd("<!ELEMENT x (a, b | c)>")
+
+    def test_comments_and_pis_are_skipped(self):
+        document = parse_dtd("<!-- c --><?pi data?><!ELEMENT a EMPTY>")
+        assert len(document.elements) == 1
+
+
+class TestAttlists:
+    def test_basic_attlist(self):
+        document = parse_dtd(
+            "<!ELEMENT a EMPTY>"
+            '<!ATTLIST a id ID #REQUIRED kind CDATA #IMPLIED mode (on|off) "on">'
+        )
+        attrs = document.attlists[0].attributes
+        assert [a.name for a in attrs] == ["id", "kind", "mode"]
+        assert attrs[0].default_kind is AttributeDefaultKind.REQUIRED
+        assert attrs[1].attribute_type == "CDATA"
+        assert attrs[2].attribute_type == "(on|off)"
+        assert attrs[2].default_value == "on"
+
+    def test_fixed_default(self):
+        document = parse_dtd('<!ATTLIST a v CDATA #FIXED "x">')
+        attr = document.attlists[0].attributes[0]
+        assert attr.default_kind is AttributeDefaultKind.FIXED
+        assert attr.default_value == "x"
+
+    def test_gt_inside_quoted_default(self):
+        document = parse_dtd('<!ATTLIST a v CDATA "a>b">')
+        assert document.attlists[0].attributes[0].default_value == "a>b"
+
+
+class TestParameterEntities:
+    def test_entity_in_content_model(self):
+        document = parse_dtd(
+            '<!ENTITY % inline "b | k">'
+            "<!ELEMENT t (#PCDATA | %inline;)*>"
+        )
+        assert document.elements[0].content.mixed_tags == ("b", "k")
+
+    def test_entity_referencing_entity(self):
+        document = parse_dtd(
+            '<!ENTITY % x "a">'
+            '<!ENTITY % y "%x;, b">'
+            "<!ELEMENT r (%y;)>"
+        )
+        assert document.elements[0].content.regex == Seq([Atom("a"), Atom("b")])
+
+    def test_undefined_entity_raises(self):
+        with pytest.raises(DTDSyntaxError):
+            parse_dtd("<!ELEMENT r (%nope;)>")
+
+    def test_first_definition_wins(self):
+        document = parse_dtd(
+            '<!ENTITY % x "a">'
+            '<!ENTITY % x "b">'
+            "<!ELEMENT r (%x;)>"
+        )
+        assert document.elements[0].content.regex == Atom("a")
+
+    def test_cyclic_entities_raise(self):
+        with pytest.raises(DTDSyntaxError):
+            parse_dtd('<!ENTITY % x "%y;"><!ENTITY % y "%x;"><!ELEMENT r (%x;)>')
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "<!ELEMENT >",
+            "<!ELEMENT a (b",
+            "<!ELEMENT a b>",
+            "<!WHATEVER a>",
+            "<!ELEMENT a (#PCDATA | b)>",  # mixed with names needs '*'
+        ],
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(DTDSyntaxError):
+            parse_dtd(bad)
+
+
+def test_xmark_dtd_parses():
+    from repro.workloads.xmark.dtd import XMARK_DTD
+
+    document = parse_dtd(XMARK_DTD)
+    tags = document.element_tags()
+    assert "site" in tags and "open_auction" in tags and "parlist" in tags
+    assert len(tags) > 40

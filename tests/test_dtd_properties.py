@@ -1,0 +1,162 @@
+"""Definition 4.3 property tests, including the paper's own examples."""
+
+from repro.dtd.grammar import grammar_from_productions, grammar_from_text
+from repro.dtd.properties import (
+    analyze_grammar,
+    is_parent_unambiguous,
+    is_recursive,
+    is_star_guarded,
+    is_star_guarded_regex,
+    recursive_names,
+)
+from repro.dtd.regex import Alt, Atom, Epsilon, Opt, Plus, Seq, Star
+
+
+def A(name):
+    return Atom(name)
+
+
+class TestStarGuarded:
+    def test_products_without_unions_are_guarded(self):
+        assert is_star_guarded_regex(Seq([A("a"), Plus(A("b")), Opt(A("c"))]))
+
+    def test_starred_union_is_guarded(self):
+        assert is_star_guarded_regex(Seq([A("a"), Star(Alt([A("b"), A("c")]))]))
+
+    def test_plus_guard_counts(self):
+        assert is_star_guarded_regex(Plus(Alt([A("a"), A("b")])))
+
+    def test_bare_union_is_not_guarded(self):
+        assert not is_star_guarded_regex(Alt([A("a"), A("b")]))
+
+    def test_optional_union_is_not_guarded(self):
+        assert not is_star_guarded_regex(Seq([A("a"), Opt(Alt([A("b"), A("c")]))]))
+
+    def test_union_nested_in_unstarred_factor(self):
+        assert not is_star_guarded_regex(Seq([Seq([Alt([A("a"), A("b")]), A("c")]), A("d")]))
+
+    def test_grammar_level(self, book_grammar):
+        assert is_star_guarded(book_grammar)
+
+
+class TestRecursive:
+    def test_book_dtd_is_not_recursive(self, book_grammar):
+        assert not is_recursive(book_grammar)
+        assert recursive_names(book_grammar) == frozenset()
+
+    def test_direct_recursion(self):
+        grammar = grammar_from_productions("X", {"X": ("a", Star(A("X")))})
+        assert is_recursive(grammar)
+        assert recursive_names(grammar) == {"X"}
+
+    def test_mutual_recursion(self):
+        grammar = grammar_from_text(
+            "<!ELEMENT a (b*)><!ELEMENT b (a?)>", "a"
+        )
+        assert is_recursive(grammar)
+        assert recursive_names(grammar) == {"a", "b"}
+
+    def test_xmark_is_recursive(self):
+        from repro.workloads.xmark import xmark_grammar
+
+        grammar = xmark_grammar()
+        assert is_recursive(grammar)
+        # The parlist/listitem loop and the inline markup loop.
+        loops = recursive_names(grammar)
+        assert "parlist" in loops and "listitem" in loops
+        assert "bold" in loops and "keyword" in loops and "emph" in loops
+
+
+class TestParentUnambiguous:
+    def test_book_dtd(self, book_grammar):
+        assert is_parent_unambiguous(book_grammar)
+
+    def test_paper_parent_ambiguous_example(self):
+        # {X -> a[Y,Z], Y -> b[Z], Z -> c[]} (Section 4.1): Z is a child of
+        # X directly and through Y.
+        grammar = grammar_from_productions(
+            "X",
+            {
+                "X": ("a", Seq([A("Y"), A("Z")])),
+                "Y": ("b", A("Z")),
+                "Z": ("c", Epsilon()),
+            },
+        )
+        assert not is_parent_unambiguous(grammar)
+
+    def test_section41_first_example_is_ambiguous_through_its_cycle(self):
+        # {X -> c[Y,Z], Y -> a[W,String], Z -> b[String], W -> d[Y?]}:
+        # the Y ⇄ W cycle yields chains cYW and cY(WY)W, so by Def 4.3(3)
+        # the grammar is parent-ambiguous (any ⇒-cycle implies ambiguity
+        # for its members).
+        grammar = grammar_from_productions(
+            "X",
+            {
+                "X": ("c", Seq([A("Y"), A("Z")])),
+                "Y": ("a", Seq([A("W"), A("Ys")])),
+                "Z": ("b", A("Zs")),
+                "W": ("d", Opt(A("Y"))),
+                "Ys": None,
+                "Zs": None,
+            },
+        )
+        assert not is_parent_unambiguous(grammar)
+
+    def test_diamond_without_direct_edge_is_unambiguous(self):
+        # X -> (Y, Z); Y -> W; Z -> W: W has two parents but every rooted
+        # chain reaching it has the same length — no cYc'Z pattern.
+        grammar = grammar_from_productions(
+            "X",
+            {
+                "X": ("x", Seq([A("Y"), A("Z")])),
+                "Y": ("y", A("W")),
+                "Z": ("z", A("W")),
+                "W": ("w", Epsilon()),
+            },
+        )
+        assert is_parent_unambiguous(grammar)
+
+    def test_self_loop_makes_own_child_ambiguous(self):
+        # X -> a[X*]: chain X X and X X X both exist.
+        grammar = grammar_from_productions("X", {"X": ("a", Star(A("X")))})
+        assert not is_parent_unambiguous(grammar)
+
+    def test_unreachable_ambiguity_is_ignored(self):
+        # The ambiguous pair sits behind an unreachable name.
+        grammar = grammar_from_productions(
+            "X",
+            {
+                "X": ("r", Epsilon()),
+                "U": ("u", Seq([A("Y"), A("Z")])),
+                "Y": ("b", A("Z")),
+                "Z": ("c", Epsilon()),
+            },
+        )
+        assert is_parent_unambiguous(grammar)
+
+
+class TestBundle:
+    def test_completeness_class(self, book_grammar):
+        properties = analyze_grammar(book_grammar)
+        assert properties.star_guarded
+        assert not properties.recursive
+        assert properties.parent_unambiguous
+        assert properties.completeness_class
+
+    def test_paper_counterexample_dtd_fails_class(self):
+        # {X -> c[Y|Z], Y -> a[Y*, String], Z -> b[String]} (Section 4.1):
+        # recursive and not *-guarded.
+        grammar = grammar_from_productions(
+            "X",
+            {
+                "X": ("c", Alt([A("Y"), A("Z")])),
+                "Y": ("a", Seq([Star(A("Y")), A("Ys")])),
+                "Z": ("b", A("Zs")),
+                "Ys": None,
+                "Zs": None,
+            },
+        )
+        properties = analyze_grammar(grammar)
+        assert not properties.star_guarded
+        assert properties.recursive
+        assert not properties.completeness_class

@@ -1,0 +1,167 @@
+"""Content-model regex and Glushkov automaton tests."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dtd.automaton import GlushkovAutomaton
+from repro.dtd.regex import (
+    Alt,
+    Atom,
+    Empty,
+    Epsilon,
+    Opt,
+    Plus,
+    Seq,
+    Star,
+    assign_positions,
+    first_set,
+    last_set,
+    matches,
+)
+
+
+def A(name):
+    return Atom(name)
+
+
+class TestBasics:
+    def test_names(self):
+        regex = Seq([A("x"), Alt([A("y"), Star(A("z"))])])
+        assert regex.names() == {"x", "y", "z"}
+
+    def test_nullable(self):
+        assert Epsilon().nullable()
+        assert Star(A("x")).nullable()
+        assert Opt(A("x")).nullable()
+        assert not Plus(A("x")).nullable()
+        assert not A("x").nullable()
+        assert Seq([Star(A("x")), Opt(A("y"))]).nullable()
+        assert not Seq([Star(A("x")), A("y")]).nullable()
+        assert Alt([A("x"), Epsilon()]).nullable()
+        assert not Empty().nullable()
+
+    def test_structural_equality(self):
+        assert Seq([A("x"), A("y")]) == Seq([A("x"), A("y")])
+        assert Seq([A("x")]) != Alt([A("x")])
+        assert hash(Star(A("x"))) == hash(Star(A("x")))
+
+    def test_first_last_positions(self):
+        regex = Seq([Opt(A("a")), A("b"), Star(A("c"))])
+        names = {atom.position: atom.name for atom in assign_positions(regex)}
+        assert {names[p] for p in first_set(regex)} == {"a", "b"}
+        assert {names[p] for p in last_set(regex)} == {"b", "c"}
+
+    def test_str_rendering(self):
+        assert str(Seq([A("a"), Opt(A("b"))])) == "(a, b?)"
+        assert str(Alt([A("a"), A("b")])) == "(a | b)"
+
+
+class TestMatching:
+    @pytest.mark.parametrize(
+        "regex,yes,no",
+        [
+            (Epsilon(), [[]], [["a"]]),
+            (A("a"), [["a"]], [[], ["b"], ["a", "a"]]),
+            (Seq([A("a"), A("b")]), [["a", "b"]], [["a"], ["b", "a"]]),
+            (Alt([A("a"), A("b")]), [["a"], ["b"]], [[], ["a", "b"]]),
+            (Star(A("a")), [[], ["a"], ["a"] * 5], [["b"], ["a", "b"]]),
+            (Plus(A("a")), [["a"], ["a", "a"]], [[]]),
+            (Opt(A("a")), [[], ["a"]], [["a", "a"]]),
+            (
+                Seq([A("t"), Plus(A("u")), Opt(A("v"))]),
+                [["t", "u"], ["t", "u", "u", "v"]],
+                [["t"], ["t", "v"], ["u"]],
+            ),
+            (Empty(), [], [[], ["a"]]),
+        ],
+    )
+    def test_membership(self, regex, yes, no):
+        automaton = GlushkovAutomaton(regex)
+        for word in yes:
+            assert automaton.matches(word), word
+        for word in no:
+            assert not automaton.matches(word), word
+
+    def test_same_name_multiple_positions(self):
+        # (a, a?) — two positions for 'a'.
+        regex = Seq([A("a"), Opt(A("a"))])
+        automaton = GlushkovAutomaton(regex)
+        assert automaton.matches(["a"])
+        assert automaton.matches(["a", "a"])
+        assert not automaton.matches(["a", "a", "a"])
+
+    def test_allowed_names_reports_expectations(self):
+        automaton = GlushkovAutomaton(Seq([A("a"), A("b")]))
+        state = automaton.step(automaton.initial, "a")
+        assert automaton.allowed_names(state) == {"b"}
+
+    def test_sink_state_is_empty_frozenset(self):
+        automaton = GlushkovAutomaton(A("a"))
+        assert automaton.step(automaton.initial, "zz") == frozenset()
+
+    def test_matches_helper(self):
+        assert matches(Star(A("x")), ["x", "x"])
+
+
+# -- property: automaton agrees with a brute-force regex interpreter -----------
+
+
+def _brute_match(regex, word) -> bool:
+    """Reference semantics by direct recursion over small words."""
+    if isinstance(regex, Empty):
+        return False
+    if isinstance(regex, Epsilon):
+        return word == ()
+    if isinstance(regex, Atom):
+        return word == (regex.name,)
+    if isinstance(regex, Seq):
+        if not regex.items:
+            return word == ()
+        head, tail = regex.items[0], Seq(regex.items[1:])
+        return any(
+            _brute_match(head, word[:split]) and _brute_match(tail, word[split:])
+            for split in range(len(word) + 1)
+        )
+    if isinstance(regex, Alt):
+        return any(_brute_match(item, word) for item in regex.items)
+    if isinstance(regex, Star):
+        if word == ():
+            return True
+        return any(
+            _brute_match(regex.inner, word[:split]) and _brute_match(regex, word[split:])
+            for split in range(1, len(word) + 1)
+        )
+    if isinstance(regex, Plus):
+        return _brute_match(Seq([regex.inner, Star(regex.inner)]), word)
+    if isinstance(regex, Opt):
+        return word == () or _brute_match(regex.inner, word)
+    raise TypeError(regex)
+
+
+@st.composite
+def regexes(draw, depth=3):
+    if depth == 0:
+        return draw(st.sampled_from([A("a"), A("b"), A("c"), Epsilon()]))
+    kind = draw(st.sampled_from(["atom", "seq", "alt", "star", "plus", "opt"]))
+    if kind == "atom":
+        return draw(st.sampled_from([A("a"), A("b"), A("c")]))
+    if kind in ("seq", "alt"):
+        items = draw(st.lists(regexes(depth=depth - 1), min_size=1, max_size=3))
+        return Seq(items) if kind == "seq" else Alt(items)
+    inner = draw(regexes(depth=depth - 1))
+    return {"star": Star, "plus": Plus, "opt": Opt}[kind](inner)
+
+
+@settings(max_examples=150, deadline=None)
+@given(regexes(), st.lists(st.sampled_from(["a", "b", "c"]), max_size=4))
+def test_automaton_agrees_with_reference_semantics(regex, word):
+    assert GlushkovAutomaton(regex).matches(word) == _brute_match(regex, tuple(word))
+
+
+@settings(max_examples=60, deadline=None)
+@given(regexes())
+def test_nullable_iff_matches_empty(regex):
+    assert regex.nullable() == GlushkovAutomaton(regex).matches([])

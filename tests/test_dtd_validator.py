@@ -1,0 +1,165 @@
+"""Validator tests: Def 2.4 validity and the interpretation ℑ."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dtd.grammar import grammar_from_text, text_name
+from repro.dtd.validator import EventValidator, TreeValidator, validate
+from repro.errors import ValidationError
+from repro.workloads.randomgen import random_grammar, random_valid_document
+from repro.xmltree.builder import parse_document
+from repro.xmltree.nodes import Element, Text
+from repro.xmltree.parser import parse_events
+
+
+class TestTreeValidation:
+    def test_valid_document_yields_full_interpretation(self, book_grammar, book_document):
+        interpretation = validate(book_document, book_grammar)
+        assert set(interpretation.names) == book_document.ids()
+
+    def test_interpretation_maps_root_to_root_name(self, book_grammar, book_document):
+        interpretation = validate(book_document, book_grammar)
+        assert interpretation[book_document.root.node_id] == "bib"
+
+    def test_text_nodes_get_per_element_text_names(self, book_grammar, book_document):
+        interpretation = validate(book_document, book_grammar)
+        for node in book_document.iter():
+            if isinstance(node, Text):
+                assert interpretation[node.node_id] == text_name(node.parent.tag)
+
+    def test_wrong_root_rejected(self, book_grammar):
+        with pytest.raises(ValidationError):
+            validate(parse_document("<book/>"), book_grammar)
+
+    def test_missing_required_child_rejected(self, book_grammar):
+        document = parse_document("<bib><book><author>x</author></book></bib>")
+        with pytest.raises(ValidationError) as excinfo:
+            validate(document, book_grammar)
+        assert "book" in str(excinfo.value)
+
+    def test_wrong_child_order_rejected(self, book_grammar):
+        document = parse_document(
+            "<bib><book><author>x</author><title>t</title></book></bib>"
+        )
+        with pytest.raises(ValidationError):
+            validate(document, book_grammar)
+
+    def test_undeclared_element_rejected(self, book_grammar):
+        document = parse_document("<bib><pamphlet/></bib>")
+        with pytest.raises(ValidationError):
+            validate(document, book_grammar)
+
+    def test_text_in_element_only_content_rejected(self, book_grammar):
+        document = parse_document("<bib>stray text</bib>")
+        with pytest.raises(ValidationError):
+            validate(document, book_grammar)
+
+    def test_whitespace_in_element_content_is_ignorable(self, book_grammar):
+        document = parse_document(
+            "<bib>\n  <book><title>t</title><author>a</author></book>\n</bib>"
+        )
+        interpretation = validate(document, book_grammar)
+        # Ignorable whitespace nodes get no name.
+        unnamed = [node for node in document.iter() if node.node_id not in interpretation]
+        assert all(isinstance(node, Text) and not node.value.strip() for node in unnamed)
+
+    def test_strict_whitespace_mode(self, book_grammar):
+        document = parse_document("<bib> <book><title>t</title><author>a</author></book></bib>")
+        validator = TreeValidator(book_grammar, ignore_whitespace=False)
+        with pytest.raises(ValidationError):
+            validator.validate(document)
+
+    def test_missing_required_attribute(self):
+        grammar = grammar_from_text(
+            "<!ELEMENT a EMPTY><!ATTLIST a id CDATA #REQUIRED>", "a"
+        )
+        with pytest.raises(ValidationError):
+            validate(parse_document("<a/>"), grammar)
+        validate(parse_document('<a id="1"/>'), grammar)
+
+    def test_validation_error_carries_node_id(self, book_grammar):
+        document = parse_document("<bib><book><author>x</author></book></bib>")
+        with pytest.raises(ValidationError) as excinfo:
+            validate(document, book_grammar)
+        assert excinfo.value.node_id is not None
+
+
+class TestEventValidation:
+    def _drive(self, grammar, text):
+        validator = EventValidator(grammar)
+        names = []
+        for event in parse_events(text):
+            name = validator.feed(event)
+            if name is not None:
+                names.append(name)
+        validator.finish()
+        return names
+
+    def test_accepts_valid_stream(self, book_grammar):
+        names = self._drive(
+            book_grammar,
+            "<bib><book isbn='1'><title>t</title><author>a</author></book></bib>",
+        )
+        assert names[:3] == ["bib", "book", "title"]
+
+    def test_rejects_bad_order(self, book_grammar):
+        with pytest.raises(ValidationError):
+            self._drive(book_grammar, "<bib><book><author>a</author><title>t</title></book></bib>")
+
+    def test_rejects_premature_close(self, book_grammar):
+        with pytest.raises(ValidationError):
+            self._drive(book_grammar, "<bib><book><title>t</title></book></bib>")
+
+    def test_rejects_undeclared_element(self, book_grammar):
+        with pytest.raises(ValidationError):
+            self._drive(book_grammar, "<bib><zine/></bib>")
+
+    def test_rejects_wrong_root(self, book_grammar):
+        with pytest.raises(ValidationError):
+            self._drive(book_grammar, "<book><title>t</title><author>a</author></book>")
+
+    def test_agrees_with_tree_validator_on_xmark(self, xmark):
+        grammar, document, interpretation = xmark
+        from repro.xmltree.serializer import serialize
+
+        validator = EventValidator(grammar)
+        for event in parse_events(serialize(document)):
+            validator.feed(event)
+        validator.finish()
+
+
+# -- property: sampled documents validate; mutations fail -------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 10_000), st.integers(0, 10_000))
+def test_sampled_documents_always_validate(grammar_seed, document_seed):
+    grammar = random_grammar(grammar_seed)
+    document = random_valid_document(grammar, document_seed)
+    interpretation = validate(document, grammar)
+    assert set(interpretation.names) == document.ids()
+    # ℑ is the unique tag-determined interpretation (local tree grammar).
+    for node in document.iter():
+        if isinstance(node, Element):
+            assert interpretation[node.node_id] == grammar.name_of_tag(node.tag)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 10_000), st.integers(0, 10_000))
+def test_recursive_grammars_sample_and_validate(grammar_seed, document_seed):
+    grammar = random_grammar(grammar_seed, allow_recursion=True)
+    document = random_valid_document(grammar, document_seed, max_depth=12)
+    validate(document, grammar)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000))
+def test_renaming_a_node_invalidates_or_changes_name(seed):
+    grammar = random_grammar(seed)
+    document = random_valid_document(grammar, seed)
+    elements = [node for node in document.iter() if isinstance(node, Element)]
+    target = elements[seed % len(elements)]
+    target.tag = "zzz-undeclared"
+    with pytest.raises(ValidationError):
+        validate(document, grammar)

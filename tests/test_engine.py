@@ -1,0 +1,101 @@
+"""Metered engine tests: memory model, budgets, reports."""
+
+import pytest
+
+from repro.engine.executor import QueryEngine, largest_processable_megabytes
+from repro.engine.metrics import DEFAULT_MODEL, MemoryModel
+from repro.errors import BudgetExceededError
+from repro.xmltree.builder import parse_document
+from repro.xmltree.serializer import serialize
+
+
+@pytest.fixture()
+def doc():
+    return parse_document(
+        "<r><a x='1'>text one</a><b><c/><c/></b><a>text two</a></r>"
+    )
+
+
+class TestMemoryModel:
+    def test_monotone_in_nodes(self, doc):
+        smaller = parse_document("<r><a>text one</a></r>")
+        assert DEFAULT_MODEL.document_bytes(smaller) < DEFAULT_MODEL.document_bytes(doc)
+
+    def test_counts_components(self, doc):
+        model = MemoryModel(
+            element_header=100, child_pointer=0, text_header=0, text_byte=0,
+            attribute_entry=0, attribute_byte=0, distinct_tag_entry=0,
+        )
+        elements = sum(1 for _ in doc.elements())
+        assert model.document_bytes(doc) == 100 * elements
+
+    def test_distinct_tags_cost(self, doc):
+        base = MemoryModel(distinct_tag_entry=0)
+        with_tags = MemoryModel(distinct_tag_entry=1000)
+        delta = with_tags.document_bytes(doc) - base.document_bytes(doc)
+        assert delta == 1000 * 4  # r, a, b, c
+
+    def test_text_bytes_cost(self):
+        document = parse_document("<r>12345</r>")
+        zero = MemoryModel(text_byte=0)
+        one = MemoryModel(text_byte=1)
+        assert one.document_bytes(document) - zero.document_bytes(document) == 5
+
+
+class TestQueryEngine:
+    def test_xpath_report(self, doc):
+        engine = QueryEngine(doc)
+        report = engine.run("//a")
+        assert report.result_count == 2
+        assert report.document_nodes == doc.size()
+        assert report.total_bytes > 0
+        assert report.nodes_touched > 0
+
+    def test_xquery_autodetected(self, doc):
+        engine = QueryEngine(doc)
+        report = engine.run("for $x in /r/a return $x")
+        assert report.result_count == 2
+
+    def test_run_serialized_stable(self, doc):
+        engine = QueryEngine(doc)
+        assert engine.run_serialized("//a") == engine.run_serialized("//a")
+
+    def test_load_budget_enforced(self, doc):
+        with pytest.raises(BudgetExceededError) as excinfo:
+            QueryEngine(doc, memory_budget=10)
+        assert excinfo.value.used > excinfo.value.budget
+
+    def test_eval_budget_enforced(self, doc):
+        needed = DEFAULT_MODEL.document_bytes(doc)
+        engine = QueryEngine(doc, memory_budget=needed + 1)
+        with pytest.raises(BudgetExceededError):
+            engine.run("//node()")
+
+    def test_generous_budget_passes(self, doc):
+        engine = QueryEngine(doc, memory_budget=10**9)
+        engine.run("//a")
+
+
+class TestLargestProcessable:
+    def test_extrapolation_is_linear(self, doc):
+        size = len(serialize(doc))
+        at_budget = largest_processable_megabytes(doc, size, 10**6)
+        at_double = largest_processable_megabytes(doc, size, 2 * 10**6)
+        assert at_double == pytest.approx(2 * at_budget)
+
+    def test_pruned_documents_extrapolate_larger(self, xmark):
+        """The Table 1 phenomenon: under the same budget, a pruned
+        document admits a (much) larger on-disk original."""
+        from repro.core.pipeline import analyze_xquery
+        from repro.projection.tree import prune_document
+        from repro.workloads.xmark import XMARK_QUERIES
+
+        grammar, document, interpretation = xmark
+        projector = analyze_xquery(grammar, XMARK_QUERIES["QM01"]).projector
+        pruned = prune_document(document, interpretation, projector)
+        budget = 512 * 10**6
+        original_size = len(serialize(document))
+        unpruned_max = largest_processable_megabytes(document, original_size, budget)
+        # For the pruned run the on-disk size is still the *original* file.
+        pruned_max = largest_processable_megabytes(pruned, original_size, budget)
+        assert pruned_max > 5 * unpruned_max

@@ -1,0 +1,118 @@
+"""Prune-while-loading and index-pruning tests (the conclusion's
+database-integration features)."""
+
+import io
+
+import pytest
+
+from repro.core.pipeline import analyze, analyze_xquery
+from repro.dtd.validator import validate
+from repro.engine.index import TagIndex, index_of_pruned_document
+from repro.engine.loader import load_full, load_pruned, load_pruned_validating
+from repro.errors import ProjectorError, ValidationError
+from repro.workloads.xmark import XMARK_QUERIES, xmark_grammar
+from repro.xmltree.serializer import serialize
+from repro.xquery.evaluator import XQueryEvaluator
+from tests.conftest import BOOK_DTD, BOOK_XML
+
+
+class TestPruneWhileLoading:
+    def test_loaded_tree_matches_prune_then_load(self, book_grammar):
+        projector = book_grammar.projector_closure(["author", "author#text"])
+        through_loader = load_pruned(io.StringIO(BOOK_XML), book_grammar, projector)
+        from repro.projection.streaming import prune_string
+
+        pruned_text, _ = prune_string(BOOK_XML, book_grammar, projector)
+        assert serialize(through_loader.document) == pruned_text
+
+    def test_skipped_nodes_are_never_built(self, book_grammar):
+        projector = book_grammar.projector_closure(["title"])
+        full = load_full(io.StringIO(BOOK_XML))
+        pruned = load_pruned(io.StringIO(BOOK_XML), book_grammar, projector)
+        assert pruned.nodes_built < full.nodes_built
+        assert pruned.model_bytes < full.model_bytes
+        assert pruned.prune_stats is not None
+        assert pruned.prune_stats.elements_in == sum(
+            1 for _ in full.document.elements()
+        )
+
+    def test_validating_load_accepts_valid(self, book_grammar):
+        projector = book_grammar.projector_closure(["title"])
+        report = load_pruned_validating(io.StringIO(BOOK_XML), book_grammar, projector)
+        assert report.document.root.tag == "bib"
+
+    def test_validating_load_rejects_invalid(self, book_grammar):
+        projector = book_grammar.projector_closure(["title"])
+        bad = "<bib><book><author>a</author><title>t</title></book></bib>"
+        with pytest.raises(ValidationError):
+            load_pruned_validating(io.StringIO(bad), book_grammar, projector)
+
+    def test_query_answers_match_on_loader_built_tree(self, xmark):
+        grammar, document, _ = xmark
+        query = XMARK_QUERIES["QM01"]
+        projector = analyze_xquery(grammar, query).projector
+        report = load_pruned(io.StringIO(serialize(document)), grammar, projector)
+        assert (
+            XQueryEvaluator(report.document).evaluate_serialized(query)
+            == XQueryEvaluator(document).evaluate_serialized(query)
+        )
+
+    def test_load_reports_time(self, book_grammar):
+        report = load_full(io.StringIO(BOOK_XML))
+        assert report.seconds >= 0
+        assert report.megabytes > 0
+
+
+class TestTagIndex:
+    def test_build_and_lookup(self, book_document):
+        index = TagIndex.build(book_document)
+        assert len(index.lookup("book")) == 3
+        assert len(index.lookup("author")) == 3
+        assert index.lookup("nothing") == []
+
+    def test_postings_in_document_order(self, book_document):
+        index = TagIndex.build(book_document)
+        for nodes in index.by_tag.values():
+            assert nodes == sorted(nodes)
+
+    def test_stats(self, book_document):
+        index = TagIndex.build(book_document)
+        stats = index.stats()
+        assert stats.entries == len(index.by_tag)
+        assert stats.postings == sum(len(v) for v in index.by_tag.values())
+        assert stats.model_bytes > 0
+
+    def test_index_pruning_matches_reference(self, book_grammar, book_document, book_interpretation):
+        index = TagIndex.build_for(book_document)
+        projector = book_grammar.projector_closure(["author", "author#text"])
+        via_index = index.pruned(book_interpretation, projector)
+        via_document = index_of_pruned_document(book_document, book_interpretation, projector)
+        assert via_index.by_tag == via_document.by_tag
+        assert via_index.text_nodes == via_document.text_nodes
+
+    def test_index_pruning_on_xmark(self, xmark):
+        grammar, document, interpretation = xmark
+        index = TagIndex.build_for(document)
+        projector = analyze(grammar, ["/site/people/person/name"]).projector
+        pruned = index.pruned(interpretation, projector)
+        reference = index_of_pruned_document(document, interpretation, projector)
+        assert pruned.by_tag == reference.by_tag
+        # The pruned index is much smaller (the TIMBER motivation).
+        assert pruned.stats().model_bytes < 0.2 * index.stats().model_bytes
+
+    def test_pruned_index_requires_valid_projector(self, book_document, book_interpretation):
+        index = TagIndex.build_for(book_document)
+        with pytest.raises(ProjectorError):
+            index.pruned(book_interpretation, frozenset({"title"}))
+
+    def test_whitespace_text_is_dropped(self, book_grammar):
+        from repro.xmltree.builder import parse_document
+
+        document = parse_document(
+            "<bib>\n  <book><title>t</title><author>a</author></book>\n</bib>"
+        )
+        interpretation = validate(document, book_grammar)
+        index = TagIndex.build_for(document)
+        pruned = index.pruned(interpretation, book_grammar.reachable_names())
+        # Every surviving text posting has a name (no ignorable whitespace).
+        assert all(node_id in interpretation for node_id in pruned.text_nodes)

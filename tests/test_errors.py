@@ -1,0 +1,60 @@
+"""Exception-hierarchy tests: every subsystem error is a ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.XMLError,
+            errors.XMLSyntaxError,
+            errors.DTDError,
+            errors.DTDSyntaxError,
+            errors.GrammarError,
+            errors.ValidationError,
+            errors.XPathError,
+            errors.XPathSyntaxError,
+            errors.XPathTypeError,
+            errors.XQueryError,
+            errors.XQuerySyntaxError,
+            errors.XQueryEvaluationError,
+            errors.AnalysisError,
+            errors.ProjectorError,
+            errors.BudgetExceededError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_xml_syntax_error_position(self):
+        error = errors.XMLSyntaxError("bad", line=3, column=7)
+        assert error.line == 3 and error.column == 7
+        assert "line 3" in str(error)
+
+    def test_validation_error_node_id(self):
+        error = errors.ValidationError("bad", node_id=42)
+        assert error.node_id == 42
+
+    def test_budget_error_fields(self):
+        error = errors.BudgetExceededError("over", used=10, budget=5)
+        assert error.used == 10 and error.budget == 5
+
+
+class TestSingleCatchAtBoundary:
+    def test_catch_repro_error_covers_subsystems(self, book_grammar):
+        from repro.xmltree.builder import parse_document
+        from repro.xpath.parser import parse_xpath
+        from repro.xquery.parser import parse_xquery
+
+        boundary_calls = [
+            lambda: parse_document("<oops"),
+            lambda: parse_xpath("///"),
+            lambda: parse_xquery("for $x return"),
+            lambda: book_grammar.check_projector({"title"}),
+        ]
+        for call in boundary_calls:
+            with pytest.raises(errors.ReproError):
+                call()

@@ -1,0 +1,185 @@
+"""Figure 1 type-system tests: the paper's worked examples, invariants and
+the Theorem 4.4 soundness/completeness properties."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.inference import Env, TypeInference, infer_type, initial_env
+from repro.core.types import TypeOperators
+from repro.dtd.grammar import grammar_from_productions
+from repro.dtd.properties import analyze_grammar
+from repro.dtd.regex import Alt, Atom, Epsilon, Opt, Seq, Star
+from repro.dtd.validator import validate
+from repro.workloads.randomgen import random_grammar, random_pathl, random_valid_document
+from repro.xpath.ast import Axis
+from repro.xpath.xpathl import evaluate_pathl, parse_pathl
+
+
+def A(name):
+    return Atom(name)
+
+
+def section41_grammar():
+    """{X -> c[Y,Z], Y -> a[W,String], Z -> b[String], W -> d[Y?]}"""
+    return grammar_from_productions(
+        "X",
+        {
+            "X": ("c", Seq([A("Y"), A("Z")])),
+            "Y": ("a", Seq([A("W"), A("Ys")])),
+            "Z": ("b", A("Zs")),
+            "W": ("d", Opt(A("Y"))),
+            "Ys": None,
+            "Zs": None,
+        },
+    )
+
+
+class TestPaperExamples:
+    def test_context_makes_upward_axes_precise(self):
+        """The Section 4.1 motivating example: the naive composition would
+        give {X, W} for self::c/child::a/parent::node; contexts give {X}."""
+        grammar = section41_grammar()
+        env = infer_type(grammar, parse_pathl("self::c/child::a/parent::node()"))
+        assert env.tau == {"X"}
+
+    def test_parent_ambiguous_imprecision_is_as_documented(self):
+        """{X -> a[Y,Z], Y -> b[Z], Z -> c[]}: the paper explains the
+        inferred type of self::a/child::b/child::c/parent::node is {X, Y}
+        though the precise answer is {Y}."""
+        grammar = grammar_from_productions(
+            "X",
+            {
+                "X": ("a", Seq([A("Y"), A("Z")])),
+                "Y": ("b", A("Z")),
+                "Z": ("c", Epsilon()),
+            },
+        )
+        env = infer_type(grammar, parse_pathl("self::a/child::b/child::c/parent::node()"))
+        assert env.tau == {"X", "Y"}
+
+    def test_recursion_keeps_names_on_backward_steps(self):
+        """{X -> c[Y|Z], Y -> a[Y*, String], Z -> b[String]}: the paper
+        explains self::c/child::a/parent::node infers {X, Y} (not {X})."""
+        grammar = grammar_from_productions(
+            "X",
+            {
+                "X": ("c", Alt([A("Y"), A("Z")])),
+                "Y": ("a", Seq([Star(A("Y")), A("Ys")])),
+                "Z": ("b", A("Zs")),
+                "Ys": None,
+                "Zs": None,
+            },
+        )
+        env = infer_type(grammar, parse_pathl("self::c/child::a/parent::node()"))
+        assert env.tau == {"X", "Y"}
+
+
+class TestRules:
+    def test_self_test_filters(self, book_grammar):
+        env = infer_type(book_grammar, parse_pathl("self::bib"))
+        assert env.tau == {"bib"}
+        env = infer_type(book_grammar, parse_pathl("self::book"))
+        assert env.tau == frozenset()
+
+    def test_downward_extends_context(self, book_grammar):
+        env = infer_type(book_grammar, parse_pathl("child::book/child::title"))
+        assert env.tau == {"title"}
+        assert env.kappa == {"bib", "book", "title"}
+
+    def test_condition_rule_filters_names(self, book_grammar):
+        env = infer_type(book_grammar, parse_pathl("child::book[child::price]"))
+        assert env.tau == {"book"}
+        env = infer_type(book_grammar, parse_pathl("child::book[child::isbn]"))
+        assert env.tau == frozenset()
+
+    def test_disjunctive_condition(self, book_grammar):
+        env = infer_type(
+            book_grammar, parse_pathl("child::book[child::missing or child::year]")
+        )
+        assert env.tau == {"book"}
+
+    def test_empty_propagates(self, book_grammar):
+        env = infer_type(book_grammar, parse_pathl("child::title/child::book"))
+        assert env.is_empty
+        assert env.kappa == frozenset()
+
+    def test_attribute_axis(self, book_grammar):
+        env = infer_type(book_grammar, parse_pathl("child::book/attribute::isbn"))
+        assert env.tau == {"book@isbn"}
+
+    def test_or_self_axes(self, book_grammar):
+        env = infer_type(book_grammar, parse_pathl("descendant-or-self::node()"))
+        # The descendant axis never reaches attribute names (XPath).
+        assert env.tau == book_grammar.names() - book_grammar.attribute_productions()
+        env = infer_type(book_grammar, parse_pathl("child::book/ancestor-or-self::node()"))
+        assert env.tau == {"bib", "book"}
+
+
+class TestInvariants:
+    @settings(max_examples=120, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(0, 10_000))
+    def test_wellformedness_is_preserved(self, grammar_seed, path_seed):
+        """κ ⊆ τ ∪ A_E(τ, ancestor) and τ ⊆ κ after every judgement."""
+        grammar = random_grammar(grammar_seed, allow_recursion=grammar_seed % 2 == 0)
+        pathl = random_pathl(grammar, path_seed)
+        inference = TypeInference(grammar)
+        ops = TypeOperators(grammar)
+        env = initial_env(grammar)
+        for step in pathl.steps:
+            env = inference.infer(env, (step,))
+            assert env.tau <= env.kappa
+            assert env.kappa <= env.tau | ops.axis(env.tau, Axis.ANCESTOR)
+
+    def test_memoisation_returns_equal_results(self, book_grammar):
+        inference = TypeInference(book_grammar)
+        path = parse_pathl("descendant-or-self::node()/parent::node()")
+        first = inference.infer_path(initial_env(book_grammar), path)
+        second = inference.infer_path(initial_env(book_grammar), path)
+        assert first == second
+
+
+# -- Theorem 4.4 ------------------------------------------------------------------
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.integers(0, 10_000), st.integers(0, 10_000), st.integers(0, 10_000))
+def test_theorem_4_4_soundness(grammar_seed, document_seed, path_seed):
+    """τ ⊇ ℑ([[P]](root)) for every valid document."""
+    grammar = random_grammar(grammar_seed, allow_recursion=grammar_seed % 3 == 0)
+    document = random_valid_document(grammar, document_seed, max_depth=10)
+    interpretation = validate(document, grammar)
+    pathl = random_pathl(grammar, path_seed)
+
+    env = infer_type(grammar, pathl)
+    result = evaluate_pathl(document, pathl)
+    names = {interpretation[node.node_id] for node in result}
+    assert names <= env.tau
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 10_000), st.integers(0, 10_000))
+def test_theorem_4_4_completeness_on_the_class(self_seed, path_seed):
+    """On *-guarded, non-recursive, parent-unambiguous grammars, every
+    inferred name is witnessed by some valid document (we search over a
+    batch of sampled documents; a name never witnessed in many samples
+    with forward-only simple paths would indicate incompleteness).
+
+    To keep the check decisive we restrict to condition-free downward
+    paths, where witnesses are easy to sample."""
+    grammar = random_grammar(self_seed, star_guarded_only=True)
+    properties = analyze_grammar(grammar)
+    if not properties.completeness_class:
+        return  # the theorem does not apply
+    pathl = random_pathl(grammar, path_seed, with_conditions=False)
+    if any(step.axis in (Axis.PARENT, Axis.ANCESTOR, Axis.ANCESTOR_OR_SELF) for step in pathl.steps):
+        return  # keep the witness search to forward fragments
+    env = infer_type(grammar, pathl)
+    witnessed: set[str] = set()
+    for document_seed in range(40):
+        document = random_valid_document(grammar, document_seed)
+        interpretation = validate(document, grammar)
+        for node in evaluate_pathl(document, pathl):
+            witnessed.add(interpretation[node.node_id])
+        if witnessed == set(env.tau):
+            break
+    assert witnessed == set(env.tau)

@@ -1,0 +1,118 @@
+"""Cross-module integration tests: the full pipeline through every door.
+
+Each test walks a different end-to-end route through the system —
+file-based, string-based, event-based, DTD'd, DTD-less, local-element —
+and checks the invariant that matters: answers never change.
+"""
+
+import io
+import os
+
+import pytest
+
+from repro.core.pipeline import analyze, analyze_xquery
+from repro.dtd.dataguide import grammar_from_file
+from repro.dtd.validator import validate
+from repro.engine.loader import load_pruned_validating
+from repro.projection.streaming import prune_file
+from repro.projection.tree import prune_document
+from repro.workloads.xmark import generate_file, xmark_grammar
+from repro.xmltree.builder import parse_document
+from repro.xpath.evaluator import XPathEvaluator
+from repro.xquery.evaluator import XQueryEvaluator
+
+QUERY_XPATH = "/site/open_auctions/open_auction[count(bidder) > 2]/reserve"
+QUERY_XQUERY = (
+    "for $a in /site/closed_auctions/closed_auction "
+    "where $a/price > 100 "
+    'return <sale price="{$a/price/text()}">{$a/annotation/author}</sale>'
+)
+
+
+@pytest.fixture(scope="module")
+def xmark_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("integration") / "auction.xml"
+    generate_file(str(path), factor=0.0015, seed=23)
+    return str(path)
+
+
+class TestFileRoutes:
+    def test_file_prune_then_query(self, xmark_file, tmp_path):
+        grammar = xmark_grammar()
+        projector = analyze(grammar, [QUERY_XPATH]).projector
+        pruned_path = str(tmp_path / "pruned.xml")
+        stats = prune_file(xmark_file, pruned_path, grammar, projector, validate=True)
+        assert stats.bytes_out < stats.bytes_in
+
+        with open(xmark_file) as handle:
+            original = parse_document(handle, strip_whitespace=True)
+        with open(pruned_path) as handle:
+            pruned = parse_document(handle, strip_whitespace=True)
+        original_answers = [
+            node.text_value() for node in XPathEvaluator(original).select(QUERY_XPATH)
+        ]
+        pruned_answers = [
+            node.text_value() for node in XPathEvaluator(pruned).select(QUERY_XPATH)
+        ]
+        assert original_answers == pruned_answers
+
+    def test_loader_route_matches_file_route(self, xmark_file):
+        grammar = xmark_grammar()
+        projector = analyze(grammar, [QUERY_XPATH]).projector
+        with open(xmark_file) as handle:
+            report = load_pruned_validating(handle, grammar, projector)
+        with open(xmark_file) as handle:
+            original = parse_document(handle, strip_whitespace=True)
+        assert [n.text_value() for n in XPathEvaluator(report.document).select(QUERY_XPATH)] == [
+            n.text_value() for n in XPathEvaluator(original).select(QUERY_XPATH)
+        ]
+
+    def test_dataguide_route(self, xmark_file):
+        grammar = grammar_from_file(xmark_file)
+        with open(xmark_file) as handle:
+            document = parse_document(handle, strip_whitespace=True)
+        interpretation = validate(document, grammar)
+        projector = analyze(grammar, [QUERY_XPATH]).projector
+        pruned = prune_document(document, interpretation, projector)
+        assert (
+            XPathEvaluator(pruned).select_ids(QUERY_XPATH)
+            == XPathEvaluator(document).select_ids(QUERY_XPATH)
+        )
+
+
+class TestMixedWorkload:
+    def test_xpath_and_xquery_share_one_pruned_document(self, xmark_file):
+        grammar = xmark_grammar()
+        with open(xmark_file) as handle:
+            document = parse_document(handle, strip_whitespace=True)
+        interpretation = validate(document, grammar)
+
+        projector = (
+            analyze(grammar, [QUERY_XPATH]).projector
+            | analyze_xquery(grammar, QUERY_XQUERY).projector
+        )
+        assert grammar.is_projector(projector)
+        pruned = prune_document(document, interpretation, projector)
+
+        assert (
+            XPathEvaluator(pruned).select_ids(QUERY_XPATH)
+            == XPathEvaluator(document).select_ids(QUERY_XPATH)
+        )
+        assert (
+            XQueryEvaluator(pruned).evaluate_serialized(QUERY_XQUERY)
+            == XQueryEvaluator(document).evaluate_serialized(QUERY_XQUERY)
+        )
+
+    def test_double_pruning_is_stable(self, xmark_file):
+        """Pruning a pruned document with the same projector changes
+        nothing (idempotence through the whole file pipeline)."""
+        from repro.xmltree.serializer import serialize
+
+        grammar = xmark_grammar()
+        projector = analyze(grammar, [QUERY_XPATH]).projector
+        with open(xmark_file) as handle:
+            document = parse_document(handle, strip_whitespace=True)
+        interpretation = validate(document, grammar)
+        once = prune_document(document, interpretation, projector)
+        twice = prune_document(once, interpretation, projector)
+        assert serialize(once) == serialize(twice)

@@ -1,0 +1,118 @@
+"""High-level pipeline API tests (repro.core.pipeline)."""
+
+import pytest
+
+from repro.core.pipeline import AnalysisResult, analyze, analyze_query, analyze_xquery, type_of_query
+from repro.dtd.grammar import text_name
+from repro.errors import AnalysisError, ProjectorError
+
+
+class TestAnalyze:
+    def test_single_query_string(self, book_grammar):
+        result = analyze(book_grammar, "//title")
+        assert isinstance(result, AnalysisResult)
+        assert "title" in result.projector
+
+    def test_list_of_queries_unions(self, book_grammar):
+        result = analyze(book_grammar, ["//title", "//price"])
+        assert {"title", "price"} <= result.projector
+        assert len(result.per_query) == 2
+        assert result.projector == frozenset().union(*result.per_query)
+
+    def test_projector_is_checked(self, book_grammar):
+        result = analyze(book_grammar, ["//author"])
+        book_grammar.check_projector(result.projector)  # no raise
+
+    def test_selectivity_metric(self, book_grammar):
+        narrow = analyze(book_grammar, ["/bib"], materialize=False)
+        wide = analyze(book_grammar, ["//node()"])
+        assert 0 < narrow.selectivity < wide.selectivity <= 1.0
+
+    def test_analysis_seconds_populated(self, book_grammar):
+        result = analyze(book_grammar, ["//title"])
+        assert result.analysis_seconds > 0
+
+    def test_paths_recorded(self, book_grammar):
+        result = analyze(book_grammar, ["//title"])
+        assert len(result.paths) == 1
+        assert "title" in str(result.paths[0])
+
+    def test_empty_query_list(self, book_grammar):
+        result = analyze(book_grammar, [])
+        assert result.projector == {"bib"}
+
+    def test_non_query_rejected(self, book_grammar):
+        with pytest.raises(AnalysisError):
+            analyze(book_grammar, ["count(//a)"])
+
+
+class TestMaterializeFlag:
+    def test_materialized_includes_answer_subtrees(self, book_grammar):
+        with_subtrees = analyze_query(book_grammar, "//book")
+        without = analyze_query(book_grammar, "//book", materialize=False)
+        assert text_name("title") in with_subtrees
+        assert text_name("title") not in without
+        assert without < with_subtrees
+
+    def test_unknown_tag_query_keeps_root_only(self, book_grammar):
+        projector = analyze_query(book_grammar, "//pamphlet")
+        assert projector == {"bib"}
+
+    def test_absolute_dead_first_step_keeps_root(self, book_grammar):
+        projector = analyze_query(book_grammar, "/wrongroot/title")
+        assert projector == {"bib"}
+
+
+class TestMaterializationIncludesAttributes:
+    def test_xquery_materialised_elements_keep_attributes(self, book_grammar):
+        """Regression: copying an element into constructed output must keep
+        its attributes — the trailing descendant-or-self marker implies the
+        attribute-inclusive closure."""
+        result = analyze_xquery(
+            book_grammar, "for $b in /bib/book return <copy>{$b}</copy>"
+        )
+        assert "book@isbn" in result.projector
+
+    def test_xpath_materialised_answers_keep_attributes(self, book_grammar):
+        projector = analyze_query(book_grammar, "//book")
+        assert "book@isbn" in projector
+
+
+class TestTypeOfQuery:
+    def test_returns_result_names(self, book_grammar):
+        assert type_of_query(book_grammar, "//book/title") == {"title"}
+
+    def test_text_result(self, book_grammar):
+        assert type_of_query(book_grammar, "//author/text()") == {text_name("author")}
+
+    def test_empty_for_impossible_query(self, book_grammar):
+        assert type_of_query(book_grammar, "//book/book") == frozenset()
+
+
+class TestAnalyzeXQuery:
+    def test_single_and_bunch(self, book_grammar):
+        single = analyze_xquery(book_grammar, "for $b in /bib/book return $b/title")
+        bunch = analyze_xquery(
+            book_grammar,
+            [
+                "for $b in /bib/book return $b/title",
+                "for $b in /bib/book return $b/price",
+            ],
+        )
+        assert "title" in single.projector
+        assert {"title", "price"} <= bunch.projector
+
+    def test_rewrite_flag_changes_projector(self, book_grammar):
+        query = (
+            "for $y in /bib//node() return "
+            "if ($y/author) then $y/author else ()"
+        )
+        with_rewrite = analyze_xquery(book_grammar, query, rewrite=True)
+        without = analyze_xquery(book_grammar, query, rewrite=False)
+        # Without the Section 5 rewriting, the descendant-or-self path
+        # annuls pruning; with it the projector is strictly smaller.
+        assert with_rewrite.projector < without.projector
+
+    def test_extraction_paths_recorded(self, book_grammar):
+        result = analyze_xquery(book_grammar, "for $b in /bib/book return $b/title")
+        assert result.paths

@@ -1,0 +1,129 @@
+"""Streaming pruner tests: equivalence with Def 2.7, validation mode,
+stats, constant-memory structure."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dtd.grammar import text_name
+from repro.dtd.validator import validate
+from repro.errors import ProjectorError, ValidationError
+from repro.projection.streaming import (
+    StreamingPruner,
+    prune_events,
+    prune_stream,
+    prune_string,
+)
+from repro.projection.tree import prune_document
+from repro.workloads.randomgen import random_grammar, random_valid_document
+from repro.xmltree.builder import build_tree, parse_document
+from repro.xmltree.parser import parse_events
+from repro.xmltree.serializer import serialize
+from tests.conftest import BOOK_XML
+
+
+class TestStreamingEqualsTree:
+    def _both(self, grammar, xml, projector):
+        document = parse_document(xml)
+        interpretation = validate(document, grammar)
+        tree_pruned = prune_document(document, interpretation, projector)
+        streamed, _ = prune_string(xml, grammar, projector)
+        return serialize(tree_pruned), streamed
+
+    def test_on_books(self, book_grammar):
+        projector = book_grammar.projector_closure(["author", text_name("author")])
+        tree, stream = self._both(book_grammar, BOOK_XML, projector)
+        assert tree == stream
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(0, 10_000), st.integers(0, 10_000))
+    def test_random(self, grammar_seed, document_seed, selection_seed):
+        import random
+
+        grammar = random_grammar(grammar_seed)
+        document = random_valid_document(grammar, document_seed)
+        rng = random.Random(selection_seed)
+        projector = grammar.projector_closure(
+            [name for name in sorted(grammar.reachable_names()) if rng.random() < 0.4]
+            or [grammar.root]
+        ) | {grammar.root}
+        interpretation = validate(document, grammar)
+        tree_pruned = serialize(prune_document(document, interpretation, projector))
+        streamed, _ = prune_string(serialize(document), grammar, projector)
+        assert streamed == tree_pruned
+
+
+class TestStreamingBehaviour:
+    def test_projector_must_keep_root(self, book_grammar):
+        with pytest.raises(ProjectorError):
+            StreamingPruner(book_grammar, frozenset())
+
+    def test_non_projector_rejected(self, book_grammar):
+        with pytest.raises(ProjectorError):
+            StreamingPruner(book_grammar, frozenset({"bib", "title"}))
+
+    def test_undeclared_element_raises_without_validator(self, book_grammar):
+        pruner = StreamingPruner(book_grammar, frozenset({"bib"}))
+        with pytest.raises(ValidationError):
+            list(pruner.process(parse_events("<bib><mystery/></bib>")))
+
+    def test_validating_mode_rejects_invalid_content(self, book_grammar):
+        events = parse_events("<bib><book><author>a</author><title>t</title></book></bib>")
+        with pytest.raises(ValidationError):
+            list(prune_events(events, book_grammar, frozenset({"bib"}), validate=True))
+
+    def test_validating_mode_checks_even_pruned_regions(self, book_grammar):
+        # The projector drops <book>, but validation still sees the
+        # invalid order inside it (prune-while-validate, Section 6).
+        events = parse_events("<bib><book><author>a</author><title>t</title></book></bib>")
+        projector = frozenset({"bib"})
+        with pytest.raises(ValidationError):
+            list(prune_events(events, book_grammar, projector, validate=True))
+
+    def test_comments_and_pis_pass_through(self, book_grammar):
+        xml = "<bib><!--note--><?pi data?></bib>"
+        pruned, _ = prune_string(xml, book_grammar, frozenset({"bib"}))
+        assert "<!--note-->" in pruned and "<?pi data?>" in pruned
+
+    def test_stats_populated(self, book_grammar):
+        projector = book_grammar.projector_closure(["title", text_name("title")])
+        _, stats = prune_string(BOOK_XML, book_grammar, projector)
+        assert stats.elements_in > stats.elements_out > 0
+        assert stats.bytes_in > stats.bytes_out > 0
+        assert stats.distinct_tags_out < stats.distinct_tags_in
+
+    def test_prune_stream_file_objects(self, book_grammar):
+        sink = io.StringIO()
+        stats = prune_stream(
+            io.StringIO(BOOK_XML), sink, book_grammar,
+            book_grammar.projector_closure(["title"]),
+        )
+        assert "<title/>" in sink.getvalue()
+        assert stats.bytes_out == len(sink.getvalue())
+
+    def test_pruned_output_is_valid_when_projector_is_wellformed(self, book_grammar):
+        # Pruning with a projector that keeps required children intact
+        # yields a document that still validates.
+        projector = book_grammar.projector_closure(
+            ["title", text_name("title"), "author", text_name("author")]
+        )
+        pruned, _ = prune_string(BOOK_XML, book_grammar, projector)
+        validate(parse_document(pruned), book_grammar)
+
+    def test_depth_only_state(self, book_grammar):
+        """The pruner's state is bounded by depth: after processing, its
+        open-tag stack is empty and no node buffers exist."""
+        pruner = StreamingPruner(book_grammar, frozenset({"bib"}))
+        list(pruner.process(parse_events(BOOK_XML)))
+        assert pruner._open_names == []
+        assert pruner._skip_depth == 0
+
+
+class TestEventRoundTrip:
+    def test_pruned_events_build_a_valid_tree(self, book_grammar):
+        projector = book_grammar.projector_closure(["author", text_name("author")])
+        events = prune_events(parse_events(BOOK_XML), book_grammar, projector)
+        document = build_tree(events)
+        assert {node.tag for node in document.elements()} == {"bib", "book", "author"}

@@ -1,0 +1,166 @@
+"""Type-driven projection tests (Def 2.7, Lemma 2.8)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dtd.grammar import attribute_name, text_name
+from repro.dtd.validator import validate
+from repro.errors import ProjectorError
+from repro.projection.stats import compare_documents, measure_document
+from repro.projection.tree import prune_document
+from repro.workloads.randomgen import random_grammar, random_valid_document
+from repro.xmltree.nodes import Document, Element, Text, is_projection_of
+
+
+class TestPruning:
+    def test_keeps_only_projected_names(self, book_grammar, book_document, book_interpretation):
+        projector = book_grammar.check_projector({"bib", "book", "title", text_name("title")})
+        pruned = prune_document(book_document, book_interpretation, projector)
+        tags = {node.tag for node in pruned.elements()}
+        assert tags == {"bib", "book", "title"}
+        for node in pruned.iter():
+            assert book_interpretation[node.node_id] in projector
+
+    def test_node_ids_are_preserved(self, book_grammar, book_document, book_interpretation):
+        projector = book_grammar.projector_closure(["author"])
+        pruned = prune_document(book_document, book_interpretation, projector)
+        for node in pruned.iter():
+            original = book_document.node(node.node_id)
+            assert getattr(original, "tag", None) == getattr(node, "tag", None)
+
+    def test_original_document_is_untouched(self, book_grammar, book_document, book_interpretation):
+        before = book_document.size()
+        prune_document(book_document, book_interpretation, frozenset({"bib"}))
+        assert book_document.size() == before
+
+    def test_lemma_2_8_result_is_projection(self, book_grammar, book_document, book_interpretation):
+        projector = book_grammar.projector_closure(["title", text_name("title")])
+        pruned = prune_document(book_document, book_interpretation, projector)
+        assert is_projection_of(pruned.root, book_document.root)
+
+    def test_non_projector_rejected(self, book_grammar, book_document, book_interpretation):
+        with pytest.raises(ProjectorError):
+            prune_document(book_document, book_interpretation, {"title"})
+
+    def test_projector_without_root_rejected(self, book_grammar, book_document, book_interpretation):
+        with pytest.raises(ProjectorError):
+            prune_document(book_document, book_interpretation, frozenset())
+
+    def test_text_nodes_pruned_without_text_name(self, book_grammar, book_document, book_interpretation):
+        projector = book_grammar.projector_closure(["title"])  # no title#text
+        pruned = prune_document(book_document, book_interpretation, projector)
+        titles = [node for node in pruned.elements() if node.tag == "title"]
+        assert titles and all(not title.children for title in titles)
+
+
+class TestAttributePolicy:
+    def test_declared_attribute_pruned_when_not_projected(
+        self, book_grammar, book_document, book_interpretation
+    ):
+        projector = book_grammar.projector_closure(["book"])
+        pruned = prune_document(book_document, book_interpretation, projector)
+        books = [node for node in pruned.elements() if node.tag == "book"]
+        assert all("isbn" not in book.attributes for book in books)
+
+    def test_projected_attribute_kept(self, book_grammar, book_document, book_interpretation):
+        projector = book_grammar.projector_closure([attribute_name("book", "isbn")])
+        pruned = prune_document(book_document, book_interpretation, projector)
+        books = [node for node in pruned.elements() if node.tag == "book"]
+        assert all("isbn" in book.attributes for book in books)
+
+    def test_policy_all_keeps_everything(self, book_grammar, book_document, book_interpretation):
+        projector = book_grammar.projector_closure(["book"])
+        pruned = prune_document(
+            book_document, book_interpretation, projector, attribute_policy="all"
+        )
+        books = [node for node in pruned.elements() if node.tag == "book"]
+        assert all("isbn" in book.attributes for book in books)
+
+    def test_undeclared_attributes_always_survive(self, book_grammar):
+        from repro.xmltree.builder import parse_document
+
+        document = parse_document('<bib><book custom="x"><title>t</title><author>a</author></book></bib>')
+        interpretation = validate(document, book_grammar)
+        pruned = prune_document(
+            document, interpretation, book_grammar.projector_closure(["book"])
+        )
+        book = next(node for node in pruned.elements() if node.tag == "book")
+        assert book.attributes == {"custom": "x"}
+
+
+class TestStats:
+    def test_compare_documents_counts(self, book_grammar, book_document, book_interpretation):
+        projector = book_grammar.projector_closure(["title", text_name("title")])
+        pruned = prune_document(book_document, book_interpretation, projector)
+        stats = compare_documents(book_document, pruned)
+        assert stats.nodes_in == book_document.size()
+        assert stats.nodes_out == pruned.size()
+        assert 0 < stats.size_ratio < 1
+        assert stats.complexity_reduction > 0
+
+    def test_measure_document(self, book_document):
+        elements, texts, attributes, tags = measure_document(book_document)
+        assert elements == sum(1 for node in book_document.elements())
+        assert texts == sum(1 for node in book_document.iter() if isinstance(node, Text))
+        assert attributes == 3  # one isbn per book
+        assert "bib" in tags
+
+
+# -- properties ------------------------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(0, 10_000), st.integers(0, 10_000), st.integers(0, 10_000))
+def test_pruning_is_projection_and_monotone(grammar_seed, document_seed, selection_seed):
+    """Lemma 2.8 plus monotonicity: π1 ⊆ π2 implies prune(t,π1) ≼ prune(t,π2) ≼ t."""
+    import random
+
+    grammar = random_grammar(grammar_seed)
+    document = random_valid_document(grammar, document_seed)
+    interpretation = validate(document, grammar)
+
+    rng = random.Random(selection_seed)
+    names = sorted(grammar.reachable_names())
+    small = grammar.projector_closure(
+        [name for name in names if rng.random() < 0.3] or [grammar.root]
+    )
+    big = grammar.projector_closure(sorted(small | {name for name in names if rng.random() < 0.3}))
+
+    pruned_small = prune_document(document, interpretation, small | {grammar.root})
+    pruned_big = prune_document(document, interpretation, big | {grammar.root})
+    assert is_projection_of(pruned_small.root, document.root)
+    assert is_projection_of(pruned_big.root, document.root)
+    assert is_projection_of(pruned_small.root, pruned_big.root)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 10_000), st.integers(0, 10_000))
+def test_full_projector_is_identity(grammar_seed, document_seed):
+    from repro.xmltree.serializer import serialize
+
+    grammar = random_grammar(grammar_seed)
+    document = random_valid_document(grammar, document_seed)
+    interpretation = validate(document, grammar)
+    pruned = prune_document(document, interpretation, grammar.reachable_names())
+    assert serialize(pruned) == serialize(document)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 10_000), st.integers(0, 10_000))
+def test_pruning_is_idempotent(grammar_seed, document_seed):
+    import random
+
+    from repro.xmltree.serializer import serialize
+
+    grammar = random_grammar(grammar_seed)
+    document = random_valid_document(grammar, document_seed)
+    interpretation = validate(document, grammar)
+    rng = random.Random(grammar_seed ^ document_seed)
+    projector = grammar.projector_closure(
+        [name for name in sorted(grammar.reachable_names()) if rng.random() < 0.5]
+        or [grammar.root]
+    ) | {grammar.root}
+    once = prune_document(document, interpretation, projector)
+    twice = prune_document(once, interpretation, projector)
+    assert serialize(once) == serialize(twice)

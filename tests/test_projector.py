@@ -1,0 +1,178 @@
+"""Figure 2 projector-inference tests: shapes, paper examples, soundness
+and the materialisation variant."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.inference import infer_type
+from repro.core.projector import infer_projector, materialized_projector
+from repro.dtd.grammar import grammar_from_productions, text_name
+from repro.dtd.regex import Atom, Epsilon, Seq
+from repro.dtd.validator import validate
+from repro.projection.tree import prune_document
+from repro.workloads.randomgen import random_grammar, random_pathl, random_valid_document
+from repro.xpath.xpathl import evaluate_pathl, parse_pathl
+
+
+def A(name):
+    return Atom(name)
+
+
+class TestShapes:
+    def test_result_is_always_a_projector(self, book_grammar):
+        for text in [
+            "child::book/child::title",
+            "descendant::author",
+            "descendant-or-self::node()/parent::node()",
+            "child::book[child::price or child::year]/child::author",
+            "child::nothing",
+        ]:
+            projector = infer_projector(book_grammar, parse_pathl(text))
+            assert book_grammar.is_projector(projector), text
+
+    def test_simple_chain(self, book_grammar):
+        projector = infer_projector(book_grammar, parse_pathl("child::book/child::title"))
+        assert projector == {"bib", "book", "title"}
+
+    def test_descendant_discards_non_ancestors(self, book_grammar):
+        projector = infer_projector(book_grammar, parse_pathl("descendant::price"))
+        assert projector == {"bib", "book", "price"}
+        assert "author" not in projector
+
+    def test_condition_data_is_collected(self, book_grammar):
+        projector = infer_projector(
+            book_grammar, parse_pathl("child::book[child::year]/child::title")
+        )
+        assert "year" in projector and "title" in projector
+
+    def test_condition_filters_projector(self, book_grammar):
+        # [child::isbn] can never hold: everything below book is pruned.
+        projector = infer_projector(
+            book_grammar, parse_pathl("child::book[child::isbn]/child::title")
+        )
+        assert projector == {"bib"}
+
+    def test_dead_path_keeps_only_root(self, book_grammar):
+        projector = infer_projector(book_grammar, parse_pathl("child::title"))
+        assert projector == {"bib"}
+
+    def test_upward_steps(self, book_grammar):
+        projector = infer_projector(
+            book_grammar, parse_pathl("descendant::author/parent::node()/child::title")
+        )
+        assert projector == {"bib", "book", "author", "title"}
+
+    def test_attribute_step(self, book_grammar):
+        projector = infer_projector(book_grammar, parse_pathl("child::book/attribute::isbn"))
+        assert "book@isbn" in projector
+
+    def test_text_step(self, book_grammar):
+        projector = infer_projector(
+            book_grammar, parse_pathl("child::book/child::author/child::text()")
+        )
+        assert text_name("author") in projector
+
+
+class TestPaperCompletenessExamples:
+    """The three Section 4.2 examples showing why strong specification is
+    needed — our inference must reproduce exactly the documented outcome."""
+
+    @pytest.fixture()
+    def grammar(self):
+        # {X -> a[Y,W], W -> c[], Y -> b[Z], Z -> d[]}
+        return grammar_from_productions(
+            "X",
+            {
+                "X": ("a", Seq([A("Y"), A("W")])),
+                "W": ("c", Epsilon()),
+                "Y": ("b", A("Z")),
+                "Z": ("d", Epsilon()),
+            },
+        )
+
+    def test_self_a_child_node_includes_W(self, grammar):
+        # self::a[child::node]: the optimal projector is {X, Y}, but the
+        # condition self::...node makes the system include W too.
+        projector = infer_projector(grammar, parse_pathl("self::a[child::node()]"))
+        assert {"X", "Y", "W"} <= projector
+
+    def test_backward_axis_in_predicate_keeps_W_and_Z(self, grammar):
+        projector = infer_projector(
+            grammar, parse_pathl("self::a[descendant::node()/ancestor::a]")
+        )
+        assert {"W", "Z"} <= projector
+
+    def test_disjunctive_predicate_breaks_completeness(self, grammar):
+        projector = infer_projector(grammar, parse_pathl("self::a[child::b or child::c]"))
+        # Both branches' data stays: W (tag c) as well as Y (tag b).
+        assert {"X", "Y", "W"} <= projector
+
+
+class TestMaterialization:
+    def test_materialized_adds_answer_subtrees(self, book_grammar):
+        plain = infer_projector(book_grammar, parse_pathl("child::book"))
+        materialized = materialized_projector(book_grammar, parse_pathl("child::book"))
+        assert plain == {"bib", "book"}
+        assert text_name("title") in materialized
+        assert "book@isbn" in materialized
+        assert plain < materialized
+
+    def test_materialized_is_projector(self, book_grammar):
+        projector = materialized_projector(
+            book_grammar, parse_pathl("descendant::author/parent::node()")
+        )
+        assert book_grammar.is_projector(projector)
+
+
+# -- Theorem 4.5: soundness of projector inference --------------------------------
+
+
+def _assert_sound(grammar, document, pathl):
+    interpretation = validate(document, grammar)
+    projector = infer_projector(grammar, pathl)
+    assert grammar.is_projector(projector)
+    if grammar.root not in projector:
+        projector = projector | {grammar.root}
+    pruned = prune_document(document, interpretation, projector)
+    original = sorted(node.node_id for node in evaluate_pathl(document, pathl))
+    after = sorted(node.node_id for node in evaluate_pathl(pruned, pathl))
+    assert original == after, (str(pathl), projector)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(0, 20_000), st.integers(0, 20_000), st.integers(0, 20_000))
+def test_theorem_4_5_soundness_random(grammar_seed, document_seed, path_seed):
+    grammar = random_grammar(grammar_seed, allow_recursion=grammar_seed % 3 == 0)
+    document = random_valid_document(grammar, document_seed, max_depth=10)
+    pathl = random_pathl(grammar, path_seed)
+    _assert_sound(grammar, document, pathl)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(0, 20_000), st.integers(0, 20_000))
+def test_theorem_4_5_on_book_documents(book_grammar, document_seed, path_seed):
+    document = random_valid_document(book_grammar, document_seed)
+    pathl = random_pathl(book_grammar, path_seed)
+    _assert_sound(book_grammar, document, pathl)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 20_000), st.integers(0, 20_000), st.integers(0, 20_000))
+def test_materialized_projector_preserves_subtrees(grammar_seed, document_seed, path_seed):
+    """With materialisation, the answers' *serialised subtrees* coincide."""
+    from repro.xmltree.serializer import serialize
+
+    grammar = random_grammar(grammar_seed)
+    document = random_valid_document(grammar, document_seed)
+    interpretation = validate(document, grammar)
+    pathl = random_pathl(grammar, path_seed, with_conditions=False)
+
+    projector = materialized_projector(grammar, pathl)
+    pruned = prune_document(document, interpretation, projector | {grammar.root})
+
+    original = {node.node_id: node for node in evaluate_pathl(document, pathl)}
+    after = {node.node_id: node for node in evaluate_pathl(pruned, pathl)}
+    assert original.keys() == after.keys()
+    for node_id, node in original.items():
+        assert serialize(after[node_id]) == serialize(node)

@@ -1,0 +1,88 @@
+"""Shakespeare-corpus workload tests: a second schema family end to end."""
+
+import pytest
+
+from repro.core.pipeline import analyze
+from repro.dtd.properties import analyze_grammar
+from repro.dtd.validator import validate
+from repro.projection.tree import prune_document
+from repro.workloads.shakespeare import (
+    SHAKESPEARE_QUERIES,
+    generate_play,
+    shakespeare_grammar,
+)
+from repro.xmltree.serializer import serialize
+from repro.xpath.evaluator import XPathEvaluator
+
+
+@pytest.fixture(scope="module")
+def play():
+    grammar = shakespeare_grammar()
+    document = generate_play(acts=3, seed=7)
+    interpretation = validate(document, grammar)
+    return grammar, document, interpretation
+
+
+class TestCorpus:
+    def test_generated_play_validates(self, play):
+        grammar, document, interpretation = play
+        assert set(interpretation.names) == document.ids()
+
+    def test_deterministic(self):
+        assert serialize(generate_play(acts=2, seed=3)) == serialize(generate_play(acts=2, seed=3))
+
+    def test_grammar_properties(self):
+        properties = analyze_grammar(shakespeare_grammar())
+        # play.dtd is non-recursive but its unions are unstarred
+        # ((PERSONA | PGROUP)+ is plus-guarded, (SPEECH | STAGEDIR ...)+ too).
+        assert not properties.recursive
+
+    def test_structure(self, play):
+        _, document, _ = play
+        tags = [node.tag for node in document.elements()]
+        assert tags.count("ACT") == 3
+        assert tags.count("SCENE") == 9
+        assert "SPEECH" in tags and "STAGEDIR" in tags
+
+
+class TestQueriesSoundness:
+    @pytest.mark.parametrize("name", sorted(SHAKESPEARE_QUERIES))
+    def test_query_soundness(self, play, name):
+        grammar, document, interpretation = play
+        query = SHAKESPEARE_QUERIES[name]
+        result = analyze(grammar, [query])
+        pruned = prune_document(document, interpretation, result.projector)
+        assert (
+            XPathEvaluator(pruned).select_ids(query)
+            == XPathEvaluator(document).select_ids(query)
+        ), name
+
+    def test_speaker_query_prunes_lines(self, play):
+        grammar, document, interpretation = play
+        result = analyze(grammar, ["//SPEAKER"])
+        pruned = prune_document(document, interpretation, result.projector)
+        tags = {node.tag for node in pruned.elements()}
+        assert "SPEAKER" in tags and "LINE" not in tags
+        assert pruned.size() < 0.5 * document.size()
+
+    def test_value_predicate_keeps_speaker_text(self, play):
+        grammar, document, interpretation = play
+        query = "//SPEECH[SPEAKER = 'HAMLET']/LINE"
+        result = analyze(grammar, [query])
+        pruned = prune_document(document, interpretation, result.projector)
+        original = XPathEvaluator(document).select(query)
+        assert original, "generator should produce HAMLET speeches"
+        assert (
+            XPathEvaluator(pruned).select_ids(query)
+            == [node.node_id for node in original]
+        )
+
+    def test_union_projector_for_whole_workload(self, play):
+        grammar, document, interpretation = play
+        result = analyze(grammar, list(SHAKESPEARE_QUERIES.values()))
+        pruned = prune_document(document, interpretation, result.projector)
+        for name, query in SHAKESPEARE_QUERIES.items():
+            assert (
+                XPathEvaluator(pruned).select_ids(query)
+                == XPathEvaluator(document).select_ids(query)
+            ), name

@@ -1,0 +1,207 @@
+"""Single-type (XML Schema-style) grammar tests — footnote 1's extension.
+
+The running example: a library whose <item> elements are *local* — under
+<books> an item is a book (title, pages), under <films> an item is a film
+(title, minutes).  A DTD cannot express this; a single-type grammar can,
+and the whole pipeline (validation, analysis, pruning, streaming) must
+distinguish the two item types.
+"""
+
+import io
+
+import pytest
+
+from repro.core.pipeline import analyze
+from repro.dtd.grammar import Grammar, ElementProduction, TextProduction
+from repro.dtd.regex import Atom, Epsilon, Seq, Star
+from repro.dtd.singletype import SingleTypeGrammar, single_type_grammar
+from repro.dtd.validator import EventValidator, validate
+from repro.errors import GrammarError, ValidationError
+from repro.projection.streaming import prune_string
+from repro.projection.tree import prune_document
+from repro.xmltree.builder import parse_document
+from repro.xmltree.parser import parse_events
+from repro.xmltree.serializer import serialize
+from repro.xpath.evaluator import XPathEvaluator
+
+
+def A(name):
+    return Atom(name)
+
+
+@pytest.fixture(scope="module")
+def library():
+    """Books and films both use tag <item>, with different content."""
+    return single_type_grammar(
+        "Lib",
+        {
+            "Lib": ("library", Seq([Atom("Books"), Atom("Films")])),
+            "Books": ("books", Star(A("Book"))),
+            "Films": ("films", Star(A("Film"))),
+            "Book": ("item", Seq([A("BTitle"), A("Pages")])),
+            "Film": ("item", Seq([A("FTitle"), A("Minutes")])),
+            "BTitle": ("title", Star(A("BTitleS"))),
+            "FTitle": ("title", Star(A("FTitleS"))),
+            "Pages": ("pages", Star(A("PagesS"))),
+            "Minutes": ("minutes", Star(A("MinutesS"))),
+            "BTitleS": None,
+            "FTitleS": None,
+            "PagesS": None,
+            "MinutesS": None,
+        },
+    )
+
+
+LIB_XML = (
+    "<library>"
+    "<books>"
+    "<item><title>Moby-Dick</title><pages>635</pages></item>"
+    "<item><title>Ulysses</title><pages>730</pages></item>"
+    "</books>"
+    "<films>"
+    "<item><title>Stalker</title><minutes>161</minutes></item>"
+    "</films>"
+    "</library>"
+)
+
+
+class TestConstruction:
+    def test_local_grammar_rejects_duplicate_tags(self):
+        with pytest.raises(GrammarError):
+            Grammar(
+                "x",
+                [
+                    ElementProduction("x", "r", Seq([A("a"), A("b")])),
+                    ElementProduction("a", "same", Epsilon()),
+                    ElementProduction("b", "same", Epsilon()),
+                ],
+            )
+
+    def test_single_type_accepts_local_elements(self, library):
+        assert isinstance(library, SingleTypeGrammar)
+        assert library.production("Book").tag == library.production("Film").tag == "item"
+
+    def test_single_type_restriction_enforced(self):
+        # Two names with the same tag *in one content model* is the
+        # regular (non-XSD) class: rejected.
+        with pytest.raises(GrammarError):
+            single_type_grammar(
+                "R",
+                {
+                    "R": ("r", Seq([A("X"), A("Y")])),
+                    "X": ("same", Epsilon()),
+                    "Y": ("same", Epsilon()),
+                },
+            )
+
+    def test_context_resolution(self, library):
+        assert library.child_element_name("Books", "item") == "Book"
+        assert library.child_element_name("Films", "item") == "Film"
+        assert library.child_element_name("Books", "film") is None
+        assert library.child_element_name(None, "library") == "Lib"
+        assert library.child_element_name(None, "item") is None
+
+
+class TestValidation:
+    def test_interpretation_distinguishes_locals(self, library):
+        document = parse_document(LIB_XML)
+        interpretation = validate(document, library)
+        items = [node for node in document.elements() if node.tag == "item"]
+        names = [interpretation[node.node_id] for node in items]
+        assert names == ["Book", "Book", "Film"]
+
+    def test_wrong_local_content_rejected(self, library):
+        bad = LIB_XML.replace("<minutes>161</minutes>", "<pages>161</pages>")
+        with pytest.raises(ValidationError):
+            validate(parse_document(bad), library)
+
+    def test_event_validator_resolves_context(self, library):
+        validator = EventValidator(library)
+        names = []
+        for event in parse_events(LIB_XML):
+            name = validator.feed(event)
+            if name in ("Book", "Film"):
+                names.append(name)
+        validator.finish()
+        assert names == ["Book", "Book", "Film"]
+
+
+class TestAnalysisAndPruning:
+    def test_projector_separates_locals(self, library):
+        """//pages lives only under Book items: Film items prune away
+        even though they share the tag."""
+        result = analyze(library, ["//pages"])
+        assert "Book" in result.projector
+        assert "Film" not in result.projector
+
+    def test_tree_pruning(self, library):
+        document = parse_document(LIB_XML)
+        interpretation = validate(document, library)
+        result = analyze(library, ["//pages"])
+        pruned = prune_document(document, interpretation, result.projector)
+        assert "films" not in serialize(pruned) or "<films/>" in serialize(pruned)
+        query = "//pages"
+        assert (
+            XPathEvaluator(pruned).select_ids(query)
+            == XPathEvaluator(document).select_ids(query)
+        )
+
+    def test_streaming_pruner_resolves_context(self, library):
+        result = analyze(library, ["//minutes"])
+        pruned, stats = prune_string(LIB_XML, library, result.projector)
+        # Book items disappear; the film item survives with its minutes.
+        assert "Stalker" not in pruned or "<minutes>161</minutes>" in pruned
+        assert "pages" not in pruned
+        assert pruned.count("<item>") == 1
+
+    def test_streaming_equals_tree(self, library):
+        document = parse_document(LIB_XML)
+        interpretation = validate(document, library)
+        result = analyze(library, ["//minutes"])
+        via_tree = serialize(prune_document(document, interpretation, result.projector))
+        via_stream, _ = prune_string(LIB_XML, library, result.projector)
+        assert via_tree == via_stream
+
+    def test_theorem_4_5_on_random_single_type_grammars(self):
+        """Soundness fuzz over the XML Schema class: random single-type
+        grammars, sampled documents, random paths — pruning never changes
+        answers (both pruners)."""
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.core.projector import infer_projector
+        from repro.workloads.randomgen import (
+            random_pathl,
+            random_single_type_grammar,
+            random_valid_document,
+        )
+        from repro.xpath.xpathl import evaluate_pathl
+
+        @settings(max_examples=120, deadline=None)
+        @given(st.integers(0, 10_000), st.integers(0, 10_000), st.integers(0, 10_000))
+        def run(grammar_seed, document_seed, path_seed):
+            grammar = random_single_type_grammar(grammar_seed)
+            document = random_valid_document(grammar, document_seed)
+            interpretation = validate(document, grammar)
+            pathl = random_pathl(grammar, path_seed)
+            projector = infer_projector(grammar, pathl) | {grammar.root}
+            pruned = prune_document(document, interpretation, projector)
+            original = sorted(n.node_id for n in evaluate_pathl(document, pathl))
+            after = sorted(n.node_id for n in evaluate_pathl(pruned, pathl))
+            assert original == after
+            streamed, _ = prune_string(serialize(document), grammar, projector)
+            assert streamed == serialize(pruned)
+
+        run()
+
+    def test_local_titles_are_distinct_in_analysis(self, library):
+        """Keeping book titles must not keep film titles: the two <title>
+        locals have different names."""
+        result = analyze(library, ["/library/books/item/title"])
+        assert "BTitle" in result.projector
+        assert "FTitle" not in result.projector
+        document = parse_document(LIB_XML)
+        interpretation = validate(document, library)
+        pruned = prune_document(document, interpretation, result.projector)
+        assert "Stalker" not in serialize(pruned)
+        assert "Moby-Dick" in serialize(pruned)

@@ -1,0 +1,149 @@
+"""A_E / T_E tests (Definition 4.1) and the Lemma 4.2 soundness property."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.types import TypeOperators
+from repro.dtd.grammar import attribute_name, text_name
+from repro.dtd.validator import validate
+from repro.workloads.randomgen import random_grammar, random_valid_document
+from repro.xmltree.nodes import Element, Text
+from repro.xpath.ast import Axis, KindTest, NameTest
+from repro.xpath.xpathl import LStep, evaluate_steps
+
+
+class TestAxisOperator:
+    def test_self(self, book_grammar):
+        ops = TypeOperators(book_grammar)
+        assert ops.axis(frozenset({"book"}), Axis.SELF) == {"book"}
+
+    def test_child_excludes_attributes(self, book_grammar):
+        ops = TypeOperators(book_grammar)
+        children = ops.axis(frozenset({"book"}), Axis.CHILD)
+        assert children == {"title", "author", "year", "price"}
+        assert attribute_name("book", "isbn") not in children
+
+    def test_attribute_axis(self, book_grammar):
+        ops = TypeOperators(book_grammar)
+        assert ops.axis(frozenset({"book"}), Axis.ATTRIBUTE) == {attribute_name("book", "isbn")}
+
+    def test_descendant_is_transitive_child_closure(self, book_grammar):
+        ops = TypeOperators(book_grammar)
+        descendants = ops.axis(frozenset({"bib"}), Axis.DESCENDANT)
+        assert text_name("title") in descendants
+        assert attribute_name("book", "isbn") not in descendants
+        assert "bib" not in descendants
+
+    def test_descendant_or_self(self, book_grammar):
+        ops = TypeOperators(book_grammar)
+        result = ops.axis(frozenset({"book"}), Axis.DESCENDANT_OR_SELF)
+        assert "book" in result and text_name("price") in result
+
+    def test_parent_and_ancestor(self, book_grammar):
+        ops = TypeOperators(book_grammar)
+        assert ops.axis(frozenset({text_name("title")}), Axis.PARENT) == {"title"}
+        assert ops.axis(frozenset({text_name("title")}), Axis.ANCESTOR) == {"title", "book", "bib"}
+
+    def test_recursive_descendant_closure_terminates(self):
+        grammar = random_grammar(3, allow_recursion=True)
+        ops = TypeOperators(grammar)
+        ops.axis(grammar.names(), Axis.DESCENDANT)  # must not hang
+
+
+class TestTestOperator:
+    def test_tag_test(self, book_grammar):
+        ops = TypeOperators(book_grammar)
+        names = frozenset({"book", "title", text_name("title")})
+        assert ops.test(names, NameTest("title")) == {"title"}
+
+    def test_node_test_keeps_everything(self, book_grammar):
+        ops = TypeOperators(book_grammar)
+        names = frozenset({"book", text_name("title")})
+        assert ops.test(names, KindTest("node")) == names
+
+    def test_text_test(self, book_grammar):
+        ops = TypeOperators(book_grammar)
+        names = frozenset({"book", text_name("title")})
+        assert ops.test(names, KindTest("text")) == {text_name("title")}
+
+    def test_element_test(self, book_grammar):
+        ops = TypeOperators(book_grammar)
+        names = frozenset({"book", text_name("title")})
+        assert ops.test(names, KindTest("element")) == {"book"}
+
+    def test_wildcard_excludes_text(self, book_grammar):
+        ops = TypeOperators(book_grammar)
+        names = frozenset({"book", text_name("title")})
+        assert ops.test(names, NameTest(None)) == {"book"}
+
+    def test_attribute_name_test(self, book_grammar):
+        ops = TypeOperators(book_grammar)
+        names = frozenset({attribute_name("book", "isbn")})
+        assert ops.test(names, NameTest("isbn")) == names
+        assert ops.test(names, NameTest("other")) == frozenset()
+
+    def test_comment_test_is_empty(self, book_grammar):
+        ops = TypeOperators(book_grammar)
+        assert ops.test(book_grammar.names(), KindTest("comment")) == frozenset()
+
+
+class TestContextRestrict:
+    def test_restrict_keeps_chains_into_tau(self, book_grammar):
+        ops = TypeOperators(book_grammar)
+        kappa = frozenset({"bib", "book", "title", "price"})
+        restricted = ops.context_restrict(kappa, frozenset({"title"}))
+        assert restricted == {"bib", "book", "title"}
+
+
+# -- Lemma 4.2: single-step typing is sound -----------------------------------
+
+_AXES = st.sampled_from(
+    [
+        Axis.SELF,
+        Axis.CHILD,
+        Axis.DESCENDANT,
+        Axis.DESCENDANT_OR_SELF,
+        Axis.PARENT,
+        Axis.ANCESTOR,
+        Axis.ANCESTOR_OR_SELF,
+    ]
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.integers(0, 5_000), st.integers(0, 5_000), _AXES)
+def test_lemma_4_2_axis_soundness(grammar_seed, document_seed, axis):
+    """If ℑ(S) ⊆ τ then ℑ([[Axis]](S)) ⊆ A_E(τ, Axis)."""
+    grammar = random_grammar(grammar_seed)
+    document = random_valid_document(grammar, document_seed)
+    interpretation = validate(document, grammar)
+    ops = TypeOperators(grammar)
+
+    nodes = list(document.iter())
+    sample = nodes[:: max(1, len(nodes) // 5)]
+    tau = frozenset(interpretation[node.node_id] for node in sample)
+
+    selected = evaluate_steps(sample, (LStep(axis, KindTest("node")),))
+    result_names = {interpretation[node.node_id] for node in selected}
+    assert result_names <= ops.axis(tau, axis)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(0, 5_000), st.integers(0, 5_000))
+def test_lemma_4_2_test_soundness(grammar_seed, document_seed):
+    """If ℑ(S) ⊆ τ then ℑ(S :: Test) ⊆ T_E(τ, Test) for every test."""
+    grammar = random_grammar(grammar_seed)
+    document = random_valid_document(grammar, document_seed)
+    interpretation = validate(document, grammar)
+    ops = TypeOperators(grammar)
+
+    nodes = list(document.iter())
+    tau = frozenset(interpretation[node.node_id] for node in nodes)
+
+    tags = {node.tag for node in nodes if isinstance(node, Element)}
+    tests = [KindTest("node"), KindTest("text"), KindTest("element"), NameTest(None)]
+    tests += [NameTest(tag) for tag in sorted(tags)]
+    for test in tests:
+        selected = evaluate_steps(nodes, (LStep(Axis.SELF, test),))
+        names = {interpretation[node.node_id] for node in selected}
+        assert names <= ops.test(tau, test), test

@@ -1,0 +1,122 @@
+"""Use Cases corpus tests — the Section 4.1 survey and the XHTML-scale DTD."""
+
+import pytest
+
+from repro.core.pipeline import analyze
+from repro.workloads.usecases import (
+    USE_CASES,
+    classify_corpus,
+    use_case_grammar,
+    xhtml_grammar,
+)
+
+
+class TestCorpus:
+    def test_all_ten_lower(self):
+        assert len(USE_CASES) == 10
+        for case in USE_CASES:
+            grammar = use_case_grammar(case.name)
+            assert grammar.root == case.root
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            use_case_grammar("nope")
+
+    def test_section_4_1_survey_counts(self):
+        """Paper: "among the ten DTDs defined in the Use Cases, seven are
+        both non-recursive and *-guarded, one is only *-guarded, one is
+        only non-recursive, and just one does not satisfy either
+        property" — and "five on the ten DTDs" are parent-unambiguous."""
+        classification = classify_corpus()
+        both = sum(
+            1 for p in classification.values() if p.star_guarded and not p.recursive
+        )
+        only_guarded = sum(
+            1 for p in classification.values() if p.star_guarded and p.recursive
+        )
+        only_nonrecursive = sum(
+            1 for p in classification.values() if not p.star_guarded and not p.recursive
+        )
+        neither = sum(
+            1 for p in classification.values() if not p.star_guarded and p.recursive
+        )
+        unambiguous = sum(1 for p in classification.values() if p.parent_unambiguous)
+        assert (both, only_guarded, only_nonrecursive, neither) == (7, 1, 1, 1)
+        assert unambiguous == 5
+
+    def test_known_classifications(self):
+        classification = classify_corpus()
+        assert not classification["XMP"].star_guarded  # (author+ | editor+)
+        assert classification["TREE"].recursive  # nested sections
+        assert classification["PARTS"].recursive
+        assert not classification["PARTS"].star_guarded
+        assert classification["R"].completeness_class
+
+    def test_analysis_runs_on_every_use_case(self):
+        """Projector inference works across the whole corpus (a smoke
+        sweep with a generic descendant query per DTD)."""
+        for case in USE_CASES:
+            grammar = use_case_grammar(case.name)
+            leafish = sorted(grammar.children_of(grammar.root))[0]
+            production = grammar.production(leafish)
+            from repro.dtd.grammar import ElementProduction
+
+            assert isinstance(production, ElementProduction)
+            result = analyze(grammar, [f"//{production.tag}"])
+            assert grammar.root in result.projector
+
+
+class TestXHTMLScale:
+    def test_lowering(self):
+        grammar = xhtml_grammar()
+        assert len(grammar.names()) > 90
+        assert "table" in grammar.names()
+
+    def test_parameter_entities_expanded(self):
+        grammar = xhtml_grammar()
+        # %inline; inside <p>'s model must have been textually expanded.
+        assert "strong" in grammar.children_of("p")
+        assert "blockquote" in grammar.children_of("body")
+
+    def test_analysis_time_on_large_recursive_dtd(self):
+        """The Section 6 claim on large DTDs: analysis stays well under
+        half a second even for XHTML-scale recursive grammars."""
+        grammar = xhtml_grammar()
+        result = analyze(
+            grammar,
+            [
+                "//div//table/tr/td//a",
+                "/html/body//ul/li[a]/span",
+                "//blockquote/ancestor::div/p",
+            ],
+        )
+        assert result.analysis_seconds < 0.5
+        assert grammar.is_projector(result.projector)
+
+    def test_pruning_an_xhtml_document(self):
+        from repro.dtd.validator import validate
+        from repro.projection.tree import prune_document
+        from repro.xmltree.builder import parse_document
+        from repro.xpath.evaluator import XPathEvaluator
+
+        grammar = xhtml_grammar()
+        document = parse_document(
+            "<html><head><title>t</title></head>"
+            "<body><div><p>intro <a href='x'>link</a></p>"
+            "<table><tr><td>cell</td></tr></table></div>"
+            "<ul><li>one</li><li><a href='y'>two</a></li></ul></body></html>"
+        )
+        interpretation = validate(document, grammar)
+        query = "//li/a"
+        result = analyze(grammar, [query])
+        pruned = prune_document(document, interpretation, result.projector)
+        assert (
+            XPathEvaluator(pruned).select_ids(query)
+            == XPathEvaluator(document).select_ids(query)
+        )
+        tags = {node.tag for node in pruned.elements()}
+        # head/title can never lead to an li: pruned.  table must survive —
+        # XHTML is recursive, an li can nest under td.
+        assert "head" not in tags and "title" not in tags
+        assert "table" in tags
+        assert pruned.size() < document.size()

@@ -1,0 +1,137 @@
+"""Workload substrate tests: XMark generator, query sets, random generators."""
+
+import pytest
+
+from repro.dtd.properties import analyze_grammar
+from repro.dtd.validator import validate
+from repro.workloads.xmark import (
+    TABLE1_XMARK,
+    XMARK_QUERIES,
+    XMarkCounts,
+    generate_document,
+    xmark_grammar,
+)
+from repro.workloads.xpathmark import TABLE1_XPATHMARK, XPATHMARK_QUERIES
+from repro.xmltree.serializer import serialize
+
+
+class TestXMarkGrammar:
+    def test_lowering_succeeds(self):
+        grammar = xmark_grammar()
+        assert grammar.root == "site"
+        assert "open_auction" in grammar.names()
+        assert "item@id" in grammar.names()
+
+    def test_is_recursive_like_the_real_dtd(self):
+        assert analyze_grammar(xmark_grammar()).recursive
+
+
+class TestGenerator:
+    def test_documents_validate(self):
+        grammar = xmark_grammar()
+        document = generate_document(0.001, seed=3)
+        interpretation = validate(document, grammar)
+        assert set(interpretation.names) == document.ids()
+
+    def test_deterministic_in_seed(self):
+        first = serialize(generate_document(0.001, seed=11))
+        second = serialize(generate_document(0.001, seed=11))
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        assert serialize(generate_document(0.001, seed=1)) != serialize(
+            generate_document(0.001, seed=2)
+        )
+
+    def test_counts_scale_linearly(self):
+        small = XMarkCounts.for_factor(0.01)
+        large = XMarkCounts.for_factor(0.1)
+        assert large.items == pytest.approx(10 * small.items, rel=0.05)
+        assert large.persons == pytest.approx(10 * small.persons, rel=0.05)
+
+    def test_xmark_proportions(self):
+        counts = XMarkCounts.for_factor(1.0)
+        assert counts.items == 21750
+        assert counts.persons == 25500
+        assert counts.open_auctions == 12000
+        assert counts.closed_auctions == 9750
+
+    def test_size_scales_roughly_linearly(self):
+        small = len(serialize(generate_document(0.001)))
+        large = len(serialize(generate_document(0.004)))
+        assert 2.5 < large / small < 6.0
+
+    def test_descriptions_dominate_bytes(self):
+        """The structural property the paper's Table 1 shape depends on:
+        mixed-content descriptions carry most of the document weight."""
+        document = generate_document(0.004)
+        total = len(serialize(document))
+        descriptions = sum(
+            len(serialize(node))
+            for node in document.elements()
+            if node.tag == "description"
+        )
+        assert descriptions / total > 0.45
+
+    def test_references_are_well_formed(self):
+        document = generate_document(0.002)
+        person_ids = {
+            node.attributes["id"]
+            for node in document.elements()
+            if node.tag == "person"
+        }
+        for node in document.elements():
+            if node.tag == "personref":
+                assert node.attributes["person"] in person_ids
+
+
+class TestQuerySets:
+    def test_table1_selection_subset(self):
+        assert set(TABLE1_XMARK) <= set(XMARK_QUERIES)
+        assert set(TABLE1_XPATHMARK) <= set(XPATHMARK_QUERIES)
+
+    def test_xpathmark_exercises_all_axis_families(self):
+        text = " ".join(XPATHMARK_QUERIES.values())
+        for needle in (
+            "ancestor::", "parent::", "following-sibling::", "preceding-sibling::",
+            "following::", "preceding::", "descendant::", "@",
+        ):
+            assert needle in text, needle
+
+    def test_xpathmark_queries_parse(self):
+        from repro.xpath.parser import parse_xpath
+
+        for name, query in XPATHMARK_QUERIES.items():
+            parse_xpath(query)
+
+    def test_xmark_queries_evaluate_on_small_doc(self, xmark):
+        from repro.xquery.evaluator import XQueryEvaluator
+
+        _, document, _ = xmark
+        evaluator = XQueryEvaluator(document)
+        for name in TABLE1_XMARK:
+            evaluator.evaluate(XMARK_QUERIES[name])  # must not raise
+
+
+class TestRandomGenerators:
+    def test_star_guarded_flag(self):
+        from repro.dtd.properties import is_star_guarded
+        from repro.workloads.randomgen import random_grammar
+
+        for seed in range(20):
+            assert is_star_guarded(random_grammar(seed, star_guarded_only=True))
+
+    def test_nonrecursive_by_default(self):
+        from repro.dtd.properties import is_recursive
+        from repro.workloads.randomgen import random_grammar
+
+        for seed in range(20):
+            assert not is_recursive(random_grammar(seed))
+
+    def test_documents_bounded_depth(self):
+        from repro.workloads.randomgen import random_grammar, random_valid_document
+
+        grammar = random_grammar(5, allow_recursion=True)
+        document = random_valid_document(grammar, 7, max_depth=6)
+        for node in document.iter():
+            assert sum(1 for _ in node.ancestors()) <= 6 + 2

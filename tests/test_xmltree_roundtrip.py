@@ -1,0 +1,133 @@
+"""Serializer tests and parse∘serialize round-trip properties."""
+
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmltree.builder import parse_document
+from repro.xmltree.nodes import Document, Element, Text
+from repro.xmltree.parser import parse_events
+from repro.xmltree.serializer import (
+    escape_attribute,
+    escape_text,
+    event_markup,
+    serialize,
+    write_document,
+    write_events,
+)
+
+
+class TestEscaping:
+    def test_text_escaping(self):
+        assert escape_text("a<b>&c") == "a&lt;b&gt;&amp;c"
+
+    def test_attribute_escaping(self):
+        assert escape_attribute('a"b<c&d') == "a&quot;b&lt;c&amp;d"
+        assert escape_attribute("x\ny") == "x&#10;y"
+
+
+class TestSerializer:
+    def test_empty_element_collapses(self):
+        assert serialize(parse_document("<a><b></b></a>")) == "<a><b/></a>"
+
+    def test_declaration_flag(self):
+        text = serialize(parse_document("<a/>"), declaration=True)
+        assert text.startswith('<?xml version="1.0"')
+
+    def test_write_document_counts_chars(self):
+        document = parse_document("<a>x</a>")
+        sink = io.StringIO()
+        written = write_document(document, sink, declaration=False)
+        assert written == len(sink.getvalue()) == len("<a>x</a>")
+
+    def test_event_markup_matches_tree_markup(self):
+        text = '<a k="v">one<b>two</b><c/>three</a>'
+        via_events = "".join(event_markup(parse_events(text)))
+        via_tree = serialize(parse_document(text))
+        # Events cannot collapse empty elements (no lookahead); normalise.
+        assert via_events.replace("<c></c>", "<c/>") == via_tree
+
+
+# -- property-based round trips ------------------------------------------------
+
+_tag = st.sampled_from(["a", "b", "c", "data", "x1"])
+_text = st.text(
+    alphabet=st.characters(codec="utf-8", exclude_characters="\r"),
+    min_size=1,
+    max_size=20,
+).filter(lambda s: s.strip())
+_attr_value = st.text(
+    alphabet=st.characters(codec="utf-8", exclude_characters="\r"), max_size=10
+)
+
+
+@st.composite
+def xml_trees(draw, depth=3):
+    tag = draw(_tag)
+    attributes = draw(
+        st.dictionaries(st.sampled_from(["k", "id", "v-1"]), _attr_value, max_size=2)
+    )
+    element = Element(tag, attributes)
+    if depth > 0:
+        for child in draw(st.lists(st.one_of(
+            _text.map(Text), xml_trees(depth=depth - 1)
+        ), max_size=3)):
+            element.append(child)
+    return element
+
+
+def _shape(node):
+    if isinstance(node, Text):
+        return ("text", node.value)
+    return (
+        "elem",
+        node.tag,
+        tuple(sorted(node.attributes.items())),
+        tuple(_shape(child) for child in _merged_children(node)),
+    )
+
+
+def _merged_children(node):
+    """Adjacent text children merge on re-parse; compare modulo merging."""
+    merged = []
+    for child in node.children:
+        if isinstance(child, Text) and merged and isinstance(merged[-1], Text):
+            merged[-1] = Text(merged[-1].value + child.value)
+        else:
+            merged.append(child)
+    return merged
+
+
+@settings(max_examples=120, deadline=None)
+@given(xml_trees())
+def test_roundtrip_preserves_shape(tree):
+    document = Document(tree)
+    reparsed = parse_document(serialize(document))
+    assert _shape(reparsed.root) == _shape(document.root)
+
+
+@settings(max_examples=60, deadline=None)
+@given(xml_trees(), st.integers(min_value=1, max_value=7))
+def test_chunked_parse_equals_whole_parse(tree, chunk_size):
+    text = serialize(Document(tree))
+    whole = list(parse_events(text))
+    chunked = list(parse_events(io.StringIO(text), chunk_size=chunk_size))
+    assert whole == chunked
+
+
+@settings(max_examples=60, deadline=None)
+@given(xml_trees())
+def test_double_roundtrip_is_fixpoint(tree):
+    once = serialize(parse_document(serialize(Document(tree))))
+    twice = serialize(parse_document(once))
+    assert once == twice
+
+
+@settings(max_examples=60, deadline=None)
+@given(xml_trees())
+def test_write_events_reparses_to_same_shape(tree):
+    document = Document(tree)
+    sink = io.StringIO()
+    write_events(parse_events(serialize(document)), sink, declaration=False)
+    assert _shape(parse_document(sink.getvalue()).root) == _shape(document.root)

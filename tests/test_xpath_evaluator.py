@@ -1,0 +1,196 @@
+"""XPath evaluator tests: axes, predicates, comparisons, document order."""
+
+import pytest
+
+from repro.errors import XPathTypeError
+from repro.xmltree.builder import parse_document
+from repro.xpath.evaluator import XPathEvaluator, evaluate, select
+from repro.xpath.values import AttributeNode
+
+SAMPLE = (
+    '<r a="root">'
+    "<x><y1>one</y1><y2><z>deep</z></y2><y1>two</y1></x>"
+    '<x i="2"><y1>three</y1></x>'
+    "</r>"
+)
+
+
+@pytest.fixture()
+def doc():
+    return parse_document(SAMPLE)
+
+
+def tags(nodes):
+    return [getattr(node, "tag", getattr(node, "name", "#text")) for node in nodes]
+
+
+class TestAxes:
+    def test_child(self, doc):
+        assert tags(select(doc, "/r/x")) == ["x", "x"]
+
+    def test_descendant_vs_descendant_or_self(self, doc):
+        x = select(doc, "/r/x")[0]
+        ev = XPathEvaluator(doc)
+        assert len(ev.select("descendant::node()", x)) == 7
+        assert len(ev.select("descendant-or-self::node()", x)) == 8
+
+    def test_parent_and_ancestor(self, doc):
+        ev = XPathEvaluator(doc)
+        z = ev.select("//z")[0]
+        assert tags(ev.select("parent::node()", z)) == ["y2"]
+        assert tags(ev.select("ancestor::node()", z)) == ["r", "x", "y2"]
+        assert tags(ev.select("ancestor-or-self::*", z)) == ["r", "x", "y2", "z"]
+
+    def test_siblings(self, doc):
+        ev = XPathEvaluator(doc)
+        y2 = ev.select("//y2")[0]
+        assert tags(ev.select("preceding-sibling::*", y2)) == ["y1"]
+        assert tags(ev.select("following-sibling::*", y2)) == ["y1"]
+
+    def test_following_and_preceding(self, doc):
+        ev = XPathEvaluator(doc)
+        z = ev.select("//z")[0]
+        following = ev.select("following::*", z)
+        assert tags(following) == ["y1", "x", "y1"]
+        y1_last = ev.select("//x[2]/y1")[0]
+        preceding = ev.select("preceding::*", y1_last)
+        assert tags(preceding) == ["x", "y1", "y2", "z", "y1"]
+
+    def test_preceding_excludes_ancestors(self, doc):
+        ev = XPathEvaluator(doc)
+        z = ev.select("//z")[0]
+        assert "x" in tags(ev.select("preceding::*", z)) or tags(ev.select("preceding::*", z)) == ["y1"]
+        assert "y2" not in tags(ev.select("preceding::*", z))
+
+    def test_attribute_axis(self, doc):
+        nodes = select(doc, "/r/@a")
+        assert len(nodes) == 1 and isinstance(nodes[0], AttributeNode)
+        assert nodes[0].value == "root"
+
+    def test_self(self, doc):
+        assert tags(select(doc, "/r/self::r")) == ["r"]
+        assert select(doc, "/r/self::x") == []
+
+
+class TestNodeTests:
+    def test_text_kind(self, doc):
+        values = [node.value for node in select(doc, "//y1/text()")]
+        assert values == ["one", "two", "three"]
+
+    def test_node_kind_includes_text(self, doc):
+        nodes = select(doc, "//y1/child::node()")
+        assert len(nodes) == 3
+
+    def test_element_kind(self, doc):
+        assert tags(select(doc, "/r/child::element()")) == ["x", "x"]
+
+    def test_wildcard_on_attribute_axis(self, doc):
+        assert [n.name for n in select(doc, "//x/@*")] == ["i"]
+
+
+class TestPredicates:
+    def test_positional(self, doc):
+        assert select(doc, "//x[1]/y1[2]")[0].text_value() == "two"
+
+    def test_last(self, doc):
+        assert select(doc, "//x[last()]/@i")[0].value == "2"
+
+    def test_position_on_reverse_axis_counts_backwards(self, doc):
+        ev = XPathEvaluator(doc)
+        z = ev.select("//z")[0]
+        # ancestor::*[1] is the nearest ancestor.
+        assert tags(ev.select("ancestor::*[1]", z)) == ["y2"]
+
+    def test_boolean_predicate(self, doc):
+        assert tags(select(doc, "//x[y2]")) == ["x"]
+        assert tags(select(doc, "//x[@i]")) == ["x"]
+
+    def test_chained_predicates(self, doc):
+        assert tags(select(doc, "//y1[text()][position()=1]")) == ["y1", "y1"]
+
+    def test_value_predicate(self, doc):
+        assert select(doc, "//y1[. = 'two']")[0].text_value() == "two"
+
+
+class TestComparisonsAndArithmetic:
+    def test_general_equality_is_existential(self, doc):
+        assert evaluate(doc, "//y1 = 'two'") is True
+        assert evaluate(doc, "//y1 = 'nope'") is False
+        assert evaluate(doc, "//y1 != 'two'") is True  # some y1 differs
+
+    def test_numeric_comparison_with_nodeset(self, doc):
+        numbers = parse_document("<a><v>1</v><v>5</v></a>")
+        assert evaluate(numbers, "//v > 4") is True
+        assert evaluate(numbers, "//v > 5") is False
+
+    def test_arithmetic(self, doc):
+        assert evaluate(doc, "1 + 2 * 3") == 7.0
+        assert evaluate(doc, "7 mod 3") == 1.0
+        assert evaluate(doc, "8 div 2") == 4.0
+
+    def test_division_by_zero_is_infinite(self, doc):
+        assert evaluate(doc, "1 div 0") == float("inf")
+
+    def test_node_identity_and_order(self, doc):
+        assert evaluate(doc, "//z is //z") is True
+        assert evaluate(doc, "//x[1] << //x[2]") is True
+        assert evaluate(doc, "//x[2] >> //x[1]") is True
+
+    def test_value_comparison_on_first_item(self, doc):
+        assert evaluate(doc, "//y1 eq 'one'") is True  # first in doc order
+
+    def test_union_sorts_document_order(self, doc):
+        nodes = select(doc, "//z | //y1 | /r")
+        ids = [node.node_id for node in nodes]
+        assert ids == sorted(ids)
+
+
+class TestResultProperties:
+    def test_results_in_document_order_deduplicated(self, doc):
+        # ancestor-or-self from two nodes shares ancestors.
+        nodes = select(doc, "//y1/ancestor-or-self::*")
+        ids = [node.node_id for node in nodes]
+        assert ids == sorted(set(ids))
+
+    def test_select_ids_renders_attributes(self, doc):
+        ev = XPathEvaluator(doc)
+        ids = ev.select_ids("//x/@i")
+        assert len(ids) == 1 and isinstance(ids[0], tuple)
+
+    def test_variables(self, doc):
+        ev = XPathEvaluator(doc, {"n": 2.0})
+        assert ev.select("//x[$n]/@i")[0].value == "2"
+
+    def test_unbound_variable_raises(self, doc):
+        with pytest.raises(XPathTypeError):
+            evaluate(doc, "$missing")
+
+    def test_path_over_non_nodeset_raises(self, doc):
+        with pytest.raises(XPathTypeError):
+            evaluate(doc, "count(//x)/y")
+
+    def test_nodes_touched_counter_grows(self, doc):
+        ev = XPathEvaluator(doc)
+        ev.select("//node()")
+        assert ev.nodes_touched >= doc.size()
+
+
+class TestAttributeNodeNavigation:
+    def test_parent_of_attribute(self, doc):
+        ev = XPathEvaluator(doc)
+        assert tags(ev.select("//@i/parent::node()")) == ["x"]
+
+    def test_ancestor_of_attribute(self, doc):
+        ev = XPathEvaluator(doc)
+        assert tags(ev.select("//@i/ancestor::node()")) == ["r", "x"]
+
+    def test_string_value_of_attribute_in_function(self, doc):
+        assert evaluate(doc, "string(//x/@i)") == "2"
+
+    def test_attribute_document_order(self, doc):
+        nodes = select(doc, "//@* | //x")
+        # An attribute sorts after its owner and before the next element:
+        # r@a, x(1), x(2), x(2)@i.
+        kinds = [type(node).__name__ for node in nodes]
+        assert kinds == ["AttributeNode", "Element", "Element", "AttributeNode"]
+        assert nodes[2] is nodes[3].owner

@@ -1,0 +1,135 @@
+"""XPath core function library tests, including the F(f, i) table."""
+
+import math
+
+import pytest
+
+from repro.errors import XPathTypeError
+from repro.xmltree.builder import parse_document
+from repro.xpath.evaluator import evaluate
+from repro.xpath.functions import FUNCTIONS, function_needs_subtree
+
+DOC = parse_document(
+    "<r><a>alpha</a><a>beta</a><n>3</n><n>4.5</n><w>  spaced   out </w></r>"
+)
+
+
+def ev(expression):
+    return evaluate(DOC, expression)
+
+
+class TestNodeSetFunctions:
+    def test_count(self):
+        assert ev("count(//a)") == 2.0
+
+    def test_count_requires_nodeset(self):
+        with pytest.raises(XPathTypeError):
+            ev("count(1)")
+
+    def test_position_and_last_in_predicates(self):
+        assert ev("count(//a[position() = last()])") == 1.0
+
+    def test_name_and_local_name(self):
+        assert ev("name(//a)") == "a"
+        assert ev("local-name(//n)") == "n"
+        assert ev("name(//zzz)") == ""
+
+
+class TestStringFunctions:
+    def test_string_of_context(self):
+        assert ev("string(//a[1])") == "alpha"
+
+    def test_concat(self):
+        assert ev("concat('a', 'b', 'c')") == "abc"
+
+    def test_starts_with_and_contains(self):
+        assert ev("starts-with('alpha', 'al')") is True
+        assert ev("contains(//a[1], 'lph')") is True
+        assert ev("ends-with('alpha', 'ha')") is True
+
+    def test_substring_family(self):
+        assert ev("substring('12345', 2, 3)") == "234"
+        assert ev("substring('12345', 2)") == "2345"
+        assert ev("substring-before('a=b', '=')") == "a"
+        assert ev("substring-after('a=b', '=')") == "b"
+        assert ev("substring-before('ab', 'x')") == ""
+
+    def test_substring_rounding_per_spec(self):
+        assert ev("substring('12345', 1.5, 2.6)") == "234"
+
+    def test_string_length(self):
+        assert ev("string-length('abc')") == 3.0
+
+    def test_normalize_space(self):
+        assert ev("normalize-space(//w)") == "spaced out"
+
+    def test_translate(self):
+        assert ev("translate('bar', 'abc', 'ABC')") == "BAr"
+        assert ev("translate('--aaa--', 'a-', 'A')") == "AAA"
+
+
+class TestBooleanFunctions:
+    def test_boolean_coercions(self):
+        assert ev("boolean(0)") is False
+        assert ev("boolean('x')") is True
+        assert ev("boolean(//zzz)") is False
+
+    def test_not(self):
+        assert ev("not(//zzz)") is True
+
+    def test_true_false(self):
+        assert ev("true()") is True
+        assert ev("false()") is False
+
+    def test_empty_and_exists(self):
+        assert ev("empty(//zzz)") is True
+        assert ev("exists(//a)") is True
+
+
+class TestNumberFunctions:
+    def test_number(self):
+        assert ev("number('42')") == 42.0
+        assert math.isnan(ev("number('nope')"))
+
+    def test_sum(self):
+        assert ev("sum(//n)") == 7.5
+
+    def test_floor_ceiling_round(self):
+        assert ev("floor(2.7)") == 2.0
+        assert ev("ceiling(2.1)") == 3.0
+        assert ev("round(2.5)") == 3.0
+        assert ev("round(-2.5)") == -2.0  # XPath rounds .5 towards +inf
+
+
+class TestArity:
+    def test_too_few_arguments(self):
+        with pytest.raises(XPathTypeError):
+            ev("contains('x')")
+
+    def test_too_many_arguments(self):
+        with pytest.raises(XPathTypeError):
+            ev("not(1, 2)")
+
+    def test_unknown_function(self):
+        with pytest.raises(XPathTypeError):
+            ev("frobnicate(1)")
+
+
+class TestFTable:
+    """The paper's F(f, i) (Section 3.3): which functions need subtrees."""
+
+    def test_structural_functions_need_self_only(self):
+        for name in ("count", "position", "last", "not", "empty", "exists", "boolean", "name"):
+            assert not function_needs_subtree(name), name
+
+    def test_value_functions_need_subtrees(self):
+        for name in ("string", "contains", "substring", "sum", "number", "normalize-space"):
+            assert function_needs_subtree(name), name
+
+    def test_unknown_functions_conservatively_need_subtrees(self):
+        assert function_needs_subtree("user-defined-thing")
+
+    def test_registry_is_consistent(self):
+        for name, spec in FUNCTIONS.items():
+            assert spec.name == name
+            assert spec.max_args == -1 or spec.max_args >= spec.min_args

@@ -1,0 +1,93 @@
+"""id() function tests: evaluation and sound pruning approximation."""
+
+import pytest
+
+from repro.core.pipeline import analyze
+from repro.dtd.validator import validate
+from repro.errors import XPathTypeError
+from repro.projection.tree import prune_document
+from repro.xmltree.builder import parse_document
+from repro.xpath.evaluator import XPathEvaluator, evaluate
+
+DOC = parse_document(
+    '<r>'
+    '<people>'
+    '<p id="p1"><n>Ada</n><ref to="p2"/></p>'
+    '<p id="p2"><n>Brad</n><ref to="p1"/></p>'
+    '</people>'
+    '<log owner="p2">entry</log>'
+    '</r>'
+)
+
+DTD = """
+<!ELEMENT r (people, log)>
+<!ELEMENT people (p*)>
+<!ELEMENT p (n, ref)>
+<!ATTLIST p id ID #REQUIRED>
+<!ELEMENT n (#PCDATA)>
+<!ELEMENT ref EMPTY>
+<!ATTLIST ref to IDREF #REQUIRED>
+<!ELEMENT log (#PCDATA)>
+<!ATTLIST log owner IDREF #REQUIRED>
+"""
+
+
+class TestEvaluation:
+    def test_lookup_by_literal(self):
+        nodes = evaluate(DOC, "id('p1')")
+        assert [node.tag for node in nodes] == ["p"]
+        assert nodes[0].attributes["id"] == "p1"
+
+    def test_lookup_multiple_tokens(self):
+        nodes = evaluate(DOC, "id('p2 p1')")
+        assert [node.attributes["id"] for node in nodes] == ["p1", "p2"]  # doc order
+
+    def test_lookup_via_nodeset_argument(self):
+        # id(//ref/@to): each node's string value is an id token.
+        nodes = evaluate(DOC, "id(//ref/@to)")
+        assert [node.attributes["id"] for node in nodes] == ["p1", "p2"]
+
+    def test_missing_id_is_empty(self):
+        assert evaluate(DOC, "id('ghost')") == []
+
+    def test_continuation_path(self):
+        names = [node.text_value() for node in evaluate(DOC, "id('p2')/n")]
+        assert names == ["Brad"]
+
+    def test_dereference_chain(self):
+        # The log's owner is p2, whose ref points to p1.
+        names = [node.text_value() for node in evaluate(DOC, "id(id(/r/log/@owner)/ref/@to)/n")]
+        assert names == ["Ada"]
+
+    def test_arity_checked(self):
+        with pytest.raises(XPathTypeError):
+            evaluate(DOC, "id()")
+
+
+class TestPruningSoundness:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "id('p1')/n",
+            "id(/r/log/@owner)/n",
+            "/r/people/p[id(ref/@to)/n = 'Ada']/n",
+        ],
+    )
+    def test_id_queries_survive_pruning(self, query):
+        from repro.dtd.grammar import grammar_from_text
+
+        grammar = grammar_from_text(DTD, "r")
+        interpretation = validate(DOC, grammar)
+        result = analyze(grammar, [query])
+        pruned = prune_document(DOC, interpretation, result.projector)
+        assert (
+            XPathEvaluator(pruned).select_ids(query)
+            == XPathEvaluator(DOC).select_ids(query)
+        ), query
+
+    def test_id_attributes_forced_into_projector(self):
+        from repro.dtd.grammar import grammar_from_text
+
+        grammar = grammar_from_text(DTD, "r")
+        result = analyze(grammar, ["id('p1')/n"])
+        assert "p@id" in result.projector

@@ -1,0 +1,198 @@
+"""XPath lexer and parser tests."""
+
+import pytest
+
+from repro.errors import XPathSyntaxError
+from repro.xpath.ast import (
+    Axis,
+    BinaryExpr,
+    FilterExpr,
+    FunctionCall,
+    KindTest,
+    Literal,
+    LocationPath,
+    NameTest,
+    Number,
+    OrExpr,
+    AndExpr,
+    PathExpr,
+    UnionExpr,
+    VariableRef,
+)
+from repro.xpath.lexer import TokenKind, tokenize
+from repro.xpath.parser import parse_location_path, parse_xpath
+
+
+class TestLexer:
+    def test_star_disambiguation(self):
+        multiply = tokenize("2 * 3")
+        assert [t.kind for t in multiply][1] is TokenKind.OPERATOR
+        wildcard = tokenize("child::*")
+        assert wildcard[1].kind is TokenKind.STAR
+
+    def test_word_operator_disambiguation(self):
+        tokens = tokenize("a and b")
+        assert tokens[1].kind is TokenKind.OPERATOR and tokens[1].value == "and"
+        # 'and' as an element name at expression start.
+        tokens = tokenize("and/or")
+        assert tokens[0].kind is TokenKind.NAME
+
+    def test_axis_token(self):
+        tokens = tokenize("ancestor-or-self::node()")
+        assert tokens[0].kind is TokenKind.AXIS
+        assert tokens[0].value == "ancestor-or-self"
+
+    def test_function_vs_node_type(self):
+        tokens = tokenize("count(node())")
+        assert tokens[0].kind is TokenKind.FUNCTION
+        assert tokens[2].kind is TokenKind.NODE_TYPE
+
+    def test_number_with_decimal(self):
+        tokens = tokenize("3.14 .5")
+        assert tokens[0].value == "3.14"
+        assert tokens[1].value == ".5"
+
+    def test_node_order_operators(self):
+        tokens = tokenize("a << b >> c")
+        values = [t.value for t in tokens if t.kind is TokenKind.OPERATOR]
+        assert values == ["<<", ">>"]
+
+    def test_unterminated_literal(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("'oops")
+
+
+class TestStepParsing:
+    def test_default_axis_is_child(self):
+        path = parse_location_path("book/title")
+        assert all(step.axis is Axis.CHILD for step in path.steps)
+
+    def test_explicit_axes(self):
+        path = parse_location_path("descendant::a/ancestor::b/following-sibling::c")
+        assert [step.axis for step in path.steps] == [
+            Axis.DESCENDANT,
+            Axis.ANCESTOR,
+            Axis.FOLLOWING_SIBLING,
+        ]
+
+    def test_abbreviations(self):
+        path = parse_location_path("../@id")
+        assert path.steps[0] == parse_location_path("parent::node()").steps[0]
+        assert path.steps[1].axis is Axis.ATTRIBUTE
+        assert path.steps[1].test == NameTest("id")
+
+    def test_dot_is_self_node(self):
+        path = parse_location_path("./a")
+        assert path.steps[0].axis is Axis.SELF
+        assert path.steps[0].test == KindTest("node")
+
+    def test_double_slash_expansion(self):
+        path = parse_location_path("//a//b")
+        axes = [step.axis for step in path.steps]
+        assert axes == [Axis.DESCENDANT_OR_SELF, Axis.CHILD, Axis.DESCENDANT_OR_SELF, Axis.CHILD]
+        assert path.absolute
+
+    def test_bare_node_is_kind_test(self):
+        path = parse_location_path("self::node/child::a")
+        assert path.steps[0].test == KindTest("node")
+
+    def test_bare_text_is_name_test(self):
+        # XMark has an element literally named 'text'.
+        path = parse_location_path("child::text")
+        assert path.steps[0].test == NameTest("text")
+
+    def test_text_function_is_kind_test(self):
+        path = parse_location_path("child::text()")
+        assert path.steps[0].test == KindTest("text")
+
+    def test_wildcard(self):
+        path = parse_location_path("child::*")
+        assert path.steps[0].test == NameTest(None)
+
+    def test_predicates_attach_to_steps(self):
+        path = parse_location_path("a[b][2]")
+        assert len(path.steps[0].predicates) == 2
+        assert isinstance(path.steps[0].predicates[1], Number)
+
+    def test_absolute_root_only(self):
+        path = parse_location_path("/")
+        assert path.absolute and path.steps == ()
+
+
+class TestExpressions:
+    def test_precedence_or_and_comparison(self):
+        expr = parse_xpath("a or b and c = d")
+        assert isinstance(expr, OrExpr)
+        assert isinstance(expr.right, AndExpr)
+        assert isinstance(expr.right.right, BinaryExpr)
+
+    def test_arithmetic_precedence(self):
+        expr = parse_xpath("1 + 2 * 3")
+        assert isinstance(expr, BinaryExpr) and expr.op == "+"
+        assert isinstance(expr.right, BinaryExpr) and expr.right.op == "*"
+
+    def test_union(self):
+        expr = parse_xpath("a | b | c")
+        assert isinstance(expr, UnionExpr)
+        assert isinstance(expr.left, UnionExpr)
+
+    def test_function_call_with_args(self):
+        expr = parse_xpath("contains(name, 'x')")
+        assert expr == FunctionCall(
+            "contains",
+            (LocationPath((expr.args[0].steps[0],),), Literal("x")),
+        )
+
+    def test_variable_rooted_path(self):
+        expr = parse_xpath("$x/a/b")
+        assert isinstance(expr, PathExpr)
+        assert expr.source == VariableRef("x")
+        assert len(expr.steps) == 2
+
+    def test_variable_with_double_slash(self):
+        expr = parse_xpath("$x//a")
+        assert isinstance(expr, PathExpr)
+        assert expr.steps[0].axis is Axis.DESCENDANT_OR_SELF
+
+    def test_filter_expression(self):
+        expr = parse_xpath("$x[1]")
+        assert isinstance(expr, FilterExpr)
+
+    def test_parenthesised(self):
+        expr = parse_xpath("(1 + 2) * 3")
+        assert isinstance(expr, BinaryExpr) and expr.op == "*"
+
+    def test_value_comparisons(self):
+        for op in ("eq", "ne", "lt", "le", "gt", "ge"):
+            expr = parse_xpath(f"a {op} b")
+            assert isinstance(expr, BinaryExpr) and expr.op == op
+
+    def test_unary_minus(self):
+        from repro.xpath.ast import UnaryMinus
+
+        assert isinstance(parse_xpath("-a"), UnaryMinus)
+
+    @pytest.mark.parametrize("bad", ["a[", "a//", "::x", "a b", "count(", "$", "a["])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath(bad)
+
+    def test_not_a_location_path(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_location_path("1 + 2")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "child::a/descendant::b",
+            "/site/people/person[profile/age > 60]/name",
+            "//item[parent::namerica or parent::samerica]/name",
+            "self::a[child::b or child::c]",
+            "count(child::a) > 3",
+        ],
+    )
+    def test_str_reparses_to_same_ast(self, query):
+        once = parse_xpath(query)
+        assert parse_xpath(str(once)) == once

@@ -1,0 +1,201 @@
+"""XPath value-system tests: coercions, comparisons, document order."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmltree.builder import parse_document
+from repro.xpath.values import (
+    AttributeNode,
+    compare,
+    document_order_key,
+    format_number,
+    sort_document_order,
+    string_value,
+    to_boolean,
+    to_number,
+    to_string,
+)
+
+
+class TestCoercions:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (True, True),
+            (0.0, False),
+            (1.5, True),
+            (float("nan"), False),
+            ("", False),
+            ("x", True),
+            ([], False),
+        ],
+    )
+    def test_to_boolean(self, value, expected):
+        assert to_boolean(value) is expected
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (True, 1.0),
+            (False, 0.0),
+            (2.5, 2.5),
+            ("  42 ", 42.0),
+            ("", None),  # NaN
+            ("abc", None),
+        ],
+    )
+    def test_to_number(self, value, expected):
+        result = to_number(value)
+        if expected is None:
+            assert math.isnan(result)
+        else:
+            assert result == expected
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (True, "true"),
+            (False, "false"),
+            (3.0, "3"),
+            (3.5, "3.5"),
+            ("s", "s"),
+            ([], ""),
+        ],
+    )
+    def test_to_string(self, value, expected):
+        assert to_string(value) == expected
+
+    def test_format_number_specials(self):
+        assert format_number(float("nan")) == "NaN"
+        assert format_number(float("inf")) == "Infinity"
+        assert format_number(float("-inf")) == "-Infinity"
+        assert format_number(-0.0) == "0"
+
+    def test_nodeset_to_string_uses_first(self):
+        document = parse_document("<r><a>first</a><a>second</a></r>")
+        nodes = [child for child in document.root.children]
+        assert to_string(nodes) == "first"
+
+
+class TestStringValue:
+    def test_element_concatenates(self):
+        document = parse_document("<r>a<b>c</b>d</r>")
+        assert string_value(document.root) == "acd"
+
+    def test_attribute(self):
+        document = parse_document('<r k="v"/>')
+        attribute = AttributeNode(document.root, "k", "v", 0)
+        assert string_value(attribute) == "v"
+
+
+class TestGeneralComparisons:
+    DOC = parse_document("<r><v>1</v><v>5</v><w>5</w></r>")
+
+    def _nodes(self, tag):
+        return [node for node in self.DOC.elements() if node.tag == tag]
+
+    def test_set_vs_number(self):
+        assert compare(">", self._nodes("v"), 4.0)
+        assert not compare(">", self._nodes("v"), 5.0)
+
+    def test_number_vs_set_mirrors(self):
+        assert compare("<", 4.0, self._nodes("v"))
+        assert not compare("<", 5.0, self._nodes("v"))
+
+    def test_set_vs_set_existential(self):
+        assert compare("=", self._nodes("v"), self._nodes("w"))
+        assert compare("!=", self._nodes("v"), self._nodes("w"))  # 1 != 5
+
+    def test_empty_set_comparisons_false(self):
+        assert not compare("=", [], "anything")
+        assert not compare("!=", [], "anything")
+        assert not compare("<", [], 5.0)
+
+    def test_boolean_comparisons(self):
+        assert compare("=", True, self._nodes("v"))  # nonempty -> true
+        assert compare("=", False, [])
+
+    def test_string_equality(self):
+        assert compare("=", "a", "a")
+        assert not compare("=", "a", "b")
+        # relational on strings goes numeric (NaN -> false)
+        assert not compare("<", "a", "b")
+
+    def test_value_comparisons_atomize_first(self):
+        assert compare("eq", self._nodes("v"), "1")
+        assert not compare("eq", self._nodes("v"), "5")
+        assert compare("lt", self._nodes("v"), "2")
+
+    def test_value_comparison_of_empty_is_false(self):
+        assert not compare("eq", [], "1")
+        assert not compare("ne", [], "1")
+
+    def test_node_identity(self):
+        v = self._nodes("v")
+        assert compare("is", [v[0]], [v[0]])
+        assert not compare("is", [v[0]], [v[1]])
+
+    def test_node_order(self):
+        v = self._nodes("v")
+        assert compare("<<", [v[0]], [v[1]])
+        assert compare(">>", [v[1]], [v[0]])
+        assert not compare("<<", [], [v[0]])
+
+    def test_node_order_requires_nodesets(self):
+        with pytest.raises(TypeError):
+            compare("is", 1.0, 2.0)
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            compare("~~", 1.0, 2.0)
+
+
+class TestDocumentOrder:
+    def test_sort_dedupes_and_orders(self):
+        document = parse_document("<r><a/><b/></r>")
+        a, b = document.root.children
+        assert sort_document_order([b, a, b, document.root]) == [document.root, a, b]
+
+    def test_attribute_between_owner_and_children(self):
+        document = parse_document('<r k="v"><c/></r>')
+        attribute = AttributeNode(document.root, "k", "v", 0)
+        child = document.root.children[0]
+        keys = [document_order_key(n) for n in (document.root, attribute, child)]
+        assert keys == sorted(keys)
+
+    def test_attribute_equality_by_owner_and_name(self):
+        document = parse_document('<r k="v"/>')
+        first = AttributeNode(document.root, "k", "v", 0)
+        second = AttributeNode(document.root, "k", "v", 0)
+        other = AttributeNode(document.root, "j", "v", 1)
+        assert first == second and hash(first) == hash(second)
+        assert first != other
+
+
+# -- properties -----------------------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+def test_number_string_roundtrip(value):
+    assert to_number(format_number(value)) == pytest.approx(value, rel=1e-6)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.one_of(st.booleans(), st.floats(allow_nan=False), st.text(max_size=8)),
+    st.one_of(st.booleans(), st.floats(allow_nan=False), st.text(max_size=8)),
+)
+def test_equality_is_symmetric(left, right):
+    assert compare("=", left, right) == compare("=", right, left)
+    assert compare("!=", left, right) == compare("!=", right, left)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.floats(allow_nan=False), st.floats(allow_nan=False))
+def test_relational_mirror(left, right):
+    assert compare("<", left, right) == compare(">", right, left)
+    assert compare("<=", left, right) == compare(">=", right, left)

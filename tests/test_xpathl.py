@@ -1,0 +1,144 @@
+"""XPathℓ tests: Definitions 3.1–3.3 semantics and cross-checks against
+the full XPath engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import XPathSyntaxError, XPathTypeError
+from repro.workloads.randomgen import random_grammar, random_pathl, random_valid_document
+from repro.xmltree.builder import parse_document
+from repro.xpath.ast import Axis, KindTest, NameTest
+from repro.xpath.evaluator import XPathEvaluator
+from repro.xpath.xpathl import (
+    LStep,
+    PathL,
+    SimplePath,
+    element_rooted,
+    evaluate_pathl,
+    parse_pathl,
+    path,
+    simple,
+    step,
+    to_xpath,
+)
+
+DOC = parse_document(
+    "<bib>"
+    "<book><title>T1</title><author>Dante</author></book>"
+    "<book><title>T2</title><author>X</author><author>Y</author></book>"
+    "</bib>"
+)
+
+
+def ids(nodes):
+    return sorted(node.node_id for node in nodes)
+
+
+class TestConstruction:
+    def test_step_helper(self):
+        assert step(Axis.CHILD, "book").test == NameTest("book")
+        assert step(Axis.SELF, "node").test == KindTest("node")
+        assert step(Axis.CHILD, "*").test == NameTest(None)
+        assert step(Axis.CHILD, "text").test == KindTest("text")
+
+    def test_forbidden_axis_rejected(self):
+        with pytest.raises(XPathTypeError):
+            step(Axis.FOLLOWING, "node")
+
+    def test_nested_conditions_rejected(self):
+        inner = simple(step(Axis.CHILD, "a"))
+        conditioned = LStep(Axis.CHILD, NameTest("b"), (inner,))
+        with pytest.raises(XPathTypeError):
+            SimplePath((conditioned,))
+
+    def test_parse_pathl_roundtrip(self):
+        text = "descendant::book[child::author or child::title]/child::title"
+        parsed = parse_pathl(text)
+        assert parse_pathl(str(parsed)) == parsed
+
+    def test_parse_pathl_rejects_full_xpath(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_pathl("descendant::book[position() > 2]")
+
+
+class TestSemantics:
+    def test_child_descendant(self):
+        result = evaluate_pathl(DOC, parse_pathl("child::book/child::title"))
+        assert [n.text_value() for n in result] == ["T1", "T2"]
+
+    def test_descendant_text(self):
+        result = evaluate_pathl(DOC, parse_pathl("descendant::text()"))
+        assert len(result) == 5
+
+    def test_upward(self):
+        result = evaluate_pathl(DOC, parse_pathl("descendant::author/parent::node()/child::title"))
+        assert [n.text_value() for n in result] == ["T1", "T2"]
+
+    def test_condition_filters(self):
+        found = evaluate_pathl(
+            DOC, parse_pathl("child::book[child::author]/child::title")
+        )
+        assert len(found) == 2
+        none = evaluate_pathl(DOC, parse_pathl("child::book[child::price]/child::title"))
+        assert none == []
+
+    def test_disjunctive_condition(self):
+        result = evaluate_pathl(
+            DOC, parse_pathl("child::book[child::price or child::author]")
+        )
+        assert len(result) == 2
+
+    def test_duplicate_elimination(self):
+        # Both authors of book 2 share the ancestor.
+        result = evaluate_pathl(DOC, parse_pathl("descendant::author/ancestor::book"))
+        assert len(result) == 2
+
+    def test_element_rooted_conversion(self):
+        absolute = PathL(parse_pathl("child::bib/child::book").steps, absolute=True)
+        rooted = element_rooted(absolute)
+        assert rooted is not None
+        assert rooted.steps[0].axis is Axis.SELF
+        assert ids(evaluate_pathl(DOC, absolute)) == ids(evaluate_pathl(DOC, rooted))
+
+    def test_element_rooted_dead_axes(self):
+        absolute = PathL(parse_pathl("parent::node()").steps, absolute=True)
+        assert element_rooted(absolute) is None
+        assert evaluate_pathl(DOC, absolute) == []
+
+
+class TestAgreementWithFullXPath:
+    """[[P]] per Defs 3.1-3.3 must agree with the generic engine run on
+    ``to_xpath(P)`` — two independent implementations of one semantics."""
+
+    CASES = [
+        "child::book",
+        "descendant::author",
+        "descendant-or-self::node()/child::title",
+        "child::book[child::author/self::node()]",
+        "descendant::text()",
+        "descendant::author/ancestor-or-self::node()",
+        "child::book[descendant::text() or child::title]/child::author",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_handwritten(self, text):
+        pathl = parse_pathl(text)
+        ours = ids(evaluate_pathl(DOC, pathl))
+        theirs = sorted(
+            node.node_id for node in XPathEvaluator(DOC).select(to_xpath(pathl), DOC.root)
+        )
+        assert ours == theirs
+
+    @settings(max_examples=120, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(0, 10_000), st.integers(0, 10_000))
+    def test_random(self, grammar_seed, document_seed, path_seed):
+        grammar = random_grammar(grammar_seed)
+        document = random_valid_document(grammar, document_seed)
+        pathl = random_pathl(grammar, path_seed)
+        ours = ids(n for n in evaluate_pathl(document, pathl))
+        theirs = sorted(
+            node.node_id
+            for node in XPathEvaluator(document).select(to_xpath(pathl), document.root)
+        )
+        assert ours == theirs

@@ -1,0 +1,127 @@
+"""XQuery evaluator tests."""
+
+import pytest
+
+from repro.errors import XQueryEvaluationError
+from repro.xmltree.builder import parse_document
+from repro.xquery.evaluator import (
+    XQueryEvaluator,
+    effective_boolean,
+    evaluate_xquery,
+    serialize_sequence,
+)
+
+DOC = parse_document(
+    '<bib>'
+    '<book year="1320"><title>Commedia</title><author>Dante</author><price>12</price></book>'
+    '<book year="1851"><title>Moby</title><author>Melville</author><price>20</price></book>'
+    "</bib>"
+)
+
+
+def run(query):
+    return XQueryEvaluator(DOC).evaluate_serialized(query)
+
+
+class TestBasics:
+    def test_for_iterates_in_order(self):
+        assert run("for $b in /bib/book return $b/title/text()") == "Commedia Moby"
+
+    def test_where_filters(self):
+        assert run(
+            "for $b in /bib/book where $b/price > 15 return $b/title/text()"
+        ) == "Moby"
+
+    def test_let_binds_whole_sequence(self):
+        assert run("let $b := /bib/book return count($b)") == "2"
+
+    def test_if_else(self):
+        assert run("if (/bib/book) then 'some' else 'none'") == "some"
+        assert run("if (/bib/pamphlet) then 'some' else 'none'") == "none"
+
+    def test_empty_sequence(self):
+        assert run("()") == ""
+
+    def test_sequences_concatenate(self):
+        assert run("1, 'two', 3") == "1 two 3"
+
+    def test_nested_for(self):
+        result = run(
+            "for $b in /bib/book for $a in $b/author return $a/text()"
+        )
+        assert result == "Dante Melville"
+
+    def test_variable_shadowing(self):
+        result = run(
+            "for $x in /bib/book return let $x := $x/title return $x/text()"
+        )
+        assert result == "Commedia Moby"
+
+
+class TestConstruction:
+    def test_element_with_copied_content(self):
+        assert run("<hit>{/bib/book[1]/title}</hit>") == "<hit><title>Commedia</title></hit>"
+
+    def test_construction_copies_not_references(self):
+        evaluator = XQueryEvaluator(DOC)
+        result = evaluator.evaluate("<w>{/bib/book[1]/title}</w>")
+        copied_title = result[0].children[0]
+        original_title = evaluator.evaluate("/bib/book[1]/title")[0]
+        assert copied_title is not original_title
+        assert copied_title.text_value() == original_title.text_value()
+
+    def test_attribute_interpolation(self):
+        assert run('<b y="{/bib/book[1]/@year}"/>') == '<b y="1320"/>'
+
+    def test_atomics_join_with_spaces(self):
+        assert run("<n>{1, 2, 3}</n>") == "<n>1 2 3</n>"
+
+    def test_mixed_literal_and_enclosed(self):
+        assert run("<p>sum: {1 + 1}!</p>") == "<p>sum: 2!</p>"
+
+    def test_attribute_node_content_becomes_text(self):
+        assert run("<y>{/bib/book[1]/@year}</y>") == "<y>1320</y>"
+
+
+class TestJoins:
+    def test_value_join(self):
+        result = run(
+            "for $a in /bib/book/author "
+            "let $m := for $b in /bib/book where $b/author = $a return $b "
+            "return <n c='{count($m)}'>{$a/text()}</n>"
+        )
+        assert result == '<n c="1">Dante</n> <n c="1">Melville</n>'
+
+
+class TestEffectiveBoolean:
+    def test_empty_is_false(self):
+        assert effective_boolean([]) is False
+
+    def test_node_is_true(self):
+        assert effective_boolean([DOC.root]) is True
+
+    def test_singleton_atomic_coerces(self):
+        assert effective_boolean([0.0]) is False
+        assert effective_boolean(["x"]) is True
+
+    def test_multi_atomic_raises(self):
+        with pytest.raises(XQueryEvaluationError):
+            effective_boolean([1.0, 2.0])
+
+
+class TestErrorsAndMisc:
+    def test_unbound_variable(self):
+        from repro.errors import XPathTypeError
+
+        with pytest.raises((XQueryEvaluationError, XPathTypeError)):
+            evaluate_xquery(DOC, "$nope")
+
+    def test_serialize_sequence_mixed(self):
+        from repro.xmltree.nodes import Text
+
+        assert serialize_sequence([Text("x"), 1.5, "s"]) == "x 1.5 s"
+
+    def test_nodes_touched_exposed(self):
+        evaluator = XQueryEvaluator(DOC)
+        evaluator.evaluate("for $b in /bib/book return $b/title")
+        assert evaluator.nodes_touched > 0

@@ -1,0 +1,136 @@
+"""Quantifier and order-by extension tests (beyond the FLWR core)."""
+
+import pytest
+
+from repro.core.pipeline import analyze_xquery
+from repro.dtd.grammar import grammar_from_text
+from repro.dtd.validator import validate
+from repro.errors import XQuerySyntaxError
+from repro.projection.tree import prune_document
+from repro.xmltree.builder import parse_document
+from repro.xquery.ast import OrderByExpr, QuantifiedExpr, free_variables
+from repro.xquery.evaluator import XQueryEvaluator
+from repro.xquery.extraction import extract_paths
+from repro.xquery.parser import parse_xquery
+
+DOC = parse_document(
+    "<r>"
+    "<a><b>3</b><tag>gamma</tag></a>"
+    "<a><b>1</b><tag>alpha</tag></a>"
+    "<a><b>2</b><tag>beta</tag></a>"
+    "</r>"
+)
+
+DTD = """
+<!ELEMENT r (a*)>
+<!ELEMENT a (b, tag)>
+<!ELEMENT b (#PCDATA)>
+<!ELEMENT tag (#PCDATA)>
+"""
+
+
+def run(query):
+    return XQueryEvaluator(DOC).evaluate_serialized(query)
+
+
+class TestQuantifiers:
+    def test_parse_some(self):
+        query = parse_xquery("some $x in /r/a satisfies $x/b = 2")
+        assert isinstance(query, QuantifiedExpr) and not query.every
+
+    def test_parse_every(self):
+        query = parse_xquery("every $x in /r/a satisfies $x/b > 0")
+        assert isinstance(query, QuantifiedExpr) and query.every
+
+    def test_some_semantics(self):
+        assert run("some $x in /r/a satisfies $x/b = 2") == "true"
+        assert run("some $x in /r/a satisfies $x/b = 9") == "false"
+
+    def test_every_semantics(self):
+        assert run("every $x in /r/a satisfies $x/b > 0") == "true"
+        assert run("every $x in /r/a satisfies $x/b > 1") == "false"
+
+    def test_every_over_empty_is_true(self):
+        assert run("every $x in /r/zzz satisfies $x/b = 1") == "true"
+        assert run("some $x in /r/zzz satisfies $x/b = 1") == "false"
+
+    def test_in_where_clause(self):
+        result = run(
+            "for $x in /r/a where some $y in $x/b satisfies $y = 1 "
+            "return $x/tag/text()"
+        )
+        assert result == "alpha"
+
+    def test_variable_scoping(self):
+        query = parse_xquery("some $x in /r/a satisfies $x/b = $z")
+        assert free_variables(query) == {"z"}
+
+    def test_extraction_covers_condition(self):
+        paths = {str(p) for p in extract_paths("some $x in /r/a satisfies $x/b = 2")}
+        assert "/child::r/child::a" in paths
+        assert any("child::b/descendant-or-self" in p for p in paths)
+
+    def test_quantified_soundness(self):
+        grammar = grammar_from_text(DTD, "r")
+        interpretation = validate(DOC, grammar)
+        query = (
+            "for $x in /r/a where some $y in $x/b satisfies $y = 1 "
+            "return $x/tag/text()"
+        )
+        result = analyze_xquery(grammar, query)
+        pruned = prune_document(DOC, interpretation, result.projector)
+        assert run(query) == XQueryEvaluator(pruned).evaluate_serialized(query)
+
+
+class TestOrderBy:
+    def test_parse(self):
+        query = parse_xquery("for $x in /r/a order by $x/b return $x")
+        assert isinstance(query, OrderByExpr)
+        assert not query.descending
+
+    def test_ascending_numeric(self):
+        assert run("for $x in /r/a order by $x/b return $x/b/text()") == "1 2 3"
+
+    def test_descending(self):
+        assert run(
+            "for $x in /r/a order by $x/b descending return $x/b/text()"
+        ) == "3 2 1"
+
+    def test_string_keys(self):
+        assert run(
+            "for $x in /r/a order by $x/tag return $x/tag/text()"
+        ) == "alpha beta gamma"
+
+    def test_with_where(self):
+        assert run(
+            "for $x in /r/a where $x/b > 1 order by $x/b return $x/b/text()"
+        ) == "2 3"
+
+    def test_with_let(self):
+        assert run(
+            "for $x in /r/a let $k := $x/b order by $k return $k/text()"
+        ) == "1 2 3"
+
+    def test_second_for_clause_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_xquery("for $x in /r/a, $y in /r/a order by $x/b return $x")
+
+    def test_extraction_materialises_sort_key(self):
+        paths = {str(p) for p in extract_paths(
+            "for $x in /r/a order by $x/b return count($x)"
+        )}
+        assert any("child::b/descendant-or-self" in p for p in paths)
+
+    def test_order_by_soundness(self):
+        grammar = grammar_from_text(DTD, "r")
+        interpretation = validate(DOC, grammar)
+        query = "for $x in /r/a order by $x/b descending return $x/tag/text()"
+        result = analyze_xquery(grammar, query)
+        pruned = prune_document(DOC, interpretation, result.projector)
+        assert run(query) == XQueryEvaluator(pruned).evaluate_serialized(query)
+
+    def test_str_roundtrips(self):
+        query = parse_xquery(
+            "for $x in /r/a let $k := $x/b where $x/b > 1 order by $k descending return $k"
+        )
+        assert isinstance(parse_xquery(str(query)), OrderByExpr)

@@ -1,0 +1,120 @@
+"""Figure 3 path-extraction tests."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.xquery.extraction import extract_paths
+from repro.xquery.parser import parse_xquery
+
+
+def paths_of(query):
+    return {str(path) for path in extract_paths(query)}
+
+
+class TestFigure3Rules:
+    def test_empty_sequence_extracts_nothing(self):
+        assert paths_of("()") == set()
+
+    def test_bare_path_is_materialised(self):
+        # Line 8: E(P, Γ, 1) = {/P/descendant-or-self::node}.
+        assert paths_of("/a/b") == {"/child::a/child::b/descendant-or-self::node()"}
+
+    def test_for_source_is_not_materialised(self):
+        # Line 16: E(q1, Γ, 0) — the binding sequence itself is not output.
+        result = paths_of("for $x in /a/b return count($x)")
+        assert "/child::a/child::b" in result
+        assert "/child::a/child::b/descendant-or-self::node()" not in result
+
+    def test_variable_result_is_materialised(self):
+        # Line 6: returning $x materialises its paths.
+        result = paths_of("for $x in /a/b return $x")
+        assert "/child::a/child::b/descendant-or-self::node()" in result
+
+    def test_variable_path_composition(self):
+        # Line 10: E(x/P, Γ, 1) = Γ(x)/P/dos.
+        result = paths_of("for $x in /a return $x/b")
+        assert "/child::a/child::b/descendant-or-self::node()" in result
+
+    def test_let_paths_only_when_used(self):
+        used = paths_of("let $k := /a/b return <r>{$k}</r>")
+        assert "/child::a/child::b/descendant-or-self::node()" in used
+
+    def test_constructor_adds_for_paths(self):
+        # Line 5: computing output in for-scope keeps the iterated nodes.
+        result = paths_of("for $x in /a/b return <r/>")
+        assert "/child::a/child::b" in result
+
+    def test_if_extracts_all_three_parts(self):
+        result = paths_of("if (/a/c) then /a/t else /a/e")
+        assert "/child::a/child::c" in result
+        assert "/child::a/child::t/descendant-or-self::node()" in result
+        assert "/child::a/child::e/descendant-or-self::node()" in result
+
+    def test_count_argument_not_materialised(self):
+        # Line 14 with F(count, 1) = self::node.
+        result = paths_of("count(/a/b)")
+        assert "/child::a/child::b" in result
+        assert "/child::a/child::b/descendant-or-self::node()" not in result
+
+    def test_string_argument_materialised(self):
+        result = paths_of("string(/a/b)")
+        assert "/child::a/child::b/descendant-or-self::node()" in result
+
+    def test_comparison_operands_materialised(self):
+        # Our documented refinement: value comparisons read string values.
+        result = paths_of("for $x in /a where $x/b = 3 return count($x)")
+        assert any(p.startswith("/child::a/child::b/descendant-or-self") for p in result)
+
+    def test_predicates_become_conditions(self):
+        result = paths_of("for $x in /a[b] return count($x)")
+        assert "/child::a[child::b]" in result
+
+    def test_free_variable_rejected(self):
+        with pytest.raises(AnalysisError):
+            extract_paths("$unbound/a")
+
+    def test_attribute_interpolation_materialises(self):
+        result = paths_of('for $x in /a return <r v="{$x/b}"/>')
+        assert any("child::b/descendant-or-self" in p for p in result)
+
+    def test_deduplication(self):
+        result = extract_paths("for $x in /a/b return count($x), count(/a/b)")
+        rendered = [str(path) for path in result]
+        assert len(rendered) == len(set(rendered))
+
+
+class TestPaperSection5Scenario:
+    """The paper's motivating Section 5 example: without the rewriting the
+    descendant-or-self path annuls pruning; with it the predicate refines
+    the extraction."""
+
+    QUERY = (
+        "for $y in /site//node() return "
+        "if ($y/author = 'Dante') then <r>{$y}</r> else ()"
+    )
+
+    def test_unrewritten_extraction_degenerates(self):
+        result = paths_of(self.QUERY)
+        # A path ending descendant-or-self::node with no condition exists:
+        assert any(
+            p.endswith("descendant-or-self::node()") and "[" not in p for p in result
+        )
+
+    def test_rewritten_extraction_carries_the_condition(self):
+        from repro.xquery.rewrite import rewrite_query
+
+        rewritten = rewrite_query(parse_xquery(self.QUERY))
+        result = {str(path) for path in extract_paths(rewritten)}
+        assert any("child::author" in p and "[" in p for p in result)
+
+
+class TestWorkloadExtraction:
+    def test_every_xmark_query_extracts(self):
+        from repro.workloads.xmark import XMARK_QUERIES
+        from repro.xquery.rewrite import rewrite_query
+
+        for name, text in XMARK_QUERIES.items():
+            paths = extract_paths(rewrite_query(parse_xquery(text)))
+            assert paths, name
+            for path in paths:
+                assert path.steps, name

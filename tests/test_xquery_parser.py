@@ -1,0 +1,160 @@
+"""XQuery FLWR-core parser tests."""
+
+import pytest
+
+from repro.errors import XQuerySyntaxError
+from repro.xpath import ast as xp
+from repro.xquery.ast import (
+    ElementConstructor,
+    EmptySequence,
+    ForExpr,
+    IfExpr,
+    LetExpr,
+    Sequence,
+    free_variables,
+)
+from repro.xquery.parser import parse_xquery, strip_comments
+
+
+class TestFLWOR:
+    def test_simple_for(self):
+        query = parse_xquery("for $x in /a/b return $x")
+        assert isinstance(query, ForExpr)
+        assert query.variable == "x"
+        assert isinstance(query.body, xp.VariableRef)
+
+    def test_where_desugars_to_if(self):
+        query = parse_xquery("for $x in /a where $x/b return $x")
+        assert isinstance(query, ForExpr)
+        assert isinstance(query.body, IfExpr)
+        assert isinstance(query.body.else_branch, EmptySequence)
+
+    def test_let(self):
+        query = parse_xquery("let $k := count(/a) return $k")
+        assert isinstance(query, LetExpr)
+        assert isinstance(query.value, xp.FunctionCall)
+
+    def test_interleaved_for_let(self):
+        query = parse_xquery(
+            "for $p in /a let $q := $p/b for $r in $q/c return $r"
+        )
+        assert isinstance(query, ForExpr)
+        assert isinstance(query.body, LetExpr)
+        assert isinstance(query.body.body, ForExpr)
+
+    def test_multiple_bindings_in_one_for(self):
+        query = parse_xquery("for $x in /a, $y in $x/b return $y")
+        assert isinstance(query, ForExpr) and isinstance(query.body, ForExpr)
+
+    def test_nested_flwor_in_let(self):
+        query = parse_xquery(
+            "let $a := for $t in /x return $t return count($a)"
+        )
+        assert isinstance(query, LetExpr)
+        assert isinstance(query.value, ForExpr)
+
+    def test_missing_return_raises(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_xquery("for $x in /a")
+
+    def test_missing_assign_raises(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_xquery("let $x = 1 return $x")
+
+
+class TestConstructors:
+    def test_literal_content(self):
+        query = parse_xquery("<r>hello</r>")
+        assert isinstance(query, ElementConstructor)
+        assert query.content == ("hello",)
+
+    def test_enclosed_expression(self):
+        query = parse_xquery("<r>{/a/b}</r>")
+        assert isinstance(query.content[0], xp.LocationPath)
+
+    def test_nested_constructor(self):
+        query = parse_xquery("<r><s>{$x}</s></r>")
+        inner = query.content[0]
+        assert isinstance(inner, ElementConstructor) and inner.tag == "s"
+
+    def test_attributes_with_interpolation(self):
+        query = parse_xquery('<r name="{$p/name}" fixed="yes"/>')
+        attrs = dict(query.attributes)
+        assert isinstance(attrs["name"].parts[0], xp.PathExpr)
+        assert attrs["fixed"].parts == ("yes",)
+
+    def test_mismatched_close_raises(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_xquery("<a>x</b>")
+
+    def test_sequence_inside_braces(self):
+        query = parse_xquery("<r>{1, 2}</r>")
+        assert isinstance(query.content[0], Sequence)
+
+
+class TestExpressions:
+    def test_empty_sequence(self):
+        assert isinstance(parse_xquery("()"), EmptySequence)
+
+    def test_top_level_sequence(self):
+        query = parse_xquery("1, 2, 3")
+        assert isinstance(query, Sequence) and len(query.items) == 3
+
+    def test_if_then_else(self):
+        query = parse_xquery("if ($x) then 1 else 2")
+        assert isinstance(query, IfExpr)
+
+    def test_xpath_island_with_keywords_in_strings(self):
+        query = parse_xquery("for $x in /a[b = 'no return here'] return $x")
+        assert isinstance(query, ForExpr)
+
+    def test_parenthesised_xpath_continuation(self):
+        query = parse_xquery("(/a | /b)")
+        assert isinstance(query, xp.UnionExpr)
+
+    def test_comparison_operators_survive(self):
+        query = parse_xquery("for $x in /a where $x/b > 5 and $x/c < 9 return $x")
+        assert isinstance(query, ForExpr)
+
+    def test_comments_are_stripped(self):
+        query = parse_xquery("(: note (: nested :) :) for $x in /a return $x")
+        assert isinstance(query, ForExpr)
+
+    def test_unterminated_comment(self):
+        with pytest.raises(XQuerySyntaxError):
+            strip_comments("(: oops")
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_xquery("for $x in /a return $x }")
+
+
+class TestFreeVariables:
+    def test_for_binds(self):
+        query = parse_xquery("for $x in /a return $x/b")
+        assert free_variables(query) == frozenset()
+
+    def test_free_variable_detected(self):
+        query = parse_xquery("for $x in /a return $y")
+        assert free_variables(query) == {"y"}
+
+    def test_let_binds_in_body_only(self):
+        query = parse_xquery("let $x := $x return $x")
+        assert free_variables(query) == {"x"}
+
+    def test_constructor_attributes_counted(self):
+        query = parse_xquery('<r a="{$z}"/>')
+        assert free_variables(query) == {"z"}
+
+    def test_predicate_variables_counted(self):
+        query = parse_xquery("for $x in /a return /b[c = $w]")
+        assert free_variables(query) == {"w"}
+
+
+class TestWorkloadQueries:
+    def test_all_xmark_queries_parse(self):
+        from repro.workloads.xmark import XMARK_QUERIES
+
+        for name, text in XMARK_QUERIES.items():
+            query = parse_xquery(text)
+            assert free_variables(query) == frozenset(), name

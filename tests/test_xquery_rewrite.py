@@ -1,0 +1,111 @@
+"""Section 5 rewriting-heuristic tests."""
+
+from repro.xpath import ast as xp
+from repro.xquery.ast import EmptySequence, ForExpr, IfExpr
+from repro.xquery.evaluator import XQueryEvaluator
+from repro.xquery.parser import parse_xquery
+from repro.xquery.rewrite import rewrite_query
+from repro.xmltree.builder import parse_document
+
+DOC = parse_document(
+    "<r><a><b>1</b></a><a><b>2</b></a><a><c>3</c></a></r>"
+)
+
+
+def last_step_has_predicate(source) -> bool:
+    if isinstance(source, (xp.LocationPath, xp.PathExpr)):
+        return bool(source.steps and source.steps[-1].predicates)
+    return False
+
+
+class TestRewriteFires:
+    def test_paper_pattern(self):
+        query = parse_xquery(
+            "for $y in /r//node() return if ($y/b) then <hit/> else ()"
+        )
+        rewritten = rewrite_query(query)
+        assert isinstance(rewritten, ForExpr)
+        assert not isinstance(rewritten.body, IfExpr)
+        assert last_step_has_predicate(rewritten.source)
+
+    def test_where_clause_is_rewritten_too(self):
+        # where desugars to if+else() so the heuristic applies.
+        query = parse_xquery("for $y in /r/a where $y/b return $y/b")
+        rewritten = rewrite_query(query)
+        assert last_step_has_predicate(rewritten.source)
+
+    def test_bare_variable_condition(self):
+        query = parse_xquery("for $y in /r/a return if ($y) then 1 else ()")
+        rewritten = rewrite_query(query)
+        assert last_step_has_predicate(rewritten.source)
+
+    def test_boolean_connectives_convert(self):
+        query = parse_xquery(
+            "for $y in /r/a where $y/b or $y/c return count($y)"
+        )
+        rewritten = rewrite_query(query)
+        assert last_step_has_predicate(rewritten.source)
+
+    def test_comparison_converts(self):
+        query = parse_xquery("for $y in /r/a where $y/b = 1 return count($y)")
+        rewritten = rewrite_query(query)
+        assert last_step_has_predicate(rewritten.source)
+
+    def test_rewrite_recurses_into_nested_queries(self):
+        query = parse_xquery(
+            "let $k := for $y in /r/a where $y/b return $y return count($k)"
+        )
+        rewritten = rewrite_query(query)
+        assert last_step_has_predicate(rewritten.value.source)
+
+
+class TestRewriteDoesNotFire:
+    def test_condition_on_other_variable(self):
+        query = parse_xquery(
+            "for $x in /r/a for $y in /r/a return if ($x/b) then $y else ()"
+        )
+        rewritten = rewrite_query(query)
+        inner = rewritten.body
+        assert isinstance(inner, ForExpr)
+        assert isinstance(inner.body, IfExpr)  # not pushed into $y's source
+
+    def test_nonempty_else_blocks_rewrite(self):
+        query = parse_xquery(
+            "for $y in /r/a return if ($y/b) then 1 else 2"
+        )
+        rewritten = rewrite_query(query)
+        assert isinstance(rewritten.body, IfExpr)
+
+    def test_positional_condition_blocks_rewrite(self):
+        query = parse_xquery(
+            "for $y in /r/a return if (count($y/b) > position()) then 1 else ()"
+        )
+        rewritten = rewrite_query(query)
+        assert isinstance(rewritten.body, IfExpr)
+
+    def test_non_path_source_blocks_rewrite(self):
+        query = parse_xquery(
+            "for $y in (1, 2) return if ($y) then $y else ()"
+        )
+        rewritten = rewrite_query(query)
+        assert isinstance(rewritten.body, IfExpr)
+
+
+class TestSemanticsPreserved:
+    CASES = [
+        "for $y in /r//node() return if ($y/b) then <hit>{$y/b/text()}</hit> else ()",
+        "for $y in /r/a where $y/b return $y/b/text()",
+        "for $y in /r/a where $y/b = 1 return count($y/b)",
+        "for $y in /r/a return if ($y/b or $y/c) then 'x' else ()",
+        "for $y in /r/a return if (not($y/b)) then 'none' else ()",
+    ]
+
+    def test_rewriting_preserves_results(self):
+        evaluator = XQueryEvaluator(DOC)
+        for text in self.CASES:
+            query = parse_xquery(text)
+            rewritten = rewrite_query(query)
+            assert (
+                XQueryEvaluator(DOC).evaluate_serialized(query)
+                == XQueryEvaluator(DOC).evaluate_serialized(rewritten)
+            ), text

@@ -1,0 +1,76 @@
+"""End-to-end XQuery soundness: every workload query answers identically
+on the original and the type-pruned document (Theorem 4.5 through the
+whole Section 5 pipeline)."""
+
+import pytest
+
+from repro.core.pipeline import analyze, analyze_xquery
+from repro.projection.tree import prune_document
+from repro.workloads.xmark import TABLE1_XMARK, XMARK_QUERIES
+from repro.workloads.xpathmark import XPATHMARK_QUERIES
+from repro.xpath.evaluator import XPathEvaluator
+from repro.xquery.evaluator import XQueryEvaluator
+
+
+@pytest.mark.parametrize("name", sorted(XMARK_QUERIES))
+def test_xmark_query_soundness(xmark, name):
+    grammar, document, interpretation = xmark
+    query = XMARK_QUERIES[name]
+    result = analyze_xquery(grammar, query)
+    pruned = prune_document(document, interpretation, result.projector)
+    original = XQueryEvaluator(document).evaluate_serialized(query)
+    after = XQueryEvaluator(pruned).evaluate_serialized(query)
+    assert original == after
+
+
+@pytest.mark.parametrize("name", sorted(XPATHMARK_QUERIES))
+def test_xpathmark_query_soundness(xmark, name):
+    grammar, document, interpretation = xmark
+    query = XPATHMARK_QUERIES[name]
+    result = analyze(grammar, [query])
+    pruned = prune_document(document, interpretation, result.projector)
+    original = XPathEvaluator(document).select_ids(query)
+    after = XPathEvaluator(pruned).select_ids(query)
+    assert original == after
+
+
+def test_union_projector_serves_the_whole_bunch(xmark):
+    """Bunch-of-queries (Section 5): one pruned document answers all."""
+    grammar, document, interpretation = xmark
+    queries = [XMARK_QUERIES[name] for name in TABLE1_XMARK]
+    result = analyze_xquery(grammar, queries)
+    pruned = prune_document(document, interpretation, result.projector)
+    for name, query in zip(TABLE1_XMARK, queries):
+        assert (
+            XQueryEvaluator(document).evaluate_serialized(query)
+            == XQueryEvaluator(pruned).evaluate_serialized(query)
+        ), name
+
+
+def test_union_is_union_of_per_query_projectors(xmark):
+    grammar, _, _ = xmark
+    queries = [XMARK_QUERIES[name] for name in ("QM01", "QM05")]
+    result = analyze_xquery(grammar, queries)
+    assert result.projector == frozenset().union(*result.per_query)
+
+
+def test_analysis_time_is_negligible(xmark):
+    """The paper: 'the time of the static analysis is always negligible
+    (lower than half a second) even for complex queries and DTDs'."""
+    grammar, _, _ = xmark
+    for name in TABLE1_XMARK:
+        result = analyze_xquery(grammar, XMARK_QUERIES[name])
+        assert result.analysis_seconds < 0.5, name
+
+
+def test_selective_queries_prune_hard(xmark):
+    """Sanity on pruning power: QM01 (one person's name) keeps only a few
+    names; QM14 (description search) keeps the mixed-content fabric."""
+    grammar, document, interpretation = xmark
+    small = analyze_xquery(grammar, XMARK_QUERIES["QM01"])
+    big = analyze_xquery(grammar, XMARK_QUERIES["QM14"])
+    pruned_small = prune_document(document, interpretation, small.projector)
+    pruned_big = prune_document(document, interpretation, big.projector)
+    assert pruned_small.size() < 0.10 * document.size()
+    assert pruned_big.size() > 2 * pruned_small.size()
+    assert "description" in {node.tag for node in pruned_big.elements()}
