@@ -1,0 +1,166 @@
+"""Hot-path benchmark: fused fast path vs event pipeline, plus the
+projector cache under a repeated-query workload.
+
+Standalone script (not pytest-benchmark — CI runs it directly)::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py [--quick]
+        [--factor F] [--repeats N] [--output PATH]
+
+Measures, on an XMark document:
+
+* event-pipeline vs fused-fast-path prune wall time per query
+  (byte-identical output is *asserted*, not assumed);
+* the throughput ratio (the PR's target: >= 1.5x on selective
+  projectors);
+* projector-cache hit rates for a workload that repeats each query.
+
+Writes machine-readable ``benchmarks/results/BENCH_hotpath.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import os
+import sys
+import time
+
+
+DEFAULT_QUERIES = {
+    "QP1-regions": "/site/regions",
+    "QP2-bidder-increase": "/site/open_auctions/open_auction/bidder/increase",
+    "QP3-person-name": "//person/name",
+    "QP4-keyword": "//keyword",
+    "QM06-items": "for $b in //site/regions return count($b//item)",
+}
+
+
+def _median(samples: list[float]) -> float:
+    ordered = sorted(samples)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2
+
+
+def _time_prune(xml: str, grammar, projector, fast: bool, repeats: int):
+    from repro.projection.streaming import prune_stream
+
+    samples = []
+    output = None
+    for _ in range(repeats):
+        sink = io.StringIO()
+        started = time.perf_counter()
+        prune_stream(io.StringIO(xml), sink, grammar, projector, fast=fast)
+        samples.append(time.perf_counter() - started)
+        output = sink.getvalue()
+    return _median(samples), output
+
+
+def run(factor: float, repeats: int, output_path: str, min_speedup: float) -> dict:
+    from repro.core.cache import ProjectorCache
+    from repro.workloads.xmark import generate_document, xmark_grammar
+    from repro.xmltree.serializer import serialize
+
+    grammar = xmark_grammar()
+    print(f"generating XMark document (factor {factor}) ...", flush=True)
+    xml = serialize(generate_document(factor, seed=99))
+    megabytes = len(xml.encode("utf-8")) / 1e6
+
+    cache = ProjectorCache()
+    queries: list[dict] = []
+    ratios: list[float] = []
+    for name, query in DEFAULT_QUERIES.items():
+        projector = cache.projector_for_query(grammar, query)
+        slow_seconds, slow_output = _time_prune(xml, grammar, projector, False, repeats)
+        fast_seconds, fast_output = _time_prune(xml, grammar, projector, True, repeats)
+        assert fast_output == slow_output, (
+            f"fast path output differs from event pipeline for {name}"
+        )
+        ratio = slow_seconds / fast_seconds if fast_seconds else float("inf")
+        ratios.append(ratio)
+        queries.append({
+            "name": name,
+            "query": query,
+            "projector_size": len(projector),
+            "output_bytes": len(fast_output.encode("utf-8")),
+            "event_pipeline_seconds": round(slow_seconds, 6),
+            "fast_path_seconds": round(fast_seconds, 6),
+            "speedup": round(ratio, 3),
+            "fast_mb_per_s": round(megabytes / fast_seconds, 2) if fast_seconds else None,
+            "byte_identical": True,
+        })
+        print(f"  {name:22s} event {slow_seconds * 1000:8.1f} ms   "
+              f"fast {fast_seconds * 1000:8.1f} ms   {ratio:5.2f}x", flush=True)
+
+    # Repeated-query workload: second round must be served from the cache.
+    workload = list(DEFAULT_QUERIES.values())
+    cache.analyze(grammar, workload)
+    hits_before = cache.stats.hits
+    cache.analyze(grammar, workload)
+    workload_hits = cache.stats.hits - hits_before
+
+    best = max(ratios)
+    report = {
+        "benchmark": "hotpath",
+        "document_megabytes": round(megabytes, 3),
+        "xmark_factor": factor,
+        "repeats": repeats,
+        "queries": queries,
+        "best_speedup": round(best, 3),
+        "median_speedup": round(_median(ratios), 3),
+        "min_speedup_required": min_speedup,
+        "cache": {
+            **cache.stats.as_dict(),
+            "repeat_round_hits": workload_hits,
+            "repeat_round_expected": len(workload),
+        },
+    }
+
+    os.makedirs(os.path.dirname(output_path), exist_ok=True)
+    with open(output_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"\nbest speedup {best:.2f}x, median {report['median_speedup']:.2f}x "
+          f"(target >= {min_speedup}x); cache repeat-round hits "
+          f"{workload_hits}/{len(workload)}")
+    print(f"wrote {output_path}")
+
+    failures = []
+    if best < min_speedup:
+        failures.append(
+            f"fast path best speedup {best:.2f}x is below the {min_speedup}x target"
+        )
+    if workload_hits != len(workload):
+        failures.append(
+            f"repeated workload hit the cache only {workload_hits}/{len(workload)} times"
+        )
+    report["failures"] = failures
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--factor", type=float, default=None,
+                        help="XMark scale factor (default 0.02; --quick uses 0.004)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repetitions per configuration (median is reported)")
+    parser.add_argument("--quick", action="store_true",
+                        help="small document + fewer repeats (CI smoke mode)")
+    parser.add_argument("--min-speedup", type=float, default=1.5,
+                        help="fail if the best fast-path speedup is below this")
+    parser.add_argument("--output", default=os.path.join(
+        os.path.dirname(__file__), "results", "BENCH_hotpath.json"))
+    args = parser.parse_args(argv)
+
+    factor = args.factor if args.factor is not None else (0.004 if args.quick else 0.02)
+    repeats = args.repeats if args.repeats is not None else (3 if args.quick else 5)
+    report = run(factor, repeats, args.output, args.min_speedup)
+    for failure in report["failures"]:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if report["failures"] else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,6 +15,7 @@ Quickstart::
 See README.md for the full tour and DESIGN.md for the paper-to-module map.
 """
 
+from repro.core.cache import CacheStats, ProjectorCache, default_cache, grammar_fingerprint
 from repro.core.inference import infer_type
 from repro.core.pipeline import (
     AnalysisResult,
@@ -30,7 +31,10 @@ from repro.dtd.properties import analyze_grammar
 from repro.dtd.validator import Interpretation, validate
 from repro.engine.executor import QueryEngine
 from repro.errors import ReproError
-from repro.projection.streaming import prune_events, prune_file, prune_string
+from repro.projection.fastpath import FastPruner
+from repro.projection.prunetable import PruneTable, compile_prune_table
+from repro.projection.streaming import prune_events, prune_file, prune_stream, prune_string
+from repro.querylang import looks_like_xquery
 from repro.projection.tree import prune_document
 from repro.xmltree.builder import parse_document
 from repro.xmltree.serializer import serialize
@@ -41,8 +45,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AnalysisResult",
+    "CacheStats",
+    "FastPruner",
     "Grammar",
     "Interpretation",
+    "ProjectorCache",
+    "PruneTable",
     "QueryEngine",
     "ReproError",
     "XPathEvaluator",
@@ -52,16 +60,21 @@ __all__ = [
     "analyze_grammar",
     "analyze_query",
     "analyze_xquery",
+    "compile_prune_table",
+    "default_cache",
+    "grammar_fingerprint",
     "grammar_from_dtd",
     "grammar_from_text",
     "infer_projector",
     "infer_type",
+    "looks_like_xquery",
     "materialized_projector",
     "parse_document",
     "parse_dtd",
     "prune_document",
     "prune_events",
     "prune_file",
+    "prune_stream",
     "prune_string",
     "serialize",
     "type_of_query",

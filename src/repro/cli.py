@@ -43,33 +43,28 @@ def _load_grammar(args, document_path: str | None = None):
 
 
 def _is_xquery(query: str) -> bool:
-    stripped = query.lstrip()
-    return stripped.startswith(("for ", "let ", "if ", "<")) or " return " in query
+    from repro.querylang import looks_like_xquery
+
+    return looks_like_xquery(query)
 
 
 def _projector(grammar, queries):
-    from repro.core.pipeline import analyze, analyze_xquery
+    from repro.core.cache import default_cache
 
-    xpath_queries = [query for query in queries if not _is_xquery(query)]
-    xquery_queries = [query for query in queries if _is_xquery(query)]
-    projector: set[str] = set()
-    seconds = 0.0
-    if xpath_queries:
-        result = analyze(grammar, xpath_queries)
-        projector |= result.projector
-        seconds += result.analysis_seconds
-    if xquery_queries:
-        result = analyze_xquery(grammar, xquery_queries)
-        projector |= result.projector
-        seconds += result.analysis_seconds
-    return frozenset(projector), seconds
+    result = default_cache().analyze(grammar, queries)
+    return result.projector, result.analysis_seconds
 
 
 def cmd_analyze(args) -> int:
+    from repro.core.cache import default_cache
+
     grammar = _load_grammar(args)
     projector, seconds = _projector(grammar, args.query)
     reachable = grammar.reachable_names()
     print(f"# analysis time: {seconds * 1000:.1f} ms")
+    if args.cache_stats:
+        stats = default_cache().stats
+        print(f"# projector cache: {stats.hits} hits, {stats.misses} misses")
     print(f"# projector: {len(projector)} of {len(reachable)} reachable names "
           f"({100 * len(projector & reachable) / max(1, len(reachable)):.1f}%)")
     for name in sorted(projector):
@@ -83,7 +78,10 @@ def cmd_prune(args) -> int:
     grammar = _load_grammar(args, document_path=args.input)
     projector, seconds = _projector(grammar, args.query)
     started = time.perf_counter()
-    stats = prune_file(args.input, args.output, grammar, projector, validate=args.validate)
+    stats = prune_file(
+        args.input, args.output, grammar, projector,
+        validate=args.validate, fast=not args.no_fast,
+    )
     elapsed = time.perf_counter() - started
     print(f"analysis: {seconds * 1000:.1f} ms, pruning: {elapsed:.2f} s")
     print(f"size: {stats.bytes_in} -> {stats.bytes_out} bytes ({stats.size_percent:.1f}% kept)")
@@ -162,6 +160,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("analyze", help="infer a type projector")
     common(p)
+    p.add_argument("--cache-stats", action="store_true",
+                   help="print projector-cache hit/miss counters")
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("prune", help="prune a document file (streaming)")
@@ -169,6 +169,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("input")
     p.add_argument("output")
     p.add_argument("--validate", action="store_true", help="validate while pruning")
+    p.add_argument("--no-fast", action="store_true",
+                   help="use the event pipeline instead of the fused fast path")
     p.set_defaults(func=cmd_prune)
 
     p = sub.add_parser("validate", help="validate a document")

@@ -6,6 +6,12 @@
 * :mod:`repro.core.pipeline`   — the user-facing analyze() entry point.
 """
 
+from repro.core.cache import (
+    CacheStats,
+    ProjectorCache,
+    default_cache,
+    grammar_fingerprint,
+)
 from repro.core.depth import depth_unfolded_grammar, fold_names
 from repro.core.inference import Env, TypeInference, infer_type, initial_env
 from repro.core.pipeline import (
@@ -24,15 +30,19 @@ from repro.core.types import TypeOperators
 
 __all__ = [
     "AnalysisResult",
+    "CacheStats",
     "Env",
+    "ProjectorCache",
     "ProjectorInference",
     "TypeInference",
     "TypeOperators",
     "analyze",
     "analyze_query",
     "analyze_xquery",
+    "default_cache",
     "depth_unfolded_grammar",
     "fold_names",
+    "grammar_fingerprint",
     "infer_projector",
     "infer_type",
     "initial_env",

@@ -1,0 +1,206 @@
+"""Projector cache and multi-query workloads (the paper's Section 4.4).
+
+Projectors are closed under union, so a *bunch* of queries over the same
+DTD is served by one pruned document: infer a projector per query, union
+them, prune once.  In a workload setting (a query log, a benchmark sweep,
+an engine serving repeated templates) the same queries recur against the
+same grammar, and the static analysis — cheap but not free — can be
+memoized outright.
+
+:class:`ProjectorCache` memoizes per-query projector inference keyed by
+``(grammar fingerprint, language, materialization, normalized query)``.
+The grammar key is a content fingerprint (:func:`grammar_fingerprint`),
+not object identity, so reloading the same DTD from disk still hits.
+Entries are LRU-evicted; :class:`CacheStats` makes hit rates observable.
+
+A module-level :func:`default_cache` serves the CLI and the engine loader
+so repeated invocations inside one process share inference results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.pipeline import (
+    AnalysisResult,
+    analyze_query,
+    analyze_xquery,
+)
+from repro.dtd.grammar import (
+    AttributeProduction,
+    ElementProduction,
+    Grammar,
+    TextProduction,
+)
+from repro.querylang import looks_like_xquery
+
+# -- grammar fingerprinting -------------------------------------------------
+
+_FINGERPRINTS: "weakref.WeakKeyDictionary[Grammar, str]" = weakref.WeakKeyDictionary()
+
+
+def grammar_fingerprint(grammar: Grammar) -> str:
+    """Content hash of a grammar: root, productions, attribute lists.
+
+    Regexes serialize through their stable ``__str__``; production order
+    is normalized, so two grammars parsed from the same DTD text —
+    whether or not they are the same object — fingerprint identically.
+    Memoized per grammar instance (grammars are immutable after
+    construction).
+    """
+    try:
+        return _FINGERPRINTS[grammar]
+    except KeyError:
+        pass
+    hasher = hashlib.sha256()
+    hasher.update(type(grammar).__name__.encode())
+    hasher.update(b"\x00")
+    hasher.update(grammar.root.encode())
+    for name in sorted(grammar.productions):
+        production = grammar.productions[name]
+        if isinstance(production, ElementProduction):
+            attrs = ",".join(a.name for a in production.attributes)
+            line = f"E\x00{name}\x00{production.tag}\x00{production.regex}\x00{attrs}"
+        elif isinstance(production, AttributeProduction):
+            line = f"A\x00{name}\x00{production.owner_tag}\x00{production.attribute}"
+        elif isinstance(production, TextProduction):
+            line = f"T\x00{name}"
+        else:  # pragma: no cover - future production kinds
+            line = f"?\x00{name}\x00{production!r}"
+        hasher.update(b"\x01")
+        hasher.update(line.encode())
+    digest = hasher.hexdigest()
+    _FINGERPRINTS[grammar] = digest
+    return digest
+
+
+# -- the cache --------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Observable cache behaviour (hits prove the workload path works)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+def _normalize_query(query: str) -> str:
+    """Collapse insignificant whitespace so trivial re-spellings of the
+    same query share a cache entry.  (Whitespace inside string literals
+    is significant — leave queries containing literals untouched.)"""
+    if '"' in query or "'" in query:
+        return query.strip()
+    return " ".join(query.split())
+
+
+class ProjectorCache:
+    """LRU memo of per-query projector inference across grammars."""
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[tuple[str, str, bool, str], frozenset[str]]" = (
+            OrderedDict()
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.stats = CacheStats()
+
+    def projector_for_query(
+        self,
+        grammar: Grammar,
+        query: str,
+        materialize: bool = True,
+        xquery: bool | None = None,
+    ) -> frozenset[str]:
+        """Infer (or recall) the projector for one query string."""
+        if xquery is None:
+            xquery = looks_like_xquery(query)
+        key = (
+            grammar_fingerprint(grammar),
+            "xquery" if xquery else "xpath",
+            bool(materialize),
+            _normalize_query(query),
+        )
+        entries = self._entries
+        cached = entries.get(key)
+        if cached is not None:
+            self.stats.hits += 1
+            entries.move_to_end(key)
+            return cached
+        self.stats.misses += 1
+        if xquery:
+            projector = analyze_xquery(grammar, [query]).projector
+        else:
+            projector = analyze_query(grammar, query, materialize=materialize)
+        entries[key] = projector
+        if len(entries) > self.max_entries:
+            entries.popitem(last=False)
+            self.stats.evictions += 1
+        return projector
+
+    def analyze(
+        self,
+        grammar: Grammar,
+        queries: "list[str] | str",
+        materialize: bool = True,
+    ) -> AnalysisResult:
+        """Union projector for a (mixed XPath/XQuery) workload, served
+        from the cache where possible — the Section 4.4 "bunch of
+        queries, one pruning" deployment."""
+        if isinstance(queries, str):
+            queries = [queries]
+        started = time.perf_counter()
+        per_query = [
+            self.projector_for_query(grammar, query, materialize=materialize)
+            for query in queries
+        ]
+        union = (
+            grammar.union_projectors(per_query)
+            if per_query
+            else frozenset((grammar.root,))
+        )
+        elapsed = time.perf_counter() - started
+        return AnalysisResult(
+            grammar=grammar,
+            projector=grammar.check_projector(union),
+            per_query=per_query,
+            analysis_seconds=elapsed,
+        )
+
+
+_DEFAULT_CACHE = ProjectorCache()
+
+
+def default_cache() -> ProjectorCache:
+    """The process-wide cache shared by the CLI and the engine loader."""
+    return _DEFAULT_CACHE

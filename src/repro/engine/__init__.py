@@ -5,6 +5,7 @@ from repro.engine.executor import QueryEngine, largest_processable_megabytes
 from repro.engine.index import IndexStats, TagIndex, index_of_pruned_document
 from repro.engine.loader import (
     LoadReport,
+    load_for_queries,
     load_full,
     load_pruned,
     load_pruned_validating,
@@ -21,6 +22,7 @@ __all__ = [
     "TagIndex",
     "index_of_pruned_document",
     "largest_processable_megabytes",
+    "load_for_queries",
     "load_full",
     "load_pruned",
     "load_pruned_validating",

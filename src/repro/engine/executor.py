@@ -13,14 +13,15 @@ import time
 
 from repro.engine.metrics import DEFAULT_MODEL, EVAL_BYTES_PER_TOUCH, MemoryModel, RunReport
 from repro.errors import BudgetExceededError
+from repro.querylang import looks_like_xquery
 from repro.xmltree.nodes import Document
 from repro.xpath.evaluator import XPathEvaluator
 from repro.xquery.evaluator import XQueryEvaluator
 
-
-def _looks_like_xquery(query: str) -> bool:
-    stripped = query.lstrip()
-    return stripped.startswith(("for ", "let ", "if ", "<")) or " return " in query
+# Token-aware detection lives in repro.querylang; the old substring
+# heuristic misrouted XPath queries mentioning "return" in literals or
+# name tests.
+_looks_like_xquery = looks_like_xquery
 
 
 class QueryEngine:

@@ -77,17 +77,26 @@ def load_pruned(
     projector: frozenset[str] | set[str],
     strip_whitespace: bool = True,
     validate: bool = False,
+    fast: bool = True,
     model: MemoryModel = DEFAULT_MODEL,
 ) -> LoadReport:
     """Load through the streaming pruner: nodes outside the projector are
     skipped *before* tree construction, so they cost neither allocation
-    nor model memory.  ``validate=True`` folds DTD validation into the
-    same single pass."""
+    nor model memory.  ``fast=True`` (the default) uses the fused
+    scanner-level pruner, which bulk-skips discarded regions without even
+    building their events; ``validate=True`` folds DTD validation into
+    the pass (forcing the event pipeline — the validator must see every
+    event)."""
     stats = PruneStats()
     started = time.perf_counter()
-    events = prune_events(
-        parse_events(source), grammar, projector, validate=validate, stats=stats
-    )
+    if fast and not validate:
+        from repro.projection.fastpath import FastPruner
+
+        events = FastPruner(grammar, frozenset(projector), stats=stats).events(source)
+    else:
+        events = prune_events(
+            parse_events(source), grammar, projector, validate=validate, stats=stats
+        )
     document = _build(events, strip_whitespace)
     elapsed = time.perf_counter() - started
     return LoadReport(
@@ -110,4 +119,29 @@ def load_pruned_validating(
     return load_pruned(
         source, grammar, projector,
         strip_whitespace=strip_whitespace, validate=True, model=model,
+    )
+
+
+def load_for_queries(
+    source: Source,
+    grammar: Grammar,
+    queries: "list[str] | str",
+    strip_whitespace: bool = True,
+    validate: bool = False,
+    fast: bool = True,
+    model: MemoryModel = DEFAULT_MODEL,
+    cache: "ProjectorCache | None" = None,
+) -> LoadReport:
+    """Analyze a query workload (through the projector cache) and load the
+    document pruned to exactly what those queries need — the end-to-end
+    Section 4.4 deployment: repeated workloads skip the static analysis
+    entirely and pay only the (pruned) load."""
+    from repro.core.cache import ProjectorCache, default_cache
+
+    if cache is None:
+        cache = default_cache()
+    result = cache.analyze(grammar, queries)
+    return load_pruned(
+        source, grammar, result.projector,
+        strip_whitespace=strip_whitespace, validate=validate, fast=fast, model=model,
     )

@@ -1,0 +1,154 @@
+"""Compiled prune tables: the per-grammar decision tables behind pruning.
+
+The streaming pruner makes exactly three decisions per node of the input
+document: (1) does the projector keep this element?  (2) does character
+data directly under it survive?  (3) which of its declared attributes are
+dropped?  All three are functions of the *grammar name* of the element
+alone (Section 2.2: a DTD is a local tree grammar, so the tag — or, for
+single-type grammars, the parent's name plus the tag — determines the
+name), so they can be compiled once per ``(grammar, projector)`` pair into
+a flat table instead of being re-derived event by event.
+
+:func:`compile_prune_table` builds (and memoises) that table.  Both the
+event-level :class:`~repro.projection.streaming.StreamingPruner` and the
+fused scanner-level :class:`~repro.projection.fastpath.FastPruner` consume
+it, which is what keeps the two paths behaviourally identical.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+
+from repro.dtd.grammar import ElementProduction, Grammar, attribute_name
+from repro.errors import ProjectorError
+
+
+@dataclass(frozen=True, slots=True)
+class TagPlan:
+    """Everything the pruner needs to know about one element name.
+
+    ``prunable`` lists the *declared* attributes whose grammar name the
+    projector drops; undeclared attributes are invisible to the analysis
+    and always kept.  An empty set means every attribute survives, so the
+    hot path can skip filtering entirely.
+    """
+
+    name: str
+    tag: str
+    keep: bool
+    text_kept: bool
+    prunable: frozenset[str]
+
+
+class PruneTable:
+    """Flat keep/skip/filter table for one ``(grammar, projector)`` pair.
+
+    ``local`` is True when element names are resolved by tag alone (plain
+    DTD grammars): lookups go through ``by_tag``.  Otherwise (single-type
+    grammars — XML Schema local elements) resolution needs the parent's
+    name and lookups go through ``by_parent`` keyed ``(parent_name, tag)``
+    with ``None`` standing for the document root.
+    """
+
+    __slots__ = (
+        "grammar",
+        "projector",
+        "prune_attributes",
+        "local",
+        "by_tag",
+        "by_parent",
+        "root_plan",
+    )
+
+    def __init__(
+        self,
+        grammar: Grammar,
+        projector: frozenset[str],
+        prune_attributes: bool,
+    ) -> None:
+        self.grammar = grammar
+        self.projector = grammar.check_projector(projector)
+        if grammar.root not in self.projector:
+            raise ProjectorError("projector does not keep the document root")
+        self.prune_attributes = prune_attributes
+        # A grammar that does not override name resolution is local: the
+        # tag alone decides, and one dict probe per element suffices.
+        self.local = type(grammar).child_element_name is Grammar.child_element_name
+
+        plans: dict[str, TagPlan] = {}
+        for name, production in grammar.productions.items():
+            if isinstance(production, ElementProduction):
+                plans[name] = self._plan(name, production)
+
+        self.by_tag: dict[str, TagPlan] = {}
+        self.by_parent: dict[tuple[str | None, str], TagPlan] = {}
+        if self.local:
+            for name, plan in plans.items():
+                resolved = grammar.name_of_tag(plan.tag)
+                if resolved == name:
+                    self.by_tag[plan.tag] = plan
+        else:
+            for parent, production in grammar.productions.items():
+                if not isinstance(production, ElementProduction):
+                    continue
+                for child_tag in {
+                    plans[child].tag
+                    for child in grammar.children_of(parent)
+                    if child in plans
+                }:
+                    child_name = grammar.child_element_name(parent, child_tag)
+                    if child_name is not None and child_name in plans:
+                        self.by_parent[(parent, child_tag)] = plans[child_name]
+            root_name = grammar.child_element_name(None, plans[grammar.root].tag)
+            if root_name is not None:
+                self.by_parent[(None, plans[grammar.root].tag)] = plans[root_name]
+        self.root_plan = plans[grammar.root]
+
+    def _plan(self, name: str, production: ElementProduction) -> TagPlan:
+        grammar = self.grammar
+        text_child = grammar.text_child_of(name)
+        text_kept = text_child is not None and text_child in self.projector
+        if self.prune_attributes:
+            prunable = frozenset(
+                attr.name
+                for attr in production.attributes
+                if attribute_name(name, attr.name) not in self.projector
+            )
+        else:
+            prunable = frozenset()
+        return TagPlan(
+            name=name,
+            tag=production.tag,
+            keep=name in self.projector,
+            text_kept=text_kept,
+            prunable=prunable,
+        )
+
+    def resolve(self, parent_name: str | None, tag: str) -> TagPlan | None:
+        """Plan for a ``tag`` element under ``parent_name`` (None = root);
+        None if the grammar declares no such element there."""
+        if self.local:
+            return self.by_tag.get(tag)
+        return self.by_parent.get((parent_name, tag))
+
+
+# Tables are memoised per grammar instance: a multi-query workload reuses
+# one table per distinct projector, and the cache dies with the grammar.
+_TABLES: "weakref.WeakKeyDictionary[Grammar, dict]" = weakref.WeakKeyDictionary()
+
+
+def compile_prune_table(
+    grammar: Grammar,
+    projector: frozenset[str] | set[str],
+    prune_attributes: bool = True,
+) -> PruneTable:
+    """Build (or fetch the memoised) prune table for a projector."""
+    frozen = frozenset(projector)
+    key = (frozen, prune_attributes)
+    per_grammar = _TABLES.setdefault(grammar, {})
+    table = per_grammar.get(key)
+    if table is None:
+        table = PruneTable(grammar, frozen, prune_attributes)
+        per_grammar[key] = table
+    return table

@@ -1,0 +1,94 @@
+"""Query-language detection shared by the CLI and the query engine.
+
+Both front ends accept XPath and XQuery through a single ``--query`` /
+``run()`` entry point and must route each string to the right parser.
+The old heuristic treated any query containing the substring
+``" return "`` as XQuery, which misrouted plain XPath like
+``//listitem[text()=" return me"]`` (the keyword lives inside a string
+literal) or ``//section/ return `` spellings of a *name test* called
+``return``.  The check here is token-aware instead: keywords are only
+recognised outside string literals, at name-token boundaries, and in
+positions where an expression just ended (after a name, a closing
+bracket, or a literal) — exactly where XPath could not put a name test.
+"""
+
+from __future__ import annotations
+
+#: Characters that may appear inside an XML name (pragmatic ASCII set —
+#: matches the scanner's fast path in :mod:`repro.xmltree.lexer`).
+_NAME_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.-:"
+)
+
+#: Keywords that, in expression-end position, can only be FLWOR clauses.
+_CLAUSE_KEYWORDS = ("return", "where", "order by", "group by")
+
+#: Leading tokens that unambiguously start an XQuery main module.
+_XQUERY_PREFIXES = (
+    "for $",
+    "let $",
+    "some $",
+    "every $",
+    "if (",
+    "if(",
+    "<",
+    "declare ",
+    "xquery ",
+    "element ",
+)
+
+
+def looks_like_xquery(query: str) -> bool:
+    """Heuristically classify a query string as XQuery (vs XPath)."""
+    stripped = query.lstrip()
+    if stripped.startswith(_XQUERY_PREFIXES):
+        return True
+    return _has_clause_keyword(query)
+
+
+def _has_clause_keyword(query: str) -> bool:
+    """Is a FLWOR clause keyword present outside string literals, at a
+    position where XPath could not parse it as a name test?"""
+    length = len(query)
+    index = 0
+    while index < length:
+        char = query[index]
+        if char == '"' or char == "'":
+            closing = query.find(char, index + 1)
+            if closing == -1:
+                return False  # unterminated literal: nothing more to see
+            index = closing + 1
+            continue
+        for keyword in _CLAUSE_KEYWORDS:
+            if query.startswith(keyword, index) and _is_clause_at(
+                query, index, len(keyword)
+            ):
+                return True
+        index += 1
+    return False
+
+
+def _is_clause_at(query: str, index: int, keyword_length: int) -> bool:
+    # Must be a whole token: not glued to name characters on either side
+    # (`//well-return`, `$returned`).
+    if index > 0 and query[index - 1] in _NAME_CHARS:
+        return False
+    end = index + keyword_length
+    if end < len(query) and query[end] in _NAME_CHARS:
+        return False
+    # What ended just before decides the reading.  After `/`, `@`, `::`
+    # or `$` the token is a name test / variable name (`//return`,
+    # `@where`, `child::return`, `$return`); after a name, a closing
+    # bracket, a literal, or `.` it can only be a clause keyword
+    # (`$b/title return ...`, `a[1] where ...`).
+    position = index - 1
+    while position >= 0 and query[position] in " \t\r\n":
+        position -= 1
+    if position < 0:
+        # A leading clause keyword is not a complete query in either
+        # language; leave classification to the prefix checks.
+        return False
+    previous = query[position]
+    if previous in "/@:$":
+        return False
+    return previous in _NAME_CHARS or previous in ")]\"'"

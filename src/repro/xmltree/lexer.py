@@ -228,6 +228,163 @@ class Scanner:
             if len(self._buffer) - self._position == 0 and self._eof:
                 return "".join(pieces)
 
+    def skip_until(self, delimiter: str, context: str = "") -> None:
+        """:meth:`read_until` without materialising the skipped text — the
+        bulk path used when pruning discards a region wholesale."""
+        while True:
+            index = self._buffer.find(delimiter, self._position)
+            if index != -1:
+                self._count_newlines(self._buffer[self._position : index] + delimiter)
+                self._position = index + len(delimiter)
+                self._compact()
+                return
+            if self._eof:
+                where = f" in {context}" if context else ""
+                raise self.error(f"unexpected end of input looking for {delimiter!r}{where}")
+            # Keep a delimiter-sized tail in case it straddles a chunk edge.
+            keep = len(delimiter) - 1
+            cut = max(self._position, len(self._buffer) - keep)
+            text = self._buffer[self._position : cut]
+            if text:
+                self._count_newlines(text)
+                self._position = cut
+            before = len(self._buffer)
+            self._fill(len(self._buffer) - self._position + self._chunk_size)
+            self._compact()
+            if len(self._buffer) == before and self._eof:
+                where = f" in {context}" if context else ""
+                raise self.error(f"unexpected end of input looking for {delimiter!r}{where}")
+
+    def skip_until_any(self, delimiters: str) -> bool:
+        """:meth:`read_until_any` without materialising the skipped text;
+        returns whether any characters were consumed.  Stops at end of
+        input."""
+        skipped = False
+        while True:
+            best = -1
+            for delimiter in delimiters:
+                index = self._buffer.find(delimiter, self._position)
+                if index != -1 and (best == -1 or index < best):
+                    best = index
+            if best != -1:
+                if best > self._position:
+                    self._count_newlines(self._buffer[self._position : best])
+                    self._position = best
+                    skipped = True
+                self._compact()
+                return skipped
+            if len(self._buffer) > self._position:
+                self._count_newlines(self._buffer[self._position :])
+                self._position = len(self._buffer)
+                skipped = True
+            if self._eof:
+                return skipped
+            before = len(self._buffer)
+            self._fill(self._chunk_size)
+            self._compact()
+            if len(self._buffer) - self._position == 0 and self._eof:
+                return skipped
+
+    def skip_text_open(self) -> tuple[bool, bool, str]:
+        """Bulk helper for the fused pruner's skip loop: consume one
+        character-data stretch up to the next ``<`` or ``&``.  Returns
+        ``(saw_text, opened, char)`` — *opened* means a ``<`` was
+        consumed and *char* is the (unconsumed) character after it;
+        otherwise *char* is ``'&'`` (stopped at an entity reference, not
+        consumed) or ``''`` (end of input)."""
+        skipped = False
+        while True:
+            buffer = self._buffer
+            position = self._position
+            lt = buffer.find("<", position)
+            amp = buffer.find("&", position)
+            if amp != -1 and (lt == -1 or amp < lt):
+                if amp > position:
+                    self._count_newlines(buffer[position:amp])
+                    self._position = amp
+                    skipped = True
+                    self._compact()
+                return skipped, False, "&"
+            if lt != -1:
+                if lt > position:
+                    self._count_newlines(buffer[position:lt])
+                    skipped = True
+                self._position = lt + 1
+                self._fill(1)
+                self._compact()
+                buffer = self._buffer
+                if self._position < len(buffer):
+                    return skipped, True, buffer[self._position]
+                return skipped, True, ""
+            if len(buffer) > position:
+                self._count_newlines(buffer[position:])
+                self._position = len(buffer)
+                skipped = True
+            if self._eof:
+                return skipped, False, ""
+            self._fill(self._chunk_size)
+            self._compact()
+            if len(self._buffer) - self._position == 0 and self._eof:
+                return skipped, False, ""
+
+    def read_tag_content(self, context: str = "tag") -> str:
+        """Consume up to and including the next *unquoted* ``>``,
+        returning the text before it.  ``>`` inside a quoted attribute
+        value does not terminate the tag.  Bulk operation — the fused
+        pruner reads whole tags this way instead of char-by-char."""
+        pieces: list[str] = []
+        quote = ""
+        while True:
+            buffer = self._buffer
+            position = self._position
+            if quote:
+                index = buffer.find(quote, position)
+                if index != -1:
+                    text = buffer[position : index + 1]
+                    self._count_newlines(text)
+                    self._position = index + 1
+                    pieces.append(text)
+                    quote = ""
+                    continue
+            else:
+                gt = buffer.find(">", position)
+                if gt != -1:
+                    # Quote searches are bounded by the tag end.
+                    dq = buffer.find('"', position, gt)
+                    sq = buffer.find("'", position, gt)
+                else:
+                    dq = buffer.find('"', position)
+                    sq = buffer.find("'", position)
+                nearest_quote = dq if sq == -1 else sq if dq == -1 else min(dq, sq)
+                if nearest_quote != -1:
+                    text = buffer[position : nearest_quote + 1]
+                    self._count_newlines(text)
+                    self._position = nearest_quote + 1
+                    pieces.append(text)
+                    quote = buffer[nearest_quote]
+                    continue
+                if gt != -1:
+                    text = buffer[position:gt]
+                    self._count_newlines(text)
+                    self._position = gt + 1
+                    self._compact()
+                    pieces.append(text)
+                    return "".join(pieces)
+            text = buffer[position:]
+            if text:
+                self._count_newlines(text)
+                pieces.append(text)
+                self._position = len(buffer)
+            if self._eof:
+                where = f" in {context}" if context else ""
+                raise self.error(f"unexpected end of input looking for '>'{where}")
+            before = len(self._buffer)
+            self._fill(self._chunk_size)
+            self._compact()
+            if len(self._buffer) == before and self._eof:
+                where = f" in {context}" if context else ""
+                raise self.error(f"unexpected end of input looking for '>'{where}")
+
     def read_while(self, predicate) -> str:
         """Consume the longest prefix whose characters satisfy ``predicate``."""
         pieces: list[str] = []

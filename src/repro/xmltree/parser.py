@@ -60,6 +60,11 @@ def expand_entities(raw: str, scanner: Scanner | None = None) -> str:
         position = semi + 1
 
 
+def expand_entity(name: str, scanner: Scanner | None = None) -> str:
+    """Expand one entity/character reference name (without ``&``/``;``)."""
+    return _expand_one(name, scanner)
+
+
 def _expand_one(name: str, scanner: Scanner | None) -> str:
     if name.startswith("#x") or name.startswith("#X"):
         try:
@@ -89,8 +94,8 @@ class EventParser:
     Use via the module-level :func:`parse_events` in most cases.
     """
 
-    def __init__(self, source: Source, chunk_size: int = 1 << 16) -> None:
-        self._scanner = Scanner(source, chunk_size)
+    def __init__(self, source: "Source | Scanner", chunk_size: int = 1 << 16) -> None:
+        self._scanner = source if isinstance(source, Scanner) else Scanner(source, chunk_size)
         self._open_tags: list[str] = []
         self._seen_root = False
 

@@ -118,11 +118,32 @@ def event_markup(events: Iterable[Event]) -> Iterator[str]:
         yield _start_tag(pending.tag, pending.attributes, empty=False)
 
 
-def write_events(events: Iterable[Event], sink: IO[str], declaration: bool = True) -> int:
-    """Stream an event sequence to a text sink; returns characters written."""
+#: Flush threshold for buffered event writing: many small fragments are
+#: joined into one string before hitting the sink, so the per-write cost
+#: of text-mode file objects is paid once per ~64 KiB, not once per tag.
+WRITE_BUFFER_SIZE = 1 << 16
+
+
+def write_events(
+    events: Iterable[Event],
+    sink: IO[str],
+    declaration: bool = True,
+    buffer_size: int = WRITE_BUFFER_SIZE,
+) -> int:
+    """Stream an event sequence to a text sink (buffered); returns
+    characters written."""
     written = 0
     if declaration:
         written += sink.write('<?xml version="1.0" encoding="UTF-8"?>\n')
+    buffered: list[str] = []
+    buffered_length = 0
     for piece in event_markup(events):
-        written += sink.write(piece)
+        buffered.append(piece)
+        buffered_length += len(piece)
+        if buffered_length >= buffer_size:
+            written += sink.write("".join(buffered))
+            buffered.clear()
+            buffered_length = 0
+    if buffered:
+        written += sink.write("".join(buffered))
     return written

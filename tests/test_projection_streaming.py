@@ -87,6 +87,18 @@ class TestStreamingBehaviour:
         pruned, _ = prune_string(xml, book_grammar, frozenset({"bib"}))
         assert "<!--note-->" in pruned and "<?pi data?>" in pruned
 
+    @pytest.mark.parametrize("fast", [True, False])
+    def test_misc_inside_pruned_subtree_is_dropped(self, book_grammar, fast):
+        # Regression: comments/PIs inside a discarded subtree used to leak
+        # through (the skip-depth guard only covered element and text
+        # events), detaching them from their dropped context.
+        xml = ("<bib><book><title>t<!--inner--></title>"
+               "<author>a<?proc data?></author></book>"
+               "<!--kept: bib level--></bib>")
+        pruned, _ = prune_string(xml, book_grammar, frozenset({"bib"}), fast=fast)
+        assert "inner" not in pruned and "proc" not in pruned
+        assert "<!--kept: bib level-->" in pruned
+
     def test_stats_populated(self, book_grammar):
         projector = book_grammar.projector_closure(["title", text_name("title")])
         _, stats = prune_string(BOOK_XML, book_grammar, projector)
@@ -119,6 +131,76 @@ class TestStreamingBehaviour:
         list(pruner.process(parse_events(BOOK_XML)))
         assert pruner._open_names == []
         assert pruner._skip_depth == 0
+
+
+class TestByteAccounting:
+    @pytest.mark.parametrize("fast", [True, False])
+    def test_prune_string_counts_utf8_bytes(self, book_grammar, fast):
+        # Regression: bytes_in was len(text) — *code points* — while
+        # prune_file reports os.path.getsize — UTF-8 *bytes* — skewing
+        # size ratios on non-ASCII documents.
+        xml = "<bib><book><title>Ærøskøbing — ☃</title><author>ø</author></book></bib>"
+        _, stats = prune_string(xml, book_grammar, frozenset({"bib"}), fast=fast)
+        assert stats.bytes_in == len(xml.encode("utf-8"))
+        assert stats.bytes_in > len(xml)
+
+    def test_prune_string_matches_prune_file_accounting(self, book_grammar, tmp_path):
+        from repro.projection.streaming import prune_file
+
+        xml = "<bib><book><title>naïve ☃</title><author>a</author></book></bib>"
+        source = tmp_path / "in.xml"
+        source.write_text(xml, encoding="utf-8")
+        file_stats = prune_file(
+            str(source), str(tmp_path / "out.xml"), book_grammar, frozenset({"bib"})
+        )
+        _, string_stats = prune_string(xml, book_grammar, frozenset({"bib"}))
+        assert string_stats.bytes_in == file_stats.bytes_in
+
+
+class TestPruneFileCleanup:
+    @pytest.mark.parametrize("fast", [True, False])
+    def test_partial_output_removed_on_parse_error(self, book_grammar, tmp_path, fast):
+        # Regression: a mid-stream parse failure used to leave a truncated
+        # half-pruned document behind, indistinguishable from a good run.
+        from repro.projection.streaming import prune_file
+        from repro.errors import XMLSyntaxError
+
+        source = tmp_path / "bad.xml"
+        # Large valid prefix (forces buffered output to be flushed to
+        # disk before the error), then a mismatched closing tag.
+        books = "".join(
+            f"<book><title>t{i}</title><author>a</author></book>" for i in range(3000)
+        )
+        source.write_text(f"<bib>{books}<book><title>x</author></book></bib>")
+        output = tmp_path / "out.xml"
+        with pytest.raises(XMLSyntaxError):
+            prune_file(str(source), str(output), book_grammar,
+                       book_grammar.projector_closure(["title", text_name("title")]),
+                       fast=fast)
+        assert not output.exists()
+
+    def test_validation_failure_also_cleans_up(self, book_grammar, tmp_path):
+        from repro.projection.streaming import prune_file
+
+        source = tmp_path / "invalid.xml"
+        source.write_text("<bib><book><author>a</author><title>t</title></book></bib>")
+        output = tmp_path / "out.xml"
+        with pytest.raises(ValidationError):
+            prune_file(str(source), str(output), book_grammar, frozenset({"bib"}),
+                       validate=True)
+        assert not output.exists()
+
+    def test_missing_input_preserves_existing_output(self, book_grammar, tmp_path):
+        # Opening the input fails *before* the output is touched — a
+        # pre-existing file at the output path must survive.
+        from repro.projection.streaming import prune_file
+
+        output = tmp_path / "precious.xml"
+        output.write_text("<bib/>")
+        with pytest.raises(FileNotFoundError):
+            prune_file(str(tmp_path / "nope.xml"), str(output), book_grammar,
+                       frozenset({"bib"}))
+        assert output.read_text() == "<bib/>"
 
 
 class TestEventRoundTrip:

@@ -1,0 +1,150 @@
+"""Projector cache: fingerprint stability, hit/miss accounting, LRU
+eviction, workload unions, and soundness of cached projectors."""
+
+import pytest
+
+from repro.core.cache import (
+    CacheStats,
+    ProjectorCache,
+    default_cache,
+    grammar_fingerprint,
+)
+from repro.core.pipeline import analyze, analyze_xquery
+from repro.dtd.grammar import grammar_from_text
+from tests.conftest import BOOK_DTD
+
+
+@pytest.fixture()
+def cache():
+    return ProjectorCache(max_entries=8)
+
+
+class TestFingerprint:
+    def test_equal_for_equal_dtds(self, book_grammar):
+        reparsed = grammar_from_text(BOOK_DTD, "bib")
+        assert reparsed is not book_grammar
+        assert grammar_fingerprint(reparsed) == grammar_fingerprint(book_grammar)
+
+    def test_differs_across_grammars(self, book_grammar, xmark):
+        assert grammar_fingerprint(book_grammar) != grammar_fingerprint(xmark[0])
+
+    def test_sensitive_to_content_models(self):
+        dtd = "<!ELEMENT a (b*)><!ELEMENT b (#PCDATA)>"
+        assert grammar_fingerprint(grammar_from_text(dtd, "a")) != grammar_fingerprint(
+            grammar_from_text("<!ELEMENT a (b*)><!ELEMENT b EMPTY>", "a")
+        )
+
+    def test_memoized_per_instance(self, book_grammar):
+        assert grammar_fingerprint(book_grammar) is grammar_fingerprint(book_grammar)
+
+
+class TestCacheBehaviour:
+    def test_repeated_query_hits(self, cache, book_grammar):
+        first = cache.projector_for_query(book_grammar, "//book/title")
+        second = cache.projector_for_query(book_grammar, "//book/title")
+        assert first == second
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+
+    def test_hits_across_grammar_instances(self, cache, book_grammar):
+        cache.projector_for_query(book_grammar, "//book/title")
+        reparsed = grammar_from_text(BOOK_DTD, "bib")
+        cache.projector_for_query(reparsed, "//book/title")
+        assert cache.stats.hits == 1
+
+    def test_whitespace_normalization_shares_entries(self, cache, book_grammar):
+        cache.projector_for_query(book_grammar, "//book/title")
+        cache.projector_for_query(book_grammar, "  //book/title \n")
+        assert cache.stats.hits == 1
+
+    def test_literals_suppress_normalization(self, cache, book_grammar):
+        cache.projector_for_query(book_grammar, '//book[title=" a  b "]')
+        cache.projector_for_query(book_grammar, '//book[title=" a b "]')
+        assert cache.stats.hits == 0 and cache.stats.misses == 2
+
+    def test_materialization_flag_keyed(self, cache, book_grammar):
+        materialized = cache.projector_for_query(book_grammar, "//book", materialize=True)
+        bare = cache.projector_for_query(book_grammar, "//book", materialize=False)
+        assert cache.stats.misses == 2
+        assert bare <= materialized
+
+    def test_matches_uncached_analysis(self, cache, book_grammar):
+        for query in ("//book/title", "//book[author='Dante']", "/bib//price"):
+            assert cache.projector_for_query(book_grammar, query) == analyze(
+                book_grammar, [query]
+            ).projector
+
+    def test_xquery_routed_and_cached(self, cache, book_grammar):
+        query = "for $b in /bib/book return $b/author"
+        cached = cache.projector_for_query(book_grammar, query)
+        assert cached == analyze_xquery(book_grammar, [query]).projector
+        cache.projector_for_query(book_grammar, query)
+        assert cache.stats.hits == 1
+
+    def test_lru_eviction(self, book_grammar):
+        small = ProjectorCache(max_entries=2)
+        small.projector_for_query(book_grammar, "//book/title")
+        small.projector_for_query(book_grammar, "//book/author")
+        small.projector_for_query(book_grammar, "//book/price")  # evicts title
+        assert small.stats.evictions == 1 and len(small) == 2
+        small.projector_for_query(book_grammar, "//book/title")  # miss again
+        assert small.stats.hits == 0 and small.stats.misses == 4
+
+    def test_clear(self, cache, book_grammar):
+        cache.projector_for_query(book_grammar, "//book/title")
+        cache.clear()
+        assert len(cache) == 0 and cache.stats.lookups == 0
+
+
+class TestWorkloads:
+    QUERIES = ["//book/title", "//book/author", "for $b in /bib/book return $b/price"]
+
+    def test_union_covers_every_query(self, cache, book_grammar):
+        result = cache.analyze(book_grammar, self.QUERIES)
+        for per_query in result.per_query:
+            assert per_query <= result.projector
+        book_grammar.check_projector(result.projector)
+
+    def test_repeated_workload_is_all_hits(self, cache, book_grammar):
+        cache.analyze(book_grammar, self.QUERIES)
+        assert cache.stats.hits == 0
+        cache.analyze(book_grammar, self.QUERIES)
+        assert cache.stats.hits == len(self.QUERIES)
+        assert cache.stats.hit_rate == 0.5
+
+    def test_single_string_accepted(self, cache, book_grammar):
+        result = cache.analyze(book_grammar, "//book/title")
+        assert result.projector == analyze(book_grammar, ["//book/title"]).projector
+
+    def test_workload_union_matches_pipeline(self, cache, book_grammar):
+        xpath_only = ["//book/title", "//book/author"]
+        assert cache.analyze(book_grammar, xpath_only).projector == analyze(
+            book_grammar, xpath_only
+        ).projector
+
+
+class TestStats:
+    def test_hit_rate_empty(self):
+        assert CacheStats().hit_rate == 0.0
+
+    def test_as_dict(self):
+        stats = CacheStats(hits=3, misses=1)
+        snapshot = stats.as_dict()
+        assert snapshot["hits"] == 3 and snapshot["hit_rate"] == 0.75
+
+
+class TestDefaultCache:
+    def test_shared_instance(self):
+        assert default_cache() is default_cache()
+
+    def test_loader_uses_default_cache(self, book_grammar):
+        import io
+
+        from repro.engine.loader import load_for_queries
+        from tests.conftest import BOOK_XML
+
+        default_cache().clear()
+        load_for_queries(io.StringIO(BOOK_XML), book_grammar, ["//book/title"])
+        before = default_cache().stats.hits
+        report = load_for_queries(io.StringIO(BOOK_XML), book_grammar, ["//book/title"])
+        assert default_cache().stats.hits == before + 1
+        assert {n.tag for n in report.document.elements()} == {"bib", "book", "title"}
