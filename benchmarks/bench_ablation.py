@@ -23,7 +23,7 @@ Emits ``benchmarks/results/ablation.txt``.
 from __future__ import annotations
 
 from benchmarks.conftest import BENCH_FACTOR, write_report
-from repro.core.pipeline import analyze_query, analyze_xquery
+from repro.core.pipeline import analyze
 from repro.dtd.grammar import grammar_from_text
 from repro.dtd.validator import validate
 from repro.projection.tree import prune_document
@@ -72,7 +72,7 @@ def test_ablation_report(benchmark):
             sizes = []
             for grammar in (with_heuristic, without_heuristic):
                 interpretation = validate(document, grammar)
-                projector = analyze_query(grammar, query)
+                projector = analyze(grammar, query).projector
                 pruned = prune_document(document, interpretation, projector)
                 original = XPathEvaluator(document).select_ids(query)
                 assert original == XPathEvaluator(pruned).select_ids(query), label
@@ -85,7 +85,7 @@ def test_ablation_report(benchmark):
         interpretation = validate(document, grammar)
         rows = []
         for flag in (True, False):
-            result = analyze_xquery(grammar, REWRITE_QUERY, rewrite=flag)
+            result = analyze(grammar, REWRITE_QUERY, language="xquery", rewrite=flag)
             pruned = prune_document(document, interpretation, result.projector)
             reference = XQueryEvaluator(document).evaluate_serialized(REWRITE_QUERY)
             assert reference == XQueryEvaluator(pruned).evaluate_serialized(REWRITE_QUERY)
@@ -97,7 +97,7 @@ def test_ablation_report(benchmark):
         for label, query in MATERIALIZE_QUERIES.items():
             sizes = []
             for materialize in (True, False):
-                projector = analyze_query(grammar, query, materialize=materialize)
+                projector = analyze(grammar, query, materialize=materialize).projector
                 pruned = prune_document(document, interpretation, projector)
                 original = XPathEvaluator(document).select_ids(query)
                 assert original == XPathEvaluator(pruned).select_ids(query), label
@@ -114,10 +114,10 @@ def test_ablation_report(benchmark):
         for label, query in DEPTH_QUERIES.items():
             with_depth = prune_document(
                 document, unfolded_interpretation,
-                analyze_query(unfolded, query),
+                analyze(unfolded, query).projector,
             )
             without_depth = prune_document(
-                document, interpretation, analyze_query(grammar, query)
+                document, interpretation, analyze(grammar, query).projector
             )
             original = XPathEvaluator(document).select_ids(query)
             assert original == XPathEvaluator(with_depth).select_ids(query), label

@@ -19,7 +19,7 @@ import pytest
 
 from benchmarks.conftest import write_report
 from repro.baselines.marian_simeon import baseline_paths_for_query, prune_with_baseline
-from repro.core.pipeline import analyze_xquery
+from repro.core.pipeline import analyze
 from repro.projection.tree import prune_document
 from repro.workloads.xmark import XMARK_QUERIES
 
@@ -49,7 +49,7 @@ def test_baseline_pruning_time(benchmark, bench_xmark, name):
 @pytest.mark.parametrize("name", sorted(CASES))
 def test_typebased_pruning_time(benchmark, bench_xmark, name):
     grammar, document, interpretation = bench_xmark
-    projector = analyze_xquery(grammar, CASES[name]).projector
+    projector = analyze(grammar, CASES[name], language="xquery").projector
     benchmark.group = "baseline:prune-time"
     benchmark.name = f"type-based[{name}]"
     benchmark.pedantic(
@@ -66,7 +66,7 @@ def test_baseline_report(benchmark, bench_xmark):
         rows = []
         for name, query in CASES.items():
             started = time.perf_counter()
-            projector = analyze_xquery(grammar, query).projector
+            projector = analyze(grammar, query, language="xquery").projector
             ours = prune_document(document, interpretation, projector)
             ours_seconds = time.perf_counter() - started
 

@@ -3,7 +3,7 @@ projector cache under a repeated-query workload.
 
 Standalone script (not pytest-benchmark — CI runs it directly)::
 
-    PYTHONPATH=src python benchmarks/bench_hotpath.py [--quick]
+    PYTHONPATH=src python benchmarks/bench_hotpath.py [--quick] [--smoke]
         [--factor F] [--repeats N] [--output PATH]
 
 Measures, on an XMark document:
@@ -12,9 +12,14 @@ Measures, on an XMark document:
   (byte-identical output is *asserted*, not assumed);
 * the throughput ratio (the PR's target: >= 1.5x on selective
   projectors);
-* projector-cache hit rates for a workload that repeats each query.
+* projector-cache hit rates for a workload that repeats each query;
+* with ``--smoke``: tracing-disabled vs raw-pruner and tracing-enabled
+  prune times — the :mod:`repro.obs` no-op default must stay within
+  ``--max-obs-overhead`` (default 5%) of the uninstrumented hot loop.
 
-Writes machine-readable ``benchmarks/results/BENCH_hotpath.json``.
+Writes machine-readable ``benchmarks/results/BENCH_hotpath.json`` and a
+JSONL gauge stream (the :class:`repro.obs.JsonlSink` record format) next
+to it in ``BENCH_hotpath.jsonl``.
 """
 
 from __future__ import annotations
@@ -45,20 +50,73 @@ def _median(samples: list[float]) -> float:
 
 
 def _time_prune(xml: str, grammar, projector, fast: bool, repeats: int):
-    from repro.projection.streaming import prune_stream
+    from repro.api import prune
 
     samples = []
     output = None
     for _ in range(repeats):
         sink = io.StringIO()
         started = time.perf_counter()
-        prune_stream(io.StringIO(xml), sink, grammar, projector, fast=fast)
+        prune(io.StringIO(xml), grammar, projector, out=sink, fast=fast)
         samples.append(time.perf_counter() - started)
         output = sink.getvalue()
     return _median(samples), output
 
 
-def run(factor: float, repeats: int, output_path: str, min_speedup: float) -> dict:
+def _obs_overhead(xml: str, grammar, projector, repeats: int) -> dict:
+    """Time the fused prune three ways: raw ``FastPruner.write`` (no
+    facade, no spans), the facade with tracing disabled (the default), and
+    the facade with a live JSONL tracer.  The disabled-vs-raw delta is the
+    cost of the instrumentation itself and must stay within a few percent.
+    """
+    from repro import obs
+    from repro.api import prune
+    from repro.projection.fastpath import FastPruner
+    from repro.projection.stats import PruneStats
+
+    def one_raw():
+        sink = io.StringIO()
+        started = time.perf_counter()
+        FastPruner(grammar, frozenset(projector), stats=PruneStats()).write(
+            io.StringIO(xml), sink
+        )
+        return time.perf_counter() - started
+
+    def one_facade():
+        sink = io.StringIO()
+        started = time.perf_counter()
+        prune(io.StringIO(xml), grammar, projector, out=sink)
+        return time.perf_counter() - started
+
+    # Warm both variants, then interleave samples so clock drift and cache
+    # effects hit raw and facade equally; minimum cancels scheduler noise.
+    one_raw(), one_facade()
+    raw_samples, disabled_samples = [], []
+    for _ in range(max(repeats, 5)):
+        raw_samples.append(one_raw())
+        disabled_samples.append(one_facade())
+    raw_seconds = min(raw_samples)
+    disabled_seconds = min(disabled_samples)
+    obs.configure(obs.JsonlSink(io.StringIO()))
+    try:
+        enabled_seconds = min(one_facade() for _ in range(max(repeats, 5)))
+    finally:
+        obs.disable()
+    overhead = (disabled_seconds / raw_seconds - 1.0) * 100 if raw_seconds else 0.0
+    enabled_overhead = (
+        (enabled_seconds / raw_seconds - 1.0) * 100 if raw_seconds else 0.0
+    )
+    return {
+        "raw_seconds": round(raw_seconds, 6),
+        "disabled_seconds": round(disabled_seconds, 6),
+        "enabled_seconds": round(enabled_seconds, 6),
+        "disabled_overhead_percent": round(overhead, 2),
+        "enabled_overhead_percent": round(enabled_overhead, 2),
+    }
+
+
+def run(factor: float, repeats: int, output_path: str, min_speedup: float,
+        smoke: bool = False, max_obs_overhead: float = 5.0) -> dict:
     from repro.core.cache import ProjectorCache
     from repro.workloads.xmark import generate_document, xmark_grammar
     from repro.xmltree.serializer import serialize
@@ -101,6 +159,17 @@ def run(factor: float, repeats: int, output_path: str, min_speedup: float) -> di
     cache.analyze(grammar, workload)
     workload_hits = cache.stats.hits - hits_before
 
+    obs_overhead = None
+    if smoke:
+        smoke_query = DEFAULT_QUERIES["QP3-person-name"]
+        smoke_projector = cache.projector_for_query(grammar, smoke_query)
+        obs_overhead = _obs_overhead(xml, grammar, smoke_projector, repeats)
+        print(f"  obs overhead: raw {obs_overhead['raw_seconds'] * 1000:.1f} ms, "
+              f"disabled {obs_overhead['disabled_seconds'] * 1000:.1f} ms "
+              f"({obs_overhead['disabled_overhead_percent']:+.1f}%), "
+              f"enabled {obs_overhead['enabled_seconds'] * 1000:.1f} ms "
+              f"({obs_overhead['enabled_overhead_percent']:+.1f}%)", flush=True)
+
     best = max(ratios)
     report = {
         "benchmark": "hotpath",
@@ -117,17 +186,28 @@ def run(factor: float, repeats: int, output_path: str, min_speedup: float) -> di
             "repeat_round_expected": len(workload),
         },
     }
+    if obs_overhead is not None:
+        report["obs_overhead"] = obs_overhead
 
     os.makedirs(os.path.dirname(output_path), exist_ok=True)
     with open(output_path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
+    _write_gauges(report, os.path.splitext(output_path)[0] + ".jsonl")
     print(f"\nbest speedup {best:.2f}x, median {report['median_speedup']:.2f}x "
           f"(target >= {min_speedup}x); cache repeat-round hits "
           f"{workload_hits}/{len(workload)}")
     print(f"wrote {output_path}")
 
     failures = []
+    if obs_overhead is not None and (
+        obs_overhead["disabled_overhead_percent"] > max_obs_overhead
+    ):
+        failures.append(
+            f"tracing-disabled prune overhead "
+            f"{obs_overhead['disabled_overhead_percent']:.1f}% exceeds "
+            f"{max_obs_overhead:.1f}%"
+        )
     if best < min_speedup:
         failures.append(
             f"fast path best speedup {best:.2f}x is below the {min_speedup}x target"
@@ -140,6 +220,30 @@ def run(factor: float, repeats: int, output_path: str, min_speedup: float) -> di
     return report
 
 
+def _write_gauges(report: dict, path: str) -> None:
+    """Re-emit the headline numbers as obs gauge records so traces and
+    benchmark results share one format."""
+    from repro import obs
+
+    sink = obs.JsonlSink(path)
+    try:
+        flat = {
+            "bench.hotpath.document_megabytes": report["document_megabytes"],
+            "bench.hotpath.best_speedup": report["best_speedup"],
+            "bench.hotpath.median_speedup": report["median_speedup"],
+            "bench.hotpath.cache_repeat_hits": report["cache"]["repeat_round_hits"],
+        }
+        for query in report["queries"]:
+            flat[f"bench.hotpath.{query['name']}.fast_seconds"] = query["fast_path_seconds"]
+            flat[f"bench.hotpath.{query['name']}.event_seconds"] = query["event_pipeline_seconds"]
+        for key, value in report.get("obs_overhead", {}).items():
+            flat[f"bench.hotpath.obs.{key}"] = value
+        for name, value in flat.items():
+            sink.record({"type": "gauge", "name": name, "value": value})
+    finally:
+        sink.close()
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--factor", type=float, default=None,
@@ -148,15 +252,21 @@ def main(argv: list[str] | None = None) -> int:
                         help="timing repetitions per configuration (median is reported)")
     parser.add_argument("--quick", action="store_true",
                         help="small document + fewer repeats (CI smoke mode)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="--quick plus the tracing-overhead gate")
+    parser.add_argument("--max-obs-overhead", type=float, default=5.0,
+                        help="fail if the tracing-disabled prune overhead exceeds this percent")
     parser.add_argument("--min-speedup", type=float, default=1.5,
                         help="fail if the best fast-path speedup is below this")
     parser.add_argument("--output", default=os.path.join(
         os.path.dirname(__file__), "results", "BENCH_hotpath.json"))
     args = parser.parse_args(argv)
 
-    factor = args.factor if args.factor is not None else (0.004 if args.quick else 0.02)
-    repeats = args.repeats if args.repeats is not None else (3 if args.quick else 5)
-    report = run(factor, repeats, args.output, args.min_speedup)
+    quick = args.quick or args.smoke
+    factor = args.factor if args.factor is not None else (0.004 if quick else 0.02)
+    repeats = args.repeats if args.repeats is not None else (3 if quick else 5)
+    report = run(factor, repeats, args.output, args.min_speedup,
+                 smoke=args.smoke, max_obs_overhead=args.max_obs_overhead)
     for failure in report["failures"]:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if report["failures"] else 0

@@ -19,8 +19,8 @@ import tracemalloc
 import pytest
 
 from benchmarks.conftest import write_report
-from repro.core.pipeline import analyze, analyze_xquery
-from repro.projection.streaming import prune_stream
+from repro.api import prune
+from repro.core.pipeline import analyze
 from repro.workloads.xmark import XMARK_QUERIES, generate_document, xmark_grammar
 from repro.xmltree.serializer import serialize
 
@@ -39,7 +39,7 @@ def test_projector_inference_is_fast(benchmark):
     grammar = xmark_grammar()
     queries = [XMARK_QUERIES[name] for name in ("QM01", "QM06", "QM07", "QM14", "QM20")]
     benchmark.group = "overhead:analysis"
-    result = benchmark(lambda: analyze_xquery(grammar, queries))
+    result = benchmark(lambda: analyze(grammar, queries, language="xquery"))
     assert result.analysis_seconds < 0.5
 
 
@@ -66,12 +66,12 @@ def test_pruning_scales_linearly(benchmark, projector, factor):
     benchmark.group = "overhead:pruning"
     benchmark.extra_info["megabytes"] = len(text) / 1e6
 
-    def prune():
+    def run_prune():
         sink = io.StringIO()
-        prune_stream(io.StringIO(text), sink, grammar, names)
+        prune(io.StringIO(text), grammar, names, out=sink)
         return sink
 
-    benchmark.pedantic(prune, rounds=3, iterations=1)
+    benchmark.pedantic(run_prune, rounds=3, iterations=1)
 
 
 def test_overhead_report(benchmark, projector, tmp_path):
@@ -87,14 +87,14 @@ def test_overhead_report(benchmark, projector, tmp_path):
             # Timing pass (tracemalloc off: it distorts time ~20x).
             started = time.perf_counter()
             with open(source_path, "r", encoding="utf-8") as source:
-                prune_stream(source, io.StringIO(), grammar, names)
+                prune(source, grammar, names, out=io.StringIO())
             elapsed = time.perf_counter() - started
 
             # Memory pass (true file streaming; only pipeline allocations
             # are traced).
             tracemalloc.start()
             with open(source_path, "r", encoding="utf-8") as source:
-                prune_stream(source, io.StringIO(), grammar, names)
+                prune(source, grammar, names, out=io.StringIO())
             _, peak = tracemalloc.get_traced_memory()
             tracemalloc.stop()
             rows.append((len(text) / 1e6, elapsed, peak / 1e6))

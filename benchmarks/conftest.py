@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import pytest
 
-from repro.core.pipeline import analyze, analyze_xquery
+from repro.core.pipeline import analyze
 from repro.dtd.validator import validate
 from repro.engine.executor import QueryEngine
 from repro.projection.stats import compare_documents
@@ -63,7 +63,7 @@ def prepared_queries(bench_xmark) -> dict[str, PreparedQuery]:
     prepared: dict[str, PreparedQuery] = {}
     for name, query in TABLE1_SELECTION.items():
         if is_xquery(name):
-            result = analyze_xquery(grammar, query)
+            result = analyze(grammar, query, language="xquery")
         else:
             result = analyze(grammar, [query])
         pruned = prune_document(document, interpretation, result.projector)

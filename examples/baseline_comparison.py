@@ -14,7 +14,7 @@ Run:  python examples/baseline_comparison.py
 
 import time
 
-from repro import XQueryEvaluator, analyze_xquery, prune_document, validate
+from repro import XQueryEvaluator, analyze, prune_document, validate
 from repro.baselines import baseline_paths_for_query, prune_with_baseline
 from repro.workloads.xmark import generate_document, xmark_grammar, xmark_query
 
@@ -38,7 +38,7 @@ def main() -> None:
     print("-" * len(header))
     for label, query in CASES.items():
         started = time.perf_counter()
-        result = analyze_xquery(grammar, query)
+        result = analyze(grammar, query, language="xquery")
         ours = prune_document(document, interpretation, result.projector)
         ours_seconds = time.perf_counter() - started
 

@@ -9,7 +9,7 @@ verifies every query still answers identically.
 Run:  python examples/multi_query_workload.py
 """
 
-from repro import XQueryEvaluator, analyze_xquery, prune_document, validate
+from repro import XQueryEvaluator, analyze, prune_document, validate
 from repro.workloads.xmark import generate_document, xmark_grammar, xmark_query
 
 WORKLOAD = ["QM01", "QM05", "QM06", "QM17", "QM20"]
@@ -22,7 +22,7 @@ def main() -> None:
     queries = [xmark_query(name) for name in WORKLOAD]
 
     # Per-query projectors and the workload union.
-    union = analyze_xquery(grammar, queries)
+    union = analyze(grammar, queries, language="xquery")
     print(f"{'query':>6}  {'|π|':>4}  kept alone")
     for name, projector in zip(WORKLOAD, union.per_query):
         alone = prune_document(document, interpretation, projector)

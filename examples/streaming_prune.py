@@ -16,7 +16,7 @@ import time
 import tracemalloc
 
 from repro import analyze
-from repro.projection.streaming import prune_file
+from repro.api import prune
 from repro.workloads.xmark import generate_file, xmark_grammar
 
 QUERY = "/site/people/person[profile/age > 60]/name"
@@ -37,7 +37,7 @@ def main() -> None:
 
         tracemalloc.start()
         started = time.perf_counter()
-        stats = prune_file(source, target, grammar, result.projector, validate=True)
+        stats = prune(source, grammar, result.projector, out=target, validate=True).stats
         elapsed = time.perf_counter() - started
         _, peak = tracemalloc.get_traced_memory()
         tracemalloc.stop()

@@ -11,7 +11,7 @@ Run:  python examples/xmark_pipeline.py [factor]
 import sys
 import time
 
-from repro import QueryEngine, analyze_xquery, prune_document, validate
+from repro import QueryEngine, analyze, prune_document, validate
 from repro.workloads.xmark import generate_document, xmark_grammar, xmark_query
 
 QUERY_NAME = "QM07"  # the three-step // query the paper highlights
@@ -28,7 +28,7 @@ def main() -> None:
     print(f"document: {document.size()} nodes (factor {factor})")
 
     started = time.perf_counter()
-    result = analyze_xquery(grammar, query)
+    result = analyze(grammar, query, language="xquery")
     print(f"\nextracted {len(result.paths)} paths "
           f"({(time.perf_counter() - started) * 1000:.1f} ms):")
     for path in result.paths:

@@ -15,6 +15,8 @@ Quickstart::
 See README.md for the full tour and DESIGN.md for the paper-to-module map.
 """
 
+from repro import obs
+from repro.api import PruneOptions, PruneResult, prune
 from repro.core.cache import CacheStats, ProjectorCache, default_cache, grammar_fingerprint
 from repro.core.inference import infer_type
 from repro.core.pipeline import (
@@ -69,8 +71,12 @@ __all__ = [
     "infer_type",
     "looks_like_xquery",
     "materialized_projector",
+    "obs",
     "parse_document",
     "parse_dtd",
+    "prune",
+    "PruneOptions",
+    "PruneResult",
     "prune_document",
     "prune_events",
     "prune_file",

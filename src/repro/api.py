@@ -1,0 +1,211 @@
+"""The unified public pruning API: one :func:`prune` for every source.
+
+Historically the streaming pruner grew one entry point per source kind —
+``prune_string``, ``prune_file``, ``prune_stream`` and ``prune_events`` —
+each with its own positional-flag signature.  This module collapses them
+behind a single keyword-consistent facade::
+
+    from repro import prune
+
+    result = prune(xml_text, grammar, projector)          # text  -> text
+    result = prune("in.xml", grammar, projector,
+                   out="pruned.xml", validate=True)       # file  -> file
+    result = prune(handle, grammar, projector, out=sink)  # stream-> stream
+    for event in prune(events, grammar, projector):       # events-> events
+        ...
+
+``source`` dispatch: a string that (after leading whitespace) starts with
+``<`` is XML markup, any other string or :class:`os.PathLike` is an input
+path, an object with ``.read`` is a text stream, and any other iterable is
+an event stream.  ``out`` mirrors this: ``None`` collects text (or, for an
+event source, returns the pruned event iterator), a path writes a file
+(removed again if pruning fails mid-stream), and an object with ``.write``
+is streamed to.
+
+Options shared by every form live in :class:`PruneOptions`; the common
+ones (``fast``, ``validate``) are also accepted directly as keywords and
+override the options object when given.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from dataclasses import dataclass, replace
+from typing import IO, Any, Iterable, Iterator
+
+from repro.dtd.grammar import Grammar
+from repro.errors import ReproError
+from repro.projection.stats import PruneStats
+from repro.projection.streaming import (
+    _prune_events,
+    _prune_file,
+    _prune_stream,
+    _prune_string,
+)
+from repro.xmltree.events import Event
+from repro.xmltree.lexer import DEFAULT_CHUNK_SIZE
+
+__all__ = ["PruneOptions", "PruneResult", "prune"]
+
+
+@dataclass(slots=True, frozen=True)
+class PruneOptions:
+    """Behavioural knobs shared by every :func:`prune` form.
+
+    * ``fast`` — use the fused scanner-level pipeline (bulk tag scanning,
+      bulk skipping of pruned regions).  Output is byte-identical to the
+      event pipeline; ``False`` exists for benchmarking and debugging.
+    * ``validate`` — run DTD validation in the same pass (forces the event
+      pipeline: the validator must see every event).
+    * ``prune_attributes`` — filter attributes not kept by the projector.
+    * ``chunk_size`` — read granularity for streaming sources.
+    """
+
+    fast: bool = True
+    validate: bool = False
+    prune_attributes: bool = True
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+
+
+DEFAULT_OPTIONS = PruneOptions()
+
+
+@dataclass(slots=True)
+class PruneResult:
+    """What one :func:`prune` call produced.
+
+    Exactly one of ``text`` / ``events`` / ``output_path`` is populated
+    (``output_path`` also stays ``None`` when ``out`` was an open stream —
+    the markup went to the caller's sink).  ``stats`` always carries the
+    :class:`~repro.projection.stats.PruneStats` counters; for an event
+    source they finish filling only once the iterator is exhausted.
+    """
+
+    stats: PruneStats
+    text: str | None = None
+    events: Iterator[Event] | None = None
+    output_path: str | None = None
+
+    def __iter__(self) -> Iterator[Event]:
+        if self.events is None:
+            raise TypeError("this prune() result is not an event stream")
+        return self.events
+
+
+def _resolve_options(
+    options: PruneOptions | None,
+    fast: bool | None,
+    validate: bool | None,
+    prune_attributes: bool | None,
+    chunk_size: int | None,
+) -> PruneOptions:
+    resolved = options if options is not None else DEFAULT_OPTIONS
+    overrides: dict[str, Any] = {}
+    if fast is not None:
+        overrides["fast"] = fast
+    if validate is not None:
+        overrides["validate"] = validate
+    if prune_attributes is not None:
+        overrides["prune_attributes"] = prune_attributes
+    if chunk_size is not None:
+        overrides["chunk_size"] = chunk_size
+    return replace(resolved, **overrides) if overrides else resolved
+
+
+def _is_markup(text: str) -> bool:
+    return text.lstrip()[:1] == "<"
+
+
+def prune(
+    source: "str | os.PathLike[str] | IO[str] | Iterable[Event]",
+    grammar: Grammar,
+    projector: frozenset[str] | set[str],
+    *,
+    out: "str | os.PathLike[str] | IO[str] | None" = None,
+    options: PruneOptions | None = None,
+    fast: bool | None = None,
+    validate: bool | None = None,
+    prune_attributes: bool | None = None,
+    chunk_size: int | None = None,
+) -> PruneResult:
+    """Prune ``source`` down to the nodes the ``projector`` keeps.
+
+    See the module docstring for the source/out dispatch table.  Returns a
+    :class:`PruneResult`; pruning streams throughout, so memory stays
+    O(document depth) regardless of source size.
+    """
+    opts = _resolve_options(options, fast, validate, prune_attributes, chunk_size)
+
+    # Event-stream source: transform iterator to iterator.
+    if not isinstance(source, (str, os.PathLike)) and not hasattr(source, "read"):
+        if not hasattr(source, "__iter__"):
+            raise TypeError(f"cannot prune source of type {type(source).__name__}")
+        if out is not None:
+            raise ReproError(
+                "prune() of an event stream returns events; "
+                "serialize them explicitly instead of passing out="
+            )
+        # (``fast`` is moot here: event input already paid for parsing.)
+        stats = PruneStats()
+        events = _prune_events(
+            source, grammar, projector,
+            validate=opts.validate, stats=stats,
+            prune_attributes=opts.prune_attributes,
+        )
+        return PruneResult(stats=stats, events=events)
+
+    is_path = isinstance(source, os.PathLike) or (
+        isinstance(source, str) and not _is_markup(source)
+    )
+    out_is_path = out is not None and not hasattr(out, "write")
+
+    # File -> file keeps the remove-partial-output-on-error contract.
+    if is_path and out_is_path:
+        stats = _prune_file(
+            os.fspath(source), os.fspath(out), grammar, projector,  # type: ignore[arg-type]
+            validate=opts.validate, fast=opts.fast,
+            prune_attributes=opts.prune_attributes, chunk_size=opts.chunk_size,
+        )
+        return PruneResult(stats=stats, output_path=os.fspath(out))  # type: ignore[arg-type]
+
+    # Everything else goes through the stream core, with the source
+    # opened/measured and the sink collected as needed.
+    stats = PruneStats()
+    if isinstance(source, str) and not is_path:
+        stats.bytes_in = len(source.encode("utf-8"))
+
+    def run(stream_source: "str | IO[str]", sink: IO[str]) -> None:
+        _prune_stream(
+            stream_source, sink, grammar, projector,
+            validate=opts.validate, fast=opts.fast, chunk_size=opts.chunk_size,
+            prune_attributes=opts.prune_attributes, stats=stats,
+        )
+
+    def with_source(sink: IO[str]) -> None:
+        if is_path:
+            path = os.fspath(source)  # type: ignore[arg-type]
+            stats.bytes_in = os.path.getsize(path)
+            with open(path, "r", encoding="utf-8") as handle:
+                run(handle, sink)
+        else:
+            run(source, sink)  # type: ignore[arg-type]
+
+    if out is None:
+        collector = io.StringIO()
+        with_source(collector)
+        return PruneResult(stats=stats, text=collector.getvalue())
+    if out_is_path:
+        out_path = os.fspath(out)  # type: ignore[arg-type]
+        try:
+            with open(out_path, "w", encoding="utf-8") as sink:
+                with_source(sink)
+        except BaseException:
+            try:
+                os.remove(out_path)
+            except OSError:
+                pass
+            raise
+        return PruneResult(stats=stats, output_path=out_path)
+    with_source(out)  # type: ignore[arg-type]
+    return PruneResult(stats=stats)

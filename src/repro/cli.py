@@ -14,13 +14,16 @@ Example::
     repro-xml analyze --dtd auction.dtd --root site --query "//item/name"
     repro-xml prune --dtd auction.dtd --root site \\
         --query "//item/name" auction.xml pruned.xml
+
+``analyze``, ``prune`` and ``run`` accept ``--trace-out FILE`` (JSONL
+span/counter trace, see :mod:`repro.obs`) and ``--metrics`` (human-readable
+roll-up on stderr when the command finishes).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 
 def _load_grammar(args, document_path: str | None = None):
@@ -52,7 +55,8 @@ def _projector(grammar, queries):
     from repro.core.cache import default_cache
 
     result = default_cache().analyze(grammar, queries)
-    return result.projector, result.analysis_seconds
+    seconds = result.span.seconds if result.span is not None else 0.0
+    return result.projector, seconds
 
 
 def cmd_analyze(args) -> int:
@@ -73,17 +77,19 @@ def cmd_analyze(args) -> int:
 
 
 def cmd_prune(args) -> int:
-    from repro.projection.streaming import prune_file
+    from repro import obs
+    from repro.api import prune
 
     grammar = _load_grammar(args, document_path=args.input)
     projector, seconds = _projector(grammar, args.query)
-    started = time.perf_counter()
-    stats = prune_file(
-        args.input, args.output, grammar, projector,
-        validate=args.validate, fast=not args.no_fast,
-    )
-    elapsed = time.perf_counter() - started
-    print(f"analysis: {seconds * 1000:.1f} ms, pruning: {elapsed:.2f} s")
+    with obs.timed("prune.command") as span:
+        result = prune(
+            args.input, grammar, projector, out=args.output,
+            validate=args.validate, fast=not args.no_fast,
+        )
+        span.stop()
+    stats = result.stats
+    print(f"analysis: {seconds * 1000:.1f} ms, pruning: {span.seconds:.2f} s")
     print(f"size: {stats.bytes_in} -> {stats.bytes_out} bytes ({stats.size_percent:.1f}% kept)")
     print(f"nodes: {stats.nodes_in} -> {stats.nodes_out}")
     return 0
@@ -158,14 +164,22 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--query", action="append", required=True,
                            help="XPath or XQuery (repeatable: projectors union)")
 
+    def obs_flags(p):
+        p.add_argument("--trace-out", metavar="FILE",
+                       help="write a JSONL span/counter trace to FILE")
+        p.add_argument("--metrics", action="store_true",
+                       help="print a metrics roll-up to stderr on exit")
+
     p = sub.add_parser("analyze", help="infer a type projector")
     common(p)
+    obs_flags(p)
     p.add_argument("--cache-stats", action="store_true",
                    help="print projector-cache hit/miss counters")
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("prune", help="prune a document file (streaming)")
     common(p)
+    obs_flags(p)
     p.add_argument("input")
     p.add_argument("output")
     p.add_argument("--validate", action="store_true", help="validate while pruning")
@@ -186,6 +200,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("run", help="run a query (optionally with pruning)")
     common(p)
+    obs_flags(p)
     p.add_argument("input")
     p.add_argument("--prune", action="store_true", help="prune before running")
     p.set_defaults(func=cmd_run)
@@ -193,10 +208,34 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _configure_obs(args) -> bool:
+    """Install trace/metrics sinks when the command asked for them."""
+    trace_out = getattr(args, "trace_out", None)
+    metrics = getattr(args, "metrics", False)
+    if not trace_out and not metrics:
+        return False
+    from repro import obs
+
+    sinks = []
+    if trace_out:
+        sinks.append(obs.JsonlSink(trace_out))
+    if metrics:
+        sinks.append(obs.SummarySink(sys.stderr))
+    obs.configure(*sinks)
+    return True
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    configured = _configure_obs(args)
+    try:
+        return args.func(args)
+    finally:
+        if configured:
+            from repro import obs
+
+            obs.shutdown()
 
 
 if __name__ == "__main__":  # pragma: no cover

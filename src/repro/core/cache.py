@@ -11,7 +11,10 @@ memoized outright.
 ``(grammar fingerprint, language, materialization, normalized query)``.
 The grammar key is a content fingerprint (:func:`grammar_fingerprint`),
 not object identity, so reloading the same DTD from disk still hits.
-Entries are LRU-evicted; :class:`CacheStats` makes hit rates observable.
+Entries are LRU-evicted.  Cache behaviour reports through
+:mod:`repro.obs` (``cache.hits`` / ``cache.misses`` / ``cache.evictions``
+counters); :attr:`ProjectorCache.stats` exposes the same numbers as a
+:class:`CacheStats` snapshot for programmatic use.
 
 A module-level :func:`default_cache` serves the CLI and the engine loader
 so repeated invocations inside one process share inference results.
@@ -20,16 +23,12 @@ so repeated invocations inside one process share inference results.
 from __future__ import annotations
 
 import hashlib
-import time
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
 
-from repro.core.pipeline import (
-    AnalysisResult,
-    analyze_query,
-    analyze_xquery,
-)
+from repro import obs
+from repro.core.pipeline import AnalysisResult, analyze
 from repro.dtd.grammar import (
     AttributeProduction,
     ElementProduction,
@@ -83,7 +82,13 @@ def grammar_fingerprint(grammar: Grammar) -> str:
 
 @dataclass(slots=True)
 class CacheStats:
-    """Observable cache behaviour (hits prove the workload path works)."""
+    """Point-in-time snapshot of one cache's behaviour.
+
+    The live accounting is the :mod:`repro.obs` counter set
+    (``cache.hits``/``cache.misses``/``cache.evictions``); this dataclass
+    is the programmatic view :attr:`ProjectorCache.stats` returns (hits
+    prove the workload path works).
+    """
 
     hits: int = 0
     misses: int = 0
@@ -123,7 +128,9 @@ class ProjectorCache:
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
-        self.stats = CacheStats()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
         self._entries: "OrderedDict[tuple[str, str, bool, str], frozenset[str]]" = (
             OrderedDict()
         )
@@ -131,9 +138,16 @@ class ProjectorCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    @property
+    def stats(self) -> CacheStats:
+        """Snapshot of this cache's hit/miss/eviction counts."""
+        return CacheStats(
+            hits=self._hits, misses=self._misses, evictions=self._evictions
+        )
+
     def clear(self) -> None:
         self._entries.clear()
-        self.stats = CacheStats()
+        self._hits = self._misses = self._evictions = 0
 
     def projector_for_query(
         self,
@@ -154,18 +168,22 @@ class ProjectorCache:
         entries = self._entries
         cached = entries.get(key)
         if cached is not None:
-            self.stats.hits += 1
+            self._hits += 1
+            obs.count("cache.hits")
             entries.move_to_end(key)
             return cached
-        self.stats.misses += 1
-        if xquery:
-            projector = analyze_xquery(grammar, [query]).projector
-        else:
-            projector = analyze_query(grammar, query, materialize=materialize)
+        self._misses += 1
+        obs.count("cache.misses")
+        projector = analyze(
+            grammar, query,
+            materialize=materialize,
+            language="xquery" if xquery else "xpath",
+        ).projector
         entries[key] = projector
         if len(entries) > self.max_entries:
             entries.popitem(last=False)
-            self.stats.evictions += 1
+            self._evictions += 1
+            obs.count("cache.evictions")
         return projector
 
     def analyze(
@@ -179,22 +197,23 @@ class ProjectorCache:
         queries, one pruning" deployment."""
         if isinstance(queries, str):
             queries = [queries]
-        started = time.perf_counter()
-        per_query = [
-            self.projector_for_query(grammar, query, materialize=materialize)
-            for query in queries
-        ]
-        union = (
-            grammar.union_projectors(per_query)
-            if per_query
-            else frozenset((grammar.root,))
-        )
-        elapsed = time.perf_counter() - started
+        with obs.timed("analysis", queries=len(queries), cached=True) as span:
+            per_query = [
+                self.projector_for_query(grammar, query, materialize=materialize)
+                for query in queries
+            ]
+            union = (
+                grammar.union_projectors(per_query)
+                if per_query
+                else frozenset((grammar.root,))
+            )
+            span.count("queries", len(queries))
+            span.count("projector_size", len(union))
         return AnalysisResult(
             grammar=grammar,
             projector=grammar.check_projector(union),
             per_query=per_query,
-            analysis_seconds=elapsed,
+            span=span,
         )
 
 

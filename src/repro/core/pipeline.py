@@ -2,25 +2,38 @@
 
 This is the main user-facing entry point of the library::
 
-    from repro import analyze
+    from repro import analyze, prune_document
     result = analyze(grammar, ["//book[author='Dante']/title"])
-    pruned = prune_document(document, grammar, result.projector)
+    pruned = prune_document(document, interpretation, result.projector)
+
+(``interpretation`` is the ℑ produced by :func:`repro.validate` — the
+pruner needs it to map nodes to grammar names, Definition 2.4.)
 
 The pipeline chains: parse → (Sections 3.3/4.3) approximation into XPathℓ
 → (Figure 2) projector inference, one projector per extracted path, and
 unions them (projectors are closed under union — Section 5 uses this for
-bunches of queries).
+bunches of queries).  XQuery goes through the Section 5 rewriting and the
+Figure 3 path extraction first; :func:`analyze` routes each query by the
+``language`` keyword (``"auto"`` uses the token-aware
+:func:`repro.querylang.looks_like_xquery`).
+
+Each call produces an ``"analysis"`` span with one nested
+``"analysis.query"`` span per query (:mod:`repro.obs`); the span data is
+the source of truth for analysis timing, with
+:attr:`AnalysisResult.analysis_seconds` kept as a compatibility property.
 """
 
 from __future__ import annotations
 
-import time
+import warnings
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.inference import infer_type
 from repro.core.projector import ProjectorInference
 from repro.dtd.grammar import Grammar
 from repro.errors import AnalysisError
+from repro.querylang import looks_like_xquery
 from repro.xpath import ast as xp
 from repro.xpath.approximation import Approximation, approximate_query
 from repro.xpath.parser import parse_xpath
@@ -35,16 +48,31 @@ class AnalysisResult:
 
     ``projector`` is the union projector covering every query;
     ``per_query`` maps each input query (by position) to its own
-    projector; ``analysis_seconds`` is the wall-clock cost of the static
-    analysis — the paper's claim is that this is negligible (< 0.5 s even
-    for large DTDs and long paths, Section 6).
+    projector; ``per_query_paths`` holds the XPathℓ paths extracted from
+    each query (one list per query — an XQuery may contribute several);
+    ``languages`` records how each query was routed.  ``span`` is the
+    :class:`repro.obs.Span` of the analysis — the paper's claim is that
+    its duration is negligible (< 0.5 s even for large DTDs and long
+    paths, Section 6).
     """
 
     grammar: Grammar
     projector: frozenset[str]
     per_query: list[frozenset[str]] = field(default_factory=list)
     paths: list[PathL] = field(default_factory=list)
-    analysis_seconds: float = 0.0
+    per_query_paths: list[list[PathL]] = field(default_factory=list)
+    languages: list[str] = field(default_factory=list)
+    span: "obs.Span | None" = None
+
+    @property
+    def analysis_seconds(self) -> float:
+        """Wall-clock cost of the static analysis.
+
+        Deprecated alias for ``span.seconds`` — new code should read the
+        obs span (or subscribe a sink) instead; kept as a computed
+        property for compatibility.
+        """
+        return self.span.seconds if self.span is not None else 0.0
 
     @property
     def selectivity(self) -> float:
@@ -104,50 +132,123 @@ def _analyze_pathl(
     return frozenset(projector)
 
 
-def analyze_query(
-    grammar: Grammar,
-    query: "str | xp.Expr | PathL",
-    materialize: bool = True,
-) -> frozenset[str]:
-    """Infer a sound projector for a single XPath query.
+def _query_language(query: "str | xp.Expr | PathL", language: str) -> str:
+    """Resolve one query's language under the ``language`` policy."""
+    if language == "auto":
+        if isinstance(query, str):
+            return "xquery" if looks_like_xquery(query) else "xpath"
+        if isinstance(query, (PathL, SimplePath, xp.Expr)):
+            return "xpath"
+        # Anything else in auto mode is assumed to be a parsed XQuery
+        # expression (the XQuery AST is a plain union of dataclasses).
+        return "xquery"
+    if language not in ("xpath", "xquery"):
+        raise AnalysisError(f"unknown query language {language!r}")
+    return language
 
-    ``materialize=True`` (the default, and what any engine that *returns*
-    results needs) also keeps the subtrees of the answer nodes:
-    ``τ' ∪ A_E(τ'', descendant)``, end of Section 4.2.
-    """
+
+def _analyze_xpath_query(
+    grammar: Grammar,
+    inference: ProjectorInference,
+    query: "str | xp.Expr | PathL",
+    materialize: bool,
+) -> tuple[frozenset[str], list[PathL]]:
+    """Projector + extracted paths for a single XPath query."""
     approximation = _to_pathl(query)
-    inference = ProjectorInference(grammar)
-    projector = set(_analyze_pathl(grammar, inference, approximation.main, materialize))
+    projector = set(
+        _analyze_pathl(grammar, inference, approximation.main, materialize)
+    )
     for side_path in approximation.absolute_paths:
         projector |= _analyze_pathl(grammar, inference, side_path, materialize=False)
-    return frozenset(projector)
+    return frozenset(projector), [approximation.main]
+
+
+def _analyze_xquery_query(
+    grammar: Grammar,
+    inference: ProjectorInference,
+    query: str,
+    rewrite: bool,
+) -> tuple[frozenset[str], list[PathL]]:
+    """Projector + extracted paths for a single XQuery query (Section 5):
+    optional pre-extraction rewriting, Figure 3 path extraction, one
+    projector per extracted path, union.
+
+    Extracted paths already encode materialisation (the ``m`` flag adds
+    ``descendant-or-self::node`` where results are computed), so no
+    additional materialisation pass is applied.
+    """
+    from repro.xquery.extraction import extract_paths
+    from repro.xquery.parser import parse_xquery
+    from repro.xquery.rewrite import rewrite_query
+
+    parsed = parse_xquery(query) if isinstance(query, str) else query
+    if rewrite:
+        parsed = rewrite_query(parsed)
+    paths = extract_paths(parsed)
+    projector: set[str] = {grammar.root}
+    for path in paths:
+        projector |= _analyze_pathl(grammar, inference, path, materialize=False)
+    return frozenset(projector), list(paths)
 
 
 def analyze(
     grammar: Grammar,
     queries: "list[str | xp.Expr | PathL] | str | xp.Expr | PathL",
     materialize: bool = True,
+    *,
+    language: str = "auto",
+    rewrite: bool = True,
 ) -> AnalysisResult:
-    """Infer the union projector for one query or a bunch of queries."""
+    """Infer the union projector for one query or a bunch of queries.
+
+    ``language`` routes each query: ``"xpath"``, ``"xquery"``, or
+    ``"auto"`` (the default — per-query token-aware detection, so mixed
+    workloads just work).  ``materialize=True`` (the default, and what any
+    engine that *returns* results needs) also keeps the subtrees of XPath
+    answer nodes: ``τ' ∪ A_E(τ'', descendant)``, end of Section 4.2;
+    XQuery paths carry their own materialisation markers.  ``rewrite``
+    applies the Section 5 XQuery rewriting before path extraction.
+    """
     if not isinstance(queries, list):
         queries = [queries]
-    started = time.perf_counter()
+    inference = ProjectorInference(grammar)
     per_query: list[frozenset[str]] = []
-    paths: list[PathL] = []
-    for query in queries:
-        approximation = _to_pathl(query)
-        paths.append(approximation.main)
-        per_query.append(analyze_query(grammar, query, materialize=materialize))
-    union = grammar.union_projectors(per_query) if per_query else frozenset((grammar.root,))
-    elapsed = time.perf_counter() - started
-    result = AnalysisResult(
+    per_query_paths: list[list[PathL]] = []
+    languages: list[str] = []
+    with obs.timed("analysis", queries=len(queries), language=language) as span:
+        for query in queries:
+            kind = _query_language(query, language)
+            with obs.span(
+                "analysis.query", language=kind,
+                query=query if isinstance(query, str) else repr(query),
+            ):
+                if kind == "xquery":
+                    projector, paths = _analyze_xquery_query(
+                        grammar, inference, query, rewrite
+                    )
+                else:
+                    projector, paths = _analyze_xpath_query(
+                        grammar, inference, query, materialize
+                    )
+            languages.append(kind)
+            per_query.append(projector)
+            per_query_paths.append(paths)
+        union = (
+            grammar.union_projectors(per_query)
+            if per_query
+            else frozenset((grammar.root,))
+        )
+        span.count("queries", len(queries))
+        span.count("projector_size", len(union))
+    return AnalysisResult(
         grammar=grammar,
         projector=grammar.check_projector(union),
         per_query=per_query,
-        paths=paths,
-        analysis_seconds=elapsed,
+        paths=[path for paths in per_query_paths for path in paths],
+        per_query_paths=per_query_paths,
+        languages=languages,
+        span=span,
     )
-    return result
 
 
 def type_of_query(grammar: Grammar, query: "str | xp.Expr | PathL") -> frozenset[str]:
@@ -162,45 +263,37 @@ def type_of_query(grammar: Grammar, query: "str | xp.Expr | PathL") -> frozenset
     return infer_type(grammar, rooted).tau
 
 
+# -- deprecated entry points --------------------------------------------------
+
+
+def analyze_query(
+    grammar: Grammar,
+    query: "str | xp.Expr | PathL",
+    materialize: bool = True,
+) -> frozenset[str]:
+    """Deprecated: use ``analyze(grammar, query, language="xpath")`` and
+    read ``.projector``."""
+    warnings.warn(
+        'analyze_query is deprecated; use analyze(grammar, query, '
+        'language="xpath").projector instead',
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    inference = ProjectorInference(grammar)
+    projector, _ = _analyze_xpath_query(grammar, inference, query, materialize)
+    return projector
+
+
 def analyze_xquery(
     grammar: Grammar,
     queries: "list[str] | str",
     rewrite: bool = True,
 ) -> AnalysisResult:
-    """Infer the union projector for one or more XQuery queries
-    (Section 5): optional pre-extraction rewriting, Figure 3 path
-    extraction, one projector per extracted path, union.
-
-    Extracted paths already encode materialisation (the ``m`` flag adds
-    ``descendant-or-self::node`` where results are computed), so no
-    additional materialisation pass is applied.
-    """
-    from repro.xquery.extraction import extract_paths
-    from repro.xquery.parser import parse_xquery
-    from repro.xquery.rewrite import rewrite_query
-
-    if not isinstance(queries, list):
-        queries = [queries]
-    started = time.perf_counter()
-    inference = ProjectorInference(grammar)
-    per_query: list[frozenset[str]] = []
-    all_paths: list[PathL] = []
-    for query in queries:
-        parsed = parse_xquery(query) if isinstance(query, str) else query
-        if rewrite:
-            parsed = rewrite_query(parsed)
-        paths = extract_paths(parsed)
-        all_paths.extend(paths)
-        projector: set[str] = {grammar.root}
-        for path in paths:
-            projector |= _analyze_pathl(grammar, inference, path, materialize=False)
-        per_query.append(frozenset(projector))
-    union = grammar.union_projectors(per_query) if per_query else frozenset((grammar.root,))
-    elapsed = time.perf_counter() - started
-    return AnalysisResult(
-        grammar=grammar,
-        projector=grammar.check_projector(union),
-        per_query=per_query,
-        paths=all_paths,
-        analysis_seconds=elapsed,
+    """Deprecated: use ``analyze(grammar, queries, language="xquery")``."""
+    warnings.warn(
+        'analyze_xquery is deprecated; use analyze(grammar, queries, '
+        'language="xquery") instead',
+        DeprecationWarning,
+        stacklevel=2,
     )
+    return analyze(grammar, queries, language="xquery", rewrite=rewrite)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import time
 
+from repro import obs
 from repro.engine.metrics import DEFAULT_MODEL, EVAL_BYTES_PER_TOUCH, MemoryModel, RunReport
 from repro.errors import BudgetExceededError
 from repro.querylang import looks_like_xquery
@@ -52,18 +53,22 @@ class QueryEngine:
 
     def run_xpath(self, query: str) -> RunReport:
         evaluator = XPathEvaluator(self.document)
-        started = time.perf_counter()
-        result = evaluator.evaluate(query)
-        elapsed = time.perf_counter() - started
-        count = len(result) if isinstance(result, list) else 1
-        return self._report(query, elapsed, count, evaluator.nodes_touched)
+        with obs.timed("query", language="xpath", query=query) as span:
+            result = evaluator.evaluate(query)
+            span.stop()
+            count = len(result) if isinstance(result, list) else 1
+            span.count("results", count)
+            span.count("nodes_touched", evaluator.nodes_touched)
+        return self._report(query, span.seconds, count, evaluator.nodes_touched)
 
     def run_xquery(self, query: str) -> RunReport:
         evaluator = XQueryEvaluator(self.document)
-        started = time.perf_counter()
-        result = evaluator.evaluate(query)
-        elapsed = time.perf_counter() - started
-        return self._report(query, elapsed, len(result), evaluator.nodes_touched)
+        with obs.timed("query", language="xquery", query=query) as span:
+            result = evaluator.evaluate(query)
+            span.stop()
+            span.count("results", len(result))
+            span.count("nodes_touched", evaluator.nodes_touched)
+        return self._report(query, span.seconds, len(result), evaluator.nodes_touched)
 
     def run_serialized(self, query: str) -> str:
         """Execute and serialise — the form used for original-vs-pruned

@@ -19,13 +19,13 @@ Three loading strategies are exposed for comparison (and benchmarked in
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
+from repro import obs
 from repro.dtd.grammar import Grammar
 from repro.engine.metrics import DEFAULT_MODEL, MemoryModel
 from repro.projection.stats import PruneStats
-from repro.projection.streaming import prune_events
+from repro.projection.streaming import StreamingPruner
 from repro.xmltree.builder import TreeBuilder
 from repro.xmltree.lexer import Source
 from repro.xmltree.nodes import Document
@@ -54,21 +54,40 @@ def _build(events, strip_whitespace: bool) -> Document:
     return builder.document()
 
 
+def _report(
+    span: "obs.Span", document: Document, model: MemoryModel,
+    prune_stats: PruneStats | None = None,
+) -> LoadReport:
+    """Fill the load span's counters and the caller's report in one go.
+
+    Call inside the span's ``with`` block, after :meth:`~repro.obs.Span.stop`
+    — the duration excludes model measurement, the counters still land in
+    the emitted record.
+    """
+    model_bytes = model.document_bytes(document)
+    nodes_built = document.size()
+    span.count("model_bytes", model_bytes)
+    span.count("nodes_built", nodes_built)
+    return LoadReport(
+        document=document,
+        seconds=span.seconds,
+        model_bytes=model_bytes,
+        nodes_built=nodes_built,
+        prune_stats=prune_stats,
+    )
+
+
 def load_full(
     source: Source,
     strip_whitespace: bool = True,
     model: MemoryModel = DEFAULT_MODEL,
 ) -> LoadReport:
     """Plain load: every node of the document is allocated."""
-    started = time.perf_counter()
-    document = _build(parse_events(source), strip_whitespace)
-    elapsed = time.perf_counter() - started
-    return LoadReport(
-        document=document,
-        seconds=elapsed,
-        model_bytes=model.document_bytes(document),
-        nodes_built=document.size(),
-    )
+    with obs.timed("load", strategy="full") as span:
+        document = _build(parse_events(source), strip_whitespace)
+        span.stop()
+        report = _report(span, document, model)
+    return report
 
 
 def load_pruned(
@@ -88,24 +107,23 @@ def load_pruned(
     the pass (forcing the event pipeline — the validator must see every
     event)."""
     stats = PruneStats()
-    started = time.perf_counter()
-    if fast and not validate:
-        from repro.projection.fastpath import FastPruner
+    fused = fast and not validate
+    with obs.timed(
+        "load", strategy="pruned", fused=fused, validate=validate
+    ) as span:
+        if fused:
+            from repro.projection.fastpath import FastPruner
 
-        events = FastPruner(grammar, frozenset(projector), stats=stats).events(source)
-    else:
-        events = prune_events(
-            parse_events(source), grammar, projector, validate=validate, stats=stats
-        )
-    document = _build(events, strip_whitespace)
-    elapsed = time.perf_counter() - started
-    return LoadReport(
-        document=document,
-        seconds=elapsed,
-        model_bytes=model.document_bytes(document),
-        nodes_built=document.size(),
-        prune_stats=stats,
-    )
+            events = FastPruner(grammar, frozenset(projector), stats=stats).events(source)
+        else:
+            events = StreamingPruner(
+                grammar, projector, validate=validate, stats=stats
+            ).process(parse_events(source))
+        document = _build(events, strip_whitespace)
+        span.stop()
+        span.merge_counters(stats.as_counters())
+        report = _report(span, document, model, prune_stats=stats)
+    return report
 
 
 def load_pruned_validating(

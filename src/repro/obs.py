@@ -1,0 +1,525 @@
+"""Pipeline observability: nestable spans, counters, pluggable sinks.
+
+The paper's central empirical claim is quantitative — pruning time is
+"diluted in the parsing/validation phase" and memory drops with the
+projector's selectivity (Section 6) — so every pipeline stage must be able
+to report what it did and what it cost without ad-hoc ``time.perf_counter``
+calls scattered through the code.  This module is that substrate:
+
+* :class:`Tracer` — hands out nestable timed :class:`Span`\\ s
+  (``with tracer.span("prune", doc=path):``) and aggregates monotonic
+  counters and gauges (bytes in/out, nodes kept/skipped, cache hits);
+* sinks — :class:`MemorySink` (tests), :class:`JsonlSink` (one JSON object
+  per line, the format ``--trace-out`` and the benchmarks share) and
+  :class:`SummarySink` (human-readable roll-up, ``--metrics``);
+* a module-level **no-op default**: until :func:`configure` installs a real
+  tracer, :func:`get_tracer` returns a shared :class:`NullTracer` whose
+  spans and counters do nothing, so the disabled path costs one attribute
+  check per *stage*, never per node.
+
+Instrumented stages accumulate hot-loop quantities locally (e.g. in
+:class:`~repro.projection.stats.PruneStats`) and attach them to a span
+once, on exit — tracing on or off, no per-token tracer calls ever happen.
+
+Record format (what sinks receive, and what JSONL lines contain)::
+
+    {"type": "span", "name": "prune", "seconds": 0.123, "start": ...,
+     "depth": 1, "parent": "load", "attrs": {...}, "counters": {...}}
+    {"type": "counter", "name": "cache.hits", "value": 42}
+    {"type": "gauge", "name": "load.model_bytes", "value": 1048576}
+
+Counter and gauge records are emitted as aggregate totals on
+:func:`flush` (and by :func:`shutdown`); span records are emitted as each
+span closes.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import IO, Any, Iterator
+
+__all__ = [
+    "JsonlSink",
+    "MemorySink",
+    "NullTracer",
+    "Span",
+    "SummarySink",
+    "SummaryFormatter",
+    "Tracer",
+    "capture",
+    "configure",
+    "count",
+    "disable",
+    "enabled",
+    "flush",
+    "gauge",
+    "get_tracer",
+    "shutdown",
+    "span",
+    "timed",
+]
+
+
+# -- spans -------------------------------------------------------------------
+
+
+class Span:
+    """One timed region of the pipeline.
+
+    Use as a context manager (the normal case) or drive
+    :meth:`start`/:meth:`finish` manually.  Attach stage quantities with
+    :meth:`count` and :meth:`set`; they land in the emitted record's
+    ``counters`` and ``attrs`` maps.
+    """
+
+    __slots__ = ("name", "attrs", "counters", "started", "seconds", "_tracer", "parent", "depth")
+
+    def __init__(
+        self,
+        name: str,
+        attrs: dict[str, Any] | None = None,
+        tracer: "Tracer | None" = None,
+        parent: str | None = None,
+        depth: int = 0,
+    ) -> None:
+        self.name = name
+        self.attrs: dict[str, Any] = dict(attrs) if attrs else {}
+        self.counters: dict[str, int | float] = {}
+        self.started: float = 0.0
+        self.seconds: float = 0.0
+        self.parent = parent
+        self.depth = depth
+        self._tracer = tracer
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this span reports to a live tracer (see
+        :attr:`NullSpan.enabled`)."""
+        return self._tracer is not None
+
+    def set(self, **attrs: Any) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def count(self, name: str, amount: int | float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def merge_counters(self, counters: dict[str, int | float]) -> None:
+        for name, amount in counters.items():
+            self.count(name, amount)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "Span":
+        self.started = time.perf_counter()
+        return self
+
+    def stop(self) -> "Span":
+        """Freeze the duration now, without emitting — lets a stage time
+        its hot region, then attach counters computed afterwards (which
+        land in the record when the ``with`` block closes)."""
+        self.seconds = time.perf_counter() - self.started
+        return self
+
+    def finish(self) -> "Span":
+        if not self.seconds:
+            self.seconds = time.perf_counter() - self.started
+        if self._tracer is not None:
+            self._tracer._close_span(self)
+        return self
+
+    def __enter__(self) -> "Span":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.finish()
+
+    def record(self) -> dict[str, Any]:
+        return {
+            "type": "span",
+            "name": self.name,
+            "seconds": self.seconds,
+            "start": self.started,
+            "depth": self.depth,
+            "parent": self.parent,
+            "attrs": self.attrs,
+            "counters": self.counters,
+        }
+
+
+class NullSpan:
+    """The shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    enabled = False
+    name = ""
+    seconds = 0.0
+    attrs: dict[str, Any] = {}
+    counters: dict[str, int | float] = {}
+
+    def set(self, **attrs: Any) -> "NullSpan":
+        return self
+
+    def count(self, name: str, amount: int | float = 1) -> None:
+        pass
+
+    def merge_counters(self, counters: dict[str, int | float]) -> None:
+        pass
+
+    def start(self) -> "NullSpan":
+        return self
+
+    def stop(self) -> "NullSpan":
+        return self
+
+    def finish(self) -> "NullSpan":
+        return self
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = NullSpan()
+
+
+# -- sinks -------------------------------------------------------------------
+
+
+class MemorySink:
+    """Collects records in a list — the test double."""
+
+    def __init__(self) -> None:
+        self.records: list[dict[str, Any]] = []
+
+    def record(self, record: dict[str, Any]) -> None:
+        self.records.append(record)
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    # -- conveniences for assertions ------------------------------------
+
+    def spans(self, name: str | None = None) -> list[dict[str, Any]]:
+        return [
+            r for r in self.records
+            if r["type"] == "span" and (name is None or r["name"] == name)
+        ]
+
+    def counters(self) -> dict[str, int | float]:
+        return {
+            r["name"]: r["value"] for r in self.records if r["type"] == "counter"
+        }
+
+    def gauges(self) -> dict[str, int | float]:
+        return {r["name"]: r["value"] for r in self.records if r["type"] == "gauge"}
+
+
+class JsonlSink:
+    """One JSON object per line, to a path or an open text stream.
+
+    This is the on-disk trace format (``--trace-out``), shared with the
+    benchmark reports so traces and ``BENCH_*`` numbers stay comparable.
+    """
+
+    def __init__(self, target: "str | IO[str]") -> None:
+        if isinstance(target, str):
+            self._stream: IO[str] = open(target, "w", encoding="utf-8")
+            self._owned = True
+        else:
+            self._stream = target
+            self._owned = False
+
+    def record(self, record: dict[str, Any]) -> None:
+        self._stream.write(json.dumps(record, sort_keys=True, default=_jsonable))
+        self._stream.write("\n")
+
+    def flush(self) -> None:
+        self._stream.flush()
+
+    def close(self) -> None:
+        self.flush()
+        if self._owned:
+            self._stream.close()
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    return str(value)
+
+
+class SummaryFormatter:
+    """Rolls span/counter records up into a short human-readable report."""
+
+    def __init__(self) -> None:
+        #: name -> [count, total seconds, max seconds]
+        self._spans: dict[str, list[float]] = {}
+        self._counters: dict[str, int | float] = {}
+        self._gauges: dict[str, int | float] = {}
+
+    def add(self, record: dict[str, Any]) -> None:
+        kind = record["type"]
+        if kind == "span":
+            entry = self._spans.setdefault(record["name"], [0, 0.0, 0.0])
+            entry[0] += 1
+            entry[1] += record["seconds"]
+            entry[2] = max(entry[2], record["seconds"])
+            for name, value in record["counters"].items():
+                key = f"{record['name']}.{name}"
+                self._counters[key] = self._counters.get(key, 0) + value
+        elif kind == "counter":
+            self._counters[record["name"]] = record["value"]
+        elif kind == "gauge":
+            self._gauges[record["name"]] = record["value"]
+
+    def lines(self) -> Iterator[str]:
+        if self._spans:
+            yield "spans (count / total / max):"
+            for name in sorted(self._spans):
+                count, total, peak = self._spans[name]
+                yield (
+                    f"  {name:<24s} {int(count):6d}  "
+                    f"{total * 1000:10.1f} ms  {peak * 1000:10.1f} ms"
+                )
+        if self._counters:
+            yield "counters:"
+            for name in sorted(self._counters):
+                yield f"  {name:<40s} {self._counters[name]}"
+        if self._gauges:
+            yield "gauges:"
+            for name in sorted(self._gauges):
+                yield f"  {name:<40s} {self._gauges[name]}"
+
+
+class SummarySink:
+    """Human-readable roll-up, written on :meth:`close` (``--metrics``)."""
+
+    def __init__(self, stream: IO[str] | None = None) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._formatter = SummaryFormatter()
+        self._closed = False
+
+    def record(self, record: dict[str, Any]) -> None:
+        self._formatter.add(record)
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        lines = list(self._formatter.lines())
+        if lines:
+            self._stream.write("-- metrics " + "-" * 28 + "\n")
+            for line in lines:
+                self._stream.write(line + "\n")
+            self._stream.flush()
+
+
+# -- tracers -----------------------------------------------------------------
+
+
+class Tracer:
+    """Live tracer: spans nest via an explicit stack, counters aggregate.
+
+    Not thread-safe by design — the pipeline is single-threaded and the
+    per-event cost of locks would defeat the purpose.  Use one tracer per
+    worker if that ever changes.
+    """
+
+    enabled = True
+
+    def __init__(self, *sinks: Any) -> None:
+        self.sinks: list[Any] = list(sinks)
+        self._counters: dict[str, int | float] = {}
+        self._gauges: dict[str, int | float] = {}
+        self._stack: list[Span] = []
+
+    # -- spans -----------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        parent = self._stack[-1].name if self._stack else None
+        span = Span(name, attrs, tracer=self, parent=parent, depth=len(self._stack))
+        self._stack.append(span)
+        return span
+
+    def _close_span(self, span: Span) -> None:
+        # Tolerate out-of-order finishes (a caller keeping a span object
+        # around): pop up to and including the span if present.
+        if span in self._stack:
+            while self._stack:
+                if self._stack.pop() is span:
+                    break
+        self._emit(span.record())
+
+    # -- counters and gauges ---------------------------------------------
+
+    def count(self, name: str, amount: int | float = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: int | float) -> None:
+        self._gauges[name] = value
+
+    @property
+    def counters(self) -> dict[str, int | float]:
+        return dict(self._counters)
+
+    @property
+    def gauges(self) -> dict[str, int | float]:
+        return dict(self._gauges)
+
+    # -- sink plumbing ---------------------------------------------------
+
+    def _emit(self, record: dict[str, Any]) -> None:
+        for sink in self.sinks:
+            sink.record(record)
+
+    def flush(self) -> None:
+        """Emit aggregate counter/gauge records and flush every sink."""
+        for name in sorted(self._counters):
+            self._emit({"type": "counter", "name": name, "value": self._counters[name]})
+        for name in sorted(self._gauges):
+            self._emit({"type": "gauge", "name": name, "value": self._gauges[name]})
+        self._counters.clear()
+        self._gauges.clear()
+        for sink in self.sinks:
+            sink.flush()
+
+    def close(self) -> None:
+        self.flush()
+        for sink in self.sinks:
+            sink.close()
+
+
+class NullTracer:
+    """The zero-cost default: every operation is a constant no-op."""
+
+    enabled = False
+    sinks: list[Any] = []
+    counters: dict[str, int | float] = {}
+    gauges: dict[str, int | float] = {}
+
+    def span(self, name: str, **attrs: Any) -> NullSpan:
+        return _NULL_SPAN
+
+    def count(self, name: str, amount: int | float = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: int | float) -> None:
+        pass
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+_NULL_TRACER = NullTracer()
+_tracer: "Tracer | NullTracer" = _NULL_TRACER
+
+
+# -- module-level façade -----------------------------------------------------
+
+
+def get_tracer() -> "Tracer | NullTracer":
+    """The process-wide tracer (the no-op one unless :func:`configure`\\ d)."""
+    return _tracer
+
+
+def enabled() -> bool:
+    return _tracer.enabled
+
+
+def configure(*sinks: Any) -> Tracer:
+    """Install (and return) a live tracer reporting to ``sinks``.
+
+    Replaces any previously configured tracer (which is closed first).
+    """
+    global _tracer
+    if _tracer.enabled:
+        _tracer.close()
+    _tracer = Tracer(*sinks)
+    return _tracer
+
+
+def disable() -> None:
+    """Close the live tracer (flushing its sinks) and restore the no-op."""
+    global _tracer
+    if _tracer.enabled:
+        _tracer.close()
+    _tracer = _NULL_TRACER
+
+
+def shutdown() -> None:
+    """Alias of :func:`disable` with CLI-friendly naming."""
+    disable()
+
+
+def span(name: str, **attrs: Any) -> "Span | NullSpan":
+    """A span on the current tracer (no-op span while disabled)."""
+    return _tracer.span(name, **attrs)
+
+
+def timed(name: str, **attrs: Any) -> Span:
+    """A span that *always* measures wall time, reporting to the tracer
+    only if one is configured.
+
+    Stages whose results carry durations (analysis, loading, query
+    execution) need the measurement regardless of tracing; this keeps
+    their timing and their trace in one place.
+    """
+    tracer = _tracer
+    if tracer.enabled:
+        return tracer.span(name, **attrs)  # type: ignore[return-value]
+    return Span(name, attrs)
+
+
+def count(name: str, amount: int | float = 1) -> None:
+    _tracer.count(name, amount)
+
+
+def gauge(name: str, value: int | float) -> None:
+    _tracer.gauge(name, value)
+
+
+def flush() -> None:
+    _tracer.flush()
+
+
+class capture:
+    """Context manager for tests: installs a fresh tracer with a
+    :class:`MemorySink` and restores the previous tracer on exit::
+
+        with obs.capture() as sink:
+            ...
+        assert sink.spans("prune")
+    """
+
+    def __init__(self, *extra_sinks: Any) -> None:
+        self._extra = extra_sinks
+        self._previous: "Tracer | NullTracer | None" = None
+        self.sink = MemorySink()
+
+    def __enter__(self) -> MemorySink:
+        global _tracer
+        self._previous = _tracer
+        _tracer = Tracer(self.sink, *self._extra)
+        return self.sink
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global _tracer
+        _tracer.flush()
+        _tracer = self._previous if self._previous is not None else _NULL_TRACER

@@ -1,4 +1,9 @@
-"""Type-driven projection: in-memory (Def 2.7) and streaming pruning."""
+"""Type-driven projection: in-memory (Def 2.7) and streaming pruning.
+
+The unified streaming entry point is :func:`repro.prune` (see
+:mod:`repro.api`); ``prune_events`` / ``prune_stream`` / ``prune_file`` /
+``prune_string`` remain as deprecated aliases.
+"""
 
 from repro.projection.fastpath import FastPruner
 from repro.projection.prunetable import PruneTable, TagPlan, compile_prune_table

@@ -34,6 +34,7 @@ from typing import IO, Iterator
 
 from repro.dtd.grammar import Grammar
 from repro.errors import ValidationError
+from repro.obs import get_tracer
 from repro.projection.prunetable import PruneTable, TagPlan, compile_prune_table
 from repro.projection.stats import PruneStats
 from repro.xmltree.events import (
@@ -341,6 +342,14 @@ class FastPruner:
         if out:
             written += out_length
             sink.write("".join(out))
+        tracer = get_tracer()
+        if tracer.enabled:
+            # Process-wide fused-scan counters (per-document quantities
+            # travel on the caller's "prune" span via PruneStats).
+            tracer.count("fastpath.documents")
+            tracer.count("fastpath.chars_out", written)
+            if stats is not None:
+                tracer.count("fastpath.tags_scanned", stats.elements_in)
         return written
 
     # -- markup to events -------------------------------------------------

@@ -50,6 +50,25 @@ class PruneStats:
     def size_percent(self) -> float:
         return 100.0 * self.size_ratio
 
+    def as_counters(self) -> dict[str, int]:
+        """The counters an observability span carries for one pruning pass
+        (:mod:`repro.obs`) — field for field the Table 1 quantities, so a
+        trace can substantiate the Section 6 size/complexity claims."""
+        return {
+            "elements_in": self.elements_in,
+            "elements_out": self.elements_out,
+            "texts_in": self.texts_in,
+            "texts_out": self.texts_out,
+            "attributes_in": self.attributes_in,
+            "attributes_out": self.attributes_out,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "nodes_in": self.nodes_in,
+            "nodes_out": self.nodes_out,
+            "tags_in": len(self.distinct_tags_in),
+            "tags_out": len(self.distinct_tags_out),
+        }
+
     @property
     def complexity_reduction(self) -> float:
         """Reduction in the number of distinct element tags — the paper's

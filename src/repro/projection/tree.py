@@ -14,6 +14,7 @@ from typing import Literal
 from repro.dtd.grammar import Grammar, attribute_name
 from repro.dtd.validator import Interpretation
 from repro.errors import ProjectorError
+from repro.obs import get_tracer
 from repro.xmltree.nodes import Document, Element, Node, Text
 
 AttributePolicy = Literal["auto", "all"]
@@ -97,13 +98,24 @@ def prune_document(
 
     The projector must contain the root name (an empty pruned document has
     no XML serialisation); :class:`ProjectorError` otherwise.
+
+    With tracing enabled (:mod:`repro.obs`) the pass reports a ``"prune"``
+    span (``mode="tree"``) with node in/out counters — the in-memory
+    counterpart of the streaming pruner's span.
     """
-    frozen = interpretation.grammar.check_projector(frozenset(projector))
-    root = prune_tree(document.root, interpretation, frozen, attribute_policy)
-    if root is None:
-        raise ProjectorError(
-            "the projector does not retain the document root; "
-            "the pruned document would be empty"
-        )
-    assert isinstance(root, Element)
-    return Document(root, renumber=False)
+    tracer = get_tracer()
+    with tracer.span("prune", mode="tree") as span:
+        frozen = interpretation.grammar.check_projector(frozenset(projector))
+        root = prune_tree(document.root, interpretation, frozen, attribute_policy)
+        if root is None:
+            raise ProjectorError(
+                "the projector does not retain the document root; "
+                "the pruned document would be empty"
+            )
+        assert isinstance(root, Element)
+        pruned = Document(root, renumber=False)
+        if tracer.enabled:
+            span.count("nodes_in", document.size())
+            span.count("nodes_out", pruned.size())
+            span.count("projector_size", len(frozen))
+    return pruned

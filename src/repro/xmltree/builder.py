@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.errors import XMLSyntaxError
+from repro.obs import get_tracer
 from repro.xmltree.events import (
     Characters,
     Doctype,
@@ -12,7 +13,7 @@ from repro.xmltree.events import (
     Event,
     StartElement,
 )
-from repro.xmltree.lexer import Source
+from repro.xmltree.lexer import Scanner, Source
 from repro.xmltree.nodes import Document, Element, Text
 from repro.xmltree.parser import parse_events
 
@@ -82,8 +83,27 @@ def build_tree(events: Iterable[Event], strip_whitespace: bool = False) -> Docum
 
 
 def parse_document(source: Source, strip_whitespace: bool = False) -> Document:
-    """Parse XML text (or a text-mode file object) into a document."""
-    return build_tree(parse_events(source), strip_whitespace=strip_whitespace)
+    """Parse XML text (or a text-mode file object) into a document.
+
+    When tracing is enabled (:mod:`repro.obs`) the parse reports a
+    ``"parse"`` span counting events (tokens), characters consumed, and
+    nodes built; the disabled path is untouched.
+    """
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return build_tree(parse_events(source), strip_whitespace=strip_whitespace)
+    with tracer.span("parse") as span:
+        scanner = Scanner(source)
+        builder = TreeBuilder(strip_whitespace=strip_whitespace)
+        events = 0
+        for event in parse_events(scanner):
+            events += 1
+            builder.feed(event)
+        document = builder.document()
+        span.count("events", events)
+        span.count("chars", scanner.chars_consumed)
+        span.count("nodes", document.size())
+    return document
 
 
 def parse_document_with_doctype(

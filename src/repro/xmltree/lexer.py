@@ -79,6 +79,14 @@ class Scanner:
     def column(self) -> int:
         return self._consumed + self._position - self._line_start_offset + 1
 
+    @property
+    def chars_consumed(self) -> int:
+        """Characters consumed so far — the ``bytes``-ish quantity the
+        observability layer reports for parse/prune spans (exact UTF-8
+        byte counts would require re-encoding; character counts track the
+        same curve and are free)."""
+        return self._consumed + self._position
+
     def error(self, message: str) -> XMLSyntaxError:
         return XMLSyntaxError(message, self._line, self.column)
 

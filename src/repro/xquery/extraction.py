@@ -7,8 +7,8 @@ must be *materialised* — in which case its paths are extended with
 ``descendant-or-self::node`` (lines 6, 8, 10 of the figure).
 
 The union of the projectors inferred for the extracted paths is a sound
-projector for the query (Section 5); :func:`repro.analyze_xquery` wires
-this up.
+projector for the query (Section 5); :func:`repro.analyze` (with
+``language="xquery"`` or auto-detection) wires this up.
 
 Same deliberate refinement as in :mod:`repro.xpath.approximation`: paths
 whose *string value* feeds a comparison, an arithmetic operator or a

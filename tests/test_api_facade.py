@@ -1,0 +1,133 @@
+"""The unified prune() facade (repro.api): source/out dispatch,
+PruneOptions, parity with the old per-source entry points."""
+
+import io
+import os
+import pathlib
+
+import pytest
+
+from repro import PruneOptions, PruneResult, prune
+from repro.api import DEFAULT_OPTIONS
+from repro.dtd.grammar import text_name
+from repro.errors import ReproError
+from repro.xmltree.builder import build_tree
+from repro.xmltree.parser import parse_events
+from tests.conftest import BOOK_XML
+
+
+@pytest.fixture()
+def projector(book_grammar):
+    return book_grammar.projector_closure(["title", text_name("title")])
+
+
+class TestSourceDispatch:
+    def test_markup_string_returns_text(self, book_grammar, projector):
+        result = prune(BOOK_XML, book_grammar, projector)
+        assert isinstance(result, PruneResult)
+        assert result.text.startswith("<bib>")
+        assert result.events is None and result.output_path is None
+        assert result.stats.bytes_in == len(BOOK_XML.encode("utf-8"))
+
+    def test_leading_whitespace_still_markup(self, book_grammar, projector):
+        result = prune("\n  " + BOOK_XML, book_grammar, projector)
+        assert "<title>" in result.text
+
+    def test_path_string_reads_file(self, book_grammar, projector, tmp_path):
+        source = tmp_path / "in.xml"
+        source.write_text(BOOK_XML)
+        result = prune(str(source), book_grammar, projector)
+        assert "<title>" in result.text
+        assert result.stats.bytes_in == os.path.getsize(source)
+
+    def test_pathlike_source_and_out(self, book_grammar, projector, tmp_path):
+        source = tmp_path / "in.xml"
+        source.write_text(BOOK_XML)
+        out = tmp_path / "out.xml"
+        result = prune(source, book_grammar, projector, out=out)
+        assert result.output_path == str(out)
+        assert result.text is None
+        assert "<title>" in pathlib.Path(result.output_path).read_text()
+
+    def test_stream_source(self, book_grammar, projector):
+        result = prune(io.StringIO(BOOK_XML), book_grammar, projector)
+        assert "<title>" in result.text
+
+    def test_stream_out(self, book_grammar, projector):
+        sink = io.StringIO()
+        result = prune(BOOK_XML, book_grammar, projector, out=sink)
+        assert result.text is None and result.output_path is None
+        assert "<title>" in sink.getvalue()
+        assert result.stats.bytes_out == len(sink.getvalue())
+
+    def test_event_source_returns_events(self, book_grammar, projector):
+        result = prune(parse_events(BOOK_XML), book_grammar, projector)
+        document = build_tree(iter(result))  # PruneResult is iterable
+        assert {node.tag for node in document.elements()} == {"bib", "book", "title"}
+        # Stats finish filling once the iterator is exhausted.
+        assert result.stats.elements_out == 7  # bib + 3 book + 3 title
+
+    def test_event_source_rejects_out(self, book_grammar, projector):
+        with pytest.raises(ReproError):
+            prune(parse_events(BOOK_XML), book_grammar, projector, out=io.StringIO())
+
+    def test_unprunable_source_type(self, book_grammar, projector):
+        with pytest.raises(TypeError):
+            prune(42, book_grammar, projector)
+
+    def test_text_result_is_not_iterable_as_events(self, book_grammar, projector):
+        result = prune(BOOK_XML, book_grammar, projector)
+        with pytest.raises(TypeError):
+            iter(result)
+
+
+class TestAllFormsAgree:
+    def test_same_output_every_way(self, book_grammar, projector, tmp_path):
+        source = tmp_path / "in.xml"
+        source.write_text(BOOK_XML)
+        out_file = tmp_path / "out.xml"
+
+        from_markup = prune(BOOK_XML, book_grammar, projector).text
+        from_stream = prune(io.StringIO(BOOK_XML), book_grammar, projector).text
+        prune(str(source), book_grammar, projector, out=str(out_file))
+        from_file = out_file.read_text()
+        sink = io.StringIO()
+        prune(str(source), book_grammar, projector, out=sink)
+        from_mixed = sink.getvalue()
+
+        assert from_markup == from_stream == from_file == from_mixed
+
+    @pytest.mark.parametrize("fast", [True, False])
+    def test_fast_flag_is_byte_identical(self, book_grammar, projector, fast):
+        result = prune(BOOK_XML, book_grammar, projector, fast=fast)
+        baseline = prune(BOOK_XML, book_grammar, projector)
+        assert result.text == baseline.text
+
+
+class TestOptions:
+    def test_defaults(self):
+        assert DEFAULT_OPTIONS == PruneOptions()
+        assert DEFAULT_OPTIONS.fast and not DEFAULT_OPTIONS.validate
+
+    def test_options_object(self, book_grammar, projector):
+        opts = PruneOptions(fast=False, chunk_size=7)
+        result = prune(BOOK_XML, book_grammar, projector, options=opts)
+        assert "<title>" in result.text
+
+    def test_keyword_overrides_options(self, book_grammar):
+        # validate=True in options, overridden off by the keyword: the
+        # invalid document must then prune without raising (projector keeps
+        # only the root, and the default pipeline doesn't check order).
+        opts = PruneOptions(validate=True)
+        bad = "<bib><book><author>a</author><title>t</title></book></bib>"
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            prune(bad, book_grammar, frozenset({"bib"}), options=opts)
+        result = prune(bad, book_grammar, frozenset({"bib"}),
+                       options=opts, validate=False)
+        assert result.text == "<bib/>"
+
+    def test_options_are_frozen(self):
+        with pytest.raises(Exception):
+            PruneOptions().fast = False

@@ -9,7 +9,7 @@ from repro.baselines.marian_simeon import (
     prune_with_baseline,
 )
 from repro.baselines.paths import ProjectionPath, PStep, PStepKind, degrade_pathl
-from repro.core.pipeline import analyze_xquery
+from repro.core.pipeline import analyze
 from repro.projection.tree import prune_document
 from repro.xpath.xpathl import parse_pathl
 from repro.xquery.evaluator import XQueryEvaluator
@@ -75,7 +75,7 @@ class TestBaselinePruning:
         for name in ("QM01", "QM06", "QM07", "QM14"):
             query = XMARK_QUERIES[name]
             ours = prune_document(
-                document, interpretation, analyze_xquery(grammar, query).projector
+                document, interpretation, analyze(grammar, query, language="xquery").projector
             )
             baseline = prune_with_baseline(document, baseline_paths_for_query(query))
             assert ours.size() <= baseline.document.size(), name
@@ -104,7 +104,7 @@ class TestBaselinePruning:
         )
         baseline = prune_with_baseline(document, baseline_paths_for_query(query))
         ours = prune_document(
-            document, interpretation, analyze_xquery(grammar, query).projector
+            document, interpretation, analyze(grammar, query, language="xquery").projector
         )
         assert baseline.document.size() == document.size()  # no pruning at all
         assert ours.size() < 0.6 * document.size()

@@ -1,0 +1,143 @@
+"""CLI observability flags: --trace-out and --metrics on
+analyze/prune/run, plus the obs-era flag interactions (--no-fast,
+--cache-stats) driven end-to-end through main()."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from tests.conftest import BOOK_DTD, BOOK_XML
+
+
+@pytest.fixture()
+def workspace(tmp_path):
+    dtd = tmp_path / "bib.dtd"
+    dtd.write_text(BOOK_DTD)
+    xml = tmp_path / "bib.xml"
+    xml.write_text(BOOK_XML)
+    return tmp_path, str(dtd), str(xml)
+
+
+def _read_trace(path):
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+def _spans(records, name=None):
+    return [
+        r for r in records
+        if r["type"] == "span" and (name is None or r["name"] == name)
+    ]
+
+
+class TestTraceOut:
+    def test_prune_trace_has_analysis_and_prune_spans(self, workspace, capsys):
+        tmp, dtd, xml = workspace
+        trace = tmp / "trace.jsonl"
+        code = main([
+            "prune", "--dtd", dtd, "--root", "bib", "--query", "//title",
+            str(xml), str(tmp / "out.xml"), "--trace-out", str(trace),
+        ])
+        assert code == 0
+        records = _read_trace(trace)
+        assert _spans(records, "analysis")
+        [prune_span] = _spans(records, "prune")
+        assert prune_span["attrs"]["mode"] == "fast"
+        # Counters mirror the PruneStats the command printed.
+        out = capsys.readouterr().out
+        counters = prune_span["counters"]
+        assert f"size: {counters['bytes_in']} -> {counters['bytes_out']} bytes" in out
+        assert f"nodes: {counters['nodes_in']} -> {counters['nodes_out']}" in out
+
+    def test_no_fast_switches_span_mode(self, workspace):
+        tmp, dtd, xml = workspace
+        trace = tmp / "trace.jsonl"
+        code = main([
+            "prune", "--dtd", dtd, "--root", "bib", "--query", "//title",
+            str(xml), str(tmp / "out.xml"), "--no-fast",
+            "--trace-out", str(trace),
+        ])
+        assert code == 0
+        [prune_span] = _spans(_read_trace(trace), "prune")
+        assert prune_span["attrs"]["mode"] == "events"
+
+    def test_run_trace_covers_the_whole_pipeline(self, workspace):
+        tmp, dtd, xml = workspace
+        trace = tmp / "trace.jsonl"
+        code = main([
+            "run", "--dtd", dtd, "--root", "bib", "--query", "//title",
+            xml, "--prune", "--trace-out", str(trace),
+        ])
+        assert code == 0
+        records = _read_trace(trace)
+        for name in ("parse", "analysis", "prune", "query"):
+            assert _spans(records, name), f"missing {name} span"
+        [prune_span] = _spans(records, "prune")
+        assert prune_span["attrs"]["mode"] == "tree"
+        [query_span] = _spans(records, "query")
+        assert query_span["counters"]["results"] >= 1
+
+    def test_analyze_trace(self, workspace):
+        from repro.core.cache import default_cache
+
+        default_cache().clear()  # the process-wide cache may already hold it
+        tmp, dtd, _ = workspace
+        trace = tmp / "trace.jsonl"
+        assert main([
+            "analyze", "--dtd", dtd, "--root", "bib", "--query", "//title",
+            "--trace-out", str(trace),
+        ]) == 0
+        records = _read_trace(trace)
+        assert _spans(records, "analysis.query")
+        assert any(
+            r["type"] == "counter" and r["name"] == "cache.misses"
+            for r in records
+        )
+
+    def test_tracer_resets_after_main(self, workspace):
+        from repro import obs
+
+        tmp, dtd, _ = workspace
+        assert main([
+            "analyze", "--dtd", dtd, "--root", "bib", "--query", "//title",
+            "--trace-out", str(tmp / "t.jsonl"),
+        ]) == 0
+        assert not obs.enabled()
+
+
+class TestMetrics:
+    def test_metrics_summary_on_stderr(self, workspace, capsys):
+        tmp, dtd, xml = workspace
+        code = main([
+            "prune", "--dtd", dtd, "--root", "bib", "--query", "//title",
+            xml, str(tmp / "out.xml"), "--metrics",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "-- metrics" in err
+        assert "prune" in err and "analysis" in err
+
+    def test_no_flags_no_metrics(self, workspace, capsys):
+        tmp, dtd, xml = workspace
+        assert main([
+            "prune", "--dtd", dtd, "--root", "bib", "--query", "//title",
+            xml, str(tmp / "out.xml"),
+        ]) == 0
+        assert "-- metrics" not in capsys.readouterr().err
+
+
+class TestFlagInteractions:
+    def test_cache_stats_printed(self, workspace, capsys):
+        _, dtd, _ = workspace
+        assert main([
+            "analyze", "--dtd", dtd, "--root", "bib", "--query", "//title",
+            "--cache-stats",
+        ]) == 0
+        assert "projector cache:" in capsys.readouterr().out
+
+    def test_validate_subcommand_exit_codes(self, workspace, tmp_path):
+        _, dtd, xml = workspace
+        assert main(["validate", "--dtd", dtd, "--root", "bib", xml]) == 0
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<bib><book><author>a</author><title>t</title></book></bib>")
+        assert main(["validate", "--dtd", dtd, "--root", "bib", str(bad)]) == 1

@@ -1,0 +1,103 @@
+"""The deprecated entry points still work — and warn.
+
+This is the only module allowed to call them; CI runs the rest of the
+suite with ``-W error::DeprecationWarning`` to keep internal code off the
+old names.
+"""
+
+import io
+
+import pytest
+
+from repro import prune
+from repro.core.pipeline import analyze, analyze_query, analyze_xquery
+from repro.dtd.grammar import text_name
+from repro.projection.streaming import (
+    prune_events,
+    prune_file,
+    prune_stream,
+    prune_string,
+)
+from repro.xmltree.parser import parse_events
+from tests.conftest import BOOK_XML
+
+
+@pytest.fixture()
+def projector(book_grammar):
+    return book_grammar.projector_closure(["title", text_name("title")])
+
+
+class TestPruneShims:
+    def test_prune_string_warns_and_matches_facade(self, book_grammar, projector):
+        with pytest.warns(DeprecationWarning, match="prune_string"):
+            text, stats = prune_string(BOOK_XML, book_grammar, projector)
+        modern = prune(BOOK_XML, book_grammar, projector)
+        assert text == modern.text
+        assert stats.as_counters() == modern.stats.as_counters()
+
+    def test_prune_stream_warns(self, book_grammar, projector):
+        sink = io.StringIO()
+        with pytest.warns(DeprecationWarning, match="prune_stream"):
+            stats = prune_stream(io.StringIO(BOOK_XML), sink, book_grammar, projector)
+        assert stats.bytes_out == len(sink.getvalue()) > 0
+
+    def test_prune_file_warns(self, book_grammar, projector, tmp_path):
+        source = tmp_path / "in.xml"
+        source.write_text(BOOK_XML)
+        target = tmp_path / "out.xml"
+        with pytest.warns(DeprecationWarning, match="prune_file"):
+            stats = prune_file(str(source), str(target), book_grammar, projector)
+        assert target.exists() and stats.bytes_in > stats.bytes_out
+
+    def test_prune_events_warns(self, book_grammar, projector):
+        with pytest.warns(DeprecationWarning, match="prune_events"):
+            events = prune_events(parse_events(BOOK_XML), book_grammar, projector)
+        assert len(list(events)) > 0
+
+    def test_package_still_exports_old_names(self):
+        import repro
+
+        for name in ("prune_string", "prune_file", "prune_stream", "prune_events"):
+            assert hasattr(repro, name)
+
+
+class TestAnalyzeShims:
+    def test_analyze_query_warns_and_matches(self, book_grammar):
+        with pytest.warns(DeprecationWarning, match="analyze_query"):
+            old = analyze_query(book_grammar, "//title")
+        assert old == analyze(book_grammar, "//title").projector
+
+    def test_analyze_query_materialize_flag(self, book_grammar):
+        with pytest.warns(DeprecationWarning):
+            old = analyze_query(book_grammar, "//book", materialize=False)
+        assert old == analyze(book_grammar, "//book", materialize=False).projector
+
+    def test_analyze_xquery_warns_and_matches(self, book_grammar):
+        query = "for $b in /bib/book return $b/title"
+        with pytest.warns(DeprecationWarning, match="analyze_xquery"):
+            old = analyze_xquery(book_grammar, query)
+        new = analyze(book_grammar, query, language="xquery")
+        assert old.projector == new.projector
+
+    def test_analyze_xquery_rewrite_flag(self, book_grammar):
+        query = (
+            "for $y in /bib//node() return "
+            "if ($y/author) then $y/author else ()"
+        )
+        with pytest.warns(DeprecationWarning):
+            old = analyze_xquery(book_grammar, query, rewrite=False)
+        assert old.projector == analyze(
+            book_grammar, query, language="xquery", rewrite=False
+        ).projector
+
+    def test_package_still_exports_old_names(self):
+        import repro
+
+        assert hasattr(repro, "analyze_query")
+        assert hasattr(repro, "analyze_xquery")
+
+
+class TestAnalysisSecondsCompatibility:
+    def test_property_still_readable(self, book_grammar):
+        result = analyze(book_grammar, ["//title"])
+        assert result.analysis_seconds > 0

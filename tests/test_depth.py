@@ -18,7 +18,7 @@ from repro.core.projector import infer_projector
 from repro.dtd.grammar import grammar_from_text
 from repro.dtd.singletype import SingleTypeGrammar
 from repro.dtd.validator import validate
-from repro.projection.streaming import prune_string
+from repro.api import prune
 from repro.projection.tree import prune_document
 from repro.workloads.randomgen import (
     random_grammar,
@@ -158,7 +158,7 @@ class TestPrecision:
         via_tree = serialize(
             prune_document(document, validate(document, unfolded), projector)
         )
-        via_stream, _ = prune_string(TREE_XML, unfolded, projector)
+        via_stream = prune(TREE_XML, unfolded, projector).text
         assert via_tree == via_stream
 
 

@@ -86,12 +86,12 @@ class TestLargestProcessable:
     def test_pruned_documents_extrapolate_larger(self, xmark):
         """The Table 1 phenomenon: under the same budget, a pruned
         document admits a (much) larger on-disk original."""
-        from repro.core.pipeline import analyze_xquery
+        from repro.core.pipeline import analyze
         from repro.projection.tree import prune_document
         from repro.workloads.xmark import XMARK_QUERIES
 
         grammar, document, interpretation = xmark
-        projector = analyze_xquery(grammar, XMARK_QUERIES["QM01"]).projector
+        projector = analyze(grammar, XMARK_QUERIES["QM01"], language="xquery").projector
         pruned = prune_document(document, interpretation, projector)
         budget = 512 * 10**6
         original_size = len(serialize(document))

@@ -5,7 +5,7 @@ import io
 
 import pytest
 
-from repro.core.pipeline import analyze, analyze_xquery
+from repro.core.pipeline import analyze
 from repro.dtd.validator import validate
 from repro.engine.index import TagIndex, index_of_pruned_document
 from repro.engine.loader import load_full, load_pruned, load_pruned_validating
@@ -20,9 +20,9 @@ class TestPruneWhileLoading:
     def test_loaded_tree_matches_prune_then_load(self, book_grammar):
         projector = book_grammar.projector_closure(["author", "author#text"])
         through_loader = load_pruned(io.StringIO(BOOK_XML), book_grammar, projector)
-        from repro.projection.streaming import prune_string
+        from repro.api import prune
 
-        pruned_text, _ = prune_string(BOOK_XML, book_grammar, projector)
+        pruned_text = prune(BOOK_XML, book_grammar, projector).text
         assert serialize(through_loader.document) == pruned_text
 
     def test_skipped_nodes_are_never_built(self, book_grammar):
@@ -50,7 +50,7 @@ class TestPruneWhileLoading:
     def test_query_answers_match_on_loader_built_tree(self, xmark):
         grammar, document, _ = xmark
         query = XMARK_QUERIES["QM01"]
-        projector = analyze_xquery(grammar, query).projector
+        projector = analyze(grammar, query, language="xquery").projector
         report = load_pruned(io.StringIO(serialize(document)), grammar, projector)
         assert (
             XQueryEvaluator(report.document).evaluate_serialized(query)

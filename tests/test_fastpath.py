@@ -15,7 +15,7 @@ from repro.dtd.singletype import single_type_grammar
 from repro.errors import ValidationError, XMLSyntaxError
 from repro.projection.fastpath import FastPruner
 from repro.projection.stats import PruneStats
-from repro.projection.streaming import prune_events, prune_stream, prune_string
+from repro.api import prune
 from repro.workloads.randomgen import random_grammar, random_valid_document
 from repro.xmltree.parser import parse_events
 from repro.xmltree.serializer import serialize
@@ -33,12 +33,14 @@ def _statdict(stats: PruneStats) -> dict:
 
 def _both(grammar, xml, projector, chunk_size=1 << 16):
     fast_sink, slow_sink = io.StringIO(), io.StringIO()
-    fast_stats = prune_stream(
-        io.StringIO(xml), fast_sink, grammar, projector, fast=True, chunk_size=chunk_size
-    )
-    slow_stats = prune_stream(
-        io.StringIO(xml), slow_sink, grammar, projector, fast=False, chunk_size=chunk_size
-    )
+    fast_stats = prune(
+        io.StringIO(xml), grammar, projector, out=fast_sink,
+        fast=True, chunk_size=chunk_size,
+    ).stats
+    slow_stats = prune(
+        io.StringIO(xml), grammar, projector, out=slow_sink,
+        fast=False, chunk_size=chunk_size,
+    ).stats
     return fast_sink.getvalue(), fast_stats, slow_sink.getvalue(), slow_stats
 
 
@@ -136,7 +138,7 @@ class TestByteParity:
 class TestEventParity:
     def _streams(self, grammar, xml, projector, chunk_size=1 << 16):
         fast = list(FastPruner(grammar, projector).events(io.StringIO(xml), chunk_size))
-        slow = list(prune_events(parse_events(xml), grammar, projector))
+        slow = list(prune(parse_events(xml), grammar, projector).events)
         return fast, slow
 
     def test_event_streams_identical(self, book_grammar):
@@ -179,15 +181,15 @@ class TestErrorParity:
         # region for the fast path — it must still be detected.
         projector = frozenset({"bib"})
         with pytest.raises(XMLSyntaxError):
-            prune_string(xml, book_grammar, projector, fast=True)
+            prune(xml, book_grammar, projector, fast=True)
         with pytest.raises(XMLSyntaxError):
-            prune_string(xml, book_grammar, projector, fast=False)
+            prune(xml, book_grammar, projector, fast=False)
 
     def test_undeclared_element(self, book_grammar):
         xml = "<bib><mystery/></bib>"
         for fast in (True, False):
             with pytest.raises(ValidationError, match="mystery"):
-                prune_string(xml, book_grammar, frozenset({"bib"}), fast=fast)
+                prune(xml, book_grammar, frozenset({"bib"}), fast=fast)
 
 
 class TestSingleTypeGrammars:

@@ -10,11 +10,11 @@ import os
 
 import pytest
 
-from repro.core.pipeline import analyze, analyze_xquery
+from repro.core.pipeline import analyze
 from repro.dtd.dataguide import grammar_from_file
 from repro.dtd.validator import validate
 from repro.engine.loader import load_pruned_validating
-from repro.projection.streaming import prune_file
+from repro.api import prune
 from repro.projection.tree import prune_document
 from repro.workloads.xmark import generate_file, xmark_grammar
 from repro.xmltree.builder import parse_document
@@ -41,7 +41,7 @@ class TestFileRoutes:
         grammar = xmark_grammar()
         projector = analyze(grammar, [QUERY_XPATH]).projector
         pruned_path = str(tmp_path / "pruned.xml")
-        stats = prune_file(xmark_file, pruned_path, grammar, projector, validate=True)
+        stats = prune(xmark_file, grammar, projector, out=pruned_path, validate=True).stats
         assert stats.bytes_out < stats.bytes_in
 
         with open(xmark_file) as handle:
@@ -89,7 +89,7 @@ class TestMixedWorkload:
 
         projector = (
             analyze(grammar, [QUERY_XPATH]).projector
-            | analyze_xquery(grammar, QUERY_XQUERY).projector
+            | analyze(grammar, QUERY_XQUERY, language="xquery").projector
         )
         assert grammar.is_projector(projector)
         pruned = prune_document(document, interpretation, projector)

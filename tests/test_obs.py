@@ -1,0 +1,226 @@
+"""Observability layer tests: spans, counters, sinks, the no-op default
+(repro.obs)."""
+
+import io
+import json
+
+from repro import obs
+
+
+class TestNullDefault:
+    def test_disabled_by_default(self):
+        assert not obs.enabled()
+        assert not obs.get_tracer().enabled
+
+    def test_null_span_is_free_and_reusable(self):
+        first = obs.span("anything", key="value")
+        second = obs.span("other")
+        assert first is second  # the shared NullSpan singleton
+        with first as span:
+            span.count("n", 5)
+            span.set(more="attrs")
+        assert span.counters == {}
+        assert not span.enabled
+
+    def test_module_counters_are_noops(self):
+        obs.count("nothing", 10)
+        obs.gauge("nothing", 10)
+        assert obs.get_tracer().counters == {}
+
+    def test_timed_measures_even_when_disabled(self):
+        with obs.timed("work") as span:
+            pass
+        assert span.seconds > 0
+        assert not span.enabled  # measured, but reporting nowhere
+
+
+class TestSpans:
+    def test_span_record_shape(self):
+        with obs.capture() as sink:
+            with obs.span("stage", doc="a.xml") as span:
+                span.count("items", 3)
+                span.count("items", 4)
+        [record] = sink.spans("stage")
+        assert record["type"] == "span"
+        assert record["attrs"] == {"doc": "a.xml"}
+        assert record["counters"] == {"items": 7}
+        assert record["seconds"] > 0
+
+    def test_nesting_tracks_parent_and_depth(self):
+        with obs.capture() as sink:
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    pass
+        [inner] = sink.spans("inner")
+        [outer] = sink.spans("outer")
+        assert inner["parent"] == "outer" and inner["depth"] == 1
+        assert outer["parent"] is None and outer["depth"] == 0
+        # Inner closes first: sink order is innermost-first.
+        assert sink.records.index(inner) < sink.records.index(outer)
+
+    def test_stop_freezes_duration_before_late_counters(self):
+        with obs.capture() as sink:
+            with obs.span("stage") as span:
+                span.stop()
+                frozen = span.seconds
+                span.count("late", 1)  # attached after the clock stopped
+        [record] = sink.spans("stage")
+        assert record["seconds"] == frozen > 0
+        assert record["counters"] == {"late": 1}
+
+    def test_exception_marks_span(self):
+        with obs.capture() as sink:
+            try:
+                with obs.span("failing"):
+                    raise ValueError("boom")
+            except ValueError:
+                pass
+        [record] = sink.spans("failing")
+        assert record["attrs"]["error"] == "ValueError"
+
+    def test_merge_counters(self):
+        with obs.capture() as sink:
+            with obs.span("stage") as span:
+                span.count("a", 1)
+                span.merge_counters({"a": 2, "b": 5})
+        [record] = sink.spans("stage")
+        assert record["counters"] == {"a": 3, "b": 5}
+
+
+class TestCountersAndGauges:
+    def test_flush_emits_aggregates_once(self):
+        with obs.capture() as sink:
+            obs.count("cache.hits")
+            obs.count("cache.hits", 2)
+            obs.gauge("model_bytes", 1024)
+            obs.flush()
+            assert sink.counters() == {"cache.hits": 3}
+            assert sink.gauges() == {"model_bytes": 1024}
+            obs.flush()  # cleared: nothing new
+        counter_records = [r for r in sink.records if r["type"] == "counter"]
+        assert len(counter_records) == 1
+
+
+class TestSinks:
+    def test_jsonl_sink_round_trips(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = obs.JsonlSink(str(path))
+        tracer = obs.Tracer(sink)
+        with tracer.span("stage", names=frozenset({"b", "a"})) as span:
+            span.count("n", 1)
+        tracer.count("total", 2)
+        tracer.close()
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0]["name"] == "stage"
+        assert lines[0]["attrs"]["names"] == ["a", "b"]  # sets serialise sorted
+        assert {"type": "counter", "name": "total", "value": 2} in lines
+
+    def test_jsonl_sink_on_stream(self):
+        buffer = io.StringIO()
+        sink = obs.JsonlSink(buffer)
+        sink.record({"type": "counter", "name": "x", "value": 1})
+        sink.close()  # must not close a borrowed stream
+        assert json.loads(buffer.getvalue()) == {
+            "type": "counter", "name": "x", "value": 1,
+        }
+
+    def test_summary_sink_rolls_up(self):
+        buffer = io.StringIO()
+        sink = obs.SummarySink(buffer)
+        tracer = obs.Tracer(sink)
+        for _ in range(3):
+            with tracer.span("prune") as span:
+                span.count("nodes_out", 10)
+        tracer.count("cache.hits", 7)
+        tracer.close()
+        text = buffer.getvalue()
+        assert "-- metrics" in text
+        assert "prune" in text and "cache.hits" in text
+        assert "prune.nodes_out" in text  # span counters roll up under the span
+
+    def test_configure_and_disable_swap_the_global_tracer(self):
+        sink = obs.MemorySink()
+        obs.configure(sink)
+        try:
+            assert obs.enabled()
+            with obs.span("live"):
+                pass
+        finally:
+            obs.disable()
+        assert not obs.enabled()
+        assert sink.spans("live")
+
+    def test_capture_restores_previous_tracer(self):
+        before = obs.get_tracer()
+        with obs.capture():
+            assert obs.get_tracer() is not before
+        assert obs.get_tracer() is before
+
+
+class TestPipelineIntegration:
+    def test_parse_analyze_prune_spans(self, book_grammar):
+        from repro.api import prune
+        from repro.core.pipeline import analyze
+        from repro.xmltree.builder import parse_document
+        from tests.conftest import BOOK_XML
+
+        with obs.capture() as sink:
+            parse_document(BOOK_XML)
+            result = analyze(book_grammar, ["//title"])
+            prune(BOOK_XML, book_grammar, result.projector)
+        assert sink.spans("parse")
+        assert sink.spans("analysis")
+        assert sink.spans("analysis.query")
+        [span] = sink.spans("prune")
+        assert span["attrs"]["mode"] == "fast"
+        assert span["counters"]["bytes_in"] > span["counters"]["bytes_out"] > 0
+
+    def test_prune_span_counters_match_stats(self, book_grammar):
+        from repro.api import prune
+        from tests.conftest import BOOK_XML
+
+        projector = book_grammar.projector_closure(["title"])
+        with obs.capture() as sink:
+            result = prune(BOOK_XML, book_grammar, projector)
+        [span] = sink.spans("prune")
+        assert span["counters"] == result.stats.as_counters()
+
+    def test_analysis_span_backs_analysis_seconds(self, book_grammar):
+        from repro.core.pipeline import analyze
+
+        result = analyze(book_grammar, ["//title"])
+        assert result.span is not None
+        assert result.analysis_seconds == result.span.seconds > 0
+
+    def test_cache_counters(self, book_grammar):
+        from repro.core.cache import ProjectorCache
+
+        cache = ProjectorCache()
+        with obs.capture() as sink:
+            cache.projector_for_query(book_grammar, "//title")
+            cache.projector_for_query(book_grammar, "//title")
+            obs.flush()
+        counters = sink.counters()
+        assert counters["cache.misses"] == 1
+        assert counters["cache.hits"] == 1
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_load_and_query_spans(self, book_grammar):
+        import io as _io
+
+        from repro.engine.executor import QueryEngine
+        from repro.engine.loader import load_pruned
+
+        projector = book_grammar.projector_closure(["title"])
+        with obs.capture() as sink:
+            report = load_pruned(_io.StringIO(
+                "<bib><book><title>t</title><author>a</author></book></bib>"
+            ), book_grammar, projector)
+            QueryEngine(report.document).run("//title")
+        [load_span] = sink.spans("load")
+        assert load_span["attrs"]["strategy"] == "pruned"
+        assert load_span["counters"]["nodes_built"] == report.nodes_built
+        assert load_span["counters"]["model_bytes"] == report.model_bytes
+        [query_span] = sink.spans("query")
+        assert query_span["attrs"]["language"] == "xpath"
+        assert query_span["counters"]["results"] == 1

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.pipeline import AnalysisResult, analyze, analyze_query, analyze_xquery, type_of_query
+from repro.core.pipeline import AnalysisResult, analyze, type_of_query
 from repro.dtd.grammar import text_name
 from repro.errors import AnalysisError, ProjectorError
 
@@ -48,18 +48,18 @@ class TestAnalyze:
 
 class TestMaterializeFlag:
     def test_materialized_includes_answer_subtrees(self, book_grammar):
-        with_subtrees = analyze_query(book_grammar, "//book")
-        without = analyze_query(book_grammar, "//book", materialize=False)
+        with_subtrees = analyze(book_grammar, "//book").projector
+        without = analyze(book_grammar, "//book", materialize=False).projector
         assert text_name("title") in with_subtrees
         assert text_name("title") not in without
         assert without < with_subtrees
 
     def test_unknown_tag_query_keeps_root_only(self, book_grammar):
-        projector = analyze_query(book_grammar, "//pamphlet")
+        projector = analyze(book_grammar, "//pamphlet").projector
         assert projector == {"bib"}
 
     def test_absolute_dead_first_step_keeps_root(self, book_grammar):
-        projector = analyze_query(book_grammar, "/wrongroot/title")
+        projector = analyze(book_grammar, "/wrongroot/title").projector
         assert projector == {"bib"}
 
 
@@ -68,13 +68,13 @@ class TestMaterializationIncludesAttributes:
         """Regression: copying an element into constructed output must keep
         its attributes — the trailing descendant-or-self marker implies the
         attribute-inclusive closure."""
-        result = analyze_xquery(
+        result = analyze(
             book_grammar, "for $b in /bib/book return <copy>{$b}</copy>"
         )
         assert "book@isbn" in result.projector
 
     def test_xpath_materialised_answers_keep_attributes(self, book_grammar):
-        projector = analyze_query(book_grammar, "//book")
+        projector = analyze(book_grammar, "//book").projector
         assert "book@isbn" in projector
 
 
@@ -91,8 +91,8 @@ class TestTypeOfQuery:
 
 class TestAnalyzeXQuery:
     def test_single_and_bunch(self, book_grammar):
-        single = analyze_xquery(book_grammar, "for $b in /bib/book return $b/title")
-        bunch = analyze_xquery(
+        single = analyze(book_grammar, "for $b in /bib/book return $b/title")
+        bunch = analyze(
             book_grammar,
             [
                 "for $b in /bib/book return $b/title",
@@ -107,12 +107,12 @@ class TestAnalyzeXQuery:
             "for $y in /bib//node() return "
             "if ($y/author) then $y/author else ()"
         )
-        with_rewrite = analyze_xquery(book_grammar, query, rewrite=True)
-        without = analyze_xquery(book_grammar, query, rewrite=False)
+        with_rewrite = analyze(book_grammar, query, rewrite=True)
+        without = analyze(book_grammar, query, rewrite=False)
         # Without the Section 5 rewriting, the descendant-or-self path
         # annuls pruning; with it the projector is strictly smaller.
         assert with_rewrite.projector < without.projector
 
     def test_extraction_paths_recorded(self, book_grammar):
-        result = analyze_xquery(book_grammar, "for $b in /bib/book return $b/title")
+        result = analyze(book_grammar, "for $b in /bib/book return $b/title")
         assert result.paths

@@ -10,12 +10,8 @@ from hypothesis import strategies as st
 from repro.dtd.grammar import text_name
 from repro.dtd.validator import validate
 from repro.errors import ProjectorError, ValidationError
-from repro.projection.streaming import (
-    StreamingPruner,
-    prune_events,
-    prune_stream,
-    prune_string,
-)
+from repro.api import prune
+from repro.projection.streaming import StreamingPruner
 from repro.projection.tree import prune_document
 from repro.workloads.randomgen import random_grammar, random_valid_document
 from repro.xmltree.builder import build_tree, parse_document
@@ -29,7 +25,7 @@ class TestStreamingEqualsTree:
         document = parse_document(xml)
         interpretation = validate(document, grammar)
         tree_pruned = prune_document(document, interpretation, projector)
-        streamed, _ = prune_string(xml, grammar, projector)
+        streamed = prune(xml, grammar, projector).text
         return serialize(tree_pruned), streamed
 
     def test_on_books(self, book_grammar):
@@ -51,7 +47,7 @@ class TestStreamingEqualsTree:
         ) | {grammar.root}
         interpretation = validate(document, grammar)
         tree_pruned = serialize(prune_document(document, interpretation, projector))
-        streamed, _ = prune_string(serialize(document), grammar, projector)
+        streamed = prune(serialize(document), grammar, projector).text
         assert streamed == tree_pruned
 
 
@@ -72,7 +68,7 @@ class TestStreamingBehaviour:
     def test_validating_mode_rejects_invalid_content(self, book_grammar):
         events = parse_events("<bib><book><author>a</author><title>t</title></book></bib>")
         with pytest.raises(ValidationError):
-            list(prune_events(events, book_grammar, frozenset({"bib"}), validate=True))
+            list(prune(events, book_grammar, frozenset({"bib"}), validate=True).events)
 
     def test_validating_mode_checks_even_pruned_regions(self, book_grammar):
         # The projector drops <book>, but validation still sees the
@@ -80,11 +76,11 @@ class TestStreamingBehaviour:
         events = parse_events("<bib><book><author>a</author><title>t</title></book></bib>")
         projector = frozenset({"bib"})
         with pytest.raises(ValidationError):
-            list(prune_events(events, book_grammar, projector, validate=True))
+            list(prune(events, book_grammar, projector, validate=True).events)
 
     def test_comments_and_pis_pass_through(self, book_grammar):
         xml = "<bib><!--note--><?pi data?></bib>"
-        pruned, _ = prune_string(xml, book_grammar, frozenset({"bib"}))
+        pruned = prune(xml, book_grammar, frozenset({"bib"})).text
         assert "<!--note-->" in pruned and "<?pi data?>" in pruned
 
     @pytest.mark.parametrize("fast", [True, False])
@@ -95,23 +91,23 @@ class TestStreamingBehaviour:
         xml = ("<bib><book><title>t<!--inner--></title>"
                "<author>a<?proc data?></author></book>"
                "<!--kept: bib level--></bib>")
-        pruned, _ = prune_string(xml, book_grammar, frozenset({"bib"}), fast=fast)
+        pruned = prune(xml, book_grammar, frozenset({"bib"}), fast=fast).text
         assert "inner" not in pruned and "proc" not in pruned
         assert "<!--kept: bib level-->" in pruned
 
     def test_stats_populated(self, book_grammar):
         projector = book_grammar.projector_closure(["title", text_name("title")])
-        _, stats = prune_string(BOOK_XML, book_grammar, projector)
+        stats = prune(BOOK_XML, book_grammar, projector).stats
         assert stats.elements_in > stats.elements_out > 0
         assert stats.bytes_in > stats.bytes_out > 0
         assert stats.distinct_tags_out < stats.distinct_tags_in
 
     def test_prune_stream_file_objects(self, book_grammar):
         sink = io.StringIO()
-        stats = prune_stream(
-            io.StringIO(BOOK_XML), sink, book_grammar,
-            book_grammar.projector_closure(["title"]),
-        )
+        stats = prune(
+            io.StringIO(BOOK_XML), book_grammar,
+            book_grammar.projector_closure(["title"]), out=sink,
+        ).stats
         assert "<title/>" in sink.getvalue()
         assert stats.bytes_out == len(sink.getvalue())
 
@@ -121,7 +117,7 @@ class TestStreamingBehaviour:
         projector = book_grammar.projector_closure(
             ["title", text_name("title"), "author", text_name("author")]
         )
-        pruned, _ = prune_string(BOOK_XML, book_grammar, projector)
+        pruned = prune(BOOK_XML, book_grammar, projector).text
         validate(parse_document(pruned), book_grammar)
 
     def test_depth_only_state(self, book_grammar):
@@ -140,20 +136,19 @@ class TestByteAccounting:
         # prune_file reports os.path.getsize — UTF-8 *bytes* — skewing
         # size ratios on non-ASCII documents.
         xml = "<bib><book><title>Ærøskøbing — ☃</title><author>ø</author></book></bib>"
-        _, stats = prune_string(xml, book_grammar, frozenset({"bib"}), fast=fast)
+        stats = prune(xml, book_grammar, frozenset({"bib"}), fast=fast).stats
         assert stats.bytes_in == len(xml.encode("utf-8"))
         assert stats.bytes_in > len(xml)
 
     def test_prune_string_matches_prune_file_accounting(self, book_grammar, tmp_path):
-        from repro.projection.streaming import prune_file
-
         xml = "<bib><book><title>naïve ☃</title><author>a</author></book></bib>"
         source = tmp_path / "in.xml"
         source.write_text(xml, encoding="utf-8")
-        file_stats = prune_file(
-            str(source), str(tmp_path / "out.xml"), book_grammar, frozenset({"bib"})
-        )
-        _, string_stats = prune_string(xml, book_grammar, frozenset({"bib"}))
+        file_stats = prune(
+            str(source), book_grammar, frozenset({"bib"}),
+            out=str(tmp_path / "out.xml"),
+        ).stats
+        string_stats = prune(xml, book_grammar, frozenset({"bib"})).stats
         assert string_stats.bytes_in == file_stats.bytes_in
 
 
@@ -162,7 +157,6 @@ class TestPruneFileCleanup:
     def test_partial_output_removed_on_parse_error(self, book_grammar, tmp_path, fast):
         # Regression: a mid-stream parse failure used to leave a truncated
         # half-pruned document behind, indistinguishable from a good run.
-        from repro.projection.streaming import prune_file
         from repro.errors import XMLSyntaxError
 
         source = tmp_path / "bad.xml"
@@ -174,38 +168,34 @@ class TestPruneFileCleanup:
         source.write_text(f"<bib>{books}<book><title>x</author></book></bib>")
         output = tmp_path / "out.xml"
         with pytest.raises(XMLSyntaxError):
-            prune_file(str(source), str(output), book_grammar,
-                       book_grammar.projector_closure(["title", text_name("title")]),
-                       fast=fast)
+            prune(str(source), book_grammar,
+                  book_grammar.projector_closure(["title", text_name("title")]),
+                  out=str(output), fast=fast)
         assert not output.exists()
 
     def test_validation_failure_also_cleans_up(self, book_grammar, tmp_path):
-        from repro.projection.streaming import prune_file
-
         source = tmp_path / "invalid.xml"
         source.write_text("<bib><book><author>a</author><title>t</title></book></bib>")
         output = tmp_path / "out.xml"
         with pytest.raises(ValidationError):
-            prune_file(str(source), str(output), book_grammar, frozenset({"bib"}),
-                       validate=True)
+            prune(str(source), book_grammar, frozenset({"bib"}),
+                  out=str(output), validate=True)
         assert not output.exists()
 
     def test_missing_input_preserves_existing_output(self, book_grammar, tmp_path):
         # Opening the input fails *before* the output is touched — a
         # pre-existing file at the output path must survive.
-        from repro.projection.streaming import prune_file
-
         output = tmp_path / "precious.xml"
         output.write_text("<bib/>")
         with pytest.raises(FileNotFoundError):
-            prune_file(str(tmp_path / "nope.xml"), str(output), book_grammar,
-                       frozenset({"bib"}))
+            prune(str(tmp_path / "nope.xml"), book_grammar, frozenset({"bib"}),
+                  out=str(output))
         assert output.read_text() == "<bib/>"
 
 
 class TestEventRoundTrip:
     def test_pruned_events_build_a_valid_tree(self, book_grammar):
         projector = book_grammar.projector_closure(["author", text_name("author")])
-        events = prune_events(parse_events(BOOK_XML), book_grammar, projector)
+        events = prune(parse_events(BOOK_XML), book_grammar, projector).events
         document = build_tree(events)
         assert {node.tag for node in document.elements()} == {"bib", "book", "author"}

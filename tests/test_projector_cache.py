@@ -9,7 +9,7 @@ from repro.core.cache import (
     default_cache,
     grammar_fingerprint,
 )
-from repro.core.pipeline import analyze, analyze_xquery
+from repro.core.pipeline import analyze
 from repro.dtd.grammar import grammar_from_text
 from tests.conftest import BOOK_DTD
 
@@ -76,7 +76,7 @@ class TestCacheBehaviour:
     def test_xquery_routed_and_cached(self, cache, book_grammar):
         query = "for $b in /bib/book return $b/author"
         cached = cache.projector_for_query(book_grammar, query)
-        assert cached == analyze_xquery(book_grammar, [query]).projector
+        assert cached == analyze(book_grammar, [query], language="xquery").projector
         cache.projector_for_query(book_grammar, query)
         assert cache.stats.hits == 1
 

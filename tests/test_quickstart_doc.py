@@ -1,0 +1,72 @@
+"""The documented quickstarts must run verbatim.
+
+Regression guard for doc drift: the package docstring and the README
+quickstart are extracted *as written* and executed — a signature change
+that breaks them breaks this test, not a user.
+"""
+
+import os
+import pathlib
+import re
+import textwrap
+
+import repro
+from tests.conftest import BOOK_DTD, BOOK_XML
+
+
+def _docstring_quickstart() -> str:
+    """The indented block following ``Quickstart::`` in repro.__doc__."""
+    lines = repro.__doc__.splitlines()
+    start = next(i for i, line in enumerate(lines) if line.startswith("Quickstart::"))
+    block: list[str] = []
+    for line in lines[start + 1:]:
+        if line.strip() and not line.startswith("    "):
+            break
+        block.append(line)
+    return textwrap.dedent("\n".join(block))
+
+
+def test_package_docstring_quickstart_runs_verbatim():
+    code = _docstring_quickstart()
+    assert "analyze" in code and "prune_document" in code
+    namespace = {"DTD_TEXT": BOOK_DTD, "XML_TEXT": BOOK_XML}
+    exec(compile(code, "repro.__doc__", "exec"), namespace)
+    pruned = namespace["pruned"]
+    assert {node.tag for node in pruned.elements()} <= {
+        "bib", "book", "title", "author"
+    }
+    # The Dante query keeps titles and authors but not years or prices.
+    from repro import serialize
+
+    markup = serialize(pruned)
+    assert "<title>" in markup and "year" not in markup
+
+
+def test_readme_quickstart_runs_verbatim(tmp_path, monkeypatch):
+    readme = pathlib.Path(__file__).resolve().parent.parent / "README.md"
+    match = re.search(r"## Quickstart\n\n```python\n(.*?)```", readme.read_text(),
+                      re.DOTALL)
+    assert match, "README has no quickstart code block"
+    code = match.group(1)
+    # The snippet reads bib.xml from the working directory.
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "bib.xml").write_text(BOOK_XML)
+    exec(compile(code, str(readme), "exec"), {})
+
+
+def test_docstring_and_pipeline_docstring_agree_on_prune_signature():
+    """Both quickstarts must call prune_document(document, interpretation,
+    projector) — the real signature (the grammar is *inside* the
+    interpretation)."""
+    import inspect
+
+    from repro.core import pipeline
+    from repro.projection.tree import prune_document
+
+    parameters = list(inspect.signature(prune_document).parameters)
+    assert parameters[:3] == ["document", "interpretation", "projector"]
+    for doc in (repro.__doc__, pipeline.__doc__):
+        call = re.search(r"prune_document\(([^)]*)\)", doc)
+        assert call, "quickstart no longer shows prune_document"
+        args = [part.strip() for part in call.group(1).split(",")]
+        assert args[:2] == ["document", "interpretation"], doc[:40]

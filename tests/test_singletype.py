@@ -17,7 +17,7 @@ from repro.dtd.regex import Atom, Epsilon, Seq, Star
 from repro.dtd.singletype import SingleTypeGrammar, single_type_grammar
 from repro.dtd.validator import EventValidator, validate
 from repro.errors import GrammarError, ValidationError
-from repro.projection.streaming import prune_string
+from repro.api import prune
 from repro.projection.tree import prune_document
 from repro.xmltree.builder import parse_document
 from repro.xmltree.parser import parse_events
@@ -148,7 +148,8 @@ class TestAnalysisAndPruning:
 
     def test_streaming_pruner_resolves_context(self, library):
         result = analyze(library, ["//minutes"])
-        pruned, stats = prune_string(LIB_XML, library, result.projector)
+        pruned_result = prune(LIB_XML, library, result.projector)
+        pruned, stats = pruned_result.text, pruned_result.stats
         # Book items disappear; the film item survives with its minutes.
         assert "Stalker" not in pruned or "<minutes>161</minutes>" in pruned
         assert "pages" not in pruned
@@ -159,7 +160,7 @@ class TestAnalysisAndPruning:
         interpretation = validate(document, library)
         result = analyze(library, ["//minutes"])
         via_tree = serialize(prune_document(document, interpretation, result.projector))
-        via_stream, _ = prune_string(LIB_XML, library, result.projector)
+        via_stream = prune(LIB_XML, library, result.projector).text
         assert via_tree == via_stream
 
     def test_theorem_4_5_on_random_single_type_grammars(self):
@@ -189,7 +190,7 @@ class TestAnalysisAndPruning:
             original = sorted(n.node_id for n in evaluate_pathl(document, pathl))
             after = sorted(n.node_id for n in evaluate_pathl(pruned, pathl))
             assert original == after
-            streamed, _ = prune_string(serialize(document), grammar, projector)
+            streamed = prune(serialize(document), grammar, projector).text
             assert streamed == serialize(pruned)
 
         run()

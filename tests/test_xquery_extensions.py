@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.pipeline import analyze_xquery
+from repro.core.pipeline import analyze
 from repro.dtd.grammar import grammar_from_text
 from repro.dtd.validator import validate
 from repro.errors import XQuerySyntaxError
@@ -77,7 +77,7 @@ class TestQuantifiers:
             "for $x in /r/a where some $y in $x/b satisfies $y = 1 "
             "return $x/tag/text()"
         )
-        result = analyze_xquery(grammar, query)
+        result = analyze(grammar, query, language="xquery")
         pruned = prune_document(DOC, interpretation, result.projector)
         assert run(query) == XQueryEvaluator(pruned).evaluate_serialized(query)
 
@@ -125,7 +125,7 @@ class TestOrderBy:
         grammar = grammar_from_text(DTD, "r")
         interpretation = validate(DOC, grammar)
         query = "for $x in /r/a order by $x/b descending return $x/tag/text()"
-        result = analyze_xquery(grammar, query)
+        result = analyze(grammar, query, language="xquery")
         pruned = prune_document(DOC, interpretation, result.projector)
         assert run(query) == XQueryEvaluator(pruned).evaluate_serialized(query)
 

@@ -4,7 +4,7 @@ whole Section 5 pipeline)."""
 
 import pytest
 
-from repro.core.pipeline import analyze, analyze_xquery
+from repro.core.pipeline import analyze
 from repro.projection.tree import prune_document
 from repro.workloads.xmark import TABLE1_XMARK, XMARK_QUERIES
 from repro.workloads.xpathmark import XPATHMARK_QUERIES
@@ -16,7 +16,7 @@ from repro.xquery.evaluator import XQueryEvaluator
 def test_xmark_query_soundness(xmark, name):
     grammar, document, interpretation = xmark
     query = XMARK_QUERIES[name]
-    result = analyze_xquery(grammar, query)
+    result = analyze(grammar, query, language="xquery")
     pruned = prune_document(document, interpretation, result.projector)
     original = XQueryEvaluator(document).evaluate_serialized(query)
     after = XQueryEvaluator(pruned).evaluate_serialized(query)
@@ -38,7 +38,7 @@ def test_union_projector_serves_the_whole_bunch(xmark):
     """Bunch-of-queries (Section 5): one pruned document answers all."""
     grammar, document, interpretation = xmark
     queries = [XMARK_QUERIES[name] for name in TABLE1_XMARK]
-    result = analyze_xquery(grammar, queries)
+    result = analyze(grammar, queries, language="xquery")
     pruned = prune_document(document, interpretation, result.projector)
     for name, query in zip(TABLE1_XMARK, queries):
         assert (
@@ -50,7 +50,7 @@ def test_union_projector_serves_the_whole_bunch(xmark):
 def test_union_is_union_of_per_query_projectors(xmark):
     grammar, _, _ = xmark
     queries = [XMARK_QUERIES[name] for name in ("QM01", "QM05")]
-    result = analyze_xquery(grammar, queries)
+    result = analyze(grammar, queries, language="xquery")
     assert result.projector == frozenset().union(*result.per_query)
 
 
@@ -59,7 +59,7 @@ def test_analysis_time_is_negligible(xmark):
     (lower than half a second) even for complex queries and DTDs'."""
     grammar, _, _ = xmark
     for name in TABLE1_XMARK:
-        result = analyze_xquery(grammar, XMARK_QUERIES[name])
+        result = analyze(grammar, XMARK_QUERIES[name], language="xquery")
         assert result.analysis_seconds < 0.5, name
 
 
@@ -67,8 +67,8 @@ def test_selective_queries_prune_hard(xmark):
     """Sanity on pruning power: QM01 (one person's name) keeps only a few
     names; QM14 (description search) keeps the mixed-content fabric."""
     grammar, document, interpretation = xmark
-    small = analyze_xquery(grammar, XMARK_QUERIES["QM01"])
-    big = analyze_xquery(grammar, XMARK_QUERIES["QM14"])
+    small = analyze(grammar, XMARK_QUERIES["QM01"], language="xquery")
+    big = analyze(grammar, XMARK_QUERIES["QM14"], language="xquery")
     pruned_small = prune_document(document, interpretation, small.projector)
     pruned_big = prune_document(document, interpretation, big.projector)
     assert pruned_small.size() < 0.10 * document.size()
