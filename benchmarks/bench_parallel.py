@@ -1,0 +1,204 @@
+"""Parallel batch-pruning benchmark: ``prune_many`` across a worker pool.
+
+Standalone script (not pytest-benchmark — CI runs it directly)::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py [--smoke]
+        [--docs N] [--factor F] [--jobs N] [--repeats N]
+        [--min-speedup X] [--output PATH]
+
+Builds a corpus of XMark documents (distinct seeds, same grammar), then:
+
+* prunes it with ``jobs=1`` and with ``--jobs`` workers, reporting the
+  median wall time of each and the speedup;
+* **asserts** that ``jobs=1`` output is byte-identical, per document, to
+  the serial :func:`repro.prune` facade, and that the pooled run is
+  byte-identical to ``jobs=1`` — parallelism must never change a byte;
+* gates on ``--min-speedup`` (default 2.0 at 4 jobs).  On a machine with
+  fewer usable cores than 2 the speedup gate is *recorded as skipped*
+  rather than failed: a 1-core container cannot exhibit parallel speedup,
+  and pretending otherwise would make the gate noise.  The equivalence
+  gates always apply.
+
+Writes ``benchmarks/results/BENCH_parallel.json`` plus a JSONL gauge
+stream (``BENCH_parallel.jsonl``), same formats as ``bench_hotpath``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+QUERIES = [
+    "/site/open_auctions/open_auction/bidder/increase",
+    "//person/name",
+]
+
+
+def _median(samples: list[float]) -> float:
+    ordered = sorted(samples)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2
+
+
+def _build_corpus(directory: str, docs: int, factor: float) -> list[str]:
+    from repro.workloads.xmark import generate_file
+
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for i in range(docs):
+        path = os.path.join(directory, f"xmark{i:03d}.xml")
+        generate_file(path, factor=factor, seed=1000 + i)
+        paths.append(path)
+    return paths
+
+
+def _time_batch(paths: list[str], grammar, projector, jobs: int, repeats: int):
+    from repro.parallel import prune_many
+
+    samples = []
+    batch = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        batch = prune_many(paths, grammar, projector, jobs=jobs)
+        samples.append(time.perf_counter() - started)
+        if not batch.ok:
+            raise SystemExit(
+                f"batch prune failed: {[str(e) for e in batch.errors]}"
+            )
+    return _median(samples), batch
+
+
+def run(docs: int, factor: float, jobs: int, repeats: int,
+        output_path: str, min_speedup: float) -> dict:
+    import tempfile
+
+    from repro.api import prune
+    from repro.core.cache import resolve_projector
+    from repro.workloads.xmark import xmark_grammar
+
+    grammar = xmark_grammar()
+    projector = resolve_projector(grammar, QUERIES)
+    cores = os.cpu_count() or 1
+
+    with tempfile.TemporaryDirectory(prefix="bench_parallel_") as tmp:
+        print(f"generating {docs} XMark documents (factor {factor}) ...", flush=True)
+        paths = _build_corpus(tmp, docs, factor)
+        corpus_bytes = sum(os.path.getsize(p) for p in paths)
+
+        serial_seconds, serial_batch = _time_batch(paths, grammar, projector, 1, repeats)
+        pool_seconds, pool_batch = _time_batch(paths, grammar, projector, jobs, repeats)
+
+        # Equivalence gates — parallelism must never change a byte.
+        facade_identical = all(
+            result.text == prune(path, grammar, projector).text
+            for path, result in zip(paths, serial_batch.results)
+        )
+        pool_identical = pool_batch.texts() == serial_batch.texts()
+
+    speedup = serial_seconds / pool_seconds if pool_seconds else float("inf")
+    speedup_gate: "str | bool"
+    if cores < 2:
+        speedup_gate = f"skipped ({cores} cpu)"
+    else:
+        speedup_gate = speedup >= min_speedup
+    print(f"  jobs=1     {serial_seconds * 1000:8.1f} ms", flush=True)
+    print(f"  jobs={jobs:<5d}{pool_seconds * 1000:8.1f} ms   {speedup:5.2f}x "
+          f"(gate: {speedup_gate})", flush=True)
+
+    report = {
+        "benchmark": "parallel",
+        "documents": docs,
+        "xmark_factor": factor,
+        "corpus_megabytes": round(corpus_bytes / 1e6, 3),
+        "repeats": repeats,
+        "jobs": jobs,
+        "cpu_count": cores,
+        "queries": QUERIES,
+        "projector_size": len(projector),
+        "serial_seconds": round(serial_seconds, 6),
+        "pool_seconds": round(pool_seconds, 6),
+        "speedup": round(speedup, 3),
+        "min_speedup_required": min_speedup,
+        "speedup_gate": speedup_gate,
+        "jobs1_identical_to_facade": facade_identical,
+        "pool_identical_to_jobs1": pool_identical,
+        "pruned_bytes": serial_batch.stats.bytes_out,
+        "size_percent_kept": round(
+            100 * serial_batch.stats.bytes_out / max(1, serial_batch.stats.bytes_in), 2
+        ),
+    }
+
+    os.makedirs(os.path.dirname(output_path), exist_ok=True)
+    with open(output_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    _write_gauges(report, os.path.splitext(output_path)[0] + ".jsonl")
+    print(f"wrote {output_path}")
+
+    failures = []
+    if not facade_identical:
+        failures.append("jobs=1 output is not byte-identical to the serial prune facade")
+    if not pool_identical:
+        failures.append(f"jobs={jobs} output is not byte-identical to jobs=1")
+    if speedup_gate is False:
+        failures.append(
+            f"speedup {speedup:.2f}x at {jobs} jobs is below the "
+            f"{min_speedup}x target ({cores} cores available)"
+        )
+    report["failures"] = failures
+    return report
+
+
+def _write_gauges(report: dict, path: str) -> None:
+    from repro import obs
+
+    sink = obs.JsonlSink(path)
+    try:
+        for key in ("corpus_megabytes", "serial_seconds", "pool_seconds",
+                    "speedup", "documents", "jobs", "cpu_count",
+                    "size_percent_kept"):
+            sink.record({
+                "type": "gauge",
+                "name": f"bench.parallel.{key}",
+                "value": report[key],
+            })
+    finally:
+        sink.close()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--docs", type=int, default=None,
+                        help="corpus size (default 24; --smoke uses 8)")
+    parser.add_argument("--factor", type=float, default=None,
+                        help="XMark scale factor per document "
+                             "(default 0.006; --smoke uses 0.002)")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="pool width for the parallel run (default 4)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repetitions (median is reported)")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="fail if the pooled speedup is below this "
+                             "(auto-skipped on <2 usable cores)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small corpus + fewer repeats (CI smoke mode)")
+    parser.add_argument("--output", default=os.path.join(
+        os.path.dirname(__file__), "results", "BENCH_parallel.json"))
+    args = parser.parse_args(argv)
+
+    docs = args.docs if args.docs is not None else (8 if args.smoke else 24)
+    factor = args.factor if args.factor is not None else (0.002 if args.smoke else 0.006)
+    repeats = args.repeats if args.repeats is not None else (2 if args.smoke else 3)
+    report = run(docs, factor, args.jobs, repeats, args.output, args.min_speedup)
+    for failure in report["failures"]:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if report["failures"] else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

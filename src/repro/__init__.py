@@ -33,6 +33,7 @@ from repro.dtd.properties import analyze_grammar
 from repro.dtd.validator import Interpretation, validate
 from repro.engine.executor import QueryEngine
 from repro.errors import ReproError
+from repro.parallel import BatchError, BatchResult, prune_many
 from repro.projection.fastpath import FastPruner
 from repro.projection.prunetable import PruneTable, compile_prune_table
 from repro.projection.streaming import prune_events, prune_file, prune_stream, prune_string
@@ -47,6 +48,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AnalysisResult",
+    "BatchError",
+    "BatchResult",
     "CacheStats",
     "FastPruner",
     "Grammar",
@@ -80,6 +83,7 @@ __all__ = [
     "prune_document",
     "prune_events",
     "prune_file",
+    "prune_many",
     "prune_stream",
     "prune_string",
     "serialize",

@@ -38,6 +38,7 @@ from repro.dtd.grammar import Grammar
 from repro.errors import ReproError
 from repro.projection.stats import PruneStats
 from repro.projection.streaming import (
+    _open_output,
     _prune_events,
     _prune_file,
     _prune_stream,
@@ -196,16 +197,12 @@ def prune(
         with_source(collector)
         return PruneResult(stats=stats, text=collector.getvalue())
     if out_is_path:
+        # _open_output keeps the remove-partial-output contract and, when
+        # the path cannot even be opened (unwritable), leaves any
+        # pre-existing file there untouched.
         out_path = os.fspath(out)  # type: ignore[arg-type]
-        try:
-            with open(out_path, "w", encoding="utf-8") as sink:
-                with_source(sink)
-        except BaseException:
-            try:
-                os.remove(out_path)
-            except OSError:
-                pass
-            raise
+        with _open_output(out_path) as sink:
+            with_source(sink)
         return PruneResult(stats=stats, output_path=out_path)
     with_source(out)  # type: ignore[arg-type]
     return PruneResult(stats=stats)

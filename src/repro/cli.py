@@ -76,11 +76,49 @@ def cmd_analyze(args) -> int:
     return 0
 
 
+def _batch_inputs(args):
+    """Expand the prune/run input spec; a list means batch mode.
+
+    Batch mode engages when ``--jobs`` is not 1 or the input names more
+    than one document (a glob or a directory).
+    """
+    from repro.parallel import expand_sources
+
+    items = expand_sources(args.input)
+    if getattr(args, "jobs", 1) != 1 or len(items) != 1 or items[0] != args.input:
+        return items
+    return None
+
+
+def _print_batch_errors(batch) -> None:
+    for error in batch.errors:
+        print(f"error: {error.source}: {error.kind}: {error.message}", file=sys.stderr)
+
+
 def cmd_prune(args) -> int:
     from repro import obs
     from repro.api import prune
 
-    grammar = _load_grammar(args, document_path=args.input)
+    items = _batch_inputs(args)
+    first_doc = items[0] if items else args.input
+    grammar = _load_grammar(args, document_path=first_doc)
+
+    if items is not None:
+        from repro.parallel import prune_many
+
+        batch = prune_many(
+            items, grammar, args.query,
+            jobs=args.jobs, out_dir=args.output,
+            validate=args.validate, fast=not args.no_fast,
+        )
+        stats = batch.stats
+        print(f"pruned {batch.succeeded}/{batch.documents} documents "
+              f"with {batch.jobs} job(s) in {batch.seconds:.2f} s")
+        print(f"size: {stats.bytes_in} -> {stats.bytes_out} bytes ({stats.size_percent:.1f}% kept)")
+        print(f"nodes: {stats.nodes_in} -> {stats.nodes_out}")
+        _print_batch_errors(batch)
+        return 1 if batch.errors else 0
+
     projector, seconds = _projector(grammar, args.query)
     with obs.timed("prune.command") as span:
         result = prune(
@@ -126,11 +164,39 @@ def cmd_run(args) -> int:
     from repro.dtd.validator import validate
     from repro.xmltree.builder import parse_document
 
+    items = _batch_inputs(args)
+    first_doc = items[0] if items else args.input
     grammar = (
-        _load_grammar(args, document_path=args.input)
+        _load_grammar(args, document_path=first_doc)
         if (args.dtd or args.xmark or getattr(args, "infer_dtd", False))
         else None
     )
+
+    if items is not None:
+        from repro.engine.loader import load_many_for_queries
+
+        if grammar is None:
+            raise SystemExit("batch run requires --dtd/--root, --xmark or --infer-dtd")
+        query = args.query[0]
+        reports, batch = load_many_for_queries(
+            items, grammar, args.query, jobs=args.jobs
+        )
+        results = touched = 0
+        seconds = 0.0
+        for report in reports:
+            if report is None:
+                continue
+            run = QueryEngine(report.document).run(query)
+            results += run.result_count
+            touched += run.nodes_touched
+            seconds += run.query_seconds
+        print(f"queried {batch.succeeded}/{batch.documents} documents "
+              f"with {batch.jobs} job(s)")
+        print(f"results: {results}")
+        print(f"query time: {seconds:.3f} s, nodes touched: {touched}")
+        _print_batch_errors(batch)
+        return 1 if batch.errors else 0
+
     with open(args.input, "r", encoding="utf-8") as handle:
         document = parse_document(handle, strip_whitespace=True)
     query = args.query[0]
@@ -177,14 +243,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print projector-cache hit/miss counters")
     p.set_defaults(func=cmd_analyze)
 
-    p = sub.add_parser("prune", help="prune a document file (streaming)")
+    p = sub.add_parser("prune", help="prune a document file (streaming) or a corpus")
     common(p)
     obs_flags(p)
-    p.add_argument("input")
-    p.add_argument("output")
+    p.add_argument("input", help="document file, or a glob/directory for batch mode")
+    p.add_argument("output", help="output file (or output directory in batch mode)")
     p.add_argument("--validate", action="store_true", help="validate while pruning")
     p.add_argument("--no-fast", action="store_true",
                    help="use the event pipeline instead of the fused fast path")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes for batch mode (0 = all cores)")
     p.set_defaults(func=cmd_prune)
 
     p = sub.add_parser("validate", help="validate a document")
@@ -201,8 +269,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run", help="run a query (optionally with pruning)")
     common(p)
     obs_flags(p)
-    p.add_argument("input")
+    p.add_argument("input", help="document file, or a glob/directory for batch mode")
     p.add_argument("--prune", action="store_true", help="prune before running")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes for batch mode (0 = all cores)")
     p.set_defaults(func=cmd_run)
 
     return parser

@@ -223,3 +223,25 @@ _DEFAULT_CACHE = ProjectorCache()
 def default_cache() -> ProjectorCache:
     """The process-wide cache shared by the CLI and the engine loader."""
     return _DEFAULT_CACHE
+
+
+def resolve_projector(
+    grammar: Grammar,
+    queries_or_projector: "frozenset[str] | set[str] | list[str] | str",
+    cache: ProjectorCache | None = None,
+    materialize: bool = True,
+) -> frozenset[str]:
+    """Normalize the "queries or projector" argument batch entry points
+    accept: an already-inferred projector (any set of names) is checked
+    and frozen; a query string or list is analyzed — through ``cache``,
+    or the process-wide default — into the union projector.
+
+    This is the parent-side half of the Section 4.4 amortization: callers
+    fanning one workload across many documents (or worker processes)
+    resolve the projector exactly once here and ship the frozen set.
+    """
+    if isinstance(queries_or_projector, (set, frozenset)):
+        return grammar.check_projector(frozenset(queries_or_projector))
+    if cache is None:
+        cache = default_cache()
+    return cache.analyze(grammar, queries_or_projector, materialize=materialize).projector

@@ -163,3 +163,48 @@ def load_for_queries(
         source, grammar, result.projector,
         strip_whitespace=strip_whitespace, validate=validate, fast=fast, model=model,
     )
+
+
+def load_many_for_queries(
+    sources,
+    grammar: Grammar,
+    queries: "list[str] | str",
+    jobs: int | None = 1,
+    strip_whitespace: bool = True,
+    validate: bool = False,
+    fast: bool = True,
+    model: MemoryModel = DEFAULT_MODEL,
+    cache: "ProjectorCache | None" = None,
+):
+    """Load a whole corpus pruned to one query workload.
+
+    The batch variant of :func:`load_for_queries`: the projector is
+    resolved once, the corpus is pruned through :func:`repro.parallel.
+    prune_many` (text mode, so workers ship back pruned markup, which is
+    typically a small fraction of the input), and the in-memory trees are
+    built in the parent from the already-pruned text.
+
+    Returns ``(reports, batch)``: ``reports`` is index-aligned with the
+    expanded source list (:class:`LoadReport` per success, ``None`` where
+    pruning failed — see ``batch.errors``), and ``batch`` is the
+    underlying :class:`~repro.parallel.BatchResult`.
+    """
+    from repro.core.cache import resolve_projector
+    from repro.parallel import prune_many
+
+    projector = resolve_projector(grammar, queries, cache=cache)
+    batch = prune_many(
+        sources, grammar, projector,
+        jobs=jobs, fast=fast, validate=validate,
+    )
+    reports: "list[LoadReport | None]" = []
+    for result in batch.results:
+        if result is None:
+            reports.append(None)
+            continue
+        with obs.timed("load", strategy="pruned-batch") as span:
+            document = _build(parse_events(result.text), strip_whitespace)
+            span.stop()
+            span.merge_counters(result.stats.as_counters())
+            reports.append(_report(span, document, model, prune_stats=result.stats))
+    return reports, batch

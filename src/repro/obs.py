@@ -48,6 +48,7 @@ __all__ = [
     "SummarySink",
     "SummaryFormatter",
     "Tracer",
+    "absorb",
     "capture",
     "configure",
     "count",
@@ -380,6 +381,37 @@ class Tracer:
     def gauges(self) -> dict[str, int | float]:
         return dict(self._gauges)
 
+    # -- cross-process merging -------------------------------------------
+
+    def emit(self, record: dict[str, Any]) -> None:
+        """Feed one already-built record straight to the sinks (used to
+        replay records captured in another process)."""
+        self._emit(record)
+
+    def absorb(
+        self,
+        records: "list[dict[str, Any]] | tuple[dict[str, Any], ...]" = (),
+        counters: dict[str, int | float] | None = None,
+        gauges: dict[str, int | float] | None = None,
+    ) -> None:
+        """Merge another tracer's output into this one.
+
+        Worker processes cannot share the parent's tracer, so they trace
+        into a local :class:`MemorySink`, ship ``(records, counters,
+        gauges)`` back, and the parent absorbs them: span records are
+        re-emitted to this tracer's sinks verbatim, counters accumulate
+        into the aggregates, gauges overwrite (last writer wins, as for
+        local gauges).
+        """
+        for record in records:
+            self._emit(record)
+        if counters:
+            for name, amount in counters.items():
+                self.count(name, amount)
+        if gauges:
+            for name, value in gauges.items():
+                self.gauge(name, value)
+
     # -- sink plumbing ---------------------------------------------------
 
     def _emit(self, record: dict[str, Any]) -> None:
@@ -418,6 +450,17 @@ class NullTracer:
         pass
 
     def gauge(self, name: str, value: int | float) -> None:
+        pass
+
+    def emit(self, record: dict[str, Any]) -> None:
+        pass
+
+    def absorb(
+        self,
+        records: "list[dict[str, Any]] | tuple[dict[str, Any], ...]" = (),
+        counters: dict[str, int | float] | None = None,
+        gauges: dict[str, int | float] | None = None,
+    ) -> None:
         pass
 
     def flush(self) -> None:
@@ -497,6 +540,16 @@ def gauge(name: str, value: int | float) -> None:
 
 def flush() -> None:
     _tracer.flush()
+
+
+def absorb(
+    records: "list[dict[str, Any]] | tuple[dict[str, Any], ...]" = (),
+    counters: dict[str, int | float] | None = None,
+    gauges: dict[str, int | float] | None = None,
+) -> None:
+    """Merge records/counters captured elsewhere (typically a worker
+    process) into the current tracer; no-op while tracing is disabled."""
+    _tracer.absorb(records, counters, gauges)
 
 
 class capture:

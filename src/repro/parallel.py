@@ -1,0 +1,407 @@
+"""Parallel batch pruning: one projector, many documents, many cores.
+
+The journal version of the paper stresses that projection-based pruning is
+embarrassingly parallel across documents: the static analysis is computed
+once per (DTD, query-set) pair and every document is then pruned
+independently.  This module is that deployment.  :func:`prune_many` shards
+a corpus across a process pool:
+
+* the projector is resolved **once in the parent** through the
+  :class:`~repro.core.cache.ProjectorCache` (queries are accepted directly,
+  or a pre-inferred projector is passed through);
+* each worker receives the configured :class:`~repro.projection.fastpath.
+  FastPruner` (pickled as ``(grammar, projector, options)``; the compiled
+  prune table is rebuilt — and memoised — once per worker) together with
+  the parent's grammar fingerprint, which the worker re-derives and checks
+  so a grammar that does not survive transfer intact fails loudly;
+* every document runs through the fused fast path (or whatever
+  :class:`~repro.api.PruneOptions` selects), with results returned in
+  **input order** regardless of completion order;
+* a malformed document — or an unwritable output — yields a structured
+  :class:`BatchError` for that item; the other items still complete, and
+  a crashed worker process poisons only the items that were still pending
+  (each reported as a ``worker-crash`` error) instead of hanging the pool;
+* workers trace into a process-local :class:`~repro.obs.MemorySink` and
+  ship their span records and counters back with each result; the parent
+  absorbs them into its tracer (:func:`repro.obs.absorb`), so a single
+  ``--trace-out`` file still tells the whole story, with a ``worker``
+  attribute marking which process ran each document.
+
+``jobs=1`` bypasses the pool entirely and runs the items serially in the
+parent — byte-identical, by construction, to calling :func:`repro.prune`
+per document (the differential tests assert it).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro import obs
+from repro.api import PruneOptions, PruneResult, _resolve_options, prune
+from repro.core.cache import ProjectorCache, grammar_fingerprint, resolve_projector
+from repro.dtd.grammar import Grammar
+from repro.projection.fastpath import FastPruner
+from repro.projection.stats import PruneStats
+
+__all__ = ["BatchError", "BatchResult", "expand_sources", "prune_many"]
+
+_GLOB_CHARS = frozenset("*?[")
+
+#: Crash kind reported for items whose worker died before finishing them.
+WORKER_CRASH = "worker-crash"
+
+
+# -- results ------------------------------------------------------------------
+
+
+@dataclass(slots=True, frozen=True)
+class BatchError:
+    """One document that could not be pruned.
+
+    ``kind`` is the exception type name (``XMLSyntaxError``,
+    ``ValidationError``, ``PermissionError``, ...) or ``"worker-crash"``
+    when the worker process died before the item finished.
+    """
+
+    index: int
+    source: str
+    kind: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.index}] {self.source}: {self.kind}: {self.message}"
+
+
+@dataclass(slots=True)
+class BatchResult:
+    """What one :func:`prune_many` call produced.
+
+    ``results`` is index-aligned with the expanded source list: position
+    ``i`` holds the item's :class:`~repro.api.PruneResult`, or ``None``
+    if it failed (the matching :class:`BatchError` is in ``errors``).
+    ``stats`` aggregates the per-item counters over the successes.
+    """
+
+    results: list[PruneResult | None]
+    errors: list[BatchError] = field(default_factory=list)
+    stats: PruneStats = field(default_factory=PruneStats)
+    jobs: int = 1
+    seconds: float = 0.0
+
+    @property
+    def documents(self) -> int:
+        return len(self.results)
+
+    @property
+    def succeeded(self) -> int:
+        return self.documents - len(self.errors)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def texts(self) -> list[str | None]:
+        """Per-item pruned markup (None for failures or file outputs)."""
+        return [result.text if result is not None else None for result in self.results]
+
+    def output_paths(self) -> list[str | None]:
+        """Per-item output paths (None for failures or text outputs)."""
+        return [
+            result.output_path if result is not None else None
+            for result in self.results
+        ]
+
+
+# -- source expansion ---------------------------------------------------------
+
+
+def _is_markup(text: str) -> bool:
+    return text.lstrip()[:1] == "<"
+
+
+def expand_sources(
+    sources: "str | os.PathLike[str] | Iterable[str | os.PathLike[str]]",
+) -> list[str]:
+    """Flatten a corpus spec into an ordered list of concrete sources.
+
+    Accepts a single item or an iterable of items, where each item is XML
+    markup (kept verbatim), a directory (expanded to its files, sorted),
+    a glob pattern (expanded, sorted), or a plain file path.  Expansion is
+    deterministic: directory and glob matches are sorted, input order is
+    otherwise preserved.
+    """
+    import glob as globlib
+
+    if isinstance(sources, (str, os.PathLike)):
+        sources = [sources]
+    expanded: list[str] = []
+    for item in sources:
+        if not isinstance(item, (str, os.PathLike)):
+            raise TypeError(f"cannot prune source of type {type(item).__name__}")
+        text = os.fspath(item)
+        if isinstance(item, str) and _is_markup(text):
+            expanded.append(text)
+        elif os.path.isdir(text):
+            expanded.extend(
+                sorted(
+                    entry.path
+                    for entry in os.scandir(text)
+                    if entry.is_file() and not entry.name.startswith(".")
+                )
+            )
+        elif _GLOB_CHARS & set(text):
+            expanded.extend(sorted(globlib.glob(text)))
+        else:
+            expanded.append(text)
+    return expanded
+
+
+def _output_paths(items: list[str], out_dir: str) -> list[str]:
+    """Deterministic per-item output paths under ``out_dir``: path sources
+    keep their basename (index-prefixed on collision), markup sources get
+    ``doc<index>.xml``."""
+    paths: list[str] = []
+    used: set[str] = set()
+    for index, source in enumerate(items):
+        if _is_markup(source):
+            name = f"doc{index:05d}.xml"
+        else:
+            name = os.path.basename(source) or f"doc{index:05d}.xml"
+        if name in used:
+            name = f"{index:05d}_{name}"
+        used.add(name)
+        paths.append(os.path.join(out_dir, name))
+    return paths
+
+
+def _label(source: str) -> str:
+    """How a source is named in errors and traces (markup is abbreviated)."""
+    if _is_markup(source):
+        return f"<inline markup, {len(source)} chars>"
+    return source
+
+
+# -- worker side --------------------------------------------------------------
+
+#: Per-worker state installed by :func:`_init_worker`; ``None`` in the parent.
+_WORKER_STATE: dict[str, Any] | None = None
+
+
+def _init_worker(
+    pruner: FastPruner,
+    options: PruneOptions,
+    fingerprint: str,
+    tracing: bool,
+) -> None:
+    global _WORKER_STATE
+    if grammar_fingerprint(pruner.grammar) != fingerprint:
+        raise RuntimeError(
+            "grammar fingerprint changed across the process boundary; "
+            "refusing to prune against a different grammar"
+        )
+    sink: obs.MemorySink | None = None
+    if tracing:
+        sink = obs.MemorySink()
+        obs.configure(sink)
+    _WORKER_STATE = {"pruner": pruner, "options": options, "sink": sink}
+
+
+def _drain_worker_obs(
+    state: dict[str, Any],
+) -> tuple[list[dict[str, Any]], dict[str, int | float]]:
+    """Collect (and reset) the worker tracer's records and counters so
+    each task result carries exactly its own delta."""
+    sink: obs.MemorySink | None = state["sink"]
+    if sink is None:
+        return [], {}
+    tracer = obs.get_tracer()
+    records = list(sink.records)
+    sink.records.clear()
+    counters = tracer.counters
+    tracer._counters.clear()
+    return records, counters
+
+
+def _execute_item(
+    pruner: FastPruner,
+    options: PruneOptions,
+    source: str,
+    out_path: str | None,
+) -> PruneResult:
+    """Prune one document through the facade (monkeypatch point for the
+    worker-crash tests)."""
+    return prune(source, pruner.grammar, pruner.projector, out=out_path, options=options)
+
+
+def _run_item(index: int, source: str, out_path: str | None):
+    """Worker task: returns ``(index, error-or-None, result-or-None,
+    records, counters, pid)``.  Never raises for a bad document — errors
+    travel back as data so one malformed input cannot poison the pool."""
+    state = _WORKER_STATE
+    assert state is not None, "worker used before _init_worker ran"
+    error: tuple[str, str] | None = None
+    result: PruneResult | None = None
+    try:
+        result = _execute_item(state["pruner"], state["options"], source, out_path)
+        result.events = None  # iterators never cross the process boundary
+    except Exception as exc:
+        error = (type(exc).__name__, str(exc))
+    records, counters = _drain_worker_obs(state)
+    return index, error, result, records, counters, os.getpid()
+
+
+# -- the engine ---------------------------------------------------------------
+
+
+def _resolve_jobs(jobs: int | None) -> int:
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be positive, got {jobs}")
+    return jobs
+
+
+def prune_many(
+    sources: "str | os.PathLike[str] | Iterable[str | os.PathLike[str]]",
+    grammar: Grammar,
+    queries_or_projector: "frozenset[str] | set[str] | list[str] | str",
+    *,
+    jobs: int | None = 1,
+    out_dir: "str | os.PathLike[str] | None" = None,
+    options: PruneOptions | None = None,
+    fast: bool | None = None,
+    validate: bool | None = None,
+    prune_attributes: bool | None = None,
+    chunk_size: int | None = None,
+    cache: ProjectorCache | None = None,
+) -> BatchResult:
+    """Prune a corpus of documents with one shared projector.
+
+    ``sources`` accepts anything :func:`expand_sources` does (paths,
+    globs, directories, inline markup, or a mixed list).  The projector is
+    resolved once in the parent — pass queries (string or list, mixed
+    XPath/XQuery) or an already-inferred projector.  ``jobs`` selects the
+    worker-pool width: ``1`` (default) runs serially in the parent,
+    ``None``/``0`` uses every core.  With ``out_dir`` each item is written
+    to a file there (see :func:`_output_paths` for naming); without it the
+    pruned markup is collected per item.
+
+    Returns a :class:`BatchResult`; per-item failures are reported there,
+    not raised.  Parent-side configuration errors (a projector that does
+    not cover the grammar root, an unknown query language, a bad
+    ``jobs``) still raise immediately.
+    """
+    jobs = _resolve_jobs(jobs)
+    opts = _resolve_options(options, fast, validate, prune_attributes, chunk_size)
+    projector = resolve_projector(grammar, queries_or_projector, cache=cache)
+    # Validates the projector against the grammar (and pre-compiles the
+    # prune table) before any process is spawned: configuration errors
+    # surface in the parent, not N times in the pool.
+    pruner = FastPruner(grammar, projector, opts.prune_attributes)
+
+    items = expand_sources(sources)
+    out_paths: list[str | None]
+    if out_dir is not None:
+        out_dir = os.fspath(out_dir)
+        os.makedirs(out_dir, exist_ok=True)
+        out_paths = list(_output_paths(items, out_dir))
+    else:
+        out_paths = [None] * len(items)
+
+    batch = BatchResult(results=[None] * len(items), jobs=jobs)
+    started = time.perf_counter()
+    with obs.timed("prune.batch", jobs=jobs, documents=len(items)) as span:
+        if not items:
+            pass
+        elif jobs == 1:
+            _run_serial(batch, pruner, opts, items, out_paths)
+        else:
+            _run_pool(batch, pruner, opts, items, out_paths, jobs)
+        span.stop()
+        span.merge_counters(batch.stats.as_counters())
+        span.count("errors", len(batch.errors))
+    batch.seconds = span.seconds if span.seconds else time.perf_counter() - started
+    batch.errors.sort(key=lambda error: error.index)
+    return batch
+
+
+def _record_success(batch: BatchResult, index: int, result: PruneResult) -> None:
+    batch.results[index] = result
+    batch.stats.merge(result.stats)
+
+
+def _record_error(
+    batch: BatchResult, index: int, source: str, kind: str, message: str
+) -> None:
+    batch.errors.append(
+        BatchError(index=index, source=_label(source), kind=kind, message=message)
+    )
+
+
+def _run_serial(
+    batch: BatchResult,
+    pruner: FastPruner,
+    opts: PruneOptions,
+    items: list[str],
+    out_paths: list[str | None],
+) -> None:
+    for index, (source, out_path) in enumerate(zip(items, out_paths)):
+        try:
+            _record_success(batch, index, _execute_item(pruner, opts, source, out_path))
+        except Exception as exc:
+            _record_error(batch, index, source, type(exc).__name__, str(exc))
+
+
+def _run_pool(
+    batch: BatchResult,
+    pruner: FastPruner,
+    opts: PruneOptions,
+    items: list[str],
+    out_paths: list[str | None],
+    jobs: int,
+) -> None:
+    tracer = obs.get_tracer()
+    executor = ProcessPoolExecutor(
+        max_workers=min(jobs, len(items)),
+        initializer=_init_worker,
+        initargs=(pruner, opts, grammar_fingerprint(pruner.grammar), tracer.enabled),
+    )
+    workers: set[int] = set()
+    try:
+        futures = {
+            executor.submit(_run_item, index, source, out_path): index
+            for index, (source, out_path) in enumerate(zip(items, out_paths))
+        }
+        for future in as_completed(futures):
+            index = futures[future]
+            try:
+                index, error, result, records, counters, pid = future.result()
+            except (BrokenProcessPool, OSError, RuntimeError) as exc:
+                # The worker died (or the pool broke) before this item
+                # finished: report it as crashed and keep collecting —
+                # every remaining future resolves the same way, so the
+                # loop always terminates, never hangs.
+                _record_error(
+                    batch, index, items[index], WORKER_CRASH,
+                    str(exc) or type(exc).__name__,
+                )
+                continue
+            workers.add(pid)
+            if tracer.enabled and (records or counters):
+                for record in records:
+                    record.setdefault("attrs", {})["worker"] = pid
+                tracer.absorb(records, counters)
+            if error is not None:
+                _record_error(batch, index, items[index], error[0], error[1])
+            else:
+                assert result is not None
+                _record_success(batch, index, result)
+    finally:
+        executor.shutdown(wait=True, cancel_futures=True)
+    if tracer.enabled and workers:
+        tracer.count("parallel.workers_used", len(workers))

@@ -128,6 +128,17 @@ class FastPruner:
         self.projector = self.table.projector
         self.stats = stats
 
+    def __reduce__(self):
+        # Pickling ships only (grammar, projector, flag) — the compiled
+        # table is rebuilt (and memoised per process) on the receiving
+        # side, and per-document stats stay process-local.  This is what
+        # lets repro.parallel validate the configuration once in the
+        # parent and hand the same pruner to every worker.
+        return (
+            FastPruner,
+            (self.grammar, self.projector, self.table.prune_attributes),
+        )
+
     # -- markup to markup (the hot path) ---------------------------------
 
     def write(

@@ -69,6 +69,21 @@ class PruneStats:
             "tags_out": len(self.distinct_tags_out),
         }
 
+    def merge(self, other: "PruneStats") -> "PruneStats":
+        """Accumulate another pass's counters into this one (corpus-level
+        aggregation for batch pruning); returns ``self``."""
+        self.elements_in += other.elements_in
+        self.elements_out += other.elements_out
+        self.texts_in += other.texts_in
+        self.texts_out += other.texts_out
+        self.attributes_in += other.attributes_in
+        self.attributes_out += other.attributes_out
+        self.bytes_in += other.bytes_in
+        self.bytes_out += other.bytes_out
+        self.distinct_tags_in |= other.distinct_tags_in
+        self.distinct_tags_out |= other.distinct_tags_out
+        return self
+
     @property
     def complexity_reduction(self) -> float:
         """Reduction in the number of distinct element tags — the paper's

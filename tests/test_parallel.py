@@ -1,0 +1,290 @@
+"""Tests for :mod:`repro.parallel` — the multiprocess batch-pruning engine.
+
+The contract under test: ``jobs=1`` is byte-identical to calling the
+:func:`repro.prune` facade per document; any pool width produces the same
+results in input order; a malformed document (or a crashed worker) yields
+a structured :class:`~repro.parallel.BatchError` without poisoning the
+other items or hanging the pool; and worker-side obs records merge back
+into the parent tracer.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro import obs, prune, prune_many
+from repro.core.cache import resolve_projector
+from repro.engine.loader import load_many_for_queries
+from repro.parallel import (
+    BatchError,
+    _output_paths,
+    expand_sources,
+)
+
+QUERY = "/bib/book/title"
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def _doc(i: int) -> str:
+    return (
+        f'<bib><book year="20{i % 100:02d}"><title>T{i}</title>'
+        f"<author>A{i}</author><price>{i}.00</price></book></bib>"
+    )
+
+
+@pytest.fixture()
+def corpus(tmp_path):
+    paths = []
+    for i in range(6):
+        path = tmp_path / f"doc{i:02d}.xml"
+        path.write_text(_doc(i), encoding="utf-8")
+        paths.append(str(path))
+    return paths
+
+
+# -- source expansion ---------------------------------------------------------
+
+
+class TestExpandSources:
+    def test_single_path_passes_through(self, corpus):
+        assert expand_sources(corpus[0]) == [corpus[0]]
+
+    def test_markup_passes_through(self):
+        assert expand_sources("<bib/>") == ["<bib/>"]
+        assert expand_sources("  <bib/>") == ["  <bib/>"]
+
+    def test_glob_expands_sorted(self, corpus, tmp_path):
+        assert expand_sources(str(tmp_path / "doc*.xml")) == sorted(corpus)
+
+    def test_directory_expands_sorted(self, corpus, tmp_path):
+        assert expand_sources(str(tmp_path)) == sorted(corpus)
+
+    def test_directory_skips_dotfiles_and_subdirs(self, corpus, tmp_path):
+        (tmp_path / ".hidden.xml").write_text("<x/>")
+        (tmp_path / "sub").mkdir()
+        assert expand_sources(str(tmp_path)) == sorted(corpus)
+
+    def test_mixed_list_preserves_order(self, corpus, tmp_path):
+        spec = ["<bib/>", corpus[2], str(tmp_path / "doc0*.xml")]
+        expanded = expand_sources(spec)
+        assert expanded[0] == "<bib/>"
+        assert expanded[1] == corpus[2]
+        assert expanded[2:] == sorted(corpus)
+    def test_rejects_non_source_items(self):
+        with pytest.raises(TypeError):
+            expand_sources([42])
+
+
+class TestOutputPaths:
+    def test_path_sources_keep_basename(self):
+        paths = _output_paths(["/a/x.xml", "/b/y.xml"], "out")
+        assert paths == [os.path.join("out", "x.xml"), os.path.join("out", "y.xml")]
+
+    def test_basename_collision_gets_index_prefix(self):
+        paths = _output_paths(["/a/x.xml", "/b/x.xml"], "out")
+        assert paths[0] == os.path.join("out", "x.xml")
+        assert paths[1] == os.path.join("out", "00001_x.xml")
+
+    def test_markup_sources_get_indexed_names(self):
+        paths = _output_paths(["<bib/>", "<bib/>"], "out")
+        assert paths == [
+            os.path.join("out", "doc00000.xml"),
+            os.path.join("out", "doc00001.xml"),
+        ]
+
+
+# -- serial mode (jobs=1) -----------------------------------------------------
+
+
+class TestSerial:
+    def test_jobs1_matches_facade_byte_for_byte(self, corpus, book_grammar):
+        projector = resolve_projector(book_grammar, QUERY)
+        batch = prune_many(corpus, book_grammar, QUERY, jobs=1)
+        assert batch.ok
+        assert batch.jobs == 1
+        for path, result in zip(corpus, batch.results):
+            assert result.text == prune(path, book_grammar, projector).text
+
+    def test_accepts_projector_directly(self, corpus, book_grammar):
+        projector = resolve_projector(book_grammar, QUERY)
+        by_query = prune_many(corpus, book_grammar, QUERY)
+        by_projector = prune_many(corpus, book_grammar, projector)
+        assert by_query.texts() == by_projector.texts()
+
+    def test_accepts_markup_sources(self, book_grammar):
+        batch = prune_many([_doc(0), _doc(1)], book_grammar, QUERY)
+        assert batch.ok
+        assert batch.results[0].text == prune(_doc(0), book_grammar,
+                                              resolve_projector(book_grammar, QUERY)).text
+
+    def test_aggregate_stats_sum_over_items(self, corpus, book_grammar):
+        batch = prune_many(corpus, book_grammar, QUERY)
+        singles = [prune(p, book_grammar, resolve_projector(book_grammar, QUERY)).stats
+                   for p in corpus]
+        assert batch.stats.elements_in == sum(s.elements_in for s in singles)
+        assert batch.stats.bytes_out == sum(s.bytes_out for s in singles)
+        assert batch.stats.distinct_tags_out == set.union(
+            *(set(s.distinct_tags_out) for s in singles)
+        )
+
+    def test_empty_sources(self, book_grammar):
+        batch = prune_many([], book_grammar, QUERY)
+        assert batch.ok
+        assert batch.documents == 0
+        assert batch.results == []
+
+    def test_out_dir_writes_files(self, corpus, book_grammar, tmp_path):
+        out_dir = tmp_path / "pruned"
+        batch = prune_many(corpus, book_grammar, QUERY, out_dir=out_dir)
+        assert batch.ok
+        projector = resolve_projector(book_grammar, QUERY)
+        for path, result in zip(corpus, batch.results):
+            assert result.text is None
+            assert os.path.basename(result.output_path) == os.path.basename(path)
+            with open(result.output_path, encoding="utf-8") as handle:
+                assert handle.read() == prune(path, book_grammar, projector).text
+        assert batch.output_paths() == [r.output_path for r in batch.results]
+
+    def test_malformed_document_reports_error_others_succeed(
+        self, corpus, book_grammar, tmp_path
+    ):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<bib><book year='1'><title>oops</book></bib>")
+        items = corpus[:2] + [str(bad)] + corpus[2:]
+        batch = prune_many(items, book_grammar, QUERY)
+        assert not batch.ok
+        assert batch.succeeded == len(corpus)
+        (error,) = batch.errors
+        assert isinstance(error, BatchError)
+        assert error.index == 2
+        assert error.kind == "XMLSyntaxError"
+        assert batch.results[2] is None
+        assert batch.texts()[2] is None
+        assert all(text is not None for i, text in enumerate(batch.texts()) if i != 2)
+
+    def test_missing_file_reports_error(self, book_grammar):
+        batch = prune_many(["/nonexistent/doc.xml"], book_grammar, QUERY)
+        (error,) = batch.errors
+        assert error.kind == "FileNotFoundError"
+
+    def test_invalid_jobs_raises(self, corpus, book_grammar):
+        with pytest.raises(ValueError):
+            prune_many(corpus, book_grammar, QUERY, jobs=-2)
+
+    def test_bad_projector_raises_in_parent(self, corpus, book_grammar):
+        with pytest.raises(Exception):
+            prune_many(corpus, book_grammar, frozenset({"NotAName"}))
+
+
+# -- pool mode (jobs>1) -------------------------------------------------------
+
+
+class TestPool:
+    def test_pool_matches_serial_in_order(self, corpus, book_grammar):
+        serial = prune_many(corpus, book_grammar, QUERY, jobs=1)
+        pooled = prune_many(corpus, book_grammar, QUERY, jobs=2)
+        assert pooled.ok
+        assert pooled.jobs == 2
+        assert pooled.texts() == serial.texts()
+
+    def test_pool_out_dir(self, corpus, book_grammar, tmp_path):
+        serial = prune_many(corpus, book_grammar, QUERY, jobs=1)
+        out_dir = tmp_path / "pooled"
+        pooled = prune_many(corpus, book_grammar, QUERY, jobs=2, out_dir=out_dir)
+        assert pooled.ok
+        for result, text in zip(pooled.results, serial.texts()):
+            with open(result.output_path, encoding="utf-8") as handle:
+                assert handle.read() == text
+
+    def test_pool_malformed_document_does_not_poison_batch(
+        self, corpus, book_grammar, tmp_path
+    ):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<bib><unclosed>")
+        items = [str(bad)] + corpus
+        batch = prune_many(items, book_grammar, QUERY, jobs=2)
+        assert batch.succeeded == len(corpus)
+        (error,) = batch.errors
+        assert error.index == 0
+        assert all(text is not None for text in batch.texts()[1:])
+
+    def test_pool_merges_worker_obs(self, corpus, book_grammar):
+        with obs.capture() as sink:
+            batch = prune_many(corpus, book_grammar, QUERY, jobs=2)
+            obs.flush()
+        assert batch.ok
+        prune_spans = sink.spans("prune")
+        assert len(prune_spans) == len(corpus)
+        # every worker span is tagged with the process that ran it
+        workers = {span["attrs"].get("worker") for span in prune_spans}
+        assert None not in workers
+        # fused fast path counts one document per prune
+        assert sink.counters().get("fastpath.documents") == len(corpus)
+        (batch_span,) = sink.spans("prune.batch")
+        assert batch_span["attrs"]["jobs"] == 2
+        assert batch_span["counters"]["elements_in"] == batch.stats.elements_in
+
+    def test_jobs_zero_uses_all_cores(self, corpus, book_grammar):
+        batch = prune_many(corpus[:2], book_grammar, QUERY, jobs=0)
+        assert batch.ok
+        assert batch.jobs == (os.cpu_count() or 1)
+
+    @pytest.mark.skipif(not HAS_FORK, reason="crash injection requires fork")
+    def test_worker_crash_yields_structured_errors_not_hang(
+        self, corpus, book_grammar, monkeypatch
+    ):
+        import repro.parallel as parallel
+
+        def _crash(pruner, options, source, out_path):
+            os._exit(13)
+
+        # fork workers inherit the patched module, so every item's worker
+        # dies abruptly; the pool must report each item, not hang.
+        monkeypatch.setattr(parallel, "_execute_item", _crash)
+        batch = prune_many(corpus, book_grammar, QUERY, jobs=2)
+        assert batch.succeeded == 0
+        assert len(batch.errors) == len(corpus)
+        assert {error.kind for error in batch.errors} == {parallel.WORKER_CRASH}
+        assert [error.index for error in batch.errors] == list(range(len(corpus)))
+
+    @pytest.mark.skipif(not HAS_FORK, reason="crash injection requires fork")
+    def test_crash_then_clean_run_reuses_nothing_stale(self, corpus, book_grammar, monkeypatch):
+        import repro.parallel as parallel
+
+        monkeypatch.setattr(
+            parallel, "_execute_item", lambda *a: os._exit(13)
+        )
+        crashed = prune_many(corpus[:2], book_grammar, QUERY, jobs=2)
+        assert not crashed.ok
+        monkeypatch.undo()
+        clean = prune_many(corpus[:2], book_grammar, QUERY, jobs=2)
+        assert clean.ok
+
+
+# -- engine integration -------------------------------------------------------
+
+
+class TestLoadManyForQueries:
+    def test_reports_align_with_sources(self, corpus, book_grammar, tmp_path):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<bib><nope/></bib>")
+        items = corpus[:2] + [str(bad)]
+        reports, batch = load_many_for_queries(items, book_grammar, QUERY)
+        assert len(reports) == 3
+        assert reports[2] is None
+        assert batch.errors[0].index == 2
+        for report in reports[:2]:
+            assert report.document.root.tag == "bib"
+            assert report.prune_stats is not None
+
+    def test_loaded_trees_answer_the_query(self, corpus, book_grammar):
+        from repro.engine.executor import QueryEngine
+
+        reports, batch = load_many_for_queries(corpus, book_grammar, QUERY, jobs=2)
+        assert batch.ok
+        counts = [QueryEngine(r.document).run(QUERY).result_count for r in reports]
+        assert counts == [1] * len(corpus)

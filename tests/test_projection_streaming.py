@@ -192,6 +192,62 @@ class TestPruneFileCleanup:
                   out=str(output))
         assert output.read_text() == "<bib/>"
 
+    @staticmethod
+    def _deny_writes_to(monkeypatch, path: str):
+        """Make opening ``path`` for writing fail, as an unwritable
+        location would (the test runs as root, where real permission
+        bits don't bite)."""
+        import builtins
+
+        real_open = builtins.open
+
+        def guarded(file, mode="r", *args, **kwargs):
+            if "w" in mode and str(file) == path:
+                raise PermissionError(13, "Permission denied", str(file))
+            return real_open(file, mode, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "open", guarded)
+
+    def test_unwritable_output_preserves_existing_file(
+        self, book_grammar, tmp_path, monkeypatch
+    ):
+        # Regression: the unified facade's cleanup used to fire even when
+        # the output could not be *opened*, deleting a pre-existing file
+        # that the failed run never wrote to (file -> file branch).
+        source = tmp_path / "in.xml"
+        source.write_text(BOOK_XML)
+        output = tmp_path / "precious.xml"
+        output.write_text("<bib/>")
+        self._deny_writes_to(monkeypatch, str(output))
+        with pytest.raises(PermissionError):
+            prune(str(source), book_grammar, frozenset({"bib"}), out=str(output))
+        assert output.read_text() == "<bib/>"
+
+    def test_unwritable_output_preserves_existing_file_markup_source(
+        self, book_grammar, tmp_path, monkeypatch
+    ):
+        # Same contract on the markup -> path branch, which goes through
+        # the facade's own output handling rather than _prune_file.
+        output = tmp_path / "precious.xml"
+        output.write_text("<bib/>")
+        self._deny_writes_to(monkeypatch, str(output))
+        with pytest.raises(PermissionError):
+            prune(BOOK_XML, book_grammar, frozenset({"bib"}), out=str(output))
+        assert output.read_text() == "<bib/>"
+
+    def test_markup_source_midstream_failure_removes_partial_output(
+        self, book_grammar, tmp_path
+    ):
+        # The markup -> path branch shares _open_output with _prune_file:
+        # a mid-stream failure must still remove the partial file.
+        from repro.errors import XMLSyntaxError
+
+        output = tmp_path / "out.xml"
+        with pytest.raises(XMLSyntaxError):
+            prune("<bib><book><title>x</author></book></bib>", book_grammar,
+                  frozenset({"bib"}), out=str(output))
+        assert not output.exists()
+
 
 class TestEventRoundTrip:
     def test_pruned_events_build_a_valid_tree(self, book_grammar):

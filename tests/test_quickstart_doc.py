@@ -54,6 +54,34 @@ def test_readme_quickstart_runs_verbatim(tmp_path, monkeypatch):
     exec(compile(code, str(readme), "exec"), {})
 
 
+def test_readme_batch_pruning_snippet_runs_verbatim(tmp_path, monkeypatch):
+    readme = pathlib.Path(__file__).resolve().parent.parent / "README.md"
+    match = re.search(
+        r"## Batch & parallel pruning\n.*?```python\n(.*?)```",
+        readme.read_text(), re.DOTALL,
+    )
+    assert match, "README has no batch-pruning code block"
+    code = match.group(1)
+    # The snippet reads bib.dtd and corpus/*.xml from the working
+    # directory and writes into pruned/.
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "bib.dtd").write_text(BOOK_DTD)
+    corpus = tmp_path / "corpus"
+    corpus.mkdir()
+    for i in range(3):
+        (corpus / f"doc{i}.xml").write_text(BOOK_XML)
+    exec(compile(code, str(readme), "exec"), {})
+    pruned = sorted(os.listdir(tmp_path / "pruned"))
+    assert pruned == ["doc0.xml", "doc1.xml", "doc2.xml"]
+    markup = (tmp_path / "pruned" / "doc0.xml").read_text()
+    assert "<title>" in markup and "<price>" not in markup
+
+
+def test_readme_documents_the_full_differential_sweep():
+    readme = pathlib.Path(__file__).resolve().parent.parent / "README.md"
+    assert "tests/test_differential.py -m slow" in readme.read_text()
+
+
 def test_docstring_and_pipeline_docstring_agree_on_prune_signature():
     """Both quickstarts must call prune_document(document, interpretation,
     projector) — the real signature (the grammar is *inside* the
