@@ -32,7 +32,14 @@ from repro.dtd.parser import parse_dtd
 from repro.dtd.properties import analyze_grammar
 from repro.dtd.validator import Interpretation, validate
 from repro.engine.executor import QueryEngine
-from repro.errors import ReproError
+from repro.errors import (
+    DeadlineExceeded,
+    EncodingError,
+    LimitExceeded,
+    ReproError,
+    ResourceError,
+)
+from repro.limits import Limits
 from repro.parallel import BatchError, BatchResult, prune_many
 from repro.projection.fastpath import FastPruner
 from repro.projection.prunetable import PruneTable, compile_prune_table
@@ -51,13 +58,18 @@ __all__ = [
     "BatchError",
     "BatchResult",
     "CacheStats",
+    "DeadlineExceeded",
+    "EncodingError",
     "FastPruner",
     "Grammar",
     "Interpretation",
+    "LimitExceeded",
+    "Limits",
     "ProjectorCache",
     "PruneTable",
     "QueryEngine",
     "ReproError",
+    "ResourceError",
     "XPathEvaluator",
     "XQueryEvaluator",
     "__version__",

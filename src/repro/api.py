@@ -36,6 +36,7 @@ from typing import IO, Any, Iterable, Iterator
 
 from repro.dtd.grammar import Grammar
 from repro.errors import ReproError
+from repro.limits import Limits, resolve_limits
 from repro.projection.stats import PruneStats
 from repro.projection.streaming import (
     _open_output,
@@ -61,12 +62,24 @@ class PruneOptions:
       pipeline: the validator must see every event).
     * ``prune_attributes`` — filter attributes not kept by the projector.
     * ``chunk_size`` — read granularity for streaming sources.
+    * ``limits`` — resource bounds for the pass: a
+      :class:`~repro.limits.Limits`, a profile name (``"strict"``,
+      ``"default"``, ``"off"``), or ``None`` for the default profile.
+      Violations raise :class:`~repro.errors.LimitExceeded` /
+      :class:`~repro.errors.DeadlineExceeded`.
+    * ``fallback`` — let the fast path degrade gracefully to the event
+      pipeline on inputs its bulk scan cannot handle (``True``, the
+      default); ``False`` surfaces the refusal instead, and ``"force"``
+      skips the fast attempt entirely (a test knob: it proves the
+      degraded path byte-identical to the fast one).
     """
 
     fast: bool = True
     validate: bool = False
     prune_attributes: bool = True
     chunk_size: int = DEFAULT_CHUNK_SIZE
+    limits: "Limits | str | None" = None
+    fallback: "bool | str" = True
 
 
 DEFAULT_OPTIONS = PruneOptions()
@@ -100,6 +113,9 @@ def _resolve_options(
     validate: bool | None,
     prune_attributes: bool | None,
     chunk_size: int | None,
+    *,
+    limits: "Limits | str | None" = None,
+    fallback: "bool | str | None" = None,
 ) -> PruneOptions:
     resolved = options if options is not None else DEFAULT_OPTIONS
     overrides: dict[str, Any] = {}
@@ -111,6 +127,10 @@ def _resolve_options(
         overrides["prune_attributes"] = prune_attributes
     if chunk_size is not None:
         overrides["chunk_size"] = chunk_size
+    if limits is not None:
+        overrides["limits"] = limits
+    if fallback is not None:
+        overrides["fallback"] = fallback
     return replace(resolved, **overrides) if overrides else resolved
 
 
@@ -129,6 +149,8 @@ def prune(
     validate: bool | None = None,
     prune_attributes: bool | None = None,
     chunk_size: int | None = None,
+    limits: "Limits | str | None" = None,
+    fallback: "bool | str | None" = None,
 ) -> PruneResult:
     """Prune ``source`` down to the nodes the ``projector`` keeps.
 
@@ -136,7 +158,11 @@ def prune(
     :class:`PruneResult`; pruning streams throughout, so memory stays
     O(document depth) regardless of source size.
     """
-    opts = _resolve_options(options, fast, validate, prune_attributes, chunk_size)
+    opts = _resolve_options(
+        options, fast, validate, prune_attributes, chunk_size,
+        limits=limits, fallback=fallback,
+    )
+    resolved_limits = resolve_limits(opts.limits)
 
     # Event-stream source: transform iterator to iterator.
     if not isinstance(source, (str, os.PathLike)) and not hasattr(source, "read"):
@@ -153,6 +179,7 @@ def prune(
             source, grammar, projector,
             validate=opts.validate, stats=stats,
             prune_attributes=opts.prune_attributes,
+            guard=resolved_limits.guard(),
         )
         return PruneResult(stats=stats, events=events)
 
@@ -167,6 +194,7 @@ def prune(
             os.fspath(source), os.fspath(out), grammar, projector,  # type: ignore[arg-type]
             validate=opts.validate, fast=opts.fast,
             prune_attributes=opts.prune_attributes, chunk_size=opts.chunk_size,
+            limits=resolved_limits, fallback=opts.fallback,
         )
         return PruneResult(stats=stats, output_path=os.fspath(out))  # type: ignore[arg-type]
 
@@ -174,13 +202,17 @@ def prune(
     # opened/measured and the sink collected as needed.
     stats = PruneStats()
     if isinstance(source, str) and not is_path:
-        stats.bytes_in = len(source.encode("utf-8"))
+        # "replace": hostile markup may contain lone surrogates, which
+        # must surface as the pipeline's structured error (if at all),
+        # not as a crash in this bookkeeping line.
+        stats.bytes_in = len(source.encode("utf-8", "replace"))
 
     def run(stream_source: "str | IO[str]", sink: IO[str]) -> None:
         _prune_stream(
             stream_source, sink, grammar, projector,
             validate=opts.validate, fast=opts.fast, chunk_size=opts.chunk_size,
             prune_attributes=opts.prune_attributes, stats=stats,
+            limits=resolved_limits, fallback=opts.fallback,
         )
 
     def with_source(sink: IO[str]) -> None:

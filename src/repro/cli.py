@@ -45,6 +45,21 @@ def _load_grammar(args, document_path: str | None = None):
         return grammar_from_text(handle.read(), args.root)
 
 
+def _limits_from_args(args):
+    """Build the resource limits a prune command asked for: a profile
+    (``--limits-profile``, default ``default``) with ``--max-depth`` and
+    ``--timeout`` layered on top."""
+    from repro.limits import Limits
+
+    limits = Limits.profile(getattr(args, "limits_profile", None) or "default")
+    overrides = {}
+    if getattr(args, "max_depth", None) is not None:
+        overrides["max_depth"] = args.max_depth
+    if getattr(args, "timeout", None) is not None:
+        overrides["deadline"] = args.timeout
+    return limits.replace(**overrides) if overrides else limits
+
+
 def _is_xquery(query: str) -> bool:
     from repro.querylang import looks_like_xquery
 
@@ -110,6 +125,7 @@ def cmd_prune(args) -> int:
             items, grammar, args.query,
             jobs=args.jobs, out_dir=args.output,
             validate=args.validate, fast=not args.no_fast,
+            limits=_limits_from_args(args), timeout=args.timeout,
         )
         stats = batch.stats
         print(f"pruned {batch.succeeded}/{batch.documents} documents "
@@ -124,6 +140,7 @@ def cmd_prune(args) -> int:
         result = prune(
             args.input, grammar, projector, out=args.output,
             validate=args.validate, fast=not args.no_fast,
+            limits=_limits_from_args(args),
         )
         span.stop()
     stats = result.stats
@@ -236,6 +253,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--metrics", action="store_true",
                        help="print a metrics roll-up to stderr on exit")
 
+    def limit_flags(p):
+        p.add_argument("--limits-profile", choices=("strict", "default", "off"),
+                       default="default",
+                       help="resource-limit profile for the pass (default: default)")
+        p.add_argument("--max-depth", type=int, metavar="N",
+                       help="maximum element nesting depth (overrides the profile)")
+        p.add_argument("--timeout", type=float, metavar="SECONDS",
+                       help="per-document wall-clock budget; in batch mode a "
+                            "stuck worker is killed and only its item fails")
+
     p = sub.add_parser("analyze", help="infer a type projector")
     common(p)
     obs_flags(p)
@@ -253,6 +280,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="use the event pipeline instead of the fused fast path")
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="worker processes for batch mode (0 = all cores)")
+    limit_flags(p)
     p.set_defaults(func=cmd_prune)
 
     p = sub.add_parser("validate", help="validate a document")
@@ -299,8 +327,17 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     configured = _configure_obs(args)
+    from repro.errors import ReproError
+
     try:
-        return args.func(args)
+        try:
+            return args.func(args)
+        except ReproError as error:
+            # Structured refusals (syntax, validation, resource limits)
+            # are expected outcomes on hostile input — report, don't
+            # traceback.
+            print(f"error: {type(error).__name__}: {error}", file=sys.stderr)
+            return 1
     finally:
         if configured:
             from repro import obs

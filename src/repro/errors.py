@@ -94,6 +94,56 @@ class ProjectorError(ReproError):
     (not chain-closed from the root, see Definition 2.6)."""
 
 
+class EncodingError(XMLError):
+    """Raised when a source cannot be decoded (or an output cannot be
+    encoded) as text — undecodable byte sequences, lone surrogates and
+    similar encoding oddities surface as this structured error instead of
+    a bare :class:`UnicodeError`."""
+
+
+class ResourceError(ReproError):
+    """Base class for resource-governance errors (:mod:`repro.limits`).
+
+    A resource error is a *refusal*, not a parse failure: the input may
+    be perfectly well formed, but processing it would exceed a configured
+    bound (depth, token size, input/output size, wall clock).
+    """
+
+
+class LimitExceeded(ResourceError):
+    """Raised when a :class:`~repro.limits.Limits` bound is exceeded.
+
+    Attributes
+    ----------
+    limit:
+        Which bound tripped: ``"depth"``, ``"token_bytes"``,
+        ``"input_bytes"`` or ``"output_bytes"``.
+    value, maximum:
+        The observed quantity and the configured bound.
+    """
+
+    def __init__(self, limit: str, value: int, maximum: int) -> None:
+        self.limit = limit
+        self.value = value
+        self.maximum = maximum
+        super().__init__(f"{limit} limit exceeded: {value} > {maximum}")
+
+
+class DeadlineExceeded(ResourceError):
+    """Raised when a pass runs past its configured wall-clock deadline."""
+
+    def __init__(self, deadline: float) -> None:
+        self.deadline = deadline
+        super().__init__(f"wall-clock deadline of {deadline:g}s exceeded")
+
+
+class FastPathUnsupported(ReproError):
+    """Internal signal: the fused fast path cannot handle this input and
+    the caller should fall back to the event pipeline.  Never escapes the
+    :func:`repro.api.prune` facade unless fallback is disabled (or the
+    source/sink cannot be rewound for a retry)."""
+
+
 class BudgetExceededError(ReproError):
     """Raised by the metered query engine when a configured memory budget
     is exhausted (used to reproduce the paper's 512 MB-limit experiments)."""

@@ -36,15 +36,16 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Iterable
 
 from repro import obs
 from repro.api import PruneOptions, PruneResult, _resolve_options, prune
 from repro.core.cache import ProjectorCache, grammar_fingerprint, resolve_projector
 from repro.dtd.grammar import Grammar
+from repro.limits import Limits, resolve_limits
 from repro.projection.fastpath import FastPruner
 from repro.projection.stats import PruneStats
 
@@ -55,6 +56,18 @@ _GLOB_CHARS = frozenset("*?[")
 #: Crash kind reported for items whose worker died before finishing them.
 WORKER_CRASH = "worker-crash"
 
+#: Error kind for items killed by the per-item pool ``timeout``.
+TIMEOUT = "timeout"
+
+#: Error kind a worker reports when the grammar fingerprint does not
+#: survive the process boundary; the parent re-runs such items itself
+#: (see :func:`_prune_in_parent`) instead of failing the batch.
+FINGERPRINT_MISMATCH = "fingerprint-mismatch"
+
+#: How often the pool loop wakes to look for stuck workers when a
+#: ``timeout`` is set (completions interrupt the wait immediately).
+_POLL_SECONDS = 0.05
+
 
 # -- results ------------------------------------------------------------------
 
@@ -64,8 +77,10 @@ class BatchError:
     """One document that could not be pruned.
 
     ``kind`` is the exception type name (``XMLSyntaxError``,
-    ``ValidationError``, ``PermissionError``, ...) or ``"worker-crash"``
-    when the worker process died before the item finished.
+    ``ValidationError``, ``LimitExceeded``, ``PermissionError``, ...),
+    ``"worker-crash"`` when the worker process died before the item
+    finished, or ``"timeout"`` when the item exceeded the per-item pool
+    timeout and its worker was killed.
     """
 
     index: int
@@ -85,6 +100,8 @@ class BatchResult:
     ``i`` holds the item's :class:`~repro.api.PruneResult`, or ``None``
     if it failed (the matching :class:`BatchError` is in ``errors``).
     ``stats`` aggregates the per-item counters over the successes.
+    ``respawns`` counts how many times the worker pool had to be torn
+    down and rebuilt (stuck workers killed on timeout, crash retries).
     """
 
     results: list[PruneResult | None]
@@ -92,6 +109,7 @@ class BatchResult:
     stats: PruneStats = field(default_factory=PruneStats)
     jobs: int = 1
     seconds: float = 0.0
+    respawns: int = 0
 
     @property
     def documents(self) -> int:
@@ -199,8 +217,13 @@ def _init_worker(
     tracing: bool,
 ) -> None:
     global _WORKER_STATE
+    mismatch: str | None = None
     if grammar_fingerprint(pruner.grammar) != fingerprint:
-        raise RuntimeError(
+        # Raising here would break the whole pool (the initializer
+        # failure poisons every item the worker would have run); a flag
+        # lets each item return a structured error instead, which the
+        # parent degrades on by re-running the item itself.
+        mismatch = (
             "grammar fingerprint changed across the process boundary; "
             "refusing to prune against a different grammar"
         )
@@ -208,7 +231,9 @@ def _init_worker(
     if tracing:
         sink = obs.MemorySink()
         obs.configure(sink)
-    _WORKER_STATE = {"pruner": pruner, "options": options, "sink": sink}
+    _WORKER_STATE = {
+        "pruner": pruner, "options": options, "sink": sink, "mismatch": mismatch,
+    }
 
 
 def _drain_worker_obs(
@@ -246,11 +271,14 @@ def _run_item(index: int, source: str, out_path: str | None):
     assert state is not None, "worker used before _init_worker ran"
     error: tuple[str, str] | None = None
     result: PruneResult | None = None
-    try:
-        result = _execute_item(state["pruner"], state["options"], source, out_path)
-        result.events = None  # iterators never cross the process boundary
-    except Exception as exc:
-        error = (type(exc).__name__, str(exc))
+    if state["mismatch"] is not None:
+        error = (FINGERPRINT_MISMATCH, state["mismatch"])
+    else:
+        try:
+            result = _execute_item(state["pruner"], state["options"], source, out_path)
+            result.events = None  # iterators never cross the process boundary
+        except Exception as exc:
+            error = (type(exc).__name__, str(exc))
     records, counters = _drain_worker_obs(state)
     return index, error, result, records, counters, os.getpid()
 
@@ -278,6 +306,10 @@ def prune_many(
     validate: bool | None = None,
     prune_attributes: bool | None = None,
     chunk_size: int | None = None,
+    limits: "Limits | str | None" = None,
+    fallback: "bool | str | None" = None,
+    timeout: float | None = None,
+    retry_crashes: bool = False,
     cache: ProjectorCache | None = None,
 ) -> BatchResult:
     """Prune a corpus of documents with one shared projector.
@@ -291,13 +323,33 @@ def prune_many(
     to a file there (see :func:`_output_paths` for naming); without it the
     pruned markup is collected per item.
 
+    ``limits`` / ``fallback`` apply per item exactly as in
+    :func:`repro.prune`.  ``timeout`` (seconds) bounds each item's wall
+    clock from the *outside*: a worker stuck past it is killed, that item
+    gets a ``BatchError(kind="timeout")``, and the pool is respawned so
+    the remaining items still complete (with ``jobs=1`` the timeout folds
+    into the per-item limits deadline instead — there is no worker to
+    kill).  ``retry_crashes`` resubmits each crashed item once to a fresh
+    pool before reporting it as ``worker-crash``.
+
     Returns a :class:`BatchResult`; per-item failures are reported there,
     not raised.  Parent-side configuration errors (a projector that does
     not cover the grammar root, an unknown query language, a bad
     ``jobs``) still raise immediately.
     """
     jobs = _resolve_jobs(jobs)
-    opts = _resolve_options(options, fast, validate, prune_attributes, chunk_size)
+    if timeout is not None and timeout <= 0:
+        raise ValueError(f"timeout must be positive, got {timeout}")
+    opts = _resolve_options(
+        options, fast, validate, prune_attributes, chunk_size,
+        limits=limits, fallback=fallback,
+    )
+    if timeout is not None and jobs == 1:
+        resolved = resolve_limits(opts.limits)
+        deadline = (
+            timeout if resolved.deadline is None else min(resolved.deadline, timeout)
+        )
+        opts = replace(opts, limits=resolved.replace(deadline=deadline))
     projector = resolve_projector(grammar, queries_or_projector, cache=cache)
     # Validates the projector against the grammar (and pre-compiles the
     # prune table) before any process is spawned: configuration errors
@@ -321,7 +373,9 @@ def prune_many(
         elif jobs == 1:
             _run_serial(batch, pruner, opts, items, out_paths)
         else:
-            _run_pool(batch, pruner, opts, items, out_paths, jobs)
+            _run_pool(
+                batch, pruner, opts, items, out_paths, jobs, timeout, retry_crashes
+            )
         span.stop()
         span.merge_counters(batch.stats.as_counters())
         span.count("errors", len(batch.errors))
@@ -357,6 +411,64 @@ def _run_serial(
             _record_error(batch, index, source, type(exc).__name__, str(exc))
 
 
+def _prune_in_parent(
+    batch: BatchResult,
+    pruner: FastPruner,
+    opts: PruneOptions,
+    items: list[str],
+    out_paths: list[str | None],
+    index: int,
+    tracer,
+) -> None:
+    """Degraded path for fingerprint-mismatch items: the worker's copy of
+    the grammar cannot be trusted, the parent's can — re-run the item
+    here through the event pipeline instead of failing the batch."""
+    if tracer.enabled:
+        tracer.count("parallel.fingerprint_fallbacks")
+    try:
+        result = _execute_item(
+            pruner, replace(opts, fast=False), items[index], out_paths[index]
+        )
+    except Exception as exc:
+        _record_error(batch, index, items[index], type(exc).__name__, str(exc))
+    else:
+        _record_success(batch, index, result)
+
+
+def _absorb_payload(
+    batch: BatchResult,
+    pruner: FastPruner,
+    opts: PruneOptions,
+    items: list[str],
+    out_paths: list[str | None],
+    tracer,
+    workers: set[int],
+    payload,
+) -> None:
+    """Fold one worker task's return value into the batch."""
+    index, error, result, records, counters, pid = payload
+    workers.add(pid)
+    if tracer.enabled and (records or counters):
+        for record in records:
+            record.setdefault("attrs", {})["worker"] = pid
+        tracer.absorb(records, counters)
+    if error is None:
+        assert result is not None
+        _record_success(batch, index, result)
+    elif error[0] == FINGERPRINT_MISMATCH:
+        _prune_in_parent(batch, pruner, opts, items, out_paths, index, tracer)
+    else:
+        _record_error(batch, index, items[index], error[0], error[1])
+
+
+def _kill_processes(executor: ProcessPoolExecutor) -> None:
+    """Forcibly terminate every worker of ``executor`` (stuck workers
+    cannot be cancelled: a running future ignores ``cancel()``)."""
+    processes = getattr(executor, "_processes", None) or {}
+    for process in list(processes.values()):
+        process.kill()
+
+
 def _run_pool(
     batch: BatchResult,
     pruner: FastPruner,
@@ -364,44 +476,167 @@ def _run_pool(
     items: list[str],
     out_paths: list[str | None],
     jobs: int,
+    timeout: float | None,
+    retry_crashes: bool,
 ) -> None:
+    """Run the items through worker pools in rounds: a round ends early
+    when stuck workers are killed (per-item ``timeout``) or the pool
+    breaks with ``retry_crashes`` set, and the surviving items go to a
+    fresh pool.  Each extra round is one recorded respawn."""
     tracer = obs.get_tracer()
+    workers: set[int] = set()
+    crash_retried: set[int] = set()
+    todo = list(range(len(items)))
+    rounds = 0
+    while todo:
+        rounds += 1
+        todo = _pool_round(
+            batch, pruner, opts, items, out_paths, jobs, timeout,
+            retry_crashes, tracer, workers, crash_retried, todo,
+        )
+    batch.respawns = max(0, rounds - 1)
+    if tracer.enabled and workers:
+        tracer.count("parallel.workers_used", len(workers))
+        if batch.respawns:
+            tracer.count("parallel.respawns", batch.respawns)
+
+
+def _pool_round(
+    batch: BatchResult,
+    pruner: FastPruner,
+    opts: PruneOptions,
+    items: list[str],
+    out_paths: list[str | None],
+    jobs: int,
+    timeout: float | None,
+    retry_crashes: bool,
+    tracer,
+    workers: set[int],
+    crash_retried: set[int],
+    indices: list[int],
+) -> list[int]:
+    """One executor lifetime over ``indices``; returns the indices that
+    must be resubmitted to a fresh pool.
+
+    The loop always terminates: a broken pool resolves every remaining
+    future immediately, and a kill round records at least one timeout
+    error, so every round either shrinks the outstanding item count or
+    consumes per-index crash-retry budget (bounded by ``crash_retried``,
+    see :func:`_resolve_crashed`)."""
+    max_workers = min(jobs, len(indices))
     executor = ProcessPoolExecutor(
-        max_workers=min(jobs, len(items)),
+        max_workers=max_workers,
         initializer=_init_worker,
         initargs=(pruner, opts, grammar_fingerprint(pruner.grammar), tracer.enabled),
     )
-    workers: set[int] = set()
+    redo: list[int] = []
+    crashed: list[tuple[int, str]] = []
+    progressed = False
     try:
         futures = {
-            executor.submit(_run_item, index, source, out_path): index
-            for index, (source, out_path) in enumerate(zip(items, out_paths))
+            executor.submit(_run_item, index, items[index], out_paths[index]): index
+            for index in indices
         }
-        for future in as_completed(futures):
-            index = futures[future]
-            try:
-                index, error, result, records, counters, pid = future.result()
-            except (BrokenProcessPool, OSError, RuntimeError) as exc:
-                # The worker died (or the pool broke) before this item
-                # finished: report it as crashed and keep collecting —
-                # every remaining future resolves the same way, so the
-                # loop always terminates, never hangs.
-                _record_error(
-                    batch, index, items[index], WORKER_CRASH,
-                    str(exc) or type(exc).__name__,
+        pending = set(futures)
+        first_running: dict[Any, float] = {}
+        while pending:
+            done, not_done = wait(
+                pending,
+                timeout=None if timeout is None else _POLL_SECONDS,
+                return_when=FIRST_COMPLETED,
+            )
+            for future in done:
+                pending.discard(future)
+                index = futures[future]
+                try:
+                    payload = future.result()
+                except (BrokenProcessPool, OSError, RuntimeError) as exc:
+                    # The worker died (or the pool broke) before this
+                    # item finished.  Every remaining future resolves
+                    # the same way, so the loop never hangs.  Blame is
+                    # assigned at round end (_resolve_crashed): a broken
+                    # pool fails *every* pending item, innocent or not.
+                    crashed.append((index, str(exc) or type(exc).__name__))
+                    continue
+                progressed = True
+                _absorb_payload(
+                    batch, pruner, opts, items, out_paths, tracer, workers, payload
                 )
+            if timeout is None or not not_done:
                 continue
-            workers.add(pid)
-            if tracer.enabled and (records or counters):
-                for record in records:
-                    record.setdefault("attrs", {})["worker"] = pid
-                tracer.absorb(records, counters)
-            if error is not None:
-                _record_error(batch, index, items[index], error[0], error[1])
-            else:
-                assert result is not None
-                _record_success(batch, index, result)
+            now = time.monotonic()
+            overdue = []
+            for future in not_done:
+                if future.running():
+                    seen = first_running.setdefault(future, now)
+                    if now - seen > timeout:
+                        overdue.append(future)
+            if not overdue:
+                continue
+            # The executor marks an item "running" once it enters the
+            # call queue, which holds slightly more items than there are
+            # workers — so at most ``max_workers`` of the overdue futures
+            # can truly be executing.  Oldest first (ties by submission
+            # order) are the stuck ones; the rest were merely queued
+            # behind a stuck worker and are rerun, not failed.
+            overdue.sort(key=lambda f: (first_running[f], futures[f]))
+            stuck = set(overdue[:max_workers])
+            _kill_processes(executor)
+            executor.shutdown(wait=True, cancel_futures=True)
+            for future in pending:
+                index = futures[future]
+                if future in stuck:
+                    _record_error(
+                        batch, index, items[index], TIMEOUT,
+                        f"worker exceeded the {timeout:g}s per-item timeout",
+                    )
+                    continue
+                if future.done() and not future.cancelled():
+                    # Completed between the wait() and the kill.
+                    try:
+                        payload = future.result()
+                    except Exception:
+                        redo.append(index)
+                    else:
+                        _absorb_payload(
+                            batch, pruner, opts, items, out_paths,
+                            tracer, workers, payload,
+                        )
+                    continue
+                redo.append(index)
+            break
     finally:
         executor.shutdown(wait=True, cancel_futures=True)
-    if tracer.enabled and workers:
-        tracer.count("parallel.workers_used", len(workers))
+    _resolve_crashed(
+        batch, items, crashed, progressed, retry_crashes, crash_retried, redo
+    )
+    return redo
+
+
+def _resolve_crashed(
+    batch: BatchResult,
+    items: list[str],
+    crashed: list[tuple[int, str]],
+    progressed: bool,
+    retry_crashes: bool,
+    crash_retried: set[int],
+    redo: list[int],
+) -> None:
+    """Decide, at round end, what happens to items whose futures resolved
+    as crashes.
+
+    A broken pool fails every pending future, so most "crashes" in a
+    round are collateral damage from one bad item.  With
+    ``retry_crashes``: if the round made progress the crashed items are
+    simply rerun (their crash is unattributable); in a round with *no*
+    progress each index gets one personal retry before being recorded —
+    which converges on blaming exactly the item that keeps crashing
+    alone.  Without ``retry_crashes`` every crash is recorded as-is."""
+    for index, message in crashed:
+        if retry_crashes and progressed:
+            redo.append(index)
+        elif retry_crashes and index not in crash_retried:
+            crash_retried.add(index)
+            redo.append(index)
+        else:
+            _record_error(batch, index, items[index], WORKER_CRASH, message)

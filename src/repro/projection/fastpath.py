@@ -30,10 +30,13 @@ prune-while-loading tree builder.
 from __future__ import annotations
 
 import re
-from typing import IO, Iterator
+from typing import IO, TYPE_CHECKING, Iterator
 
 from repro.dtd.grammar import Grammar
 from repro.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.limits import LimitGuard
 from repro.obs import get_tracer
 from repro.projection.prunetable import PruneTable, TagPlan, compile_prune_table
 from repro.projection.stats import PruneStats
@@ -120,6 +123,7 @@ class FastPruner:
         projector: frozenset[str] | set[str],
         prune_attributes: bool = True,
         stats: PruneStats | None = None,
+        guard: "LimitGuard | None" = None,
     ) -> None:
         self.grammar = grammar
         self.table: PruneTable = compile_prune_table(
@@ -127,6 +131,11 @@ class FastPruner:
         )
         self.projector = self.table.projector
         self.stats = stats
+        #: Per-pass resource guard (:mod:`repro.limits`): bounds depth —
+        #: including inside bulk-skipped subtrees — plus token size, input
+        #: size and wall clock via the scanner.  Not pickled: guards are
+        #: per call, never per configuration.
+        self.guard = guard
 
     def __reduce__(self):
         # Pickling ships only (grammar, projector, flag) — the compiled
@@ -151,7 +160,8 @@ class FastPruner:
         """Prune ``source`` straight into ``sink``; returns characters
         written.  Output is byte-identical to the event pipeline's
         (``write_events(..., declaration=False)``)."""
-        scanner = Scanner(source, chunk_size)
+        guard = self.guard
+        scanner = Scanner(source, chunk_size, guard=guard)
         helper = EventParser(scanner)
         stats = self.stats
         table = self.table
@@ -172,6 +182,8 @@ class FastPruner:
         helper._parse_prolog()  # consumes an XML declaration if present
 
         while True:
+            if guard is not None:
+                guard.tick()
             if not open_kept:
                 scanner.skip_whitespace()
                 if scanner.at_eof():
@@ -325,6 +337,8 @@ class FastPruner:
                     else:
                         pending = markup
                         open_kept.append((tag, plan))
+                        if guard is not None:
+                            guard.check_depth(len(open_kept))
                 else:
                     count = (
                         self._validate_skipped_attributes(scanner, tag, attrs_text)
@@ -336,7 +350,7 @@ class FastPruner:
                         stats.attributes_in += count
                         stats.distinct_tags_in.add(tag)
                     if not empty:
-                        self._skip_subtree(scanner, tag, stats)
+                        self._skip_subtree(scanner, tag, stats, len(open_kept))
             if out_length >= buffer_size:
                 written += out_length
                 sink.write("".join(out))
@@ -371,7 +385,8 @@ class FastPruner:
         """The same fused traversal as an event stream: identical to
         ``prune_events(parse_events(source), ...)`` but pruned subtrees
         are bulk-skipped instead of parsed into events."""
-        scanner = Scanner(source, chunk_size)
+        guard = self.guard
+        scanner = Scanner(source, chunk_size, guard=guard)
         helper = EventParser(scanner)
         stats = self.stats
         table = self.table
@@ -382,6 +397,8 @@ class FastPruner:
         yield helper._parse_prolog()
 
         while True:
+            if guard is not None:
+                guard.tick()
             if not open_kept:
                 scanner.skip_whitespace()
                 if scanner.at_eof():
@@ -488,6 +505,8 @@ class FastPruner:
                         yield EndElement(tag)
                     else:
                         open_kept.append((tag, plan))
+                        if guard is not None:
+                            guard.check_depth(len(open_kept))
                 else:
                     count = (
                         self._validate_skipped_attributes(scanner, tag, attrs_text)
@@ -499,7 +518,7 @@ class FastPruner:
                         stats.attributes_in += count
                         stats.distinct_tags_in.add(tag)
                     if not empty:
-                        self._skip_subtree(scanner, tag, stats)
+                        self._skip_subtree(scanner, tag, stats, len(open_kept))
             if not open_kept and seen_root:
                 scanner.skip_whitespace()
                 if scanner.at_eof():
@@ -577,14 +596,25 @@ class FastPruner:
     # -- bulk skipping -----------------------------------------------------
 
     def _skip_subtree(
-        self, scanner: Scanner, first_tag: str, stats: PruneStats | None
+        self,
+        scanner: Scanner,
+        first_tag: str,
+        stats: PruneStats | None,
+        base_depth: int = 0,
     ) -> None:
         """Bulk-skip the content of a discarded element up to and
         including its end tag, maintaining only a tag stack for
         well-formedness and the stats counters the event path would have
-        gathered."""
+        gathered.  ``base_depth`` is the kept-element nesting above this
+        subtree, so the depth limit sees the document's true depth even
+        inside discarded regions."""
+        guard = self.guard
         open_tags = [first_tag]
+        if guard is not None:
+            guard.check_depth(base_depth + 1)
         while open_tags:
+            if guard is not None:
+                guard.tick()
             saw, opened, char = scanner.skip_text_open()
             while not opened:
                 if char == "":
@@ -646,3 +676,5 @@ class FastPruner:
                     stats.distinct_tags_in.add(tag)
                 if not empty:
                     open_tags.append(tag)
+                    if guard is not None:
+                        guard.check_depth(base_depth + len(open_tags))

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.errors import XMLSyntaxError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.limits import LimitGuard, Limits
 from repro.obs import get_tracer
 from repro.xmltree.events import (
     Characters,
@@ -29,8 +32,13 @@ class TreeBuilder:
     are skipped.
     """
 
-    def __init__(self, strip_whitespace: bool = False) -> None:
+    def __init__(
+        self,
+        strip_whitespace: bool = False,
+        guard: "LimitGuard | None" = None,
+    ) -> None:
         self._strip_whitespace = strip_whitespace
+        self._guard = guard
         self._stack: list[Element] = []
         self._root: Element | None = None
         self._text_pieces: list[str] = []
@@ -47,6 +55,11 @@ class TreeBuilder:
             else:
                 raise XMLSyntaxError("multiple root elements")
             self._stack.append(element)
+            if self._guard is not None:
+                # Guards fed events by an already-guarded parser check
+                # twice (harmless); this is for direct event-stream input.
+                self._guard.check_depth(len(self._stack))
+                self._guard.tick()
         elif isinstance(event, EndElement):
             self._flush_text()
             self._stack.pop()
@@ -74,26 +87,42 @@ class TreeBuilder:
         return Document(self._root)
 
 
-def build_tree(events: Iterable[Event], strip_whitespace: bool = False) -> Document:
+def build_tree(
+    events: Iterable[Event],
+    strip_whitespace: bool = False,
+    guard: "LimitGuard | None" = None,
+) -> Document:
     """Build a document from an already-parsed event stream."""
-    builder = TreeBuilder(strip_whitespace=strip_whitespace)
+    builder = TreeBuilder(strip_whitespace=strip_whitespace, guard=guard)
     for event in events:
         builder.feed(event)
     return builder.document()
 
 
-def parse_document(source: Source, strip_whitespace: bool = False) -> Document:
+def parse_document(
+    source: Source,
+    strip_whitespace: bool = False,
+    limits: "Limits | None" = None,
+) -> Document:
     """Parse XML text (or a text-mode file object) into a document.
+
+    ``limits`` (a :class:`repro.limits.Limits`) bounds depth, token size,
+    input size and wall clock for the whole parse; ``None`` parses
+    unguarded (tree building has no default limits — the pruning facade
+    is the untrusted-input surface).
 
     When tracing is enabled (:mod:`repro.obs`) the parse reports a
     ``"parse"`` span counting events (tokens), characters consumed, and
     nodes built; the disabled path is untouched.
     """
+    guard = limits.guard() if limits is not None else None
     tracer = get_tracer()
     if not tracer.enabled:
-        return build_tree(parse_events(source), strip_whitespace=strip_whitespace)
+        return build_tree(
+            parse_events(source, guard=guard), strip_whitespace=strip_whitespace
+        )
     with tracer.span("parse") as span:
-        scanner = Scanner(source)
+        scanner = Scanner(source, guard=guard)
         builder = TreeBuilder(strip_whitespace=strip_whitespace)
         events = 0
         for event in parse_events(scanner):

@@ -11,9 +11,12 @@ large documents").
 
 from __future__ import annotations
 
-from typing import IO, Union
+from typing import IO, TYPE_CHECKING, Union
 
 from repro.errors import XMLSyntaxError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.limits import LimitGuard
 
 Source = Union[str, IO[str]]
 
@@ -50,13 +53,23 @@ class Scanner:
     * :meth:`read_name`, :meth:`skip_whitespace` — token helpers.
     """
 
-    __slots__ = ("_source", "_buffer", "_position", "_eof", "_chunk_size", "_line", "_line_start_offset", "_consumed")
+    __slots__ = ("_source", "_buffer", "_position", "_eof", "_chunk_size", "_line", "_line_start_offset", "_consumed", "_guard")
 
-    def __init__(self, source: Source, chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
+    def __init__(
+        self,
+        source: Source,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        guard: "LimitGuard | None" = None,
+    ) -> None:
+        self._guard = guard
         if isinstance(source, str):
             self._source: IO[str] | None = None
             self._buffer = source
             self._eof = True
+            # A string source is "read" in one piece: account for it up
+            # front so max_input_bytes trips before any scanning begins.
+            if guard is not None:
+                guard.add_input(len(source))
         else:
             self._source = source
             self._buffer = ""
@@ -68,6 +81,12 @@ class Scanner:
         # used to derive a column number for error messages.
         self._line_start_offset = 0
         self._consumed = 0  # characters dropped by buffer compaction
+
+    @property
+    def guard(self) -> "LimitGuard | None":
+        """The resource guard this scanner reports to (see
+        :mod:`repro.limits`); consumers built on the scanner share it."""
+        return self._guard
 
     # -- diagnostics -----------------------------------------------------
 
@@ -103,6 +122,11 @@ class Scanner:
             if not chunk:
                 self._eof = True
                 return
+            if self._guard is not None:
+                # Per-refill: input-size accounting plus the deadline
+                # check (streams can be endless; every chunk is a chance
+                # to stop).
+                self._guard.add_input(len(chunk))
             self._buffer += chunk
 
     def _compact(self) -> None:
@@ -178,10 +202,14 @@ class Scanner:
         """Consume and return everything up to ``delimiter``; the delimiter
         itself is consumed but not returned."""
         pieces: list[str] = []
+        total = 0
+        guard = self._guard
         while True:
             index = self._buffer.find(delimiter, self._position)
             if index != -1:
                 text = self._buffer[self._position : index]
+                if guard is not None:
+                    guard.check_token(total + len(text))
                 self._count_newlines(text + delimiter)
                 self._position = index + len(delimiter)
                 self._compact()
@@ -198,6 +226,12 @@ class Scanner:
                 self._count_newlines(text)
                 pieces.append(text)
                 self._position = cut
+                if guard is not None:
+                    # In-loop check: bound the accumulation itself, not
+                    # just the joined result — a stream source must not
+                    # buffer an over-limit token before refusing it.
+                    total += len(text)
+                    guard.check_token(total)
             before = len(self._buffer)
             self._fill(len(self._buffer) - self._position + self._chunk_size)
             self._compact()
@@ -210,6 +244,8 @@ class Scanner:
         of ``delimiters``; stops at end of input.  Bulk operation — this is
         the hot path for character data."""
         pieces: list[str] = []
+        total = 0
+        guard = self._guard
         while True:
             best = -1
             for delimiter in delimiters:
@@ -218,6 +254,8 @@ class Scanner:
                     best = index
             if best != -1:
                 text = self._buffer[self._position : best]
+                if guard is not None:
+                    guard.check_token(total + len(text))
                 self._count_newlines(text)
                 self._position = best
                 self._compact()
@@ -228,6 +266,9 @@ class Scanner:
                 self._count_newlines(text)
                 pieces.append(text)
                 self._position = len(self._buffer)
+                if guard is not None:
+                    total += len(text)
+                    guard.check_token(total)
             if self._eof:
                 return "".join(pieces)
             before = len(self._buffer)
@@ -342,6 +383,8 @@ class Scanner:
         pruner reads whole tags this way instead of char-by-char."""
         pieces: list[str] = []
         quote = ""
+        total = 0
+        guard = self._guard
         while True:
             buffer = self._buffer
             position = self._position
@@ -352,6 +395,9 @@ class Scanner:
                     self._count_newlines(text)
                     self._position = index + 1
                     pieces.append(text)
+                    if guard is not None:
+                        total += len(text)
+                        guard.check_token(total)
                     quote = ""
                     continue
             else:
@@ -369,10 +415,15 @@ class Scanner:
                     self._count_newlines(text)
                     self._position = nearest_quote + 1
                     pieces.append(text)
+                    if guard is not None:
+                        total += len(text)
+                        guard.check_token(total)
                     quote = buffer[nearest_quote]
                     continue
                 if gt != -1:
                     text = buffer[position:gt]
+                    if guard is not None:
+                        guard.check_token(total + len(text))
                     self._count_newlines(text)
                     self._position = gt + 1
                     self._compact()
@@ -383,6 +434,9 @@ class Scanner:
                 self._count_newlines(text)
                 pieces.append(text)
                 self._position = len(buffer)
+                if guard is not None:
+                    total += len(text)
+                    guard.check_token(total)
             if self._eof:
                 where = f" in {context}" if context else ""
                 raise self.error(f"unexpected end of input looking for '>'{where}")
@@ -444,6 +498,8 @@ class Scanner:
             if len(self._buffer) == length:
                 break
             buffer = self._buffer
+        if self._guard is not None:
+            self._guard.check_token(end - position)
         name = buffer[position:end]
         self._position = end  # names contain no newlines
         self._compact()

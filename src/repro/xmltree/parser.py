@@ -15,9 +15,12 @@ memory (the streaming pruner) work directly on the event stream.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.errors import XMLSyntaxError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.limits import LimitGuard
 from repro.xmltree.events import (
     Characters,
     Comment,
@@ -94,8 +97,18 @@ class EventParser:
     Use via the module-level :func:`parse_events` in most cases.
     """
 
-    def __init__(self, source: "Source | Scanner", chunk_size: int = 1 << 16) -> None:
-        self._scanner = source if isinstance(source, Scanner) else Scanner(source, chunk_size)
+    def __init__(
+        self,
+        source: "Source | Scanner",
+        chunk_size: int = 1 << 16,
+        guard: "LimitGuard | None" = None,
+    ) -> None:
+        if isinstance(source, Scanner):
+            self._scanner = source
+            self._guard = guard if guard is not None else source.guard
+        else:
+            self._scanner = Scanner(source, chunk_size, guard=guard)
+            self._guard = guard
         self._open_tags: list[str] = []
         self._seen_root = False
 
@@ -103,8 +116,11 @@ class EventParser:
 
     def events(self) -> Iterator[Event]:
         scanner = self._scanner
+        guard = self._guard
         yield self._parse_prolog()
         while True:
+            if guard is not None:
+                guard.tick()
             if not self._open_tags:
                 scanner.skip_whitespace()
                 if scanner.at_eof():
@@ -232,6 +248,8 @@ class EventParser:
                 scanner.advance()
                 self._seen_root = True
                 self._open_tags.append(tag)
+                if self._guard is not None:
+                    self._guard.check_depth(len(self._open_tags))
                 return StartElement(tag, attributes)
             if char == "/":
                 scanner.advance()
@@ -276,10 +294,16 @@ class _EmptyElement(StartElement):
     its end event.  :func:`parse_events` flattens it."""
 
 
-def parse_events(source: Source, chunk_size: int = 1 << 16) -> Iterator[Event]:
-    """Parse ``source`` (a string or text-mode file object) into a stream
-    of events.  Empty-element tags yield a Start/End pair."""
-    parser = EventParser(source, chunk_size)
+def parse_events(
+    source: "Source | Scanner",
+    chunk_size: int = 1 << 16,
+    guard: "LimitGuard | None" = None,
+) -> Iterator[Event]:
+    """Parse ``source`` (a string, text-mode file object, or prepared
+    :class:`Scanner`) into a stream of events.  Empty-element tags yield a
+    Start/End pair.  ``guard`` (see :mod:`repro.limits`) bounds depth,
+    token size, input size and wall clock."""
+    parser = EventParser(source, chunk_size, guard=guard)
     for event in parser.events():
         if isinstance(event, _EmptyElement):
             yield StartElement(event.tag, event.attributes)

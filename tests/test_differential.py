@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import obs, prune
+from repro import Limits, obs, prune
 from repro.core.projector import infer_projector
 from repro.dtd.validator import validate
 from repro.projection.tree import prune_document
@@ -61,6 +61,21 @@ def check_one(seed: int) -> None:
     fast = prune(markup, grammar, projector, fast=True).text
     slow = prune(markup, grammar, projector, fast=False).text
     assert fast == slow, f"seed {seed}: fast path diverged from event pipeline"
+
+    # -- limits axis: the governed paths change nothing ------------------
+    # Forced fallback exercises the degradation path end to end: it must
+    # be byte-identical to the fast path it degrades from.
+    forced = prune(markup, grammar, projector, fast=True, fallback="force").text
+    assert forced == fast, f"seed {seed}: forced fallback diverged from fast path"
+    # Limits(off) must be bit-for-bit the pre-limits pipeline.
+    off = prune(markup, grammar, projector, limits=Limits.off()).text
+    assert off == fast, f"seed {seed}: Limits.off() changed the output"
+    # The strict profile only refuses, never alters: when it accepts the
+    # document the output is identical.
+    strict = prune(
+        markup, grammar, projector, limits=Limits.strict().replace(deadline=None)
+    ).text
+    assert strict == fast, f"seed {seed}: strict limits changed the output"
 
     interpretation = validate(document, grammar)
     tree_pruned = prune_document(document, interpretation, projector)

@@ -265,6 +265,153 @@ class TestPool:
         assert clean.ok
 
 
+# -- per-item timeouts, respawn, and degradation ------------------------------
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="stall injection requires fork")
+class TestPoolTimeout:
+    """Batch-timeout semantics: a stuck worker is killed, only its item
+    fails (``kind="timeout"``), the remaining items still complete in
+    input order, and the pool is respawned at most once per kill."""
+
+    def _stall_on(self, monkeypatch, needles):
+        import repro.parallel as parallel
+        import time as _time
+
+        real = parallel._execute_item
+
+        def stalling(pruner, options, source, out_path):
+            if any(needle in source for needle in needles):
+                _time.sleep(60)
+            return real(pruner, options, source, out_path)
+
+        # fork workers inherit the patched module, so the marked items
+        # hang inside their worker while the rest run normally.
+        monkeypatch.setattr(parallel, "_execute_item", stalling)
+
+    def test_stuck_item_times_out_others_complete(
+        self, corpus, book_grammar, monkeypatch
+    ):
+        self._stall_on(monkeypatch, ["doc00"])
+        batch = prune_many(corpus, book_grammar, QUERY, jobs=2, timeout=1.0)
+        assert {(e.index, e.kind) for e in batch.errors} == {(0, "timeout")}
+        assert batch.results[0] is None
+        assert all(result is not None for result in batch.results[1:])
+        assert batch.respawns <= 1
+        monkeypatch.undo()
+        serial = prune_many(corpus, book_grammar, QUERY, jobs=1)
+        assert batch.texts()[1:] == serial.texts()[1:]
+
+    def test_both_workers_stuck_respawns_pool_once(
+        self, corpus, book_grammar, monkeypatch
+    ):
+        # The first two items stall both workers, so the queued items can
+        # only complete after the pool is killed and respawned.
+        self._stall_on(monkeypatch, ["doc00", "doc01"])
+        batch = prune_many(corpus, book_grammar, QUERY, jobs=2, timeout=1.0)
+        assert {(e.index, e.kind) for e in batch.errors} == {
+            (0, "timeout"),
+            (1, "timeout"),
+        }
+        assert all(result is not None for result in batch.results[2:])
+        assert batch.respawns == 1
+
+    def test_timeout_with_no_stall_changes_nothing(self, corpus, book_grammar):
+        timed = prune_many(corpus, book_grammar, QUERY, jobs=2, timeout=30.0)
+        plain = prune_many(corpus, book_grammar, QUERY, jobs=1)
+        assert timed.ok
+        assert timed.respawns == 0
+        assert timed.texts() == plain.texts()
+
+    def test_jobs1_timeout_folds_into_deadline(self, corpus, book_grammar, monkeypatch):
+        import repro.parallel as parallel
+
+        seen = []
+        real = parallel._execute_item
+
+        def recording(pruner, options, source, out_path):
+            seen.append(options.limits)
+            return real(pruner, options, source, out_path)
+
+        monkeypatch.setattr(parallel, "_execute_item", recording)
+        batch = prune_many(corpus[:2], book_grammar, QUERY, jobs=1, timeout=2.5)
+        assert batch.ok
+        assert all(lim is not None and lim.deadline == 2.5 for lim in seen)
+
+    def test_nonpositive_timeout_raises(self, corpus, book_grammar):
+        with pytest.raises(ValueError):
+            prune_many(corpus, book_grammar, QUERY, jobs=2, timeout=0)
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="retry injection requires fork")
+class TestCrashRetry:
+    def test_crashed_item_retried_once(self, corpus, book_grammar, monkeypatch, tmp_path):
+        import repro.parallel as parallel
+
+        marker = tmp_path / "crashed-once"
+        real = parallel._execute_item
+
+        def crash_first_time(pruner, options, source, out_path):
+            if "doc02" in source and not marker.exists():
+                marker.touch()
+                os._exit(13)
+            return real(pruner, options, source, out_path)
+
+        monkeypatch.setattr(parallel, "_execute_item", crash_first_time)
+        batch = prune_many(
+            corpus, book_grammar, QUERY, jobs=2, retry_crashes=True
+        )
+        assert batch.results[2] is not None
+        assert batch.respawns >= 1
+
+    def test_persistent_crash_still_reported_once_retried(
+        self, corpus, book_grammar, monkeypatch
+    ):
+        import repro.parallel as parallel
+
+        real = parallel._execute_item
+
+        def always_crash(pruner, options, source, out_path):
+            if "doc02" in source:
+                os._exit(13)
+            return real(pruner, options, source, out_path)
+
+        monkeypatch.setattr(parallel, "_execute_item", always_crash)
+        batch = prune_many(
+            corpus, book_grammar, QUERY, jobs=2, retry_crashes=True
+        )
+        crash_errors = [e for e in batch.errors if e.kind == parallel.WORKER_CRASH]
+        assert {e.index for e in crash_errors} == {2}
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="fingerprint skew requires fork")
+class TestFingerprintMismatch:
+    def test_mismatch_falls_back_to_parent_side_prune(
+        self, corpus, book_grammar, monkeypatch
+    ):
+        import repro.parallel as parallel
+
+        real = parallel.grammar_fingerprint
+        parent = os.getpid()
+
+        def skewed(grammar):
+            fingerprint = real(grammar)
+            # The parent sees the true fingerprint; forked workers see a
+            # different one, simulating a grammar that does not survive
+            # the process boundary intact.
+            return fingerprint if os.getpid() == parent else fingerprint + "-skewed"
+
+        monkeypatch.setattr(parallel, "grammar_fingerprint", skewed)
+        with obs.capture() as sink:
+            batch = prune_many(corpus, book_grammar, QUERY, jobs=2)
+            obs.flush()
+        assert batch.ok, batch.errors
+        assert sink.counters().get("parallel.fingerprint_fallbacks") == len(corpus)
+        monkeypatch.undo()
+        serial = prune_many(corpus, book_grammar, QUERY, jobs=1)
+        assert batch.texts() == serial.texts()
+
+
 # -- engine integration -------------------------------------------------------
 
 

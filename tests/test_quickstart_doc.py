@@ -82,6 +82,26 @@ def test_readme_documents_the_full_differential_sweep():
     assert "tests/test_differential.py -m slow" in readme.read_text()
 
 
+def test_readme_limits_snippet_runs_verbatim(capsys):
+    readme = pathlib.Path(__file__).resolve().parent.parent / "README.md"
+    match = re.search(
+        r"## Resource limits & hardening\n.*?```python\n(.*?)```",
+        readme.read_text(), re.DOTALL,
+    )
+    assert match, "README has no resource-limits code block"
+    exec(compile(match.group(1), str(readme), "exec"), {})
+    out = capsys.readouterr().out
+    # The hostile document must be *refused* (for depth), not pruned.
+    assert out.startswith("refused: depth")
+
+
+def test_readme_documents_the_fuzz_battery():
+    readme = pathlib.Path(__file__).resolve().parent.parent / "README.md"
+    text = readme.read_text()
+    assert "tests/test_fuzz_robustness.py -m slow" in text
+    assert "--limits-profile" in text
+
+
 def test_docstring_and_pipeline_docstring_agree_on_prune_signature():
     """Both quickstarts must call prune_document(document, interpretation,
     projector) — the real signature (the grammar is *inside* the
