@@ -1,0 +1,275 @@
+"""Projection-service benchmark: warm-server latency vs the cold CLI.
+
+Standalone script (not pytest-benchmark — CI runs it directly)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--smoke]
+        [--factor F] [--requests N] [--clients N] [--jobs N]
+        [--cold-repeats N] [--max-p50-ratio X] [--output PATH]
+
+The paper's argument for a resident service is amortization: the static
+phase (DTD parse, Fig. 1/2 inference, projector compilation) runs once,
+so each request pays only the per-document pruning cost.  This benchmark
+measures whether that amortization is *realized*:
+
+* **cold** — the one-shot CLI (``python -m repro prune``) on one XMark
+  document, median wall-clock over a few runs: interpreter start, grammar
+  parse, inference, prune, every time;
+* **warm** — the same document pruned through a running
+  :class:`~repro.service.server.ProjectionServer` via
+  :class:`~repro.service.client.ServiceClient`, per-request latency
+  sampled ``--requests`` times (p50/p95 reported);
+* **concurrent** — ``--clients`` threads, each with its own connection,
+  prune the document simultaneously; reports req/s and **asserts** every
+  response is byte-identical to the serial :func:`repro.prune` facade
+  with zero admission refusals;
+* gates ``warm p50 <= --max-p50-ratio x cold`` (default 0.5: a warm
+  request must cost at most half a cold invocation, or keeping the
+  server resident is not paying for itself).
+
+Writes ``benchmarks/results/BENCH_service.json`` plus a JSONL gauge
+stream (``BENCH_service.jsonl``), same formats as the other benches.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+
+QUERIES = [
+    "/site/open_auctions/open_auction/bidder/increase",
+    "//person/name",
+]
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _median(samples: list[float]) -> float:
+    return _percentile(samples, 0.5)
+
+
+def _cold_cli_seconds(doc_path: str, out_path: str, repeats: int) -> list[float]:
+    """Wall-clock of the one-shot CLI, interpreter start included."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [REPO_SRC] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    command = [sys.executable, "-m", "repro", "prune", "--xmark"]
+    for query in QUERIES:
+        command += ["--query", query]
+    command += [doc_path, out_path]
+    samples = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        subprocess.run(command, check=True, capture_output=True, env=env)
+        samples.append(time.perf_counter() - started)
+    return samples
+
+
+def run(factor: float, requests: int, clients: int, jobs: int,
+        cold_repeats: int, max_p50_ratio: float, output_path: str) -> dict:
+    import tempfile
+
+    from repro.api import prune
+    from repro.core.cache import ProjectorCache, resolve_projector
+    from repro.service import ServiceClient, ServiceConfig, serve_background
+    from repro.workloads.xmark import generate_file, xmark_grammar
+
+    grammar = xmark_grammar()
+    projector = resolve_projector(grammar, QUERIES)
+
+    with tempfile.TemporaryDirectory(prefix="bench_service_") as tmp:
+        doc_path = os.path.join(tmp, "xmark.xml")
+        print(f"generating one XMark document (factor {factor}) ...", flush=True)
+        generate_file(doc_path, factor=factor, seed=97)
+        doc_bytes = os.path.getsize(doc_path)
+        expected = prune(doc_path, grammar, projector).text
+        assert expected is not None
+
+        print(f"cold one-shot CLI x {cold_repeats} ...", flush=True)
+        cold_samples = _cold_cli_seconds(
+            doc_path, os.path.join(tmp, "cold-out.xml"), cold_repeats
+        )
+        cold_seconds = _median(cold_samples)
+        with open(os.path.join(tmp, "cold-out.xml"), encoding="utf-8") as handle:
+            cold_identical = handle.read() == expected
+
+        config = ServiceConfig(
+            port=0, jobs=jobs, queue_limit=max(64, clients + 8),
+            per_connection=8,
+        )
+        with serve_background(config, cache=ProjectorCache()) as server:
+            address = ("127.0.0.1", server.port)
+            with ServiceClient(*address, timeout=300) as client:
+                # Warm-up: pays the static phase (grammar memo, inference,
+                # pin + worker spawn) exactly once.
+                client.prune(source_path=doc_path, xmark=True, queries=QUERIES)
+
+                print(f"warm server, {requests} sequential requests ...", flush=True)
+                warm_samples = []
+                for _ in range(requests):
+                    started = time.perf_counter()
+                    outcome = client.prune(
+                        source_path=doc_path, xmark=True, queries=QUERIES
+                    )
+                    warm_samples.append(time.perf_counter() - started)
+                    if outcome.text != expected:
+                        raise SystemExit("warm response differs from the facade")
+
+            print(f"{clients} concurrent clients ...", flush=True)
+            per_client = max(2, requests // clients)
+            errors: list[str] = []
+
+            def hammer(seed: int) -> None:
+                try:
+                    with ServiceClient(*address, timeout=300) as mine:
+                        for _ in range(per_client):
+                            outcome = mine.prune(
+                                source_path=doc_path, xmark=True, queries=QUERIES
+                            )
+                            if outcome.text != expected:
+                                errors.append(f"client {seed}: output differs")
+                                return
+                except Exception as exc:
+                    errors.append(f"client {seed}: {type(exc).__name__}: {exc}")
+
+            threads = [
+                threading.Thread(target=hammer, args=(seed,))
+                for seed in range(clients)
+            ]
+            concurrent_started = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            concurrent_seconds = time.perf_counter() - concurrent_started
+
+            with ServiceClient(*address) as probe:
+                stats = probe.stats()
+
+    warm_p50 = _percentile(warm_samples, 0.5)
+    warm_p95 = _percentile(warm_samples, 0.95)
+    throughput = (clients * per_client) / concurrent_seconds
+    ratio = warm_p50 / cold_seconds if cold_seconds else float("inf")
+
+    print(f"  cold CLI        {cold_seconds * 1000:8.1f} ms (median of {cold_repeats})")
+    print(f"  warm p50        {warm_p50 * 1000:8.1f} ms   ({ratio:.3f}x cold, "
+          f"gate <= {max_p50_ratio}x)")
+    print(f"  warm p95        {warm_p95 * 1000:8.1f} ms")
+    print(f"  concurrent      {throughput:8.1f} req/s "
+          f"({clients} clients x {per_client})", flush=True)
+
+    report = {
+        "benchmark": "service",
+        "xmark_factor": factor,
+        "document_bytes": doc_bytes,
+        "queries": QUERIES,
+        "projector_size": len(projector),
+        "jobs": jobs,
+        "requests": requests,
+        "clients": clients,
+        "per_client": per_client,
+        "cold_repeats": cold_repeats,
+        "cold_cli_seconds": round(cold_seconds, 6),
+        "warm_p50_seconds": round(warm_p50, 6),
+        "warm_p95_seconds": round(warm_p95, 6),
+        "warm_over_cold_p50": round(ratio, 4),
+        "max_p50_ratio": max_p50_ratio,
+        "requests_per_second": round(throughput, 2),
+        "cold_identical_to_facade": cold_identical,
+        "concurrent_errors": errors,
+        "refusals": stats["refusals"],
+        "cache": stats["cache"],
+        "pool": stats["pool"],
+    }
+
+    os.makedirs(os.path.dirname(output_path), exist_ok=True)
+    with open(output_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    _write_gauges(report, os.path.splitext(output_path)[0] + ".jsonl")
+    print(f"wrote {output_path}")
+
+    failures = []
+    if not cold_identical:
+        failures.append("cold CLI output is not byte-identical to the facade")
+    if errors:
+        failures.append(f"concurrent clients failed: {errors[:3]}")
+    if stats["refusals"]:
+        failures.append(
+            f"{stats['refusals']} refusals below the admission limit"
+        )
+    if ratio > max_p50_ratio:
+        failures.append(
+            f"warm p50 is {ratio:.3f}x the cold CLI wall-clock "
+            f"(gate {max_p50_ratio}x): amortization not realized"
+        )
+    report["failures"] = failures
+    return report
+
+
+def _write_gauges(report: dict, path: str) -> None:
+    from repro import obs
+
+    sink = obs.JsonlSink(path)
+    try:
+        for key in ("document_bytes", "cold_cli_seconds", "warm_p50_seconds",
+                    "warm_p95_seconds", "warm_over_cold_p50",
+                    "requests_per_second", "clients", "jobs"):
+            sink.record({
+                "type": "gauge",
+                "name": f"bench.service.{key}",
+                "value": report[key],
+            })
+    finally:
+        sink.close()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--factor", type=float, default=None,
+                        help="XMark scale factor for the document "
+                             "(default 0.01; --smoke uses 0.003)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="sequential warm requests to sample "
+                             "(default 200; --smoke uses 60)")
+    parser.add_argument("--clients", type=int, default=20,
+                        help="concurrent clients for the throughput phase "
+                             "(default 20)")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="resident worker processes (default 2)")
+    parser.add_argument("--cold-repeats", type=int, default=None,
+                        help="cold CLI timing repetitions (median reported)")
+    parser.add_argument("--max-p50-ratio", type=float, default=0.5,
+                        help="fail if warm p50 exceeds this fraction of the "
+                             "cold CLI wall-clock (default 0.5)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small document + fewer samples (CI smoke mode)")
+    parser.add_argument("--output", default=os.path.join(
+        os.path.dirname(__file__), "results", "BENCH_service.json"))
+    args = parser.parse_args(argv)
+
+    factor = args.factor if args.factor is not None else (0.003 if args.smoke else 0.01)
+    requests = args.requests if args.requests is not None else (60 if args.smoke else 200)
+    cold_repeats = args.cold_repeats if args.cold_repeats is not None else (
+        2 if args.smoke else 3
+    )
+    report = run(factor, requests, args.clients, args.jobs, cold_repeats,
+                 args.max_p50_ratio, args.output)
+    for failure in report["failures"]:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if report["failures"] else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

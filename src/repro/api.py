@@ -81,6 +81,37 @@ class PruneOptions:
     limits: "Limits | str | None" = None
     fallback: "bool | str" = True
 
+    # -- wire form (the service protocol ships options as JSON) -----------
+
+    def to_wire(self) -> dict[str, Any]:
+        """JSON-safe form: only the fields that differ from the defaults
+        (``limits`` serializes as a profile name or a bounds dict)."""
+        wire: dict[str, Any] = {}
+        for name in ("fast", "validate", "prune_attributes", "chunk_size", "fallback"):
+            value = getattr(self, name)
+            if value != getattr(DEFAULT_OPTIONS, name):
+                wire[name] = value
+        if self.limits is not None:
+            wire["limits"] = (
+                self.limits if isinstance(self.limits, str) else self.limits.as_dict()
+            )
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "PruneOptions":
+        """Rebuild from :meth:`to_wire` output (unknown keys rejected so a
+        client/server version skew fails loudly, not silently)."""
+        fields = dict(wire)
+        limits = fields.pop("limits", None)
+        if isinstance(limits, dict):
+            limits = Limits.from_dict(limits)
+        unknown = set(fields) - {
+            "fast", "validate", "prune_attributes", "chunk_size", "fallback"
+        }
+        if unknown:
+            raise ValueError(f"unknown prune option(s): {sorted(unknown)}")
+        return cls(limits=limits, **fields)
+
 
 DEFAULT_OPTIONS = PruneOptions()
 

@@ -7,6 +7,11 @@ Subcommands::
     validate  validate a document against a DTD
     generate  emit an XMark benchmark document
     run       run a query on a document, optionally after pruning
+    serve     run the long-lived projection service (see repro.service)
+
+``prune --server HOST:PORT`` sends the work to a running service instead
+of pruning in-process, so repeated invocations share the server's
+resident projector cache and warm workers.
 
 Example::
 
@@ -110,9 +115,74 @@ def _print_batch_errors(batch) -> None:
         print(f"error: {error.source}: {error.kind}: {error.message}", file=sys.stderr)
 
 
+def _prune_via_server(args) -> int:
+    """Send ``prune`` work to a running projection service.
+
+    Documents are read client-side and shipped as markup (the server may
+    be on another machine); pruned markup comes back over the socket and
+    is written locally, so the command's filesystem contract matches the
+    in-process path exactly.
+    """
+    from repro.api import PruneOptions
+    from repro.parallel import _output_paths
+    from repro.service.client import ServiceClient
+
+    if args.xmark:
+        grammar_kwargs = {"xmark": True}
+    elif args.dtd and args.root:
+        grammar_kwargs = {"dtd_path": args.dtd, "root": args.root}
+    else:
+        raise SystemExit("--server requires --dtd/--root or --xmark "
+                         "(--infer-dtd runs client-side only)")
+    options_kwargs = {
+        "queries": args.query,
+        "options": PruneOptions(fast=not args.no_fast, validate=args.validate),
+        "limits": _limits_from_args(args),
+        **grammar_kwargs,
+    }
+
+    items = _batch_inputs(args)
+    with ServiceClient.from_address(args.server) as client:
+        if items is None:
+            outcome = client.prune(source=args.input, **options_kwargs)
+            assert outcome.text is not None
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(outcome.text)
+            stats = outcome.stats
+            print(f"pruned via {args.server} in {outcome.seconds:.2f} s")
+            print(f"size: {stats.bytes_in} -> {stats.bytes_out} bytes "
+                  f"({stats.size_percent:.1f}% kept)")
+            print(f"nodes: {stats.nodes_in} -> {stats.nodes_out}")
+            return 0
+
+        import os
+
+        os.makedirs(args.output, exist_ok=True)
+        batch = client.prune_batch(sources=list(items), **options_kwargs)
+        failures = 0
+        for item, out_path in zip(batch.items, _output_paths(items, args.output)):
+            if isinstance(item, Exception):
+                failures += 1
+                print(f"error: {item}", file=sys.stderr)
+                continue
+            assert item.text is not None
+            with open(out_path, "w", encoding="utf-8") as handle:
+                handle.write(item.text)
+        stats = batch.stats
+        print(f"pruned {batch.succeeded}/{len(items)} documents via "
+              f"{args.server} in {batch.seconds:.2f} s")
+        print(f"size: {stats.bytes_in} -> {stats.bytes_out} bytes "
+              f"({stats.size_percent:.1f}% kept)")
+        print(f"nodes: {stats.nodes_in} -> {stats.nodes_out}")
+        return 1 if failures else 0
+
+
 def cmd_prune(args) -> int:
     from repro import obs
     from repro.api import prune
+
+    if getattr(args, "server", None):
+        return _prune_via_server(args)
 
     items = _batch_inputs(args)
     first_doc = items[0] if items else args.input
@@ -231,10 +301,45 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.service.config import ServiceConfig
+    from repro.service.server import ProjectionServer
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs or None,
+        queue_limit=args.queue_limit,
+        per_connection=args.per_connection,
+        limits=_limits_from_args(args),
+        tracing=bool(getattr(args, "trace_out", None) or getattr(args, "metrics", False)),
+    )
+    server = ProjectionServer(config)
+
+    def ready(srv) -> None:
+        # Parsable by wrappers that need the bound port (port 0 picks one).
+        print(f"serving on {config.host}:{srv.port}", flush=True)
+
+    return server.run(ready=ready)
+
+
+def _version() -> str:
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        import repro
+
+        return repro.__version__
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-xml", description="Type-based XML projection (VLDB 2006)"
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {_version()}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def common(p, with_query=True):
@@ -280,6 +385,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="use the event pipeline instead of the fused fast path")
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="worker processes for batch mode (0 = all cores)")
+    p.add_argument("--server", metavar="HOST:PORT",
+                   help="send the work to a running projection service "
+                        "(see `repro-xml serve`) instead of pruning locally")
     limit_flags(p)
     p.set_defaults(func=cmd_prune)
 
@@ -293,6 +401,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=42)
     p.add_argument("--output", required=True)
     p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("serve", help="run the long-lived projection service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="port to bind (default 0 = pick a free port; the "
+                        "bound port is printed on startup)")
+    p.add_argument("--jobs", type=int, default=2, metavar="N",
+                   help="resident worker processes (0 = all cores)")
+    p.add_argument("--queue-limit", type=int, default=64, metavar="N",
+                   help="server-wide admitted-request bound; excess requests "
+                        "get a structured 429-style refusal")
+    p.add_argument("--per-connection", type=int, default=8, metavar="N",
+                   help="in-flight request cap per client connection")
+    obs_flags(p)
+    limit_flags(p)
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("run", help="run a query (optionally with pruning)")
     common(p)

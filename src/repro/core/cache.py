@@ -23,6 +23,7 @@ so repeated invocations inside one process share inference results.
 from __future__ import annotations
 
 import hashlib
+import threading
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -122,12 +123,22 @@ def _normalize_query(query: str) -> str:
 
 
 class ProjectorCache:
-    """LRU memo of per-query projector inference across grammars."""
+    """LRU memo of per-query projector inference across grammars.
+
+    Concurrency-safe: every operation that touches the LRU order or the
+    hit/miss accounting runs under one reentrant lock, so the projection
+    service (and any threaded caller) can share :func:`default_cache`
+    without corrupting the :class:`~collections.OrderedDict`.  Inference
+    for a miss also runs under the lock — misses for the same workload
+    recur rarely, and serializing them keeps a thundering herd of threads
+    from all inferring the same projector at once.
+    """
 
     def __init__(self, max_entries: int = 256) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
+        self._lock = threading.RLock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -136,18 +147,21 @@ class ProjectorCache:
         )
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def stats(self) -> CacheStats:
         """Snapshot of this cache's hit/miss/eviction counts."""
-        return CacheStats(
-            hits=self._hits, misses=self._misses, evictions=self._evictions
-        )
+        with self._lock:
+            return CacheStats(
+                hits=self._hits, misses=self._misses, evictions=self._evictions
+            )
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._hits = self._misses = self._evictions = 0
+        with self._lock:
+            self._entries.clear()
+            self._hits = self._misses = self._evictions = 0
 
     def projector_for_query(
         self,
@@ -165,26 +179,27 @@ class ProjectorCache:
             bool(materialize),
             _normalize_query(query),
         )
-        entries = self._entries
-        cached = entries.get(key)
-        if cached is not None:
-            self._hits += 1
-            obs.count("cache.hits")
-            entries.move_to_end(key)
-            return cached
-        self._misses += 1
-        obs.count("cache.misses")
-        projector = analyze(
-            grammar, query,
-            materialize=materialize,
-            language="xquery" if xquery else "xpath",
-        ).projector
-        entries[key] = projector
-        if len(entries) > self.max_entries:
-            entries.popitem(last=False)
-            self._evictions += 1
-            obs.count("cache.evictions")
-        return projector
+        with self._lock:
+            entries = self._entries
+            cached = entries.get(key)
+            if cached is not None:
+                self._hits += 1
+                obs.count("cache.hits")
+                entries.move_to_end(key)
+                return cached
+            self._misses += 1
+            obs.count("cache.misses")
+            projector = analyze(
+                grammar, query,
+                materialize=materialize,
+                language="xquery" if xquery else "xpath",
+            ).projector
+            entries[key] = projector
+            if len(entries) > self.max_entries:
+                entries.popitem(last=False)
+                self._evictions += 1
+                obs.count("cache.evictions")
+            return projector
 
     def analyze(
         self,

@@ -113,7 +113,13 @@ class TypeInference:
             tau = ops.axis(env.tau, step.axis) & env.kappa
             return Env(tau, ops.context_restrict(env.kappa, tau))
         tau = ops.axis(env.tau, step.axis)
-        return Env(tau, env.kappa | tau)
+        # κ ∪ τ′ alone can violate well-formedness: a childless name in κ
+        # (a text name, an empty element) is neither in τ′ nor an ancestor
+        # of it, yet would stay in the context forever.  Restricting to
+        # chains that end in τ′ is sound — upward rules only ever take
+        # κ ∩ A_E(τ, ancestor), and a type-level non-ancestor of τ′ can
+        # never be a document-level ancestor of a τ′ node.
+        return Env(tau, ops.context_restrict(env.kappa | tau, tau))
 
     def _infer_condition(self, env: Env, condition: tuple[SimplePath, ...]) -> Env:
         """Rule 4: ``self::node[P1 or ... or Pn]`` keeps the names for

@@ -144,6 +144,49 @@ class FastPathUnsupported(ReproError):
     source/sink cannot be rewound for a retry)."""
 
 
+class ServiceError(ReproError):
+    """Base class for projection-service errors (:mod:`repro.service`)."""
+
+
+class ProtocolError(ServiceError):
+    """Raised when a service frame violates the wire protocol: not JSON,
+    not an object, oversized, missing the request id or the operation."""
+
+    code = 400
+
+
+class ServiceOverloaded(ServiceError):
+    """Structured admission refusal: the server's bounded request queue
+    (or this connection's in-flight cap) is full.  The request was never
+    started — retry later.  ``scope`` says which bound tripped
+    (``"server"`` or ``"connection"``)."""
+
+    code = 429
+
+    def __init__(self, message: str, scope: str = "server") -> None:
+        self.scope = scope
+        super().__init__(message)
+
+
+class ServiceUnavailable(ServiceError):
+    """The server is draining (or gone): it refuses new work but finishes
+    what it already admitted."""
+
+    code = 503
+
+
+class RemoteError(ServiceError):
+    """An error that happened on the server while processing a request,
+    reported back as data.  ``remote_type`` is the server-side exception
+    class name (``XMLSyntaxError``, ``LimitExceeded``, ...), ``code`` the
+    HTTP-style status the server attached."""
+
+    def __init__(self, remote_type: str, message: str, code: int = 500) -> None:
+        self.remote_type = remote_type
+        self.code = code
+        super().__init__(f"{remote_type}: {message}")
+
+
 class BudgetExceededError(ReproError):
     """Raised by the metered query engine when a configured memory budget
     is exhausted (used to reproduce the paper's 512 MB-limit experiments)."""

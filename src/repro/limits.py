@@ -78,6 +78,44 @@ class Limits:
         callers skip every check with a single ``is None`` test)."""
         return None if self.unbounded else LimitGuard(self)
 
+    def intersect(self, other: "Limits") -> "Limits":
+        """The tighter of each bound — how the projection service clamps
+        a client-requested :class:`Limits` to its own profile (a client
+        may tighten the server's bounds, never relax them)."""
+        def tighter(a, b):
+            if a is None:
+                return b
+            if b is None:
+                return a
+            return min(a, b)
+
+        return Limits(
+            max_depth=tighter(self.max_depth, other.max_depth),
+            max_token_bytes=tighter(self.max_token_bytes, other.max_token_bytes),
+            max_input_bytes=tighter(self.max_input_bytes, other.max_input_bytes),
+            max_output_bytes=tighter(self.max_output_bytes, other.max_output_bytes),
+            deadline=tighter(self.deadline, other.deadline),
+        )
+
+    # -- wire form (the service protocol ships limits as JSON) ------------
+
+    def as_dict(self) -> dict:
+        """JSON-safe form: only the bounds that are set."""
+        return {
+            field.name: getattr(self, field.name)
+            for field in dataclasses.fields(self)
+            if getattr(self, field.name) is not None
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Limits":
+        """Rebuild from :meth:`as_dict` output (unknown keys rejected)."""
+        names = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(data) - names
+        if unknown:
+            raise ValueError(f"unknown limits field(s): {sorted(unknown)}")
+        return cls(**data)
+
     # -- named profiles ---------------------------------------------------
 
     @classmethod

@@ -35,7 +35,10 @@ span closes.
 
 from __future__ import annotations
 
+import atexit
+import contextlib
 import json
+import os
 import sys
 import time
 from typing import IO, Any, Iterator
@@ -240,16 +243,45 @@ class JsonlSink:
         else:
             self._stream = target
             self._owned = False
+        self._closed = False
+        # Trailing trace lines must survive processes that never call
+        # flush() explicitly — short-lived CLI runs, SIGTERM'd servers
+        # whose drain path is the last thing that runs.  The pid guard
+        # keeps forked children (worker pools) from flushing the
+        # parent's buffered lines a second time at their own exit.
+        self._pid = os.getpid()
+        atexit.register(self._atexit_close)
+
+    def _atexit_close(self) -> None:
+        if os.getpid() == self._pid:
+            self.close()
+        elif self._owned and not self._closed:
+            # A forked child exiting normally: its inherited copy of the
+            # buffer holds lines the parent already owns, and interpreter
+            # finalization would flush them a second time.  Closing the
+            # child's descriptor first makes that flush fail, discarding
+            # the duplicate (the parent's fd is untouched — fork copied
+            # the descriptor table).
+            self._closed = True
+            with contextlib.suppress(Exception):
+                os.close(self._stream.fileno())
+            with contextlib.suppress(Exception):
+                self._stream.close()
 
     def record(self, record: dict[str, Any]) -> None:
         self._stream.write(json.dumps(record, sort_keys=True, default=_jsonable))
         self._stream.write("\n")
 
     def flush(self) -> None:
-        self._stream.flush()
+        if not self._closed:
+            self._stream.flush()
 
     def close(self) -> None:
-        self.flush()
+        if self._closed:
+            return
+        self._closed = True
+        atexit.unregister(self._atexit_close)
+        self._stream.flush()
         if self._owned:
             self._stream.close()
 

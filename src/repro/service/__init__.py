@@ -1,0 +1,54 @@
+"""The projection service: resident static analysis over a socket.
+
+The paper's pipeline is two-phase — static (DTD + queries → projector,
+once per workload) and per-document (prune).  This package makes the
+static phase *resident*: a long-running server holds the shared projector
+cache, parsed grammars, and a persistent worker pool with compiled prune
+tables pinned, so clients pay only the per-document cost per request.
+
+Server side::
+
+    from repro.service import ProjectionServer, ServiceConfig
+    ProjectionServer(ServiceConfig(port=8410, jobs=4)).run()
+
+(or ``repro-xml serve --port 8410 --jobs 4``).  Client side::
+
+    from repro.service import ServiceClient
+    with ServiceClient("127.0.0.1", 8410) as client:
+        outcome = client.prune(xml_text, dtd=dtd_text, root="book",
+                               queries=["/book/title"])
+
+Tests and notebooks can run both halves in one process via
+:func:`serve_background`.
+"""
+
+from repro.errors import (
+    ProtocolError,
+    RemoteError,
+    ServiceError,
+    ServiceOverloaded,
+    ServiceUnavailable,
+)
+from repro.service.client import RemoteBatchOutcome, RemoteOutcome, ServiceClient
+from repro.service.config import ServiceConfig
+from repro.service.protocol import DEFAULT_MAX_FRAME_BYTES
+from repro.service.server import BackgroundServer, ProjectionServer, serve_background
+from repro.service.workers import ResidentPool, WorkerFailure
+
+__all__ = [
+    "DEFAULT_MAX_FRAME_BYTES",
+    "BackgroundServer",
+    "ProjectionServer",
+    "ProtocolError",
+    "RemoteBatchOutcome",
+    "RemoteError",
+    "RemoteOutcome",
+    "ResidentPool",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceOverloaded",
+    "ServiceUnavailable",
+    "WorkerFailure",
+    "serve_background",
+]

@@ -1,0 +1,652 @@
+"""The projection server: resident static analysis, per-request pruning.
+
+The paper splits the pipeline into a *static* phase (parse the DTD, run
+the Fig. 1/2 inference, build the projector — once per (DTD, workload)
+pair) and a *per-document* phase (prune).  A one-shot CLI pays the static
+phase on every invocation; :class:`ProjectionServer` keeps it resident:
+
+* one shared, concurrency-safe :class:`~repro.core.cache.ProjectorCache`
+  memoizes inference across every connection;
+* parsed grammars are memoized by content hash, so thousands of requests
+  shipping the same DTD text parse it once;
+* pruning runs on a persistent :class:`~repro.service.workers.
+  ResidentPool` whose workers hold the compiled prune tables pinned;
+* admission control bounds the work the server accepts: a server-wide
+  in-flight cap (structured 429-style refusal when full — never a hang)
+  and a per-connection pipelining cap;
+* SIGTERM/SIGINT drains gracefully: stop accepting, refuse new frames
+  with a structured 503, finish every admitted request, flush obs sinks,
+  exit 0.
+
+Everything reports through :mod:`repro.obs`: a ``service.request`` span
+per admitted request (tagged with connection and request ids), the
+``service.queue_depth`` gauge, and ``service.requests`` /
+``service.refusals`` / ``service.respawns`` counters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import hashlib
+import itertools
+import os
+import signal
+import threading
+import time
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import replace
+from typing import Any, Callable
+
+from repro import obs
+from repro.api import PruneOptions, PruneResult
+from repro.core.cache import ProjectorCache, default_cache
+from repro.dtd.grammar import Grammar, grammar_from_text
+from repro.errors import (
+    ProtocolError,
+    ServiceError,
+    ServiceOverloaded,
+    ServiceUnavailable,
+)
+from repro.limits import resolve_limits
+from repro.parallel import FINGERPRINT_MISMATCH, WORKER_CRASH, _execute_item
+from repro.service.config import ServiceConfig
+from repro.service.protocol import (
+    OPS,
+    error_to_wire,
+    read_frame,
+    stats_to_wire,
+)
+from repro.service.workers import ResidentPool, WorkerFailure
+
+__all__ = ["BackgroundServer", "ProjectionServer", "serve_background"]
+
+
+class _Connection:
+    """Per-connection bookkeeping: id, write serialization, in-flight cap."""
+
+    __slots__ = ("id", "writer", "lock", "inflight")
+
+    def __init__(self, conn_id: int, writer: asyncio.StreamWriter) -> None:
+        self.id = conn_id
+        self.writer = writer
+        self.lock = asyncio.Lock()
+        self.inflight = 0
+
+    async def send(self, payload: dict[str, Any]) -> None:
+        from repro.service.protocol import encode_frame
+
+        async with self.lock:
+            self.writer.write(encode_frame(payload))
+            with contextlib.suppress(ConnectionError):
+                await self.writer.drain()
+
+
+class ProjectionServer:
+    """One long-running projection service (see the module docstring).
+
+    Construct (the resident pool forks here), :meth:`start` inside a
+    running event loop, then either :meth:`serve_until_drained` or drive
+    :meth:`drain` yourself.  :meth:`run` is the blocking CLI entry point;
+    :func:`serve_background` the in-process (test/notebook) one.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        cache: ProjectorCache | None = None,
+    ) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.cache = cache if cache is not None else default_cache()
+        self.pool = ResidentPool(self.config.jobs, tracing=self.config.tracing)
+        self.port: int | None = None
+        self._grammars: dict[tuple, Grammar] = {}
+        self._limits = self.config.resolved_limits()
+        self._inflight = 0
+        self._requests_served = 0
+        self._refusals = 0
+        self._draining = False
+        self._started = 0.0
+        self._conn_ids = itertools.count(1)
+        self._req_seq = itertools.count(1)
+        self._connections: set[_Connection] = set()
+        self._request_tasks: set[asyncio.Task] = set()
+        self._server: asyncio.base_events.Server | None = None
+        self._drain_requested: asyncio.Event | None = None
+        self._drained: asyncio.Event | None = None
+        self._respawn_lock: asyncio.Lock | None = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> "ProjectionServer":
+        """Bind and start accepting (call inside a running loop)."""
+        self._drain_requested = asyncio.Event()
+        self._drained = asyncio.Event()
+        self._respawn_lock = asyncio.Lock()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started = time.monotonic()
+        return self
+
+    def request_drain(self) -> None:
+        """Ask the serve loop to drain (signal handlers land here)."""
+        assert self._drain_requested is not None
+        self._drain_requested.set()
+
+    async def serve_until_drained(self) -> None:
+        """Serve until :meth:`request_drain` fires, then drain fully."""
+        assert self._drain_requested is not None
+        await self._drain_requested.wait()
+        await self.drain()
+
+    async def drain(self) -> None:
+        """Stop accepting, finish in-flight work, flush obs, shut the
+        pool down.  Idempotent; concurrent callers wait for the first."""
+        assert self._drained is not None
+        if self._draining:
+            await self._drained.wait()
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        while self._request_tasks:
+            await asyncio.gather(*list(self._request_tasks), return_exceptions=True)
+        for conn in list(self._connections):
+            with contextlib.suppress(Exception):
+                conn.writer.close()
+        await asyncio.to_thread(self.pool.shutdown)
+        obs.flush()
+        self._drained.set()
+
+    def run(self, ready: "Callable[[ProjectionServer], None] | None" = None) -> int:
+        """Blocking entry point: serve until SIGTERM/SIGINT, drain, return
+        0.  ``ready`` is called (inside the loop) once the port is bound."""
+
+        async def main() -> None:
+            await self.start()
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                with contextlib.suppress(NotImplementedError, RuntimeError):
+                    loop.add_signal_handler(signum, self.request_drain)
+            if ready is not None:
+                ready(self)
+            await self.serve_until_drained()
+
+        asyncio.run(main())
+        return 0
+
+    # -- connection handling ---------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(next(self._conn_ids), writer)
+        self._connections.add(conn)
+        try:
+            while True:
+                try:
+                    frame = await read_frame(reader, self.config.max_frame_bytes)
+                except ProtocolError as exc:
+                    # The stream position is unrecoverable: answer once,
+                    # then drop the connection.
+                    await conn.send({"id": None, "ok": False, "error": error_to_wire(exc)})
+                    break
+                if frame is None:
+                    break
+                await self._dispatch(conn, frame)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._connections.discard(conn)
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    async def _refuse(
+        self, conn: _Connection, req_id: Any, error: ServiceError
+    ) -> None:
+        self._refusals += 1
+        obs.count("service.refusals")
+        await conn.send({"id": req_id, "ok": False, "error": error_to_wire(error)})
+
+    async def _dispatch(self, conn: _Connection, frame: dict[str, Any]) -> None:
+        req_id = frame.get("id")
+        op = frame.get("op")
+        if req_id is None or not isinstance(req_id, (int, str)):
+            await conn.send(
+                {"id": None, "ok": False,
+                 "error": error_to_wire(ProtocolError("request is missing an id"))}
+            )
+            return
+        if op not in OPS:
+            await conn.send(
+                {"id": req_id, "ok": False,
+                 "error": error_to_wire(ProtocolError(f"unknown operation {op!r}"))}
+            )
+            return
+
+        # health/stats answer inline on the loop — they must stay
+        # observable while the queue is full or the server drains.
+        if op == "health":
+            self._requests_served += 1
+            await conn.send({"id": req_id, "ok": True, "result": self._health()})
+            return
+        if op == "stats":
+            self._requests_served += 1
+            await conn.send({"id": req_id, "ok": True, "result": self._stats()})
+            return
+
+        # -- admission control ------------------------------------------
+        if self._draining:
+            await self._refuse(
+                conn, req_id, ServiceUnavailable("server is draining")
+            )
+            return
+        weight = (
+            max(1, len(frame.get("sources", ()))) if op == "prune_batch" else 1
+        )
+        if self._inflight + weight > self.config.queue_limit:
+            await self._refuse(
+                conn, req_id,
+                ServiceOverloaded(
+                    f"request queue is full ({self._inflight} in flight, "
+                    f"limit {self.config.queue_limit})",
+                    scope="server",
+                ),
+            )
+            return
+        if conn.inflight >= self.config.per_connection:
+            await self._refuse(
+                conn, req_id,
+                ServiceOverloaded(
+                    f"connection has {conn.inflight} requests in flight "
+                    f"(cap {self.config.per_connection})",
+                    scope="connection",
+                ),
+            )
+            return
+
+        self._inflight += weight
+        conn.inflight += 1
+        obs.gauge("service.queue_depth", self._inflight)
+        task = asyncio.create_task(
+            self._serve_request(conn, req_id, op, frame, weight)
+        )
+        self._request_tasks.add(task)
+        task.add_done_callback(self._request_tasks.discard)
+
+    async def _serve_request(
+        self, conn: _Connection, req_id: Any, op: str, frame: dict[str, Any],
+        weight: int,
+    ) -> None:
+        span = obs.span(
+            "service.request",
+            op=op, connection=conn.id, request=next(self._req_seq),
+        ).start()
+        try:
+            try:
+                if op == "analyze":
+                    result = await self._do_analyze(frame)
+                elif op == "prune":
+                    result = await self._do_prune(frame)
+                else:
+                    result = await self._do_prune_batch(frame)
+                response: dict[str, Any] = {"id": req_id, "ok": True, "result": result}
+            except WorkerFailure as exc:
+                span.set(error=exc.kind)
+                response = {
+                    "id": req_id, "ok": False,
+                    "error": {
+                        "type": exc.kind,
+                        "code": 500 if exc.kind == WORKER_CRASH else 422,
+                        "message": str(exc),
+                    },
+                }
+            except Exception as exc:
+                span.set(error=type(exc).__name__)
+                response = {"id": req_id, "ok": False, "error": error_to_wire(exc)}
+            await conn.send(response)
+        finally:
+            self._inflight -= weight
+            conn.inflight -= 1
+            self._requests_served += 1
+            obs.gauge("service.queue_depth", self._inflight)
+            obs.count("service.requests")
+            span.finish()
+
+    # -- request bodies --------------------------------------------------
+
+    def _health(self) -> dict[str, Any]:
+        return {
+            "status": "draining" if self._draining else "serving",
+            "pid": os.getpid(),
+            "uptime": time.monotonic() - self._started,
+            "inflight": self._inflight,
+        }
+
+    def _stats(self) -> dict[str, Any]:
+        cache = self.cache.stats
+        return {
+            "uptime": time.monotonic() - self._started,
+            "requests_served": self._requests_served,
+            "refusals": self._refusals,
+            "inflight": self._inflight,
+            "queue_limit": self.config.queue_limit,
+            "per_connection": self.config.per_connection,
+            "connections": len(self._connections),
+            "draining": self._draining,
+            "cache": {**cache.as_dict(), "entries": len(self.cache)},
+            "grammars": len(self._grammars),
+            "pool": {
+                "jobs": self.pool.jobs,
+                "pinned": self.pool.pinned,
+                "respawns": self.pool.respawns,
+            },
+        }
+
+    def _grammar_from(self, frame: dict[str, Any]) -> Grammar:
+        """Resolve (and memoize, by content hash) the request's grammar."""
+        spec = frame.get("grammar")
+        if not isinstance(spec, dict):
+            raise ProtocolError("request is missing its grammar object")
+        if spec.get("xmark"):
+            key: tuple = ("xmark",)
+            if key not in self._grammars:
+                from repro.workloads.xmark import xmark_grammar
+
+                self._grammars[key] = xmark_grammar()
+            return self._grammars[key]
+        dtd = spec.get("dtd")
+        root = spec.get("root")
+        if not isinstance(dtd, str) or not isinstance(root, str):
+            raise ProtocolError(
+                "grammar object needs 'dtd' text and 'root' (or 'xmark': true)"
+            )
+        key = ("dtd", hashlib.sha256(dtd.encode("utf-8")).hexdigest(), root)
+        if key not in self._grammars:
+            self._grammars[key] = grammar_from_text(dtd, root)
+        return self._grammars[key]
+
+    def _projector_from(
+        self, frame: dict[str, Any], grammar: Grammar
+    ) -> frozenset[str]:
+        names = frame.get("projector")
+        if names is not None:
+            if not isinstance(names, list):
+                raise ProtocolError("'projector' must be a list of names")
+            return grammar.check_projector(frozenset(names))
+        queries = frame.get("queries")
+        if isinstance(queries, str):
+            queries = [queries]
+        if not isinstance(queries, list) or not all(
+            isinstance(q, str) for q in queries
+        ):
+            raise ProtocolError("request needs 'queries' (or a 'projector' list)")
+        return self.cache.analyze(grammar, queries).projector
+
+    def _options_from(self, frame: dict[str, Any]) -> PruneOptions:
+        wire = frame.get("options", {})
+        if not isinstance(wire, dict):
+            raise ProtocolError("'options' must be an object")
+        try:
+            options = PruneOptions.from_wire(wire)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"bad options: {exc}") from None
+        # Clamp to the server profile: clients tighten, never relax.
+        effective = self._limits.intersect(resolve_limits(options.limits))
+        return replace(options, limits=effective)
+
+    @staticmethod
+    def _source_from(item: Any) -> str:
+        """One prunable source: inline markup or a server-side path."""
+        if isinstance(item, str):
+            return item
+        if isinstance(item, dict) and isinstance(item.get("path"), str):
+            return item["path"]
+        raise ProtocolError(
+            "each source must be markup/path text or {'path': ...}"
+        )
+
+    async def _do_analyze(self, frame: dict[str, Any]) -> dict[str, Any]:
+        grammar = self._grammar_from(frame)
+        queries = frame.get("queries")
+        if isinstance(queries, str):
+            queries = [queries]
+        if not isinstance(queries, list):
+            raise ProtocolError("analyze needs a 'queries' list")
+        result = self.cache.analyze(grammar, queries)
+        return {
+            "projector": sorted(result.projector),
+            "per_query_sizes": [len(p) for p in result.per_query],
+            "seconds": result.span.seconds if result.span is not None else 0.0,
+            "cache": self.cache.stats.as_dict(),
+        }
+
+    async def _do_prune(self, frame: dict[str, Any]) -> dict[str, Any]:
+        grammar = self._grammar_from(frame)
+        projector = self._projector_from(frame, grammar)
+        options = self._options_from(frame)
+        source = self._source_from(frame.get("source"))
+        out_path = frame.get("out_path")
+        if out_path is not None and not isinstance(out_path, str):
+            raise ProtocolError("'out_path' must be a string path")
+        key = self.pool.pin(grammar, projector, options.prune_attributes)
+        started = time.perf_counter()
+        result, worker = await self._execute_pooled(key, source, out_path, options)
+        payload: dict[str, Any] = {
+            "stats": stats_to_wire(result.stats),
+            "seconds": time.perf_counter() - started,
+            "worker": worker,
+        }
+        if result.text is not None:
+            payload["text"] = result.text
+        if result.output_path is not None:
+            payload["output_path"] = result.output_path
+        return payload
+
+    async def _do_prune_batch(self, frame: dict[str, Any]) -> dict[str, Any]:
+        from repro.parallel import _output_paths
+        from repro.projection.stats import PruneStats
+
+        grammar = self._grammar_from(frame)
+        projector = self._projector_from(frame, grammar)
+        options = self._options_from(frame)
+        sources_wire = frame.get("sources")
+        if not isinstance(sources_wire, list):
+            raise ProtocolError("prune_batch needs a 'sources' list")
+        sources = [self._source_from(item) for item in sources_wire]
+        out_dir = frame.get("out_dir")
+        out_paths: list[str | None]
+        if out_dir is not None:
+            if not isinstance(out_dir, str):
+                raise ProtocolError("'out_dir' must be a string path")
+            os.makedirs(out_dir, exist_ok=True)
+            out_paths = list(_output_paths(sources, out_dir))
+        else:
+            out_paths = [None] * len(sources)
+        key = self.pool.pin(grammar, projector, options.prune_attributes)
+        started = time.perf_counter()
+
+        async def one(source: str, out_path: str | None) -> dict[str, Any]:
+            try:
+                result, worker = await self._execute_pooled(
+                    key, source, out_path, options
+                )
+            except WorkerFailure as exc:
+                return {
+                    "ok": False,
+                    "error": {
+                        "type": exc.kind,
+                        "code": 500 if exc.kind == WORKER_CRASH else 422,
+                        "message": str(exc),
+                    },
+                }
+            except Exception as exc:
+                return {"ok": False, "error": error_to_wire(exc)}
+            item: dict[str, Any] = {
+                "ok": True, "stats": stats_to_wire(result.stats), "worker": worker,
+            }
+            if result.text is not None:
+                item["text"] = result.text
+            if result.output_path is not None:
+                item["output_path"] = result.output_path
+            return item
+
+        items = await asyncio.gather(
+            *(one(source, out) for source, out in zip(sources, out_paths))
+        )
+        merged = PruneStats()
+        for item in items:
+            if item["ok"]:
+                from repro.service.protocol import stats_from_wire
+
+                merged.merge(stats_from_wire(item["stats"]))
+        return {
+            "items": list(items),
+            "stats": stats_to_wire(merged),
+            "succeeded": sum(1 for item in items if item["ok"]),
+            "seconds": time.perf_counter() - started,
+        }
+
+    # -- pool plumbing ---------------------------------------------------
+
+    async def _execute_pooled(
+        self,
+        key,
+        source: str,
+        out_path: str | None,
+        options: PruneOptions,
+    ) -> tuple[PruneResult, int | None]:
+        """Run one prune on the resident pool.
+
+        A crashed worker triggers one pool respawn (shared across every
+        request that saw the same broken generation) and one retry; a
+        fingerprint-mismatch refusal degrades to an in-process prune with
+        the parent's own compiled pruner, exactly like ``prune_many``.
+        """
+        for attempt in (0, 1):
+            generation = self.pool.generation
+            try:
+                payload = await asyncio.wrap_future(
+                    self.pool.submit(key, source, out_path, options)
+                )
+            except (BrokenProcessPool, OSError, RuntimeError) as exc:
+                await self._respawn(generation)
+                if attempt == 0:
+                    continue
+                raise WorkerFailure(
+                    WORKER_CRASH, str(exc) or type(exc).__name__
+                ) from None
+            error, result, records, counters, pid = payload
+            tracer = obs.get_tracer()
+            if tracer.enabled and (records or counters):
+                for record in records:
+                    record.setdefault("attrs", {})["worker"] = pid
+                tracer.absorb(records, counters)
+            if error is None:
+                assert result is not None
+                return result, pid
+            if error[0] == FINGERPRINT_MISMATCH:
+                return await self._prune_inline(key, source, out_path, options), None
+            raise WorkerFailure(error[0], error[1])
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    async def _prune_inline(
+        self, key, source: str, out_path: str | None, options: PruneOptions
+    ) -> PruneResult:
+        """Degraded path for fingerprint-mismatch items: the parent's own
+        grammar is trustworthy — prune on a thread with the event
+        pipeline (the concurrency-safe cache and pure pruners make this
+        thread-safe)."""
+        obs.count("service.fingerprint_fallbacks")
+        pruner = self.pool.pruner(key)
+        return await asyncio.to_thread(
+            _execute_item, pruner, replace(options, fast=False), source, out_path
+        )
+
+    async def _respawn(self, generation: int) -> None:
+        assert self._respawn_lock is not None
+        async with self._respawn_lock:
+            if await asyncio.to_thread(self.pool.respawn, generation):
+                obs.count("service.respawns")
+
+
+# -- in-process serving (tests, notebooks, docs) -----------------------------
+
+
+class BackgroundServer:
+    """Runs a :class:`ProjectionServer` on a daemon thread with its own
+    event loop.  Use as a context manager; ``server.port`` is bound once
+    ``__enter__`` returns, and exit drains gracefully."""
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        cache: ProjectorCache | None = None,
+    ) -> None:
+        # Constructing here (caller's thread) forks the resident pool
+        # before any helper thread exists.
+        self.server = ProjectionServer(config, cache=cache)
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+
+    @property
+    def port(self) -> int:
+        assert self.server.port is not None, "server not started"
+        return self.server.port
+
+    def start(self) -> "BackgroundServer":
+        self._thread = threading.Thread(
+            target=self._main, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise ServiceError("background server did not start within 30s")
+        if self._error is not None:
+            raise ServiceError(f"background server failed to start: {self._error}")
+        return self
+
+    def _main(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # pragma: no cover - surfaced via start()
+            self._error = exc
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        await self.server.start()
+        self._ready.set()
+        await self.server.serve_until_drained()
+
+    def stop(self) -> None:
+        """Drain and join (idempotent)."""
+        if self._thread is None or not self._thread.is_alive():
+            return
+        assert self._loop is not None
+        self._loop.call_soon_threadsafe(self.server.request_drain)
+        self._thread.join(timeout=30)
+        if self._thread.is_alive():  # pragma: no cover - drain wedged
+            raise ServiceError("background server did not drain within 30s")
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+def serve_background(
+    config: ServiceConfig | None = None,
+    cache: ProjectorCache | None = None,
+) -> BackgroundServer:
+    """A started-on-entry background server::
+
+        with serve_background(ServiceConfig(port=0, jobs=2)) as server:
+            client = ServiceClient("127.0.0.1", server.port)
+    """
+    return BackgroundServer(config, cache=cache)

@@ -102,3 +102,15 @@ class TestGenerateAndRun:
     def test_run_without_pruning(self, workspace, capsys):
         _, dtd, xml = workspace
         assert main(["run", "--dtd", dtd, "--root", "bib", "--query", "//title", xml]) == 0
+
+
+class TestVersion:
+    def test_version_flag_prints_and_exits_zero(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "repro-xml" in out
+        assert repro.__version__ in out

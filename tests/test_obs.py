@@ -224,3 +224,72 @@ class TestPipelineIntegration:
         [query_span] = sink.spans("query")
         assert query_span["attrs"]["language"] == "xpath"
         assert query_span["counters"]["results"] == 1
+
+
+class TestAtexitFlush:
+    """Trailing trace lines must survive processes that never call
+    flush()/close() explicitly — short-lived CLI runs and drained servers
+    whose sink is the last thing standing."""
+
+    def _run(self, code: str) -> None:
+        import os
+        import pathlib
+        import subprocess
+        import sys
+
+        src = pathlib.Path(__file__).resolve().parent.parent / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(src)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        subprocess.run([sys.executable, "-c", code], check=True, env=env)
+
+    def test_subprocess_exit_without_flush_keeps_the_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        self._run(
+            f"""
+from repro import obs
+obs.configure(obs.JsonlSink({str(path)!r}))
+with obs.span("work", kind="atexit-test"):
+    obs.count("events", 3)
+obs.flush()  # counters emit on flush; the *stream* stays unflushed
+# no sink.flush(), no close(): process exit must not lose the buffer
+"""
+        )
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert any(record.get("name") == "work" for record in lines)
+        assert {"type": "counter", "name": "events", "value": 3} in lines
+
+    def test_forked_child_does_not_double_flush(self, tmp_path):
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            import pytest
+
+            pytest.skip("fork start method unavailable")
+        path = tmp_path / "trace.jsonl"
+        # The child inherits the parent's buffered line; only the parent's
+        # atexit hook may write it (the pid guard in JsonlSink).
+        self._run(
+            f"""
+import os
+from repro import obs
+obs.configure(obs.JsonlSink({str(path)!r}))
+with obs.span("parent-only"):
+    pass
+pid = os.fork()
+if pid == 0:
+    raise SystemExit(0)  # a *normal* exit: the child's atexit hooks run
+os.waitpid(pid, 0)
+"""
+        )
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["name"] for r in lines if r.get("type") == "span"] == ["parent-only"]
+
+    def test_explicit_close_unregisters_the_hook(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = obs.JsonlSink(str(path))
+        sink.record({"type": "counter", "name": "x", "value": 1})
+        sink.close()
+        sink.close()  # idempotent
+        assert len(path.read_text().splitlines()) == 1

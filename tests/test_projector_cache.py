@@ -148,3 +148,52 @@ class TestDefaultCache:
         report = load_for_queries(io.StringIO(BOOK_XML), book_grammar, ["//book/title"])
         assert default_cache().stats.hits == before + 1
         assert {n.tag for n in report.document.elements()} == {"bib", "book", "title"}
+
+
+class TestConcurrency:
+    """The service shares one cache across connections: hammer it from
+    many threads and the LRU bookkeeping must never corrupt."""
+
+    def test_threaded_hammer_keeps_the_cache_consistent(self, book_grammar):
+        import random
+        import threading
+
+        cache = ProjectorCache(max_entries=4)
+        queries = ["//title", "//author", "//price", "//year",
+                   "/bib/book", "//book", "//book/title", "/bib"]
+        errors: list[BaseException] = []
+
+        def hammer(seed: int) -> None:
+            rng = random.Random(seed)
+            try:
+                for _ in range(300):
+                    roll = rng.random()
+                    if roll < 0.75:
+                        projector = cache.projector_for_query(
+                            book_grammar, rng.choice(queries)
+                        )
+                        assert "bib" in projector
+                    elif roll < 0.85:
+                        cache.analyze(book_grammar, rng.sample(queries, 2))
+                    elif roll < 0.95:
+                        stats = cache.stats
+                        assert stats.hits >= 0 and stats.misses >= 0
+                        assert len(cache) <= 4
+                    else:
+                        cache.clear()
+            except BaseException as exc:  # surfaced after the join
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(seed,)) for seed in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+            assert not thread.is_alive(), "cache operation hung"
+        assert not errors, errors[:3]
+        assert len(cache) <= 4
+        # The surviving entries still answer correctly.
+        projector = cache.projector_for_query(book_grammar, "//title")
+        assert projector == analyze(book_grammar, "//title").projector

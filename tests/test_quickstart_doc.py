@@ -118,3 +118,30 @@ def test_docstring_and_pipeline_docstring_agree_on_prune_signature():
         assert call, "quickstart no longer shows prune_document"
         args = [part.strip() for part in call.group(1).split(",")]
         assert args[:2] == ["document", "interpretation"], doc[:40]
+
+
+def test_readme_service_snippet_runs_verbatim(tmp_path, monkeypatch, capsys):
+    readme = pathlib.Path(__file__).resolve().parent.parent / "README.md"
+    match = re.search(
+        r"## Running as a service\n.*?```python\n(.*?)```",
+        readme.read_text(), re.DOTALL,
+    )
+    assert match, "README has no running-as-a-service code block"
+    code = match.group(1)
+    # The snippet reads bib.xml and bib.dtd from the working directory.
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "bib.xml").write_text(BOOK_XML)
+    (tmp_path / "bib.dtd").write_text(BOOK_DTD)
+    exec(compile(code, str(readme), "exec"), {})
+    out = capsys.readouterr().out
+    # The prune shrank the document and the resident cache reported stats.
+    assert "-> " in out and "bytes" in out
+    assert "hits" in out
+
+
+def test_readme_documents_the_service_cli():
+    readme = pathlib.Path(__file__).resolve().parent.parent / "README.md"
+    text = readme.read_text()
+    assert "repro-xml serve" in text
+    assert "--server 127.0.0.1:8410" in text
+    assert "benchmarks/bench_service.py" in text

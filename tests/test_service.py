@@ -1,0 +1,659 @@
+"""Projection-service tests: protocol framing, request semantics, admission
+control, lifecycle (drain / SIGTERM), crash respawn, and the byte-identity
+soak.
+
+The server under test usually runs in-process on a daemon thread
+(:func:`repro.service.serve_background`) so internals — the resident pool,
+the drain flag — stay reachable for deterministic injection; the SIGTERM
+test boots the real ``repro-xml serve`` subprocess, because signal-driven
+drain is exactly the part a thread cannot emulate.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import multiprocessing
+import os
+import pathlib
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+import repro
+from repro.core.cache import ProjectorCache, resolve_projector
+from repro.errors import (
+    ProtocolError,
+    RemoteError,
+    ServiceError,
+    ServiceOverloaded,
+    ServiceUnavailable,
+)
+from repro.limits import Limits
+from repro.service import ServiceClient, ServiceConfig, serve_background
+from repro.service.protocol import (
+    decode_frame,
+    encode_frame,
+    recv_frame,
+    send_frame,
+    stats_from_wire,
+    stats_to_wire,
+)
+from tests.conftest import BOOK_DTD, BOOK_XML
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+QUERY = "//title"
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+
+
+def _expected_text(grammar, markup: str, queries=(QUERY,)) -> str:
+    """What the serial in-process facade produces for ``markup``."""
+    projector = resolve_projector(grammar, list(queries))
+    text = repro.prune(markup, grammar, projector).text
+    assert text is not None
+    return text
+
+
+@pytest.fixture(scope="module")
+def server():
+    """One warm in-process server shared by the plain request tests."""
+    with serve_background(
+        ServiceConfig(port=0, jobs=2), cache=ProjectorCache()
+    ) as background:
+        yield background
+
+
+@pytest.fixture()
+def client(server):
+    with ServiceClient("127.0.0.1", server.port) as connection:
+        yield connection
+
+
+# -- protocol framing ---------------------------------------------------------
+
+
+class TestProtocol:
+    def test_frame_roundtrip(self):
+        payload = {"id": 7, "op": "health", "nested": {"a": [1, 2]}}
+        frame = encode_frame(payload)
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+        assert decode_frame(frame[4:]) == payload
+
+    def test_decode_rejects_non_json(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"\xff\xfenot json")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"[1, 2, 3]")
+
+    def test_stats_roundtrip(self, book_grammar):
+        projector = resolve_projector(book_grammar, [QUERY])
+        stats = repro.prune(BOOK_XML, book_grammar, projector).stats
+        assert stats_from_wire(stats_to_wire(stats)) == stats
+
+    def test_garbage_frame_answered_then_connection_dropped(self, server):
+        with socket.create_connection(("127.0.0.1", server.port), timeout=10) as sock:
+            sock.sendall(struct.pack(">I", 9) + b"not json!")
+            response = recv_frame(sock)
+            assert response is not None
+            assert response["ok"] is False
+            assert response["error"]["type"] == "ProtocolError"
+            assert response["error"]["code"] == 400
+            # The stream position is unrecoverable: the server hangs up.
+            assert recv_frame(sock) is None
+
+    def test_oversized_frame_refused(self, server):
+        with socket.create_connection(("127.0.0.1", server.port), timeout=10) as sock:
+            sock.sendall(struct.pack(">I", (256 << 20) + 1))
+            response = recv_frame(sock)
+            assert response is not None and response["ok"] is False
+            assert response["error"]["type"] == "ProtocolError"
+
+    def test_unknown_op_is_structured_and_connection_survives(self, server):
+        with socket.create_connection(("127.0.0.1", server.port), timeout=10) as sock:
+            send_frame(sock, {"id": 1, "op": "explode"})
+            response = recv_frame(sock)
+            assert response == {
+                "id": 1, "ok": False,
+                "error": {"type": "ProtocolError", "code": 400,
+                          "message": "unknown operation 'explode'"},
+            }
+            send_frame(sock, {"id": 2, "op": "health"})
+            response = recv_frame(sock)
+            assert response is not None and response["ok"] is True
+
+    def test_missing_id_refused(self, server):
+        with socket.create_connection(("127.0.0.1", server.port), timeout=10) as sock:
+            send_frame(sock, {"op": "health"})
+            response = recv_frame(sock)
+            assert response is not None
+            assert response["id"] is None and response["ok"] is False
+
+    def test_from_address_validation(self):
+        with pytest.raises(ValueError):
+            ServiceClient.from_address("no-port-here")
+
+
+# -- request semantics --------------------------------------------------------
+
+
+class TestRequests:
+    def test_health(self, client):
+        health = client.health()
+        assert health["status"] == "serving"
+        assert health["pid"] == os.getpid()
+
+    def test_prune_markup_matches_serial_facade(self, client, book_grammar):
+        outcome = client.prune(
+            BOOK_XML, dtd=BOOK_DTD, root="bib", queries=[QUERY]
+        )
+        assert outcome.text == _expected_text(book_grammar, BOOK_XML)
+        assert outcome.stats.bytes_in == len(BOOK_XML.encode("utf-8"))
+        assert outcome.worker is not None and outcome.worker != os.getpid()
+
+    def test_prune_local_path_is_read_client_side(self, client, book_grammar,
+                                                  tmp_path):
+        path = tmp_path / "bib.xml"
+        path.write_text(BOOK_XML)
+        outcome = client.prune(str(path), dtd=BOOK_DTD, root="bib",
+                               queries=[QUERY])
+        assert outcome.text == _expected_text(book_grammar, BOOK_XML)
+
+    def test_prune_server_side_path_and_out_path(self, client, book_grammar,
+                                                 tmp_path):
+        src = tmp_path / "bib.xml"
+        src.write_text(BOOK_XML)
+        out = tmp_path / "pruned.xml"
+        outcome = client.prune(
+            source_path=str(src), out_path=str(out),
+            dtd=BOOK_DTD, root="bib", queries=[QUERY],
+        )
+        assert outcome.text is None
+        assert outcome.output_path == str(out)
+        assert out.read_text() == _expected_text(book_grammar, BOOK_XML)
+
+    def test_prune_with_explicit_projector(self, client, book_grammar):
+        projector = resolve_projector(book_grammar, [QUERY])
+        outcome = client.prune(BOOK_XML, dtd=BOOK_DTD, root="bib",
+                               projector=projector)
+        assert outcome.text == _expected_text(book_grammar, BOOK_XML)
+
+    def test_prune_xmark_builtin(self, client, xmark):
+        grammar, _, _ = xmark
+        from repro import serialize
+        from repro.workloads.xmark import generate_document
+
+        markup = serialize(generate_document(0.001, seed=3))
+        query = "//person/name"
+        outcome = client.prune(markup, xmark=True, queries=[query])
+        assert outcome.text == _expected_text(grammar, markup, [query])
+
+    def test_analyze_matches_local_analysis(self, client, book_grammar):
+        remote = client.analyze([QUERY], dtd=BOOK_DTD, root="bib")
+        local = repro.analyze(book_grammar, [QUERY])
+        assert remote["projector"] == sorted(local.projector)
+        assert remote["per_query_sizes"] == [len(p) for p in local.per_query]
+
+    def test_batch_ordering_and_per_item_errors(self, client, book_grammar):
+        good, bad = BOOK_XML, "<bib><book><title>unclosed</bib>"
+        batch = client.prune_batch(
+            [good, bad, good], dtd=BOOK_DTD, root="bib", queries=[QUERY]
+        )
+        assert batch.succeeded == 2
+        expected = _expected_text(book_grammar, good)
+        assert batch.items[0].text == expected
+        assert isinstance(batch.items[1], ServiceError)
+        assert batch.items[2].text == expected
+        # Merged stats only count the items that pruned.
+        assert batch.stats.bytes_in == 2 * len(good.encode("utf-8"))
+
+    def test_batch_out_dir_writes_server_side(self, client, tmp_path,
+                                              book_grammar):
+        sources = []
+        for i in range(3):
+            path = tmp_path / f"doc{i}.xml"
+            path.write_text(BOOK_XML)
+            sources.append(str(path))
+        out_dir = tmp_path / "pruned"
+        batch = client.prune_batch(
+            source_paths=sources, out_dir=str(out_dir),
+            dtd=BOOK_DTD, root="bib", queries=[QUERY],
+        )
+        assert batch.succeeded == 3
+        expected = _expected_text(book_grammar, BOOK_XML)
+        for i in range(3):
+            assert (out_dir / f"doc{i}.xml").read_text() == expected
+
+    def test_grammar_and_projector_are_resident(self, client):
+        before = client.stats()
+        client.prune(BOOK_XML, dtd=BOOK_DTD, root="bib", queries=[QUERY])
+        client.prune(BOOK_XML, dtd=BOOK_DTD, root="bib", queries=[QUERY])
+        after = client.stats()
+        # Same DTD text hashes to the same resident grammar...
+        assert after["grammars"] == before["grammars"]
+        # ...and the repeated workload hits the shared projector cache.
+        assert after["cache"]["hits"] >= before["cache"]["hits"] + 2
+        assert after["pool"]["pinned"] >= 1
+
+    def test_client_limits_are_enforced_server_side(self, client):
+        with pytest.raises(RemoteError) as excinfo:
+            client.prune(BOOK_XML, dtd=BOOK_DTD, root="bib", queries=[QUERY],
+                         limits=Limits(max_depth=1))
+        assert excinfo.value.remote_type == "LimitExceeded"
+        assert excinfo.value.code == 422
+
+    def test_bad_options_rejected_as_protocol_error(self, server):
+        with socket.create_connection(("127.0.0.1", server.port), timeout=10) as sock:
+            send_frame(sock, {
+                "id": 1, "op": "prune", "source": BOOK_XML,
+                "grammar": {"dtd": BOOK_DTD, "root": "bib"},
+                "queries": [QUERY], "options": {"warp_speed": True},
+            })
+            response = recv_frame(sock)
+            assert response is not None and response["ok"] is False
+            assert response["error"]["type"] == "ProtocolError"
+            assert "warp_speed" in response["error"]["message"]
+
+
+def test_client_cannot_relax_the_server_limits_profile():
+    """The effective bounds are the intersection: a client asking for a
+    looser profile than the server's still hits the server's bound."""
+    config = ServiceConfig(port=0, jobs=1, limits=Limits(max_depth=1))
+    with serve_background(config, cache=ProjectorCache()) as background:
+        with ServiceClient("127.0.0.1", background.port) as client:
+            with pytest.raises(RemoteError) as excinfo:
+                client.prune(BOOK_XML, dtd=BOOK_DTD, root="bib",
+                             queries=[QUERY], limits="off")
+            assert excinfo.value.remote_type == "LimitExceeded"
+
+
+# -- admission control --------------------------------------------------------
+
+
+class _HeldPool:
+    """Replaces ``ResidentPool.submit`` with futures the test resolves."""
+
+    def __init__(self, server) -> None:
+        self.server = server
+        self.futures: list[concurrent.futures.Future] = []
+        self._real_submit = server.pool.submit
+        server.pool.submit = self._submit  # type: ignore[method-assign]
+
+    def _submit(self, key, source, out_path, options):
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        self.futures.append(future)
+        return future
+
+    def wait_for(self, count: int, timeout: float = 10.0) -> None:
+        deadline = time.monotonic() + timeout
+        while len(self.futures) < count:
+            if time.monotonic() > deadline:
+                raise AssertionError(
+                    f"only {len(self.futures)}/{count} requests reached the pool"
+                )
+            time.sleep(0.005)
+
+    def release_all(self, book_grammar) -> None:
+        projector = resolve_projector(book_grammar, [QUERY])
+        result = repro.prune(BOOK_XML, book_grammar, projector)
+        for future in self.futures:
+            future.set_result((None, result, [], {}, 0))
+
+
+def _prune_frame(req_id: int) -> dict:
+    return {
+        "id": req_id, "op": "prune", "source": BOOK_XML,
+        "grammar": {"dtd": BOOK_DTD, "root": "bib"}, "queries": [QUERY],
+    }
+
+
+class TestAdmission:
+    def test_queue_full_is_a_structured_refusal_not_a_hang(self, book_grammar):
+        config = ServiceConfig(port=0, jobs=1, queue_limit=0)
+        with serve_background(config, cache=ProjectorCache()) as background:
+            with ServiceClient("127.0.0.1", background.port) as client:
+                started = time.monotonic()
+                with pytest.raises(ServiceOverloaded) as excinfo:
+                    client.prune(BOOK_XML, dtd=BOOK_DTD, root="bib",
+                                 queries=[QUERY])
+                assert time.monotonic() - started < 5.0
+                assert excinfo.value.scope == "server"
+                assert excinfo.value.code == 429
+                # health and stats stay observable while the queue refuses.
+                assert client.health()["status"] == "serving"
+                assert client.stats()["refusals"] == 1
+
+    def test_per_connection_cap_refuses_the_pipelined_request(self, book_grammar):
+        config = ServiceConfig(port=0, jobs=1, per_connection=1, queue_limit=64)
+        with serve_background(config, cache=ProjectorCache()) as background:
+            held = _HeldPool(background.server)
+            with socket.create_connection(
+                ("127.0.0.1", background.port), timeout=10
+            ) as sock:
+                send_frame(sock, _prune_frame(1))
+                held.wait_for(1)
+                send_frame(sock, _prune_frame(2))
+                refusal = recv_frame(sock)
+                assert refusal is not None
+                assert refusal["id"] == 2 and refusal["ok"] is False
+                assert refusal["error"]["code"] == 429
+                assert refusal["error"]["scope"] == "connection"
+                held.release_all(book_grammar)
+                response = recv_frame(sock)
+                assert response is not None
+                assert response["id"] == 1 and response["ok"] is True
+                assert response["result"]["text"] == _expected_text(
+                    book_grammar, BOOK_XML
+                )
+
+    def test_second_connection_unaffected_by_full_one(self, book_grammar):
+        config = ServiceConfig(port=0, jobs=1, per_connection=1, queue_limit=64)
+        with serve_background(config, cache=ProjectorCache()) as background:
+            held = _HeldPool(background.server)
+            with socket.create_connection(
+                ("127.0.0.1", background.port), timeout=10
+            ) as full:
+                send_frame(full, _prune_frame(1))
+                held.wait_for(1)
+                # The cap is per connection: a second client still gets in.
+                with socket.create_connection(
+                    ("127.0.0.1", background.port), timeout=10
+                ) as other:
+                    send_frame(other, _prune_frame(7))
+                    held.wait_for(2)
+                    held.release_all(book_grammar)
+                    response = recv_frame(other)
+                    assert response is not None and response["ok"] is True
+                recv_frame(full)
+
+
+# -- lifecycle: drain with zero lost in-flight requests -----------------------
+
+
+def test_drain_finishes_admitted_work_and_refuses_new(book_grammar):
+    config = ServiceConfig(port=0, jobs=1)
+    background = serve_background(config, cache=ProjectorCache()).start()
+    try:
+        held = _HeldPool(background.server)
+        sock = socket.create_connection(("127.0.0.1", background.port), timeout=10)
+        try:
+            send_frame(sock, _prune_frame(1))
+            held.wait_for(1)
+
+            stopper = threading.Thread(target=background.stop)
+            stopper.start()
+            deadline = time.monotonic() + 10
+            while not background.server._draining:
+                assert time.monotonic() < deadline, "drain never started"
+                time.sleep(0.005)
+
+            # A frame arriving mid-drain gets a structured 503...
+            send_frame(sock, _prune_frame(2))
+            refusal = recv_frame(sock)
+            assert refusal is not None
+            assert refusal["id"] == 2 and refusal["ok"] is False
+            assert refusal["error"]["type"] == "ServiceUnavailable"
+            assert refusal["error"]["code"] == 503
+
+            # ...while the admitted request is completed, not dropped.
+            held.release_all(book_grammar)
+            response = recv_frame(sock)
+            assert response is not None
+            assert response["id"] == 1 and response["ok"] is True
+            assert response["result"]["text"] == _expected_text(
+                book_grammar, BOOK_XML
+            )
+            stopper.join(timeout=30)
+            assert not stopper.is_alive()
+        finally:
+            sock.close()
+    finally:
+        background.stop()
+
+
+def test_sigterm_drains_the_subprocess_with_zero_lost_requests(book_grammar,
+                                                               tmp_path):
+    """The real ``repro-xml serve`` process: admit work, SIGTERM, and every
+    admitted request must still be answered before a clean exit 0."""
+    big_doc = (
+        "<bib>"
+        + '<book isbn="s1"><title>Siddhartha</title><author>Hesse</author>'
+          "<year>1922</year><price>9</price></book>" * 2000
+        + "</bib>"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", "--jobs", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+    )
+    try:
+        banner = proc.stdout.readline()
+        assert banner.startswith("serving on "), banner
+        port = int(banner.rsplit(":", 1)[1])
+
+        sock = socket.create_connection(("127.0.0.1", port), timeout=60)
+        try:
+            requests = 6
+            for i in range(1, requests + 1):
+                send_frame(sock, {
+                    "id": i, "op": "prune", "source": big_doc,
+                    "grammar": {"dtd": BOOK_DTD, "root": "bib"},
+                    "queries": [QUERY],
+                })
+            # A health round trip proves the reader dispatched (admitted)
+            # every prune frame before the signal lands.
+            send_frame(sock, {"id": 99, "op": "health"})
+            responses = {}
+            while 99 not in responses:
+                frame = recv_frame(sock)
+                assert frame is not None
+                responses[frame["id"]] = frame
+
+            proc.send_signal(signal.SIGTERM)
+
+            while len(responses) < requests + 1:
+                frame = recv_frame(sock)
+                assert frame is not None, "connection dropped with work admitted"
+                responses[frame["id"]] = frame
+        finally:
+            sock.close()
+
+        assert proc.wait(timeout=60) == 0
+        expected = _expected_text(book_grammar, big_doc)
+        for i in range(1, requests + 1):
+            assert responses[i]["ok"] is True, responses[i]
+            assert responses[i]["result"]["text"] == expected
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+        proc.stdout.close()
+        proc.stderr.close()
+
+
+# -- crash respawn ------------------------------------------------------------
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="crash injection requires fork")
+def test_crashed_worker_respawned_without_dropping_connections(
+    tmp_path, monkeypatch, book_grammar
+):
+    """One hostile request kills its worker; the pool respawns, the request
+    is retried, and a concurrent connection never notices (the PR 4
+    fork-inheritance crash-injection pattern, pointed at the service)."""
+    import repro.service.workers as workers
+
+    flag = tmp_path / "crash-once"
+    flag.write_text("")
+    real = workers._execute_item
+
+    def _crash_once(pruner, options, source, out_path):
+        try:
+            os.unlink(flag)  # exactly one worker claims the crash
+        except FileNotFoundError:
+            return real(pruner, options, source, out_path)
+        os._exit(13)
+
+    # Fork workers inherit the patched module (the pool spawns processes
+    # lazily, on first submit — after this patch).
+    monkeypatch.setattr(workers, "_execute_item", _crash_once)
+
+    with serve_background(
+        ServiceConfig(port=0, jobs=2), cache=ProjectorCache()
+    ) as background:
+        outcomes = [None, None]
+
+        def request(slot: int) -> None:
+            with ServiceClient("127.0.0.1", background.port, timeout=120) as c:
+                outcomes[slot] = c.prune(
+                    BOOK_XML, dtd=BOOK_DTD, root="bib", queries=[QUERY]
+                )
+
+        threads = [
+            threading.Thread(target=request, args=(slot,)) for slot in (0, 1)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+            assert not thread.is_alive(), "request hung after the crash"
+
+        expected = _expected_text(book_grammar, BOOK_XML)
+        assert [outcome.text for outcome in outcomes] == [expected, expected]
+
+        with ServiceClient("127.0.0.1", background.port) as c:
+            stats = c.stats()
+            assert stats["pool"]["respawns"] >= 1
+            assert c.health()["status"] == "serving"
+            # The respawned pool serves fresh work normally.
+            after = c.prune(BOOK_XML, dtd=BOOK_DTD, root="bib", queries=[QUERY])
+            assert after.text == expected
+
+
+# -- the soak: concurrent clients vs the serial facade ------------------------
+
+
+def test_soak_concurrent_clients_are_byte_identical_to_the_facade(book_grammar):
+    """50 concurrent clients x 20 requests each: every response must be
+    byte-identical to the serial :func:`repro.prune` facade and, below the
+    admission limit, nothing may be refused."""
+    variants = [
+        BOOK_XML,
+        "<bib><book isbn=\"q1\"><title>Quixote</title><author>Cervantes"
+        "</author><year>1605</year></book></bib>",
+        "<bib><book><title>Ulysses</title><author>Joyce</author>"
+        "<price>30</price></book></bib>",
+    ]
+    expected = [_expected_text(book_grammar, doc) for doc in variants]
+    clients, per_client = 50, 20
+    config = ServiceConfig(port=0, jobs=2, queue_limit=64, per_connection=8)
+    failures: list[str] = []
+
+    with serve_background(config, cache=ProjectorCache()) as background:
+
+        def hammer(seed: int) -> None:
+            try:
+                with ServiceClient("127.0.0.1", background.port,
+                                   timeout=120) as c:
+                    for i in range(per_client):
+                        pick = (seed + i) % len(variants)
+                        outcome = c.prune(variants[pick], dtd=BOOK_DTD,
+                                          root="bib", queries=[QUERY])
+                        if outcome.text != expected[pick]:
+                            failures.append(
+                                f"client {seed} request {i}: output differs"
+                            )
+                            return
+            except Exception as exc:  # refusals below the limit count too
+                failures.append(f"client {seed}: {type(exc).__name__}: {exc}")
+
+        threads = [
+            threading.Thread(target=hammer, args=(seed,))
+            for seed in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+            assert not thread.is_alive(), "soak client hung"
+        assert not failures, failures[:5]
+
+        with ServiceClient("127.0.0.1", background.port) as c:
+            stats = c.stats()
+            assert stats["refusals"] == 0
+            assert stats["requests_served"] >= clients * per_client
+            # One grammar, one pinned pruner, and a hot projector cache:
+            # the static phase ran once, not once per request.
+            assert stats["grammars"] == 1
+            assert stats["pool"]["pinned"] == 1
+            assert stats["cache"]["misses"] == 1
+
+
+# -- CLI delegation -----------------------------------------------------------
+
+
+class TestCliServer:
+    def test_prune_via_server_matches_local_cli(self, tmp_path, book_grammar,
+                                                capsys):
+        from repro.cli import main
+
+        dtd = tmp_path / "bib.dtd"
+        dtd.write_text(BOOK_DTD)
+        doc = tmp_path / "bib.xml"
+        doc.write_text(BOOK_XML)
+        local_out = tmp_path / "local.xml"
+        remote_out = tmp_path / "remote.xml"
+
+        assert main(["prune", "--dtd", str(dtd), "--root", "bib",
+                     "--query", QUERY, str(doc), str(local_out)]) == 0
+        with serve_background(
+            ServiceConfig(port=0, jobs=1), cache=ProjectorCache()
+        ) as background:
+            assert main(["prune", "--dtd", str(dtd), "--root", "bib",
+                         "--query", QUERY, "--server",
+                         f"127.0.0.1:{background.port}",
+                         str(doc), str(remote_out)]) == 0
+        assert remote_out.read_text() == local_out.read_text()
+        assert "pruned via" in capsys.readouterr().out
+
+    def test_batch_prune_via_server(self, tmp_path, book_grammar):
+        from repro.cli import main
+
+        dtd = tmp_path / "bib.dtd"
+        dtd.write_text(BOOK_DTD)
+        corpus = tmp_path / "corpus"
+        corpus.mkdir()
+        for i in range(3):
+            (corpus / f"doc{i}.xml").write_text(BOOK_XML)
+        out_dir = tmp_path / "pruned"
+
+        with serve_background(
+            ServiceConfig(port=0, jobs=2), cache=ProjectorCache()
+        ) as background:
+            assert main(["prune", "--dtd", str(dtd), "--root", "bib",
+                         "--query", QUERY, "--server",
+                         f"127.0.0.1:{background.port}",
+                         str(corpus), str(out_dir)]) == 0
+        expected = _expected_text(book_grammar, BOOK_XML)
+        for i in range(3):
+            assert (out_dir / f"doc{i}.xml").read_text() == expected
+
+    def test_server_requires_an_explicit_grammar(self, tmp_path):
+        from repro.cli import main
+
+        doc = tmp_path / "bib.xml"
+        doc.write_text(BOOK_XML)
+        with pytest.raises(SystemExit):
+            main(["prune", "--infer-dtd", "--query", QUERY,
+                  "--server", "127.0.0.1:1", str(doc), str(tmp_path / "o.xml")])
