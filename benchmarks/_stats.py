@@ -1,0 +1,228 @@
+"""Shared measurement library for the perf benches and the scale sweep.
+
+Every benchmark in this directory reports through the same three
+primitives so the JSON artifacts stay comparable across benches and
+across commits:
+
+- **quantiles** — :func:`percentile` is linearly interpolated (the
+  "inclusive" method, matching ``statistics.quantiles``), replacing the
+  old per-bench nearest-rank copies that misreported p95/p99 on small
+  sample counts.
+- **gate records** — :func:`gate` produces
+  ``{"gate": "pass"|"fail"|"skip", "reason": ...}`` so trajectory
+  tooling never has to guess whether a field is a bool, a string, or a
+  skip marker.
+- **provenance** — :func:`environment` stamps every report with the
+  commit, interpreter, and cpu count the numbers were produced on.
+
+Import works both ways the repo runs benchmarks: as scripts
+(``python benchmarks/bench_x.py`` → ``import _stats``) and under pytest
+(``from benchmarks import _stats``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import obs
+
+__all__ = [
+    "append_jsonl",
+    "best_of",
+    "environment",
+    "failures",
+    "gate",
+    "median",
+    "percentile",
+    "read_jsonl",
+    "regression_gate",
+    "repeat_seconds",
+    "summarize_seconds",
+    "time_call",
+    "write_report",
+]
+
+
+# ---------------------------------------------------------------------------
+# Quantiles
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Linearly-interpolated quantile of ``samples`` at fraction ``q``.
+
+    Delegates to :func:`repro.obs.quantile` so the benches and the
+    service's native histograms share one canonical implementation.
+    """
+    return obs.quantile(samples, q)
+
+
+def median(samples: Sequence[float]) -> float:
+    return obs.quantile(samples, 0.5)
+
+
+def summarize_seconds(samples: Sequence[float]) -> dict[str, Any]:
+    """Count / mean / min / max / p50 / p95 / p99 summary of a latency
+    sample list (seconds)."""
+    if not samples:
+        return {"count": 0}
+    return {
+        "count": len(samples),
+        "mean": sum(samples) / len(samples),
+        "min": min(samples),
+        "max": max(samples),
+        "p50": obs.quantile(samples, 0.50),
+        "p95": obs.quantile(samples, 0.95),
+        "p99": obs.quantile(samples, 0.99),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Gate records
+
+
+def gate(ok: bool | None, reason: str) -> dict[str, str]:
+    """Machine-readable gate record.
+
+    ``ok=None`` means the check could not run here (e.g. a speedup gate
+    on a 1-cpu box) and records a skip rather than an ambiguous string.
+    """
+    if ok is None:
+        status = "skip"
+    else:
+        status = "pass" if ok else "fail"
+    return {"gate": status, "reason": reason}
+
+
+def failures(gates: dict[str, dict[str, str]]) -> list[str]:
+    """Names of gates that failed (skips do not fail a run)."""
+    return sorted(name for name, record in gates.items() if record["gate"] == "fail")
+
+
+# ---------------------------------------------------------------------------
+# Provenance
+
+
+def _git_commit() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except OSError:
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 and out.stdout.strip() else "unknown"
+
+
+def environment(**extra: Any) -> dict[str, Any]:
+    """Provenance block stamped into every report: where and on what the
+    numbers were produced."""
+    info: dict[str, Any] = {
+        "commit": _git_commit(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    info.update(extra)
+    return info
+
+
+# ---------------------------------------------------------------------------
+# Timing helpers
+
+
+def time_call(fn: Callable[[], Any]) -> tuple[float, Any]:
+    """Run ``fn`` once; return ``(elapsed_seconds, result)``."""
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def repeat_seconds(fn: Callable[[], Any], repeats: int) -> list[float]:
+    """Elapsed seconds for ``repeats`` calls of ``fn``."""
+    samples: list[float] = []
+    for _ in range(repeats):
+        elapsed, _result = time_call(fn)
+        samples.append(elapsed)
+    return samples
+
+
+def best_of(fn: Callable[[], Any], repeats: int) -> float:
+    """Fastest of ``repeats`` timed calls (classic min-of-N timing)."""
+    return min(repeat_seconds(fn, repeats))
+
+
+# ---------------------------------------------------------------------------
+# Report I/O
+
+
+def write_report(report: dict[str, Any], output_path: str | Path) -> Path:
+    """Write a benchmark report as pretty JSON, creating parents."""
+    path = Path(output_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path
+
+
+def append_jsonl(record: dict[str, Any], path: str | Path) -> None:
+    """Append one record to a JSONL trajectory file."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("a", encoding="utf-8") as sink:
+        sink.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def read_jsonl(path: str | Path) -> list[dict[str, Any]]:
+    """Read a JSONL trajectory file; missing file reads as empty."""
+    target = Path(path)
+    if not target.exists():
+        return []
+    records: list[dict[str, Any]] = []
+    for line in target.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+def regression_gate(
+    current_p50: float,
+    history: Sequence[dict[str, Any]],
+    key: str = "p50",
+    tolerance_percent: float = 25.0,
+    window: int = 5,
+) -> dict[str, str]:
+    """Gate the current p50 against the recent trajectory.
+
+    Compares against the median of up to ``window`` prior entries; a
+    regression beyond ``tolerance_percent`` fails. With no usable
+    history the gate is a skip — the first run seeds the trajectory.
+    """
+    priors = [
+        float(entry[key])
+        for entry in history[-window:]
+        if isinstance(entry.get(key), (int, float)) and entry[key] > 0
+    ]
+    if not priors:
+        return gate(None, "no prior trajectory entries")
+    baseline = median(priors)
+    limit = baseline * (1.0 + tolerance_percent / 100.0)
+    ok = current_p50 <= limit
+    return gate(
+        ok,
+        f"p50 {current_p50:.6f}s vs baseline {baseline:.6f}s "
+        f"(+{tolerance_percent:.0f}% limit {limit:.6f}s, window {len(priors)})",
+    )

@@ -11,12 +11,15 @@ Shape claim reproduced: for every query, pruned-time <= original-time
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
 from benchmarks.conftest import TABLE1_SELECTION, write_report
 from repro.engine.executor import QueryEngine
+
+try:
+    import _stats
+except ImportError:  # imported as a package module (pytest)
+    from benchmarks import _stats
 
 
 @pytest.mark.parametrize("name", sorted(TABLE1_SELECTION))
@@ -42,10 +45,10 @@ def test_fig4_report(benchmark, prepared_queries, original_engine):
         for name in sorted(prepared_queries):
             prepared = prepared_queries[name]
             pruned_engine = QueryEngine(prepared.pruned_document)
-            original = min(
-                _timed(original_engine, prepared.query) for _ in range(3)
+            original = _stats.best_of(
+                lambda: original_engine.run(prepared.query), 3
             )
-            pruned = min(_timed(pruned_engine, prepared.query) for _ in range(3))
+            pruned = _stats.best_of(lambda: pruned_engine.run(prepared.query), 3)
             rows.append((name, original, pruned))
         return rows
 
@@ -70,9 +73,3 @@ def test_fig4_report(benchmark, prepared_queries, original_engine):
     assert sum(1 for s in speedups if s > 1.5) >= len(speedups) // 4
     assert speedups[-1] > 10
     assert speedups[0] > 0.5
-
-
-def _timed(engine: QueryEngine, query: str) -> float:
-    started = time.perf_counter()
-    engine.run(query)
-    return time.perf_counter() - started

@@ -26,10 +26,15 @@ from __future__ import annotations
 
 import argparse
 import io
-import json
 import os
 import sys
+import tempfile
 import time
+
+try:
+    import _stats
+except ImportError:  # imported as a package module (pytest)
+    from benchmarks import _stats
 
 
 DEFAULT_QUERIES = {
@@ -39,14 +44,6 @@ DEFAULT_QUERIES = {
     "QP4-keyword": "//keyword",
     "QM06-items": "for $b in //site/regions return count($b//item)",
 }
-
-
-def _median(samples: list[float]) -> float:
-    ordered = sorted(samples)
-    middle = len(ordered) // 2
-    if len(ordered) % 2:
-        return ordered[middle]
-    return (ordered[middle - 1] + ordered[middle]) / 2
 
 
 def _time_prune(xml: str, grammar, projector, fast: bool, repeats: int):
@@ -60,7 +57,7 @@ def _time_prune(xml: str, grammar, projector, fast: bool, repeats: int):
         prune(io.StringIO(xml), grammar, projector, out=sink, fast=fast)
         samples.append(time.perf_counter() - started)
         output = sink.getvalue()
-    return _median(samples), output
+    return _stats.median(samples), output
 
 
 def _obs_overhead(xml: str, grammar, projector, repeats: int) -> dict:
@@ -118,12 +115,22 @@ def _obs_overhead(xml: str, grammar, projector, repeats: int) -> dict:
 def run(factor: float, repeats: int, output_path: str, min_speedup: float,
         smoke: bool = False, max_obs_overhead: float = 5.0) -> dict:
     from repro.core.cache import ProjectorCache
-    from repro.workloads.xmark import generate_document, xmark_grammar
-    from repro.xmltree.serializer import serialize
+    from repro.workloads.xmark import xmark_grammar
+    from repro.workloads.xmark.generator import generate_file
 
     grammar = xmark_grammar()
     print(f"generating XMark document (factor {factor}) ...", flush=True)
-    xml = serialize(generate_document(factor, seed=99))
+    # Stream to disk (never builds the document tree), then load just the
+    # markup text for the repeated in-memory timing runs.
+    fd, xml_path = tempfile.mkstemp(suffix=".xml", prefix="bench_hotpath_")
+    os.close(fd)
+    try:
+        generate_file(xml_path, factor, seed=99)
+        with open(xml_path, encoding="utf-8") as handle:
+            handle.readline()  # the prune paths under test emit no declaration
+            xml = handle.read()
+    finally:
+        os.unlink(xml_path)
     megabytes = len(xml.encode("utf-8")) / 1e6
 
     cache = ProjectorCache()
@@ -171,52 +178,52 @@ def run(factor: float, repeats: int, output_path: str, min_speedup: float,
               f"({obs_overhead['enabled_overhead_percent']:+.1f}%)", flush=True)
 
     best = max(ratios)
+    gates = {
+        "speedup": _stats.gate(
+            best >= min_speedup,
+            f"best fast-path speedup {best:.2f}x vs the {min_speedup}x target",
+        ),
+        "cache_repeat_hits": _stats.gate(
+            workload_hits == len(workload),
+            f"repeated workload hit the cache {workload_hits}/{len(workload)} times",
+        ),
+        "obs_overhead": _stats.gate(
+            None if obs_overhead is None
+            else obs_overhead["disabled_overhead_percent"] <= max_obs_overhead,
+            "not measured (run with --smoke)" if obs_overhead is None else (
+                f"tracing-disabled prune overhead "
+                f"{obs_overhead['disabled_overhead_percent']:.1f}% vs the "
+                f"{max_obs_overhead:.1f}% cap"
+            ),
+        ),
+    }
     report = {
         "benchmark": "hotpath",
+        "environment": _stats.environment(xmark_factor=factor),
         "document_megabytes": round(megabytes, 3),
         "xmark_factor": factor,
         "repeats": repeats,
         "queries": queries,
         "best_speedup": round(best, 3),
-        "median_speedup": round(_median(ratios), 3),
+        "median_speedup": round(_stats.median(ratios), 3),
         "min_speedup_required": min_speedup,
         "cache": {
             **cache.stats.as_dict(),
             "repeat_round_hits": workload_hits,
             "repeat_round_expected": len(workload),
         },
+        "gates": gates,
     }
     if obs_overhead is not None:
         report["obs_overhead"] = obs_overhead
+    report["failures"] = _stats.failures(gates)
 
-    os.makedirs(os.path.dirname(output_path), exist_ok=True)
-    with open(output_path, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
+    _stats.write_report(report, output_path)
     _write_gauges(report, os.path.splitext(output_path)[0] + ".jsonl")
     print(f"\nbest speedup {best:.2f}x, median {report['median_speedup']:.2f}x "
           f"(target >= {min_speedup}x); cache repeat-round hits "
           f"{workload_hits}/{len(workload)}")
     print(f"wrote {output_path}")
-
-    failures = []
-    if obs_overhead is not None and (
-        obs_overhead["disabled_overhead_percent"] > max_obs_overhead
-    ):
-        failures.append(
-            f"tracing-disabled prune overhead "
-            f"{obs_overhead['disabled_overhead_percent']:.1f}% exceeds "
-            f"{max_obs_overhead:.1f}%"
-        )
-    if best < min_speedup:
-        failures.append(
-            f"fast path best speedup {best:.2f}x is below the {min_speedup}x target"
-        )
-    if workload_hits != len(workload):
-        failures.append(
-            f"repeated workload hit the cache only {workload_hits}/{len(workload)} times"
-        )
-    report["failures"] = failures
     return report
 
 
@@ -267,8 +274,8 @@ def main(argv: list[str] | None = None) -> int:
     repeats = args.repeats if args.repeats is not None else (3 if quick else 5)
     report = run(factor, repeats, args.output, args.min_speedup,
                  smoke=args.smoke, max_obs_overhead=args.max_obs_overhead)
-    for failure in report["failures"]:
-        print(f"FAIL: {failure}", file=sys.stderr)
+    for name in report["failures"]:
+        print(f"FAIL {name}: {report['gates'][name]['reason']}", file=sys.stderr)
     return 1 if report["failures"] else 0
 
 

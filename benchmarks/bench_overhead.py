@@ -13,12 +13,16 @@ Emits ``benchmarks/results/overhead.txt``.
 from __future__ import annotations
 
 import io
-import time
 import tracemalloc
 
 import pytest
 
 from benchmarks.conftest import write_report
+
+try:
+    import _stats
+except ImportError:  # imported as a package module (pytest)
+    from benchmarks import _stats
 from repro.api import prune
 from repro.core.pipeline import analyze
 from repro.workloads.xmark import XMARK_QUERIES, generate_document, xmark_grammar
@@ -85,10 +89,11 @@ def test_overhead_report(benchmark, projector, tmp_path):
             source_path.write_text(text)
 
             # Timing pass (tracemalloc off: it distorts time ~20x).
-            started = time.perf_counter()
-            with open(source_path, "r", encoding="utf-8") as source:
-                prune(source, grammar, names, out=io.StringIO())
-            elapsed = time.perf_counter() - started
+            def one_prune():
+                with open(source_path, "r", encoding="utf-8") as source:
+                    prune(source, grammar, names, out=io.StringIO())
+
+            elapsed, _ = _stats.time_call(one_prune)
 
             # Memory pass (true file streaming; only pipeline allocations
             # are traced).

@@ -26,23 +26,19 @@ stream (``BENCH_parallel.jsonl``), same formats as ``bench_hotpath``.
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 import time
+
+try:
+    import _stats
+except ImportError:  # imported as a package module (pytest)
+    from benchmarks import _stats
 
 QUERIES = [
     "/site/open_auctions/open_auction/bidder/increase",
     "//person/name",
 ]
-
-
-def _median(samples: list[float]) -> float:
-    ordered = sorted(samples)
-    middle = len(ordered) // 2
-    if len(ordered) % 2:
-        return ordered[middle]
-    return (ordered[middle - 1] + ordered[middle]) / 2
 
 
 def _build_corpus(directory: str, docs: int, factor: float) -> list[str]:
@@ -70,7 +66,7 @@ def _time_batch(paths: list[str], grammar, projector, jobs: int, repeats: int):
             raise SystemExit(
                 f"batch prune failed: {[str(e) for e in batch.errors]}"
             )
-    return _median(samples), batch
+    return _stats.median(samples), batch
 
 
 def run(docs: int, factor: float, jobs: int, repeats: int,
@@ -101,17 +97,30 @@ def run(docs: int, factor: float, jobs: int, repeats: int,
         pool_identical = pool_batch.texts() == serial_batch.texts()
 
     speedup = serial_seconds / pool_seconds if pool_seconds else float("inf")
-    speedup_gate: "str | bool"
-    if cores < 2:
-        speedup_gate = f"skipped ({cores} cpu)"
-    else:
-        speedup_gate = speedup >= min_speedup
+    gates = {
+        "facade_identity": _stats.gate(
+            facade_identical,
+            "jobs=1 output byte-identical to the serial prune facade",
+        ),
+        "pool_identity": _stats.gate(
+            pool_identical,
+            f"jobs={jobs} output byte-identical to jobs=1",
+        ),
+        "speedup": _stats.gate(
+            None if cores < 2 else speedup >= min_speedup,
+            f"cannot measure parallel speedup on {cores} cpu" if cores < 2 else (
+                f"speedup {speedup:.2f}x at {jobs} jobs vs the "
+                f"{min_speedup}x target ({cores} cores available)"
+            ),
+        ),
+    }
     print(f"  jobs=1     {serial_seconds * 1000:8.1f} ms", flush=True)
     print(f"  jobs={jobs:<5d}{pool_seconds * 1000:8.1f} ms   {speedup:5.2f}x "
-          f"(gate: {speedup_gate})", flush=True)
+          f"(gate: {gates['speedup']['gate']})", flush=True)
 
     report = {
         "benchmark": "parallel",
+        "environment": _stats.environment(xmark_factor=factor),
         "documents": docs,
         "xmark_factor": factor,
         "corpus_megabytes": round(corpus_bytes / 1e6, 3),
@@ -124,33 +133,17 @@ def run(docs: int, factor: float, jobs: int, repeats: int,
         "pool_seconds": round(pool_seconds, 6),
         "speedup": round(speedup, 3),
         "min_speedup_required": min_speedup,
-        "speedup_gate": speedup_gate,
-        "jobs1_identical_to_facade": facade_identical,
-        "pool_identical_to_jobs1": pool_identical,
+        "gates": gates,
         "pruned_bytes": serial_batch.stats.bytes_out,
         "size_percent_kept": round(
             100 * serial_batch.stats.bytes_out / max(1, serial_batch.stats.bytes_in), 2
         ),
     }
+    report["failures"] = _stats.failures(gates)
 
-    os.makedirs(os.path.dirname(output_path), exist_ok=True)
-    with open(output_path, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
+    _stats.write_report(report, output_path)
     _write_gauges(report, os.path.splitext(output_path)[0] + ".jsonl")
     print(f"wrote {output_path}")
-
-    failures = []
-    if not facade_identical:
-        failures.append("jobs=1 output is not byte-identical to the serial prune facade")
-    if not pool_identical:
-        failures.append(f"jobs={jobs} output is not byte-identical to jobs=1")
-    if speedup_gate is False:
-        failures.append(
-            f"speedup {speedup:.2f}x at {jobs} jobs is below the "
-            f"{min_speedup}x target ({cores} cores available)"
-        )
-    report["failures"] = failures
     return report
 
 
@@ -195,8 +188,8 @@ def main(argv: list[str] | None = None) -> int:
     factor = args.factor if args.factor is not None else (0.002 if args.smoke else 0.006)
     repeats = args.repeats if args.repeats is not None else (2 if args.smoke else 3)
     report = run(docs, factor, args.jobs, repeats, args.output, args.min_speedup)
-    for failure in report["failures"]:
-        print(f"FAIL: {failure}", file=sys.stderr)
+    for name in report["failures"]:
+        print(f"FAIL {name}: {report['gates'][name]['reason']}", file=sys.stderr)
     return 1 if report["failures"] else 0
 
 

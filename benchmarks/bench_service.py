@@ -33,12 +33,16 @@ stream (``BENCH_service.jsonl``), same formats as the other benches.
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import subprocess
 import sys
 import threading
 import time
+
+try:
+    import _stats
+except ImportError:  # imported as a package module (pytest)
+    from benchmarks import _stats
 
 QUERIES = [
     "/site/open_auctions/open_auction/bidder/increase",
@@ -46,16 +50,6 @@ QUERIES = [
 ]
 
 REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
-
-
-def _percentile(samples: list[float], q: float) -> float:
-    ordered = sorted(samples)
-    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
-    return ordered[index]
-
-
-def _median(samples: list[float]) -> float:
-    return _percentile(samples, 0.5)
 
 
 def _cold_cli_seconds(doc_path: str, out_path: str, repeats: int) -> list[float]:
@@ -100,7 +94,7 @@ def run(factor: float, requests: int, clients: int, jobs: int,
         cold_samples = _cold_cli_seconds(
             doc_path, os.path.join(tmp, "cold-out.xml"), cold_repeats
         )
-        cold_seconds = _median(cold_samples)
+        cold_seconds = _stats.median(cold_samples)
         with open(os.path.join(tmp, "cold-out.xml"), encoding="utf-8") as handle:
             cold_identical = handle.read() == expected
 
@@ -157,20 +151,41 @@ def run(factor: float, requests: int, clients: int, jobs: int,
             with ServiceClient(*address) as probe:
                 stats = probe.stats()
 
-    warm_p50 = _percentile(warm_samples, 0.5)
-    warm_p95 = _percentile(warm_samples, 0.95)
+    warm = _stats.summarize_seconds(warm_samples)
+    warm_p50 = warm["p50"]
     throughput = (clients * per_client) / concurrent_seconds
     ratio = warm_p50 / cold_seconds if cold_seconds else float("inf")
 
     print(f"  cold CLI        {cold_seconds * 1000:8.1f} ms (median of {cold_repeats})")
     print(f"  warm p50        {warm_p50 * 1000:8.1f} ms   ({ratio:.3f}x cold, "
           f"gate <= {max_p50_ratio}x)")
-    print(f"  warm p95        {warm_p95 * 1000:8.1f} ms")
+    print(f"  warm p95        {warm['p95'] * 1000:8.1f} ms   "
+          f"p99 {warm['p99'] * 1000:8.1f} ms")
     print(f"  concurrent      {throughput:8.1f} req/s "
           f"({clients} clients x {per_client})", flush=True)
 
+    gates = {
+        "cold_identity": _stats.gate(
+            cold_identical, "cold CLI output byte-identical to the facade"
+        ),
+        "concurrent_clients": _stats.gate(
+            not errors,
+            "every concurrent client succeeded" if not errors
+            else f"concurrent clients failed: {errors[:3]}",
+        ),
+        "no_refusals": _stats.gate(
+            not stats["refusals"],
+            f"{stats['refusals']} refusals below the admission limit",
+        ),
+        "amortization": _stats.gate(
+            ratio <= max_p50_ratio,
+            f"warm p50 is {ratio:.3f}x the cold CLI wall-clock "
+            f"(gate {max_p50_ratio}x)",
+        ),
+    }
     report = {
         "benchmark": "service",
+        "environment": _stats.environment(xmark_factor=factor),
         "xmark_factor": factor,
         "document_bytes": doc_bytes,
         "queries": QUERIES,
@@ -181,40 +196,25 @@ def run(factor: float, requests: int, clients: int, jobs: int,
         "per_client": per_client,
         "cold_repeats": cold_repeats,
         "cold_cli_seconds": round(cold_seconds, 6),
+        "warm_latency": {k: round(v, 6) if isinstance(v, float) else v
+                         for k, v in warm.items()},
         "warm_p50_seconds": round(warm_p50, 6),
-        "warm_p95_seconds": round(warm_p95, 6),
+        "warm_p95_seconds": round(warm["p95"], 6),
         "warm_over_cold_p50": round(ratio, 4),
         "max_p50_ratio": max_p50_ratio,
         "requests_per_second": round(throughput, 2),
-        "cold_identical_to_facade": cold_identical,
+        "server_latency": stats.get("latency"),
         "concurrent_errors": errors,
         "refusals": stats["refusals"],
         "cache": stats["cache"],
         "pool": stats["pool"],
+        "gates": gates,
     }
+    report["failures"] = _stats.failures(gates)
 
-    os.makedirs(os.path.dirname(output_path), exist_ok=True)
-    with open(output_path, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
+    _stats.write_report(report, output_path)
     _write_gauges(report, os.path.splitext(output_path)[0] + ".jsonl")
     print(f"wrote {output_path}")
-
-    failures = []
-    if not cold_identical:
-        failures.append("cold CLI output is not byte-identical to the facade")
-    if errors:
-        failures.append(f"concurrent clients failed: {errors[:3]}")
-    if stats["refusals"]:
-        failures.append(
-            f"{stats['refusals']} refusals below the admission limit"
-        )
-    if ratio > max_p50_ratio:
-        failures.append(
-            f"warm p50 is {ratio:.3f}x the cold CLI wall-clock "
-            f"(gate {max_p50_ratio}x): amortization not realized"
-        )
-    report["failures"] = failures
     return report
 
 
@@ -266,8 +266,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     report = run(factor, requests, args.clients, args.jobs, cold_repeats,
                  args.max_p50_ratio, args.output)
-    for failure in report["failures"]:
-        print(f"FAIL: {failure}", file=sys.stderr)
+    for name in report["failures"]:
+        print(f"FAIL {name}: {report['gates'][name]['reason']}", file=sys.stderr)
     return 1 if report["failures"] else 0
 
 

@@ -27,10 +27,14 @@ Record format (what sinks receive, and what JSONL lines contain)::
      "depth": 1, "parent": "load", "attrs": {...}, "counters": {...}}
     {"type": "counter", "name": "cache.hits", "value": 42}
     {"type": "gauge", "name": "load.model_bytes", "value": 1048576}
+    {"type": "histogram", "name": "service.request_seconds", "count": 120,
+     "mean": ..., "min": ..., "max": ..., "p50": ..., "p95": ..., "p99": ...}
 
-Counter and gauge records are emitted as aggregate totals on
+Counter, gauge and histogram records are emitted as aggregate totals on
 :func:`flush` (and by :func:`shutdown`); span records are emitted as each
-span closes.
+span closes.  Histogram quantiles are linearly interpolated
+(:func:`quantile`); :class:`Histogram` is also usable standalone, which is
+how the projection service reports its latency distribution natively.
 """
 
 from __future__ import annotations
@@ -38,12 +42,15 @@ from __future__ import annotations
 import atexit
 import contextlib
 import json
+import math
 import os
+import random
 import sys
 import time
-from typing import IO, Any, Iterator
+from typing import IO, Any, Iterator, Sequence
 
 __all__ = [
+    "Histogram",
     "JsonlSink",
     "MemorySink",
     "NullTracer",
@@ -60,10 +67,109 @@ __all__ = [
     "flush",
     "gauge",
     "get_tracer",
+    "observe",
+    "quantile",
     "shutdown",
     "span",
     "timed",
 ]
+
+
+# -- distribution math -------------------------------------------------------
+
+
+def quantile(samples: Sequence[float], q: float) -> float:
+    """Linearly-interpolated quantile of ``samples`` at ``q`` in [0, 1].
+
+    Uses the "inclusive" method (rank ``q * (n - 1)`` interpolated between
+    the two nearest order statistics) — the same cut points as
+    ``statistics.quantiles(..., method="inclusive")`` and numpy's default.
+    Nearest-rank selection via ``round(q * (n - 1))`` is *not* equivalent:
+    banker's rounding snaps to whichever neighbouring sample is nearer,
+    which misreports tail percentiles (p95/p99) badly on small sample
+    counts.  Every latency figure in the repo goes through this function.
+    """
+    if not samples:
+        raise ValueError("quantile() of no samples")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile fraction must be in [0, 1], got {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = q * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return float(ordered[low])
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+class Histogram:
+    """A streaming distribution metric: observe values, read interpolated
+    quantiles.
+
+    Keeps exact min/max/count/sum plus a bounded reservoir of samples
+    (uniform reservoir sampling, deterministic seed) so a long-running
+    service can report p50/p95/p99 latency without unbounded memory.
+    Below ``limit`` observations the quantiles are exact.
+    """
+
+    __slots__ = ("name", "limit", "count", "total", "minimum", "maximum",
+                 "_samples", "_rng")
+
+    def __init__(self, name: str, limit: int = 8192) -> None:
+        if limit < 1:
+            raise ValueError("histogram reservoir limit must be >= 1")
+        self.name = name
+        self.limit = limit
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self._samples: list[float] = []
+        self._rng = random.Random(0x5EED)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if len(self._samples) < self.limit:
+            self._samples.append(value)
+        else:
+            index = self._rng.randrange(self.count)
+            if index < self.limit:
+                self._samples[index] = value
+
+    def quantile(self, q: float) -> float:
+        return quantile(self._samples, q)
+
+    def snapshot(self) -> dict[str, Any]:
+        """The JSON-ready summary (``count`` is 0 when nothing was seen)."""
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.total / self.count,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def record(self) -> dict[str, Any]:
+        return {"type": "histogram", "name": self.name, **self.snapshot()}
+
+    def clear(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self._samples.clear()
 
 
 # -- spans -------------------------------------------------------------------
@@ -228,6 +334,13 @@ class MemorySink:
     def gauges(self) -> dict[str, int | float]:
         return {r["name"]: r["value"] for r in self.records if r["type"] == "gauge"}
 
+    def histograms(self) -> dict[str, dict[str, Any]]:
+        return {
+            r["name"]: {k: v for k, v in r.items() if k not in ("type", "name")}
+            for r in self.records
+            if r["type"] == "histogram"
+        }
+
 
 class JsonlSink:
     """One JSON object per line, to a path or an open text stream.
@@ -300,6 +413,7 @@ class SummaryFormatter:
         self._spans: dict[str, list[float]] = {}
         self._counters: dict[str, int | float] = {}
         self._gauges: dict[str, int | float] = {}
+        self._histograms: dict[str, dict[str, Any]] = {}
 
     def add(self, record: dict[str, Any]) -> None:
         kind = record["type"]
@@ -315,6 +429,8 @@ class SummaryFormatter:
             self._counters[record["name"]] = record["value"]
         elif kind == "gauge":
             self._gauges[record["name"]] = record["value"]
+        elif kind == "histogram":
+            self._histograms[record["name"]] = record
 
     def lines(self) -> Iterator[str]:
         if self._spans:
@@ -333,6 +449,19 @@ class SummaryFormatter:
             yield "gauges:"
             for name in sorted(self._gauges):
                 yield f"  {name:<40s} {self._gauges[name]}"
+        if self._histograms:
+            yield "histograms (count / p50 / p95 / p99):"
+            for name in sorted(self._histograms):
+                record = self._histograms[name]
+                if not record.get("count"):
+                    yield f"  {name:<24s}      0"
+                    continue
+                yield (
+                    f"  {name:<24s} {record['count']:6d}  "
+                    f"{record['p50'] * 1000:10.2f} ms  "
+                    f"{record['p95'] * 1000:10.2f} ms  "
+                    f"{record['p99'] * 1000:10.2f} ms"
+                )
 
 
 class SummarySink:
@@ -378,6 +507,7 @@ class Tracer:
         self.sinks: list[Any] = list(sinks)
         self._counters: dict[str, int | float] = {}
         self._gauges: dict[str, int | float] = {}
+        self._histograms: dict[str, Histogram] = {}
         self._stack: list[Span] = []
 
     # -- spans -----------------------------------------------------------
@@ -405,6 +535,14 @@ class Tracer:
     def gauge(self, name: str, value: int | float) -> None:
         self._gauges[name] = value
 
+    def observe(self, name: str, value: float) -> None:
+        """Feed one sample into the named :class:`Histogram` (created on
+        first use); the aggregate record is emitted on :meth:`flush`."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name)
+        histogram.observe(value)
+
     @property
     def counters(self) -> dict[str, int | float]:
         return dict(self._counters)
@@ -412,6 +550,10 @@ class Tracer:
     @property
     def gauges(self) -> dict[str, int | float]:
         return dict(self._gauges)
+
+    @property
+    def histograms(self) -> dict[str, Histogram]:
+        return dict(self._histograms)
 
     # -- cross-process merging -------------------------------------------
 
@@ -451,13 +593,17 @@ class Tracer:
             sink.record(record)
 
     def flush(self) -> None:
-        """Emit aggregate counter/gauge records and flush every sink."""
+        """Emit aggregate counter/gauge/histogram records and flush every
+        sink."""
         for name in sorted(self._counters):
             self._emit({"type": "counter", "name": name, "value": self._counters[name]})
         for name in sorted(self._gauges):
             self._emit({"type": "gauge", "name": name, "value": self._gauges[name]})
+        for name in sorted(self._histograms):
+            self._emit(self._histograms[name].record())
         self._counters.clear()
         self._gauges.clear()
+        self._histograms.clear()
         for sink in self.sinks:
             sink.flush()
 
@@ -474,6 +620,7 @@ class NullTracer:
     sinks: list[Any] = []
     counters: dict[str, int | float] = {}
     gauges: dict[str, int | float] = {}
+    histograms: dict[str, Histogram] = {}
 
     def span(self, name: str, **attrs: Any) -> NullSpan:
         return _NULL_SPAN
@@ -482,6 +629,9 @@ class NullTracer:
         pass
 
     def gauge(self, name: str, value: int | float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
         pass
 
     def emit(self, record: dict[str, Any]) -> None:
@@ -568,6 +718,12 @@ def count(name: str, amount: int | float = 1) -> None:
 
 def gauge(name: str, value: int | float) -> None:
     _tracer.gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """One sample into the named histogram on the current tracer (no-op
+    while tracing is disabled)."""
+    _tracer.observe(name, value)
 
 
 def flush() -> None:

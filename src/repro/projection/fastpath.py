@@ -205,8 +205,20 @@ class FastPruner:
                             out_length += len(pending) + 1
                             pending = None
                         piece = escape_text(text)
-                        out.append(piece)
-                        out_length += len(piece)
+                        if len(piece) >= buffer_size:
+                            # A run already larger than the buffer goes to
+                            # the sink directly — joining it into ``out``
+                            # first would only copy it once more.
+                            if out:
+                                written += out_length
+                                sink.write("".join(out))
+                                out.clear()
+                                out_length = 0
+                            written += len(piece)
+                            sink.write(piece)
+                        else:
+                            out.append(piece)
+                            out_length += len(piece)
                 elif _skip_text_run(scanner):
                     if stats is not None:
                         stats.texts_in += 1
@@ -243,8 +255,17 @@ class FastPruner:
                             out_length += len(pending) + 1
                             pending = None
                         piece = escape_text(text)
-                        out.append(piece)
-                        out_length += len(piece)
+                        if len(piece) >= buffer_size:
+                            if out:
+                                written += out_length
+                                sink.write("".join(out))
+                                out.clear()
+                                out_length = 0
+                            written += len(piece)
+                            sink.write(piece)
+                        else:
+                            out.append(piece)
+                            out_length += len(piece)
                 elif scanner.startswith("DOCTYPE"):
                     if seen_root:
                         raise scanner.error("DOCTYPE after the root element")

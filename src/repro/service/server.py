@@ -103,8 +103,11 @@ class ProjectionServer:
         self._grammars: dict[tuple, Grammar] = {}
         self._limits = self.config.resolved_limits()
         self._inflight = 0
+        self._inflight_high_water = 0
         self._requests_served = 0
         self._refusals = 0
+        self._refusals_by_scope: dict[str, int] = {}
+        self._latency = obs.Histogram("service.request_seconds")
         self._draining = False
         self._started = 0.0
         self._conn_ids = itertools.count(1)
@@ -208,6 +211,10 @@ class ProjectionServer:
         self, conn: _Connection, req_id: Any, error: ServiceError
     ) -> None:
         self._refusals += 1
+        scope = getattr(error, "scope", None) or (
+            "draining" if isinstance(error, ServiceUnavailable) else "server"
+        )
+        self._refusals_by_scope[scope] = self._refusals_by_scope.get(scope, 0) + 1
         obs.count("service.refusals")
         await conn.send({"id": req_id, "ok": False, "error": error_to_wire(error)})
 
@@ -270,6 +277,8 @@ class ProjectionServer:
 
         self._inflight += weight
         conn.inflight += 1
+        if self._inflight > self._inflight_high_water:
+            self._inflight_high_water = self._inflight
         obs.gauge("service.queue_depth", self._inflight)
         task = asyncio.create_task(
             self._serve_request(conn, req_id, op, frame, weight)
@@ -285,6 +294,7 @@ class ProjectionServer:
             "service.request",
             op=op, connection=conn.id, request=next(self._req_seq),
         ).start()
+        admitted = time.perf_counter()
         try:
             try:
                 if op == "analyze":
@@ -312,6 +322,7 @@ class ProjectionServer:
             self._inflight -= weight
             conn.inflight -= 1
             self._requests_served += 1
+            self._latency.observe(time.perf_counter() - admitted)
             obs.gauge("service.queue_depth", self._inflight)
             obs.count("service.requests")
             span.finish()
@@ -332,9 +343,16 @@ class ProjectionServer:
             "uptime": time.monotonic() - self._started,
             "requests_served": self._requests_served,
             "refusals": self._refusals,
+            "refusals_by_scope": dict(self._refusals_by_scope),
             "inflight": self._inflight,
             "queue_limit": self.config.queue_limit,
             "per_connection": self.config.per_connection,
+            "queue": {
+                "depth": self._inflight,
+                "high_water": self._inflight_high_water,
+                "limit": self.config.queue_limit,
+            },
+            "latency": self._latency.snapshot(),
             "connections": len(self._connections),
             "draining": self._draining,
             "cache": {**cache.as_dict(), "entries": len(self.cache)},

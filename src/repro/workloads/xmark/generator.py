@@ -20,8 +20,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Iterable, Iterator
 
 from repro.xmltree.nodes import Document, Element, Text
+from repro.xmltree.serializer import node_markup
 
 _WORDS = (
     "gold silver sword honour duteous grave widow sorrow summer winter "
@@ -74,7 +76,6 @@ class XMarkGenerator:
         return Document(self.site())
 
     def site(self) -> Element:
-        counts = self.counts
         site = Element("site")
         site.append(self._regions())
         site.append(self._categories())
@@ -83,6 +84,45 @@ class XMarkGenerator:
         site.append(self._open_auctions())
         site.append(self._closed_auctions())
         return site
+
+    def markup(self) -> Iterator[str]:
+        """Stream the document as markup fragments, one entity subtree at
+        a time.
+
+        Byte-identical to ``serialize(self.document())``: both paths call
+        the same per-entity builders in the same order, so the shared RNG
+        is consumed identically, and section wrappers reproduce the
+        serializer's empty-element collapse.  Peak memory is one entity
+        subtree (an item/person/auction), not the whole document.
+        """
+        counts = self.counts
+        yield "<site>"
+        yield "<regions>"
+        for region_name, item_ids in zip(_REGIONS, self._region_assignments()):
+            yield from self._section(region_name, (self._item(i) for i in item_ids))
+        yield "</regions>"
+        yield from self._section("categories", (self._category(i) for i in range(counts.categories)))
+        yield from self._section("catgraph", (self._edge() for _ in range(counts.categories)))
+        yield from self._section("people", (self._person(i) for i in range(counts.persons)))
+        yield from self._section(
+            "open_auctions", (self._open_auction(i) for i in range(counts.open_auctions))
+        )
+        yield from self._section(
+            "closed_auctions", (self._closed_auction() for _ in range(counts.closed_auctions))
+        )
+        yield "</site>"
+
+    @staticmethod
+    def _section(tag: str, children: Iterable[Element]) -> Iterator[str]:
+        """Wrap streamed children in ``tag``, collapsing the empty case to
+        ``<tag/>`` exactly like the tree serializer does."""
+        opened = False
+        for child in children:
+            if not opened:
+                yield f"<{tag}>"
+                opened = True
+            yield from node_markup(child)
+        yield f"</{tag}>" if opened else f"<{tag}/>"
 
     # -- text fabric ----------------------------------------------------------
 
@@ -137,10 +177,9 @@ class XMarkGenerator:
 
     # -- sections ---------------------------------------------------------------
 
-    def _regions(self) -> Element:
+    def _region_assignments(self) -> list[list[int]]:
+        """Deterministic partition of item ids across continents."""
         rng = self._rng
-        regions = Element("regions")
-        # Deterministic partition of item ids across continents.
         assignments: list[list[int]] = [[] for _ in _REGIONS]
         cumulative = []
         total = 0.0
@@ -151,7 +190,11 @@ class XMarkGenerator:
             draw = rng.random()
             region_index = next(i for i, edge in enumerate(cumulative) if draw <= edge)
             assignments[region_index].append(item_id)
-        for region_name, item_ids in zip(_REGIONS, assignments):
+        return assignments
+
+    def _regions(self) -> Element:
+        regions = Element("regions")
+        for region_name, item_ids in zip(_REGIONS, self._region_assignments()):
             region = Element(region_name)
             for item_id in item_ids:
                 region.append(self._item(item_id))
@@ -182,28 +225,32 @@ class XMarkGenerator:
         item.append(mailbox)
         return item
 
+    def _category(self, category_id: int) -> Element:
+        category = Element("category", {"id": f"category{category_id}"})
+        category.append(self._leaf("name", self._sentence(1, 3)))
+        category.append(self._description())
+        return category
+
     def _categories(self) -> Element:
         categories = Element("categories")
         for category_id in range(self.counts.categories):
-            category = Element("category", {"id": f"category{category_id}"})
-            category.append(self._leaf("name", self._sentence(1, 3)))
-            category.append(self._description())
-            categories.append(category)
+            categories.append(self._category(category_id))
         return categories
 
-    def _catgraph(self) -> Element:
+    def _edge(self) -> Element:
         rng = self._rng
+        return Element(
+            "edge",
+            {
+                "from": f"category{rng.randrange(self.counts.categories)}",
+                "to": f"category{rng.randrange(self.counts.categories)}",
+            },
+        )
+
+    def _catgraph(self) -> Element:
         catgraph = Element("catgraph")
         for _ in range(self.counts.categories):
-            catgraph.append(
-                Element(
-                    "edge",
-                    {
-                        "from": f"category{rng.randrange(self.counts.categories)}",
-                        "to": f"category{rng.randrange(self.counts.categories)}",
-                    },
-                )
-            )
+            catgraph.append(self._edge())
         return catgraph
 
     @staticmethod
@@ -217,48 +264,51 @@ class XMarkGenerator:
         return f"{rng.randint(1, 28):02d}/{rng.randint(1, 12):02d}/{rng.randint(1998, 2001)}"
 
     def _people(self) -> Element:
-        rng = self._rng
         people = Element("people")
         for person_id in range(self.counts.persons):
-            person = Element("person", {"id": f"person{person_id}"})
-            person.append(self._leaf("name", self._person_name(person_id)))
-            person.append(self._leaf("emailaddress", f"mailto:person{person_id}@example.net"))
-            if rng.random() < 0.5:
-                person.append(self._leaf("phone", f"+{rng.randint(1, 99)} ({rng.randint(10, 999)}) {rng.randint(1000000, 9999999)}"))
-            if rng.random() < 0.6:
-                address = Element("address")
-                address.append(self._leaf("street", f"{rng.randint(1, 99)} {rng.choice(_WORDS).title()} St"))
-                address.append(self._leaf("city", rng.choice(_CITIES)))
-                address.append(self._leaf("country", rng.choice(_COUNTRIES)))
-                if rng.random() < 0.3:
-                    address.append(self._leaf("province", rng.choice(_WORDS).title()))
-                address.append(self._leaf("zipcode", str(rng.randint(10000, 99999))))
-                person.append(address)
-            if rng.random() < 0.3:
-                person.append(self._leaf("homepage", f"http://example.net/~person{person_id}"))
-            if rng.random() < 0.4:
-                person.append(self._leaf("creditcard", " ".join(str(rng.randint(1000, 9999)) for _ in range(4))))
-            if rng.random() < 0.7:
-                profile = Element("profile")
-                if rng.random() < 0.5:
-                    profile.attributes["income"] = f"{rng.uniform(9000, 100000):.2f}"
-                for _ in range(rng.randint(0, 3)):
-                    profile.append(Element("interest", {"category": f"category{rng.randrange(self.counts.categories)}"}))
-                if rng.random() < 0.5:
-                    profile.append(self._leaf("education", rng.choice(("High School", "College", "Graduate School", "Other"))))
-                if rng.random() < 0.8:
-                    profile.append(self._leaf("gender", rng.choice(("male", "female"))))
-                profile.append(self._leaf("business", rng.choice(("Yes", "No"))))
-                if rng.random() < 0.6:
-                    profile.append(self._leaf("age", str(rng.randint(18, 80))))
-                person.append(profile)
-            if rng.random() < 0.5:
-                watches = Element("watches")
-                for _ in range(rng.randint(0, 4)):
-                    watches.append(Element("watch", {"open_auction": f"open_auction{rng.randrange(self.counts.open_auctions)}"}))
-                person.append(watches)
-            people.append(person)
+            people.append(self._person(person_id))
         return people
+
+    def _person(self, person_id: int) -> Element:
+        rng = self._rng
+        person = Element("person", {"id": f"person{person_id}"})
+        person.append(self._leaf("name", self._person_name(person_id)))
+        person.append(self._leaf("emailaddress", f"mailto:person{person_id}@example.net"))
+        if rng.random() < 0.5:
+            person.append(self._leaf("phone", f"+{rng.randint(1, 99)} ({rng.randint(10, 999)}) {rng.randint(1000000, 9999999)}"))
+        if rng.random() < 0.6:
+            address = Element("address")
+            address.append(self._leaf("street", f"{rng.randint(1, 99)} {rng.choice(_WORDS).title()} St"))
+            address.append(self._leaf("city", rng.choice(_CITIES)))
+            address.append(self._leaf("country", rng.choice(_COUNTRIES)))
+            if rng.random() < 0.3:
+                address.append(self._leaf("province", rng.choice(_WORDS).title()))
+            address.append(self._leaf("zipcode", str(rng.randint(10000, 99999))))
+            person.append(address)
+        if rng.random() < 0.3:
+            person.append(self._leaf("homepage", f"http://example.net/~person{person_id}"))
+        if rng.random() < 0.4:
+            person.append(self._leaf("creditcard", " ".join(str(rng.randint(1000, 9999)) for _ in range(4))))
+        if rng.random() < 0.7:
+            profile = Element("profile")
+            if rng.random() < 0.5:
+                profile.attributes["income"] = f"{rng.uniform(9000, 100000):.2f}"
+            for _ in range(rng.randint(0, 3)):
+                profile.append(Element("interest", {"category": f"category{rng.randrange(self.counts.categories)}"}))
+            if rng.random() < 0.5:
+                profile.append(self._leaf("education", rng.choice(("High School", "College", "Graduate School", "Other"))))
+            if rng.random() < 0.8:
+                profile.append(self._leaf("gender", rng.choice(("male", "female"))))
+            profile.append(self._leaf("business", rng.choice(("Yes", "No"))))
+            if rng.random() < 0.6:
+                profile.append(self._leaf("age", str(rng.randint(18, 80))))
+            person.append(profile)
+        if rng.random() < 0.5:
+            watches = Element("watches")
+            for _ in range(rng.randint(0, 4)):
+                watches.append(Element("watch", {"open_auction": f"open_auction{rng.randrange(self.counts.open_auctions)}"}))
+            person.append(watches)
+        return person
 
     def _annotation(self) -> Element:
         rng = self._rng
@@ -269,54 +319,60 @@ class XMarkGenerator:
         annotation.append(self._leaf("happiness", str(rng.randint(1, 10))))
         return annotation
 
-    def _open_auctions(self) -> Element:
+    def _open_auction(self, auction_id: int) -> Element:
         rng = self._rng
+        auction = Element("open_auction", {"id": f"open_auction{auction_id}"})
+        initial = rng.uniform(1, 300)
+        auction.append(self._leaf("initial", f"{initial:.2f}"))
+        if rng.random() < 0.4:
+            auction.append(self._leaf("reserve", f"{initial * rng.uniform(1.2, 2.5):.2f}"))
+        current = initial
+        for _ in range(rng.randint(0, 5)):
+            bidder = Element("bidder")
+            bidder.append(self._leaf("date", self._date()))
+            bidder.append(self._leaf("time", f"{rng.randint(0, 23):02d}:{rng.randint(0, 59):02d}:{rng.randint(0, 59):02d}"))
+            bidder.append(Element("personref", {"person": f"person{rng.randrange(self.counts.persons)}"}))
+            increase = rng.choice((1.5, 3.0, 4.5, 6.0, 12.0, 24.0))
+            current += increase
+            bidder.append(self._leaf("increase", f"{increase:.2f}"))
+            auction.append(bidder)
+        auction.append(self._leaf("current", f"{current:.2f}"))
+        if rng.random() < 0.3:
+            auction.append(self._leaf("privacy", "Yes"))
+        auction.append(Element("itemref", {"item": f"item{rng.randrange(self.counts.items)}"}))
+        auction.append(Element("seller", {"person": f"person{rng.randrange(self.counts.persons)}"}))
+        auction.append(self._annotation())
+        auction.append(self._leaf("quantity", str(rng.randint(1, 5))))
+        auction.append(self._leaf("type", rng.choice(("Regular", "Featured"))))
+        interval = Element("interval")
+        interval.append(self._leaf("start", self._date()))
+        interval.append(self._leaf("end", self._date()))
+        auction.append(interval)
+        return auction
+
+    def _open_auctions(self) -> Element:
         auctions = Element("open_auctions")
         for auction_id in range(self.counts.open_auctions):
-            auction = Element("open_auction", {"id": f"open_auction{auction_id}"})
-            initial = rng.uniform(1, 300)
-            auction.append(self._leaf("initial", f"{initial:.2f}"))
-            if rng.random() < 0.4:
-                auction.append(self._leaf("reserve", f"{initial * rng.uniform(1.2, 2.5):.2f}"))
-            current = initial
-            for _ in range(rng.randint(0, 5)):
-                bidder = Element("bidder")
-                bidder.append(self._leaf("date", self._date()))
-                bidder.append(self._leaf("time", f"{rng.randint(0, 23):02d}:{rng.randint(0, 59):02d}:{rng.randint(0, 59):02d}"))
-                bidder.append(Element("personref", {"person": f"person{rng.randrange(self.counts.persons)}"}))
-                increase = rng.choice((1.5, 3.0, 4.5, 6.0, 12.0, 24.0))
-                current += increase
-                bidder.append(self._leaf("increase", f"{increase:.2f}"))
-                auction.append(bidder)
-            auction.append(self._leaf("current", f"{current:.2f}"))
-            if rng.random() < 0.3:
-                auction.append(self._leaf("privacy", "Yes"))
-            auction.append(Element("itemref", {"item": f"item{rng.randrange(self.counts.items)}"}))
-            auction.append(Element("seller", {"person": f"person{rng.randrange(self.counts.persons)}"}))
-            auction.append(self._annotation())
-            auction.append(self._leaf("quantity", str(rng.randint(1, 5))))
-            auction.append(self._leaf("type", rng.choice(("Regular", "Featured"))))
-            interval = Element("interval")
-            interval.append(self._leaf("start", self._date()))
-            interval.append(self._leaf("end", self._date()))
-            auction.append(interval)
-            auctions.append(auction)
+            auctions.append(self._open_auction(auction_id))
         return auctions
 
-    def _closed_auctions(self) -> Element:
+    def _closed_auction(self) -> Element:
         rng = self._rng
+        auction = Element("closed_auction")
+        auction.append(Element("seller", {"person": f"person{rng.randrange(self.counts.persons)}"}))
+        auction.append(Element("buyer", {"person": f"person{rng.randrange(self.counts.persons)}"}))
+        auction.append(Element("itemref", {"item": f"item{rng.randrange(self.counts.items)}"}))
+        auction.append(self._leaf("price", f"{rng.uniform(5, 500):.2f}"))
+        auction.append(self._leaf("date", self._date()))
+        auction.append(self._leaf("quantity", str(rng.randint(1, 5))))
+        auction.append(self._leaf("type", rng.choice(("Regular", "Featured"))))
+        auction.append(self._annotation())
+        return auction
+
+    def _closed_auctions(self) -> Element:
         auctions = Element("closed_auctions")
         for _ in range(self.counts.closed_auctions):
-            auction = Element("closed_auction")
-            auction.append(Element("seller", {"person": f"person{rng.randrange(self.counts.persons)}"}))
-            auction.append(Element("buyer", {"person": f"person{rng.randrange(self.counts.persons)}"}))
-            auction.append(Element("itemref", {"item": f"item{rng.randrange(self.counts.items)}"}))
-            auction.append(self._leaf("price", f"{rng.uniform(5, 500):.2f}"))
-            auction.append(self._leaf("date", self._date()))
-            auction.append(self._leaf("quantity", str(rng.randint(1, 5))))
-            auction.append(self._leaf("type", rng.choice(("Regular", "Featured"))))
-            auction.append(self._annotation())
-            auctions.append(auction)
+            auctions.append(self._closed_auction())
         return auctions
 
 
@@ -325,13 +381,38 @@ def generate_document(factor: float = 0.01, seed: int = 42) -> Document:
     return XMarkGenerator(factor, seed).document()
 
 
-def generate_file(path: str, factor: float = 0.01, seed: int = 42) -> int:
-    """Generate straight to a file; returns bytes written."""
-    from repro.xmltree.serializer import write_document
+#: Flush threshold for streamed generation, matching the serializer's
+#: buffered event writer.
+_GENERATE_BUFFER_SIZE = 1 << 16
 
-    document = generate_document(factor, seed)
+
+def generate_file(
+    path: str, factor: float = 0.01, seed: int = 42, buffer_size: int = _GENERATE_BUFFER_SIZE
+) -> int:
+    """Generate straight to a file, streaming one entity subtree at a
+    time; returns characters written.
+
+    Byte-identical to writing :func:`generate_document` with a
+    declaration, but peak memory stays bounded by a single entity plus
+    the write buffer, which is what makes factor ≥ 1 (~100 MB documents)
+    feasible.
+    """
+    generator = XMarkGenerator(factor, seed)
+    written = 0
     with open(path, "w", encoding="utf-8") as sink:
-        return write_document(document, sink)
+        written += sink.write('<?xml version="1.0" encoding="UTF-8"?>\n')
+        buffered: list[str] = []
+        buffered_length = 0
+        for piece in generator.markup():
+            buffered.append(piece)
+            buffered_length += len(piece)
+            if buffered_length >= buffer_size:
+                written += sink.write("".join(buffered))
+                buffered.clear()
+                buffered_length = 0
+        if buffered:
+            written += sink.write("".join(buffered))
+    return written
 
 
 def factor_for_megabytes(megabytes: float) -> float:

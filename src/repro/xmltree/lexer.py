@@ -117,6 +117,15 @@ class Scanner:
         if self._eof:
             return
         assert self._source is not None
+        if self._position and self._position >= len(self._buffer):
+            # Fully-consumed buffer: drop it before refilling so the
+            # ``+=`` below binds the fresh chunk directly (CPython returns
+            # the chunk itself when concatenating onto ``""``) instead of
+            # copying the dead prefix along with it.  Diagnostics only
+            # depend on ``consumed + position``, which is preserved.
+            self._consumed += self._position
+            self._buffer = ""
+            self._position = 0
         while len(self._buffer) - self._position < needed:
             chunk = self._source.read(self._chunk_size)
             if not chunk:

@@ -1,0 +1,215 @@
+"""The shared benchmark statistics helpers and the scale-sweep harness.
+
+``benchmarks/_stats.py`` is what every BENCH report now flows through:
+interpolated quantiles (the old per-bench ``round(q * (n - 1))``
+nearest-rank picker was biased high on small samples), the normalized
+``{"gate": "pass"|"fail"|"skip", "reason": ...}`` records CI consumes,
+environment provenance, and the trajectory regression gate.  The e2e
+test runs ``benchmarks/scale_sweep.py --smoke`` the way CI does and
+checks the report's contract.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import subprocess
+import sys
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "benchmarks"))
+
+import _stats  # noqa: E402
+
+
+class TestPercentile:
+    def test_matches_statistics_inclusive_cut_points(self):
+        data = [3.1, 0.2, 9.7, 4.4, 1.5, 8.8, 6.0, 2.2, 7.3, 5.9, 0.9]
+        cuts = statistics.quantiles(data, n=100, method="inclusive")
+        for k in (1, 5, 25, 50, 75, 95, 99):
+            assert _stats.percentile(data, k / 100) == pytest.approx(
+                cuts[k - 1]
+            )
+
+    def test_interpolates_between_ranks(self):
+        # The bias this replaces: nearest-rank picked
+        # sorted[round(0.95 * 3)] == 4.0 for [1, 2, 3, 4]; the
+        # interpolated p95 sits at rank 2.85, i.e. 3 + 0.85 * (4 - 3).
+        assert _stats.percentile([4.0, 2.0, 1.0, 3.0], 0.95) == pytest.approx(
+            3.85
+        )
+        assert _stats.percentile([4.0, 2.0, 1.0, 3.0], 0.50) == pytest.approx(
+            2.5
+        )
+
+    def test_extremes_and_single_sample(self):
+        assert _stats.percentile([5.0, 1.0], 0.0) == 1.0
+        assert _stats.percentile([5.0, 1.0], 1.0) == 5.0
+        assert _stats.percentile([7.0], 0.95) == 7.0
+
+    def test_rejects_empty_and_out_of_range(self):
+        with pytest.raises(ValueError):
+            _stats.percentile([], 0.5)
+        with pytest.raises(ValueError):
+            _stats.percentile([1.0], 1.5)
+
+    def test_median(self):
+        assert _stats.median([3.0, 1.0, 2.0]) == 2.0
+        assert _stats.median([4.0, 1.0, 2.0, 3.0]) == 2.5
+
+    def test_summarize_seconds(self):
+        summary = _stats.summarize_seconds([float(n) for n in range(1, 101)])
+        assert summary["count"] == 100
+        assert summary["mean"] == pytest.approx(50.5)
+        assert summary["min"] == 1.0 and summary["max"] == 100.0
+        assert summary["p50"] == pytest.approx(50.5)
+        assert summary["p95"] == pytest.approx(95.05)
+        assert summary["p99"] == pytest.approx(99.01)
+        assert _stats.summarize_seconds([]) == {"count": 0}
+
+
+class TestGates:
+    def test_three_statuses(self):
+        assert _stats.gate(True, "fine") == {"gate": "pass", "reason": "fine"}
+        assert _stats.gate(False, "broke") == {
+            "gate": "fail", "reason": "broke",
+        }
+        assert _stats.gate(None, "1 cpu") == {"gate": "skip", "reason": "1 cpu"}
+
+    def test_failures_lists_only_fails_sorted(self):
+        gates = {
+            "b": _stats.gate(False, "broke"),
+            "a": _stats.gate(False, "also broke"),
+            "c": _stats.gate(True, "fine"),
+            "d": _stats.gate(None, "skipped"),
+        }
+        assert _stats.failures(gates) == ["a", "b"]
+        assert _stats.failures({}) == []
+
+
+class TestEnvironment:
+    def test_provenance_keys(self):
+        env = _stats.environment(xmark_factor=0.5)
+        for key in ("commit", "python", "implementation", "platform",
+                    "cpu_count", "timestamp"):
+            assert key in env
+        assert env["xmark_factor"] == 0.5
+        assert env["python"] == sys.version.split()[0]
+        # Inside this repo the commit resolves to a real hash.
+        assert len(env["commit"]) == 40 or env["commit"] == "unknown"
+
+
+class TestRegressionGate:
+    def test_skips_without_history(self):
+        record = _stats.regression_gate(1.0, [])
+        assert record["gate"] == "skip"
+
+    def test_passes_within_tolerance(self):
+        history = [{"p50": 1.0} for _ in range(5)]
+        assert _stats.regression_gate(1.2, history,
+                                      tolerance_percent=25.0)["gate"] == "pass"
+
+    def test_fails_beyond_tolerance(self):
+        history = [{"p50": 1.0} for _ in range(5)]
+        record = _stats.regression_gate(1.5, history, tolerance_percent=25.0)
+        assert record["gate"] == "fail"
+        assert "p50" in record["reason"]
+
+    def test_compares_against_recent_window_median(self):
+        # Old slow entries outside the window must not mask a regression.
+        history = [{"p50": 9.0}] * 10 + [{"p50": 1.0}] * 5
+        assert _stats.regression_gate(
+            2.0, history, tolerance_percent=25.0, window=5
+        )["gate"] == "fail"
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = str(tmp_path / "trajectory.jsonl")
+        assert _stats.read_jsonl(path) == []
+        _stats.append_jsonl({"p50": 1.0}, path)
+        _stats.append_jsonl({"p50": 2.0}, path)
+        assert _stats.read_jsonl(path) == [{"p50": 1.0}, {"p50": 2.0}]
+
+
+class TestScaleSweepEndToEnd:
+    """One tiny real run of the harness, the way CI's scale-smoke job
+    invokes it (fresh interpreter, PYTHONPATH=src)."""
+
+    @pytest.fixture(scope="class")
+    def report(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("scale_sweep")
+        output = tmp / "BENCH_scale.json"
+        workdir = tmp / "work"
+        trajectory = tmp / "trajectory.jsonl"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(REPO, "src")]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        completed = subprocess.run(
+            [sys.executable, os.path.join(REPO, "benchmarks", "scale_sweep.py"),
+             "--factors", "0.002", "--docs", "4", "--jobs-curve", "1,2",
+             "--clients-curve", "1,2", "--requests", "6", "--repeats", "2",
+             "--workdir", str(workdir), "--trajectory", str(trajectory),
+             "--output", str(output)],
+            capture_output=True, text=True, env=env, timeout=560,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert trajectory.exists()
+        return json.loads(output.read_text()), workdir
+
+    def test_report_contract(self, report):
+        data, _ = report
+        assert data["benchmark"] == "scale_sweep"
+        for key in ("commit", "python", "cpu_count", "timestamp"):
+            assert key in data["environment"]
+        assert data["failures"] == []
+        for record in data["gates"].values():
+            assert record["gate"] in ("pass", "fail", "skip")
+            assert isinstance(record["reason"], str) and record["reason"]
+
+    def test_interpolated_latency_summaries(self, report):
+        data, _ = report
+        entry = data["documents"]["entries"][0]
+        for key in ("count", "mean", "min", "max", "p50", "p95", "p99"):
+            assert key in entry["prune"]
+        assert entry["prune"]["min"] <= entry["prune"]["p50"] <= entry["prune"]["p95"]
+        assert entry["prune"]["p95"] <= entry["prune"]["p99"] <= entry["prune"]["max"]
+        point = data["service"]["curve"][0]
+        assert point["latency"]["p50"] <= point["latency"]["p99"]
+
+    def test_saturation_curve_shape(self, report):
+        data, _ = report
+        curve = data["corpus"]["curve"]
+        assert [point["jobs"] for point in curve] == [1, 2]
+        for point in curve:
+            assert point["docs_per_second"] > 0
+            assert point["p50_seconds"] > 0
+        assert curve[0]["speedup"] == 1.0
+
+    def test_overload_probe_structured(self, report):
+        data, _ = report
+        overload = data["service"]["overload"]
+        assert overload["other"] == 0
+        assert overload["refused"] > 0
+        assert overload["server_refusals_by_scope"]
+
+    def test_trajectory_regression_gate_recorded(self, report):
+        data, _ = report
+        assert data["gates"]["trajectory.p50_regression"]["gate"] == "skip"
+
+    def test_kept_outputs_byte_identical_to_facade(self, report):
+        from repro.api import prune
+        from repro.core.cache import resolve_projector
+        from repro.workloads.xmark import xmark_grammar
+
+        data, workdir = report
+        grammar = xmark_grammar()
+        projector = resolve_projector(grammar, data["queries"])
+        doc = workdir / "doc_0.002.xml"
+        pruned = workdir / "doc_0.002.pruned.xml"
+        assert doc.exists() and pruned.exists()
+        expected = prune(str(doc), grammar, projector).text
+        assert pruned.read_text(encoding="utf-8") == expected

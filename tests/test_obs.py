@@ -101,6 +101,97 @@ class TestCountersAndGauges:
         assert len(counter_records) == 1
 
 
+class TestQuantile:
+    def test_linear_interpolation(self):
+        import pytest
+
+        assert obs.quantile([1.0, 2.0, 3.0, 4.0], 0.95) == pytest.approx(3.85)
+        assert obs.quantile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.5
+        assert obs.quantile([7.0], 0.99) == 7.0
+
+    def test_unsorted_input(self):
+        assert obs.quantile([4.0, 1.0, 3.0, 2.0], 0.0) == 1.0
+        assert obs.quantile([4.0, 1.0, 3.0, 2.0], 1.0) == 4.0
+
+    def test_rejects_empty_and_out_of_range(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            obs.quantile([], 0.5)
+        with pytest.raises(ValueError):
+            obs.quantile([1.0], -0.1)
+        with pytest.raises(ValueError):
+            obs.quantile([1.0], 1.1)
+
+
+class TestHistogram:
+    def test_snapshot_shape(self):
+        histogram = obs.Histogram("latency")
+        assert histogram.snapshot() == {"count": 0}
+        for value in (3.0, 1.0, 2.0):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["count"] == 3
+        assert snap["min"] == 1.0 and snap["max"] == 3.0
+        assert snap["mean"] == 2.0
+        assert snap["p50"] == 2.0
+        assert snap["p50"] <= snap["p95"] <= snap["p99"] <= snap["max"]
+
+    def test_record_is_typed(self):
+        histogram = obs.Histogram("latency")
+        histogram.observe(1.0)
+        record = histogram.record()
+        assert record["type"] == "histogram"
+        assert record["name"] == "latency"
+        assert record["count"] == 1
+
+    def test_reservoir_bounds_memory_exactly_and_deterministically(self):
+        first = obs.Histogram("x", limit=64)
+        second = obs.Histogram("x", limit=64)
+        for n in range(10_000):
+            first.observe(float(n))
+            second.observe(float(n))
+        assert len(first._samples) == 64
+        assert first._samples == second._samples  # seeded reservoir
+        assert first.count == 10_000
+        assert first.minimum == 0.0 and first.maximum == 9999.0
+        # The reservoir quantile stays near the true distribution.
+        assert 3000 < first.quantile(0.5) < 7000
+
+    def test_clear(self):
+        histogram = obs.Histogram("x")
+        histogram.observe(5.0)
+        histogram.clear()
+        assert histogram.snapshot() == {"count": 0}
+
+    def test_tracer_observe_flushes_histogram_records(self):
+        buffer = io.StringIO()
+        sink = obs.JsonlSink(buffer)
+        tracer = obs.Tracer(sink)
+        for value in (0.1, 0.2, 0.3):
+            tracer.observe("service.request_seconds", value)
+        tracer.close()
+        lines = [json.loads(line) for line in buffer.getvalue().splitlines()]
+        records = [r for r in lines if r.get("type") == "histogram"]
+        assert len(records) == 1
+        assert records[0]["name"] == "service.request_seconds"
+        assert records[0]["count"] == 3
+        assert records[0]["p50"] == 0.2
+        # flush() clears: a second close adds nothing.
+        assert tracer.histograms == {}
+
+    def test_module_observe_is_noop_when_disabled(self):
+        obs.observe("anything", 1.0)
+        assert obs.get_tracer().histograms == {}
+
+    def test_memory_sink_collects_histograms(self):
+        sink = obs.MemorySink()
+        tracer = obs.Tracer(sink)
+        tracer.observe("h", 1.0)
+        tracer.close()
+        assert sink.histograms()["h"]["count"] == 1
+
+
 class TestSinks:
     def test_jsonl_sink_round_trips(self, tmp_path):
         path = tmp_path / "trace.jsonl"

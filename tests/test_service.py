@@ -329,7 +329,35 @@ class TestAdmission:
                 assert excinfo.value.code == 429
                 # health and stats stay observable while the queue refuses.
                 assert client.health()["status"] == "serving"
-                assert client.stats()["refusals"] == 1
+                stats = client.stats()
+                assert stats["refusals"] == 1
+                # Refusals are attributed to the admission scope that
+                # tripped, so a scale sweep can tell queue pressure from
+                # per-connection caps.
+                assert stats["refusals_by_scope"] == {"server": 1}
+
+    def test_stats_expose_latency_histogram_and_queue_depth(self, book_grammar):
+        config = ServiceConfig(port=0, jobs=1, queue_limit=8)
+        with serve_background(config, cache=ProjectorCache()) as background:
+            with ServiceClient("127.0.0.1", background.port) as client:
+                baseline = client.stats()
+                assert baseline["latency"] == {"count": 0}
+                assert baseline["queue"] == {
+                    "depth": 0, "high_water": 0, "limit": 8,
+                }
+                assert baseline["refusals_by_scope"] == {}
+
+                for _ in range(3):
+                    client.prune(BOOK_XML, dtd=BOOK_DTD, root="bib",
+                                 queries=[QUERY])
+                stats = client.stats()
+                latency = stats["latency"]
+                assert latency["count"] == 3
+                assert 0 < latency["min"] <= latency["p50"]
+                assert latency["p50"] <= latency["p95"] <= latency["p99"]
+                assert latency["p99"] <= latency["max"]
+                assert stats["queue"]["depth"] == 0  # nothing in flight now
+                assert 1 <= stats["queue"]["high_water"] <= 8
 
     def test_per_connection_cap_refuses_the_pipelined_request(self, book_grammar):
         config = ServiceConfig(port=0, jobs=1, per_connection=1, queue_limit=64)

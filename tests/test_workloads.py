@@ -85,6 +85,55 @@ class TestGenerator:
                 assert node.attributes["person"] in person_ids
 
 
+class TestStreamingGeneration:
+    """``generate_file`` streams entity subtrees straight to disk; it must
+    stay byte-for-byte what ``generate_document`` + serialization with a
+    declaration produces (same seed, same RNG call order)."""
+
+    @pytest.mark.parametrize("factor,seed", [(0.001, 3), (0.003, 99)])
+    def test_byte_identical_to_tree_path(self, tmp_path, factor, seed):
+        from repro.workloads.xmark import generate_file
+
+        path = tmp_path / "xmark.xml"
+        written = generate_file(str(path), factor, seed=seed)
+        expected = serialize(generate_document(factor, seed=seed), declaration=True)
+        content = path.read_text(encoding="utf-8")
+        assert content == expected
+        assert written == len(content)
+
+    def test_markup_collapses_empty_sections(self, tmp_path):
+        from repro.workloads.xmark import generate_file
+
+        # A factor this small has zero closed auctions; the streaming
+        # path must collapse the section exactly like the serializer.
+        path = tmp_path / "tiny.xml"
+        generate_file(str(path), 0.0001, seed=1)
+        expected = serialize(generate_document(0.0001, seed=1), declaration=True)
+        assert path.read_text(encoding="utf-8") == expected
+
+    def test_memory_bounded_by_entity_not_document(self, tmp_path):
+        import tracemalloc
+
+        from repro.workloads.xmark import generate_file
+
+        factor = 0.01
+        path = tmp_path / "stream.xml"
+        tracemalloc.start()
+        generate_file(str(path), factor, seed=7)
+        _, streaming_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+        tracemalloc.start()
+        serialize(generate_document(factor, seed=7), declaration=True)
+        _, tree_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+        # The tree path holds document + markup; streaming holds one
+        # entity subtree plus the 64 KiB write buffer.  At this factor
+        # the tree peak is megabytes, streaming stays sub-megabyte.
+        assert streaming_peak < tree_peak / 4
+
+
 class TestQuerySets:
     def test_table1_selection_subset(self):
         assert set(TABLE1_XMARK) <= set(XMARK_QUERIES)
