@@ -241,10 +241,13 @@ class Scanner:
                     # buffer an over-limit token before refusing it.
                     total += len(text)
                     guard.check_token(total)
-            before = len(self._buffer)
+            # Progress is measured in absolute stream offset: _fill may
+            # drop the consumed prefix (and _compact shifts it), so the
+            # buffer length alone can stay equal while new data arrived.
+            before = self._consumed + len(self._buffer)
             self._fill(len(self._buffer) - self._position + self._chunk_size)
             self._compact()
-            if len(self._buffer) == before and self._eof:
+            if self._consumed + len(self._buffer) == before and self._eof:
                 where = f" in {context}" if context else ""
                 raise self.error(f"unexpected end of input looking for {delimiter!r}{where}")
 
@@ -306,10 +309,11 @@ class Scanner:
             if text:
                 self._count_newlines(text)
                 self._position = cut
-            before = len(self._buffer)
+            # Absolute-offset progress check (see read_until).
+            before = self._consumed + len(self._buffer)
             self._fill(len(self._buffer) - self._position + self._chunk_size)
             self._compact()
-            if len(self._buffer) == before and self._eof:
+            if self._consumed + len(self._buffer) == before and self._eof:
                 where = f" in {context}" if context else ""
                 raise self.error(f"unexpected end of input looking for {delimiter!r}{where}")
 
@@ -449,10 +453,11 @@ class Scanner:
             if self._eof:
                 where = f" in {context}" if context else ""
                 raise self.error(f"unexpected end of input looking for '>'{where}")
-            before = len(self._buffer)
+            # Absolute-offset progress check (see read_until).
+            before = self._consumed + len(self._buffer)
             self._fill(self._chunk_size)
             self._compact()
-            if len(self._buffer) == before and self._eof:
+            if self._consumed + len(self._buffer) == before and self._eof:
                 where = f" in {context}" if context else ""
                 raise self.error(f"unexpected end of input looking for '>'{where}")
 

@@ -133,6 +133,27 @@ class TestRegressionGate:
         assert _stats.read_jsonl(path) == [{"p50": 1.0}, {"p50": 2.0}]
 
 
+class TestPhaseSelection:
+    def test_valid_phase_lists_parse(self):
+        import scale_sweep
+
+        assert scale_sweep._phases("documents") == ["documents"]
+        assert scale_sweep._phases("corpus, service") == ["corpus", "service"]
+
+    def test_unknown_phase_is_an_argparse_error(self):
+        # A typo like "--only document" must error out, not silently run
+        # zero phases and exit 0.
+        import argparse
+
+        import scale_sweep
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            scale_sweep._phases("document")
+        with pytest.raises(SystemExit) as excinfo:
+            scale_sweep.main(["--smoke", "--only", "document"])
+        assert excinfo.value.code == 2
+
+
 class TestScaleSweepEndToEnd:
     """One tiny real run of the harness, the way CI's scale-smoke job
     invokes it (fresh interpreter, PYTHONPATH=src)."""

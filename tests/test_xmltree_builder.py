@@ -136,3 +136,30 @@ class TestScanner:
         text = scanner.read_until("|")
         assert len(text) == 100_000
         assert scanner.read_until_any("") == "end"
+
+    def test_read_until_after_buffer_drop_at_eof(self):
+        # Regression: when _fill drops a fully-consumed buffer whose length
+        # equals the characters left in the stream, the refilled buffer is
+        # the same length as before — the no-progress EOF check must use
+        # the absolute stream offset, not the buffer length, or it raises
+        # a spurious "unexpected end of input" on valid input.
+        scanner = Scanner(io.StringIO("abcdefghij>"), chunk_size=4)
+        scanner.expect("abcde")
+        assert scanner.read_until(">") == "fghij"
+
+    def test_skip_until_after_buffer_drop_at_eof(self):
+        scanner = Scanner(io.StringIO("abcdefghij>"), chunk_size=4)
+        scanner.expect("abcde")
+        scanner.skip_until(">")
+        assert scanner.at_eof()
+
+    def test_read_tag_content_after_buffer_drop_at_eof(self):
+        scanner = Scanner(io.StringIO("abcdefghij>"), chunk_size=4)
+        scanner.expect("abcde")
+        assert scanner.read_tag_content() == "fghij"
+
+    def test_missing_delimiter_still_raises_from_stream(self):
+        scanner = Scanner(io.StringIO("abcdefghij"), chunk_size=4)
+        scanner.expect("abcde")
+        with pytest.raises(XMLSyntaxError):
+            scanner.read_until(">", "test")
