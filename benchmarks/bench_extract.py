@@ -1,0 +1,173 @@
+"""Extraction benchmark: the fused projecting scan vs the naive
+parse-then-walk baseline.
+
+Standalone script (not pytest-benchmark — CI runs it directly)::
+
+    PYTHONPATH=src python benchmarks/bench_extract.py [--smoke]
+        [--factor F] [--repeats N] [--min-speedup R] [--output PATH]
+
+The workload is the ETL shape the extraction surface was built for:
+XMark's person directory flattened to one record per ``person`` —
+``@id``, ``name/text()``, and ``address/city/text()`` (``address`` is
+optional in the DTD, so the NULL path is exercised at scale too).
+
+Two implementations of the same :class:`repro.ExtractSpec`:
+
+* **fused** — ``repro.extract``: one projecting scan, records assembled
+  from the pruned event stream, nothing materialized;
+* **naive** — :func:`repro.extract.reference.reference_records`: parse
+  the whole document into a tree, walk it (the differential oracle).
+
+Record-for-record equality is *asserted*, not assumed, every run; the
+gate is the throughput ratio (the PR's target: >= 1.5x) plus the row
+count matching the generator's person count.  Writes machine-readable,
+provenance-stamped ``benchmarks/results/BENCH_extract.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import os
+import sys
+import tempfile
+
+try:
+    import _stats
+except ImportError:  # imported as a package module (pytest)
+    from benchmarks import _stats
+
+
+PERSON_SPEC_FIELDS = {
+    "id": "@id",
+    "name": "name/text()",
+    "city": "address/city/text()",
+}
+
+
+def _xmark_markup(factor: float) -> str:
+    """Generate an XMark document and return its markup (sans the XML
+    declaration — the scan paths under test emit none)."""
+    from repro.workloads.xmark.generator import generate_file
+
+    fd, xml_path = tempfile.mkstemp(suffix=".xml", prefix="bench_extract_")
+    os.close(fd)
+    try:
+        generate_file(xml_path, factor, seed=99)
+        with open(xml_path, encoding="utf-8") as handle:
+            handle.readline()
+            return handle.read()
+    finally:
+        os.unlink(xml_path)
+
+
+def run(factor: float, repeats: int, output_path: str,
+        min_speedup: float) -> dict:
+    from repro import ExtractSpec, extract
+    from repro.extract.reference import reference_records
+    from repro.workloads.xmark import xmark_grammar
+    from repro.workloads.xmark.generator import XMarkCounts
+
+    grammar = xmark_grammar()
+    spec = ExtractSpec(rows="/site/people/person", fields=PERSON_SPEC_FIELDS)
+    print(f"generating XMark document (factor {factor}) ...", flush=True)
+    xml = _xmark_markup(factor)
+    megabytes = len(xml.encode("utf-8")) / 1e6
+    expected_rows = XMarkCounts.for_factor(factor).persons
+
+    def fused():
+        return extract(io.StringIO(xml), grammar, spec)
+
+    def naive():
+        return reference_records(io.StringIO(xml), spec)
+
+    # Correctness first: the two implementations share no code, so equal
+    # records are the benchmark's own differential check.
+    result = fused()
+    oracle = naive()
+    assert result.records == oracle, (
+        "fused extraction diverged from the tree-walk baseline"
+    )
+    rows = result.stats.rows_out
+    nulls = result.stats.nulls_out
+
+    fused_samples = _stats.repeat_seconds(lambda: extract(
+        io.StringIO(xml), grammar, spec, out=io.StringIO()), repeats)
+    naive_samples = _stats.repeat_seconds(
+        lambda: reference_records(io.StringIO(xml), spec), repeats)
+    fused_seconds = _stats.median(fused_samples)
+    naive_seconds = _stats.median(naive_samples)
+    ratio = naive_seconds / fused_seconds if fused_seconds else float("inf")
+    rows_per_s = rows / fused_seconds if fused_seconds else None
+    mb_per_s = megabytes / fused_seconds if fused_seconds else None
+
+    print(f"  naive parse+walk {naive_seconds * 1000:8.1f} ms   "
+          f"fused scan {fused_seconds * 1000:8.1f} ms   {ratio:5.2f}x", flush=True)
+    print(f"  {rows} rows ({nulls} NULLs), "
+          f"{rows_per_s:,.0f} rows/s, {mb_per_s:.1f} MB/s", flush=True)
+
+    gates = {
+        "speedup": _stats.gate(
+            ratio >= min_speedup,
+            f"fused extraction speedup {ratio:.2f}x vs the "
+            f"{min_speedup}x target over parse-then-walk",
+        ),
+        "records_identical": _stats.gate(
+            True,  # asserted above; reaching here means it held
+            "fused and tree-walk records compared equal",
+        ),
+        "row_count": _stats.gate(
+            rows == expected_rows,
+            f"{rows} rows extracted vs {expected_rows} persons generated",
+        ),
+    }
+    report = {
+        "benchmark": "extract",
+        "environment": _stats.environment(xmark_factor=factor),
+        "document_megabytes": round(megabytes, 3),
+        "xmark_factor": factor,
+        "repeats": repeats,
+        "spec": spec.to_wire(),
+        "rows_out": rows,
+        "nulls_out": nulls,
+        "fields_out": result.stats.fields_out,
+        "naive_seconds": round(naive_seconds, 6),
+        "fused_seconds": round(fused_seconds, 6),
+        "speedup": round(ratio, 3),
+        "min_speedup_required": min_speedup,
+        "fused_rows_per_s": round(rows_per_s, 1) if rows_per_s else None,
+        "fused_mb_per_s": round(mb_per_s, 2) if mb_per_s else None,
+        "gates": gates,
+    }
+    report["failures"] = _stats.failures(gates)
+
+    _stats.write_report(report, output_path)
+    print(f"\nspeedup {ratio:.2f}x (target >= {min_speedup}x)")
+    print(f"wrote {output_path}")
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--factor", type=float, default=None,
+                        help="XMark scale factor (default 0.02; --smoke uses 0.004)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repetitions per implementation (median is reported)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small document + fewer repeats (CI smoke mode)")
+    parser.add_argument("--min-speedup", type=float, default=1.5,
+                        help="fail if the fused-vs-naive speedup is below this")
+    parser.add_argument("--output", default=os.path.join(
+        os.path.dirname(__file__), "results", "BENCH_extract.json"))
+    args = parser.parse_args(argv)
+
+    factor = args.factor if args.factor is not None else (0.004 if args.smoke else 0.02)
+    repeats = args.repeats if args.repeats is not None else (3 if args.smoke else 5)
+    report = run(factor, repeats, args.output, args.min_speedup)
+    for name in report["failures"]:
+        print(f"FAIL {name}: {report['gates'][name]['reason']}", file=sys.stderr)
+    return 1 if report["failures"] else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

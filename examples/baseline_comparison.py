@@ -14,8 +14,11 @@ Run:  python examples/baseline_comparison.py
 
 import time
 
-from repro import XQueryEvaluator, analyze, prune_document, validate
+from repro import analyze
 from repro.baselines import baseline_paths_for_query, prune_with_baseline
+from repro.dtd.validator import validate
+from repro.projection.tree import prune_document
+from repro.xquery.evaluator import XQueryEvaluator
 from repro.workloads.xmark import generate_document, xmark_grammar, xmark_query
 
 CASES = {

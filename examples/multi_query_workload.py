@@ -9,8 +9,11 @@ verifies every query still answers identically.
 Run:  python examples/multi_query_workload.py
 """
 
-from repro import XQueryEvaluator, analyze, prune_document, validate
+from repro import analyze
+from repro.dtd.validator import validate
+from repro.projection.tree import prune_document
 from repro.workloads.xmark import generate_document, xmark_grammar, xmark_query
+from repro.xquery.evaluator import XQueryEvaluator
 
 WORKLOAD = ["QM01", "QM05", "QM06", "QM17", "QM20"]
 

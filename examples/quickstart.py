@@ -8,15 +8,13 @@ predicate) and titles — years and prices disappear.
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    XPathEvaluator,
-    analyze,
-    grammar_from_text,
-    parse_document,
-    prune_document,
-    serialize,
-    validate,
-)
+from repro import analyze
+from repro.dtd.grammar import grammar_from_text
+from repro.dtd.validator import validate
+from repro.projection.tree import prune_document
+from repro.xmltree.builder import parse_document
+from repro.xmltree.serializer import serialize
+from repro.xpath.evaluator import XPathEvaluator
 
 DTD = """
 <!ELEMENT bib (book*)>

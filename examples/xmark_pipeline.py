@@ -11,7 +11,10 @@ Run:  python examples/xmark_pipeline.py [factor]
 import sys
 import time
 
-from repro import QueryEngine, analyze, prune_document, validate
+from repro import analyze
+from repro.dtd.validator import validate
+from repro.engine.executor import QueryEngine
+from repro.projection.tree import prune_document
 from repro.workloads.xmark import generate_document, xmark_grammar, xmark_query
 
 QUERY_NAME = "QM07"  # the three-step // query the paper highlights

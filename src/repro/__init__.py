@@ -1,55 +1,36 @@
 """Type-based XML projection — a reproduction of Benzaken, Castagna,
 Colazzo & Nguyên, "Type-Based XML Projection", VLDB 2006.
 
+The package surface is the workload API: load a grammar, analyze a
+workload (queries or an extract spec), then prune or extract in one
+streaming pass.  Everything else lives in its submodule
+(``repro.dtd``, ``repro.projection``, ``repro.xpath``, ...).
+
 Quickstart::
 
-    from repro import grammar_from_text, parse_document, validate
-    from repro import analyze, prune_document
+    from repro import ExtractSpec, analyze, extract, load_grammar, prune
 
-    grammar = grammar_from_text(DTD_TEXT, "bib")
-    document = parse_document(XML_TEXT)
-    interpretation = validate(document, grammar)
+    grammar = load_grammar(DTD_TEXT)            # DTD text, path, or XML
     result = analyze(grammar, ["//book[author='Dante']/title"])
-    pruned = prune_document(document, interpretation, result.projector)
+    pruned = prune(XML_TEXT, grammar, result.projector)
+
+    spec = ExtractSpec(rows="/bib/book",
+                       fields={"title": "title/text()", "isbn": "@isbn"})
+    rows = extract(XML_TEXT, grammar, spec).records
 
 See README.md for the full tour and DESIGN.md for the paper-to-module map.
 """
 
-from repro import obs
+import warnings as _warnings
+
 from repro.api import PruneOptions, PruneResult, prune
-from repro.core.cache import CacheStats, ProjectorCache, default_cache, grammar_fingerprint
-from repro.core.inference import infer_type
-from repro.core.pipeline import (
-    AnalysisResult,
-    analyze,
-    analyze_query,
-    analyze_xquery,
-    type_of_query,
-)
-from repro.core.projector import infer_projector, materialized_projector
-from repro.dtd.grammar import Grammar, grammar_from_dtd, grammar_from_text
-from repro.dtd.parser import parse_dtd
-from repro.dtd.properties import analyze_grammar
-from repro.dtd.validator import Interpretation, validate
-from repro.engine.executor import QueryEngine
-from repro.errors import (
-    DeadlineExceeded,
-    EncodingError,
-    LimitExceeded,
-    ReproError,
-    ResourceError,
-)
+from repro.core.pipeline import AnalysisResult, analyze
+from repro.extract.api import ExtractOptions, ExtractResult
+from repro.extract.api import extract as extract  # binds over the submodule name
+from repro.extract.spec import ExtractSpec
 from repro.limits import Limits
-from repro.parallel import BatchError, BatchResult, prune_many
-from repro.projection.fastpath import FastPruner
-from repro.projection.prunetable import PruneTable, compile_prune_table
-from repro.projection.streaming import prune_events, prune_file, prune_stream, prune_string
-from repro.querylang import looks_like_xquery
-from repro.projection.tree import prune_document
-from repro.xmltree.builder import parse_document
-from repro.xmltree.serializer import serialize
-from repro.xpath.evaluator import XPathEvaluator
-from repro.xquery.evaluator import XQueryEvaluator
+from repro.loading import load_grammar
+from repro.parallel import BatchError, BatchResult, extract_many, prune_many
 
 __version__ = "1.0.0"
 
@@ -57,48 +38,80 @@ __all__ = [
     "AnalysisResult",
     "BatchError",
     "BatchResult",
-    "CacheStats",
-    "DeadlineExceeded",
-    "EncodingError",
-    "FastPruner",
-    "Grammar",
-    "Interpretation",
-    "LimitExceeded",
+    "ExtractOptions",
+    "ExtractResult",
+    "ExtractSpec",
     "Limits",
-    "ProjectorCache",
-    "PruneTable",
-    "QueryEngine",
-    "ReproError",
-    "ResourceError",
-    "XPathEvaluator",
-    "XQueryEvaluator",
-    "__version__",
-    "analyze",
-    "analyze_grammar",
-    "analyze_query",
-    "analyze_xquery",
-    "compile_prune_table",
-    "default_cache",
-    "grammar_fingerprint",
-    "grammar_from_dtd",
-    "grammar_from_text",
-    "infer_projector",
-    "infer_type",
-    "looks_like_xquery",
-    "materialized_projector",
-    "obs",
-    "parse_document",
-    "parse_dtd",
-    "prune",
     "PruneOptions",
     "PruneResult",
-    "prune_document",
-    "prune_events",
-    "prune_file",
+    "__version__",
+    "analyze",
+    "extract",
+    "extract_many",
+    "load_grammar",
+    "prune",
     "prune_many",
-    "prune_stream",
-    "prune_string",
-    "serialize",
-    "type_of_query",
-    "validate",
 ]
+
+#: Pre-1.0-surface names that used to be re-exported here, mapped to the
+#: submodule that owns them.  Each resolves lazily (PEP 562) with a
+#: DeprecationWarning naming the canonical import — the strict-CI job
+#: runs with ``-W error::DeprecationWarning`` to keep the repo itself
+#: off this path.
+_DEPRECATED = {
+    "CacheStats": "repro.core.cache",
+    "DeadlineExceeded": "repro.errors",
+    "EncodingError": "repro.errors",
+    "FastPruner": "repro.projection.fastpath",
+    "Grammar": "repro.dtd.grammar",
+    "Interpretation": "repro.dtd.validator",
+    "LimitExceeded": "repro.errors",
+    "ProjectorCache": "repro.core.cache",
+    "PruneTable": "repro.projection.prunetable",
+    "QueryEngine": "repro.engine.executor",
+    "ReproError": "repro.errors",
+    "ResourceError": "repro.errors",
+    "XPathEvaluator": "repro.xpath.evaluator",
+    "XQueryEvaluator": "repro.xquery.evaluator",
+    "analyze_grammar": "repro.dtd.properties",
+    "analyze_query": "repro.core.pipeline",
+    "analyze_xquery": "repro.core.pipeline",
+    "compile_prune_table": "repro.projection.prunetable",
+    "default_cache": "repro.core.cache",
+    "grammar_fingerprint": "repro.core.cache",
+    "grammar_from_dtd": "repro.dtd.grammar",
+    "grammar_from_text": "repro.dtd.grammar",
+    "infer_projector": "repro.core.projector",
+    "infer_type": "repro.core.inference",
+    "looks_like_xquery": "repro.querylang",
+    "materialized_projector": "repro.core.projector",
+    "parse_document": "repro.xmltree.builder",
+    "parse_dtd": "repro.dtd.parser",
+    "prune_document": "repro.projection.tree",
+    "prune_events": "repro.projection.streaming",
+    "prune_file": "repro.projection.streaming",
+    "prune_stream": "repro.projection.streaming",
+    "prune_string": "repro.projection.streaming",
+    "serialize": "repro.xmltree.serializer",
+    "type_of_query": "repro.core.pipeline",
+    "validate": "repro.dtd.validator",
+}
+
+
+def __getattr__(name: str):
+    home = _DEPRECATED.get(name)
+    if home is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    _warnings.warn(
+        f"importing {name!r} from the top-level 'repro' package is "
+        f"deprecated; use 'from {home} import {name}' instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    import importlib
+
+    return getattr(importlib.import_module(home), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_DEPRECATED))

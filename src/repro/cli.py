@@ -4,14 +4,15 @@ Subcommands::
 
     analyze   infer and print a type projector for queries + DTD
     prune     prune a document file (streaming) with an inferred projector
+    extract   extract tabular records (JSONL/CSV) in one streaming pass
     validate  validate a document against a DTD
     generate  emit an XMark benchmark document
     run       run a query on a document, optionally after pruning
     serve     run the long-lived projection service (see repro.service)
 
-``prune --server HOST:PORT`` sends the work to a running service instead
-of pruning in-process, so repeated invocations share the server's
-resident projector cache and warm workers.
+``prune --server HOST:PORT`` (and ``extract --server``) sends the work to
+a running service instead of doing it in-process, so repeated invocations
+share the server's resident projector cache and warm workers.
 
 Example::
 
@@ -19,10 +20,16 @@ Example::
     repro-xml analyze --dtd auction.dtd --root site --query "//item/name"
     repro-xml prune --dtd auction.dtd --root site \\
         --query "//item/name" auction.xml pruned.xml
+    repro-xml extract --xmark --rows /site/people/person \\
+        --field name=name/text() --field city=address/city/text() \\
+        auction.xml --out people.jsonl
 
-``analyze``, ``prune`` and ``run`` accept ``--trace-out FILE`` (JSONL
-span/counter trace, see :mod:`repro.obs`) and ``--metrics`` (human-readable
-roll-up on stderr when the command finishes).
+Shared flags (``--jobs``, ``--limits-profile``, ``--trace-out``,
+``--metrics``, ...) are defined once in common argparse parents, so
+``prune``, ``extract`` and ``run`` stay in sync by construction.
+``--trace-out FILE`` writes a JSONL span/counter trace (see
+:mod:`repro.obs`); ``--metrics`` prints a human-readable roll-up on
+stderr when the command finishes.
 """
 
 from __future__ import annotations
@@ -32,22 +39,17 @@ import sys
 
 
 def _load_grammar(args, document_path: str | None = None):
-    from repro.dtd.grammar import grammar_from_text
+    from repro.loading import load_grammar
 
     if args.xmark:
-        from repro.workloads.xmark import xmark_grammar
-
-        return xmark_grammar()
+        return load_grammar("xmark")
     if getattr(args, "infer_dtd", False):
         if document_path is None:
             raise SystemExit("--infer-dtd requires a document to summarise")
-        from repro.dtd.dataguide import grammar_from_file
-
-        return grammar_from_file(document_path)
-    if not args.dtd or not args.root:
-        raise SystemExit("--dtd and --root are required (or pass --xmark / --infer-dtd)")
-    with open(args.dtd, "r", encoding="utf-8") as handle:
-        return grammar_from_text(handle.read(), args.root)
+        return load_grammar(document_path, format="xml")
+    if not args.dtd:
+        raise SystemExit("--dtd is required (or pass --xmark / --infer-dtd)")
+    return load_grammar(args.dtd, format="dtd", root=args.root)
 
 
 def _limits_from_args(args):
@@ -220,6 +222,133 @@ def cmd_prune(args) -> int:
     return 0
 
 
+def _parse_fields(pairs):
+    """``--field NAME=RELPATH`` pairs → the ExtractSpec fields mapping
+    (declared order preserved — it is the output column order)."""
+    fields: dict[str, str] = {}
+    for item in pairs:
+        name, sep, path = item.partition("=")
+        if not sep or not name or not path:
+            raise SystemExit(f"--field expects NAME=RELPATH, got {item!r}")
+        if name in fields:
+            raise SystemExit(f"duplicate --field name {name!r}")
+        fields[name] = path
+    return fields
+
+
+def _extract_summary(stats, seconds: float, file=None) -> None:
+    print(f"extracted {stats.rows_out} row(s), {stats.nulls_out} null(s) "
+          f"in {seconds:.2f} s", file=file or sys.stdout)
+    print(f"bytes: {stats.bytes_in} in -> {stats.bytes_out} out",
+          file=file or sys.stdout)
+
+
+def _extract_via_server(args, spec) -> int:
+    """Send ``extract`` work to a running projection service.  Documents
+    are read client-side and shipped as markup; encoded records come back
+    over the socket and are written locally (stdout without ``--out``)."""
+    from repro.extract.api import ExtractOptions
+    from repro.service.client import ServiceClient
+
+    if args.xmark:
+        grammar_kwargs = {"xmark": True}
+    elif args.dtd:
+        grammar_kwargs = {"dtd_path": args.dtd, "root": args.root}
+    else:
+        raise SystemExit("--server requires --dtd or --xmark "
+                         "(--infer-dtd runs client-side only)")
+    options = ExtractOptions(format=args.format)
+    items = _batch_inputs(args)
+    failures = 0
+    with ServiceClient.from_address(args.server) as client:
+        if items is None:
+            items = [args.input]
+        import os
+
+        batch_mode = len(items) > 1 or getattr(args, "jobs", 1) != 1
+        if batch_mode and args.out is None:
+            raise SystemExit("batch extract requires --out DIRECTORY")
+        if batch_mode:
+            os.makedirs(args.out, exist_ok=True)
+        from repro.parallel import _EXTRACT_SUFFIXES, _output_paths
+
+        out_paths = (
+            _output_paths(items, args.out, _EXTRACT_SUFFIXES[args.format])
+            if batch_mode
+            else [args.out]
+        )
+        rows = nulls = 0
+        for source, out_path in zip(items, out_paths):
+            try:
+                outcome = client.extract(
+                    source=source, spec=spec, options=options,
+                    limits=_limits_from_args(args), **grammar_kwargs,
+                )
+            except Exception as exc:
+                failures += 1
+                print(f"error: {source}: {exc}", file=sys.stderr)
+                continue
+            assert outcome.text is not None
+            if out_path is None:
+                sys.stdout.write(outcome.text)
+            else:
+                with open(out_path, "w", encoding="utf-8") as handle:
+                    handle.write(outcome.text)
+            rows += outcome.stats.rows_out
+            nulls += outcome.stats.nulls_out
+        print(f"extracted {rows} row(s), {nulls} null(s) from "
+              f"{len(items) - failures}/{len(items)} document(s) via {args.server}",
+              file=sys.stderr)
+    return 1 if failures else 0
+
+
+def cmd_extract(args) -> int:
+    from repro import obs
+    from repro.extract import ExtractSpec, extract
+
+    spec = ExtractSpec(rows=args.rows, fields=_parse_fields(args.field), null=args.null)
+
+    if getattr(args, "server", None):
+        return _extract_via_server(args, spec)
+
+    items = _batch_inputs(args)
+    first_doc = items[0] if items else args.input
+    grammar = _load_grammar(args, document_path=first_doc)
+
+    if items is not None:
+        from repro.parallel import extract_many
+
+        if args.out is None:
+            raise SystemExit("batch extract requires --out DIRECTORY")
+        batch = extract_many(
+            items, grammar, spec,
+            jobs=args.jobs, out_dir=args.out, format=args.format,
+            limits=_limits_from_args(args), timeout=args.timeout,
+        )
+        stats = batch.stats
+        print(f"extracted {batch.succeeded}/{batch.documents} documents "
+              f"with {batch.jobs} job(s) in {batch.seconds:.2f} s")
+        print(f"rows: {stats.rows_out} ({stats.nulls_out} nulls), "
+              f"bytes: {stats.bytes_in} in -> {stats.bytes_out} out")
+        _print_batch_errors(batch)
+        return 1 if batch.errors else 0
+
+    with obs.timed("extract.command") as span:
+        result = extract(
+            args.input, grammar, spec, out=args.out, format=args.format,
+            limits=_limits_from_args(args),
+        )
+        span.stop()
+    if args.out is None:
+        # Records to stdout, summary to stderr so the stream stays clean.
+        assert result.text is not None
+        sys.stdout.write(result.text)
+        _extract_summary(result.stats, span.seconds, file=sys.stderr)
+    else:
+        _extract_summary(result.stats, span.seconds)
+    return 0
+
+
 def cmd_validate(args) -> int:
     from repro.dtd.validator import validate
     from repro.errors import ValidationError
@@ -260,14 +389,12 @@ def cmd_run(args) -> int:
     )
 
     if items is not None:
-        from repro.engine.loader import load_many_for_queries
+        from repro.engine.loader import load_many
 
         if grammar is None:
             raise SystemExit("batch run requires --dtd/--root, --xmark or --infer-dtd")
         query = args.query[0]
-        reports, batch = load_many_for_queries(
-            items, grammar, args.query, jobs=args.jobs
-        )
+        reports, batch = load_many(items, grammar, args.query, jobs=args.jobs)
         results = touched = 0
         seconds = 0.0
         for report in reports:
@@ -334,6 +461,51 @@ def _version() -> str:
         return repro.__version__
 
 
+def _shared_parents():
+    """The flag groups shared across subcommands, each defined exactly
+    once and attached through argparse's ``parents`` mechanism — so
+    ``prune``, ``extract`` and ``run`` cannot drift out of sync."""
+    grammar = argparse.ArgumentParser(add_help=False)
+    grammar.add_argument("--dtd", help="path to the DTD file")
+    grammar.add_argument("--root",
+                         help="root element tag (default: the DTD's first "
+                              "declared element)")
+    grammar.add_argument("--xmark", action="store_true",
+                         help="use the built-in XMark DTD")
+    grammar.add_argument("--infer-dtd", action="store_true",
+                         help="summarise the input document into a dataguide "
+                              "grammar (no DTD needed)")
+
+    query = argparse.ArgumentParser(add_help=False)
+    query.add_argument("--query", action="append", required=True,
+                       help="XPath or XQuery (repeatable: projectors union)")
+
+    observability = argparse.ArgumentParser(add_help=False)
+    observability.add_argument("--trace-out", metavar="FILE",
+                               help="write a JSONL span/counter trace to FILE")
+    observability.add_argument("--metrics", action="store_true",
+                               help="print a metrics roll-up to stderr on exit")
+
+    limit = argparse.ArgumentParser(add_help=False)
+    limit.add_argument("--limits-profile", choices=("strict", "default", "off"),
+                       default="default",
+                       help="resource-limit profile for the pass (default: default)")
+    limit.add_argument("--max-depth", type=int, metavar="N",
+                       help="maximum element nesting depth (overrides the profile)")
+    limit.add_argument("--timeout", type=float, metavar="SECONDS",
+                       help="per-document wall-clock budget; in batch mode a "
+                            "stuck worker is killed and only its item fails")
+
+    jobs = argparse.ArgumentParser(add_help=False)
+    jobs.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="worker processes for batch mode (0 = all cores)")
+
+    return {
+        "grammar": grammar, "query": query, "obs": observability,
+        "limit": limit, "jobs": jobs,
+    }
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-xml", description="Type-based XML projection (VLDB 2006)"
@@ -341,58 +513,56 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version",
                         version=f"%(prog)s {_version()}")
     sub = parser.add_subparsers(dest="command", required=True)
+    parents = _shared_parents()
 
-    def common(p, with_query=True):
-        p.add_argument("--dtd", help="path to the DTD file")
-        p.add_argument("--root", help="root element tag")
-        p.add_argument("--xmark", action="store_true", help="use the built-in XMark DTD")
-        p.add_argument("--infer-dtd", action="store_true",
-                       help="summarise the input document into a dataguide grammar (no DTD needed)")
-        if with_query:
-            p.add_argument("--query", action="append", required=True,
-                           help="XPath or XQuery (repeatable: projectors union)")
-
-    def obs_flags(p):
-        p.add_argument("--trace-out", metavar="FILE",
-                       help="write a JSONL span/counter trace to FILE")
-        p.add_argument("--metrics", action="store_true",
-                       help="print a metrics roll-up to stderr on exit")
-
-    def limit_flags(p):
-        p.add_argument("--limits-profile", choices=("strict", "default", "off"),
-                       default="default",
-                       help="resource-limit profile for the pass (default: default)")
-        p.add_argument("--max-depth", type=int, metavar="N",
-                       help="maximum element nesting depth (overrides the profile)")
-        p.add_argument("--timeout", type=float, metavar="SECONDS",
-                       help="per-document wall-clock budget; in batch mode a "
-                            "stuck worker is killed and only its item fails")
-
-    p = sub.add_parser("analyze", help="infer a type projector")
-    common(p)
-    obs_flags(p)
+    p = sub.add_parser("analyze", help="infer a type projector",
+                       parents=[parents["grammar"], parents["query"],
+                                parents["obs"]])
     p.add_argument("--cache-stats", action="store_true",
                    help="print projector-cache hit/miss counters")
     p.set_defaults(func=cmd_analyze)
 
-    p = sub.add_parser("prune", help="prune a document file (streaming) or a corpus")
-    common(p)
-    obs_flags(p)
+    p = sub.add_parser("prune", help="prune a document file (streaming) or a corpus",
+                       parents=[parents["grammar"], parents["query"],
+                                parents["obs"], parents["limit"],
+                                parents["jobs"]])
     p.add_argument("input", help="document file, or a glob/directory for batch mode")
     p.add_argument("output", help="output file (or output directory in batch mode)")
     p.add_argument("--validate", action="store_true", help="validate while pruning")
     p.add_argument("--no-fast", action="store_true",
                    help="use the event pipeline instead of the fused fast path")
-    p.add_argument("--jobs", type=int, default=1, metavar="N",
-                   help="worker processes for batch mode (0 = all cores)")
     p.add_argument("--server", metavar="HOST:PORT",
                    help="send the work to a running projection service "
                         "(see `repro-xml serve`) instead of pruning locally")
-    limit_flags(p)
     p.set_defaults(func=cmd_prune)
 
-    p = sub.add_parser("validate", help="validate a document")
-    common(p, with_query=False)
+    p = sub.add_parser("extract",
+                       help="extract tabular records (JSONL/CSV) in one "
+                            "streaming pass",
+                       parents=[parents["grammar"], parents["obs"],
+                                parents["limit"], parents["jobs"]])
+    p.add_argument("input", help="document file, or a glob/directory for batch mode")
+    p.add_argument("--rows", required=True, metavar="PATH",
+                   help="absolute path of the row elements, "
+                        "e.g. /site/people/person")
+    p.add_argument("--field", action="append", required=True, metavar="NAME=RELPATH",
+                   help="output column: NAME=row-relative path "
+                        "(name/text(), @id, address/city/text(); repeatable, "
+                        "declaration order = column order)")
+    p.add_argument("--format", choices=("jsonl", "csv"), default="jsonl",
+                   help="record encoding (default: jsonl)")
+    p.add_argument("--null", metavar="TEXT",
+                   help="spelling for missing fields (default: JSON null / "
+                        "empty CSV cell)")
+    p.add_argument("--out", metavar="PATH",
+                   help="output file (directory in batch mode; default: stdout)")
+    p.add_argument("--server", metavar="HOST:PORT",
+                   help="send the work to a running projection service "
+                        "instead of extracting locally")
+    p.set_defaults(func=cmd_extract)
+
+    p = sub.add_parser("validate", help="validate a document",
+                       parents=[parents["grammar"]])
     p.add_argument("input")
     p.set_defaults(func=cmd_validate)
 
@@ -402,7 +572,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", required=True)
     p.set_defaults(func=cmd_generate)
 
-    p = sub.add_parser("serve", help="run the long-lived projection service")
+    p = sub.add_parser("serve", help="run the long-lived projection service",
+                       parents=[parents["obs"], parents["limit"]])
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=0,
                    help="port to bind (default 0 = pick a free port; the "
@@ -414,17 +585,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "get a structured 429-style refusal")
     p.add_argument("--per-connection", type=int, default=8, metavar="N",
                    help="in-flight request cap per client connection")
-    obs_flags(p)
-    limit_flags(p)
     p.set_defaults(func=cmd_serve)
 
-    p = sub.add_parser("run", help="run a query (optionally with pruning)")
-    common(p)
-    obs_flags(p)
+    p = sub.add_parser("run", help="run a query (optionally with pruning)",
+                       parents=[parents["grammar"], parents["query"],
+                                parents["obs"], parents["jobs"]])
     p.add_argument("input", help="document file, or a glob/directory for batch mode")
     p.add_argument("--prune", action="store_true", help="prune before running")
-    p.add_argument("--jobs", type=int, default=1, metavar="N",
-                   help="worker processes for batch mode (0 = all cores)")
     p.set_defaults(func=cmd_run)
 
     return parser

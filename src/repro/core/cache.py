@@ -201,6 +201,44 @@ class ProjectorCache:
                 obs.count("cache.evictions")
             return projector
 
+    def projector_for_spec(self, grammar: Grammar, spec) -> frozenset[str]:
+        """Infer (or recall) the union projector an extract spec needs.
+
+        ``spec`` is duck-typed (anything with ``fingerprint()`` and
+        ``projector_queries()`` — in practice an
+        :class:`~repro.extract.spec.ExtractSpec`; the indirection keeps
+        this module free of an extract import).  The cache key is the
+        spec's *content fingerprint* under the ``"extract"`` language
+        tag, so re-declaring an identical workload — same row path, same
+        fields in the same order — skips the whole analysis.
+        """
+        key = (grammar_fingerprint(grammar), "extract", True, spec.fingerprint())
+        with self._lock:
+            entries = self._entries
+            cached = entries.get(key)
+            if cached is not None:
+                self._hits += 1
+                obs.count("cache.hits")
+                entries.move_to_end(key)
+                return cached
+            self._misses += 1
+            obs.count("cache.misses")
+            per_query = [
+                analyze(
+                    grammar, query, materialize=materialize, language="xpath"
+                ).projector
+                for query, materialize in spec.projector_queries()
+            ]
+            projector = grammar.check_projector(
+                grammar.union_projectors(per_query)
+            )
+            entries[key] = projector
+            if len(entries) > self.max_entries:
+                entries.popitem(last=False)
+                self._evictions += 1
+                obs.count("cache.evictions")
+            return projector
+
     def analyze(
         self,
         grammar: Grammar,
@@ -260,3 +298,16 @@ def resolve_projector(
     if cache is None:
         cache = default_cache()
     return cache.analyze(grammar, queries_or_projector, materialize=materialize).projector
+
+
+def resolve_spec_projector(
+    grammar: Grammar,
+    spec,
+    cache: ProjectorCache | None = None,
+) -> frozenset[str]:
+    """The extract-spec counterpart of :func:`resolve_projector`: infer
+    the spec's union projector through ``cache`` (or the process-wide
+    default), keyed by the spec's content fingerprint."""
+    if cache is None:
+        cache = default_cache()
+    return cache.projector_for_spec(grammar, spec)

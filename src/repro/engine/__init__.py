@@ -5,8 +5,8 @@ from repro.engine.executor import QueryEngine, largest_processable_megabytes
 from repro.engine.index import IndexStats, TagIndex, index_of_pruned_document
 from repro.engine.loader import (
     LoadReport,
-    load_for_queries,
     load_full,
+    load_many,
     load_pruned,
     load_pruned_validating,
 )
@@ -22,8 +22,18 @@ __all__ = [
     "TagIndex",
     "index_of_pruned_document",
     "largest_processable_megabytes",
-    "load_for_queries",
     "load_full",
+    "load_many",
     "load_pruned",
     "load_pruned_validating",
 ]
+
+
+def __getattr__(name: str):
+    # Deprecated loader spellings stay importable from the subpackage but
+    # warn on access (module-level import would warn for everyone).
+    if name in ("load_for_queries", "load_many_for_queries"):
+        from repro.engine import loader
+
+        return getattr(loader, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -140,6 +140,56 @@ def load_pruned_validating(
     )
 
 
+def load_many(
+    sources,
+    grammar: Grammar,
+    queries_or_projector,
+    jobs: int | None = 1,
+    strip_whitespace: bool = True,
+    validate: bool = False,
+    fast: bool = True,
+    model: MemoryModel = DEFAULT_MODEL,
+    cache: "ProjectorCache | None" = None,
+):
+    """Load a whole corpus pruned to one workload.
+
+    The batch variant of :func:`load_pruned`: the projector is resolved
+    once in the parent (queries — string or list — are analyzed through
+    the projector cache; an already-inferred projector passes straight
+    through), the corpus is pruned through :func:`repro.parallel.
+    prune_many` (text mode, so workers ship back pruned markup, which is
+    typically a small fraction of the input), and the in-memory trees are
+    built in the parent from the already-pruned text.
+
+    Returns ``(reports, batch)``: ``reports`` is index-aligned with the
+    expanded source list (:class:`LoadReport` per success, ``None`` where
+    pruning failed — see ``batch.errors``), and ``batch`` is the
+    underlying :class:`~repro.parallel.BatchResult`.
+    """
+    from repro.core.cache import resolve_projector
+    from repro.parallel import prune_many
+
+    projector = resolve_projector(grammar, queries_or_projector, cache=cache)
+    batch = prune_many(
+        sources, grammar, projector,
+        jobs=jobs, fast=fast, validate=validate,
+    )
+    reports: "list[LoadReport | None]" = []
+    for result in batch.results:
+        if result is None:
+            reports.append(None)
+            continue
+        with obs.timed("load", strategy="pruned-batch") as span:
+            document = _build(parse_events(result.text), strip_whitespace)
+            span.stop()
+            span.merge_counters(result.stats.as_counters())
+            reports.append(_report(span, document, model, prune_stats=result.stats))
+    return reports, batch
+
+
+# -- deprecated spellings ----------------------------------------------------
+
+
 def load_for_queries(
     source: Source,
     grammar: Grammar,
@@ -150,11 +200,19 @@ def load_for_queries(
     model: MemoryModel = DEFAULT_MODEL,
     cache: "ProjectorCache | None" = None,
 ) -> LoadReport:
-    """Analyze a query workload (through the projector cache) and load the
-    document pruned to exactly what those queries need — the end-to-end
-    Section 4.4 deployment: repeated workloads skip the static analysis
-    entirely and pay only the (pruned) load."""
-    from repro.core.cache import ProjectorCache, default_cache
+    """Deprecated: analyze ``queries`` with :func:`repro.analyze` (or let
+    :func:`load_pruned` resolve them via the cache yourself) — this shim
+    forwards to :func:`load_pruned`."""
+    import warnings
+
+    warnings.warn(
+        "load_for_queries is deprecated; resolve the projector with "
+        "repro.analyze (or repro.core.cache.resolve_projector) and call "
+        "load_pruned instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.core.cache import default_cache
 
     if cache is None:
         cache = default_cache()
@@ -176,35 +234,17 @@ def load_many_for_queries(
     model: MemoryModel = DEFAULT_MODEL,
     cache: "ProjectorCache | None" = None,
 ):
-    """Load a whole corpus pruned to one query workload.
+    """Deprecated: use :func:`load_many` (same behaviour; it also accepts
+    a pre-resolved projector)."""
+    import warnings
 
-    The batch variant of :func:`load_for_queries`: the projector is
-    resolved once, the corpus is pruned through :func:`repro.parallel.
-    prune_many` (text mode, so workers ship back pruned markup, which is
-    typically a small fraction of the input), and the in-memory trees are
-    built in the parent from the already-pruned text.
-
-    Returns ``(reports, batch)``: ``reports`` is index-aligned with the
-    expanded source list (:class:`LoadReport` per success, ``None`` where
-    pruning failed — see ``batch.errors``), and ``batch`` is the
-    underlying :class:`~repro.parallel.BatchResult`.
-    """
-    from repro.core.cache import resolve_projector
-    from repro.parallel import prune_many
-
-    projector = resolve_projector(grammar, queries, cache=cache)
-    batch = prune_many(
-        sources, grammar, projector,
-        jobs=jobs, fast=fast, validate=validate,
+    warnings.warn(
+        "load_many_for_queries is deprecated; use load_many instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    reports: "list[LoadReport | None]" = []
-    for result in batch.results:
-        if result is None:
-            reports.append(None)
-            continue
-        with obs.timed("load", strategy="pruned-batch") as span:
-            document = _build(parse_events(result.text), strip_whitespace)
-            span.stop()
-            span.merge_counters(result.stats.as_counters())
-            reports.append(_report(span, document, model, prune_stats=result.stats))
-    return reports, batch
+    return load_many(
+        sources, grammar, queries,
+        jobs=jobs, strip_whitespace=strip_whitespace, validate=validate,
+        fast=fast, model=model, cache=cache,
+    )

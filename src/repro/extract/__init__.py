@@ -1,0 +1,39 @@
+"""Tabular extraction: projection-driven streaming XML → records ETL.
+
+Declares a tabular workload as an :class:`ExtractSpec` (row path + named
+row-relative field paths + NULL spelling), infers the projector that
+workload needs, and emits JSONL/CSV records in the same fused single
+scan markup pruning uses — see :mod:`repro.extract.streaming` for the
+one-pass assembler and :mod:`repro.extract.reference` for the tree-walk
+oracle the differential tests compare it against.
+
+Public surface (re-exported at package top level as ``repro.extract`` /
+``repro.ExtractSpec`` / ``repro.ExtractOptions`` / ``repro.ExtractResult``):
+
+* :class:`ExtractSpec` — the declared workload;
+* :func:`extract` — the one-call facade (mirrors :func:`repro.prune`);
+* :class:`ExtractOptions` / :class:`ExtractResult` — its knobs and
+  return value;
+* :class:`ExtractStats` — the pass counters.
+
+Batch fan-out lives in :func:`repro.parallel.extract_many`; the service
+op is ``extract`` (see :mod:`repro.service`).
+"""
+
+from repro.extract.api import ExtractOptions, ExtractResult, extract
+from repro.extract.reference import extract_document, reference_records
+from repro.extract.spec import ExtractSpec, FieldPath
+from repro.extract.stats import ExtractStats
+from repro.extract.streaming import iter_records
+
+__all__ = [
+    "ExtractOptions",
+    "ExtractResult",
+    "ExtractSpec",
+    "ExtractStats",
+    "FieldPath",
+    "extract",
+    "extract_document",
+    "iter_records",
+    "reference_records",
+]

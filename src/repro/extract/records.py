@@ -1,0 +1,89 @@
+"""Record encoders: one record dict in, one JSONL/CSV line out.
+
+Both the fused streaming extractor and the tree-walk reference funnel
+their records through the same writer, so the byte-identity the
+differential tests assert reduces to record-value identity — the encoder
+cannot be the place the two paths diverge.
+
+NULL handling is the spec's: a missing field (``None`` from the
+assembler) is spelled as ``spec.null`` when one was declared, else as
+JSON ``null`` in JSONL and the empty string in CSV (CSV has no other way
+to write "absent").
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import IO, Any, Mapping
+
+from repro.errors import ReproError
+from repro.extract.spec import ExtractSpec
+
+__all__ = ["FORMATS", "RecordWriter", "record_writer"]
+
+FORMATS = ("jsonl", "csv")
+
+
+class RecordWriter:
+    """Base: substitutes NULLs and tracks the substituted record."""
+
+    def __init__(self, spec: ExtractSpec, sink: IO[str]) -> None:
+        self.spec = spec
+        self.sink = sink
+        self._names = tuple(spec.fields)
+
+    def start(self) -> None:
+        """Write any prologue (the CSV header row)."""
+
+    def write(self, record: Mapping[str, Any]) -> dict[str, Any]:
+        """Encode one record; returns the NULL-substituted dict that was
+        written (column order = declared field order)."""
+        raise NotImplementedError
+
+
+class JsonlWriter(RecordWriter):
+    def write(self, record: Mapping[str, Any]) -> dict[str, Any]:
+        null = self.spec.null
+        row = {
+            name: (record[name] if record[name] is not None else null)
+            for name in self._names
+        }
+        self.sink.write(
+            json.dumps(row, ensure_ascii=False, separators=(",", ":")) + "\n"
+        )
+        return row
+
+
+class CsvWriter(RecordWriter):
+    def __init__(self, spec: ExtractSpec, sink: IO[str]) -> None:
+        super().__init__(spec, sink)
+        self._writer = csv.writer(sink, lineterminator="\n")
+
+    def start(self) -> None:
+        self._writer.writerow(self._names)
+
+    def write(self, record: Mapping[str, Any]) -> dict[str, Any]:
+        # CSV cannot distinguish NULL from "" — an undeclared NULL is
+        # spelled empty, which is why the spec's ``null`` knob exists.
+        null = self.spec.null if self.spec.null is not None else ""
+        row = {
+            name: (record[name] if record[name] is not None else null)
+            for name in self._names
+        }
+        self._writer.writerow([row[name] for name in self._names])
+        return row
+
+
+_WRITERS = {"jsonl": JsonlWriter, "csv": CsvWriter}
+
+
+def record_writer(format: str, spec: ExtractSpec, sink: IO[str]) -> RecordWriter:
+    """Build the writer for ``format`` (``"jsonl"`` or ``"csv"``)."""
+    try:
+        writer = _WRITERS[format]
+    except KeyError:
+        raise ReproError(
+            f"unknown extract format {format!r} (expected one of {FORMATS})"
+        ) from None
+    return writer(spec, sink)

@@ -1,0 +1,91 @@
+"""Tree-walk reference extractor — the differential-testing oracle.
+
+Evaluates an :class:`~repro.extract.spec.ExtractSpec` against a fully
+parsed, *unpruned* document by plain tree navigation.  It shares no code
+with the fused streaming assembler (different traversal, different data
+model), so agreement between the two is evidence for both the assembler
+and the projector inference behind it: the streaming path only ever sees
+the pruned event stream, and equal records prove pruning discarded
+nothing the workload needed (Theorem 4.5 applied to extraction).
+
+This is also the "naive baseline" ``benchmarks/bench_extract.py``
+measures the fused scan against: parse everything, walk the tree.
+"""
+
+from __future__ import annotations
+
+from typing import IO
+
+from repro.extract.spec import ExtractSpec, FieldPath
+from repro.xmltree.nodes import Document, Element, Text
+
+__all__ = ["extract_document", "reference_records"]
+
+
+def _row_elements(document: Document, steps: tuple[str, ...]) -> list[Element]:
+    """Elements at the absolute child-only path, in document order."""
+    if document.root.tag != steps[0]:
+        return []
+    matches: list[Element] = [document.root]
+    for step in steps[1:]:
+        matches = [
+            child for element in matches for child in element.find_children(step)
+        ]
+    return matches
+
+
+def _first_match(row: Element, steps: tuple[str, ...]) -> Element | None:
+    """First (document-order) element at the row-relative path."""
+    matches: list[Element] = [row]
+    for step in steps:
+        matches = [
+            child for element in matches for child in element.find_children(step)
+        ]
+        if not matches:
+            return None
+    return matches[0]
+
+
+def _direct_text(element: Element) -> str:
+    """Concatenated *direct* text children (the streaming assembler's
+    depth-exact capture; whitespace runs included, so the document must
+    be parsed with ``strip_whitespace=False`` to agree)."""
+    return "".join(
+        child.value for child in element.children if isinstance(child, Text)
+    )
+
+
+def _field_value(row: Element, field: FieldPath) -> str | None:
+    element = _first_match(row, field.steps)
+    if element is None:
+        return None
+    if field.kind == "attribute":
+        return element.attributes.get(field.attribute)
+    if field.kind == "text":
+        return _direct_text(element)
+    return element.text_value()
+
+
+def extract_document(
+    document: Document, spec: ExtractSpec
+) -> list[dict[str, str | None]]:
+    """All records of ``spec`` over an in-memory document (missing fields
+    are ``None``; NULL substitution is the encoder's job, exactly as in
+    the streaming path)."""
+    fields = spec.compiled_fields()
+    return [
+        {field.name: _field_value(row, field) for field in fields}
+        for row in _row_elements(document, spec.row_steps())
+    ]
+
+
+def reference_records(
+    source: "str | IO[str]", spec: ExtractSpec
+) -> list[dict[str, str | None]]:
+    """Parse ``source`` in full (no pruning, no grammar, whitespace kept)
+    and extract by tree walk — the end-to-end oracle and the benchmark
+    baseline."""
+    from repro.xmltree.builder import parse_document
+
+    document = parse_document(source, strip_whitespace=False)
+    return extract_document(document, spec)

@@ -1,0 +1,249 @@
+"""Declarative tabular workloads: :class:`ExtractSpec`.
+
+An extract spec separates *row filtering* from *field supply* — the same
+two-stage split MarkQL's ``PROJECT(base_tag) AS (field: expr, ...)``
+operator makes.  ``rows`` is an absolute, child-only element path that
+selects the row elements; each field is a row-relative path naming the
+value to supply for the column::
+
+    ExtractSpec(
+        rows="/site/people/person",
+        fields={"name": "name/text()", "city": "address/city/text()"},
+        null="",
+    )
+
+Field paths come in three shapes:
+
+* ``a/b/text()`` — the concatenated *direct* text of the first ``a/b``
+  element under the row (``text()`` alone reads the row element itself);
+* ``a/b/@id`` — an attribute of the first ``a/b`` element (``@id`` alone
+  reads the row element's own attribute);
+* ``a/b`` — the *string value* (all descendant text) of the first
+  ``a/b`` element.
+
+"First" is document order.  A field whose element (or attribute) is
+absent yields NULL; ``null`` chooses how NULL is spelled on output
+(``None``, the default, becomes JSON ``null`` in JSONL and the empty
+string in CSV).
+
+The spec is a first-class, fingerprintable object: its content hash keys
+the projector cache (the union of the row path and the absolutized field
+paths drives ordinary projector inference, see
+:meth:`ExtractSpec.projector_queries`), and :meth:`to_wire` /
+:meth:`from_wire` carry it across the service protocol.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.errors import ReproError
+
+__all__ = ["ExtractSpec", "FieldPath"]
+
+# The XML name alphabet the fast path's scanner accepts (ASCII subset +
+# non-ASCII passthrough), minus the colon — extraction paths do not
+# resolve namespaces, so a prefixed name would silently never match.
+_NAME_RE = re.compile(
+    r"(?:[A-Za-z_]|[^\x00-\x7f])(?:[A-Za-z0-9_.\-]|[^\x00-\x7f])*\Z"
+)
+
+_TEXT_STEP = "text()"
+
+
+@dataclass(slots=True, frozen=True)
+class FieldPath:
+    """One compiled field: element steps, then what to take at the end.
+
+    ``kind`` is ``"text"`` (direct text of the final element),
+    ``"attribute"`` (a named attribute of the final element; ``steps``
+    may be empty — the row element itself), or ``"value"`` (the final
+    element's string value — all descendant text; ``steps`` never empty).
+    """
+
+    name: str
+    steps: tuple[str, ...]
+    kind: str
+    attribute: str | None = None
+
+
+def _bad(what: str, path: str, why: str) -> ReproError:
+    return ReproError(f"invalid extract {what} {path!r}: {why}")
+
+
+def _check_step(step: str, what: str, path: str) -> str:
+    if not step:
+        raise _bad(what, path, "empty step (double or trailing slash?)")
+    if step in ("*", "..", "."):
+        raise _bad(what, path, f"step {step!r} is not supported "
+                               "(steps must be literal element names)")
+    if not _NAME_RE.match(step):
+        raise _bad(what, path, f"step {step!r} is not an element name")
+    return step
+
+
+def _parse_rows(rows: str) -> tuple[str, ...]:
+    if not isinstance(rows, str) or not rows.startswith("/"):
+        raise _bad("row path", rows, "must be absolute (start with '/')")
+    if rows.startswith("//") or "//" in rows:
+        raise _bad("row path", rows,
+                   "descendant steps ('//') are not supported")
+    steps = tuple(
+        _check_step(step, "row path", rows) for step in rows[1:].split("/")
+    )
+    return steps
+
+
+def _parse_field(name: str, path: str) -> FieldPath:
+    if not isinstance(name, str) or not name:
+        raise ReproError(f"invalid extract field name {name!r}")
+    if not isinstance(path, str) or not path:
+        raise _bad("field path", path, "must be a non-empty relative path")
+    if path.startswith("/"):
+        raise _bad("field path", path, "must be relative to the row element")
+    if "//" in path:
+        raise _bad("field path", path,
+                   "descendant steps ('//') are not supported")
+    raw = path.split("/")
+    last = raw[-1]
+    if last == _TEXT_STEP:
+        kind, attribute, element_steps = "text", None, raw[:-1]
+    elif last.startswith("@"):
+        kind, attribute, element_steps = "attribute", last[1:], raw[:-1]
+        if not _NAME_RE.match(attribute):
+            raise _bad("field path", path,
+                       f"{last!r} is not an attribute name")
+    else:
+        kind, attribute, element_steps = "value", None, raw
+    steps = tuple(
+        _check_step(step, "field path", path) for step in element_steps
+    )
+    return FieldPath(name=name, steps=steps, kind=kind, attribute=attribute)
+
+
+@dataclass(frozen=True)
+class ExtractSpec:
+    """A declared tabular workload: row filter + field supply + NULL.
+
+    Immutable and content-addressed: :meth:`fingerprint` hashes the row
+    path, the fields *in declared order* (field order is the output
+    column order), and the NULL spelling, so equal specs share one
+    projector cache entry.  Validation happens at construction — a bad
+    path raises :class:`~repro.errors.ReproError` here, not mid-scan.
+    """
+
+    rows: str
+    fields: Mapping[str, str]
+    null: str | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "fields", dict(self.fields))
+        _parse_rows(self.rows)
+        if not self.fields:
+            raise ReproError("an ExtractSpec needs at least one field")
+        for name, path in self.fields.items():
+            _parse_field(name, path)
+        if self.null is not None and not isinstance(self.null, str):
+            raise ReproError(
+                f"null must be a string or None, got {type(self.null).__name__}"
+            )
+
+    # ``fields`` is a dict, so the generated __hash__ would raise; hash
+    # by content instead (consistent with __eq__ up to dict ordering,
+    # which fingerprint() deliberately preserves — column order matters).
+    def __hash__(self) -> int:
+        return hash(self.fingerprint())
+
+    # -- compiled views ---------------------------------------------------
+
+    def row_steps(self) -> tuple[str, ...]:
+        """The row path as a tag tuple, e.g. ``("site", "people", "person")``."""
+        return _parse_rows(self.rows)
+
+    def compiled_fields(self) -> tuple[FieldPath, ...]:
+        """The fields as :class:`FieldPath` tuples, in declared order."""
+        return tuple(
+            _parse_field(name, path) for name, path in self.fields.items()
+        )
+
+    # -- projector inference ---------------------------------------------
+
+    def projector_queries(self) -> list[tuple[str, bool]]:
+        """The XPathℓ queries whose union projector this spec needs, as
+        ``(query, materialize)`` pairs.
+
+        The row path itself contributes its spine (non-materialized: row
+        *content* is only kept where a field asks for it); ``text()`` and
+        ``@attr`` fields contribute the absolutized path as-is (the
+        inference adds the ``tag#text`` / ``tag@attr`` names); a
+        string-value field materializes — Section 4.3's ⌈·⌉ closure keeps
+        the whole subtree its value is assembled from.
+        """
+        queries: list[tuple[str, bool]] = [(self.rows, False)]
+        for field in self.compiled_fields():
+            suffix = "/".join(field.steps)
+            if field.kind == "text":
+                tail = f"{suffix}/{_TEXT_STEP}" if suffix else _TEXT_STEP
+                queries.append((f"{self.rows}/{tail}", False))
+                if suffix:
+                    # Presence must survive pruning: an element whose
+                    # content model admits no text makes the text() query
+                    # statically empty (the inference would drop the whole
+                    # spine), yet a *present* element yields "", not NULL.
+                    queries.append((f"{self.rows}/{suffix}", False))
+            elif field.kind == "attribute":
+                tail = f"{suffix}/@{field.attribute}" if suffix else f"@{field.attribute}"
+                queries.append((f"{self.rows}/{tail}", False))
+            else:
+                queries.append((f"{self.rows}/{suffix}", True))
+        return queries
+
+    # -- identity ---------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Content hash: rows + fields (declared order) + null spelling."""
+        payload = json.dumps(
+            {
+                "rows": self.rows,
+                "fields": [[name, path] for name, path in self.fields.items()],
+                "null": self.null,
+            },
+            ensure_ascii=False,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    # -- wire form (the service protocol ships specs as JSON) -------------
+
+    def to_wire(self) -> dict[str, Any]:
+        """JSON-safe form; field order is preserved (it is the column
+        order)."""
+        wire: dict[str, Any] = {
+            "rows": self.rows,
+            "fields": [[name, path] for name, path in self.fields.items()],
+        }
+        if self.null is not None:
+            wire["null"] = self.null
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "ExtractSpec":
+        """Rebuild from :meth:`to_wire` output (unknown keys rejected so a
+        client/server version skew fails loudly, not silently)."""
+        data = dict(wire)
+        rows = data.pop("rows", None)
+        fields = data.pop("fields", None)
+        null = data.pop("null", None)
+        if data:
+            raise ValueError(f"unknown extract spec field(s): {sorted(data)}")
+        if not isinstance(rows, str) or fields is None:
+            raise ValueError("extract spec needs 'rows' and 'fields'")
+        if isinstance(fields, Mapping):
+            pairs = list(fields.items())
+        else:
+            pairs = [(pair[0], pair[1]) for pair in fields]
+        return cls(rows=rows, fields=dict(pairs), null=null)

@@ -1,0 +1,131 @@
+"""The unified grammar-loading API: one :func:`load_grammar` per source.
+
+Grammars historically came from three ad-hoc places — ``grammar_from_text``
+/ ``grammar_from_dtd`` for DTDs, :mod:`repro.dtd.dataguide` for
+DTD-less documents, and :func:`repro.workloads.xmark.xmark_grammar` for
+the benchmark schema.  This facade collapses them behind one
+keyword-consistent entry point, mirroring what :func:`repro.prune` did
+for the per-source prune functions::
+
+    from repro import load_grammar
+
+    grammar = load_grammar("auction.dtd", root="site")      # DTD file
+    grammar = load_grammar(DTD_TEXT, root="bib")            # DTD text
+    grammar = load_grammar("auction.xml", format="xml")     # dataguide
+    grammar = load_grammar("xmark")                         # built-in
+
+``format`` selects the loader:
+
+* ``"dtd"`` — ``source`` is DTD text or a path to a DTD file; ``root``
+  names the root element (omitted: the first declared element);
+* ``"xml"`` — ``source`` is an XML document (text, path, or open
+  stream); its dataguide summary becomes the grammar (no DTD needed);
+* ``"xmark"`` — the built-in XMark benchmark grammar (``source`` is
+  ignored and may be the string ``"xmark"``);
+* ``"auto"`` (default) — ``"xmark"`` selects the benchmark grammar, a
+  ``.dtd`` path or text starting with a DTD declaration selects
+  ``"dtd"``, anything else selects ``"xml"``.
+
+The old spellings remain importable from their submodules; the
+package-level re-exports (``repro.grammar_from_text`` and friends) are
+DeprecationWarning shims, per the PR 2 facade pattern.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import IO
+
+from repro.dtd.grammar import Grammar
+from repro.errors import ReproError
+
+__all__ = ["load_grammar"]
+
+FORMATS = ("auto", "dtd", "xml", "xmark")
+
+_DTD_MARKERS = ("<!ELEMENT", "<!ATTLIST", "<!ENTITY", "<!--")
+
+
+def _looks_like_dtd(text: str) -> bool:
+    return text.lstrip().startswith(_DTD_MARKERS)
+
+
+def _detect(source: "str | os.PathLike[str] | IO[str]") -> str:
+    if isinstance(source, str):
+        if source == "xmark":
+            return "xmark"
+        if _looks_like_dtd(source):
+            return "dtd"
+        if not source.lstrip().startswith("<") and source.endswith(".dtd"):
+            return "dtd"
+        return "xml"
+    if isinstance(source, os.PathLike):
+        return "dtd" if os.fspath(source).endswith(".dtd") else "xml"
+    return "xml"  # open stream: document content
+
+
+def _dtd_text(source: "str | os.PathLike[str] | IO[str]") -> str:
+    if hasattr(source, "read"):
+        return source.read()
+    text = os.fspath(source) if isinstance(source, os.PathLike) else source
+    if _looks_like_dtd(text):
+        return text
+    with open(text, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _load_dtd(source, root: str | None) -> Grammar:
+    from repro.dtd.grammar import grammar_from_dtd
+    from repro.dtd.parser import parse_dtd
+
+    document = parse_dtd(_dtd_text(source))
+    if root is None:
+        tags = document.element_tags()
+        if not tags:
+            raise ReproError("the DTD declares no elements")
+        root = tags[0]
+    return grammar_from_dtd(document, root)
+
+
+def _load_xml(source, root: str | None) -> Grammar:
+    from repro.dtd.dataguide import DataguideBuilder
+    from repro.xmltree.parser import parse_events
+
+    builder = DataguideBuilder()
+    if isinstance(source, str) and not source.lstrip().startswith("<"):
+        from repro.dtd.dataguide import grammar_from_file
+
+        return grammar_from_file(source, root)
+    if isinstance(source, os.PathLike):
+        from repro.dtd.dataguide import grammar_from_file
+
+        return grammar_from_file(os.fspath(source), root)
+    builder.add_events(parse_events(source))
+    return builder.grammar(root)
+
+
+def load_grammar(
+    source: "str | os.PathLike[str] | IO[str]",
+    format: str = "auto",
+    *,
+    root: str | None = None,
+) -> Grammar:
+    """Load a :class:`~repro.dtd.grammar.Grammar` from ``source``.
+
+    See the module docstring for the format dispatch table.  ``root``
+    names the grammar's root element; for DTDs it defaults to the first
+    declared element, for documents to the document root.
+    """
+    if format not in FORMATS:
+        raise ReproError(
+            f"unknown grammar format {format!r} (expected one of {FORMATS})"
+        )
+    if format == "auto":
+        format = _detect(source)
+    if format == "xmark":
+        from repro.workloads.xmark import xmark_grammar
+
+        return xmark_grammar()
+    if format == "dtd":
+        return _load_dtd(source, root)
+    return _load_xml(source, root)

@@ -30,6 +30,13 @@ a corpus across a process pool:
 ``jobs=1`` bypasses the pool entirely and runs the items serially in the
 parent — byte-identical, by construction, to calling :func:`repro.prune`
 per document (the differential tests assert it).
+
+:func:`extract_many` is the same deployment for tabular extraction: one
+:class:`~repro.extract.spec.ExtractSpec`, many documents, the same pool,
+timeout, and crash-recovery machinery — workers run the fused
+extract-while-scanning pass and ship back per-item
+:class:`~repro.extract.api.ExtractResult` values (or record files under
+``out_dir``, named after the source with a ``.jsonl``/``.csv`` suffix).
 """
 
 from __future__ import annotations
@@ -43,13 +50,32 @@ from typing import Any, Iterable
 
 from repro import obs
 from repro.api import PruneOptions, PruneResult, _resolve_options, prune
-from repro.core.cache import ProjectorCache, grammar_fingerprint, resolve_projector
+from repro.core.cache import (
+    ProjectorCache,
+    grammar_fingerprint,
+    resolve_projector,
+    resolve_spec_projector,
+)
 from repro.dtd.grammar import Grammar
+from repro.extract.api import (
+    ExtractOptions,
+    ExtractResult,
+    _resolve_extract_options,
+    extract,
+)
+from repro.extract.spec import ExtractSpec
+from repro.extract.stats import ExtractStats
 from repro.limits import Limits, resolve_limits
 from repro.projection.fastpath import FastPruner
 from repro.projection.stats import PruneStats
 
-__all__ = ["BatchError", "BatchResult", "expand_sources", "prune_many"]
+__all__ = [
+    "BatchError",
+    "BatchResult",
+    "expand_sources",
+    "extract_many",
+    "prune_many",
+]
 
 _GLOB_CHARS = frozenset("*?[")
 
@@ -94,19 +120,22 @@ class BatchError:
 
 @dataclass(slots=True)
 class BatchResult:
-    """What one :func:`prune_many` call produced.
+    """What one :func:`prune_many` (or :func:`extract_many`) call produced.
 
     ``results`` is index-aligned with the expanded source list: position
-    ``i`` holds the item's :class:`~repro.api.PruneResult`, or ``None``
-    if it failed (the matching :class:`BatchError` is in ``errors``).
-    ``stats`` aggregates the per-item counters over the successes.
+    ``i`` holds the item's :class:`~repro.api.PruneResult` (or
+    :class:`~repro.extract.api.ExtractResult` for an extract batch), or
+    ``None`` if it failed (the matching :class:`BatchError` is in
+    ``errors``).  ``stats`` aggregates the per-item counters over the
+    successes — :class:`~repro.projection.stats.PruneStats` or
+    :class:`~repro.extract.stats.ExtractStats` to match the batch kind.
     ``respawns`` counts how many times the worker pool had to be torn
     down and rebuilt (stuck workers killed on timeout, crash retries).
     """
 
-    results: list[PruneResult | None]
+    results: "list[PruneResult | ExtractResult | None]"
     errors: list[BatchError] = field(default_factory=list)
-    stats: PruneStats = field(default_factory=PruneStats)
+    stats: "PruneStats | ExtractStats" = field(default_factory=PruneStats)
     jobs: int = 1
     seconds: float = 0.0
     respawns: int = 0
@@ -179,15 +208,22 @@ def expand_sources(
     return expanded
 
 
-def _output_paths(items: list[str], out_dir: str) -> list[str]:
+def _output_paths(
+    items: list[str], out_dir: str, suffix: str | None = None
+) -> list[str]:
     """Deterministic per-item output paths under ``out_dir``: path sources
     keep their basename (index-prefixed on collision), markup sources get
-    ``doc<index>.xml``."""
+    ``doc<index>.xml``.  With ``suffix`` (extract batches: ``".jsonl"`` /
+    ``".csv"``) path basenames swap their extension for it instead — the
+    output is records, not markup."""
     paths: list[str] = []
     used: set[str] = set()
     for index, source in enumerate(items):
         if _is_markup(source):
-            name = f"doc{index:05d}.xml"
+            name = f"doc{index:05d}{suffix or '.xml'}"
+        elif suffix is not None:
+            stem = os.path.splitext(os.path.basename(source))[0]
+            name = f"{stem}{suffix}" if stem else f"doc{index:05d}{suffix}"
         else:
             name = os.path.basename(source) or f"doc{index:05d}.xml"
         if name in used:
@@ -212,9 +248,10 @@ _WORKER_STATE: dict[str, Any] | None = None
 
 def _init_worker(
     pruner: FastPruner,
-    options: PruneOptions,
+    options: "PruneOptions | ExtractOptions",
     fingerprint: str,
     tracing: bool,
+    spec: ExtractSpec | None = None,
 ) -> None:
     global _WORKER_STATE
     mismatch: str | None = None
@@ -233,6 +270,7 @@ def _init_worker(
         obs.configure(sink)
     _WORKER_STATE = {
         "pruner": pruner, "options": options, "sink": sink, "mismatch": mismatch,
+        "spec": spec,
     }
 
 
@@ -263,6 +301,31 @@ def _execute_item(
     return prune(source, pruner.grammar, pruner.projector, out=out_path, options=options)
 
 
+def _execute_extract_item(
+    pruner: FastPruner,
+    spec: ExtractSpec,
+    options: ExtractOptions,
+    source: str,
+    out_path: str | None,
+) -> ExtractResult:
+    """Extract one document through the facade.  The projector resolves
+    through the worker's process-local cache — one inference per worker
+    for the whole batch (the spec fingerprint hits thereafter)."""
+    return extract(source, pruner.grammar, spec, out=out_path, options=options)
+
+
+def _execute(
+    pruner: FastPruner,
+    options: "PruneOptions | ExtractOptions",
+    spec: ExtractSpec | None,
+    source: str,
+    out_path: str | None,
+) -> "PruneResult | ExtractResult":
+    if spec is not None:
+        return _execute_extract_item(pruner, spec, options, source, out_path)
+    return _execute_item(pruner, options, source, out_path)
+
+
 def _run_item(index: int, source: str, out_path: str | None):
     """Worker task: returns ``(index, error-or-None, result-or-None,
     records, counters, pid)``.  Never raises for a bad document — errors
@@ -270,13 +333,16 @@ def _run_item(index: int, source: str, out_path: str | None):
     state = _WORKER_STATE
     assert state is not None, "worker used before _init_worker ran"
     error: tuple[str, str] | None = None
-    result: PruneResult | None = None
+    result: "PruneResult | ExtractResult | None" = None
     if state["mismatch"] is not None:
         error = (FINGERPRINT_MISMATCH, state["mismatch"])
     else:
         try:
-            result = _execute_item(state["pruner"], state["options"], source, out_path)
-            result.events = None  # iterators never cross the process boundary
+            result = _execute(
+                state["pruner"], state["options"], state["spec"], source, out_path
+            )
+            if getattr(result, "events", None) is not None:
+                result.events = None  # iterators never cross the process boundary
         except Exception as exc:
             error = (type(exc).__name__, str(exc))
     records, counters = _drain_worker_obs(state)
@@ -384,6 +450,93 @@ def prune_many(
     return batch
 
 
+#: Output-file suffix per extract format (``_output_paths`` naming).
+_EXTRACT_SUFFIXES = {"jsonl": ".jsonl", "csv": ".csv"}
+
+
+def extract_many(
+    sources: "str | os.PathLike[str] | Iterable[str | os.PathLike[str]]",
+    grammar: Grammar,
+    spec: ExtractSpec,
+    *,
+    jobs: int | None = 1,
+    out_dir: "str | os.PathLike[str] | None" = None,
+    options: ExtractOptions | None = None,
+    format: str | None = None,
+    fast: bool | None = None,
+    chunk_size: int | None = None,
+    limits: "Limits | str | None" = None,
+    fallback: "bool | str | None" = None,
+    timeout: float | None = None,
+    retry_crashes: bool = False,
+    cache: ProjectorCache | None = None,
+) -> BatchResult:
+    """Extract one spec's records from a corpus of documents.
+
+    The :func:`prune_many` deployment applied to tabular extraction:
+    ``sources`` expands the same way, the spec's union projector is
+    resolved once in the parent (keyed by the spec's content
+    fingerprint), and each document runs the fused extract-while-scanning
+    pass independently — same pool, per-item ``timeout``, and
+    ``retry_crashes`` machinery, same in-order :class:`BatchResult`.
+
+    With ``out_dir`` each item's records are written to a file named
+    after its source with the format's suffix (``people.xml`` →
+    ``people.jsonl``); without it each :class:`~repro.extract.api.
+    ExtractResult` carries the records and encoded text in memory.
+    ``BatchResult.stats`` aggregates
+    :class:`~repro.extract.stats.ExtractStats` over the successes.
+    """
+    jobs = _resolve_jobs(jobs)
+    if timeout is not None and timeout <= 0:
+        raise ValueError(f"timeout must be positive, got {timeout}")
+    opts = _resolve_extract_options(
+        options, format, fast, chunk_size, limits=limits, fallback=fallback
+    )
+    if timeout is not None and jobs == 1:
+        resolved = resolve_limits(opts.limits)
+        deadline = (
+            timeout if resolved.deadline is None else min(resolved.deadline, timeout)
+        )
+        opts = replace(opts, limits=resolved.replace(deadline=deadline))
+    projector = resolve_spec_projector(grammar, spec, cache=cache)
+    # Same parent-side validation as prune_many: a spec whose paths the
+    # grammar cannot satisfy fails here, before any process is spawned.
+    pruner = FastPruner(grammar, projector)
+
+    items = expand_sources(sources)
+    out_paths: list[str | None]
+    if out_dir is not None:
+        out_dir = os.fspath(out_dir)
+        os.makedirs(out_dir, exist_ok=True)
+        out_paths = list(
+            _output_paths(items, out_dir, _EXTRACT_SUFFIXES[opts.format])
+        )
+    else:
+        out_paths = [None] * len(items)
+
+    batch = BatchResult(
+        results=[None] * len(items), stats=ExtractStats(), jobs=jobs
+    )
+    started = time.perf_counter()
+    with obs.timed("extract.batch", jobs=jobs, documents=len(items)) as span:
+        if not items:
+            pass
+        elif jobs == 1:
+            _run_serial(batch, pruner, opts, items, out_paths, spec)
+        else:
+            _run_pool(
+                batch, pruner, opts, items, out_paths, jobs, timeout,
+                retry_crashes, spec,
+            )
+        span.stop()
+        span.merge_counters(batch.stats.as_counters())
+        span.count("errors", len(batch.errors))
+    batch.seconds = span.seconds if span.seconds else time.perf_counter() - started
+    batch.errors.sort(key=lambda error: error.index)
+    return batch
+
+
 def _record_success(batch: BatchResult, index: int, result: PruneResult) -> None:
     batch.results[index] = result
     batch.stats.merge(result.stats)
@@ -400,13 +553,16 @@ def _record_error(
 def _run_serial(
     batch: BatchResult,
     pruner: FastPruner,
-    opts: PruneOptions,
+    opts: "PruneOptions | ExtractOptions",
     items: list[str],
     out_paths: list[str | None],
+    spec: ExtractSpec | None = None,
 ) -> None:
     for index, (source, out_path) in enumerate(zip(items, out_paths)):
         try:
-            _record_success(batch, index, _execute_item(pruner, opts, source, out_path))
+            _record_success(
+                batch, index, _execute(pruner, opts, spec, source, out_path)
+            )
         except Exception as exc:
             _record_error(batch, index, source, type(exc).__name__, str(exc))
 
@@ -414,11 +570,12 @@ def _run_serial(
 def _prune_in_parent(
     batch: BatchResult,
     pruner: FastPruner,
-    opts: PruneOptions,
+    opts: "PruneOptions | ExtractOptions",
     items: list[str],
     out_paths: list[str | None],
     index: int,
     tracer,
+    spec: ExtractSpec | None = None,
 ) -> None:
     """Degraded path for fingerprint-mismatch items: the worker's copy of
     the grammar cannot be trusted, the parent's can — re-run the item
@@ -426,8 +583,8 @@ def _prune_in_parent(
     if tracer.enabled:
         tracer.count("parallel.fingerprint_fallbacks")
     try:
-        result = _execute_item(
-            pruner, replace(opts, fast=False), items[index], out_paths[index]
+        result = _execute(
+            pruner, replace(opts, fast=False), spec, items[index], out_paths[index]
         )
     except Exception as exc:
         _record_error(batch, index, items[index], type(exc).__name__, str(exc))
@@ -438,12 +595,13 @@ def _prune_in_parent(
 def _absorb_payload(
     batch: BatchResult,
     pruner: FastPruner,
-    opts: PruneOptions,
+    opts: "PruneOptions | ExtractOptions",
     items: list[str],
     out_paths: list[str | None],
     tracer,
     workers: set[int],
     payload,
+    spec: ExtractSpec | None = None,
 ) -> None:
     """Fold one worker task's return value into the batch."""
     index, error, result, records, counters, pid = payload
@@ -456,7 +614,7 @@ def _absorb_payload(
         assert result is not None
         _record_success(batch, index, result)
     elif error[0] == FINGERPRINT_MISMATCH:
-        _prune_in_parent(batch, pruner, opts, items, out_paths, index, tracer)
+        _prune_in_parent(batch, pruner, opts, items, out_paths, index, tracer, spec)
     else:
         _record_error(batch, index, items[index], error[0], error[1])
 
@@ -472,12 +630,13 @@ def _kill_processes(executor: ProcessPoolExecutor) -> None:
 def _run_pool(
     batch: BatchResult,
     pruner: FastPruner,
-    opts: PruneOptions,
+    opts: "PruneOptions | ExtractOptions",
     items: list[str],
     out_paths: list[str | None],
     jobs: int,
     timeout: float | None,
     retry_crashes: bool,
+    spec: ExtractSpec | None = None,
 ) -> None:
     """Run the items through worker pools in rounds: a round ends early
     when stuck workers are killed (per-item ``timeout``) or the pool
@@ -492,7 +651,7 @@ def _run_pool(
         rounds += 1
         todo = _pool_round(
             batch, pruner, opts, items, out_paths, jobs, timeout,
-            retry_crashes, tracer, workers, crash_retried, todo,
+            retry_crashes, tracer, workers, crash_retried, todo, spec,
         )
     batch.respawns = max(0, rounds - 1)
     if tracer.enabled and workers:
@@ -504,7 +663,7 @@ def _run_pool(
 def _pool_round(
     batch: BatchResult,
     pruner: FastPruner,
-    opts: PruneOptions,
+    opts: "PruneOptions | ExtractOptions",
     items: list[str],
     out_paths: list[str | None],
     jobs: int,
@@ -514,6 +673,7 @@ def _pool_round(
     workers: set[int],
     crash_retried: set[int],
     indices: list[int],
+    spec: ExtractSpec | None = None,
 ) -> list[int]:
     """One executor lifetime over ``indices``; returns the indices that
     must be resubmitted to a fresh pool.
@@ -527,7 +687,9 @@ def _pool_round(
     executor = ProcessPoolExecutor(
         max_workers=max_workers,
         initializer=_init_worker,
-        initargs=(pruner, opts, grammar_fingerprint(pruner.grammar), tracer.enabled),
+        initargs=(
+            pruner, opts, grammar_fingerprint(pruner.grammar), tracer.enabled, spec,
+        ),
     )
     redo: list[int] = []
     crashed: list[tuple[int, str]] = []
@@ -560,7 +722,8 @@ def _pool_round(
                     continue
                 progressed = True
                 _absorb_payload(
-                    batch, pruner, opts, items, out_paths, tracer, workers, payload
+                    batch, pruner, opts, items, out_paths, tracer, workers,
+                    payload, spec,
                 )
             if timeout is None or not not_done:
                 continue
@@ -600,7 +763,7 @@ def _pool_round(
                     else:
                         _absorb_payload(
                             batch, pruner, opts, items, out_paths,
-                            tracer, workers, payload,
+                            tracer, workers, payload, spec,
                         )
                     continue
                 redo.append(index)

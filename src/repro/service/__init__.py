@@ -29,7 +29,12 @@ from repro.errors import (
     ServiceOverloaded,
     ServiceUnavailable,
 )
-from repro.service.client import RemoteBatchOutcome, RemoteOutcome, ServiceClient
+from repro.service.client import (
+    RemoteBatchOutcome,
+    RemoteExtractOutcome,
+    RemoteOutcome,
+    ServiceClient,
+)
 from repro.service.config import ServiceConfig
 from repro.service.protocol import DEFAULT_MAX_FRAME_BYTES
 from repro.service.server import BackgroundServer, ProjectionServer, serve_background
@@ -42,6 +47,7 @@ __all__ = [
     "ProtocolError",
     "RemoteBatchOutcome",
     "RemoteError",
+    "RemoteExtractOutcome",
     "RemoteOutcome",
     "ResidentPool",
     "ServiceClient",

@@ -23,17 +23,26 @@ from typing import Any, Iterable, Sequence
 
 from repro.api import PruneOptions, _is_markup
 from repro.errors import ProtocolError, ServiceError
+from repro.extract.api import ExtractOptions
+from repro.extract.spec import ExtractSpec
+from repro.extract.stats import ExtractStats
 from repro.limits import Limits
 from repro.projection.stats import PruneStats
 from repro.service.protocol import (
     DEFAULT_MAX_FRAME_BYTES,
+    extract_stats_from_wire,
     raise_remote,
     recv_frame,
     send_frame,
     stats_from_wire,
 )
 
-__all__ = ["RemoteBatchOutcome", "RemoteOutcome", "ServiceClient"]
+__all__ = [
+    "RemoteBatchOutcome",
+    "RemoteExtractOutcome",
+    "RemoteOutcome",
+    "ServiceClient",
+]
 
 
 @dataclass(slots=True)
@@ -41,6 +50,18 @@ class RemoteOutcome:
     """One remote prune's outcome: the service-side result, locally typed."""
 
     stats: PruneStats
+    text: str | None = None
+    output_path: str | None = None
+    seconds: float = 0.0
+    worker: int | None = None
+
+
+@dataclass(slots=True)
+class RemoteExtractOutcome:
+    """One remote extraction's outcome (``text`` is the encoded JSONL/CSV
+    unless the server wrote to ``out_path``)."""
+
+    stats: ExtractStats
     text: str | None = None
     output_path: str | None = None
     seconds: float = 0.0
@@ -229,6 +250,47 @@ class ServiceClient:
         if out_path is not None:
             fields["out_path"] = out_path
         return self._outcome(self.request("prune", **fields))
+
+    def extract(
+        self,
+        source: str | None = None,
+        *,
+        source_path: str | None = None,
+        spec: ExtractSpec,
+        dtd: str | None = None,
+        dtd_path: str | None = None,
+        root: str | None = None,
+        xmark: bool = False,
+        options: ExtractOptions | None = None,
+        limits: "Limits | str | None" = None,
+        out_path: str | None = None,
+    ) -> RemoteExtractOutcome:
+        """Extract one document's records remotely (the service twin of
+        :func:`repro.extract`)."""
+        fields: dict[str, Any] = {
+            "grammar": self._grammar_spec(dtd, dtd_path, root, xmark),
+            "source": self._source_field(source, source_path),
+            "spec": spec.to_wire(),
+        }
+        if options is None:
+            options = ExtractOptions()
+        if limits is not None:
+            from dataclasses import replace
+
+            options = replace(options, limits=limits)
+        wire = options.to_wire()
+        if wire:
+            fields["options"] = wire
+        if out_path is not None:
+            fields["out_path"] = out_path
+        result = self.request("extract", **fields)
+        return RemoteExtractOutcome(
+            stats=extract_stats_from_wire(result.get("stats", {})),
+            text=result.get("text"),
+            output_path=result.get("output_path"),
+            seconds=float(result.get("seconds", 0.0)),
+            worker=result.get("worker"),
+        )
 
     def prune_batch(
         self,

@@ -39,6 +39,7 @@ from repro.errors import (
     ServiceOverloaded,
     ServiceUnavailable,
 )
+from repro.extract.stats import ExtractStats
 from repro.projection.stats import PruneStats
 
 __all__ = [
@@ -47,6 +48,8 @@ __all__ = [
     "decode_frame",
     "encode_frame",
     "error_to_wire",
+    "extract_stats_from_wire",
+    "extract_stats_to_wire",
     "raise_remote",
     "read_frame",
     "recv_frame",
@@ -60,7 +63,7 @@ __all__ = [
 DEFAULT_MAX_FRAME_BYTES = 256 << 20
 
 #: The operations the server understands.
-OPS = ("analyze", "prune", "prune_batch", "stats", "health")
+OPS = ("analyze", "prune", "prune_batch", "extract", "stats", "health")
 
 _HEADER = struct.Struct(">I")
 
@@ -233,3 +236,14 @@ def stats_from_wire(wire: dict[str, Any]) -> PruneStats:
     data["distinct_tags_in"] = set(data.get("distinct_tags_in", ()))
     data["distinct_tags_out"] = set(data.get("distinct_tags_out", ()))
     return PruneStats(**data)
+
+
+def extract_stats_to_wire(stats: ExtractStats) -> dict[str, Any]:
+    """JSON-safe form of one extract pass's :class:`ExtractStats`."""
+    return stats.as_dict()
+
+
+def extract_stats_from_wire(wire: dict[str, Any]) -> ExtractStats:
+    """Rebuild an :class:`ExtractStats` from its wire form (unknown keys
+    rejected, as everywhere on this protocol)."""
+    return ExtractStats.from_dict(wire)

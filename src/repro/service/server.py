@@ -48,12 +48,15 @@ from repro.errors import (
     ServiceOverloaded,
     ServiceUnavailable,
 )
+from repro.extract.api import ExtractOptions, ExtractResult
+from repro.extract.spec import ExtractSpec
 from repro.limits import resolve_limits
-from repro.parallel import FINGERPRINT_MISMATCH, WORKER_CRASH, _execute_item
+from repro.parallel import FINGERPRINT_MISMATCH, WORKER_CRASH, _execute
 from repro.service.config import ServiceConfig
 from repro.service.protocol import (
     OPS,
     error_to_wire,
+    extract_stats_to_wire,
     read_frame,
     stats_to_wire,
 )
@@ -301,6 +304,8 @@ class ProjectionServer:
                     result = await self._do_analyze(frame)
                 elif op == "prune":
                     result = await self._do_prune(frame)
+                elif op == "extract":
+                    result = await self._do_extract(frame)
                 else:
                     result = await self._do_prune_batch(frame)
                 response: dict[str, Any] = {"id": req_id, "ok": True, "result": result}
@@ -416,6 +421,17 @@ class ProjectionServer:
         effective = self._limits.intersect(resolve_limits(options.limits))
         return replace(options, limits=effective)
 
+    def _extract_options_from(self, frame: dict[str, Any]) -> ExtractOptions:
+        wire = frame.get("options", {})
+        if not isinstance(wire, dict):
+            raise ProtocolError("'options' must be an object")
+        try:
+            options = ExtractOptions.from_wire(wire)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"bad options: {exc}") from None
+        effective = self._limits.intersect(resolve_limits(options.limits))
+        return replace(options, limits=effective)
+
     @staticmethod
     def _source_from(item: Any) -> str:
         """One prunable source: inline markup or a server-side path."""
@@ -455,6 +471,40 @@ class ProjectionServer:
         result, worker = await self._execute_pooled(key, source, out_path, options)
         payload: dict[str, Any] = {
             "stats": stats_to_wire(result.stats),
+            "seconds": time.perf_counter() - started,
+            "worker": worker,
+        }
+        if result.text is not None:
+            payload["text"] = result.text
+        if result.output_path is not None:
+            payload["output_path"] = result.output_path
+        return payload
+
+    async def _do_extract(self, frame: dict[str, Any]) -> dict[str, Any]:
+        grammar = self._grammar_from(frame)
+        spec_wire = frame.get("spec")
+        if not isinstance(spec_wire, dict):
+            raise ProtocolError("extract needs a 'spec' object")
+        try:
+            spec = ExtractSpec.from_wire(spec_wire)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"bad spec: {exc}") from None
+        options = self._extract_options_from(frame)
+        # The spec's union projector resolves through the shared cache —
+        # repeated workloads hit on the spec's content fingerprint.
+        projector = self.cache.projector_for_spec(grammar, spec)
+        source = self._source_from(frame.get("source"))
+        out_path = frame.get("out_path")
+        if out_path is not None and not isinstance(out_path, str):
+            raise ProtocolError("'out_path' must be a string path")
+        key = self.pool.pin(grammar, projector)
+        started = time.perf_counter()
+        result, worker = await self._execute_pooled(
+            key, source, out_path, options, spec=spec
+        )
+        assert isinstance(result, ExtractResult)
+        payload: dict[str, Any] = {
+            "stats": extract_stats_to_wire(result.stats),
             "seconds": time.perf_counter() - started,
             "worker": worker,
         }
@@ -535,20 +585,22 @@ class ProjectionServer:
         key,
         source: str,
         out_path: str | None,
-        options: PruneOptions,
-    ) -> tuple[PruneResult, int | None]:
-        """Run one prune on the resident pool.
+        options: "PruneOptions | ExtractOptions",
+        spec: ExtractSpec | None = None,
+    ) -> "tuple[PruneResult | ExtractResult, int | None]":
+        """Run one prune (or, with ``spec``, one extraction) on the
+        resident pool.
 
         A crashed worker triggers one pool respawn (shared across every
         request that saw the same broken generation) and one retry; a
-        fingerprint-mismatch refusal degrades to an in-process prune with
+        fingerprint-mismatch refusal degrades to an in-process run with
         the parent's own compiled pruner, exactly like ``prune_many``.
         """
         for attempt in (0, 1):
             generation = self.pool.generation
             try:
                 payload = await asyncio.wrap_future(
-                    self.pool.submit(key, source, out_path, options)
+                    self.pool.submit(key, source, out_path, options, spec)
                 )
             except (BrokenProcessPool, OSError, RuntimeError) as exc:
                 await self._respawn(generation)
@@ -567,21 +619,29 @@ class ProjectionServer:
                 assert result is not None
                 return result, pid
             if error[0] == FINGERPRINT_MISMATCH:
-                return await self._prune_inline(key, source, out_path, options), None
+                return (
+                    await self._run_inline(key, source, out_path, options, spec),
+                    None,
+                )
             raise WorkerFailure(error[0], error[1])
         raise AssertionError("unreachable")  # pragma: no cover
 
-    async def _prune_inline(
-        self, key, source: str, out_path: str | None, options: PruneOptions
-    ) -> PruneResult:
+    async def _run_inline(
+        self,
+        key,
+        source: str,
+        out_path: str | None,
+        options: "PruneOptions | ExtractOptions",
+        spec: ExtractSpec | None = None,
+    ) -> "PruneResult | ExtractResult":
         """Degraded path for fingerprint-mismatch items: the parent's own
-        grammar is trustworthy — prune on a thread with the event
+        grammar is trustworthy — run on a thread with the event
         pipeline (the concurrency-safe cache and pure pruners make this
         thread-safe)."""
         obs.count("service.fingerprint_fallbacks")
         pruner = self.pool.pruner(key)
         return await asyncio.to_thread(
-            _execute_item, pruner, replace(options, fast=False), source, out_path
+            _execute, pruner, replace(options, fast=False), spec, source, out_path
         )
 
     async def _respawn(self, generation: int) -> None:

@@ -37,9 +37,12 @@ from repro import obs
 from repro.api import PruneOptions, PruneResult
 from repro.core.cache import grammar_fingerprint
 from repro.dtd.grammar import Grammar
+from repro.extract.api import ExtractOptions, ExtractResult
+from repro.extract.spec import ExtractSpec
 from repro.parallel import (
     FINGERPRINT_MISMATCH,
     WORKER_CRASH,
+    _execute_extract_item,
     _execute_item,
     _kill_processes,
     _resolve_jobs,
@@ -121,9 +124,11 @@ def _resident_item(
     payload: bytes,
     source: str,
     out_path: str | None,
-    options: PruneOptions,
+    options: "PruneOptions | ExtractOptions",
+    spec: ExtractSpec | None = None,
 ):
-    """One request's work inside a resident worker.
+    """One request's work inside a resident worker (a prune, or — with
+    ``spec`` — a tabular extraction against the same pinned pruner).
 
     Returns ``(error-or-None, result-or-None, records, counters, pid)``;
     like the batch pool, a bad document travels back as data so one
@@ -132,7 +137,7 @@ def _resident_item(
     state = _RESIDENT_STATE
     assert state is not None, "resident worker used before its initializer ran"
     error: tuple[str, str] | None = None
-    result: PruneResult | None = None
+    result: "PruneResult | ExtractResult | None" = None
     pruner = state["pruners"].get(key)
     if pruner is None:
         pruner = _pin_in_worker(state["pruners"], key, payload)
@@ -144,8 +149,14 @@ def _resident_item(
         )
     else:
         try:
-            result = _execute_item(pruner, options, source, out_path)
-            result.events = None  # iterators never cross the process boundary
+            # Dispatch through this module's names (not parallel._execute)
+            # so the fork-inheritance monkeypatch point stays here.
+            if spec is not None:
+                result = _execute_extract_item(pruner, spec, options, source, out_path)
+            else:
+                result = _execute_item(pruner, options, source, out_path)
+            if getattr(result, "events", None) is not None:
+                result.events = None  # iterators never cross the process boundary
         except Exception as exc:
             error = (type(exc).__name__, str(exc))
     records, counters = _drain_resident_obs(state)
@@ -224,14 +235,17 @@ class ResidentPool:
         key: PinKey,
         source: str,
         out_path: str | None,
-        options: PruneOptions,
+        options: "PruneOptions | ExtractOptions",
+        spec: ExtractSpec | None = None,
     ) -> Future:
-        """Queue one prune on the resident workers.  The pinned payload
-        rides along so a worker that has not seen the pair yet (spawned
-        after the pin, or freshly respawned) can rebuild it."""
+        """Queue one prune (or, with ``spec``, one extraction) on the
+        resident workers.  The pinned payload rides along so a worker that
+        has not seen the pair yet (spawned after the pin, or freshly
+        respawned) can rebuild it."""
         assert self._executor is not None
         return self._executor.submit(
-            _resident_item, key, self._payloads[key], source, out_path, options
+            _resident_item, key, self._payloads[key], source, out_path,
+            options, spec,
         )
 
     def respawn(self, generation: int) -> bool:

@@ -245,3 +245,53 @@ def random_interpretation(grammar: Grammar, document: Document) -> Interpretatio
     from repro.dtd.validator import validate
 
     return validate(document, grammar)
+
+
+def random_extract_spec(grammar: Grammar, seed: int):
+    """A random :class:`~repro.extract.spec.ExtractSpec` over ``grammar``.
+
+    The row path follows a random parent-child chain of element tags
+    from the root; each field is a short row-relative chain ending in
+    ``text()`` or a string-value step.  Random grammars declare no
+    attributes, so ``@attr`` fields never arise here — the attribute
+    path is covered by the fixture-based extract tests instead.
+
+    Empty results are deliberately in scope: a chain the sampled
+    document never instantiates must yield zero rows (or NULL fields)
+    identically on every extraction path.
+    """
+    from repro.extract.spec import ExtractSpec
+
+    rng = random.Random(seed)
+
+    def element_children(name: str) -> list[str]:
+        return sorted(
+            child for child in grammar.children_of(name)
+            if grammar.tag_of(child) is not None
+        )
+
+    chain = [grammar.root]
+    for _ in range(rng.randint(0, 2)):
+        options = element_children(chain[-1])
+        if not options:
+            break
+        chain.append(rng.choice(options))
+    rows = "/" + "/".join(grammar.tag_of(name) or name for name in chain)
+
+    fields: dict[str, str] = {}
+    for index in range(rng.randint(1, 3)):
+        steps: list[str] = []
+        name = chain[-1]
+        for _ in range(rng.randint(0, 2)):
+            options = element_children(name)
+            if not options:
+                break
+            name = rng.choice(options)
+            steps.append(grammar.tag_of(name) or name)
+        if steps and rng.random() < 0.45:
+            path = "/".join(steps)  # string value of the element
+        else:
+            path = "/".join(steps + ["text()"])
+        fields[f"f{index}"] = path
+    null = rng.choice([None, "", "NULL"])
+    return ExtractSpec(rows=rows, fields=fields, null=null)

@@ -58,7 +58,8 @@ class TestPruneShims:
         import repro
 
         for name in ("prune_string", "prune_file", "prune_stream", "prune_events"):
-            assert hasattr(repro, name)
+            with pytest.warns(DeprecationWarning, match=name):
+                assert getattr(repro, name) is not None
 
 
 class TestAnalyzeShims:
@@ -93,8 +94,70 @@ class TestAnalyzeShims:
     def test_package_still_exports_old_names(self):
         import repro
 
-        assert hasattr(repro, "analyze_query")
-        assert hasattr(repro, "analyze_xquery")
+        for name in ("analyze_query", "analyze_xquery"):
+            with pytest.warns(DeprecationWarning, match=name):
+                assert getattr(repro, name) is not None
+
+
+class TestLoaderShims:
+    def test_load_for_queries_warns_and_matches(self, book_grammar):
+        from repro.engine.loader import load_for_queries, load_pruned
+
+        with pytest.warns(DeprecationWarning, match="load_for_queries"):
+            old = load_for_queries(BOOK_XML, book_grammar, ["//title"])
+        projector = analyze(book_grammar, ["//title"]).projector
+        new = load_pruned(BOOK_XML, book_grammar, projector)
+        assert old.nodes_built == new.nodes_built
+        assert old.model_bytes == new.model_bytes
+
+    def test_load_many_for_queries_warns_and_matches(self, book_grammar):
+        from repro.engine.loader import load_many, load_many_for_queries
+
+        with pytest.warns(DeprecationWarning, match="load_many_for_queries"):
+            old_reports, old_batch = load_many_for_queries(
+                [BOOK_XML, BOOK_XML], book_grammar, "//title"
+            )
+        new_reports, new_batch = load_many(
+            [BOOK_XML, BOOK_XML], book_grammar, "//title"
+        )
+        assert [r.nodes_built for r in old_reports] == [
+            r.nodes_built for r in new_reports
+        ]
+        assert old_batch.succeeded == new_batch.succeeded == 2
+
+    def test_engine_package_still_resolves_old_names(self):
+        import repro.engine
+
+        assert repro.engine.load_for_queries is not None
+        assert repro.engine.load_many_for_queries is not None
+
+
+class TestPackageFacadeShims:
+    """Every pre-redesign top-level re-export resolves — with a warning
+    naming its canonical submodule — and is the same object."""
+
+    def test_legacy_names_warn_and_resolve(self):
+        import importlib
+
+        import repro
+
+        for name, home in sorted(repro._DEPRECATED.items()):
+            with pytest.warns(DeprecationWarning, match=name):
+                value = getattr(repro, name)
+            assert value is getattr(importlib.import_module(home), name)
+
+    def test_unknown_names_still_raise(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            repro.definitely_not_a_name
+
+    def test_legacy_serialize_round_trip(self, book_document):
+        import repro
+
+        with pytest.warns(DeprecationWarning, match="repro.xmltree.serializer"):
+            markup = repro.serialize(book_document)
+        assert "<title>" in markup
 
 
 class TestAnalysisSecondsCompatibility:

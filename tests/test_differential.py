@@ -24,15 +24,19 @@ from __future__ import annotations
 
 import pytest
 
-from repro import Limits, obs, prune
+from repro import Limits, extract, obs, prune
 from repro.core.projector import infer_projector
 from repro.dtd.validator import validate
+from repro.extract.reference import extract_document
 from repro.projection.tree import prune_document
 from repro.workloads.randomgen import (
+    random_extract_spec,
     random_grammar,
     random_pathl,
     random_valid_document,
 )
+from repro.xmltree.builder import parse_document
+from repro.xmltree.parser import parse_events
 from repro.xmltree.serializer import serialize
 from repro.xpath.xpathl import evaluate_pathl
 
@@ -92,6 +96,50 @@ def check_one(seed: int) -> None:
     )
 
 
+def check_extract(seed: int) -> None:
+    """The extraction analogue of :func:`check_one`: the fused scan, the
+    forced event pipeline, the event-iterable source, and the tree-walk
+    reference oracle must all agree record for record."""
+    grammar = random_grammar(seed, allow_recursion=(seed % 3 == 0))
+    document = random_valid_document(grammar, seed * 31 + 7)
+    spec = random_extract_spec(grammar, seed * 17 + 3)
+    markup = serialize(document)
+
+    fused = extract(markup, grammar, spec)
+    forced = extract(markup, grammar, spec, fallback="force")
+    assert fused.text == forced.text, (
+        f"seed {seed}: fused extraction diverged from the event pipeline"
+    )
+    assert fused.records == forced.records, f"seed {seed}: records diverged"
+
+    via_events = extract(parse_events(markup), grammar, spec)
+    assert via_events.records == fused.records, (
+        f"seed {seed}: event-source extraction diverged"
+    )
+
+    # -- oracle agreement: extraction never misses what pruning kept ----
+    # The reference walks the full unpruned tree; equal records prove the
+    # spec's inferred projector discarded nothing the workload needed.
+    null = spec.null
+    expected = [
+        {name: (value if value is not None else null) for name, value in row.items()}
+        for row in extract_document(parse_document(markup, strip_whitespace=False), spec)
+    ]
+    assert fused.records == expected, (
+        f"seed {seed}: fused records diverged from the tree-walk reference"
+    )
+
+    # -- format axis: CSV carries the same rows as JSONL ----------------
+    as_csv = extract(markup, grammar, spec, format="csv")
+    assert as_csv.stats.rows_out == fused.stats.rows_out == len(expected), (
+        f"seed {seed}: CSV and JSONL row counts diverged"
+    )
+
+    # -- limits axis: Limits.off() changes nothing ----------------------
+    off = extract(markup, grammar, spec, limits=Limits.off())
+    assert off.text == fused.text, f"seed {seed}: Limits.off() changed the output"
+
+
 @pytest.mark.parametrize("seed", range(QUICK_CASES))
 def test_differential_quick(seed):
     check_one(seed)
@@ -101,6 +149,17 @@ def test_differential_quick(seed):
 @pytest.mark.parametrize("seed", range(QUICK_CASES, FULL_CASES))
 def test_differential_full(seed):
     check_one(seed)
+
+
+@pytest.mark.parametrize("seed", range(QUICK_CASES))
+def test_differential_extract_quick(seed):
+    check_extract(seed)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(QUICK_CASES, FULL_CASES))
+def test_differential_extract_full(seed):
+    check_extract(seed)
 
 
 def test_projector_is_valid_projector():

@@ -11,17 +11,15 @@ from __future__ import annotations
 
 import pytest
 
-from repro import (
+from repro import Limits, obs, prune
+from repro.dtd.grammar import grammar_from_text
+from repro.errors import (
     DeadlineExceeded,
     EncodingError,
     LimitExceeded,
-    Limits,
+    ReproError,
     ResourceError,
-    obs,
-    prune,
 )
-from repro.dtd.grammar import grammar_from_text
-from repro.errors import ReproError
 from repro.limits import (
     DEFAULT_LIMITS,
     OFF_LIMITS,

@@ -15,9 +15,9 @@ import os
 
 import pytest
 
-from repro import obs, prune, prune_many
+from repro import ExtractSpec, extract, extract_many, obs, prune, prune_many
 from repro.core.cache import resolve_projector
-from repro.engine.loader import load_many_for_queries
+from repro.engine.loader import load_many
 from repro.parallel import (
     BatchError,
     _output_paths,
@@ -412,15 +412,78 @@ class TestFingerprintMismatch:
         assert batch.texts() == serial.texts()
 
 
+# -- batch extraction ---------------------------------------------------------
+
+
+EXTRACT_SPEC = ExtractSpec(
+    rows="/bib/book",
+    fields={"title": "title/text()", "author": "author/text()"},
+)
+
+
+class TestExtractMany:
+    def test_serial_matches_facade(self, corpus, book_grammar):
+        batch = extract_many(corpus, book_grammar, EXTRACT_SPEC)
+        assert batch.ok and batch.jobs == 1
+        assert batch.documents == len(corpus)
+        for path, result in zip(corpus, batch.results):
+            solo = extract(path, book_grammar, EXTRACT_SPEC)
+            assert result.text == solo.text
+            assert result.records == solo.records
+        assert batch.stats.rows_out == len(corpus)  # one book per doc
+
+    @pytest.mark.skipif(not HAS_FORK, reason="needs fork start method")
+    def test_pool_matches_serial(self, corpus, book_grammar):
+        serial = extract_many(corpus, book_grammar, EXTRACT_SPEC)
+        pool = extract_many(corpus, book_grammar, EXTRACT_SPEC, jobs=2)
+        assert pool.ok
+        assert [r.text for r in pool.results] == [r.text for r in serial.results]
+        assert pool.stats.as_dict() == serial.stats.as_dict()
+
+    def test_out_dir_takes_the_format_extension(self, corpus, book_grammar,
+                                                tmp_path):
+        out = tmp_path / "rows"
+        batch = extract_many(corpus, book_grammar, EXTRACT_SPEC,
+                             out_dir=str(out), format="csv")
+        assert batch.ok
+        names = sorted(os.listdir(out))
+        assert names == [f"doc{i:02d}.csv" for i in range(6)]
+        lines = (out / names[0]).read_text().splitlines()
+        assert lines[0] == "title,author"
+        assert lines[1] == "T0,A0"
+
+    def test_error_isolation(self, corpus, book_grammar, tmp_path):
+        bad = tmp_path / "zz_bad.xml"  # sorts after the corpus docs
+        bad.write_text("<bib><book></bib>")
+        items = corpus[:2] + [str(bad)]
+        batch = extract_many(items, book_grammar, EXTRACT_SPEC)
+        assert not batch.ok
+        assert [error.index for error in batch.errors] == [2]
+        assert batch.results[2] is None
+        assert batch.results[0] is not None and batch.results[1] is not None
+        assert batch.succeeded == 2
+
+    def test_foreign_grammar_fails_per_item_not_globally(self, corpus):
+        from repro.dtd.grammar import grammar_from_text
+
+        other = grammar_from_text("<!ELEMENT catalog (#PCDATA)>", "catalog")
+        spec = ExtractSpec(rows="/catalog", fields={"v": "text()"})
+        batch = extract_many(corpus[:1], other, spec)
+        # Documents from the wrong vocabulary fail as data, per item —
+        # the same structured-error contract as prune_many.
+        assert not batch.ok
+        assert [error.index for error in batch.errors] == [0]
+
+
 # -- engine integration -------------------------------------------------------
 
 
-class TestLoadManyForQueries:
+class TestLoadMany:
     def test_reports_align_with_sources(self, corpus, book_grammar, tmp_path):
         bad = tmp_path / "bad.xml"
         bad.write_text("<bib><nope/></bib>")
         items = corpus[:2] + [str(bad)]
-        reports, batch = load_many_for_queries(items, book_grammar, QUERY)
+        reports, batch = load_many(items, book_grammar, QUERY)
         assert len(reports) == 3
         assert reports[2] is None
         assert batch.errors[0].index == 2
@@ -431,7 +494,7 @@ class TestLoadManyForQueries:
     def test_loaded_trees_answer_the_query(self, corpus, book_grammar):
         from repro.engine.executor import QueryEngine
 
-        reports, batch = load_many_for_queries(corpus, book_grammar, QUERY, jobs=2)
+        reports, batch = load_many(corpus, book_grammar, QUERY, jobs=2)
         assert batch.ok
         counts = [QueryEngine(r.document).run(QUERY).result_count for r in reports]
         assert counts == [1] * len(corpus)

@@ -137,16 +137,15 @@ class TestDefaultCache:
         assert default_cache() is default_cache()
 
     def test_loader_uses_default_cache(self, book_grammar):
-        import io
-
-        from repro.engine.loader import load_for_queries
+        from repro.engine.loader import load_many
         from tests.conftest import BOOK_XML
 
         default_cache().clear()
-        load_for_queries(io.StringIO(BOOK_XML), book_grammar, ["//book/title"])
+        load_many([BOOK_XML], book_grammar, ["//book/title"])
         before = default_cache().stats.hits
-        report = load_for_queries(io.StringIO(BOOK_XML), book_grammar, ["//book/title"])
+        reports, _ = load_many([BOOK_XML], book_grammar, ["//book/title"])
         assert default_cache().stats.hits == before + 1
+        report = reports[0]
         assert {n.tag for n in report.document.elements()} == {"bib", "book", "title"}
 
 

@@ -28,18 +28,18 @@ def _docstring_quickstart() -> str:
 
 def test_package_docstring_quickstart_runs_verbatim():
     code = _docstring_quickstart()
-    assert "analyze" in code and "prune_document" in code
+    assert "analyze" in code and "prune" in code and "extract" in code
     namespace = {"DTD_TEXT": BOOK_DTD, "XML_TEXT": BOOK_XML}
     exec(compile(code, "repro.__doc__", "exec"), namespace)
-    pruned = namespace["pruned"]
-    assert {node.tag for node in pruned.elements()} <= {
-        "bib", "book", "title", "author"
-    }
     # The Dante query keeps titles and authors but not years or prices.
-    from repro import serialize
-
-    markup = serialize(pruned)
+    markup = namespace["pruned"].text
     assert "<title>" in markup and "year" not in markup
+    # The extraction flattened every book into a record.
+    rows = namespace["rows"]
+    assert [row["title"] for row in rows] == [
+        "Divina Commedia", "Moby-Dick", "Vita Nova"
+    ]
+    assert rows[0]["isbn"] == "d1"
 
 
 def test_readme_quickstart_runs_verbatim(tmp_path, monkeypatch):
@@ -77,6 +77,32 @@ def test_readme_batch_pruning_snippet_runs_verbatim(tmp_path, monkeypatch):
     assert "<title>" in markup and "<price>" not in markup
 
 
+def test_readme_tabular_extraction_snippet_runs_verbatim(tmp_path, monkeypatch):
+    readme = pathlib.Path(__file__).resolve().parent.parent / "README.md"
+    match = re.search(
+        r"## Tabular extraction\n.*?```python\n(.*?)```",
+        readme.read_text(), re.DOTALL,
+    )
+    assert match, "README has no tabular-extraction code block"
+    code = match.group(1)
+    # The snippet reads bib.dtd, bib.xml and corpus/*.xml from the
+    # working directory and writes books.csv plus rows/.
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "bib.dtd").write_text(BOOK_DTD)
+    (tmp_path / "bib.xml").write_text(BOOK_XML)
+    corpus = tmp_path / "corpus"
+    corpus.mkdir()
+    for i in range(3):
+        (corpus / f"doc{i}.xml").write_text(BOOK_XML)
+    exec(compile(code, str(readme), "exec"), {})
+    csv_text = (tmp_path / "books.csv").read_text()
+    assert csv_text.splitlines()[0] == "title,author,isbn"
+    assert "Divina Commedia" in csv_text
+    rows = sorted(os.listdir(tmp_path / "rows"))
+    assert rows == ["doc0.jsonl", "doc1.jsonl", "doc2.jsonl"]
+    assert (tmp_path / "rows" / "doc0.jsonl").read_text().count("\n") == 3
+
+
 def test_readme_documents_the_full_differential_sweep():
     readme = pathlib.Path(__file__).resolve().parent.parent / "README.md"
     assert "tests/test_differential.py -m slow" in readme.read_text()
@@ -102,10 +128,10 @@ def test_readme_documents_the_fuzz_battery():
     assert "--limits-profile" in text
 
 
-def test_docstring_and_pipeline_docstring_agree_on_prune_signature():
-    """Both quickstarts must call prune_document(document, interpretation,
-    projector) — the real signature (the grammar is *inside* the
-    interpretation)."""
+def test_pipeline_docstring_agrees_on_prune_signature():
+    """The pipeline quickstart must call prune_document(document,
+    interpretation, projector) — the real signature (the grammar is
+    *inside* the interpretation)."""
     import inspect
 
     from repro.core import pipeline
@@ -113,11 +139,10 @@ def test_docstring_and_pipeline_docstring_agree_on_prune_signature():
 
     parameters = list(inspect.signature(prune_document).parameters)
     assert parameters[:3] == ["document", "interpretation", "projector"]
-    for doc in (repro.__doc__, pipeline.__doc__):
-        call = re.search(r"prune_document\(([^)]*)\)", doc)
-        assert call, "quickstart no longer shows prune_document"
-        args = [part.strip() for part in call.group(1).split(",")]
-        assert args[:2] == ["document", "interpretation"], doc[:40]
+    call = re.search(r"prune_document\(([^)]*)\)", pipeline.__doc__)
+    assert call, "quickstart no longer shows prune_document"
+    args = [part.strip() for part in call.group(1).split(",")]
+    assert args[:2] == ["document", "interpretation"]
 
 
 def test_readme_service_snippet_runs_verbatim(tmp_path, monkeypatch, capsys):

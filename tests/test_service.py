@@ -188,8 +188,8 @@ class TestRequests:
 
     def test_prune_xmark_builtin(self, client, xmark):
         grammar, _, _ = xmark
-        from repro import serialize
         from repro.workloads.xmark import generate_document
+        from repro.xmltree.serializer import serialize
 
         markup = serialize(generate_document(0.001, seed=3))
         query = "//person/name"
@@ -231,6 +231,62 @@ class TestRequests:
         expected = _expected_text(book_grammar, BOOK_XML)
         for i in range(3):
             assert (out_dir / f"doc{i}.xml").read_text() == expected
+
+    def test_extract_matches_local_facade(self, client, book_grammar):
+        from repro import ExtractSpec, extract
+
+        spec = ExtractSpec(
+            rows="/bib/book",
+            fields={"title": "title/text()", "isbn": "@isbn"},
+        )
+        outcome = client.extract(BOOK_XML, spec=spec,
+                                 dtd=BOOK_DTD, root="bib")
+        local = extract(BOOK_XML, book_grammar, spec)
+        assert outcome.text == local.text
+        assert outcome.stats.as_dict() == local.stats.as_dict()
+        assert outcome.stats.rows_out == 3
+
+    def test_extract_out_path_writes_server_side(self, client, tmp_path,
+                                                 book_grammar):
+        from repro import ExtractSpec, extract
+
+        spec = ExtractSpec(rows="/bib/book", fields={"t": "title/text()"})
+        source = tmp_path / "bib.xml"
+        source.write_text(BOOK_XML)
+        target = tmp_path / "books.csv"
+        outcome = client.extract(
+            source_path=str(source), spec=spec, dtd=BOOK_DTD, root="bib",
+            options=repro.ExtractOptions(format="csv"),
+            out_path=str(target),
+        )
+        assert outcome.output_path == str(target)
+        assert outcome.text is None
+        local = extract(str(source), book_grammar, spec, format="csv",
+                        out=str(tmp_path / "local.csv"))
+        assert target.read_text() == (tmp_path / "local.csv").read_text()
+
+    def test_extract_bad_spec_is_a_protocol_error(self, server):
+        with socket.create_connection(("127.0.0.1", server.port),
+                                      timeout=10) as sock:
+            send_frame(sock, {
+                "id": 1, "op": "extract", "source": BOOK_XML,
+                "grammar": {"dtd": BOOK_DTD, "root": "bib"},
+                "spec": {"rows": "/bib/book",
+                         "fields": [["t", "title/text()"]], "bogus": 1},
+            })
+            response = recv_frame(sock)
+            assert response is not None and response["ok"] is False
+            assert response["error"]["type"] == "ProtocolError"
+            assert "bogus" in response["error"]["message"]
+
+    def test_extract_spec_refusal_is_structured(self, client):
+        from repro import ExtractSpec
+
+        spec = ExtractSpec(rows="/bib/book", fields={"t": "title/text()"})
+        with pytest.raises(RemoteError) as excinfo:
+            client.extract("<bib><book></bib>", spec=spec,
+                           dtd=BOOK_DTD, root="bib")
+        assert excinfo.value.code == 422
 
     def test_grammar_and_projector_are_resident(self, client):
         before = client.stats()
@@ -287,7 +343,7 @@ class _HeldPool:
         self._real_submit = server.pool.submit
         server.pool.submit = self._submit  # type: ignore[method-assign]
 
-    def _submit(self, key, source, out_path, options):
+    def _submit(self, key, source, out_path, options, spec=None):
         future: concurrent.futures.Future = concurrent.futures.Future()
         self.futures.append(future)
         return future
