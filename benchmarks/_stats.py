@@ -208,16 +208,22 @@ def regression_gate(
     """Gate the current p50 against the recent trajectory.
 
     Compares against the median of up to ``window`` prior entries; a
-    regression beyond ``tolerance_percent`` fails. With no usable
-    history the gate is a skip — the first run seeds the trajectory.
+    regression beyond ``tolerance_percent`` fails. With fewer than two
+    usable prior points the gate is a *skip*, never a pass — a single
+    point is no baseline (its noise would gate the next run), so early
+    runs seed the trajectory and say so explicitly.
     """
     priors = [
         float(entry[key])
         for entry in history[-window:]
         if isinstance(entry.get(key), (int, float)) and entry[key] > 0
     ]
-    if not priors:
-        return gate(None, "no prior trajectory entries")
+    if len(priors) < 2:
+        return gate(
+            None,
+            f"only {len(priors)} prior trajectory "
+            f"entr{'y' if len(priors) == 1 else 'ies'} (need 2 to baseline)",
+        )
     baseline = median(priors)
     limit = baseline * (1.0 + tolerance_percent / 100.0)
     ok = current_p50 <= limit

@@ -112,6 +112,48 @@ def _obs_overhead(xml: str, grammar, projector, repeats: int) -> dict:
     }
 
 
+def _static_short_circuit(xml: str, grammar, repeats: int) -> dict:
+    """Time a provably-empty workload (every query UNSAT under the DTD)
+    against the full prune it replaces.  The satisfiability pre-pass
+    answers from the grammar alone — the document is never opened — so
+    the short-circuit must land orders of magnitude under the full prune.
+    Both variants run from the same on-disk file so the comparison is
+    parse-vs-no-parse, not string-vs-file plumbing.
+    """
+    from repro.api import prune
+    from repro.core.pipeline import analyze
+
+    analysis = analyze(grammar, ["/site/people/item"])
+    assert analysis.provably_empty, "smoke workload is meant to be provably empty"
+    fd, xml_path = tempfile.mkstemp(suffix=".xml", prefix="bench_hotpath_sc_")
+    os.close(fd)
+    try:
+        with open(xml_path, "w", encoding="utf-8") as handle:
+            handle.write(xml)
+        expected = prune(xml_path, grammar, analysis.projector).text
+        full_samples, short_samples = [], []
+        for _ in range(max(repeats, 3)):
+            started = time.perf_counter()
+            full = prune(xml_path, grammar, analysis.projector).text
+            full_samples.append(time.perf_counter() - started)
+            started = time.perf_counter()
+            short = prune(xml_path, grammar, analysis).text
+            short_samples.append(time.perf_counter() - started)
+            assert short == full == expected, (
+                "short-circuited output differs from the full prune"
+            )
+    finally:
+        os.unlink(xml_path)
+    full_seconds = _stats.median(full_samples)
+    short_seconds = _stats.median(short_samples)
+    fraction = (short_seconds / full_seconds * 100) if full_seconds else 0.0
+    return {
+        "full_prune_seconds": round(full_seconds, 6),
+        "short_circuit_seconds": round(short_seconds, 6),
+        "fraction_percent": round(fraction, 3),
+    }
+
+
 def run(factor: float, repeats: int, output_path: str, min_speedup: float,
         smoke: bool = False, max_obs_overhead: float = 5.0) -> dict:
     from repro.core.cache import ProjectorCache
@@ -167,6 +209,7 @@ def run(factor: float, repeats: int, output_path: str, min_speedup: float,
     workload_hits = cache.stats.hits - hits_before
 
     obs_overhead = None
+    short_circuit = None
     if smoke:
         smoke_query = DEFAULT_QUERIES["QP3-person-name"]
         smoke_projector = cache.projector_for_query(grammar, smoke_query)
@@ -176,6 +219,11 @@ def run(factor: float, repeats: int, output_path: str, min_speedup: float,
               f"({obs_overhead['disabled_overhead_percent']:+.1f}%), "
               f"enabled {obs_overhead['enabled_seconds'] * 1000:.1f} ms "
               f"({obs_overhead['enabled_overhead_percent']:+.1f}%)", flush=True)
+        short_circuit = _static_short_circuit(xml, grammar, repeats)
+        print(f"  UNSAT short-circuit: "
+              f"{short_circuit['short_circuit_seconds'] * 1000:.2f} ms vs full "
+              f"{short_circuit['full_prune_seconds'] * 1000:.1f} ms "
+              f"({short_circuit['fraction_percent']:.2f}%)", flush=True)
 
     best = max(ratios)
     gates = {
@@ -194,6 +242,17 @@ def run(factor: float, repeats: int, output_path: str, min_speedup: float,
                 f"tracing-disabled prune overhead "
                 f"{obs_overhead['disabled_overhead_percent']:.1f}% vs the "
                 f"{max_obs_overhead:.1f}% cap"
+            ),
+        ),
+        "static_short_circuit": _stats.gate(
+            None if short_circuit is None
+            else short_circuit["fraction_percent"] < 1.0,
+            "not measured (run with --smoke)" if short_circuit is None else (
+                f"provably-empty workload answered in "
+                f"{short_circuit['short_circuit_seconds'] * 1000:.2f} ms = "
+                f"{short_circuit['fraction_percent']:.2f}% of the "
+                f"{short_circuit['full_prune_seconds'] * 1000:.1f} ms full "
+                f"prune (cap 1%)"
             ),
         ),
     }
@@ -216,6 +275,8 @@ def run(factor: float, repeats: int, output_path: str, min_speedup: float,
     }
     if obs_overhead is not None:
         report["obs_overhead"] = obs_overhead
+    if short_circuit is not None:
+        report["static_short_circuit"] = short_circuit
     report["failures"] = _stats.failures(gates)
 
     _stats.write_report(report, output_path)
@@ -245,6 +306,8 @@ def _write_gauges(report: dict, path: str) -> None:
             flat[f"bench.hotpath.{query['name']}.event_seconds"] = query["event_pipeline_seconds"]
         for key, value in report.get("obs_overhead", {}).items():
             flat[f"bench.hotpath.obs.{key}"] = value
+        for key, value in report.get("static_short_circuit", {}).items():
+            flat[f"bench.hotpath.static.{key}"] = value
         for name, value in flat.items():
             sink.record({"type": "gauge", "name": name, "value": value})
     finally:

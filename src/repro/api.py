@@ -34,6 +34,7 @@ import os
 from dataclasses import dataclass, replace
 from typing import IO, Any, Iterable, Iterator
 
+from repro import obs
 from repro.dtd.grammar import Grammar
 from repro.errors import ReproError
 from repro.limits import Limits, resolve_limits
@@ -188,7 +189,23 @@ def prune(
     See the module docstring for the source/out dispatch table.  Returns a
     :class:`PruneResult`; pruning streams throughout, so memory stays
     O(document depth) regardless of source size.
+
+    ``projector`` also accepts a full :class:`~repro.core.pipeline.
+    AnalysisResult` (what :func:`repro.analyze` returns).  That unlocks
+    the static short-circuit: a workload the satisfiability pre-pass
+    proved empty (:attr:`~repro.core.pipeline.AnalysisResult.
+    provably_empty`) is answered with the bare root element *without
+    opening the document* — for grammar-valid sources this is exactly
+    what the full pass would have produced.  (Prolog-level comments, the
+    one pre-root construct the streaming pruner echoes, are dropped; and
+    ``validate=True``, ``prune_attributes=False`` or an event source
+    disable the shortcut, because those contracts need the real pass.)
     """
+    analysis = None
+    if hasattr(projector, "projector") and hasattr(projector, "provably_empty"):
+        analysis = projector
+        projector = analysis.projector
+
     opts = _resolve_options(
         options, fast, validate, prune_attributes, chunk_size,
         limits=limits, fallback=fallback,
@@ -218,6 +235,14 @@ def prune(
         isinstance(source, str) and not _is_markup(source)
     )
     out_is_path = out is not None and not hasattr(out, "write")
+
+    if (
+        analysis is not None
+        and analysis.provably_empty
+        and not opts.validate
+        and opts.prune_attributes
+    ):
+        return _short_circuit_empty(source, grammar, out, is_path, out_is_path)
 
     # File -> file keeps the remove-partial-output-on-error contract.
     if is_path and out_is_path:
@@ -268,4 +293,41 @@ def prune(
             with_source(sink)
         return PruneResult(stats=stats, output_path=out_path)
     with_source(out)  # type: ignore[arg-type]
+    return PruneResult(stats=stats)
+
+
+def _short_circuit_empty(
+    source: "str | os.PathLike[str] | IO[str]",
+    grammar: Grammar,
+    out: "str | os.PathLike[str] | IO[str] | None",
+    is_path: bool,
+    out_is_path: bool,
+) -> PruneResult:
+    """Answer a provably-empty workload without opening the document.
+
+    The pre-pass established that the (filtered) union projector is the
+    bare root, so for any grammar-valid source the pruned markup is
+    exactly ``<root/>``.  ``bytes_in`` is still measured (by size, not by
+    reading); the scan counters stay zero — nothing was scanned, which is
+    the whole point.
+    """
+    tag = grammar.tag_of(grammar.root) or grammar.root
+    text = f"<{tag}/>"
+    stats = PruneStats()
+    stats.elements_out = 1
+    stats.distinct_tags_out.add(tag)
+    stats.bytes_out = len(text.encode("utf-8"))
+    if is_path:
+        stats.bytes_in = os.path.getsize(os.fspath(source))  # type: ignore[arg-type]
+    elif isinstance(source, str):
+        stats.bytes_in = len(source.encode("utf-8", "replace"))
+    obs.count("static.short_circuits")
+    if out is None:
+        return PruneResult(stats=stats, text=text)
+    if out_is_path:
+        out_path = os.fspath(out)  # type: ignore[arg-type]
+        with _open_output(out_path) as sink:
+            sink.write(text)
+        return PruneResult(stats=stats, output_path=out_path)
+    out.write(text)  # type: ignore[union-attr]
     return PruneResult(stats=stats)

@@ -85,12 +85,24 @@ def cmd_analyze(args) -> int:
     from repro.core.cache import default_cache
 
     grammar = _load_grammar(args)
-    projector, seconds = _projector(grammar, args.query)
+    result = default_cache().analyze(grammar, args.query)
+    projector = result.projector
+    seconds = result.span.seconds if result.span is not None else 0.0
     reachable = grammar.reachable_names()
     print(f"# analysis time: {seconds * 1000:.1f} ms")
     if args.cache_stats:
         stats = default_cache().stats
         print(f"# projector cache: {stats.hits} hits, {stats.misses} misses")
+    if args.explain_sat:
+        unsat = sum(1 for v in result.verdicts if not v.satisfiable)
+        print(f"# satisfiability: {len(result.verdicts) - unsat} SAT, "
+              f"{unsat} UNSAT")
+        for verdict in result.verdicts:
+            status = "SAT" if verdict.satisfiable else "UNSAT"
+            print(f"# {status} {verdict.query}: {verdict.reason}")
+            for branch in verdict.branches:
+                branch_status = "SAT" if branch.satisfiable else "UNSAT"
+                print(f"#   [{branch_status}] {branch.path}: {branch.reason}")
     print(f"# projector: {len(projector)} of {len(reachable)} reachable names "
           f"({100 * len(projector & reachable) / max(1, len(reachable)):.1f}%)")
     for name in sorted(projector):
@@ -520,6 +532,10 @@ def build_parser() -> argparse.ArgumentParser:
                                 parents["obs"]])
     p.add_argument("--cache-stats", action="store_true",
                    help="print projector-cache hit/miss counters")
+    p.add_argument("--explain-sat", action="store_true",
+                   help="print the satisfiability pre-pass verdict (SAT/"
+                        "UNSAT with the reason, per query and per "
+                        "qualifier branch)")
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("prune", help="prune a document file (streaming) or a corpus",

@@ -37,6 +37,13 @@ from repro.dtd.grammar import (
     TextProduction,
 )
 from repro.querylang import looks_like_xquery
+from repro.static.sat import QueryVerdict, filter_projector
+
+#: Cache-key marker naming the static pre-pass generation.  Keys carry it
+#: so entries written with (or without) the satisfiability pre-pass can
+#: never be confused with each other — the fingerprint of a cached
+#: analysis stays honest about what produced it.
+STATIC_PREPASS_TAG = "sat1"
 
 # -- grammar fingerprinting -------------------------------------------------
 
@@ -142,7 +149,12 @@ class ProjectorCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
-        self._entries: "OrderedDict[tuple[str, str, bool, str], frozenset[str]]" = (
+        # key -> (per-query projector, pre-pass verdict or None).  The
+        # stored projector is deliberately *unfiltered*: the occurrence
+        # filter is only byte-safe applied to a whole workload's union
+        # (filtering per query first can break cross-query chains), so
+        # :meth:`analyze` filters after unioning.
+        self._entries: "OrderedDict[tuple[str, str, str, bool, str], tuple[frozenset[str], QueryVerdict | None]]" = (
             OrderedDict()
         )
 
@@ -171,9 +183,22 @@ class ProjectorCache:
         xquery: bool | None = None,
     ) -> frozenset[str]:
         """Infer (or recall) the projector for one query string."""
+        return self.entry_for_query(grammar, query, materialize, xquery)[0]
+
+    def entry_for_query(
+        self,
+        grammar: Grammar,
+        query: str,
+        materialize: bool = True,
+        xquery: bool | None = None,
+    ) -> "tuple[frozenset[str], QueryVerdict | None]":
+        """The cached ``(projector, verdict)`` pair for one query string,
+        inferring (projector *and* satisfiability verdict together — one
+        miss pays for both) on first sight."""
         if xquery is None:
             xquery = looks_like_xquery(query)
         key = (
+            STATIC_PREPASS_TAG,
             grammar_fingerprint(grammar),
             "xquery" if xquery else "xpath",
             bool(materialize),
@@ -189,17 +214,21 @@ class ProjectorCache:
                 return cached
             self._misses += 1
             obs.count("cache.misses")
-            projector = analyze(
+            result = analyze(
                 grammar, query,
                 materialize=materialize,
                 language="xquery" if xquery else "xpath",
-            ).projector
-            entries[key] = projector
+            )
+            entry = (
+                result.per_query[0],
+                result.verdicts[0] if result.verdicts else None,
+            )
+            entries[key] = entry
             if len(entries) > self.max_entries:
                 entries.popitem(last=False)
                 self._evictions += 1
                 obs.count("cache.evictions")
-            return projector
+            return entry
 
     def projector_for_spec(self, grammar: Grammar, spec) -> frozenset[str]:
         """Infer (or recall) the union projector an extract spec needs.
@@ -212,7 +241,13 @@ class ProjectorCache:
         tag, so re-declaring an identical workload — same row path, same
         fields in the same order — skips the whole analysis.
         """
-        key = (grammar_fingerprint(grammar), "extract", True, spec.fingerprint())
+        key = (
+            STATIC_PREPASS_TAG,
+            grammar_fingerprint(grammar),
+            "extract",
+            True,
+            spec.fingerprint(),
+        )
         with self._lock:
             entries = self._entries
             cached = entries.get(key)
@@ -220,19 +255,19 @@ class ProjectorCache:
                 self._hits += 1
                 obs.count("cache.hits")
                 entries.move_to_end(key)
-                return cached
+                return cached[0]
             self._misses += 1
             obs.count("cache.misses")
             per_query = [
                 analyze(
                     grammar, query, materialize=materialize, language="xpath"
-                ).projector
+                ).per_query[0]
                 for query, materialize in spec.projector_queries()
             ]
             projector = grammar.check_projector(
                 grammar.union_projectors(per_query)
             )
-            entries[key] = projector
+            entries[key] = (projector, None)
             if len(entries) > self.max_entries:
                 entries.popitem(last=False)
                 self._evictions += 1
@@ -247,19 +282,36 @@ class ProjectorCache:
     ) -> AnalysisResult:
         """Union projector for a (mixed XPath/XQuery) workload, served
         from the cache where possible — the Section 4.4 "bunch of
-        queries, one pruning" deployment."""
+        queries, one pruning" deployment.
+
+        Satisfiability verdicts ride along on the cached entries, and the
+        union projector gets the same occurrence filter
+        :func:`repro.core.pipeline.analyze` applies — cached and fresh
+        analyses of one workload are indistinguishable, verdicts and all.
+        """
         if isinstance(queries, str):
             queries = [queries]
         with obs.timed("analysis", queries=len(queries), cached=True) as span:
-            per_query = [
-                self.projector_for_query(grammar, query, materialize=materialize)
-                for query in queries
-            ]
+            per_query: list[frozenset[str]] = []
+            verdicts: list[QueryVerdict] = []
+            for query in queries:
+                projector, verdict = self.entry_for_query(
+                    grammar, query, materialize=materialize
+                )
+                per_query.append(projector)
+                if verdict is not None:
+                    verdicts.append(verdict)
             union = (
                 grammar.union_projectors(per_query)
                 if per_query
                 else frozenset((grammar.root,))
             )
+            if per_query:
+                union = filter_projector(grammar, union)
+            unsat = sum(1 for verdict in verdicts if not verdict.satisfiable)
+            if unsat:
+                span.count("static.unsat_queries", unsat)
+                obs.count("static.unsat_queries", unsat)
             span.count("queries", len(queries))
             span.count("projector_size", len(union))
         return AnalysisResult(
@@ -267,6 +319,7 @@ class ProjectorCache:
             projector=grammar.check_projector(union),
             per_query=per_query,
             span=span,
+            verdicts=verdicts,
         )
 
 

@@ -34,6 +34,12 @@ from repro.core.projector import ProjectorInference
 from repro.dtd.grammar import Grammar
 from repro.errors import AnalysisError
 from repro.querylang import looks_like_xquery
+from repro.static.sat import (
+    QueryVerdict,
+    classify_path,
+    classify_paths,
+    filter_projector,
+)
 from repro.xpath import ast as xp
 from repro.xpath.approximation import Approximation, approximate_query
 from repro.xpath.parser import parse_xpath
@@ -63,6 +69,30 @@ class AnalysisResult:
     per_query_paths: list[list[PathL]] = field(default_factory=list)
     languages: list[str] = field(default_factory=list)
     span: "obs.Span | None" = None
+    verdicts: list[QueryVerdict] = field(default_factory=list)
+
+    @property
+    def all_unsat(self) -> bool:
+        """Whether the pre-pass proved *every* query unsatisfiable.
+
+        False when the pre-pass did not run (``analyze(static=False)``)
+        or the workload was empty — absence of verdicts is not a proof.
+        """
+        return bool(self.verdicts) and not any(
+            verdict.satisfiable for verdict in self.verdicts
+        )
+
+    @property
+    def provably_empty(self) -> bool:
+        """Whether pruning any grammar-valid document under this analysis
+        provably yields the bare root element: every query is UNSAT *and*
+        the (filtered) union projector kept nothing but the root.
+
+        The second conjunct matters — an UNSAT query can still have a
+        non-trivial projector (its path dies only past names that do
+        occur), and those names must stay in the pruned output.
+        """
+        return self.all_unsat and self.projector == frozenset((self.grammar.root,))
 
     @property
     def analysis_seconds(self) -> float:
@@ -154,7 +184,16 @@ def _analyze_xpath_query(
     materialize: bool,
 ) -> tuple[frozenset[str], list[PathL]]:
     """Projector + extracted paths for a single XPath query."""
-    approximation = _to_pathl(query)
+    return _analyze_approximation(grammar, inference, _to_pathl(query), materialize)
+
+
+def _analyze_approximation(
+    grammar: Grammar,
+    inference: ProjectorInference,
+    approximation: Approximation,
+    materialize: bool,
+) -> tuple[frozenset[str], list[PathL]]:
+    """Projector + paths for an already-approximated XPath query."""
     projector = set(
         _analyze_pathl(grammar, inference, approximation.main, materialize)
     )
@@ -198,6 +237,7 @@ def analyze(
     *,
     language: str = "auto",
     rewrite: bool = True,
+    static: bool = True,
 ) -> AnalysisResult:
     """Infer the union projector for one query or a bunch of queries.
 
@@ -208,6 +248,14 @@ def analyze(
     answer nodes: ``τ' ∪ A_E(τ'', descendant)``, end of Section 4.2;
     XQuery paths carry their own materialisation markers.  ``rewrite``
     applies the Section 5 XQuery rewriting before path extraction.
+
+    ``static=True`` (the default) runs the satisfiability pre-pass
+    (:mod:`repro.static.sat`) alongside inference: per-query verdicts in
+    :attr:`AnalysisResult.verdicts`, a provably-redundant-work skip for
+    τ-empty queries, and an occurrence filter on the union projector.
+    Every static effect is byte-identity-preserving on grammar-valid
+    documents — ``static=False`` yields the same pruned bytes, just
+    without the verdicts (the differential tests assert exactly this).
     """
     if not isinstance(queries, list):
         queries = [queries]
@@ -215,21 +263,50 @@ def analyze(
     per_query: list[frozenset[str]] = []
     per_query_paths: list[list[PathL]] = []
     languages: list[str] = []
+    verdicts: list[QueryVerdict] = []
     with obs.timed("analysis", queries=len(queries), language=language) as span:
         for query in queries:
             kind = _query_language(query, language)
-            with obs.span(
-                "analysis.query", language=kind,
-                query=query if isinstance(query, str) else repr(query),
-            ):
+            label = query if isinstance(query, str) else repr(query)
+            with obs.span("analysis.query", language=kind, query=label):
                 if kind == "xquery":
                     projector, paths = _analyze_xquery_query(
                         grammar, inference, query, rewrite
                     )
+                    if static:
+                        verdicts.append(classify_paths(grammar, paths, label))
                 else:
-                    projector, paths = _analyze_xpath_query(
-                        grammar, inference, query, materialize
+                    approximation = _to_pathl(query)
+                    verdict = (
+                        classify_path(grammar, approximation.main, label)
+                        if static
+                        else None
                     )
+                    if (
+                        verdict is not None
+                        and verdict.tau_empty
+                        and not approximation.absolute_paths
+                        and all(
+                            step.condition is None
+                            for step in approximation.main.steps
+                        )
+                    ):
+                        # A τ-empty *qualifier-free* path provably infers
+                        # the root-only projector (dead continuations
+                        # empty every rule's kept-set).  Qualified steps
+                        # are excluded: Figure 2's condition rule unions
+                        # the qualifier projectors whenever the step
+                        # itself is live, even under a dead tail, so
+                        # skipping the inference there would drop names
+                        # the real inference keeps.
+                        projector = frozenset((grammar.root,))
+                        paths = [approximation.main]
+                    else:
+                        projector, paths = _analyze_approximation(
+                            grammar, inference, approximation, materialize
+                        )
+                    if verdict is not None:
+                        verdicts.append(verdict)
             languages.append(kind)
             per_query.append(projector)
             per_query_paths.append(paths)
@@ -238,6 +315,15 @@ def analyze(
             if per_query
             else frozenset((grammar.root,))
         )
+        if static and per_query:
+            filtered = filter_projector(grammar, union)
+            if len(filtered) < len(union):
+                span.count("static.filtered_names", len(union) - len(filtered))
+            union = filtered
+        unsat = sum(1 for verdict in verdicts if not verdict.satisfiable)
+        if unsat:
+            span.count("static.unsat_queries", unsat)
+            obs.count("static.unsat_queries", unsat)
         span.count("queries", len(queries))
         span.count("projector_size", len(union))
     return AnalysisResult(
@@ -248,6 +334,7 @@ def analyze(
         per_query_paths=per_query_paths,
         languages=languages,
         span=span,
+        verdicts=verdicts,
     )
 
 

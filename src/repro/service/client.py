@@ -292,6 +292,40 @@ class ServiceClient:
             worker=result.get("worker"),
         )
 
+    def check_update(
+        self,
+        update_paths: "Sequence[str] | str",
+        *,
+        queries: "Sequence[str] | str | None" = None,
+        projector: "Iterable[str] | None" = None,
+        dtd: str | None = None,
+        dtd_path: str | None = None,
+        root: str | None = None,
+        xmark: bool = False,
+    ) -> dict[str, Any]:
+        """Ask the server whether an update is provably independent of the
+        workload.  Independent updates *retain* the grammar's pinned
+        worker payloads; possibly-dependent ones unpin them so the next
+        request re-establishes resident state.  Returns the wire result:
+        ``independent``, ``reason``, ``impact``/``overlap``/``projector``
+        name lists, and the ``retained``/``invalidated`` pin counts."""
+        fields: dict[str, Any] = {
+            "grammar": self._grammar_spec(dtd, dtd_path, root, xmark),
+            "update_paths": (
+                [update_paths] if isinstance(update_paths, str)
+                else list(update_paths)
+            ),
+        }
+        if projector is not None:
+            fields["projector"] = sorted(projector)
+        elif queries is not None:
+            fields["queries"] = (
+                [queries] if isinstance(queries, str) else list(queries)
+            )
+        else:
+            raise ValueError("pass queries= or projector=")
+        return self.request("check_update", **fields)
+
     def prune_batch(
         self,
         sources: "Sequence[str] | None" = None,

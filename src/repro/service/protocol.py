@@ -63,7 +63,15 @@ __all__ = [
 DEFAULT_MAX_FRAME_BYTES = 256 << 20
 
 #: The operations the server understands.
-OPS = ("analyze", "prune", "prune_batch", "extract", "stats", "health")
+OPS = (
+    "analyze",
+    "prune",
+    "prune_batch",
+    "extract",
+    "check_update",
+    "stats",
+    "health",
+)
 
 _HEADER = struct.Struct(">I")
 

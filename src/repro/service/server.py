@@ -40,7 +40,7 @@ from typing import Any, Callable
 
 from repro import obs
 from repro.api import PruneOptions, PruneResult
-from repro.core.cache import ProjectorCache, default_cache
+from repro.core.cache import ProjectorCache, default_cache, grammar_fingerprint
 from repro.dtd.grammar import Grammar, grammar_from_text
 from repro.errors import (
     ProtocolError,
@@ -61,6 +61,7 @@ from repro.service.protocol import (
     stats_to_wire,
 )
 from repro.service.workers import ResidentPool, WorkerFailure
+from repro.static.independence import independent
 
 __all__ = ["BackgroundServer", "ProjectionServer", "serve_background"]
 
@@ -108,6 +109,9 @@ class ProjectionServer:
         self._inflight = 0
         self._inflight_high_water = 0
         self._requests_served = 0
+        self._static_checks = 0
+        self._static_retained = 0
+        self._static_invalidated = 0
         self._refusals = 0
         self._refusals_by_scope: dict[str, int] = {}
         self._latency = obs.Histogram("service.request_seconds")
@@ -306,6 +310,8 @@ class ProjectionServer:
                     result = await self._do_prune(frame)
                 elif op == "extract":
                     result = await self._do_extract(frame)
+                elif op == "check_update":
+                    result = await self._do_check_update(frame)
                 else:
                     result = await self._do_prune_batch(frame)
                 response: dict[str, Any] = {"id": req_id, "ok": True, "result": result}
@@ -366,6 +372,11 @@ class ProjectionServer:
                 "jobs": self.pool.jobs,
                 "pinned": self.pool.pinned,
                 "respawns": self.pool.respawns,
+            },
+            "static": {
+                "checks": self._static_checks,
+                "retained": self._static_retained,
+                "invalidated": self._static_invalidated,
             },
         }
 
@@ -513,6 +524,43 @@ class ProjectionServer:
         if result.output_path is not None:
             payload["output_path"] = result.output_path
         return payload
+
+    async def _do_check_update(self, frame: dict[str, Any]) -> dict[str, Any]:
+        """The update-independence judgment, wired into pin retention:
+        an update proven independent of the workload's projector leaves
+        every resident payload pinned (the compiled state stays warm); a
+        possibly-dependent one unpins the grammar's pairs so the next
+        request re-establishes them."""
+        grammar = self._grammar_from(frame)
+        update_paths = frame.get("update_paths")
+        if isinstance(update_paths, str):
+            update_paths = [update_paths]
+        if not isinstance(update_paths, list) or not all(
+            isinstance(path, str) for path in update_paths
+        ):
+            raise ProtocolError("check_update needs an 'update_paths' list")
+        projector = self._projector_from(frame, grammar)
+        report = independent(grammar, update_paths, projector, cache=self.cache)
+        fingerprint = grammar_fingerprint(grammar)
+        retained = invalidated = 0
+        if report.independent:
+            retained = self.pool.pinned_for(fingerprint)
+            if retained:
+                obs.count("static.cache_retained", retained)
+        else:
+            invalidated = self.pool.unpin_grammar(fingerprint)
+        self._static_checks += 1
+        self._static_retained += retained
+        self._static_invalidated += invalidated
+        return {
+            "independent": report.independent,
+            "reason": report.reason,
+            "impact": sorted(report.impact),
+            "overlap": sorted(report.overlap),
+            "projector": sorted(report.projector),
+            "retained": retained,
+            "invalidated": invalidated,
+        }
 
     async def _do_prune_batch(self, frame: dict[str, Any]) -> dict[str, Any]:
         from repro.parallel import _output_paths

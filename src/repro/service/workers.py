@@ -228,6 +228,21 @@ class ResidentPool:
     def pinned(self) -> int:
         return len(self._payloads)
 
+    def pinned_for(self, fingerprint: str) -> int:
+        """How many pinned pairs belong to one grammar fingerprint."""
+        return sum(1 for key in self._payloads if key[0] == fingerprint)
+
+    def unpin_grammar(self, fingerprint: str) -> int:
+        """Drop every pinned pair for one grammar fingerprint; returns the
+        number removed.  The next request against that grammar re-compiles
+        and re-ships — this is how a dependent update invalidates resident
+        state, while a proven-independent one leaves the pins alone."""
+        keys = [key for key in self._payloads if key[0] == fingerprint]
+        for key in keys:
+            del self._payloads[key]
+            self._pruners.pop(key, None)
+        return len(keys)
+
     # -- execution -------------------------------------------------------
 
     def submit(

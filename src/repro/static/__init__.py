@@ -1,0 +1,57 @@
+"""Static satisfiability and update-independence analysis.
+
+Everything in this package is *static-phase* work in the paper's sense:
+it consumes only the compiled grammar ``(X, E)`` — never a document —
+and its conclusions therefore hold for every grammar-valid document at
+once.  Two judgements live here:
+
+* **Satisfiability** (:mod:`repro.static.sat`): can a query select any
+  node in *some* valid document?  Emptiness is decided by derivability
+  and reachability over the content-model regexes (after *XPath
+  Satisfiability ... under Real-World DTDs*, Ishihara et al.), composed
+  with the Figure 1 type inference for the path/qualifier structure.
+  An UNSAT verdict licenses answering the query with an empty result
+  without opening the document.
+
+* **Update independence** (:mod:`repro.static.independence`): can an
+  update along the given paths ever change a projected view?  (After
+  *Type-Based Detection of XML Query-Update Independence*, Bidoit,
+  Colazzo, Ulliana.)  A proven-independent update lets the resident
+  service keep cached pruned payloads warm instead of invalidating.
+
+Both verdicts are conservative in the sound direction: ``UNSAT`` and
+``independent`` are proofs (under grammar-validity); ``SAT`` and
+``dependent`` merely mean "could not prove otherwise".
+"""
+
+from repro.static.independence import (
+    IndependenceReport,
+    impact_names,
+    independent,
+)
+from repro.static.sat import (
+    BranchVerdict,
+    QueryVerdict,
+    classify_path,
+    classify_query,
+    derivable_names,
+    filter_projector,
+    occurring_names,
+    regex_can_contain,
+    regex_can_match,
+)
+
+__all__ = [
+    "BranchVerdict",
+    "IndependenceReport",
+    "QueryVerdict",
+    "classify_path",
+    "classify_query",
+    "derivable_names",
+    "filter_projector",
+    "impact_names",
+    "independent",
+    "occurring_names",
+    "regex_can_contain",
+    "regex_can_match",
+]

@@ -1,0 +1,118 @@
+"""Update/query independence from types (after Bidoit–Colazzo–Ulliana).
+
+An update expression is abstracted — the same way Section 3.3 abstracts
+queries — to the paths naming its target nodes.  Whatever the update
+does (delete, replace, insert-into, rename), every node it creates,
+destroys or modifies lies inside the subtree of some target node, so
+the names it can touch are bounded by the Figure 1 type of the target
+paths closed under descendants: :func:`impact_names`.
+
+A projected view is then **independent** of the update iff that impact
+set is disjoint from the view's projector.  Soundness is the pruner's
+own keep rule read backwards: a node is kept iff its name and its whole
+ancestor chain lie in the projector, so a modification confined to
+names outside the projector can neither add a kept node (the new node's
+name is not in the projector), remove one (no kept node has a touched
+name), nor change one's content — the projected bytes are identical
+before and after.  As with satisfiability, the judgment is one-sided:
+``independent=True`` is a proof (for grammar-preserving updates on
+grammar-valid documents); ``False`` only means overlap could not be
+excluded.
+
+The service's ``check_update`` op builds on this to *retain* resident
+pinned payloads across proven-independent updates instead of
+invalidating them (see :mod:`repro.service`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.inference import infer_type
+from repro.dtd.grammar import Grammar
+
+__all__ = ["IndependenceReport", "impact_names", "independent"]
+
+
+@dataclass(frozen=True, slots=True)
+class IndependenceReport:
+    """Outcome of one independence check.
+
+    ``impact`` is the set of grammar names the update may touch;
+    ``overlap`` is its intersection with the view's projector — empty
+    exactly when ``independent`` is True.
+    """
+
+    independent: bool
+    impact: frozenset[str]
+    overlap: frozenset[str]
+    projector: frozenset[str]
+    reason: str
+
+
+def impact_names(grammar: Grammar, update_path) -> frozenset[str]:
+    """Names an update targeting ``update_path`` may create, destroy or
+    modify: the Figure 1 type of the path, closed under descendants
+    (an update may rewrite the whole subtree of each target, including
+    its text and attribute names)."""
+    from repro.core.pipeline import _to_pathl
+    from repro.xpath.xpathl import element_rooted
+
+    approximation = _to_pathl(update_path)
+    rooted = element_rooted(approximation.main)
+    if rooted is None:
+        return frozenset()
+    tau = infer_type(grammar, rooted).tau
+    return grammar.descendant_closure(tau)
+
+
+def independent(
+    grammar: Grammar,
+    update_paths,
+    query_spec,
+    cache=None,
+) -> IndependenceReport:
+    """Judge whether updates along ``update_paths`` can affect the view
+    defined by ``query_spec``.
+
+    ``update_paths`` is one path or a list of paths (XPath strings or
+    parsed paths); ``query_spec`` is anything the projector machinery
+    accepts: an already-inferred projector (a set of names), a query
+    string or list of query strings (analyzed through ``cache`` or the
+    process default), or an object with a ``projector`` attribute (an
+    :class:`~repro.core.pipeline.AnalysisResult`).
+    """
+    from repro.core.cache import resolve_projector
+
+    if hasattr(query_spec, "projector"):
+        projector = frozenset(query_spec.projector)
+    else:
+        projector = resolve_projector(grammar, query_spec, cache=cache)
+
+    if not isinstance(update_paths, (list, tuple)):
+        update_paths = [update_paths]
+    impact: frozenset[str] = frozenset()
+    for update_path in update_paths:
+        impact |= impact_names(grammar, update_path)
+
+    overlap = impact & projector
+    if not update_paths:
+        reason = "independent: no update paths given"
+    elif not impact:
+        reason = "independent: the update paths match nothing under the grammar"
+    elif overlap:
+        preview = ", ".join(sorted(overlap)[:5])
+        more = "" if len(overlap) <= 5 else f" (+{len(overlap) - 5} more)"
+        reason = f"dependent: the update may touch projected name(s) {preview}{more}"
+    else:
+        reason = (
+            "independent: every name the update may touch lies outside "
+            "the projector"
+        )
+    return IndependenceReport(
+        independent=not overlap,
+        impact=impact,
+        overlap=overlap,
+        projector=projector,
+        reason=reason,
+    )

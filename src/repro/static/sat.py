@@ -1,0 +1,498 @@
+"""DTD-aware query satisfiability: emptiness before the document opens.
+
+The decision procedure composes two ingredients, both computed from the
+grammar ``(X, E)`` alone:
+
+* **Derivability** — which names can generate *any* finite document
+  fragment.  A DTD can define names that generate nothing: a recursive
+  element with no base case (``<!ELEMENT a (a)>``) admits no finite
+  tree.  :func:`derivable_names` is the least fixpoint of "an element
+  name is derivable iff its content regex matches some word over
+  derivable names".
+
+* **Occurrence** — which names can appear in *some* valid document of
+  the grammar: reachability from the root over *realizable* edges.  An
+  edge ``parent -> child`` is realizable iff the parent's content regex
+  matches some word over derivable names that contains ``child``
+  (:func:`regex_can_contain`) — mere mention in the regex is not enough
+  when every word through the mention also needs a non-derivable name.
+
+A query is then **UNSAT** iff the Figure 1 type inference, with every
+intermediate type restricted to occurring names, ends empty.  The
+restriction is sound because in a grammar-valid document every node's
+name occurs by definition, so intersecting an over-approximation of the
+node set's names with the occurring set still over-approximates.  The
+verdict is one-sided by design: UNSAT is a proof of emptiness over all
+valid documents; SAT only means emptiness could not be proven (the type
+system itself is approximate, Theorem 4.4).
+
+:func:`filter_projector` applies the same occurrence information to a
+projector: names that never occur can be dropped (and names thereby
+unchained from the root with them) without changing a single output
+byte, because a kept document node's ancestor chain consists of
+occurring names only.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import weakref
+from dataclasses import dataclass, field
+
+from repro.core.inference import Env, TypeInference, initial_env
+from repro.dtd.grammar import (
+    AttributeProduction,
+    ElementProduction,
+    Grammar,
+    TextProduction,
+)
+from repro.dtd.regex import Alt, Atom, Empty, Epsilon, Opt, Plus, Regex, Seq, Star
+from repro.xpath.xpathl import LStep, PathL, SimplePath, element_rooted
+
+__all__ = [
+    "BranchVerdict",
+    "QueryVerdict",
+    "classify_path",
+    "classify_paths",
+    "classify_query",
+    "derivable_names",
+    "filter_projector",
+    "occurring_names",
+    "regex_can_contain",
+    "regex_can_match",
+]
+
+
+# -- emptiness over content-model regexes -------------------------------------
+
+
+def regex_can_match(regex: Regex, allowed: frozenset[str]) -> bool:
+    """Whether ``regex`` matches some word using only ``allowed`` names.
+
+    This is regular-language emptiness restricted to an alphabet — decided
+    structurally (no automaton needed): iterations can always take zero
+    turns, so ``r*`` and ``r?`` match the empty word regardless.
+    """
+    if isinstance(regex, Empty):
+        return False
+    if isinstance(regex, Epsilon):
+        return True
+    if isinstance(regex, Atom):
+        return regex.name in allowed
+    if isinstance(regex, Seq):
+        return all(regex_can_match(item, allowed) for item in regex.items)
+    if isinstance(regex, Alt):
+        return any(regex_can_match(item, allowed) for item in regex.items)
+    if isinstance(regex, (Star, Opt)):
+        return True
+    if isinstance(regex, Plus):
+        return regex_can_match(regex.inner, allowed)
+    raise TypeError(f"unknown regex node {regex!r}")
+
+
+def regex_can_contain(regex: Regex, child: str, allowed: frozenset[str]) -> bool:
+    """Whether some word of ``regex`` over ``allowed`` names contains
+    ``child`` — i.e. the content-model edge ``parent -> child`` is
+    realizable in a valid document.
+
+    Mention is not realization: in ``(a, b)`` with ``b`` non-derivable,
+    no valid parent ever has an ``a`` child even though ``a`` is named.
+    """
+    if child not in allowed:
+        return False
+    if isinstance(regex, (Empty, Epsilon)):
+        return False
+    if isinstance(regex, Atom):
+        return regex.name == child
+    if isinstance(regex, Seq):
+        # One item supplies the child; every other item must still match.
+        for index, item in enumerate(regex.items):
+            if regex_can_contain(item, child, allowed) and all(
+                regex_can_match(other, allowed)
+                for position, other in enumerate(regex.items)
+                if position != index
+            ):
+                return True
+        return False
+    if isinstance(regex, Alt):
+        return any(regex_can_contain(item, child, allowed) for item in regex.items)
+    if isinstance(regex, (Star, Plus, Opt)):
+        # One iteration supplies the child; the rest can be empty (zero
+        # further iterations for * and ?, and the witnessing iteration
+        # itself satisfies +'s "at least one").
+        return regex_can_contain(regex.inner, child, allowed)
+    raise TypeError(f"unknown regex node {regex!r}")
+
+
+# -- derivable and occurring names --------------------------------------------
+
+_DERIVABLE: "weakref.WeakKeyDictionary[Grammar, frozenset[str]]" = (
+    weakref.WeakKeyDictionary()
+)
+_OCCURRING: "weakref.WeakKeyDictionary[Grammar, frozenset[str]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def derivable_names(grammar: Grammar) -> frozenset[str]:
+    """Names that generate at least one finite tree (least fixpoint).
+
+    Text and attribute names are always derivable (any string is a
+    witness); an element name is derivable iff its content regex matches
+    some word over already-derivable names.  Every name a real DTD parse
+    produces is derivable unless the DTD is recursive without a base
+    case; the pathological cases matter for hand-built grammars.
+    """
+    cached = _DERIVABLE.get(grammar)
+    if cached is not None:
+        return cached
+    derivable: set[str] = {
+        name
+        for name, production in grammar.productions.items()
+        if isinstance(production, (TextProduction, AttributeProduction))
+    }
+    pending = [
+        production
+        for production in grammar.productions.values()
+        if isinstance(production, ElementProduction)
+    ]
+    changed = True
+    while changed:
+        changed = False
+        remaining = []
+        frozen = frozenset(derivable)
+        for production in pending:
+            if regex_can_match(production.regex, frozen):
+                derivable.add(production.name)
+                changed = True
+            else:
+                remaining.append(production)
+        pending = remaining
+    result = frozenset(derivable)
+    _DERIVABLE[grammar] = result
+    return result
+
+
+def occurring_names(grammar: Grammar) -> frozenset[str]:
+    """Names that appear in at least one grammar-valid document: forward
+    reachability from the root over *realizable* content-model edges.
+
+    Returns the empty set when the root itself is non-derivable (the
+    grammar admits no document at all).  Attributes of an occurring
+    element always occur (a document may always supply them).
+    """
+    cached = _OCCURRING.get(grammar)
+    if cached is not None:
+        return cached
+    derivable = derivable_names(grammar)
+    occurring: set[str] = set()
+    if grammar.root in derivable:
+        frontier = [grammar.root]
+        occurring.add(grammar.root)
+        while frontier:
+            current = frontier.pop()
+            production = grammar.productions[current]
+            if not isinstance(production, ElementProduction):
+                continue
+            for child in production.regex.names():
+                if child not in occurring and regex_can_contain(
+                    production.regex, child, derivable
+                ):
+                    occurring.add(child)
+                    frontier.append(child)
+            for attr in production.attribute_names():
+                occurring.add(attr)
+    result = frozenset(occurring)
+    _OCCURRING[grammar] = result
+    return result
+
+
+# -- verdicts -----------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class BranchVerdict:
+    """Satisfiability of one qualifier disjunct, in its path context."""
+
+    path: str
+    satisfiable: bool
+    reason: str
+
+
+@dataclass(frozen=True, slots=True)
+class QueryVerdict:
+    """The pre-pass verdict for one query.
+
+    ``satisfiable=False`` is a proof: over every grammar-valid document
+    the query selects nothing.  ``result_type`` is the Figure 1 type of
+    the answer restricted to occurring names; ``tau_empty`` records
+    whether the *unrestricted* Figure 1 type is already empty — exactly
+    the condition under which projector inference provably returns the
+    root-only projector, licensing the analysis work-skip.  ``branches``
+    carries one verdict per qualifier disjunct encountered.
+    """
+
+    query: str
+    satisfiable: bool
+    reason: str
+    result_type: frozenset[str] = frozenset()
+    tau_empty: bool = False
+    branches: tuple[BranchVerdict, ...] = ()
+
+    def fingerprint(self) -> str:
+        """Content hash of the verdict — byte-stable across runs and
+        processes, so cached and fresh verdicts can be compared."""
+        payload = json.dumps(
+            {
+                "query": self.query,
+                "satisfiable": self.satisfiable,
+                "reason": self.reason,
+                "result_type": sorted(self.result_type),
+                "tau_empty": self.tau_empty,
+                "branches": [
+                    [branch.path, branch.satisfiable, branch.reason]
+                    for branch in self.branches
+                ],
+            },
+            ensure_ascii=False,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass(slots=True)
+class _PathFacts:
+    satisfiable: bool
+    tau_empty: bool
+    result_type: frozenset[str]
+    reason: str
+    branches: list[BranchVerdict] = field(default_factory=list)
+
+
+def _restrict(env: Env, occ: frozenset[str]) -> Env:
+    """Intersect an environment with the occurring names (sound: every
+    node in a valid document has an occurring name, so the restriction
+    preserves the over-approximation invariant of Theorem 4.4)."""
+    return Env(env.tau & occ, env.kappa & occ)
+
+
+def _path_facts(
+    grammar: Grammar,
+    inference: TypeInference,
+    occ: frozenset[str],
+    pathl: "PathL | SimplePath",
+) -> _PathFacts:
+    rooted = element_rooted(pathl) if isinstance(pathl, PathL) else pathl
+    if rooted is None:
+        return _PathFacts(
+            satisfiable=False,
+            tau_empty=True,
+            result_type=frozenset(),
+            reason="UNSAT: the leading axis selects nothing at the document node",
+        )
+
+    # Plain Figure 1 walk — τ emptiness here is the work-skip criterion
+    # (projector inference provably returns {root} for a τ-empty path).
+    plain = initial_env(grammar)
+    plain_dead_at: int | None = None
+    for index, lstep in enumerate(rooted.steps):
+        plain = inference.infer(plain, (lstep,))
+        if plain.is_empty:
+            plain_dead_at = index
+            break
+    tau_empty = plain.is_empty
+
+    # Occurrence-restricted walk: strictly stronger, still sound.  The
+    # qualifier rule is re-run per name so a disjunct that only reaches
+    # never-occurring names counts as false (plain Figure 1 keeps it).
+    env = _restrict(initial_env(grammar), occ)
+    dead_at: int | None = None
+    branches: list[BranchVerdict] = []
+    for index, lstep in enumerate(rooted.steps):
+        if env.is_empty:
+            break
+        if lstep.condition is None:
+            env = _restrict(inference.infer(env, (lstep,)), occ)
+        else:
+            bare = LStep(lstep.axis, lstep.test)
+            mid = _restrict(inference.infer(env, (bare,)), occ)
+            kept: set[str] = set()
+            for disjunct in lstep.condition:
+                witness = inference.infer(mid, disjunct.steps)
+                if witness.tau & occ:
+                    d_reason = "SAT: the qualifier may hold"
+                elif witness.is_empty:
+                    d_reason = "UNSAT: no grammar chain continues the qualifier"
+                else:
+                    d_reason = (
+                        "UNSAT: the qualifier only reaches names that never "
+                        "occur in a valid document"
+                    )
+                branches.append(
+                    BranchVerdict(
+                        path=f"{lstep.axis.value}::{lstep.test}[{disjunct}]",
+                        satisfiable=bool(witness.tau & occ),
+                        reason=d_reason,
+                    )
+                )
+            ops = inference.ops
+            for name in mid.tau:
+                singleton = frozenset((name,))
+                local = Env(singleton, ops.context_restrict(mid.kappa, singleton))
+                for disjunct in lstep.condition:
+                    if inference.infer(local, disjunct.steps).tau & occ:
+                        kept.add(name)
+                        break
+            tau = frozenset(kept)
+            env = Env(tau, ops.context_restrict(mid.kappa, tau))
+        if env.is_empty and dead_at is None:
+            dead_at = index
+
+    satisfiable = not env.is_empty
+    if satisfiable:
+        reason = "SAT: may select nodes typed {%s}" % ", ".join(sorted(env.tau))
+    elif not occ:
+        reason = (
+            "UNSAT: the grammar admits no valid document "
+            "(the root name is not derivable)"
+        )
+    elif tau_empty:
+        where = plain_dead_at + 1 if plain_dead_at is not None else len(rooted.steps)
+        reason = f"UNSAT: no grammar chain matches the path (type empties at step {where})"
+    else:
+        where = dead_at + 1 if dead_at is not None else len(rooted.steps)
+        reason = (
+            "UNSAT: the path only reaches names that never occur in a "
+            f"valid document (dead from step {where})"
+        )
+    return _PathFacts(
+        satisfiable=satisfiable,
+        tau_empty=tau_empty,
+        result_type=env.tau,
+        reason=reason,
+        branches=branches,
+    )
+
+
+def classify_path(
+    grammar: Grammar,
+    pathl: "PathL | SimplePath",
+    query: str | None = None,
+) -> QueryVerdict:
+    """Verdict for a single (already-approximated) XPathℓ path."""
+    inference = TypeInference(grammar)
+    occ = occurring_names(grammar)
+    facts = _path_facts(grammar, inference, occ, pathl)
+    return QueryVerdict(
+        query=query if query is not None else str(pathl),
+        satisfiable=facts.satisfiable,
+        reason=facts.reason,
+        result_type=facts.result_type,
+        tau_empty=facts.tau_empty,
+        branches=tuple(facts.branches),
+    )
+
+
+def classify_paths(
+    grammar: Grammar,
+    paths: "list[PathL] | tuple[PathL, ...]",
+    query: str,
+) -> QueryVerdict:
+    """Aggregate verdict over several extracted paths (one XQuery may
+    contribute many): satisfiable iff any path is, τ-empty iff all are.
+
+    For an XQuery, UNSAT means the query's *projection paths* select
+    nothing in any valid document — the query reads no document data
+    (constructed output may still be non-empty; only data access is
+    judged).
+    """
+    inference = TypeInference(grammar)
+    occ = occurring_names(grammar)
+    all_facts = [_path_facts(grammar, inference, occ, path) for path in paths]
+    if not all_facts:
+        return QueryVerdict(
+            query=query,
+            satisfiable=False,
+            tau_empty=True,
+            reason="UNSAT: the query extracts no paths (no document access)",
+        )
+    satisfiable = any(facts.satisfiable for facts in all_facts)
+    tau_empty = all(facts.tau_empty for facts in all_facts)
+    result_type: frozenset[str] = frozenset()
+    for facts in all_facts:
+        result_type |= facts.result_type
+    branches = [branch for facts in all_facts for branch in facts.branches]
+    if satisfiable:
+        reason = next(facts.reason for facts in all_facts if facts.satisfiable)
+    elif len(all_facts) == 1:
+        reason = all_facts[0].reason
+    else:
+        reason = (
+            "UNSAT: none of the query's %d extracted paths can select a "
+            "node in a valid document" % len(all_facts)
+        )
+    return QueryVerdict(
+        query=query,
+        satisfiable=satisfiable,
+        reason=reason,
+        result_type=result_type,
+        tau_empty=tau_empty,
+        branches=tuple(branches),
+    )
+
+
+def classify_query(
+    grammar: Grammar,
+    query,
+    language: str = "auto",
+) -> QueryVerdict:
+    """Verdict for one query in any supported surface syntax.
+
+    Routing matches :func:`repro.core.pipeline.analyze`: ``language`` may
+    be ``"xpath"``, ``"xquery"`` or ``"auto"``.  XQuery goes through the
+    Section 5 rewriting and Figure 3 path extraction; XPath through the
+    Section 3.3 approximation into XPathℓ.
+    """
+    from repro.core.pipeline import _query_language, _to_pathl
+
+    label = query if isinstance(query, str) else str(query)
+    kind = _query_language(query, language)
+    if kind == "xquery":
+        from repro.xquery.extraction import extract_paths
+        from repro.xquery.parser import parse_xquery
+        from repro.xquery.rewrite import rewrite_query
+
+        parsed = parse_xquery(query) if isinstance(query, str) else query
+        paths = extract_paths(rewrite_query(parsed))
+        return classify_paths(grammar, list(paths), label)
+    approximation = _to_pathl(query)
+    return classify_path(grammar, approximation.main, label)
+
+
+# -- projector filtering ------------------------------------------------------
+
+
+def filter_projector(grammar: Grammar, projector: frozenset[str]) -> frozenset[str]:
+    """Drop never-occurring names from a projector, then re-close chains.
+
+    Byte-identical on grammar-valid documents: the pruner keeps a node
+    iff its name and its whole ancestor chain are in the projector, and
+    every name on a real node's chain occurs by definition — so removing
+    non-occurring names (and whatever they alone chained to the root)
+    can never change which nodes are kept.  The result is a valid
+    projector by construction (chain-closed from the root).
+    """
+    occ = occurring_names(grammar)
+    keep = (frozenset(projector) & occ) | {grammar.root}
+    reached: set[str] = set()
+    frontier = [grammar.root]
+    while frontier:
+        current = frontier.pop()
+        if current in reached:
+            continue
+        reached.add(current)
+        for successor in grammar.successors_of(current):
+            if successor in keep and successor not in reached:
+                frontier.append(successor)
+    return frozenset(reached)

@@ -106,6 +106,25 @@ class TestRegressionGate:
     def test_skips_without_history(self):
         record = _stats.regression_gate(1.0, [])
         assert record["gate"] == "skip"
+        assert "0 prior" in record["reason"]
+
+    def test_single_prior_point_is_a_skip_not_a_pass(self):
+        # One point is no baseline: even a wild outlier must not pass (or
+        # fail) the gate — it skips, and says why.
+        record = _stats.regression_gate(5.0, [{"p50": 1.0}])
+        assert record["gate"] == "skip"
+        assert "1 prior" in record["reason"]
+        record = _stats.regression_gate(0.1, [{"p50": 1.0}])
+        assert record["gate"] == "skip"
+
+    def test_two_prior_points_gate_for_real(self):
+        history = [{"p50": 1.0}, {"p50": 1.0}]
+        assert _stats.regression_gate(
+            1.1, history, tolerance_percent=25.0
+        )["gate"] == "pass"
+        assert _stats.regression_gate(
+            2.0, history, tolerance_percent=25.0
+        )["gate"] == "fail"
 
     def test_passes_within_tolerance(self):
         history = [{"p50": 1.0} for _ in range(5)]

@@ -25,6 +25,7 @@ from __future__ import annotations
 import pytest
 
 from repro import Limits, extract, obs, prune
+from repro.core.pipeline import analyze
 from repro.core.projector import infer_projector
 from repro.dtd.validator import validate
 from repro.extract.reference import extract_document
@@ -140,6 +141,38 @@ def check_extract(seed: int) -> None:
     assert off.text == fused.text, f"seed {seed}: Limits.off() changed the output"
 
 
+def check_static(seed: int) -> None:
+    """The static-pre-pass axis: analysis with the satisfiability pre-pass
+    enabled vs disabled must prune to byte-identical output — the
+    pre-pass may only ever remove *work*, never *bytes*."""
+    grammar, document, pathl, _ = _case(seed)
+    markup = serialize(document)
+    query = str(pathl)
+
+    with_prepass = analyze(grammar, query, static=True)
+    without_prepass = analyze(grammar, query, static=False)
+    baseline = prune(markup, grammar, without_prepass.projector).text
+    filtered = prune(markup, grammar, with_prepass.projector).text
+    assert filtered == baseline, (
+        f"seed {seed}: the occurrence filter changed the pruned bytes"
+    )
+
+    # Passing the analysis itself arms the provably-empty short-circuit;
+    # whether or not it fires, the bytes must not move.
+    shortcut = prune(markup, grammar, with_prepass).text
+    assert shortcut == baseline, (
+        f"seed {seed}: the UNSAT short-circuit changed the pruned bytes"
+    )
+
+    # Verdict soundness on this concrete case: an UNSAT verdict means the
+    # query selects nothing in any valid document, this one included.
+    verdict = with_prepass.verdicts[0]
+    if not verdict.satisfiable:
+        assert evaluate_pathl(document, pathl) == [], (
+            f"seed {seed}: UNSAT verdict but the query selected nodes"
+        )
+
+
 @pytest.mark.parametrize("seed", range(QUICK_CASES))
 def test_differential_quick(seed):
     check_one(seed)
@@ -160,6 +193,17 @@ def test_differential_extract_quick(seed):
 @pytest.mark.parametrize("seed", range(QUICK_CASES, FULL_CASES))
 def test_differential_extract_full(seed):
     check_extract(seed)
+
+
+@pytest.mark.parametrize("seed", range(QUICK_CASES))
+def test_differential_static_quick(seed):
+    check_static(seed)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(QUICK_CASES, FULL_CASES))
+def test_differential_static_full(seed):
+    check_static(seed)
 
 
 def test_projector_is_valid_projector():

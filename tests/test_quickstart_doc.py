@@ -103,6 +103,29 @@ def test_readme_tabular_extraction_snippet_runs_verbatim(tmp_path, monkeypatch):
     assert (tmp_path / "rows" / "doc0.jsonl").read_text().count("\n") == 3
 
 
+def test_readme_static_short_circuit_snippet_runs_verbatim(
+    tmp_path, monkeypatch, capsys
+):
+    readme = pathlib.Path(__file__).resolve().parent.parent / "README.md"
+    match = re.search(
+        r"## Static short-circuiting\n.*?```python\n(.*?)```",
+        readme.read_text(), re.DOTALL,
+    )
+    assert match, "README has no static-short-circuiting code block"
+    code = match.group(1)
+    # The snippet reads bib.dtd and bib.xml from the working directory.
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "bib.dtd").write_text(BOOK_DTD)
+    (tmp_path / "bib.xml").write_text(BOOK_XML)
+    exec(compile(code, str(readme), "exec"), {})
+    out = capsys.readouterr().out
+    # Both verdicts printed, and the dead workload short-circuited to the
+    # valid empty result.
+    assert re.search(r"SAT\s+/bib/book/title", out)
+    assert re.search(r"UNSAT\s+/bib/book/editor", out)
+    assert "short-circuited to" in out
+
+
 def test_readme_documents_the_full_differential_sweep():
     readme = pathlib.Path(__file__).resolve().parent.parent / "README.md"
     assert "tests/test_differential.py -m slow" in readme.read_text()

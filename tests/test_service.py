@@ -331,6 +331,82 @@ def test_client_cannot_relax_the_server_limits_profile():
             assert excinfo.value.remote_type == "LimitExceeded"
 
 
+# -- update independence: retained vs invalidated pins ------------------------
+
+
+class TestCheckUpdate:
+    def test_independent_update_retains_pins(self, book_grammar):
+        """A proven-independent update must *retain* the resident worker
+        payloads — no unpin, no respawn — while a possibly-dependent one
+        invalidates them so the next request re-establishes the state."""
+        config = ServiceConfig(port=0, jobs=1)
+        with serve_background(config, cache=ProjectorCache()) as background:
+            with ServiceClient("127.0.0.1", background.port) as client:
+                client.prune(BOOK_XML, dtd=BOOK_DTD, root="bib",
+                             queries=[QUERY])
+                stats = client.stats()
+                assert stats["pool"]["pinned"] == 1
+                respawns = stats["pool"]["respawns"]
+
+                verdict = client.check_update(
+                    "/bib/book/price", dtd=BOOK_DTD, root="bib",
+                    queries=[QUERY],
+                )
+                assert verdict["independent"] is True
+                assert verdict["retained"] == 1
+                assert verdict["invalidated"] == 0
+                assert not verdict["overlap"]
+                stats = client.stats()
+                assert stats["pool"]["pinned"] == 1  # retained, not dropped
+                assert stats["pool"]["respawns"] == respawns
+                assert stats["static"] == {
+                    "checks": 1, "retained": 1, "invalidated": 0,
+                }
+
+                # The retained pin still serves work.
+                outcome = client.prune(BOOK_XML, dtd=BOOK_DTD, root="bib",
+                                       queries=[QUERY])
+                assert outcome.text == _expected_text(book_grammar, BOOK_XML)
+
+    def test_dependent_update_invalidates_pins(self, book_grammar):
+        config = ServiceConfig(port=0, jobs=1)
+        with serve_background(config, cache=ProjectorCache()) as background:
+            with ServiceClient("127.0.0.1", background.port) as client:
+                client.prune(BOOK_XML, dtd=BOOK_DTD, root="bib",
+                             queries=[QUERY])
+                assert client.stats()["pool"]["pinned"] == 1
+
+                verdict = client.check_update(
+                    "/bib/book/title", dtd=BOOK_DTD, root="bib",
+                    queries=[QUERY],
+                )
+                assert verdict["independent"] is False
+                assert "title" in verdict["overlap"]
+                assert verdict["invalidated"] == 1
+                stats = client.stats()
+                assert stats["pool"]["pinned"] == 0
+                assert stats["static"]["invalidated"] == 1
+
+                # The next request re-pins and still answers correctly.
+                outcome = client.prune(BOOK_XML, dtd=BOOK_DTD, root="bib",
+                                       queries=[QUERY])
+                assert outcome.text == _expected_text(book_grammar, BOOK_XML)
+                assert client.stats()["pool"]["pinned"] == 1
+
+    def test_check_update_requires_update_paths(self, server):
+        with socket.create_connection(("127.0.0.1", server.port),
+                                      timeout=10) as sock:
+            send_frame(sock, {
+                "id": 1, "op": "check_update",
+                "grammar": {"dtd": BOOK_DTD, "root": "bib"},
+                "queries": [QUERY],
+            })
+            response = recv_frame(sock)
+            assert response is not None and response["ok"] is False
+            assert response["error"]["type"] == "ProtocolError"
+            assert "update_paths" in response["error"]["message"]
+
+
 # -- admission control --------------------------------------------------------
 
 

@@ -1,0 +1,329 @@
+"""The satisfiability pre-pass on trial: every verdict proves itself.
+
+Two layers of evidence:
+
+* a **handcrafted adversarial battery** — grammars built to trip a naive
+  emptiness check (recursion without a base case, unrealizable sequence
+  edges, τ-live-but-occurrence-dead chains, dead qualifier branches,
+  document-node-rooted axes, attributes) with the exact verdict asserted
+  for each;
+* **Hypothesis properties** over random (grammar, document, query)
+  triples — an UNSAT verdict means the query selects *nothing* in any
+  valid document (checked against the evaluator), a judged-independent
+  update leaves the pruned view byte-identical after the update is
+  applied, and verdicts are deterministic (fingerprint-stable) across
+  independently built grammars.
+
+Every verdict here is one-sided by design: SAT may be a false positive
+(the analysis over-approximates), UNSAT never is.  The battery therefore
+asserts UNSAT outcomes exactly and SAT outcomes only where satisfiability
+is witnessed by a concrete document.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import prune
+from repro.core.pipeline import analyze
+from repro.dtd.grammar import grammar_from_text
+from repro.dtd.regex import Alt, Atom, Empty, Epsilon, Opt, Plus, Seq, Star
+from repro.static.independence import impact_names, independent
+from repro.static.sat import (
+    classify_path,
+    classify_query,
+    derivable_names,
+    filter_projector,
+    occurring_names,
+    regex_can_contain,
+    regex_can_match,
+)
+from repro.workloads.randomgen import (
+    random_grammar,
+    random_pathl,
+    random_valid_document,
+)
+from repro.xmltree.serializer import serialize
+from repro.xpath.xpathl import evaluate_pathl, parse_pathl
+
+BIB_DTD = """
+<!ELEMENT bib (book*)>
+<!ELEMENT book (title, author*, price?)>
+<!ATTLIST book id CDATA #REQUIRED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+"""
+
+BIB_DOC = (
+    '<bib><book id="1"><title>T</title><author>A</author>'
+    "<price>9</price></book></bib>"
+)
+
+
+def _bib():
+    return grammar_from_text(BIB_DTD, "bib")
+
+
+# -- regex emptiness primitives ----------------------------------------------
+
+
+def test_regex_can_match_base_cases():
+    allowed = frozenset({"a", "b"})
+    assert not regex_can_match(Empty(), allowed)
+    assert regex_can_match(Epsilon(), allowed)
+    assert regex_can_match(Atom("a"), allowed)
+    assert not regex_can_match(Atom("c"), allowed)
+    assert regex_can_match(Seq((Atom("a"), Atom("b"))), allowed)
+    assert not regex_can_match(Seq((Atom("a"), Atom("c"))), allowed)
+    assert regex_can_match(Alt((Atom("c"), Atom("b"))), allowed)
+    # Star/Opt always admit the empty word, whatever their body needs.
+    assert regex_can_match(Star(Atom("c")), allowed)
+    assert regex_can_match(Opt(Atom("c")), allowed)
+    assert not regex_can_match(Plus(Atom("c")), allowed)
+    assert regex_can_match(Plus(Atom("a")), allowed)
+
+
+def test_regex_can_contain_requires_a_full_word():
+    allowed = frozenset({"a", "b"})
+    # (a, c): 'a' occurs in the sequence, but no word over {a, b} does —
+    # containment demands the *whole* regex still match around the child.
+    assert not regex_can_contain(Seq((Atom("a"), Atom("c"))), "a", allowed)
+    assert regex_can_contain(Seq((Atom("a"), Atom("b"))), "a", allowed)
+    assert regex_can_contain(Alt((Atom("c"), Atom("a"))), "a", allowed)
+    assert regex_can_contain(Star(Atom("a")), "a", allowed)
+    assert not regex_can_contain(Star(Atom("a")), "c", allowed)
+
+
+# -- derivability and occurrence ---------------------------------------------
+
+
+def test_recursion_without_base_case_is_not_derivable():
+    grammar = grammar_from_text("<!ELEMENT loop (loop)>", "loop")
+    assert "loop" not in derivable_names(grammar)
+    # No valid document exists at all, so nothing occurs ...
+    assert occurring_names(grammar) == frozenset()
+    # ... and every query over the grammar is UNSAT.
+    verdict = classify_path(grammar, parse_pathl("child::loop"))
+    assert not verdict.satisfiable
+    assert "no valid document" in verdict.reason
+
+
+def test_recursion_with_base_case_is_derivable():
+    grammar = grammar_from_text("<!ELEMENT tree ((tree, tree)?)>", "tree")
+    assert "tree" in derivable_names(grammar)
+    assert "tree" in occurring_names(grammar)
+
+
+def test_unrealizable_sequence_edge_kills_the_root():
+    # 'dead' cannot derive a finite tree, and r *requires* one — so r is
+    # itself non-derivable even though 'a' would be fine.
+    grammar = grammar_from_text(
+        "<!ELEMENT r (a, dead)>"
+        "<!ELEMENT a (#PCDATA)>"
+        "<!ELEMENT dead (dead)>",
+        "r",
+    )
+    assert "a" in derivable_names(grammar)
+    assert "r" not in derivable_names(grammar)
+    assert occurring_names(grammar) == frozenset()
+
+
+def test_tau_live_but_occurrence_dead_chain():
+    # b is reachable in the type graph (τ-live via /site/a/b) but never
+    # derivable, so it cannot occur in any valid document.
+    grammar = grammar_from_text(
+        "<!ELEMENT site (a*)>"
+        "<!ELEMENT a (b?)>"
+        "<!ELEMENT b (b)>",
+        "site",
+    )
+    occ = occurring_names(grammar)
+    assert "a" in occ and "b" not in occ
+    verdict = classify_path(grammar, parse_pathl("/site/a/b"))
+    assert not verdict.satisfiable
+    assert "never occur" in verdict.reason
+    # The dead name must still not leak into pruned bytes: pruning with
+    # the analysis keeps the <a> elements the unfiltered projector keeps.
+    analysis = analyze(grammar, "/site/a/b")
+    assert not analysis.provably_empty
+    doc = "<site><a/><a/></site>"
+    assert prune(doc, grammar, analysis).text == prune(
+        doc, grammar, analyze(grammar, "/site/a/b", static=False).projector
+    ).text
+
+
+# -- path verdicts ------------------------------------------------------------
+
+
+def test_dead_step_reports_its_position():
+    verdict = classify_path(_bib(), parse_pathl("/bib/zzz"))
+    assert not verdict.satisfiable
+    assert verdict.tau_empty
+    assert "step 2" in verdict.reason
+
+
+def test_dead_leading_axis_is_unsat():
+    for query in ("parent::node()", "ancestor::node()", "attribute::id"):
+        verdict = classify_path(_bib(), parse_pathl(query))
+        assert not verdict.satisfiable, query
+        assert verdict.tau_empty, query
+
+
+def test_qualifier_branch_verdicts():
+    grammar = _bib()
+    verdict = classify_path(grammar, parse_pathl("/bib/book[zzz]/title"))
+    assert not verdict.satisfiable
+    dead = [b for b in verdict.branches if not b.satisfiable]
+    assert dead and "zzz" in dead[0].path
+
+    # A disjunction with one live branch keeps the query SAT, but the
+    # dead disjunct is still called out.
+    verdict = classify_path(
+        grammar, parse_pathl("/bib/book[zzz or title]/title")
+    )
+    assert verdict.satisfiable
+    flags = sorted(b.satisfiable for b in verdict.branches)
+    assert flags == [False, True]
+
+
+def test_or_self_axes_and_attributes():
+    grammar = _bib()
+    sat = classify_path(
+        grammar, parse_pathl("descendant-or-self::book/attribute::id")
+    )
+    assert sat.satisfiable
+    unsat = classify_path(
+        grammar, parse_pathl("descendant-or-self::book/attribute::nope")
+    )
+    assert not unsat.satisfiable
+
+
+def test_classify_query_languages():
+    grammar = _bib()
+    assert classify_query(grammar, "//title").satisfiable
+    assert not classify_query(grammar, "//zzz").satisfiable
+    xq = classify_query(
+        grammar, 'for $b in /bib/book return <r>{$b/title}</r>'
+    )
+    assert xq.satisfiable
+    dead_xq = classify_query(
+        grammar, 'for $b in /bib/zzz return <r>{$b/title}</r>'
+    )
+    assert not dead_xq.satisfiable
+
+
+# -- the occurrence filter ----------------------------------------------------
+
+
+def test_filter_projector_drops_dead_names_and_rechains():
+    grammar = grammar_from_text(
+        "<!ELEMENT site (a*)>"
+        "<!ELEMENT a (b?)>"
+        "<!ELEMENT b (b)>",
+        "site",
+    )
+    filtered = filter_projector(grammar, frozenset({"site", "a", "b"}))
+    assert filtered == frozenset({"site", "a"})
+    # The root survives even a filter that kills everything else.
+    dead = grammar_from_text("<!ELEMENT loop (loop)>", "loop")
+    assert filter_projector(dead, frozenset({"loop"})) == frozenset({"loop"})
+
+
+def test_provably_empty_requires_root_only_projector():
+    grammar = _bib()
+    empty = analyze(grammar, ["/bib/zzz", "//nope"])
+    assert empty.all_unsat and empty.provably_empty
+    # The short-circuit answers without touching document structure.
+    assert prune(BIB_DOC, grammar, empty).text == prune(
+        BIB_DOC, grammar, analyze(grammar, ["/bib/zzz", "//nope"], static=False).projector
+    ).text
+    live = analyze(grammar, ["/bib/zzz", "//title"])
+    assert not live.all_unsat and not live.provably_empty
+
+
+# -- update independence ------------------------------------------------------
+
+
+def test_independence_handcrafted():
+    grammar = _bib()
+    projector = analyze(grammar, "//title").projector
+    report = independent(grammar, ["/bib/book/price"], projector)
+    assert report.independent
+    assert not report.overlap
+    dependent = independent(grammar, ["/bib/book/title"], projector)
+    assert not dependent.independent
+    assert "title" in dependent.overlap
+    # Impact is the descendant closure: updating book may rewrite titles.
+    assert "title" in impact_names(grammar, "/bib/book")
+    # An update path that matches nothing is trivially independent.
+    assert independent(grammar, ["/bib/zzz"], projector).independent
+    assert independent(grammar, [], projector).independent
+
+
+# -- Hypothesis properties ----------------------------------------------------
+
+
+def _triple(seed: int):
+    grammar = random_grammar(seed % 997, allow_recursion=(seed % 3 == 0))
+    document = random_valid_document(grammar, seed * 31 + 7)
+    pathl = random_pathl(grammar, seed * 13 + 5)
+    return grammar, document, pathl
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 20_000))
+def test_unsat_queries_select_nothing(seed):
+    """Soundness: an UNSAT verdict means zero matches in any valid
+    document — checked against the evaluator on a random valid one."""
+    grammar, document, pathl = _triple(seed)
+    verdict = classify_path(grammar, pathl)
+    if not verdict.satisfiable:
+        assert evaluate_pathl(document, pathl) == [], (
+            f"UNSAT verdict but matches exist: {pathl} ({verdict.reason})"
+        )
+
+
+def _apply_update(document, update_path) -> None:
+    """A worst-case update within the path's reach: delete every matched
+    element subtree and rewrite every matched text node."""
+    for node in list(evaluate_pathl(document, update_path)):
+        if node.is_text():
+            node.value = node.value + "-updated"
+        elif node.is_element() and getattr(node.parent, "children", None):
+            if node.parent is not None and node in node.parent.children:
+                node.parent.children.remove(node)
+    document.renumber()
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 20_000), st.integers(0, 20_000))
+def test_independent_updates_leave_pruned_view_identical(seed, update_seed):
+    grammar, document, querypath = _triple(seed)
+    update_path = random_pathl(grammar, update_seed * 7 + 1)
+    projector = analyze(grammar, str(querypath)).projector
+    report = independent(grammar, [str(update_path)], projector)
+    if not report.independent:
+        return
+    before = prune(serialize(document), grammar, projector).text
+    _apply_update(document, update_path)
+    after = prune(serialize(document), grammar, projector).text
+    assert after == before, (
+        f"judged-independent update changed the pruned view: {update_path}"
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 20_000))
+def test_verdicts_are_fingerprint_stable(seed):
+    """Two independently built copies of the same grammar give verdicts
+    with identical fingerprints (determinism across runs)."""
+    first = random_grammar(seed % 997, allow_recursion=(seed % 3 == 0))
+    second = random_grammar(seed % 997, allow_recursion=(seed % 3 == 0))
+    assert first is not second
+    pathl = random_pathl(first, seed * 13 + 5)
+    assert (
+        classify_path(first, pathl).fingerprint()
+        == classify_path(second, pathl).fingerprint()
+    )
