@@ -154,6 +154,55 @@ def _static_short_circuit(xml: str, grammar, repeats: int) -> dict:
     }
 
 
+def _ledger_dedup(xml: str, grammar, projector, repeats: int) -> dict:
+    """Time a ledger dedup hit against the full prune it replaces.  The
+    first governed run records the attestation; every repeat is served
+    from the content-addressed store — byte-identical by construction
+    (``fetch`` re-hashes the payload before serving) — so the hit must
+    cost a small fraction of the prune it saves.  Both variants run from
+    the same on-disk file so the comparison is serve-vs-prune, not
+    plumbing.
+    """
+    import shutil
+
+    from repro.api import prune
+    from repro.ledger import Ledger
+
+    fd, xml_path = tempfile.mkstemp(suffix=".xml", prefix="bench_hotpath_led_")
+    os.close(fd)
+    ledger_dir = tempfile.mkdtemp(prefix="bench_hotpath_ledger_")
+    try:
+        with open(xml_path, "w", encoding="utf-8") as handle:
+            handle.write(xml)
+        fresh = prune(xml_path, grammar, projector).text
+        with Ledger(os.path.join(ledger_dir, "ledger.jsonl")) as ledger:
+            recorded = prune(xml_path, grammar, projector, ledger=ledger)
+            assert ledger.appended == 1 and recorded.text == fresh
+            full_samples, hit_samples = [], []
+            for _ in range(max(repeats, 3)):
+                started = time.perf_counter()
+                full = prune(xml_path, grammar, projector).text
+                full_samples.append(time.perf_counter() - started)
+                started = time.perf_counter()
+                hit = prune(xml_path, grammar, projector, ledger=ledger)
+                hit_samples.append(time.perf_counter() - started)
+                assert hit.text == full == fresh, (
+                    "ledger dedup hit differs from the fresh prune"
+                )
+            assert ledger.hits == len(hit_samples) and len(ledger) == 1
+    finally:
+        os.unlink(xml_path)
+        shutil.rmtree(ledger_dir, ignore_errors=True)
+    full_seconds = _stats.median(full_samples)
+    hit_seconds = _stats.median(hit_samples)
+    fraction = (hit_seconds / full_seconds * 100) if full_seconds else 0.0
+    return {
+        "full_prune_seconds": round(full_seconds, 6),
+        "dedup_hit_seconds": round(hit_seconds, 6),
+        "fraction_percent": round(fraction, 3),
+    }
+
+
 def run(factor: float, repeats: int, output_path: str, min_speedup: float,
         smoke: bool = False, max_obs_overhead: float = 5.0) -> dict:
     from repro.core.cache import ProjectorCache
@@ -210,6 +259,7 @@ def run(factor: float, repeats: int, output_path: str, min_speedup: float,
 
     obs_overhead = None
     short_circuit = None
+    ledger_dedup = None
     if smoke:
         smoke_query = DEFAULT_QUERIES["QP3-person-name"]
         smoke_projector = cache.projector_for_query(grammar, smoke_query)
@@ -224,6 +274,11 @@ def run(factor: float, repeats: int, output_path: str, min_speedup: float,
               f"{short_circuit['short_circuit_seconds'] * 1000:.2f} ms vs full "
               f"{short_circuit['full_prune_seconds'] * 1000:.1f} ms "
               f"({short_circuit['fraction_percent']:.2f}%)", flush=True)
+        ledger_dedup = _ledger_dedup(xml, grammar, smoke_projector, repeats)
+        print(f"  ledger dedup hit: "
+              f"{ledger_dedup['dedup_hit_seconds'] * 1000:.2f} ms vs full "
+              f"{ledger_dedup['full_prune_seconds'] * 1000:.1f} ms "
+              f"({ledger_dedup['fraction_percent']:.2f}%)", flush=True)
 
     best = max(ratios)
     gates = {
@@ -255,6 +310,17 @@ def run(factor: float, repeats: int, output_path: str, min_speedup: float,
                 f"prune (cap 1%)"
             ),
         ),
+        "ledger_dedup": _stats.gate(
+            None if ledger_dedup is None
+            else ledger_dedup["fraction_percent"] < 5.0,
+            "not measured (run with --smoke)" if ledger_dedup is None else (
+                f"recorded workload served in "
+                f"{ledger_dedup['dedup_hit_seconds'] * 1000:.2f} ms = "
+                f"{ledger_dedup['fraction_percent']:.2f}% of the "
+                f"{ledger_dedup['full_prune_seconds'] * 1000:.1f} ms full "
+                f"prune (cap 5%)"
+            ),
+        ),
     }
     report = {
         "benchmark": "hotpath",
@@ -277,6 +343,8 @@ def run(factor: float, repeats: int, output_path: str, min_speedup: float,
         report["obs_overhead"] = obs_overhead
     if short_circuit is not None:
         report["static_short_circuit"] = short_circuit
+    if ledger_dedup is not None:
+        report["ledger_dedup"] = ledger_dedup
     report["failures"] = _stats.failures(gates)
 
     _stats.write_report(report, output_path)
@@ -308,6 +376,8 @@ def _write_gauges(report: dict, path: str) -> None:
             flat[f"bench.hotpath.obs.{key}"] = value
         for key, value in report.get("static_short_circuit", {}).items():
             flat[f"bench.hotpath.static.{key}"] = value
+        for key, value in report.get("ledger_dedup", {}).items():
+            flat[f"bench.hotpath.ledger.{key}"] = value
         for name, value in flat.items():
             sink.record({"type": "gauge", "name": name, "value": value})
     finally:

@@ -32,7 +32,10 @@ from __future__ import annotations
 import io
 import os
 from dataclasses import dataclass, replace
-from typing import IO, Any, Iterable, Iterator
+from typing import IO, TYPE_CHECKING, Any, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (ledger uses obs)
+    from repro.ledger import Ledger
 
 from repro import obs
 from repro.dtd.grammar import Grammar
@@ -183,12 +186,28 @@ def prune(
     chunk_size: int | None = None,
     limits: "Limits | str | None" = None,
     fallback: "bool | str | None" = None,
+    ledger: "Ledger | None" = None,
+    provenance: dict[str, Any] | None = None,
 ) -> PruneResult:
     """Prune ``source`` down to the nodes the ``projector`` keeps.
 
     See the module docstring for the source/out dispatch table.  Returns a
     :class:`PruneResult`; pruning streams throughout, so memory stays
     O(document depth) regardless of source size.
+
+    ``ledger`` opts this run into the attestation ledger
+    (:mod:`repro.ledger`): the run is keyed by content fingerprints
+    (grammar, projector + attribute flag, limits, input bytes) and its
+    output hash recorded (``ledger.records``).  A key already recorded
+    with retained output bytes is a *dedup hit* (``ledger.hits``): the
+    stored bytes — re-verified against the recorded hash — are served
+    without scanning the document, and Thm 4.5 byte-identity means they
+    equal what the scan would have produced.  ``provenance`` adds
+    caller-known replay context to the entry (e.g. ``{"grammar":
+    {"dtd_path": ..., "root": ...}}``).  Event sources and non-rewindable
+    streams cannot be content-hashed and bypass the ledger; a
+    ``validate=True`` run records but is never dedup-served (validation
+    must see the document).
 
     ``projector`` also accepts a full :class:`~repro.core.pipeline.
     AnalysisResult` (what :func:`repro.analyze` returns).  That unlocks
@@ -244,6 +263,17 @@ def prune(
     ):
         return _short_circuit_empty(source, grammar, out, is_path, out_is_path)
 
+    led = None
+    if ledger is not None:
+        led = _ledger_begin(
+            ledger, source, grammar, opts, resolved_limits, provenance,
+            is_path, projector,
+        )
+        if led is not None and not opts.validate:
+            served = _serve_prune_hit(ledger, led[0], out, out_is_path)
+            if served is not None:
+                return served
+
     # File -> file keeps the remove-partial-output-on-error contract.
     if is_path and out_is_path:
         stats = _prune_file(
@@ -252,6 +282,9 @@ def prune(
             prune_attributes=opts.prune_attributes, chunk_size=opts.chunk_size,
             limits=resolved_limits, fallback=opts.fallback,
         )
+        if led is not None:
+            _ledger_record(ledger, led, "prune", stats,
+                           output_path=os.fspath(out))  # type: ignore[arg-type]
         return PruneResult(stats=stats, output_path=os.fspath(out))  # type: ignore[arg-type]
 
     # Everything else goes through the stream core, with the source
@@ -283,7 +316,10 @@ def prune(
     if out is None:
         collector = io.StringIO()
         with_source(collector)
-        return PruneResult(stats=stats, text=collector.getvalue())
+        text = collector.getvalue()
+        if led is not None:
+            _ledger_record(ledger, led, "prune", stats, text=text)
+        return PruneResult(stats=stats, text=text)
     if out_is_path:
         # _open_output keeps the remove-partial-output contract and, when
         # the path cannot even be opened (unwritable), leaves any
@@ -291,7 +327,19 @@ def prune(
         out_path = os.fspath(out)  # type: ignore[arg-type]
         with _open_output(out_path) as sink:
             with_source(sink)
+        if led is not None:
+            _ledger_record(ledger, led, "prune", stats, output_path=out_path)
         return PruneResult(stats=stats, output_path=out_path)
+    if led is not None:
+        # Hash the stream output as it passes; the bytes themselves go to
+        # the caller's sink, so the entry attests but cannot dedup-serve.
+        from repro.ledger.canonical import HashingSink
+
+        tee = HashingSink(tee=out)
+        with_source(tee)  # type: ignore[arg-type]
+        _ledger_record(ledger, led, "prune", stats,
+                       output_hash=tee.hexdigest())
+        return PruneResult(stats=stats)
     with_source(out)  # type: ignore[arg-type]
     return PruneResult(stats=stats)
 
@@ -331,3 +379,135 @@ def _short_circuit_empty(
         return PruneResult(stats=stats, output_path=out_path)
     out.write(text)  # type: ignore[union-attr]
     return PruneResult(stats=stats)
+
+
+# -- attestation-ledger plumbing (shared with the extract facade) -----------
+
+
+def _ledger_begin(
+    ledger: "Ledger",
+    source: "str | os.PathLike[str] | IO[str]",
+    grammar: Grammar,
+    opts: PruneOptions,
+    resolved_limits: Limits,
+    provenance: dict[str, Any] | None,
+    is_path: bool,
+    projector: "frozenset[str] | set[str] | None",
+    workload_fp: str | None = None,
+) -> "tuple[tuple[str, str, str, str], dict[str, Any]] | None":
+    """Fingerprint this run for the ledger: the key tuple plus the
+    auto-built provenance.  ``None`` for sources that cannot be hashed
+    without consuming them (open streams) — those runs bypass the ledger
+    rather than recording an unverifiable entry."""
+    from repro.core.cache import grammar_fingerprint, projector_fingerprint
+    from repro.ledger.canonical import hash_file, hash_text, limits_fingerprint
+
+    if is_path:
+        input_hash = hash_file(os.fspath(source))  # type: ignore[arg-type]
+    elif isinstance(source, str):
+        input_hash = hash_text(source)
+    else:
+        return None
+    if workload_fp is None:
+        assert projector is not None
+        workload_fp = projector_fingerprint(projector, opts.prune_attributes)
+    key = (
+        grammar_fingerprint(grammar),
+        workload_fp,
+        limits_fingerprint(resolved_limits),
+        input_hash,
+    )
+    prov: dict[str, Any] = {
+        "source": os.path.abspath(os.fspath(source)) if is_path else None,  # type: ignore[arg-type]
+    }
+    if projector is not None:
+        prov["projector"] = sorted(projector)
+        prov["prune_attributes"] = opts.prune_attributes
+    if provenance:
+        for name, value in provenance.items():
+            prov.setdefault(name, value)
+    return key, prov
+
+
+def _serve_prune_hit(
+    ledger: "Ledger",
+    key: "tuple[str, str, str, str]",
+    out: "str | os.PathLike[str] | IO[str] | None",
+    out_is_path: bool,
+) -> PruneResult | None:
+    """Serve a recorded, hash-verified result instead of scanning.  The
+    stats come back ``==`` to the recorded fresh run's, and the bytes are
+    the recorded bytes — by Thm 4.5 byte-identity, exactly the bytes a
+    fresh prune of the same (grammar, projector, input) would emit."""
+    hit = ledger.fetch(key)
+    if hit is None:
+        return None
+    entry, payload = hit
+    from repro.ledger.ledger import decode_stats
+
+    stats = decode_stats(entry.stats)
+    if not isinstance(stats, PruneStats):  # pragma: no cover - defensive
+        return None
+    text = payload["text"]
+    if out is None:
+        return PruneResult(stats=stats, text=text)
+    if out_is_path:
+        out_path = os.fspath(out)  # type: ignore[arg-type]
+        with _open_output(out_path) as sink:
+            sink.write(text)
+        return PruneResult(stats=stats, output_path=out_path)
+    out.write(text)  # type: ignore[union-attr]
+    return PruneResult(stats=stats)
+
+
+def _ledger_record(
+    ledger: "Ledger",
+    led: "tuple[tuple[str, str, str, str], dict[str, Any]]",
+    op: str,
+    stats: Any,
+    *,
+    text: str | None = None,
+    output_path: str | None = None,
+    output_hash: str | None = None,
+    records: "list[dict[str, Any]] | None" = None,
+    extra_provenance: dict[str, Any] | None = None,
+) -> None:
+    """Append the attestation for a completed run (and retain the output
+    bytes for dedup when they are available without a re-read cost or
+    recoverable from the written file)."""
+    from repro.ledger.canonical import hash_file, hash_records, hash_text
+    from repro.ledger.ledger import encode_stats
+
+    key, prov = led
+    if extra_provenance:
+        prov = {**prov, **extra_provenance}
+    if output_hash is None:
+        if text is not None:
+            output_hash = hash_text(text)
+        elif output_path is not None:
+            output_hash = hash_file(output_path)
+        else:  # pragma: no cover - callers always pass one of the three
+            return
+    if text is None and output_path is not None and ledger.store is not None:
+        try:
+            with open(output_path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError:  # pragma: no cover - racing deletion
+            text = None
+    result: dict[str, Any] | None = None
+    if text is not None:
+        result = {"kind": op, "text": text}
+        if records is not None:
+            result["records"] = records
+    ledger.record(
+        op=op,
+        grammar_fp=key[0],
+        workload_fp=key[1],
+        limits_fp=key[2],
+        input_hash=key[3],
+        output_hash=output_hash,
+        records_hash=hash_records(records) if records is not None else None,
+        stats=encode_stats(stats),
+        provenance=prov,
+        result=result,
+    )

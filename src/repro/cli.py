@@ -2,13 +2,19 @@
 
 Subcommands::
 
-    analyze   infer and print a type projector for queries + DTD
-    prune     prune a document file (streaming) with an inferred projector
-    extract   extract tabular records (JSONL/CSV) in one streaming pass
-    validate  validate a document against a DTD
-    generate  emit an XMark benchmark document
-    run       run a query on a document, optionally after pruning
-    serve     run the long-lived projection service (see repro.service)
+    analyze        infer and print a type projector for queries + DTD
+    prune          prune a document file (streaming) with an inferred projector
+    extract        extract tabular records (JSONL/CSV) in one streaming pass
+    validate       validate a document against a DTD
+    generate       emit an XMark benchmark document
+    run            run a query on a document, optionally after pruning
+    serve          run the long-lived projection service (see repro.service)
+    verify-ledger  replay an attestation ledger and report divergences
+
+``prune``, ``extract`` and ``serve`` take ``--ledger PATH`` to record
+every run into an append-only attestation ledger (see
+:mod:`repro.ledger`) and serve identical re-runs from the recorded
+bytes; ``verify-ledger`` re-earns every attestation offline.
 
 ``prune --server HOST:PORT`` (and ``extract --server``) sends the work to
 a running service instead of doing it in-process, so repeated invocations
@@ -65,6 +71,40 @@ def _limits_from_args(args):
     if getattr(args, "timeout", None) is not None:
         overrides["deadline"] = args.timeout
     return limits.replace(**overrides) if overrides else limits
+
+
+def _open_ledger(args):
+    """The ``--ledger`` flag, opened — or ``None`` when unset.  Ledger
+    recording is single-document, local-run bookkeeping: batch mode and
+    ``--server`` refuse the flag loudly rather than silently skipping."""
+    path = getattr(args, "ledger", None)
+    if not path:
+        return None
+    if getattr(args, "server", None):
+        raise SystemExit(
+            "--ledger records local runs; give the flag to the server "
+            "instead (`repro-xml serve --ledger PATH`)"
+        )
+    from repro.ledger import Ledger
+
+    return Ledger(path)
+
+
+def _ledger_provenance(args):
+    """Grammar provenance for a recorded run, so ``verify-ledger`` can
+    replay it later with no out-of-band grammar.  ``--infer-dtd``
+    grammars are document-derived (no stable spec to record) — replay
+    falls back to a caller-supplied grammar or skips."""
+    if args.xmark:
+        return {"grammar": {"xmark": True}}
+    if getattr(args, "infer_dtd", False) or not args.dtd:
+        return None
+    import os
+
+    spec = {"dtd_path": os.path.abspath(args.dtd)}
+    if args.root:
+        spec["root"] = args.root
+    return {"grammar": spec}
 
 
 def _is_xquery(query: str) -> bool:
@@ -196,6 +236,11 @@ def cmd_prune(args) -> int:
     from repro.api import prune
 
     if getattr(args, "server", None):
+        if getattr(args, "ledger", None):
+            raise SystemExit(
+                "--ledger records local runs; give the flag to the server "
+                "instead (`repro-xml serve --ledger PATH`)"
+            )
         return _prune_via_server(args)
 
     items = _batch_inputs(args)
@@ -203,6 +248,10 @@ def cmd_prune(args) -> int:
     grammar = _load_grammar(args, document_path=first_doc)
 
     if items is not None:
+        if getattr(args, "ledger", None):
+            raise SystemExit(
+                "--ledger records single-document runs only (not batch mode)"
+            )
         from repro.parallel import prune_many
 
         batch = prune_many(
@@ -220,13 +269,23 @@ def cmd_prune(args) -> int:
         return 1 if batch.errors else 0
 
     projector, seconds = _projector(grammar, args.query)
-    with obs.timed("prune.command") as span:
-        result = prune(
-            args.input, grammar, projector, out=args.output,
-            validate=args.validate, fast=not args.no_fast,
-            limits=_limits_from_args(args),
-        )
-        span.stop()
+    ledger = _open_ledger(args)
+    try:
+        with obs.timed("prune.command") as span:
+            result = prune(
+                args.input, grammar, projector, out=args.output,
+                validate=args.validate, fast=not args.no_fast,
+                limits=_limits_from_args(args),
+                ledger=ledger,
+                provenance=_ledger_provenance(args) if ledger else None,
+            )
+            span.stop()
+        if ledger is not None:
+            print("ledger: served from recorded result" if ledger.hits
+                  else "ledger: attestation recorded")
+    finally:
+        if ledger is not None:
+            ledger.close()
     stats = result.stats
     print(f"analysis: {seconds * 1000:.1f} ms, pruning: {span.seconds:.2f} s")
     print(f"size: {stats.bytes_in} -> {stats.bytes_out} bytes ({stats.size_percent:.1f}% kept)")
@@ -321,6 +380,11 @@ def cmd_extract(args) -> int:
     spec = ExtractSpec(rows=args.rows, fields=_parse_fields(args.field), null=args.null)
 
     if getattr(args, "server", None):
+        if getattr(args, "ledger", None):
+            raise SystemExit(
+                "--ledger records local runs; give the flag to the server "
+                "instead (`repro-xml serve --ledger PATH`)"
+            )
         return _extract_via_server(args, spec)
 
     items = _batch_inputs(args)
@@ -328,6 +392,10 @@ def cmd_extract(args) -> int:
     grammar = _load_grammar(args, document_path=first_doc)
 
     if items is not None:
+        if getattr(args, "ledger", None):
+            raise SystemExit(
+                "--ledger records single-document runs only (not batch mode)"
+            )
         from repro.parallel import extract_many
 
         if args.out is None:
@@ -345,12 +413,22 @@ def cmd_extract(args) -> int:
         _print_batch_errors(batch)
         return 1 if batch.errors else 0
 
-    with obs.timed("extract.command") as span:
-        result = extract(
-            args.input, grammar, spec, out=args.out, format=args.format,
-            limits=_limits_from_args(args),
-        )
-        span.stop()
+    ledger = _open_ledger(args)
+    try:
+        with obs.timed("extract.command") as span:
+            result = extract(
+                args.input, grammar, spec, out=args.out, format=args.format,
+                limits=_limits_from_args(args),
+                ledger=ledger,
+                provenance=_ledger_provenance(args) if ledger else None,
+            )
+            span.stop()
+        if ledger is not None:
+            print("ledger: served from recorded result" if ledger.hits
+                  else "ledger: attestation recorded", file=sys.stderr)
+    finally:
+        if ledger is not None:
+            ledger.close()
     if args.out is None:
         # Records to stdout, summary to stderr so the stream stays clean.
         assert result.text is not None
@@ -440,6 +518,34 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_verify_ledger(args) -> int:
+    """Replay every recorded attestation (``repro-xml verify-ledger``):
+    exit 0 iff no entry diverged.  Skipped entries (source gone, grammar
+    unrecoverable) are reported on stderr but do not fail the run."""
+    from repro.ledger import replay_ledger
+
+    grammars = []
+    if args.xmark or args.dtd:
+        grammars.append(_load_grammar(args))
+    report = replay_ledger(
+        args.ledger, grammars=grammars, since=args.since, jobs=args.jobs
+    )
+    noun = "entry" if report.total == 1 else "entries"
+    print(f"replayed {report.total} {noun}: {report.attested} attested, "
+          f"{len(report.divergent)} divergent, {len(report.skipped)} skipped")
+    for item in report.divergent:
+        where = f" source={item.source}" if item.source else ""
+        print(f"DIVERGENT seq={item.seq} op={item.op}{where}: {item.reason}",
+              file=sys.stderr)
+        if item.actual:
+            print(f"  expected {item.expected}", file=sys.stderr)
+            print(f"  actual   {item.actual}", file=sys.stderr)
+    for item in report.skipped:
+        print(f"skipped seq={item.seq} op={item.op}: {item.reason}",
+              file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def cmd_serve(args) -> int:
     from repro.service.config import ServiceConfig
     from repro.service.server import ProjectionServer
@@ -452,6 +558,7 @@ def cmd_serve(args) -> int:
         per_connection=args.per_connection,
         limits=_limits_from_args(args),
         tracing=bool(getattr(args, "trace_out", None) or getattr(args, "metrics", False)),
+        ledger=getattr(args, "ledger", None),
     )
     server = ProjectionServer(config)
 
@@ -512,9 +619,16 @@ def _shared_parents():
     jobs.add_argument("--jobs", type=int, default=1, metavar="N",
                       help="worker processes for batch mode (0 = all cores)")
 
+    ledger = argparse.ArgumentParser(add_help=False)
+    ledger.add_argument("--ledger", metavar="PATH",
+                        help="append an attestation for this run to the "
+                             "ledger at PATH and serve identical re-runs "
+                             "from the recorded bytes (see "
+                             "`repro-xml verify-ledger`)")
+
     return {
         "grammar": grammar, "query": query, "obs": observability,
-        "limit": limit, "jobs": jobs,
+        "limit": limit, "jobs": jobs, "ledger": ledger,
     }
 
 
@@ -541,7 +655,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("prune", help="prune a document file (streaming) or a corpus",
                        parents=[parents["grammar"], parents["query"],
                                 parents["obs"], parents["limit"],
-                                parents["jobs"]])
+                                parents["jobs"], parents["ledger"]])
     p.add_argument("input", help="document file, or a glob/directory for batch mode")
     p.add_argument("output", help="output file (or output directory in batch mode)")
     p.add_argument("--validate", action="store_true", help="validate while pruning")
@@ -556,7 +670,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="extract tabular records (JSONL/CSV) in one "
                             "streaming pass",
                        parents=[parents["grammar"], parents["obs"],
-                                parents["limit"], parents["jobs"]])
+                                parents["limit"], parents["jobs"],
+                                parents["ledger"]])
     p.add_argument("input", help="document file, or a glob/directory for batch mode")
     p.add_argument("--rows", required=True, metavar="PATH",
                    help="absolute path of the row elements, "
@@ -589,7 +704,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_generate)
 
     p = sub.add_parser("serve", help="run the long-lived projection service",
-                       parents=[parents["obs"], parents["limit"]])
+                       parents=[parents["obs"], parents["limit"],
+                                parents["ledger"]])
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=0,
                    help="port to bind (default 0 = pick a free port; the "
@@ -602,6 +718,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--per-connection", type=int, default=8, metavar="N",
                    help="in-flight request cap per client connection")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("verify-ledger",
+                       help="replay every recorded attestation and report "
+                            "divergences",
+                       parents=[parents["grammar"]])
+    p.add_argument("--ledger", required=True, metavar="PATH",
+                   help="the attestation ledger to replay")
+    p.add_argument("--since", type=int, metavar="N",
+                   help="replay only entries with sequence number >= N")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="replay threads (each entry re-runs independently)")
+    p.set_defaults(func=cmd_verify_ledger)
 
     p = sub.add_parser("run", help="run a query (optionally with pruning)",
                        parents=[parents["grammar"], parents["query"],

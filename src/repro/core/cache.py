@@ -85,6 +85,23 @@ def grammar_fingerprint(grammar: Grammar) -> str:
     return digest
 
 
+def projector_fingerprint(
+    projector: "frozenset[str] | set[str]", prune_attributes: bool = True
+) -> str:
+    """Content hash of a projector as *workload identity*: the sorted
+    name set plus the attribute-pruning flag (the one option besides the
+    projector that decides which bytes a prune keeps).  Together with
+    :func:`grammar_fingerprint` this keys the attestation ledger
+    (:mod:`repro.ledger`) — two runs with equal fingerprints are provably
+    the same pruning function applied to the same input."""
+    hasher = hashlib.sha256()
+    hasher.update(b"attrs\x00" if prune_attributes else b"noattrs\x00")
+    for name in sorted(projector):
+        hasher.update(name.encode())
+        hasher.update(b"\x00")
+    return hasher.hexdigest()
+
+
 # -- the cache --------------------------------------------------------------
 
 

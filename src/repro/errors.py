@@ -187,6 +187,19 @@ class RemoteError(ServiceError):
         super().__init__(f"{remote_type}: {message}")
 
 
+class LedgerError(ReproError):
+    """Base class for attestation-ledger errors (:mod:`repro.ledger`)."""
+
+
+class LedgerCorrupt(LedgerError):
+    """Raised when an attestation ledger fails verification on open: a
+    line that is not canonical JSON, an entry whose self-hash does not
+    match its body, or a broken prev-hash chain.  A *torn final line*
+    (a writer died mid-append) is not corruption — it is truncated away
+    on open — so this error always means the ledger's history was
+    altered after it was written."""
+
+
 class BudgetExceededError(ReproError):
     """Raised by the metered query engine when a configured memory budget
     is exhausted (used to reproduce the paper's 512 MB-limit experiments)."""

@@ -31,7 +31,10 @@ from __future__ import annotations
 import io
 import os
 from dataclasses import dataclass, replace
-from typing import IO, Any, Iterable, Iterator
+from typing import IO, TYPE_CHECKING, Any, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ledger import Ledger
 
 from repro.core.cache import ProjectorCache, resolve_spec_projector
 from repro.dtd.grammar import Grammar
@@ -176,12 +179,24 @@ def extract(
     limits: "Limits | str | None" = None,
     fallback: "bool | str | None" = None,
     cache: ProjectorCache | None = None,
+    ledger: "Ledger | None" = None,
+    provenance: "dict[str, Any] | None" = None,
 ) -> ExtractResult:
     """Extract ``spec``'s records from ``source`` in one streaming pass.
 
     See the module docstring for the source/out dispatch table.  Returns
     an :class:`ExtractResult`; memory stays O(row depth + field count)
     regardless of source size — no document tree is ever built.
+
+    ``ledger=`` attests the run into a :class:`repro.ledger.Ledger`
+    (keyed by grammar/spec/limits fingerprints plus the input content
+    hash) and serves previously-recorded results for identical runs from
+    stored bytes — by Thm 4.5 byte-identity the served records and text
+    equal what a fresh extraction would produce.  ``provenance=`` merges
+    extra context (e.g. the grammar's DTD path) into the recorded entry
+    so ``repro-xml verify-ledger`` can replay it later.  Event-stream
+    sources and open-stream inputs bypass the ledger (their bytes cannot
+    be hashed without consuming them).
     """
     opts = _resolve_extract_options(
         options, format, fast, chunk_size, limits=limits, fallback=fallback
@@ -209,6 +224,25 @@ def extract(
 
     if not classify_query(grammar, spec.rows, language="xpath").satisfiable:
         return _short_circuit_empty(source, spec, opts, out, is_path, out_is_path)
+
+    led = None
+    if ledger is not None:
+        from repro.api import _ledger_begin
+        from repro.ledger.canonical import hash_canonical
+
+        led = _ledger_begin(
+            ledger, source, grammar, opts, resolved_limits, provenance,
+            is_path, None,
+            workload_fp=hash_canonical(
+                {"format": opts.format, "spec": spec.fingerprint()}
+            ),
+        )
+        if led is not None:
+            led[1].setdefault("spec", spec.to_wire())
+            led[1].setdefault("format", opts.format)
+            served = _serve_extract_hit(ledger, led[0], out, out_is_path)
+            if served is not None:
+                return served
 
     stats = ExtractStats()
     if isinstance(source, str) and not is_path:
@@ -242,7 +276,12 @@ def extract(
         collector = io.StringIO()
         records: list[dict[str, Any]] = []
         with_source(collector, records)
-        return ExtractResult(stats=stats, records=records, text=collector.getvalue())
+        text = collector.getvalue()
+        if led is not None:
+            from repro.api import _ledger_record
+
+            _ledger_record(ledger, led, "extract", stats, text=text, records=records)
+        return ExtractResult(stats=stats, records=records, text=text)
     if out_is_path:
         from repro.projection.streaming import _open_output
 
@@ -252,8 +291,54 @@ def extract(
         out_path = os.fspath(out)  # type: ignore[arg-type]
         with _open_output(out_path) as sink:
             with_source(sink, None)
+        if led is not None:
+            from repro.api import _ledger_record
+
+            _ledger_record(ledger, led, "extract", stats, output_path=out_path)
         return ExtractResult(stats=stats, output_path=out_path)
+    if led is not None:
+        from repro.api import _ledger_record
+        from repro.ledger.canonical import HashingSink
+
+        tee = HashingSink(tee=out)  # type: ignore[arg-type]
+        with_source(tee, None)  # type: ignore[arg-type]
+        _ledger_record(ledger, led, "extract", stats, output_hash=tee.hexdigest())
+        return ExtractResult(stats=stats)
     with_source(out, None)  # type: ignore[arg-type]
+    return ExtractResult(stats=stats)
+
+
+def _serve_extract_hit(
+    ledger: "Ledger",
+    key: "tuple[str, str, str, str]",
+    out: "str | os.PathLike[str] | IO[str] | None",
+    out_is_path: bool,
+) -> ExtractResult | None:
+    """Serve a recorded, hash-verified extraction instead of re-scanning
+    (the extract twin of :func:`repro.api._serve_prune_hit`): the stored
+    records/text are byte-identical to a fresh run's by Thm 4.5."""
+    hit = ledger.fetch(key, need_records=out is None)
+    if hit is None:
+        return None
+    entry, payload = hit
+    from repro.ledger.ledger import decode_stats
+
+    stats = decode_stats(entry.stats)
+    if not isinstance(stats, ExtractStats):  # pragma: no cover - defensive
+        return None
+    text = payload["text"]
+    if out is None:
+        return ExtractResult(
+            stats=stats, records=list(payload["records"]), text=text
+        )
+    if out_is_path:
+        from repro.projection.streaming import _open_output
+
+        out_path = os.fspath(out)  # type: ignore[arg-type]
+        with _open_output(out_path) as sink:
+            sink.write(text)
+        return ExtractResult(stats=stats, output_path=out_path)
+    out.write(text)  # type: ignore[union-attr]
     return ExtractResult(stats=stats)
 
 

@@ -1,0 +1,57 @@
+"""Verifiable pruning: the attestation ledger (`repro.ledger`).
+
+The differential suite proves, offline, that every pruning path produces
+byte-identical output and that pruned views answer queries exactly like
+the original (Thm 4.5).  This package promotes that invariant to a
+runtime, auditable contract:
+
+* :mod:`~repro.ledger.canonical` — deterministic JSON + incremental
+  SHA-256 content hashing of inputs, outputs and record streams;
+* :mod:`~repro.ledger.ledger` — an append-only, crash-safe, hash-chained
+  JSONL ledger of ``(grammar_fp, workload_fp, limits_fp, input_hash) →
+  (output_hash, stats, provenance)`` attestations, doubling as a
+  content-addressed result cache (dedup: a recorded input/workload pair
+  is served from stored bytes instead of re-pruned);
+* :mod:`~repro.ledger.replay` — re-prune every recorded entry and attest
+  the hashes still hold, with a structured divergence report.
+
+Pass a :class:`Ledger` to :func:`repro.prune` / :func:`repro.extract`
+via ``ledger=``, to the service via ``ServiceConfig(ledger=...)`` or
+``repro-xml serve --ledger``, and verify with ``repro-xml verify-ledger``.
+"""
+
+from repro.ledger.canonical import (
+    HashingSink,
+    canonical_json,
+    hash_canonical,
+    hash_file,
+    hash_records,
+    hash_text,
+    limits_fingerprint,
+)
+from repro.ledger.ledger import (
+    Ledger,
+    LedgerEntry,
+    ResultStore,
+    decode_stats,
+    encode_stats,
+)
+from repro.ledger.replay import Attestation, ReplayReport, replay_ledger
+
+__all__ = [
+    "Attestation",
+    "HashingSink",
+    "Ledger",
+    "LedgerEntry",
+    "ReplayReport",
+    "ResultStore",
+    "canonical_json",
+    "decode_stats",
+    "encode_stats",
+    "hash_canonical",
+    "hash_file",
+    "hash_records",
+    "hash_text",
+    "limits_fingerprint",
+    "replay_ledger",
+]

@@ -1,0 +1,168 @@
+"""Canonical JSON and incremental content hashing for the ledger.
+
+Everything the attestation ledger signs goes through one deterministic
+encoding so that the same value hashes to the same digest on every
+platform, process and Python version:
+
+* dict keys must be strings; they are NFC-normalized and sorted by code
+  point (two keys that collide after normalization are an error, not a
+  silent overwrite);
+* strings are NFC-normalized; the encoder never ASCII-escapes, so the
+  byte stream is plain UTF-8;
+* floats must be finite (``NaN``/``Infinity`` have no JSON spelling) and
+  ``-0.0`` collapses to ``0.0``; CPython's shortest-round-trip ``repr``
+  then guarantees ``json.loads`` gives back the identical float;
+* ints, bools and ``None`` use their JSON literals; any other type is a
+  :class:`TypeError`.
+
+The encoding is idempotent through a decode cycle:
+``canonical_json(json.loads(canonical_json(x))) == canonical_json(x)``
+(property-tested in ``tests/test_ledger.py``).
+
+Content hashes are SHA-256 over UTF-8 bytes, computed *incrementally* —
+:func:`hash_file` reads fixed-size chunks and :class:`HashingSink` hashes
+a pruner's output as it streams past — so attesting a document never
+materializes it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import unicodedata
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "HashingSink",
+    "canonical_json",
+    "hash_bytes",
+    "hash_canonical",
+    "hash_file",
+    "hash_records",
+    "hash_text",
+    "limits_fingerprint",
+]
+
+_CHUNK = 1 << 20
+
+
+def _normalize(value: Any) -> Any:
+    """Reduce ``value`` to the canonical plain-JSON shape (or raise)."""
+    if value is None or isinstance(value, bool):
+        return value
+    if isinstance(value, int):
+        return int(value)
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise ValueError("canonical JSON cannot encode NaN or infinity")
+        return 0.0 if value == 0.0 else value
+    if isinstance(value, str):
+        return unicodedata.normalize("NFC", value)
+    if isinstance(value, (list, tuple)):
+        return [_normalize(item) for item in value]
+    if isinstance(value, Mapping):
+        normalized: dict[str, Any] = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"canonical JSON keys must be str, not {type(key).__name__}"
+                )
+            nkey = unicodedata.normalize("NFC", key)
+            if nkey in normalized:
+                raise ValueError(
+                    f"duplicate key after unicode normalization: {nkey!r}"
+                )
+            normalized[nkey] = _normalize(item)
+        return normalized
+    raise TypeError(f"cannot canonicalize {type(value).__name__}")
+
+
+def canonical_json(value: Any) -> str:
+    """The canonical, deterministic JSON encoding of ``value``."""
+    return json.dumps(
+        _normalize(value),
+        sort_keys=True,
+        ensure_ascii=False,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
+
+
+def hash_bytes(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def hash_text(text: str) -> str:
+    """SHA-256 of the text's UTF-8 bytes.  Unencodable code points (lone
+    surrogates from hostile input) take the replacement character, the
+    same policy the pipeline's file sinks apply, so a string and the file
+    it was written to hash identically."""
+    return hashlib.sha256(text.encode("utf-8", "replace")).hexdigest()
+
+
+def hash_file(path: "str | os.PathLike[str]", chunk_size: int = _CHUNK) -> str:
+    """SHA-256 of a file's raw bytes, read incrementally — constant
+    memory whatever the document size."""
+    hasher = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(chunk_size)
+            if not chunk:
+                break
+            hasher.update(chunk)
+    return hasher.hexdigest()
+
+
+def hash_canonical(value: Any) -> str:
+    """SHA-256 of the canonical JSON encoding of ``value``."""
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()
+
+
+def hash_records(records: Iterable[Mapping[str, Any]]) -> str:
+    """SHA-256 over an extract record stream: one canonical-JSON line per
+    record, hashed incrementally — the record list form of the output
+    hash, independent of the JSONL/CSV surface encoding."""
+    hasher = hashlib.sha256()
+    for record in records:
+        hasher.update(canonical_json(record).encode("utf-8"))
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+def limits_fingerprint(limits: Any) -> str:
+    """Fingerprint of a :class:`repro.limits.Limits` budget (only the
+    bounds that are actually set, via ``Limits.as_dict()``)."""
+    return hash_canonical(limits.as_dict() if limits is not None else {})
+
+
+class HashingSink:
+    """A text sink that hashes everything written to it.
+
+    Used two ways: alone as a discard-and-digest sink (replay re-prunes
+    into one, so attesting a recorded output never materializes it), and
+    with ``tee=`` wrapping a caller's stream so recording a stream-out
+    prune costs one extra hash update per chunk.
+    """
+
+    __slots__ = ("_hasher", "_tee", "written")
+
+    def __init__(self, tee: Any = None) -> None:
+        self._hasher = hashlib.sha256()
+        self._tee = tee
+        self.written = 0
+
+    def write(self, text: str) -> int:
+        self._hasher.update(text.encode("utf-8", "replace"))
+        self.written += len(text)
+        if self._tee is not None:
+            self._tee.write(text)
+        return len(text)
+
+    def flush(self) -> None:
+        if self._tee is not None and hasattr(self._tee, "flush"):
+            self._tee.flush()
+
+    def hexdigest(self) -> str:
+        return self._hasher.hexdigest()

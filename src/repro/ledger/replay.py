@@ -1,0 +1,315 @@
+"""Replay verification: re-earn every attestation in a ledger.
+
+An entry claims *this grammar, this workload, these bounds, this input
+produced exactly these output bytes*.  :func:`replay_ledger` re-proves
+the claim from scratch, per entry:
+
+1. the stored result (if any) still matches the recorded output hash —
+   this is the dedup-serving contract, checked even when the original
+   source is gone;
+2. the recorded source file still exists and still hashes to the
+   recorded ``input_hash`` (a changed input is a *divergence*: the entry
+   attests bytes the file no longer contains);
+3. the grammar is recovered from provenance (a DTD path, inline DTD
+   text, or the built-in XMark schema) or from the caller's ``grammars``
+   and must match the recorded fingerprint;
+4. the prune/extraction is re-run into a :class:`HashingSink` — the
+   output is hashed as it streams, never materialized — and the digest
+   must equal the recorded ``output_hash``.
+
+Anything that cannot be re-run (source gone, grammar unavailable) is
+*skipped*, not failed: an attestation you cannot check is not evidence
+of divergence.  Anything re-run that produces different bytes is a
+divergence, reported with the expected and actual hashes.  Replay runs
+with limits off — bounds gate admission, they never change bytes, and a
+refusal would masquerade as a divergence.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.core.cache import grammar_fingerprint
+from repro.errors import ReproError
+from repro.ledger.canonical import HashingSink, canonical_json, hash_file
+from repro.ledger.ledger import Ledger, LedgerEntry
+from repro.limits import Limits
+
+__all__ = ["Attestation", "ReplayReport", "replay_ledger"]
+
+
+@dataclass(slots=True)
+class Attestation:
+    """The replay outcome for one ledger entry."""
+
+    seq: int
+    op: str
+    status: str  # "attested" | "divergent" | "skipped"
+    reason: str = ""
+    expected: str = ""
+    actual: str = ""
+    source: str | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "op": self.op,
+            "status": self.status,
+            "reason": self.reason,
+            "expected": self.expected,
+            "actual": self.actual,
+            "source": self.source,
+        }
+
+
+@dataclass(slots=True)
+class ReplayReport:
+    """The structured divergence report for one full replay."""
+
+    total: int = 0
+    attested: int = 0
+    divergent: list[Attestation] = field(default_factory=list)
+    skipped: list[Attestation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """No divergence.  Skips (unavailable sources/grammars) are
+        reported but do not fail a verification run."""
+        return not self.divergent
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "total": self.total,
+            "attested": self.attested,
+            "divergent": [item.as_dict() for item in self.divergent],
+            "skipped": [item.as_dict() for item in self.skipped],
+            "ok": self.ok,
+        }
+
+
+class _GrammarResolver:
+    """Recover each entry's grammar, memoized: from provenance (a DTD
+    path + root, inline DTD text, or ``{"xmark": true}``), else from the
+    caller-supplied fingerprint → grammar map."""
+
+    def __init__(self, fallbacks: Iterable[Any]) -> None:
+        self._by_fingerprint = {
+            grammar_fingerprint(grammar): grammar for grammar in fallbacks
+        }
+        self._by_spec: dict[str, Any] = {}
+
+    def resolve(self, entry: LedgerEntry) -> "tuple[Any, str] | None":
+        """The grammar and an empty reason, or ``None`` plus why not —
+        returned as ``(grammar_or_None, reason)``."""
+        spec = entry.provenance.get("grammar")
+        grammar = None
+        if isinstance(spec, dict):
+            try:
+                memo_key = canonical_json(spec)
+            except (TypeError, ValueError):
+                return None, "unusable grammar provenance"
+            if memo_key in self._by_spec:
+                grammar = self._by_spec[memo_key]
+            else:
+                try:
+                    grammar = _load_from_spec(spec)
+                except (ReproError, OSError) as error:
+                    return None, f"grammar unavailable: {error}"
+                self._by_spec[memo_key] = grammar
+        if grammar is None:
+            grammar = self._by_fingerprint.get(entry.grammar_fp)
+        if grammar is None:
+            return None, "no grammar provenance and no matching fallback"
+        if grammar_fingerprint(grammar) != entry.grammar_fp:
+            return None, "recovered grammar does not match the recorded fingerprint"
+        return grammar, ""
+
+
+def _load_from_spec(spec: dict[str, Any]) -> Any:
+    from repro.loading import load_grammar
+
+    if spec.get("xmark"):
+        return load_grammar("xmark", format="xmark")
+    root = spec.get("root")
+    if isinstance(spec.get("dtd"), str):
+        from repro.dtd.grammar import grammar_from_text
+
+        return grammar_from_text(spec["dtd"], root)
+    if isinstance(spec.get("dtd_path"), str):
+        return load_grammar(spec["dtd_path"], format="dtd", root=root)
+    raise ReproError("grammar provenance names no DTD")
+
+
+def _replay_entry(
+    entry: LedgerEntry, ledger: Ledger, resolver: _GrammarResolver
+) -> Attestation:
+    source = entry.provenance.get("source")
+    if not isinstance(source, str):
+        source = None
+
+    # 1. The stored (dedup-servable) result must still match its hash.
+    if ledger.store is not None:
+        payload = ledger.store.get(entry.output_hash)
+        if payload is not None:
+            divergence = _check_payload(entry, payload)
+            if divergence is not None:
+                return Attestation(
+                    seq=entry.seq, op=entry.op, status="divergent",
+                    reason=divergence, expected=entry.output_hash,
+                    source=source,
+                )
+
+    # 2. Re-hash the recorded source.
+    if source is None:
+        return Attestation(
+            seq=entry.seq, op=entry.op, status="skipped",
+            reason="no source path in provenance", source=source,
+        )
+    if not os.path.exists(source):
+        return Attestation(
+            seq=entry.seq, op=entry.op, status="skipped",
+            reason="source file no longer exists", source=source,
+        )
+    input_hash = hash_file(source)
+    if input_hash != entry.input_hash:
+        return Attestation(
+            seq=entry.seq, op=entry.op, status="divergent",
+            reason="input file changed since it was recorded",
+            expected=entry.input_hash, actual=input_hash, source=source,
+        )
+
+    # 3. Recover the grammar.
+    grammar, why_not = resolver.resolve(entry)
+    if grammar is None:
+        return Attestation(
+            seq=entry.seq, op=entry.op, status="skipped",
+            reason=why_not, source=source,
+        )
+
+    # 4. Re-run the recorded work into a hashing sink.
+    sink = HashingSink()
+    try:
+        if entry.op == "extract":
+            from repro.extract.api import extract
+            from repro.extract.spec import ExtractSpec
+
+            spec_wire = entry.provenance.get("spec")
+            if not isinstance(spec_wire, dict):
+                return Attestation(
+                    seq=entry.seq, op=entry.op, status="skipped",
+                    reason="no extract spec in provenance", source=source,
+                )
+            extract(
+                source, grammar, ExtractSpec.from_wire(spec_wire),
+                out=sink,
+                format=str(entry.provenance.get("format", "jsonl")),
+                limits=Limits.off(),
+            )
+        else:
+            from repro.api import prune
+
+            projector = entry.provenance.get("projector")
+            if not isinstance(projector, list):
+                return Attestation(
+                    seq=entry.seq, op=entry.op, status="skipped",
+                    reason="no projector in provenance", source=source,
+                )
+            prune(
+                source, grammar, frozenset(projector), out=sink,
+                prune_attributes=bool(
+                    entry.provenance.get("prune_attributes", True)
+                ),
+                limits=Limits.off(),
+            )
+    except ReproError as error:
+        return Attestation(
+            seq=entry.seq, op=entry.op, status="divergent",
+            reason=f"replay failed: {type(error).__name__}: {error}",
+            expected=entry.output_hash, source=source,
+        )
+
+    actual = sink.hexdigest()
+    if actual != entry.output_hash:
+        return Attestation(
+            seq=entry.seq, op=entry.op, status="divergent",
+            reason="replayed output differs from the recorded hash",
+            expected=entry.output_hash, actual=actual, source=source,
+        )
+    return Attestation(
+        seq=entry.seq, op=entry.op, status="attested",
+        expected=entry.output_hash, actual=actual, source=source,
+    )
+
+
+def _check_payload(entry: LedgerEntry, payload: dict[str, Any]) -> str | None:
+    from repro.ledger.canonical import hash_records, hash_text
+
+    text = payload.get("text")
+    if not isinstance(text, str) or hash_text(text) != entry.output_hash:
+        return "stored result does not match the recorded output hash"
+    records = payload.get("records")
+    if entry.records_hash is not None and records is not None:
+        if not isinstance(records, list) or (
+            hash_records(records) != entry.records_hash
+        ):
+            return "stored records do not match the recorded record-stream hash"
+    return None
+
+
+def replay_ledger(
+    ledger: "Ledger | str | os.PathLike[str]",
+    *,
+    grammar: Any = None,
+    grammars: Iterable[Any] = (),
+    since: int | None = None,
+    jobs: int = 1,
+) -> ReplayReport:
+    """Replay every entry (optionally from sequence number ``since``)
+    and return the structured :class:`ReplayReport`.
+
+    Opening the ledger already verified the self-hash chain, so tampered
+    *history* raises :class:`~repro.errors.LedgerCorrupt` before replay
+    starts; replay then checks what the chain cannot — that the recorded
+    inputs still produce the recorded outputs.  ``jobs > 1`` replays
+    entries in a thread pool (the projector cache is thread-safe and
+    each replay streams its own source).
+    """
+    owned = not isinstance(ledger, Ledger)
+    if owned:
+        ledger = Ledger(ledger, fsync=False)
+    try:
+        fallbacks = list(grammars)
+        if grammar is not None:
+            fallbacks.append(grammar)
+        resolver = _GrammarResolver(fallbacks)
+        entries = [
+            entry for entry in ledger.entries
+            if since is None or entry.seq >= since
+        ]
+        if jobs > 1 and len(entries) > 1:
+            with ThreadPoolExecutor(max_workers=jobs) as pool:
+                outcomes = list(
+                    pool.map(
+                        lambda entry: _replay_entry(entry, ledger, resolver),
+                        entries,
+                    )
+                )
+        else:
+            outcomes = [
+                _replay_entry(entry, ledger, resolver) for entry in entries
+            ]
+        report = ReplayReport(total=len(outcomes))
+        for outcome in sorted(outcomes, key=lambda item: item.seq):
+            if outcome.status == "attested":
+                report.attested += 1
+            elif outcome.status == "divergent":
+                report.divergent.append(outcome)
+            else:
+                report.skipped.append(outcome)
+        return report
+    finally:
+        if owned:
+            ledger.close()

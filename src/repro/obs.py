@@ -62,6 +62,7 @@ __all__ = [
     "capture",
     "configure",
     "count",
+    "counter",
     "disable",
     "enabled",
     "flush",
@@ -718,6 +719,15 @@ def count(name: str, amount: int | float = 1) -> None:
 
 def gauge(name: str, value: int | float) -> None:
     _tracer.gauge(name, value)
+
+
+def counter(name: str) -> int | float:
+    """The current aggregate value of one counter on the live tracer
+    (``0`` while tracing is disabled or before the first increment).
+    Gives subsystems that keep *contract* counters — e.g. the attestation
+    ledger's ``ledger.hits`` / ``ledger.records`` — a read-back without
+    reaching into tracer internals."""
+    return _tracer.counters.get(name, 0)
 
 
 def observe(name: str, value: float) -> None:

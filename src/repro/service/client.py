@@ -47,13 +47,19 @@ __all__ = [
 
 @dataclass(slots=True)
 class RemoteOutcome:
-    """One remote prune's outcome: the service-side result, locally typed."""
+    """One remote prune's outcome: the service-side result, locally typed.
+
+    ``ledger`` reports what a ledger-enabled server did with the request:
+    ``"hit"`` (served from the content-addressed store), ``"recorded"``
+    (executed, attestation appended), or ``None`` (no ledger / unhashable
+    source)."""
 
     stats: PruneStats
     text: str | None = None
     output_path: str | None = None
     seconds: float = 0.0
     worker: int | None = None
+    ledger: str | None = None
 
 
 @dataclass(slots=True)
@@ -66,6 +72,7 @@ class RemoteExtractOutcome:
     output_path: str | None = None
     seconds: float = 0.0
     worker: int | None = None
+    ledger: str | None = None
 
 
 @dataclass(slots=True)
@@ -200,6 +207,7 @@ class ServiceClient:
             output_path=result.get("output_path"),
             seconds=float(result.get("seconds", 0.0)),
             worker=result.get("worker"),
+            ledger=result.get("ledger"),
         )
 
     # -- operations ------------------------------------------------------
@@ -290,6 +298,7 @@ class ServiceClient:
             output_path=result.get("output_path"),
             seconds=float(result.get("seconds", 0.0)),
             worker=result.get("worker"),
+            ledger=result.get("ledger"),
         )
 
     def check_update(

@@ -34,6 +34,10 @@ class ServiceConfig:
     * ``tracing`` — ship worker-side obs records back to the server
       tracer (matches ``prune_many``'s behaviour; costs one MemorySink
       per worker).
+    * ``ledger`` — path of an attestation ledger (:mod:`repro.ledger`);
+      when set, every prune/extract request is recorded and identical
+      re-requests are served from the content-addressed result store
+      (``result["ledger"]`` says which happened).
     """
 
     host: str = "127.0.0.1"
@@ -44,6 +48,7 @@ class ServiceConfig:
     limits: "Limits | str | None" = None
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
     tracing: bool = False
+    ledger: str | None = None
 
     def __post_init__(self) -> None:
         if self.queue_limit < 0:

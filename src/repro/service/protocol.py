@@ -44,6 +44,8 @@ from repro.projection.stats import PruneStats
 
 __all__ = [
     "DEFAULT_MAX_FRAME_BYTES",
+    "LEDGER_HIT",
+    "LEDGER_RECORDED",
     "OPS",
     "decode_frame",
     "encode_frame",
@@ -72,6 +74,13 @@ OPS = (
     "stats",
     "health",
 )
+
+#: ``result["ledger"]`` markers on prune/extract responses when the
+#: server runs with an attestation ledger: the result was served from the
+#: content-addressed store (byte-identical by recorded hash), or the run
+#: executed and its attestation was appended.
+LEDGER_HIT = "hit"
+LEDGER_RECORDED = "recorded"
 
 _HEADER = struct.Struct(">I")
 

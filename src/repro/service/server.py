@@ -54,6 +54,8 @@ from repro.limits import resolve_limits
 from repro.parallel import FINGERPRINT_MISMATCH, WORKER_CRASH, _execute
 from repro.service.config import ServiceConfig
 from repro.service.protocol import (
+    LEDGER_HIT,
+    LEDGER_RECORDED,
     OPS,
     error_to_wire,
     extract_stats_to_wire,
@@ -103,6 +105,11 @@ class ProjectionServer:
         self.config = config if config is not None else ServiceConfig()
         self.cache = cache if cache is not None else default_cache()
         self.pool = ResidentPool(self.config.jobs, tracing=self.config.tracing)
+        self._ledger = None
+        if self.config.ledger is not None:
+            from repro.ledger import Ledger
+
+            self._ledger = Ledger(self.config.ledger)
         self.port: int | None = None
         self._grammars: dict[tuple, Grammar] = {}
         self._limits = self.config.resolved_limits()
@@ -168,6 +175,8 @@ class ProjectionServer:
             with contextlib.suppress(Exception):
                 conn.writer.close()
         await asyncio.to_thread(self.pool.shutdown)
+        if self._ledger is not None:
+            self._ledger.close()
         obs.flush()
         self._drained.set()
 
@@ -378,6 +387,14 @@ class ProjectionServer:
                 "retained": self._static_retained,
                 "invalidated": self._static_invalidated,
             },
+            "ledger": {
+                "enabled": self._ledger is not None,
+                "entries": len(self._ledger) if self._ledger is not None else 0,
+                "hits": self._ledger.hits if self._ledger is not None else 0,
+                "records": (
+                    self._ledger.appended if self._ledger is not None else 0
+                ),
+            },
         }
 
     def _grammar_from(self, frame: dict[str, Any]) -> Grammar:
@@ -477,8 +494,21 @@ class ProjectionServer:
         out_path = frame.get("out_path")
         if out_path is not None and not isinstance(out_path, str):
             raise ProtocolError("'out_path' must be a string path")
-        key = self.pool.pin(grammar, projector, options.prune_attributes)
         started = time.perf_counter()
+        led = None
+        if self._ledger is not None:
+            led = await asyncio.to_thread(
+                self._ledger_begin, frame, grammar, options, source,
+                projector=projector,
+            )
+            if led is not None and not options.validate:
+                served = await asyncio.to_thread(
+                    self._ledger_serve, led[0], out_path, "prune"
+                )
+                if served is not None:
+                    served["seconds"] = time.perf_counter() - started
+                    return served
+        key = self.pool.pin(grammar, projector, options.prune_attributes)
         result, worker = await self._execute_pooled(key, source, out_path, options)
         payload: dict[str, Any] = {
             "stats": stats_to_wire(result.stats),
@@ -489,6 +519,9 @@ class ProjectionServer:
             payload["text"] = result.text
         if result.output_path is not None:
             payload["output_path"] = result.output_path
+        if led is not None:
+            await asyncio.to_thread(self._ledger_record, led, "prune", result)
+            payload["ledger"] = LEDGER_RECORDED
         return payload
 
     async def _do_extract(self, frame: dict[str, Any]) -> dict[str, Any]:
@@ -508,8 +541,20 @@ class ProjectionServer:
         out_path = frame.get("out_path")
         if out_path is not None and not isinstance(out_path, str):
             raise ProtocolError("'out_path' must be a string path")
-        key = self.pool.pin(grammar, projector)
         started = time.perf_counter()
+        led = None
+        if self._ledger is not None:
+            led = await asyncio.to_thread(
+                self._ledger_begin, frame, grammar, options, source, spec=spec
+            )
+            if led is not None:
+                served = await asyncio.to_thread(
+                    self._ledger_serve, led[0], out_path, "extract"
+                )
+                if served is not None:
+                    served["seconds"] = time.perf_counter() - started
+                    return served
+        key = self.pool.pin(grammar, projector)
         result, worker = await self._execute_pooled(
             key, source, out_path, options, spec=spec
         )
@@ -523,6 +568,9 @@ class ProjectionServer:
             payload["text"] = result.text
         if result.output_path is not None:
             payload["output_path"] = result.output_path
+        if led is not None:
+            await asyncio.to_thread(self._ledger_record, led, "extract", result)
+            payload["ledger"] = LEDGER_RECORDED
         return payload
 
     async def _do_check_update(self, frame: dict[str, Any]) -> dict[str, Any]:
@@ -625,6 +673,112 @@ class ProjectionServer:
             "succeeded": sum(1 for item in items if item["ok"]),
             "seconds": time.perf_counter() - started,
         }
+
+    # -- ledger plumbing -------------------------------------------------
+
+    def _ledger_begin(
+        self,
+        frame: dict[str, Any],
+        grammar: Grammar,
+        options: "PruneOptions | ExtractOptions",
+        source: str,
+        projector: "frozenset[str] | None" = None,
+        spec: ExtractSpec | None = None,
+    ) -> "tuple[tuple[str, str, str, str], dict[str, Any]] | None":
+        """Fingerprint one admitted request for the attestation ledger
+        (blocking: hashes the source — call via ``asyncio.to_thread``).
+        Provenance keeps the request's own grammar object (inline DTD
+        text or the XMark marker), so ``verify-ledger`` can replay
+        server-recorded entries with no out-of-band grammar."""
+        from repro.api import _ledger_begin
+        from repro.ledger.canonical import hash_canonical
+
+        is_path = not source.lstrip().startswith("<")
+        workload_fp = None
+        prov: dict[str, Any] = {}
+        gspec = frame.get("grammar")
+        if isinstance(gspec, dict):
+            if gspec.get("xmark"):
+                prov["grammar"] = {"xmark": True}
+            elif isinstance(gspec.get("dtd"), str):
+                prov["grammar"] = {
+                    "dtd": gspec["dtd"], "root": gspec.get("root"),
+                }
+        if spec is not None:
+            assert isinstance(options, ExtractOptions)
+            workload_fp = hash_canonical(
+                {"format": options.format, "spec": spec.fingerprint()}
+            )
+            prov["spec"] = spec.to_wire()
+            prov["format"] = options.format
+        try:
+            return _ledger_begin(
+                self._ledger, source, grammar, options,
+                resolve_limits(options.limits), prov, is_path, projector,
+                workload_fp=workload_fp,
+            )
+        except OSError:
+            # An unreadable path source fails identically in the worker,
+            # with the structured error the client expects — let that
+            # path produce it rather than dying here.
+            return None
+
+    def _ledger_serve(
+        self,
+        key: "tuple[str, str, str, str]",
+        out_path: str | None,
+        op: str,
+    ) -> dict[str, Any] | None:
+        """Serve a recorded result without touching the pool (blocking:
+        verifies the stored bytes and may write ``out_path``)."""
+        assert self._ledger is not None
+        hit = self._ledger.fetch(key)
+        if hit is None:
+            return None
+        entry, stored = hit
+        from repro.ledger.ledger import decode_stats
+
+        stats = decode_stats(entry.stats)
+        text = stored["text"]
+        payload: dict[str, Any] = {
+            "stats": (
+                stats_to_wire(stats) if op == "prune"
+                else extract_stats_to_wire(stats)
+            ),
+            "worker": None,
+            "ledger": LEDGER_HIT,
+        }
+        if out_path is not None:
+            from repro.projection.streaming import _open_output
+
+            with _open_output(out_path) as sink:
+                sink.write(text)
+            payload["output_path"] = out_path
+        else:
+            payload["text"] = text
+        return payload
+
+    def _ledger_record(
+        self,
+        led: "tuple[tuple[str, str, str, str], dict[str, Any]]",
+        op: str,
+        result: "PruneResult | ExtractResult",
+    ) -> None:
+        """Append the attestation for a completed pooled run (blocking:
+        hashes the output and fsyncs the ledger)."""
+        from repro.api import _ledger_record
+
+        assert self._ledger is not None
+        if result.text is not None:
+            _ledger_record(
+                self._ledger, led, op, result.stats, text=result.text,
+                records=getattr(result, "records", None),
+            )
+        elif result.output_path is not None:
+            _ledger_record(
+                self._ledger, led, op, result.stats,
+                output_path=result.output_path,
+            )
 
     # -- pool plumbing ---------------------------------------------------
 

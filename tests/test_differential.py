@@ -206,6 +206,113 @@ def test_differential_static_full(seed):
     check_static(seed)
 
 
+def _run_ledger_axis(seeds, tmp_path):
+    """The ledger axis: every seeded prune/extract run is recorded into
+    one shared attestation ledger, dedup hits return *identical* bytes,
+    records and stats to the fresh run, and a full replay re-attests
+    every entry (Thm 4.5 byte-identity, promoted to a runtime contract).
+    Returns what the corruption test needs to poke at the recorded state.
+    """
+    from repro.ledger import Ledger, replay_ledger
+
+    led_path = str(tmp_path / "ledger.jsonl")
+    grammars = []
+    expected_entries = 0
+    with Ledger(led_path) as ledger:
+        for seed in seeds:
+            grammar, document, _, projector = _case(seed)
+            grammars.append(grammar)
+            doc_path = str(tmp_path / f"doc-{seed}.xml")
+            with open(doc_path, "w", encoding="utf-8") as handle:
+                handle.write(serialize(document))
+
+            fresh = prune(doc_path, grammar, projector)
+            recorded = prune(doc_path, grammar, projector, ledger=ledger)
+            expected_entries += 1
+            hits_before = ledger.hits
+            served = prune(doc_path, grammar, projector, ledger=ledger)
+            assert ledger.hits == hits_before + 1, (
+                f"seed {seed}: identical re-prune was not dedup-served"
+            )
+            assert served.text == recorded.text == fresh.text, (
+                f"seed {seed}: dedup hit returned different bytes"
+            )
+            assert served.stats == recorded.stats == fresh.stats, (
+                f"seed {seed}: dedup hit returned different stats"
+            )
+
+            spec = random_extract_spec(grammar, seed * 17 + 3)
+            efresh = extract(doc_path, grammar, spec)
+            appended_before = ledger.appended
+            erecorded = extract(doc_path, grammar, spec, ledger=ledger)
+            if ledger.appended == appended_before:
+                # Statically short-circuited: nothing scanned, nothing to
+                # attest — the result must still match the fresh run.
+                assert erecorded.text == efresh.text
+                continue
+            expected_entries += 1
+            hits_before = ledger.hits
+            eserved = extract(doc_path, grammar, spec, ledger=ledger)
+            assert ledger.hits == hits_before + 1, (
+                f"seed {seed}: identical re-extract was not dedup-served"
+            )
+            assert eserved.text == erecorded.text == efresh.text, (
+                f"seed {seed}: extract dedup hit returned different bytes"
+            )
+            assert eserved.records == erecorded.records == efresh.records, (
+                f"seed {seed}: extract dedup hit returned different records"
+            )
+            assert eserved.stats == erecorded.stats == efresh.stats, (
+                f"seed {seed}: extract dedup hit returned different stats"
+            )
+
+        assert len(ledger) == ledger.appended == expected_entries
+        report = replay_ledger(ledger, grammars=grammars, jobs=2)
+    assert report.total == expected_entries
+    assert report.ok and report.attested == report.total, (
+        f"replay did not attest 100%: {report.as_dict()}"
+    )
+    return led_path, grammars
+
+
+def test_differential_ledger_quick(tmp_path):
+    _run_ledger_axis(range(QUICK_CASES), tmp_path)
+
+
+@pytest.mark.slow
+def test_differential_ledger_full(tmp_path):
+    _run_ledger_axis(range(QUICK_CASES, FULL_CASES), tmp_path)
+
+
+def test_differential_ledger_detects_corruption(tmp_path):
+    """Flip one byte of one recorded output: replay must report exactly
+    that entry as divergent and every other entry as attested."""
+    import json
+    import os
+
+    from repro.ledger import Ledger, replay_ledger
+
+    led_path, grammars = _run_ledger_axis(range(4), tmp_path)
+    with Ledger(led_path, fsync=False) as ledger:
+        victim = ledger.entries[1]
+        blob_path = os.path.join(
+            led_path + ".store", victim.output_hash + ".json"
+        )
+        with open(blob_path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        text = payload["text"]
+        flipped = chr(ord(text[-1]) ^ 1)
+        payload["text"] = text[:-1] + flipped
+        with open(blob_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+
+        report = replay_ledger(ledger, grammars=grammars, jobs=2)
+    assert not report.ok
+    assert [item.seq for item in report.divergent] == [victim.seq]
+    assert report.attested == report.total - 1
+    assert "stored result" in report.divergent[0].reason
+
+
 def test_projector_is_valid_projector():
     """The inferred-and-rooted set used by every case really is a
     projector (closed under the grammar's chain relation)."""

@@ -817,3 +817,118 @@ class TestCliServer:
         with pytest.raises(SystemExit):
             main(["prune", "--infer-dtd", "--query", QUERY,
                   "--server", "127.0.0.1:1", str(doc), str(tmp_path / "o.xml")])
+
+
+class TestServiceLedger:
+    """The server-side attestation ledger: every request recorded, repeat
+    requests served from the content-addressed store, and the resulting
+    ledger replayable offline with no out-of-band grammar (the request's
+    inline DTD rides along in provenance)."""
+
+    def test_prune_recorded_then_served_byte_identically(self, tmp_path,
+                                                         book_grammar):
+        led = tmp_path / "ledger.jsonl"
+        config = ServiceConfig(port=0, jobs=1, ledger=str(led))
+        with serve_background(config, cache=ProjectorCache()) as background:
+            with ServiceClient("127.0.0.1", background.port) as client:
+                first = client.prune(BOOK_XML, dtd=BOOK_DTD, root="bib",
+                                     queries=[QUERY])
+                second = client.prune(BOOK_XML, dtd=BOOK_DTD, root="bib",
+                                      queries=[QUERY])
+                assert first.ledger == "recorded"
+                assert second.ledger == "hit"
+                assert second.text == first.text == _expected_text(
+                    book_grammar, BOOK_XML)
+                assert second.stats == first.stats
+                stats = client.stats()
+                assert stats["ledger"] == {
+                    "enabled": True, "entries": 1, "hits": 1, "records": 1,
+                }
+
+    def test_stats_report_ledger_disabled_without_the_flag(self, server):
+        with ServiceClient("127.0.0.1", server.port) as client:
+            assert client.stats()["ledger"] == {
+                "enabled": False, "entries": 0, "hits": 0, "records": 0,
+            }
+
+    def test_extract_recorded_then_served(self, tmp_path, book_grammar):
+        from repro import ExtractSpec, extract
+
+        led = tmp_path / "ledger.jsonl"
+        spec = ExtractSpec(rows="/bib/book", fields={"title": "title/text()"})
+        config = ServiceConfig(port=0, jobs=1, ledger=str(led))
+        with serve_background(config, cache=ProjectorCache()) as background:
+            with ServiceClient("127.0.0.1", background.port) as client:
+                first = client.extract(BOOK_XML, spec=spec,
+                                       dtd=BOOK_DTD, root="bib")
+                second = client.extract(BOOK_XML, spec=spec,
+                                        dtd=BOOK_DTD, root="bib")
+        assert first.ledger == "recorded" and second.ledger == "hit"
+        local = extract(BOOK_XML, book_grammar, spec)
+        assert second.text == first.text == local.text
+        assert second.stats.as_dict() == local.stats.as_dict()
+
+    def test_server_ledger_replays_offline(self, tmp_path, book_grammar):
+        """Entries recorded for *path* sources carry everything replay
+        needs — the path, the inline DTD, the projector — so a later
+        ``verify-ledger`` run attests them with no server around."""
+        from repro.ledger import replay_ledger
+
+        led = tmp_path / "ledger.jsonl"
+        src = tmp_path / "bib.xml"
+        src.write_text(BOOK_XML)
+        out = tmp_path / "pruned.xml"
+        config = ServiceConfig(port=0, jobs=1, ledger=str(led))
+        with serve_background(config, cache=ProjectorCache()) as background:
+            with ServiceClient("127.0.0.1", background.port) as client:
+                outcome = client.prune(
+                    source_path=str(src), out_path=str(out),
+                    dtd=BOOK_DTD, root="bib", queries=[QUERY],
+                )
+                assert outcome.ledger == "recorded"
+        report = replay_ledger(str(led))
+        assert report.ok and report.attested == report.total == 1
+
+    def test_hit_serves_out_path_without_a_worker(self, tmp_path,
+                                                  book_grammar):
+        led = tmp_path / "ledger.jsonl"
+        src = tmp_path / "bib.xml"
+        src.write_text(BOOK_XML)
+        config = ServiceConfig(port=0, jobs=1, ledger=str(led))
+        with serve_background(config, cache=ProjectorCache()) as background:
+            with ServiceClient("127.0.0.1", background.port) as client:
+                first = client.prune(source_path=str(src),
+                                     out_path=str(tmp_path / "a.xml"),
+                                     dtd=BOOK_DTD, root="bib",
+                                     queries=[QUERY])
+                second = client.prune(source_path=str(src),
+                                      out_path=str(tmp_path / "b.xml"),
+                                      dtd=BOOK_DTD, root="bib",
+                                      queries=[QUERY])
+                assert second.ledger == "hit"
+                assert second.worker is None  # served without pinning a worker
+        assert (tmp_path / "a.xml").read_text() == \
+            (tmp_path / "b.xml").read_text()
+
+    def test_ledger_survives_an_independent_update(self, tmp_path,
+                                                   book_grammar):
+        """A proven-independent grammar update keeps the recorded results
+        servable — the ledger is content-addressed, so retained pins and
+        retained attestations go together."""
+        led = tmp_path / "ledger.jsonl"
+        config = ServiceConfig(port=0, jobs=1, ledger=str(led))
+        with serve_background(config, cache=ProjectorCache()) as background:
+            with ServiceClient("127.0.0.1", background.port) as client:
+                client.prune(BOOK_XML, dtd=BOOK_DTD, root="bib",
+                             queries=[QUERY])
+                verdict = client.check_update(
+                    "/bib/book/price", dtd=BOOK_DTD, root="bib",
+                    queries=[QUERY],
+                )
+                assert verdict["independent"] is True
+                outcome = client.prune(BOOK_XML, dtd=BOOK_DTD, root="bib",
+                                       queries=[QUERY])
+                assert outcome.ledger == "hit"
+                stats = client.stats()
+                assert stats["ledger"]["entries"] == 1
+                assert stats["ledger"]["hits"] == 1
