@@ -25,12 +25,14 @@ import warnings as _warnings
 
 from repro.api import PruneOptions, PruneResult, prune
 from repro.core.pipeline import AnalysisResult, analyze
+from repro.errors import StrayDocumentError, UnsupportedSchemaError
 from repro.extract.api import ExtractOptions, ExtractResult
 from repro.extract.api import extract as extract  # binds over the submodule name
 from repro.extract.spec import ExtractSpec
 from repro.limits import Limits
 from repro.loading import load_grammar
 from repro.parallel import BatchError, BatchResult, extract_many, prune_many
+from repro.schema.infer import InferredGrammar, infer_grammar
 
 __version__ = "1.0.0"
 
@@ -41,13 +43,17 @@ __all__ = [
     "ExtractOptions",
     "ExtractResult",
     "ExtractSpec",
+    "InferredGrammar",
     "Limits",
     "PruneOptions",
     "PruneResult",
+    "StrayDocumentError",
+    "UnsupportedSchemaError",
     "__version__",
     "analyze",
     "extract",
     "extract_many",
+    "infer_grammar",
     "load_grammar",
     "prune",
     "prune_many",

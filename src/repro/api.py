@@ -39,7 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (ledger uses obs)
 
 from repro import obs
 from repro.dtd.grammar import Grammar
-from repro.errors import ReproError
+from repro.errors import ReproError, StrayDocumentError, ValidationError
 from repro.limits import Limits, resolve_limits
 from repro.projection.stats import PruneStats
 from repro.projection.streaming import (
@@ -135,6 +135,10 @@ class PruneResult:
     text: str | None = None
     events: Iterator[Event] | None = None
     output_path: str | None = None
+    #: True when the inferred-grammar escape hatch fired with
+    #: ``on_stray="copy"``: the output is the source verbatim, not a
+    #: prune (the document strayed from the inferred grammar).
+    stray: bool = False
 
     def __iter__(self) -> Iterator[Event]:
         if self.events is None:
@@ -219,6 +223,15 @@ def prune(
     one pre-root construct the streaming pruner echoes, are dropped; and
     ``validate=True``, ``prune_attributes=False`` or an event source
     disable the shortcut, because those contracts need the real pass.)
+
+    Pruning against an :class:`~repro.schema.infer.InferredGrammar`
+    always validates (full validation against a dataguide grammar *is*
+    the stray check) and applies the grammar's ``on_stray`` escape-hatch
+    policy when the document lies outside the inferred language:
+    ``"copy"`` emits the source verbatim (``result.stray`` is set),
+    ``"error"`` raises :class:`~repro.errors.StrayDocumentError`.
+    Theorem 4.5 soundness only covers accepted documents, so a stray is
+    never pruned.
     """
     analysis = None
     if hasattr(projector, "projector") and hasattr(projector, "provably_empty"):
@@ -229,6 +242,33 @@ def prune(
         options, fast, validate, prune_attributes, chunk_size,
         limits=limits, fallback=fallback,
     )
+    if getattr(grammar, "on_stray", None) is not None:
+        return _prune_inferred(
+            source, grammar, projector,
+            analysis=analysis, out=out, opts=opts,
+            ledger=ledger, provenance=provenance,
+        )
+    return _prune_core(
+        source, grammar, projector,
+        analysis=analysis, out=out, opts=opts,
+        ledger=ledger, provenance=provenance,
+    )
+
+
+def _prune_core(
+    source: "str | os.PathLike[str] | IO[str] | Iterable[Event]",
+    grammar: Grammar,
+    projector: frozenset[str] | set[str],
+    *,
+    analysis: Any,
+    out: "str | os.PathLike[str] | IO[str] | None",
+    opts: PruneOptions,
+    ledger: "Ledger | None",
+    provenance: dict[str, Any] | None,
+) -> PruneResult:
+    """The dispatch-and-run body shared by the plain facade and the
+    inferred-grammar escape hatch (which forces validation and maps
+    validation failures to its policy before/after calling this)."""
     resolved_limits = resolve_limits(opts.limits)
 
     # Event-stream source: transform iterator to iterator.
@@ -342,6 +382,147 @@ def prune(
         return PruneResult(stats=stats)
     with_source(out)  # type: ignore[arg-type]
     return PruneResult(stats=stats)
+
+
+# -- the inferred-grammar escape hatch ---------------------------------------
+
+
+def _prune_inferred(
+    source: "str | os.PathLike[str] | IO[str] | Iterable[Event]",
+    grammar: Grammar,
+    projector: frozenset[str] | set[str],
+    *,
+    analysis: Any,
+    out: "str | os.PathLike[str] | IO[str] | None",
+    opts: PruneOptions,
+    ledger: "Ledger | None",
+    provenance: dict[str, Any] | None,
+) -> PruneResult:
+    """Prune against an inferred grammar: validate-and-prune in one
+    pass, and apply the grammar's ``on_stray`` policy on a violation.
+
+    Validation is forced on because for a dataguide grammar it *is* the
+    stray check: the content models are starred unions of everything
+    observed in the sample, so the first event outside them (an unseen
+    child, text where none was seen, an unseen attribute) is exactly the
+    first point where the document strays.  Forcing validation also
+    forces the event pipeline — a stray inside a bulk-skipped pruned
+    region would be invisible to the fused fast path.
+    """
+    opts = replace(opts, validate=True)
+    policy = grammar.on_stray  # type: ignore[attr-defined]
+
+    is_stream = hasattr(source, "read")
+    is_events = (
+        not isinstance(source, (str, os.PathLike)) and not is_stream
+    )
+    if is_events:
+        if policy == "copy":
+            raise ReproError(
+                'on_stray="copy" cannot replay an event stream; '
+                "prune the markup/path/stream form instead"
+            )
+        result = _prune_core(
+            source, grammar, projector,
+            analysis=analysis, out=out, opts=opts,
+            ledger=ledger, provenance=provenance,
+        )
+        assert result.events is not None
+        result.events = _stray_guard(result.events)
+        return result
+
+    if policy == "copy":
+        if is_stream:
+            # Buffer so the copy fallback can replay the source.
+            source = source.read()  # type: ignore[union-attr]
+        out_is_stream = out is not None and hasattr(out, "write")
+        # A caller-owned sink cannot be un-written, so buffer the prune
+        # and only forward it once the document fully validated.
+        sink = io.StringIO() if out_is_stream else out
+        try:
+            result = _prune_core(
+                source, grammar, projector,
+                analysis=analysis, out=sink, opts=opts,
+                ledger=ledger, provenance=provenance,
+            )
+        except ValidationError:
+            obs.count("schema.strays")
+            return _copy_verbatim(source, out)
+        if out_is_stream:
+            out.write(sink.getvalue())  # type: ignore[union-attr]
+        return result
+
+    try:
+        return _prune_core(
+            source, grammar, projector,
+            analysis=analysis, out=out, opts=opts,
+            ledger=ledger, provenance=provenance,
+        )
+    except StrayDocumentError:
+        raise
+    except ValidationError as exc:
+        obs.count("schema.strays")
+        raise StrayDocumentError(str(exc), exc.node_id) from exc
+
+
+def _stray_guard(events: Iterator[Event]) -> Iterator[Event]:
+    """Re-raise lazy validation failures of an event-source prune as the
+    structured stray refusal."""
+    try:
+        for event in events:
+            yield event
+    except StrayDocumentError:
+        raise
+    except ValidationError as exc:
+        obs.count("schema.strays")
+        raise StrayDocumentError(str(exc), exc.node_id) from exc
+
+
+def _copy_verbatim(
+    source: "str | os.PathLike[str]",
+    out: "str | os.PathLike[str] | IO[str] | None",
+) -> PruneResult:
+    """The ``on_stray="copy"`` fallback: the source, byte for byte.  A
+    verbatim copy preserves every query answer, so it is always sound —
+    just not pruned.  ``result.stray`` marks it."""
+    is_path = isinstance(source, os.PathLike) or not _is_markup(source)
+    stats = PruneStats()
+    if is_path:
+        path = os.fspath(source)
+        stats.bytes_in = os.path.getsize(path)
+        stats.bytes_out = stats.bytes_in
+        if out is not None and not hasattr(out, "write"):
+            out_path = os.fspath(out)  # type: ignore[arg-type]
+            with open(path, "r", encoding="utf-8") as handle:
+                with _open_output(out_path) as sink:
+                    while True:
+                        chunk = handle.read(DEFAULT_CHUNK_SIZE)
+                        if not chunk:
+                            break
+                        sink.write(chunk)
+            return PruneResult(stats=stats, output_path=out_path, stray=True)
+        with open(path, "r", encoding="utf-8") as handle:
+            if out is not None:
+                while True:
+                    chunk = handle.read(DEFAULT_CHUNK_SIZE)
+                    if not chunk:
+                        break
+                    out.write(chunk)  # type: ignore[union-attr]
+                return PruneResult(stats=stats, stray=True)
+            text = handle.read()
+        return PruneResult(stats=stats, text=text, stray=True)
+    text = source  # type: ignore[assignment]
+    stats.bytes_in = len(text.encode("utf-8", "replace"))
+    stats.bytes_out = stats.bytes_in
+    if out is None:
+        return PruneResult(stats=stats, text=text, stray=True)
+    if not hasattr(out, "write"):
+        out_path = os.fspath(out)  # type: ignore[arg-type]
+        with _open_output(out_path) as sink:
+            sink.write(text)
+        return PruneResult(stats=stats, output_path=out_path, stray=True)
+    out.write(text)  # type: ignore[union-attr]
+    return PruneResult(stats=stats, stray=True)
 
 
 def _short_circuit_empty(

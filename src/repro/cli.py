@@ -49,12 +49,20 @@ def _load_grammar(args, document_path: str | None = None):
 
     if args.xmark:
         return load_grammar("xmark")
+    if getattr(args, "schema", None):
+        return load_grammar(args.schema, format="xsd", root=args.root)
+    if getattr(args, "infer_from", None):
+        return load_grammar(
+            args.infer_from, infer=True, root=args.root,
+            on_stray=getattr(args, "on_stray", None) or "error",
+        )
     if getattr(args, "infer_dtd", False):
         if document_path is None:
             raise SystemExit("--infer-dtd requires a document to summarise")
         return load_grammar(document_path, format="xml")
     if not args.dtd:
-        raise SystemExit("--dtd is required (or pass --xmark / --infer-dtd)")
+        raise SystemExit("--dtd is required (or pass --schema, --xmark, "
+                         "--infer-from or --infer-dtd)")
     return load_grammar(args.dtd, format="dtd", root=args.root)
 
 
@@ -97,7 +105,18 @@ def _ledger_provenance(args):
     falls back to a caller-supplied grammar or skips."""
     if args.xmark:
         return {"grammar": {"xmark": True}}
-    if getattr(args, "infer_dtd", False) or not args.dtd:
+    if getattr(args, "schema", None):
+        import os
+
+        spec = {"xsd_path": os.path.abspath(args.schema)}
+        if args.root:
+            spec["root"] = args.root
+        return {"grammar": spec}
+    if (
+        getattr(args, "infer_dtd", False)
+        or getattr(args, "infer_from", None)
+        or not args.dtd
+    ):
         return None
     import os
 
@@ -169,6 +188,26 @@ def _print_batch_errors(batch) -> None:
         print(f"error: {error.source}: {error.kind}: {error.message}", file=sys.stderr)
 
 
+def _server_grammar_kwargs(args) -> dict:
+    """The grammar spec for ``--server`` runs.  DTDs and XSDs ship by
+    path text; ``--infer-from`` infers client-side (the corpus lives
+    here) and ships the grammar's wire form so the server can pin it."""
+    if args.xmark:
+        return {"xmark": True}
+    if getattr(args, "schema", None):
+        kwargs = {"xsd_path": args.schema}
+        if args.root:
+            kwargs["root"] = args.root
+        return kwargs
+    if getattr(args, "infer_from", None):
+        return {"grammar": _load_grammar(args)}
+    if args.dtd:
+        return {"dtd_path": args.dtd, "root": args.root}
+    raise SystemExit("--server requires --dtd/--root, --schema, "
+                     "--infer-from or --xmark (--infer-dtd runs "
+                     "client-side only)")
+
+
 def _prune_via_server(args) -> int:
     """Send ``prune`` work to a running projection service.
 
@@ -181,13 +220,7 @@ def _prune_via_server(args) -> int:
     from repro.parallel import _output_paths
     from repro.service.client import ServiceClient
 
-    if args.xmark:
-        grammar_kwargs = {"xmark": True}
-    elif args.dtd and args.root:
-        grammar_kwargs = {"dtd_path": args.dtd, "root": args.root}
-    else:
-        raise SystemExit("--server requires --dtd/--root or --xmark "
-                         "(--infer-dtd runs client-side only)")
+    grammar_kwargs = _server_grammar_kwargs(args)
     options_kwargs = {
         "queries": args.query,
         "options": PruneOptions(fast=not args.no_fast, validate=args.validate),
@@ -321,13 +354,7 @@ def _extract_via_server(args, spec) -> int:
     from repro.extract.api import ExtractOptions
     from repro.service.client import ServiceClient
 
-    if args.xmark:
-        grammar_kwargs = {"xmark": True}
-    elif args.dtd:
-        grammar_kwargs = {"dtd_path": args.dtd, "root": args.root}
-    else:
-        raise SystemExit("--server requires --dtd or --xmark "
-                         "(--infer-dtd runs client-side only)")
+    grammar_kwargs = _server_grammar_kwargs(args)
     options = ExtractOptions(format=args.format)
     items = _batch_inputs(args)
     failures = 0
@@ -586,14 +613,30 @@ def _shared_parents():
     ``prune``, ``extract`` and ``run`` cannot drift out of sync."""
     grammar = argparse.ArgumentParser(add_help=False)
     grammar.add_argument("--dtd", help="path to the DTD file")
+    grammar.add_argument("--schema", metavar="FILE.xsd",
+                         help="path to an XML Schema file (compiled to the "
+                              "same grammar substrate as a DTD)")
     grammar.add_argument("--root",
                          help="root element tag (default: the DTD's first "
-                              "declared element)")
+                              "declared element / the XSD's first global "
+                              "element)")
     grammar.add_argument("--xmark", action="store_true",
                          help="use the built-in XMark DTD")
     grammar.add_argument("--infer-dtd", action="store_true",
                          help="summarise the input document into a dataguide "
                               "grammar (no DTD needed)")
+    grammar.add_argument("--infer-from", metavar="GLOB",
+                         help="infer a grammar from a corpus sample (a file, "
+                              "glob, or directory) instead of loading a "
+                              "schema; see --on-stray for documents outside "
+                              "the sample's shape")
+    grammar.add_argument("--on-stray", choices=("error", "copy"),
+                         default="error",
+                         help="what an inferred grammar does with documents "
+                              "that stray from the sample: refuse loudly "
+                              "(error, default) or pass them through "
+                              "verbatim (copy); pruning a stray would drop "
+                              "unknown content silently")
 
     query = argparse.ArgumentParser(add_help=False)
     query.add_argument("--query", action="append", required=True,

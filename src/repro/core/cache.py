@@ -67,6 +67,12 @@ def grammar_fingerprint(grammar: Grammar) -> str:
     hasher.update(type(grammar).__name__.encode())
     hasher.update(b"\x00")
     hasher.update(grammar.root.encode())
+    # Behaviour-bearing state outside the productions (e.g. an inferred
+    # grammar's on_stray policy) must key caches, pins and the ledger too.
+    salt = getattr(grammar, "fingerprint_salt", "")
+    if salt:
+        hasher.update(b"\x00")
+        hasher.update(salt.encode())
     for name in sorted(grammar.productions):
         production = grammar.productions[name]
         if isinstance(production, ElementProduction):

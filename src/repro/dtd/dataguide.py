@@ -122,8 +122,15 @@ class DataguideBuilder:
 
     # -- materialisation -------------------------------------------------------
 
-    def grammar(self, root: str | None = None) -> Grammar:
-        """The inferred local tree grammar.
+    def materialise(self, root: str | None = None) -> "tuple[str, list[Production]]":
+        """The inferred ``(root, productions)`` pair, deterministically.
+
+        Production order (and every child/attribute union inside the
+        regexes) is sorted, so summarising one corpus in *any* ingestion
+        order yields byte-identical productions — and therefore
+        byte-identical grammar fingerprints, which key the projector
+        cache, resident-worker pins and the attestation ledger.  A
+        property test pins this.
 
         ``root`` defaults to the single observed root tag; summarising
         documents with different roots requires choosing one explicitly.
@@ -159,7 +166,12 @@ class DataguideBuilder:
                 productions.append(TextProduction(text_name(tag)))
             for name in sorted(summary.attributes):
                 productions.append(AttributeProduction(attribute_name(tag, name), tag, name))
-        return Grammar(root, productions)
+        return root, productions
+
+    def grammar(self, root: str | None = None) -> Grammar:
+        """The inferred local tree grammar (see :meth:`materialise`)."""
+        grammar_root, productions = self.materialise(root)
+        return Grammar(grammar_root, productions)
 
     def statistics(self) -> dict[str, TagSummary]:
         """The raw per-tag summaries (for inspection and tests)."""

@@ -10,9 +10,10 @@ deterministic: a node's name is determined by its *parent's name* plus its
 tag, so validation, the streaming pruner and the whole static analysis
 work exactly as for DTDs — only name resolution changes.
 
-No XSD *syntax* parser is provided (the semantic object is what the
-analysis consumes); build grammars programmatically with
-:func:`single_type_grammar`, in the paper's notation::
+The XSD *syntax* front-end lives in :mod:`repro.schema.xsd` — schemas
+with local elements compile to this class automatically.  Grammars can
+also be built programmatically with :func:`single_type_grammar`, in the
+paper's notation::
 
     grammar = single_type_grammar("Root", {
         "Root":    ("library", Seq([Star(Atom("Book")), Star(Atom("Film"))])),

@@ -184,10 +184,25 @@ class EventValidator:
     interpretation without building the tree.
     """
 
-    def __init__(self, grammar: Grammar, ignore_whitespace: bool = True) -> None:
+    def __init__(
+        self,
+        grammar: Grammar,
+        ignore_whitespace: bool = True,
+        check_attributes: "bool | None" = None,
+    ) -> None:
         self._grammar = grammar
         self._ignore_whitespace = ignore_whitespace
         self._automata = _AutomatonCache(grammar)
+        # Attribute checking is off by default (matching the tree
+        # validator's tolerance of undeclared attributes), but grammars
+        # can demand it: an inferred dataguide grammar sets
+        # ``strict_attributes`` because an attribute never seen in the
+        # sample is evidence the document strays — silently dropping it
+        # in the pruned output would be wrong bytes, not tolerance.
+        if check_attributes is None:
+            check_attributes = bool(getattr(grammar, "strict_attributes", False))
+        self._check_attributes = check_attributes
+        self._declared_attrs: dict[str, frozenset[str]] = {}
         # Stack of [name, automaton, live state]; None before the root.
         self._stack: list[list] = []
         self._done = False
@@ -216,6 +231,8 @@ class EventValidator:
                 raise ValidationError(f"undeclared element <{event.tag}>")
             else:
                 self._advance(name, f"<{event.tag}>")
+            if self._check_attributes and event.attributes:
+                self._validate_attributes(name, event)
             automaton = self._automata.automaton(name)
             self._stack.append([name, automaton, automaton.initial])
             return name
@@ -243,6 +260,19 @@ class EventValidator:
                 return None
             raise ValidationError(f"text content not allowed in <{production.tag}>")
         return None
+
+    def _validate_attributes(self, name: str, event: StartElement) -> None:
+        declared = self._declared_attrs.get(name)
+        if declared is None:
+            production = self._grammar.production(name)
+            assert isinstance(production, ElementProduction)
+            declared = frozenset(attr.name for attr in production.attributes)
+            self._declared_attrs[name] = declared
+        for attribute in event.attributes:
+            if attribute not in declared:
+                raise ValidationError(
+                    f"undeclared attribute {attribute!r} on <{event.tag}>"
+                )
 
     def _advance(self, name: str, what: str) -> None:
         frame = self._stack[-1]

@@ -58,6 +58,42 @@ class ValidationError(ReproError):
         super().__init__(message)
 
 
+class UnsupportedSchemaError(DTDError):
+    """Raised when an XSD uses a construct outside the supported subset
+    (:mod:`repro.schema.xsd`).  Structured so callers can report exactly
+    what to rewrite: ``construct`` is the offending XSD feature
+    (``"xs:import"``, ``"substitutionGroup"``, ...), ``detail`` the
+    context (element or type name, attribute value)."""
+
+    def __init__(self, construct: str, detail: str = "") -> None:
+        self.construct = construct
+        self.detail = detail
+        message = f"unsupported XSD construct {construct}"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
+class StrayDocumentError(ValidationError):
+    """Structured refusal from the inferred-grammar escape hatch: the
+    document strayed from the dataguide grammar it is being pruned
+    against, and the grammar's ``on_stray`` policy is ``"error"``.
+
+    Theorem 4.5 soundness only covers documents the grammar accepts, so
+    a stray document is never pruned — it is either copied verbatim
+    (``on_stray="copy"``) or refused with this error.  ``reason`` is the
+    underlying validation failure's message."""
+
+    def __init__(self, reason: str, node_id: int | None = None) -> None:
+        self.reason = reason
+        super().__init__(
+            f"document strays from the inferred grammar ({reason}); "
+            "re-infer with this document in the sample, or use "
+            'on_stray="copy" to pass strays through verbatim',
+            node_id,
+        )
+
+
 class XPathError(ReproError):
     """Base class for XPath errors."""
 

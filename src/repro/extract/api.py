@@ -38,7 +38,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 from repro.core.cache import ProjectorCache, resolve_spec_projector
 from repro.dtd.grammar import Grammar
-from repro.errors import ReproError
+from repro.errors import ReproError, StrayDocumentError, ValidationError
 from repro.extract.records import FORMATS, record_writer
 from repro.extract.spec import ExtractSpec
 from repro.extract.stats import ExtractStats
@@ -202,6 +202,12 @@ def extract(
         options, format, fast, chunk_size, limits=limits, fallback=fallback
     )
     resolved_limits = resolve_limits(opts.limits)
+    if getattr(grammar, "on_stray", None) is not None:
+        # Inferred grammars: records from a stray document would be
+        # silently wrong (Theorem 4.5 only covers accepted documents),
+        # and a verbatim copy has no tabular analogue — so extraction
+        # pre-validates and *refuses* strays under either policy.
+        source = _prevalidate_inferred(source, grammar)
     projector = resolve_spec_projector(grammar, spec, cache=cache)
 
     # Event-stream source: prune the events, assemble records from them.
@@ -306,6 +312,47 @@ def extract(
         return ExtractResult(stats=stats)
     with_source(out, None)  # type: ignore[arg-type]
     return ExtractResult(stats=stats)
+
+
+def _prevalidate_inferred(
+    source: "str | os.PathLike[str] | IO[str] | Iterable[Event]",
+    grammar: Grammar,
+) -> "str | os.PathLike[str]":
+    """The extraction half of the inferred-grammar escape hatch: a
+    dedicated validation pass over the source before any record is
+    assembled.  A stray document raises
+    :class:`~repro.errors.StrayDocumentError` regardless of the
+    grammar's ``on_stray`` policy (``"copy"`` only makes sense for
+    pruning); open streams are buffered so the extraction can replay
+    them, event streams are refused (they cannot be replayed)."""
+    from repro.dtd.validator import EventValidator
+    from repro.xmltree.parser import parse_events
+
+    if hasattr(source, "read"):
+        source = source.read()  # type: ignore[union-attr]
+    elif not isinstance(source, (str, os.PathLike)):
+        raise ReproError(
+            "extract() against an inferred grammar needs a replayable "
+            "source (markup, a path, or a stream) — not an event stream"
+        )
+    validator = EventValidator(grammar)
+    try:
+        if isinstance(source, os.PathLike) or not _is_markup(source):
+            with open(os.fspath(source), "r", encoding="utf-8") as handle:
+                for event in parse_events(handle):
+                    validator.feed(event)
+        else:
+            for event in parse_events(source):
+                validator.feed(event)
+        validator.finish()
+    except StrayDocumentError:
+        raise
+    except ValidationError as exc:
+        from repro import obs
+
+        obs.count("schema.strays")
+        raise StrayDocumentError(str(exc), exc.node_id) from exc
+    return source
 
 
 def _serve_extract_hit(

@@ -133,6 +133,10 @@ def _load_from_spec(spec: dict[str, Any]) -> Any:
 
     if spec.get("xmark"):
         return load_grammar("xmark", format="xmark")
+    if isinstance(spec.get("grammar"), dict):
+        from repro.schema.wire import grammar_from_wire
+
+        return grammar_from_wire(spec["grammar"])
     root = spec.get("root")
     if isinstance(spec.get("dtd"), str):
         from repro.dtd.grammar import grammar_from_text
@@ -140,7 +144,13 @@ def _load_from_spec(spec: dict[str, Any]) -> Any:
         return grammar_from_text(spec["dtd"], root)
     if isinstance(spec.get("dtd_path"), str):
         return load_grammar(spec["dtd_path"], format="dtd", root=root)
-    raise ReproError("grammar provenance names no DTD")
+    if isinstance(spec.get("xsd"), str):
+        from repro.schema.xsd import grammar_from_xsd
+
+        return grammar_from_xsd(spec["xsd"], root)
+    if isinstance(spec.get("xsd_path"), str):
+        return load_grammar(spec["xsd_path"], format="xsd", root=root)
+    raise ReproError("grammar provenance names no DTD, XSD, or wire grammar")
 
 
 def _replay_entry(

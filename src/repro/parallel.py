@@ -103,10 +103,11 @@ class BatchError:
     """One document that could not be pruned.
 
     ``kind`` is the exception type name (``XMLSyntaxError``,
-    ``ValidationError``, ``LimitExceeded``, ``PermissionError``, ...),
-    ``"worker-crash"`` when the worker process died before the item
-    finished, or ``"timeout"`` when the item exceeded the per-item pool
-    timeout and its worker was killed.
+    ``ValidationError``, ``LimitExceeded``, ``PermissionError``,
+    ``StrayDocumentError`` for documents an inferred grammar refused
+    under ``on_stray="error"``, ...), ``"worker-crash"`` when the worker
+    process died before the item finished, or ``"timeout"`` when the
+    item exceeded the per-item pool timeout and its worker was killed.
     """
 
     index: int
@@ -151,6 +152,13 @@ class BatchResult:
     @property
     def ok(self) -> bool:
         return not self.errors
+
+    @property
+    def strays(self) -> int:
+        """Documents an inferred grammar passed through verbatim
+        (``on_stray="copy"``) instead of pruning — their bytes are exact
+        input copies, never a wrong projection."""
+        return sum(1 for r in self.results if getattr(r, "stray", False))
 
     def texts(self) -> list[str | None]:
         """Per-item pruned markup (None for failures or file outputs)."""

@@ -1,0 +1,34 @@
+"""Grammar acquisition beyond DTD (ROADMAP item 2).
+
+The type system behind projection consumes a tree grammar ``(X, E)``;
+the DTD front-end (:mod:`repro.dtd`) is just one way to get one.  This
+package adds the other two real-world sources:
+
+* :mod:`repro.schema.xsd` — compile a supported subset of XML Schema to
+  the existing grammar classes (plain local grammars, or single-type
+  grammars when the schema uses local elements);
+* :mod:`repro.schema.infer` — infer an :class:`InferredGrammar` from a
+  sample of a schemaless corpus (the dataguide construction), carrying
+  an ``on_stray`` escape-hatch policy for documents outside the
+  inferred language;
+* :mod:`repro.schema.wire` — a JSON codec so both kinds of grammar ride
+  the service protocol by value, like DTD text does.
+
+:func:`repro.load_grammar` dispatches here for ``format="xsd"`` and
+``infer=``; everything downstream (facades, batch, service, CLI,
+static analysis) is grammar-class agnostic.
+"""
+
+from repro.schema.infer import InferredGrammar, infer_grammar
+from repro.schema.wire import grammar_from_wire, grammar_to_wire
+from repro.schema.xsd import grammar_from_xsd, grammar_from_xsd_file, looks_like_xsd
+
+__all__ = [
+    "InferredGrammar",
+    "infer_grammar",
+    "grammar_from_wire",
+    "grammar_to_wire",
+    "grammar_from_xsd",
+    "grammar_from_xsd_file",
+    "looks_like_xsd",
+]

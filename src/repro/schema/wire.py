@@ -1,0 +1,203 @@
+"""JSON wire codec for grammars — how non-DTD grammars reach the service.
+
+The service protocol historically named a grammar by value only for
+DTDs (``{"dtd": text, "root": tag}``) because DTD text is its own
+canonical serialization.  XSD-compiled and inferred grammars need an
+explicit one: this module round-trips any grammar class through plain
+JSON-compatible data, so a client can infer (or compile) locally once
+and ship the result — the server memoizes by content hash and pins the
+compiled pruner in its resident workers exactly as for DTD grammars.
+
+Regexes encode as nested tagged lists (``["seq", [...]]``,
+``["atom", name]``, ...), productions and the grammar as objects.  The
+codec is intentionally strict: unknown tags or malformed shapes raise
+:class:`~repro.errors.ReproError` (the server maps this to a protocol
+error) rather than guessing.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.dtd.ast import AttributeDef, AttributeDefaultKind
+from repro.dtd.grammar import (
+    AttributeProduction,
+    ElementProduction,
+    Grammar,
+    Production,
+    TextProduction,
+)
+from repro.dtd.regex import Alt, Atom, Empty, Epsilon, Opt, Plus, Regex, Seq, Star
+from repro.dtd.singletype import SingleTypeGrammar
+from repro.errors import ReproError
+from repro.schema.infer import InferredGrammar
+
+__all__ = ["grammar_to_wire", "grammar_from_wire"]
+
+
+def regex_to_wire(regex: Regex) -> "list[Any]":
+    if isinstance(regex, Atom):
+        return ["atom", regex.name]
+    if isinstance(regex, Seq):
+        return ["seq", [regex_to_wire(item) for item in regex.items]]
+    if isinstance(regex, Alt):
+        return ["alt", [regex_to_wire(item) for item in regex.items]]
+    if isinstance(regex, Star):
+        return ["star", regex_to_wire(regex.inner)]
+    if isinstance(regex, Plus):
+        return ["plus", regex_to_wire(regex.inner)]
+    if isinstance(regex, Opt):
+        return ["opt", regex_to_wire(regex.inner)]
+    if isinstance(regex, Epsilon):
+        return ["eps"]
+    if isinstance(regex, Empty):
+        return ["empty"]
+    raise ReproError(f"cannot encode regex node {type(regex).__name__}")
+
+
+def regex_from_wire(wire: Any) -> Regex:
+    if not isinstance(wire, list) or not wire or not isinstance(wire[0], str):
+        raise ReproError(f"bad regex wire form: {wire!r}")
+    tag, rest = wire[0], wire[1:]
+    if tag == "atom" and len(rest) == 1 and isinstance(rest[0], str):
+        return Atom(rest[0])
+    if tag in ("seq", "alt") and len(rest) == 1 and isinstance(rest[0], list):
+        items = [regex_from_wire(item) for item in rest[0]]
+        return Seq(items) if tag == "seq" else Alt(items)
+    if tag in ("star", "plus", "opt") and len(rest) == 1:
+        inner = regex_from_wire(rest[0])
+        return {"star": Star, "plus": Plus, "opt": Opt}[tag](inner)
+    if tag == "eps" and not rest:
+        return Epsilon()
+    if tag == "empty" and not rest:
+        return Empty()
+    raise ReproError(f"bad regex wire form: {wire!r}")
+
+
+_KIND_TO_WIRE = {
+    AttributeDefaultKind.REQUIRED: "required",
+    AttributeDefaultKind.IMPLIED: "implied",
+    AttributeDefaultKind.FIXED: "fixed",
+    AttributeDefaultKind.DEFAULT: "default",
+}
+_KIND_FROM_WIRE = {wire: kind for kind, wire in _KIND_TO_WIRE.items()}
+
+
+def _attribute_to_wire(attr: AttributeDef) -> "dict[str, Any]":
+    wire: dict[str, Any] = {
+        "name": attr.name,
+        "type": attr.attribute_type,
+        "use": _KIND_TO_WIRE[attr.default_kind],
+    }
+    if attr.default_value is not None:
+        wire["value"] = attr.default_value
+    return wire
+
+
+def _attribute_from_wire(wire: Any) -> AttributeDef:
+    if not isinstance(wire, dict) or not isinstance(wire.get("name"), str):
+        raise ReproError(f"bad attribute wire form: {wire!r}")
+    kind = _KIND_FROM_WIRE.get(wire.get("use", "implied"))
+    if kind is None:
+        raise ReproError(f"bad attribute use: {wire.get('use')!r}")
+    return AttributeDef(
+        wire["name"], wire.get("type", "CDATA"), kind, wire.get("value")
+    )
+
+
+def _production_to_wire(production: Production) -> "dict[str, Any]":
+    if isinstance(production, ElementProduction):
+        return {
+            "kind": "element",
+            "name": production.name,
+            "tag": production.tag,
+            "regex": regex_to_wire(production.regex),
+            "attributes": [
+                _attribute_to_wire(attr) for attr in production.attributes
+            ],
+        }
+    if isinstance(production, TextProduction):
+        return {"kind": "text", "name": production.name}
+    if isinstance(production, AttributeProduction):
+        return {
+            "kind": "attribute",
+            "name": production.name,
+            "tag": production.owner_tag,
+            "attribute": production.attribute,
+        }
+    raise ReproError(f"cannot encode production {type(production).__name__}")
+
+
+def _production_from_wire(wire: Any) -> Production:
+    if not isinstance(wire, dict) or not isinstance(wire.get("name"), str):
+        raise ReproError(f"bad production wire form: {wire!r}")
+    kind = wire.get("kind")
+    name = wire["name"]
+    if kind == "element":
+        if not isinstance(wire.get("tag"), str):
+            raise ReproError(f"element production {name!r} needs a tag")
+        attrs = tuple(
+            _attribute_from_wire(attr) for attr in wire.get("attributes", [])
+        )
+        return ElementProduction(
+            name, wire["tag"], regex_from_wire(wire.get("regex")), attrs
+        )
+    if kind == "text":
+        return TextProduction(name)
+    if kind == "attribute":
+        if not isinstance(wire.get("tag"), str) or not isinstance(
+            wire.get("attribute"), str
+        ):
+            raise ReproError(f"attribute production {name!r} needs tag/attribute")
+        return AttributeProduction(name, wire["tag"], wire["attribute"])
+    raise ReproError(f"bad production kind: {kind!r}")
+
+
+def grammar_to_wire(grammar: Grammar) -> "dict[str, Any]":
+    """Encode any grammar class as JSON-compatible data."""
+    if isinstance(grammar, InferredGrammar):
+        klass = "inferred"
+    elif isinstance(grammar, SingleTypeGrammar):
+        klass = "single_type"
+    elif type(grammar) is Grammar:
+        klass = "local"
+    else:
+        raise ReproError(
+            f"cannot encode grammar class {type(grammar).__name__}"
+        )
+    wire: dict[str, Any] = {
+        "class": klass,
+        "root": grammar.root,
+        "productions": [
+            _production_to_wire(grammar.productions[name])
+            for name in sorted(grammar.productions)
+        ],
+    }
+    if isinstance(grammar, InferredGrammar):
+        wire["on_stray"] = grammar.on_stray
+        wire["sample_count"] = grammar.sample_count
+    return wire
+
+
+def grammar_from_wire(wire: Any) -> Grammar:
+    """Decode :func:`grammar_to_wire` output back into the right class."""
+    if not isinstance(wire, dict):
+        raise ReproError(f"bad grammar wire form: {type(wire).__name__}")
+    root = wire.get("root")
+    raw = wire.get("productions")
+    if not isinstance(root, str) or not isinstance(raw, list):
+        raise ReproError("grammar wire form needs 'root' and 'productions'")
+    productions = [_production_from_wire(item) for item in raw]
+    klass = wire.get("class", "local")
+    if klass == "local":
+        return Grammar(root, productions)
+    if klass == "single_type":
+        return SingleTypeGrammar(root, productions)
+    if klass == "inferred":
+        return InferredGrammar(
+            root,
+            productions,
+            on_stray=wire.get("on_stray", "error"),
+            sample_count=int(wire.get("sample_count", 0)),
+        )
+    raise ReproError(f"bad grammar class: {klass!r}")

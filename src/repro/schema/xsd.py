@@ -1,0 +1,514 @@
+"""An XSD front-end for the grammar substrate.
+
+The paper's machinery consumes a tree grammar ``(X, E)`` — the DTD is
+just one concrete syntax for it, and footnote 1 invites XML Schema:
+"the extension of our approach to XML Schema simply needs some special
+treatment of local elements".  This module compiles a *supported subset*
+of XSD down to the existing grammar classes:
+
+* schemas whose element tags are globally unambiguous compile to a plain
+  local :class:`~repro.dtd.grammar.Grammar` (same class a DTD produces,
+  so the fused fast path and every cache key behave identically);
+* schemas with *local elements* — two declarations of one tag with
+  different types — compile to a
+  :class:`~repro.dtd.singletype.SingleTypeGrammar`, the single-type
+  class that is exactly XML Schema's expressive power [Murata et al.].
+
+All four declaration-style design patterns compile: Russian Doll
+(everything inline), Salami Slice (global elements, ``ref=``), Venetian
+Blind (local elements, named global types) and Garden of Eden (both
+global).  The supported subset is: global and local ``xs:element``,
+named and anonymous ``xs:complexType``, ``xs:sequence`` / ``xs:choice``
+/ ``xs:all`` with ``minOccurs`` / ``maxOccurs``, ``ref=`` to global
+elements and attributes, ``xs:attribute``, ``mixed`` content,
+``xs:simpleContent`` extending a simple type, and simple-typed elements
+(builtin ``xs:*`` types or named ``xs:simpleType`` restrictions — all
+collapse to text, since the type system only tracks *structure*).
+
+Everything else raises a structured
+:class:`~repro.errors.UnsupportedSchemaError` naming the construct, so
+callers know exactly what to rewrite.  ``xs:annotation`` and the
+identity constraints (``xs:unique`` / ``xs:key`` / ``xs:keyref``) are
+skipped: they do not change the language the schema accepts.
+
+Tags are matched by *local name* — ``targetNamespace`` and prefixes are
+ignored, matching how the rest of the pipeline treats tags as opaque
+strings.
+
+Compilation notes (all choices mirror ``grammar_from_dtd`` so a schema
+expressible in both formalisms prunes byte-identically — the
+differential suite gates this):
+
+* a simple-typed element ``E`` becomes ``E -> tag[(E#text)*]`` plus the
+  text production, the Section 6 per-element text-name heuristic;
+* ``mixed="true"`` becomes the DTD mixed model
+  ``(text | C1 | ... | Cn)*`` over the content model's names;
+* ``xs:all`` is soundly over-approximated as ``(C1 | ... | Cn)*`` (any
+  interleaving accepts every permutation; projection soundness only
+  needs acceptance, Theorem 4.5);
+* bounded ``minOccurs``/``maxOccurs`` unroll into sequence/optional
+  copies (capped — pathological bounds raise rather than explode).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.dtd.ast import AttributeDef, AttributeDefaultKind
+from repro.dtd.grammar import (
+    AttributeProduction,
+    ElementProduction,
+    Grammar,
+    Production,
+    TextProduction,
+    attribute_name,
+    text_name,
+)
+from repro.dtd.regex import Alt, Atom, Epsilon, Opt, Plus, Regex, Seq, Star
+from repro.dtd.singletype import SingleTypeGrammar
+from repro.errors import GrammarError, UnsupportedSchemaError
+from repro.xmltree.nodes import Element
+
+__all__ = ["grammar_from_xsd", "grammar_from_xsd_file", "looks_like_xsd"]
+
+#: Unrolling bound for numeric minOccurs/maxOccurs: a model needing more
+#: copies than this is almost certainly generated, and unrolling it would
+#: blow up the Glushkov automaton quadratically.
+MAX_OCCURS_UNROLL = 64
+
+#: Constructs that are recognised and deliberately skipped (they never
+#: change the language the schema accepts).
+_SKIPPED = frozenset({"annotation", "unique", "key", "keyref"})
+
+#: Constructs outside the subset; seeing one is a structured refusal.
+_UNSUPPORTED = frozenset({
+    "import", "include", "redefine", "override", "group", "attributeGroup",
+    "any", "anyAttribute", "notation", "complexContent",
+})
+
+_FIRST_TAG = re.compile(r"<\s*([A-Za-z_][\w.:-]*)")
+
+
+def _local(tag: str) -> str:
+    """The local part of a possibly-prefixed XML name."""
+    return tag.rsplit(":", 1)[-1]
+
+
+def looks_like_xsd(text: str) -> bool:
+    """Whether ``text`` is an XML Schema document: the first element's
+    local name is ``schema``.  Cheap enough for format sniffing — no
+    parse, just a scan past the prolog for the first open tag."""
+    for match in _FIRST_TAG.finditer(text):
+        name = match.group(1)
+        if name.startswith("?") or name.startswith("!"):
+            continue
+        return _local(name) == "schema"
+    return False
+
+
+def _element_children(node: Element) -> "list[Element]":
+    """Element children, with annotations and whitespace dropped and the
+    unsupported constructs refused up front."""
+    result: list[Element] = []
+    for child in node.children:
+        if not isinstance(child, Element):
+            continue
+        local = _local(child.tag)
+        if local in _SKIPPED:
+            continue
+        if local in _UNSUPPORTED:
+            raise UnsupportedSchemaError(
+                f"xs:{local}", f"inside <{_local(node.tag)}>"
+            )
+        result.append(child)
+    return result
+
+
+class _Compiler:
+    """One schema document compiled to one grammar.
+
+    Names are allocated on a deterministic depth-first walk from the
+    root element, so the same schema text always yields the same grammar
+    (byte-identical fingerprint) — the same load-bearing property the
+    dataguide builder pins.
+    """
+
+    def __init__(self, schema: Element) -> None:
+        if _local(schema.tag) != "schema":
+            raise GrammarError(
+                f"not an XML Schema document (root element <{schema.tag}>)"
+            )
+        self.global_elements: dict[str, Element] = {}
+        self.global_order: list[str] = []
+        self.named_complex: dict[str, Element] = {}
+        self.named_simple: set[str] = set()
+        self.global_attributes: dict[str, Element] = {}
+        for child in _element_children(schema):
+            local = _local(child.tag)
+            name = child.attributes.get("name", "")
+            if local == "element":
+                if not name:
+                    raise GrammarError("global xs:element without a name")
+                if name in self.global_elements:
+                    raise GrammarError(f"duplicate global element {name!r}")
+                self.global_elements[name] = child
+                self.global_order.append(name)
+            elif local == "complexType":
+                if not name:
+                    raise GrammarError("global xs:complexType without a name")
+                if name in self.named_complex:
+                    raise GrammarError(f"duplicate global type {name!r}")
+                self.named_complex[name] = child
+            elif local == "simpleType":
+                if not name:
+                    raise GrammarError("global xs:simpleType without a name")
+                self.named_simple.add(name)
+            elif local == "attribute":
+                if not name:
+                    raise GrammarError("global xs:attribute without a name")
+                self.global_attributes[name] = child
+            else:
+                raise UnsupportedSchemaError(f"xs:{local}", "at schema top level")
+        # (tag, type key) -> allocated grammar name; anonymous types key
+        # by their node's identity (each inline type is its own type).
+        self._names: dict[tuple, str] = {}
+        self._taken: set[str] = set()
+        self.productions: list[Production] = []
+
+    # -- driving ---------------------------------------------------------
+
+    def compile(self, root: "str | None" = None) -> Grammar:
+        if not self.global_order:
+            raise GrammarError("the schema declares no global elements")
+        if root is None:
+            root = self.global_order[0]
+        decl = self.global_elements.get(root)
+        if decl is None:
+            raise GrammarError(
+                f"root tag {root!r} is not a global element "
+                f"(declared: {self.global_order})"
+            )
+        root_name = self._visit_element(decl, parent_name=None)
+        tags_seen: dict[str, int] = {}
+        for production in self.productions:
+            if isinstance(production, ElementProduction):
+                tags_seen[production.tag] = tags_seen.get(production.tag, 0) + 1
+        if all(count == 1 for count in tags_seen.values()):
+            return Grammar(root_name, self.productions)
+        return SingleTypeGrammar(root_name, self.productions)
+
+    # -- element declarations --------------------------------------------
+
+    def _visit_element(self, node: Element, parent_name: "str | None") -> str:
+        """Compile one element declaration (emitting its productions on
+        first sight) and return its grammar name."""
+        ref = node.attributes.get("ref")
+        if ref is not None:
+            target = self.global_elements.get(_local(ref))
+            if target is None:
+                raise GrammarError(f"xs:element ref to undeclared element {ref!r}")
+            return self._visit_element(target, parent_name=None)
+        tag = node.attributes.get("name")
+        if not tag:
+            raise GrammarError("xs:element without name or ref")
+        self._refuse_modifiers(node, tag)
+        key, content = self._type_of(node, tag)
+        known = self._names.get(key)
+        if known is not None:
+            return known
+        name = self._allocate(tag, key, parent_name)
+        self._names[key] = name
+        self._emit(name, tag, content)
+        return name
+
+    def _refuse_modifiers(self, node: Element, tag: str) -> None:
+        for modifier in ("substitutionGroup", "abstract", "nillable", "block", "final"):
+            value = node.attributes.get(modifier)
+            if value and value not in ("false", "0"):
+                raise UnsupportedSchemaError(modifier, f"on element {tag!r}")
+
+    def _type_of(self, node: Element, tag: str) -> "tuple[tuple, Element | None]":
+        """The element's type identity and (for complex types) the
+        ``xs:complexType`` node to compile.
+
+        The identity keys name allocation: every reference to one named
+        type shares one grammar name (this is what keeps Venetian Blind
+        schemas finite under recursion), while each anonymous type is a
+        type of its own (local elements, the footnote 1 case).
+        """
+        type_ref = node.attributes.get("type")
+        children = _element_children(node)
+        if type_ref is not None:
+            if children:
+                raise GrammarError(
+                    f"element {tag!r} has both type= and an inline type"
+                )
+            local = _local(type_ref)
+            ct = self.named_complex.get(local)
+            if ct is not None:
+                return (tag, "ct", local), ct
+            if local in self.named_simple or ":" in type_ref:
+                # A named simpleType, or a prefixed builtin (xs:string,
+                # xs:integer, ...): structure-wise it is just text.
+                return (tag, "text"), None
+            raise GrammarError(
+                f"element {tag!r} references undeclared type {type_ref!r}"
+            )
+        if not children:
+            # No type at all defaults to xs:anyType (any content) — not
+            # expressible as a local/single-type content model.
+            raise UnsupportedSchemaError(
+                "implicit xs:anyType", f"element {tag!r} declares no type"
+            )
+        if len(children) > 1 or _local(children[0].tag) not in ("complexType", "simpleType"):
+            raise UnsupportedSchemaError(
+                f"xs:{_local(children[0].tag)}", f"inside element {tag!r}"
+            )
+        inline = children[0]
+        if _local(inline.tag) == "simpleType":
+            return (tag, "text"), None
+        return (tag, "anon", id(inline)), inline
+
+    def _allocate(self, tag: str, key: tuple, parent_name: "str | None") -> str:
+        """A deterministic, collision-free grammar name for one element
+        type.  Bare tags are preferred (DTD parity); local elements fall
+        back to dotted disambiguation.  ``@`` and ``#`` never appear —
+        they are the attribute/text name separators."""
+        candidates = [tag]
+        if key[1] == "ct":
+            candidates.append(f"{tag}.{key[2]}")
+        elif parent_name is not None:
+            candidates.append(f"{parent_name}.{tag}")
+        for candidate in candidates:
+            if candidate not in self._taken:
+                self._taken.add(candidate)
+                return candidate
+        index = 2
+        while f"{candidates[-1]}.{index}" in self._taken:
+            index += 1
+        name = f"{candidates[-1]}.{index}"
+        self._taken.add(name)
+        return name
+
+    def _emit(self, name: str, tag: str, ct: "Element | None") -> None:
+        """Compile the content model and append this element's
+        productions (element, then text, then attributes — the dataguide
+        builder's order)."""
+        if ct is None:
+            regex: Regex = Star(Atom(text_name(name)))
+            has_text = True
+            attrs: tuple[AttributeDef, ...] = ()
+        else:
+            regex, has_text, attrs = self._compile_complex(ct, name)
+        self.productions.append(ElementProduction(name, tag, regex, attrs))
+        if has_text:
+            self.productions.append(TextProduction(text_name(name)))
+        for attr in attrs:
+            self.productions.append(
+                AttributeProduction(attribute_name(name, attr.name), tag, attr.name)
+            )
+
+    # -- complex types ---------------------------------------------------
+
+    def _compile_complex(
+        self, ct: Element, name: str
+    ) -> "tuple[Regex, bool, tuple[AttributeDef, ...]]":
+        mixed = ct.attributes.get("mixed", "false") in ("true", "1")
+        particle: Regex | None = None
+        attrs: list[AttributeDef] = []
+        has_text = mixed
+        for child in _element_children(ct):
+            local = _local(child.tag)
+            if local in ("sequence", "choice", "all"):
+                if particle is not None:
+                    raise GrammarError(f"type of {name!r} has two content models")
+                particle = self._compile_particle(child, name)
+            elif local == "attribute":
+                attr = self._attribute_def(child, name)
+                if attr is not None:
+                    attrs.append(attr)
+            elif local == "simpleContent":
+                text_regex, extension_attrs = self._compile_simple_content(child, name)
+                particle = text_regex
+                has_text = True
+                attrs.extend(extension_attrs)
+            else:
+                raise UnsupportedSchemaError(f"xs:{local}", f"in type of {name!r}")
+        if particle is None:
+            particle = Epsilon()
+        if mixed:
+            particle = self._mixed_model(name, particle)
+        return particle, has_text, tuple(attrs)
+
+    def _mixed_model(self, name: str, particle: Regex) -> Regex:
+        """The DTD mixed model: text and the content model's names in a
+        starred union, first occurrence order."""
+        alternatives: list[Regex] = [Atom(text_name(name))]
+        seen: set[str] = set()
+        for atom in particle.atoms():
+            if atom.name not in seen:
+                seen.add(atom.name)
+                alternatives.append(Atom(atom.name))
+        if len(alternatives) == 1:
+            return Star(alternatives[0])
+        return Star(Alt(alternatives))
+
+    def _compile_simple_content(
+        self, node: Element, name: str
+    ) -> "tuple[Regex, list[AttributeDef]]":
+        children = _element_children(node)
+        if len(children) != 1 or _local(children[0].tag) != "extension":
+            construct = f"xs:{_local(children[0].tag)}" if children else "empty"
+            raise UnsupportedSchemaError(
+                construct, f"in simpleContent of {name!r} (only xs:extension)"
+            )
+        extension = children[0]
+        base = extension.attributes.get("base", "")
+        if _local(base) in self.named_complex:
+            raise UnsupportedSchemaError(
+                "xs:extension of a complex type", f"in simpleContent of {name!r}"
+            )
+        attrs: list[AttributeDef] = []
+        for child in _element_children(extension):
+            if _local(child.tag) != "attribute":
+                raise UnsupportedSchemaError(
+                    f"xs:{_local(child.tag)}", f"in extension of {name!r}"
+                )
+            attr = self._attribute_def(child, name)
+            if attr is not None:
+                attrs.append(attr)
+        return Star(Atom(text_name(name))), attrs
+
+    # -- particles -------------------------------------------------------
+
+    def _compile_particle(self, node: Element, parent_name: str) -> Regex:
+        local = _local(node.tag)
+        if local == "element":
+            inner: Regex = Atom(self._visit_element(node, parent_name))
+            return self._bounded(inner, node, parent_name)
+        if local in ("sequence", "choice"):
+            items = [
+                self._compile_particle(child, parent_name)
+                for child in _element_children(node)
+            ]
+            if not items:
+                inner = Epsilon()
+            elif len(items) == 1:
+                inner = items[0]  # DTD parity: (a) unwraps
+            else:
+                inner = Seq(items) if local == "sequence" else Alt(items)
+            return self._bounded(inner, node, parent_name)
+        if local == "all":
+            # Sound over-approximation: any interleaving accepts every
+            # permutation, and the bounds collapse into the star.
+            names = [
+                Atom(self._visit_element(child, parent_name))
+                for child in _element_children(node)
+                if _local(child.tag) == "element"
+                or self._refuse_particle(child, parent_name)
+            ]
+            if not names:
+                return Epsilon()
+            return Star(names[0] if len(names) == 1 else Alt(names))
+        raise UnsupportedSchemaError(f"xs:{local}", f"in content of {parent_name!r}")
+
+    def _refuse_particle(self, node: Element, parent_name: str) -> bool:
+        raise UnsupportedSchemaError(
+            f"xs:{_local(node.tag)}", f"inside xs:all of {parent_name!r}"
+        )
+
+    def _bounded(self, regex: Regex, node: Element, parent_name: str) -> Regex:
+        """Apply minOccurs/maxOccurs by unrolling to the DTD operators."""
+        minimum = self._occurs(node, "minOccurs", parent_name)
+        raw_max = node.attributes.get("maxOccurs", "1")
+        if raw_max == "unbounded":
+            if minimum == 0:
+                return Star(regex)
+            if minimum == 1:
+                return Plus(regex)
+            return Seq([regex] * (minimum - 1) + [Plus(regex)])
+        maximum = self._occurs(node, "maxOccurs", parent_name)
+        if maximum < minimum:
+            raise GrammarError(
+                f"maxOccurs < minOccurs in content of {parent_name!r}"
+            )
+        if maximum == 0:
+            return Epsilon()
+        if maximum > MAX_OCCURS_UNROLL:
+            raise UnsupportedSchemaError(
+                f"maxOccurs={maximum}",
+                f"in content of {parent_name!r} "
+                f"(unrolling is capped at {MAX_OCCURS_UNROLL})",
+            )
+        if minimum == maximum == 1:
+            return regex
+        if minimum == 0 and maximum == 1:
+            return Opt(regex)
+        parts = [regex] * minimum + [Opt(regex)] * (maximum - minimum)
+        return parts[0] if len(parts) == 1 else Seq(parts)
+
+    @staticmethod
+    def _occurs(node: Element, attribute: str, parent_name: str) -> int:
+        raw = node.attributes.get(attribute, "1")
+        try:
+            value = int(raw)
+        except ValueError:
+            raise GrammarError(
+                f"bad {attribute}={raw!r} in content of {parent_name!r}"
+            ) from None
+        if value < 0:
+            raise GrammarError(
+                f"negative {attribute} in content of {parent_name!r}"
+            )
+        return value
+
+    # -- attributes ------------------------------------------------------
+
+    def _attribute_def(self, node: Element, owner: str) -> "AttributeDef | None":
+        ref = node.attributes.get("ref")
+        if ref is not None:
+            target = self.global_attributes.get(_local(ref))
+            if target is None:
+                raise GrammarError(
+                    f"xs:attribute ref to undeclared attribute {ref!r}"
+                )
+            name = target.attributes.get("name", "")
+        else:
+            name = node.attributes.get("name", "")
+        if not name:
+            raise GrammarError(f"xs:attribute without name or ref on {owner!r}")
+        use = node.attributes.get("use", "optional")
+        if use == "prohibited":
+            return None
+        fixed = node.attributes.get("fixed")
+        default = node.attributes.get("default")
+        if fixed is not None:
+            kind, value = AttributeDefaultKind.FIXED, fixed
+        elif default is not None:
+            kind, value = AttributeDefaultKind.DEFAULT, default
+        elif use == "required":
+            kind, value = AttributeDefaultKind.REQUIRED, None
+        else:
+            kind, value = AttributeDefaultKind.IMPLIED, None
+        return AttributeDef(name, "CDATA", kind, value)
+
+
+def grammar_from_xsd(text: str, root: "str | None" = None) -> Grammar:
+    """Compile XML Schema text to a grammar.
+
+    ``root`` names the root element *tag* (default: the first global
+    element, mirroring the DTD loader's first-declaration convention).
+    Returns a plain :class:`~repro.dtd.grammar.Grammar` when every tag
+    has one type, a :class:`~repro.dtd.singletype.SingleTypeGrammar`
+    when the schema uses local elements.
+    """
+    from repro.xmltree.builder import parse_document
+
+    document = parse_document(text)
+    return _Compiler(document.root).compile(root)
+
+
+def grammar_from_xsd_file(path: str, root: "str | None" = None) -> Grammar:
+    """Compile an ``.xsd`` file to a grammar (see :func:`grammar_from_xsd`)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return grammar_from_xsd(handle.read(), root)

@@ -147,16 +147,41 @@ class ServiceClient:
 
     @staticmethod
     def _grammar_spec(
-        dtd: str | None, dtd_path: str | None, root: str | None, xmark: bool
+        dtd: str | None,
+        dtd_path: str | None,
+        root: str | None,
+        xmark: bool,
+        xsd: str | None = None,
+        xsd_path: str | None = None,
+        grammar: Any = None,
     ) -> dict[str, Any]:
         if xmark:
             return {"xmark": True}
+        if grammar is not None:
+            # A grammar object (e.g. an InferredGrammar) ships as its wire
+            # form so the server can pin it like any other grammar.
+            from repro.dtd.grammar import Grammar
+
+            if isinstance(grammar, Grammar):
+                from repro.schema.wire import grammar_to_wire
+
+                grammar = grammar_to_wire(grammar)
+            return {"grammar": grammar}
+        if xsd_path is not None:
+            with open(xsd_path, "r", encoding="utf-8") as handle:
+                xsd = handle.read()
+        if xsd is not None:
+            spec: dict[str, Any] = {"xsd": xsd}
+            if root is not None:
+                spec["root"] = root
+            return spec
         if dtd_path is not None:
             with open(dtd_path, "r", encoding="utf-8") as handle:
                 dtd = handle.read()
         if dtd is None or root is None:
             raise ValueError(
-                "a grammar is required: pass dtd=/dtd_path= and root=, or xmark=True"
+                "a grammar is required: pass dtd=/dtd_path= and root=, "
+                "xsd=/xsd_path=, grammar=, or xmark=True"
             )
         return {"dtd": dtd, "root": root}
 
@@ -226,12 +251,17 @@ class ServiceClient:
         dtd_path: str | None = None,
         root: str | None = None,
         xmark: bool = False,
+        xsd: str | None = None,
+        xsd_path: str | None = None,
+        grammar: Any = None,
     ) -> dict[str, Any]:
         """Run the static phase remotely; returns the wire result (the
         union projector as a sorted list, per-query sizes, timings)."""
         return self.request(
             "analyze",
-            grammar=self._grammar_spec(dtd, dtd_path, root, xmark),
+            grammar=self._grammar_spec(
+                dtd, dtd_path, root, xmark, xsd, xsd_path, grammar
+            ),
             queries=[queries] if isinstance(queries, str) else list(queries),
         )
 
@@ -246,6 +276,9 @@ class ServiceClient:
         dtd_path: str | None = None,
         root: str | None = None,
         xmark: bool = False,
+        xsd: str | None = None,
+        xsd_path: str | None = None,
+        grammar: Any = None,
         options: PruneOptions | None = None,
         limits: "Limits | str | None" = None,
         out_path: str | None = None,
@@ -253,7 +286,9 @@ class ServiceClient:
         """Prune one document remotely (the service twin of
         :func:`repro.prune`)."""
         fields = self._common_fields(queries, projector, options, limits)
-        fields["grammar"] = self._grammar_spec(dtd, dtd_path, root, xmark)
+        fields["grammar"] = self._grammar_spec(
+            dtd, dtd_path, root, xmark, xsd, xsd_path, grammar
+        )
         fields["source"] = self._source_field(source, source_path)
         if out_path is not None:
             fields["out_path"] = out_path
@@ -269,6 +304,9 @@ class ServiceClient:
         dtd_path: str | None = None,
         root: str | None = None,
         xmark: bool = False,
+        xsd: str | None = None,
+        xsd_path: str | None = None,
+        grammar: Any = None,
         options: ExtractOptions | None = None,
         limits: "Limits | str | None" = None,
         out_path: str | None = None,
@@ -276,7 +314,9 @@ class ServiceClient:
         """Extract one document's records remotely (the service twin of
         :func:`repro.extract`)."""
         fields: dict[str, Any] = {
-            "grammar": self._grammar_spec(dtd, dtd_path, root, xmark),
+            "grammar": self._grammar_spec(
+                dtd, dtd_path, root, xmark, xsd, xsd_path, grammar
+            ),
             "source": self._source_field(source, source_path),
             "spec": spec.to_wire(),
         }
@@ -311,6 +351,9 @@ class ServiceClient:
         dtd_path: str | None = None,
         root: str | None = None,
         xmark: bool = False,
+        xsd: str | None = None,
+        xsd_path: str | None = None,
+        grammar: Any = None,
     ) -> dict[str, Any]:
         """Ask the server whether an update is provably independent of the
         workload.  Independent updates *retain* the grammar's pinned
@@ -319,7 +362,9 @@ class ServiceClient:
         ``independent``, ``reason``, ``impact``/``overlap``/``projector``
         name lists, and the ``retained``/``invalidated`` pin counts."""
         fields: dict[str, Any] = {
-            "grammar": self._grammar_spec(dtd, dtd_path, root, xmark),
+            "grammar": self._grammar_spec(
+                dtd, dtd_path, root, xmark, xsd, xsd_path, grammar
+            ),
             "update_paths": (
                 [update_paths] if isinstance(update_paths, str)
                 else list(update_paths)
@@ -346,6 +391,9 @@ class ServiceClient:
         dtd_path: str | None = None,
         root: str | None = None,
         xmark: bool = False,
+        xsd: str | None = None,
+        xsd_path: str | None = None,
+        grammar: Any = None,
         options: PruneOptions | None = None,
         limits: "Limits | str | None" = None,
         out_dir: str | None = None,
@@ -355,7 +403,9 @@ class ServiceClient:
         if (sources is None) == (source_paths is None):
             raise ValueError("pass exactly one of sources= or source_paths=")
         fields = self._common_fields(queries, projector, options, limits)
-        fields["grammar"] = self._grammar_spec(dtd, dtd_path, root, xmark)
+        fields["grammar"] = self._grammar_spec(
+            dtd, dtd_path, root, xmark, xsd, xsd_path, grammar
+        )
         if source_paths is not None:
             fields["sources"] = [{"path": path} for path in source_paths]
         else:

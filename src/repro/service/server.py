@@ -44,6 +44,7 @@ from repro.core.cache import ProjectorCache, default_cache, grammar_fingerprint
 from repro.dtd.grammar import Grammar, grammar_from_text
 from repro.errors import (
     ProtocolError,
+    ReproError,
     ServiceError,
     ServiceOverloaded,
     ServiceUnavailable,
@@ -409,11 +410,44 @@ class ProjectionServer:
 
                 self._grammars[key] = xmark_grammar()
             return self._grammars[key]
+        wire = spec.get("grammar")
+        if wire is not None:
+            # A pre-built grammar (e.g. client-side inference) shipped in
+            # its wire form; memoized by its canonical hash so repeated
+            # requests pin the same object.
+            if not isinstance(wire, dict):
+                raise ProtocolError("'grammar' payload must be an object")
+            from repro.ledger.canonical import hash_canonical
+            from repro.schema.wire import grammar_from_wire
+
+            key = ("wire", hash_canonical(wire))
+            if key not in self._grammars:
+                try:
+                    self._grammars[key] = grammar_from_wire(wire)
+                except ReproError as exc:
+                    raise ProtocolError(f"bad grammar payload: {exc}") from None
+            return self._grammars[key]
+        xsd = spec.get("xsd")
+        if isinstance(xsd, str):
+            from repro.schema.xsd import grammar_from_xsd
+
+            xsd_root = spec.get("root")
+            if xsd_root is not None and not isinstance(xsd_root, str):
+                raise ProtocolError("grammar 'root' must be a string tag")
+            key = (
+                "xsd",
+                hashlib.sha256(xsd.encode("utf-8")).hexdigest(),
+                xsd_root,
+            )
+            if key not in self._grammars:
+                self._grammars[key] = grammar_from_xsd(xsd, xsd_root)
+            return self._grammars[key]
         dtd = spec.get("dtd")
         root = spec.get("root")
         if not isinstance(dtd, str) or not isinstance(root, str):
             raise ProtocolError(
-                "grammar object needs 'dtd' text and 'root' (or 'xmark': true)"
+                "grammar object needs 'dtd' text and 'root' (or 'xsd' "
+                "text, a 'grammar' wire payload, or 'xmark': true)"
             )
         key = ("dtd", hashlib.sha256(dtd.encode("utf-8")).hexdigest(), root)
         if key not in self._grammars:
@@ -700,6 +734,12 @@ class ProjectionServer:
         if isinstance(gspec, dict):
             if gspec.get("xmark"):
                 prov["grammar"] = {"xmark": True}
+            elif isinstance(gspec.get("grammar"), dict):
+                prov["grammar"] = {"grammar": gspec["grammar"]}
+            elif isinstance(gspec.get("xsd"), str):
+                prov["grammar"] = {
+                    "xsd": gspec["xsd"], "root": gspec.get("root"),
+                }
             elif isinstance(gspec.get("dtd"), str):
                 prov["grammar"] = {
                     "dtd": gspec["dtd"], "root": gspec.get("root"),

@@ -31,6 +31,13 @@ projector: names that never occur can be dropped (and names thereby
 unchained from the root with them) without changing a single output
 byte, because a kept document node's ancestor chain consists of
 occurring names only.
+
+Everything here is schema-language agnostic: the procedure consumes the
+grammar ``(X, E)`` substrate, so DTD grammars, XSD-compiled grammars
+(:mod:`repro.schema.xsd` — including the single-type grammars local
+elements compile to), and inferred dataguide grammars
+(:mod:`repro.schema.infer`) all get the same verdicts for the same
+productions.
 """
 
 from __future__ import annotations

@@ -19,13 +19,17 @@ EXPECTED = [
     "ExtractOptions",
     "ExtractResult",
     "ExtractSpec",
+    "InferredGrammar",
     "Limits",
     "PruneOptions",
     "PruneResult",
+    "StrayDocumentError",
+    "UnsupportedSchemaError",
     "__version__",
     "analyze",
     "extract",
     "extract_many",
+    "infer_grammar",
     "load_grammar",
     "prune",
     "prune_many",

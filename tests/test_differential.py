@@ -173,6 +173,146 @@ def check_static(seed: int) -> None:
         )
 
 
+def _paired_schema(seed: int) -> tuple[str, str, str]:
+    """One random schema, spelled twice: as a DTD and as the equivalent
+    Garden-of-Eden XSD.  Returns ``(dtd_text, xsd_text, root)``.
+
+    The shape is deliberately restricted to the intersection of the two
+    formalisms — global elements, sequences and binary choices with
+    ``?``/``*``/``+`` occurrence, ``#PCDATA`` leaves, ``CDATA``
+    attributes — so byte parity of the compiled grammars is a theorem,
+    not a coincidence.  A chain ref from each element to the next keeps
+    every declaration reachable from the root.
+    """
+    import random
+
+    rng = random.Random(seed * 1009 + 17)
+    count = rng.randint(3, 6)
+    names = [f"n{index}" for index in range(count)]
+    leaf_cut = max(1, count - 2)
+
+    occ_xsd = {
+        "": "",
+        "?": ' minOccurs="0"',
+        "*": ' minOccurs="0" maxOccurs="unbounded"',
+        "+": ' maxOccurs="unbounded"',
+    }
+    models: dict[str, list] = {}
+    referenced: set[str] = set()
+    for index, name in enumerate(names[:leaf_cut]):
+        pool = names[index + 1:]
+        items = [("ref", names[index + 1], rng.choice(["", "?", "*", "+"]))]
+        for _ in range(rng.randint(0, 2)):
+            occ = rng.choice(["", "?", "*", "+"])
+            if len(pool) >= 2 and rng.random() < 0.3:
+                items.append(("choice", rng.sample(pool, 2), occ))
+            else:
+                items.append(("ref", rng.choice(pool), occ))
+        models[name] = items
+        for kind, target, _ in items:
+            referenced.update([target] if kind == "ref" else target)
+    # The XSD compiler only emits declarations reachable from the root,
+    # so orphaned names would break parity with the keep-everything DTD
+    # loader: hang them off the root as optional trailing children.
+    for name in names[1:]:
+        if name not in referenced:
+            models[names[0]].append(("ref", name, "?"))
+
+    dtd_lines, xsd_parts = [], []
+    for index, name in enumerate(names):
+        if index >= leaf_cut:
+            dtd_lines.append(f"<!ELEMENT {name} (#PCDATA)>")
+            xsd_parts.append(f'<xs:element name="{name}" type="xs:string"/>')
+            continue
+        items = models[name]
+        dtd_items, xsd_items = [], []
+        for kind, target, occ in items:
+            if kind == "ref":
+                dtd_items.append(f"{target}{occ}")
+                xsd_items.append(f'<xs:element ref="{target}"{occ_xsd[occ]}/>')
+            else:
+                dtd_items.append(f"({target[0]} | {target[1]}){occ}")
+                xsd_items.append(
+                    f"<xs:choice{occ_xsd[occ]}>"
+                    f'<xs:element ref="{target[0]}"/>'
+                    f'<xs:element ref="{target[1]}"/>'
+                    "</xs:choice>"
+                )
+        dtd_lines.append(f"<!ELEMENT {name} ({', '.join(dtd_items)})>")
+        attribute = ""
+        if rng.random() < 0.4:
+            # Implied only: random_valid_document never emits attributes,
+            # so a required one would make every document invalid.
+            dtd_lines.append(f"<!ATTLIST {name} id CDATA #IMPLIED>")
+            attribute = '<xs:attribute name="id" type="xs:string"/>'
+        xsd_parts.append(
+            f'<xs:element name="{name}"><xs:complexType><xs:sequence>'
+            f'{"".join(xsd_items)}</xs:sequence>{attribute}'
+            "</xs:complexType></xs:element>"
+        )
+    dtd_text = "\n".join(dtd_lines)
+    xsd_text = (
+        '<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">'
+        + "".join(xsd_parts)
+        + "</xs:schema>"
+    )
+    return dtd_text, xsd_text, names[0]
+
+
+def check_schema(seed: int) -> None:
+    """The schema-front-end axis: the XSD spelling of a random grammar is
+    byte-equivalent to its DTD spelling across every pruning path, and
+    the dataguide inferred from its documents is order-independent and
+    routes strays to the escape hatch, never to wrong bytes."""
+    from repro.core.cache import grammar_fingerprint, resolve_projector
+    from repro.dtd.grammar import grammar_from_text
+    from repro.errors import StrayDocumentError
+    from repro.schema import grammar_from_xsd, infer_grammar
+
+    dtd_text, xsd_text, root = _paired_schema(seed)
+    dtd_grammar = grammar_from_text(dtd_text, root)
+    xsd_grammar = grammar_from_xsd(xsd_text, root)
+    assert grammar_fingerprint(xsd_grammar) == grammar_fingerprint(dtd_grammar), (
+        f"seed {seed}: XSD and DTD spellings compiled to different grammars"
+    )
+
+    document = random_valid_document(dtd_grammar, seed * 31 + 7)
+    markup = serialize(document)
+    pathl = random_pathl(dtd_grammar, seed * 13 + 5)
+    projector = frozenset(infer_projector(xsd_grammar, pathl)) | {root}
+
+    fast = prune(markup, xsd_grammar, projector, fast=True).text
+    slow = prune(markup, xsd_grammar, projector, fast=False).text
+    via_dtd = prune(markup, dtd_grammar, projector).text
+    assert fast == slow == via_dtd, (
+        f"seed {seed}: XSD-compiled grammar pruned differently from the DTD"
+    )
+    interpretation = validate(document, xsd_grammar)
+    assert serialize(prune_document(document, interpretation, projector)) == fast, (
+        f"seed {seed}: tree pruning under the XSD grammar diverged"
+    )
+
+    # -- the dataguide axis ---------------------------------------------
+    second = serialize(random_valid_document(dtd_grammar, seed * 97 + 11))
+    inferred = infer_grammar([markup, second])
+    flipped = infer_grammar([second, markup])
+    assert grammar_fingerprint(inferred) == grammar_fingerprint(flipped), (
+        f"seed {seed}: dataguide fingerprint depends on ingestion order"
+    )
+    inferred_projector = resolve_projector(inferred, [str(pathl)])
+    assert not prune(markup, inferred, inferred_projector).stray, (
+        f"seed {seed}: a sample document strayed from its own dataguide"
+    )
+    stray_doc = f"<{inferred.root}><zzzstray/></{inferred.root}>"
+    with pytest.raises(StrayDocumentError):
+        prune(stray_doc, inferred, inferred_projector)
+    lax = infer_grammar([markup, second], on_stray="copy")
+    copied = prune(stray_doc, lax, resolve_projector(lax, [str(pathl)]))
+    assert copied.stray and copied.text == stray_doc, (
+        f"seed {seed}: the copy policy did not pass the stray through verbatim"
+    )
+
+
 @pytest.mark.parametrize("seed", range(QUICK_CASES))
 def test_differential_quick(seed):
     check_one(seed)
@@ -204,6 +344,17 @@ def test_differential_static_quick(seed):
 @pytest.mark.parametrize("seed", range(QUICK_CASES, FULL_CASES))
 def test_differential_static_full(seed):
     check_static(seed)
+
+
+@pytest.mark.parametrize("seed", range(QUICK_CASES))
+def test_differential_schema_quick(seed):
+    check_schema(seed)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(QUICK_CASES, FULL_CASES))
+def test_differential_schema_full(seed):
+    check_schema(seed)
 
 
 def _run_ledger_axis(seeds, tmp_path):

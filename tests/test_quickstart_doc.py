@@ -77,6 +77,32 @@ def test_readme_batch_pruning_snippet_runs_verbatim(tmp_path, monkeypatch):
     assert "<title>" in markup and "<price>" not in markup
 
 
+def test_readme_schemas_beyond_dtd_snippet_runs_verbatim(tmp_path, monkeypatch):
+    from tests.test_schema_xsd import BOOK_XSD
+
+    readme = pathlib.Path(__file__).resolve().parent.parent / "README.md"
+    match = re.search(
+        r"## Schemas beyond DTD\n.*?```python\n(.*?)```",
+        readme.read_text(), re.DOTALL,
+    )
+    assert match, "README has no schemas-beyond-dtd code block"
+    code = match.group(1)
+    # The snippet reads bib.xsd, bib.xml and corpus/*.xml from the
+    # working directory.
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "bib.xsd").write_text(BOOK_XSD)
+    (tmp_path / "bib.xml").write_text(BOOK_XML)
+    corpus = tmp_path / "corpus"
+    corpus.mkdir()
+    for i in range(3):
+        (corpus / f"doc{i}.xml").write_text(BOOK_XML)
+    namespace = {}
+    exec(compile(code, str(readme), "exec"), namespace)
+    # The snippet's asserts are the real checks; confirm the prune bit.
+    assert "<author>" not in namespace["pruned"].text
+    assert "<title>" in namespace["result"].text
+
+
 def test_readme_tabular_extraction_snippet_runs_verbatim(tmp_path, monkeypatch):
     readme = pathlib.Path(__file__).resolve().parent.parent / "README.md"
     match = re.search(

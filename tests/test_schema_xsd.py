@@ -1,0 +1,695 @@
+"""The XSD front-end on trial: four design patterns, one grammar.
+
+The compiler's contract is *byte parity with the DTD loader*: a schema
+expressible in both formalisms must compile to a fingerprint-identical
+grammar, so every cache key, resident pin and ledger attestation behaves
+the same no matter which syntax named the grammar.  The four declaration
+styles (Russian Doll, Salami Slice, Venetian Blind, Garden of Eden) are
+spellings of one language — they must all land on one fingerprint.
+
+Local elements (the paper's footnote 1) compile to the single-type
+class; everything outside the supported subset raises the structured
+:class:`~repro.errors.UnsupportedSchemaError` naming the construct.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+import repro
+from repro.core.cache import grammar_fingerprint, resolve_projector
+from repro.dtd.grammar import Grammar, grammar_from_text
+from repro.dtd.regex import Atom, Epsilon, Opt, Plus, Seq, Star
+from repro.dtd.singletype import SingleTypeGrammar
+from repro.dtd.validator import validate
+from repro.errors import GrammarError, ReproError, UnsupportedSchemaError
+from repro.loading import _detect, load_grammar
+from repro.projection.tree import prune_document
+from repro.schema.wire import grammar_from_wire, grammar_to_wire
+from repro.schema.xsd import grammar_from_xsd, grammar_from_xsd_file, looks_like_xsd
+from repro.xmltree.builder import parse_document
+from repro.xmltree.serializer import serialize
+from repro.xpath.evaluator import XPathEvaluator
+from tests.conftest import BOOK_DTD, BOOK_XML
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+# The conftest bibliography, as an XML Schema (Garden of Eden style:
+# both elements and types global).
+BOOK_XSD = """<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="bib" type="BibType"/>
+  <xs:element name="book" type="BookType"/>
+  <xs:element name="title" type="xs:string"/>
+  <xs:element name="author" type="xs:string"/>
+  <xs:element name="year" type="xs:string"/>
+  <xs:element name="price" type="xs:decimal"/>
+  <xs:complexType name="BibType">
+    <xs:sequence>
+      <xs:element ref="book" minOccurs="0" maxOccurs="unbounded"/>
+    </xs:sequence>
+  </xs:complexType>
+  <xs:complexType name="BookType">
+    <xs:sequence>
+      <xs:element ref="title"/>
+      <xs:element ref="author" maxOccurs="unbounded"/>
+      <xs:element ref="year" minOccurs="0"/>
+      <xs:element ref="price" minOccurs="0"/>
+    </xs:sequence>
+    <xs:attribute name="isbn" type="xs:string"/>
+  </xs:complexType>
+</xs:schema>
+"""
+
+
+def _one_library_schema(style: str) -> str:
+    """One logical schema — ``library (book+)``, ``book (title, author*)``
+    with a required ``id`` — in each of the four declaration styles."""
+    if style == "russian-doll":
+        return """<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:element name="library">
+            <xs:complexType>
+              <xs:sequence>
+                <xs:element name="book" maxOccurs="unbounded">
+                  <xs:complexType>
+                    <xs:sequence>
+                      <xs:element name="title" type="xs:string"/>
+                      <xs:element name="author" type="xs:string"
+                                  minOccurs="0" maxOccurs="unbounded"/>
+                    </xs:sequence>
+                    <xs:attribute name="id" use="required"/>
+                  </xs:complexType>
+                </xs:element>
+              </xs:sequence>
+            </xs:complexType>
+          </xs:element>
+        </xs:schema>"""
+    if style == "salami-slice":
+        return """<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:element name="library">
+            <xs:complexType>
+              <xs:sequence>
+                <xs:element ref="book" maxOccurs="unbounded"/>
+              </xs:sequence>
+            </xs:complexType>
+          </xs:element>
+          <xs:element name="book">
+            <xs:complexType>
+              <xs:sequence>
+                <xs:element ref="title"/>
+                <xs:element ref="author" minOccurs="0" maxOccurs="unbounded"/>
+              </xs:sequence>
+              <xs:attribute name="id" use="required"/>
+            </xs:complexType>
+          </xs:element>
+          <xs:element name="title" type="xs:string"/>
+          <xs:element name="author" type="xs:string"/>
+        </xs:schema>"""
+    if style == "venetian-blind":
+        return """<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:element name="library" type="LibraryType"/>
+          <xs:complexType name="LibraryType">
+            <xs:sequence>
+              <xs:element name="book" type="BookType" maxOccurs="unbounded"/>
+            </xs:sequence>
+          </xs:complexType>
+          <xs:complexType name="BookType">
+            <xs:sequence>
+              <xs:element name="title" type="xs:string"/>
+              <xs:element name="author" type="xs:string"
+                          minOccurs="0" maxOccurs="unbounded"/>
+            </xs:sequence>
+            <xs:attribute name="id" use="required"/>
+          </xs:complexType>
+        </xs:schema>"""
+    assert style == "garden-of-eden"
+    return """<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+      <xs:element name="library" type="LibraryType"/>
+      <xs:element name="book" type="BookType"/>
+      <xs:element name="title" type="xs:string"/>
+      <xs:element name="author" type="xs:string"/>
+      <xs:complexType name="LibraryType">
+        <xs:sequence>
+          <xs:element ref="book" maxOccurs="unbounded"/>
+        </xs:sequence>
+      </xs:complexType>
+      <xs:complexType name="BookType">
+        <xs:sequence>
+          <xs:element ref="title"/>
+          <xs:element ref="author" minOccurs="0" maxOccurs="unbounded"/>
+        </xs:sequence>
+        <xs:attribute name="id" use="required"/>
+      </xs:complexType>
+    </xs:schema>"""
+
+
+STYLES = ("russian-doll", "salami-slice", "venetian-blind", "garden-of-eden")
+
+LIBRARY_DTD = """
+<!ELEMENT library (book+)>
+<!ELEMENT book (title, author*)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ATTLIST book id CDATA #REQUIRED>
+"""
+
+LIBRARY_XML = (
+    '<library>'
+    '<book id="1"><title>Moby-Dick</title><author>Melville</author></book>'
+    '<book id="2"><title>Anthology</title></book>'
+    '</library>'
+)
+
+# Footnote 1: two *local* declarations of tag <item> with different
+# content — inexpressible as a DTD, compiles to the single-type class.
+LOCAL_ITEMS_XSD = """<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="library">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="books">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="item" minOccurs="0" maxOccurs="unbounded">
+                <xs:complexType>
+                  <xs:sequence>
+                    <xs:element name="title" type="xs:string"/>
+                    <xs:element name="pages" type="xs:integer"/>
+                  </xs:sequence>
+                </xs:complexType>
+              </xs:element>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+        <xs:element name="films">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="item" minOccurs="0" maxOccurs="unbounded">
+                <xs:complexType>
+                  <xs:sequence>
+                    <xs:element name="title" type="xs:string"/>
+                    <xs:element name="minutes" type="xs:integer"/>
+                  </xs:sequence>
+                </xs:complexType>
+              </xs:element>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"""
+
+LOCAL_ITEMS_XML = (
+    "<library>"
+    "<books>"
+    "<item><title>Moby-Dick</title><pages>635</pages></item>"
+    "<item><title>Ulysses</title><pages>730</pages></item>"
+    "</books>"
+    "<films>"
+    "<item><title>Stalker</title><minutes>161</minutes></item>"
+    "</films>"
+    "</library>"
+)
+
+
+def _wrap(body: str) -> str:
+    return (
+        '<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">'
+        + body
+        + "</xs:schema>"
+    )
+
+
+# -- sniffing and dispatch (satellite: the _detect misrouting fix) ------------
+
+
+class TestDetection:
+    def test_looks_like_xsd(self):
+        assert looks_like_xsd(BOOK_XSD)
+        assert looks_like_xsd('<schema xmlns="..."/>')
+        assert looks_like_xsd('<?xml version="1.0"?>\n<!-- c -->\n<xsd:schema/>')
+        assert not looks_like_xsd(BOOK_XML)
+        assert not looks_like_xsd("<bib/>")
+        assert not looks_like_xsd("")
+
+    def test_detect_routes_inline_xsd_markup_to_xsd(self):
+        # Regression: an XSD is itself an XML document, so before the
+        # sniff it fell through to the dataguide branch and came back as
+        # a grammar *of the schema document* (xs:schema as the root tag).
+        assert _detect(BOOK_XSD) == "xsd"
+        assert _detect(BOOK_XML) == "xml"
+
+    def test_detect_routes_xsd_paths_to_xsd(self, tmp_path):
+        path = tmp_path / "bib.xsd"
+        path.write_text(BOOK_XSD)
+        assert _detect(str(path)) == "xsd"
+        assert _detect(path) == "xsd"
+        assert _detect(str(tmp_path / "doc.xml")) == "xml"
+
+    def test_load_grammar_auto_does_not_dataguide_a_schema(self, tmp_path):
+        # The misrouted result was a "grammar" whose root tag is the
+        # schema element itself — assert the fix end to end.
+        path = tmp_path / "bib.xsd"
+        path.write_text(BOOK_XSD)
+        for source in (BOOK_XSD, str(path)):
+            grammar = load_grammar(source)
+            assert grammar.root == "bib"
+            assert "schema" not in {
+                p.tag
+                for p in grammar.productions.values()
+                if hasattr(p, "tag")
+            }
+
+    def test_load_grammar_explicit_format_and_root(self, tmp_path):
+        grammar = load_grammar(BOOK_XSD, format="xsd", root="book")
+        assert grammar.root == "book"
+        stream_path = tmp_path / "bib.xsd"
+        stream_path.write_text(BOOK_XSD)
+        with open(stream_path, "r", encoding="utf-8") as handle:
+            # A stream sniffs as a document; format= overrides.
+            assert load_grammar(handle, format="xsd").root == "bib"
+
+
+# -- DTD byte parity ----------------------------------------------------------
+
+
+class TestDtdParity:
+    def test_book_schema_fingerprint_matches_dtd(self, book_grammar):
+        compiled = grammar_from_xsd(BOOK_XSD)
+        assert grammar_fingerprint(compiled) == grammar_fingerprint(book_grammar)
+
+    def test_pruned_bytes_identical_across_all_paths(self, book_grammar):
+        compiled = grammar_from_xsd(BOOK_XSD)
+        projector = resolve_projector(book_grammar, ["//book[author='Dante']/title"])
+        baseline = repro.prune(BOOK_XML, book_grammar, projector).text
+        assert repro.prune(BOOK_XML, compiled, projector).text == baseline
+        assert (
+            repro.prune(BOOK_XML, compiled, projector, fast=False).text == baseline
+        )
+        document = parse_document(BOOK_XML)
+        interpretation = validate(document, compiled)
+        tree = prune_document(document, interpretation, projector)
+        assert serialize(tree) == baseline
+
+    def test_four_patterns_one_fingerprint(self):
+        fingerprints = {
+            style: grammar_fingerprint(grammar_from_xsd(_one_library_schema(style)))
+            for style in STYLES
+        }
+        assert len(set(fingerprints.values())) == 1, fingerprints
+
+    def test_four_patterns_match_the_dtd(self):
+        dtd = grammar_from_text(LIBRARY_DTD, "library")
+        for style in STYLES:
+            compiled = grammar_from_xsd(_one_library_schema(style))
+            assert grammar_fingerprint(compiled) == grammar_fingerprint(dtd), style
+
+    @pytest.mark.parametrize("style", STYLES)
+    def test_each_pattern_end_to_end(self, style):
+        grammar = grammar_from_xsd(_one_library_schema(style))
+        assert isinstance(grammar, Grammar)
+        assert not isinstance(grammar, SingleTypeGrammar)
+        result = repro.analyze(grammar, ["//book/title"])
+        pruned = repro.prune(LIBRARY_XML, grammar, result.projector)
+        assert pruned.text is not None and "<author>" not in pruned.text
+        document = parse_document(LIBRARY_XML)
+        before = XPathEvaluator(document).select_ids("//book/title")
+        interpretation = validate(document, grammar)
+        tree = prune_document(document, interpretation, result.projector)
+        assert XPathEvaluator(tree).select_ids("//book/title") == before
+
+
+# -- local elements (footnote 1) ---------------------------------------------
+
+
+class TestLocalElements:
+    def test_compiles_to_single_type(self):
+        grammar = grammar_from_xsd(LOCAL_ITEMS_XSD)
+        assert isinstance(grammar, SingleTypeGrammar)
+        # Two names for tag <item>, disambiguated deterministically.
+        item_names = sorted(
+            name
+            for name, production in grammar.productions.items()
+            if getattr(production, "tag", None) == "item"
+        )
+        assert item_names == ["films.item", "item"]
+
+    def test_projection_distinguishes_the_locals(self):
+        grammar = grammar_from_xsd(LOCAL_ITEMS_XSD)
+        result = repro.analyze(grammar, ["//books/item/pages"])
+        # The films' <item> name must not survive analysis.
+        kept_tags = {
+            grammar.productions[name].tag
+            for name in result.projector
+            if hasattr(grammar.productions[name], "tag")
+        }
+        assert "minutes" not in kept_tags
+        pruned = repro.prune(LOCAL_ITEMS_XML, grammar, result.projector)
+        assert pruned.text is not None
+        assert "<minutes>" not in pruned.text
+        assert pruned.text.count("<pages>") == 2
+
+    def test_query_answers_survive_pruning(self):
+        grammar = grammar_from_xsd(LOCAL_ITEMS_XSD)
+        query = "//item/title"
+        document = parse_document(LOCAL_ITEMS_XML)
+        before = XPathEvaluator(document).select_ids(query)
+        result = repro.analyze(grammar, [query])
+        interpretation = validate(document, grammar)
+        tree = prune_document(document, interpretation, result.projector)
+        assert XPathEvaluator(tree).select_ids(query) == before
+
+
+# -- content-model compilation ------------------------------------------------
+
+
+class TestContentModels:
+    def _regex_of(self, body: str, tag: str = "r"):
+        grammar = grammar_from_xsd(_wrap(body))
+        return grammar.productions[tag].regex
+
+    def test_occurrence_unrolling(self):
+        body = """<xs:element name="r"><xs:complexType><xs:sequence>
+            <xs:element name="a" type="xs:string" minOccurs="2" maxOccurs="unbounded"/>
+            <xs:element name="b" type="xs:string" minOccurs="1" maxOccurs="3"/>
+            <xs:element name="c" type="xs:string" minOccurs="0" maxOccurs="0"/>
+        </xs:sequence></xs:complexType></xs:element>"""
+        regex = self._regex_of(body)
+        assert isinstance(regex, Seq)
+        a_part, b_part, c_part = regex.items
+        # minOccurs=2, unbounded: a (a)+
+        assert isinstance(a_part, Seq)
+        assert isinstance(a_part.items[0], Atom)
+        assert isinstance(a_part.items[1], Plus)
+        # 1..3: b b? b?
+        assert isinstance(b_part, Seq)
+        assert isinstance(b_part.items[0], Atom)
+        assert all(isinstance(item, Opt) for item in b_part.items[1:])
+        # maxOccurs=0 vanishes
+        assert isinstance(c_part, Epsilon)
+
+    def test_singleton_groups_unwrap_like_dtd_parens(self):
+        body = """<xs:element name="r"><xs:complexType><xs:sequence>
+            <xs:element name="a" type="xs:string"/>
+        </xs:sequence></xs:complexType></xs:element>"""
+        assert isinstance(self._regex_of(body), Atom)
+
+    def test_choice_and_nested_groups(self):
+        body = """<xs:element name="r"><xs:complexType>
+            <xs:choice maxOccurs="unbounded">
+              <xs:element name="a" type="xs:string"/>
+              <xs:sequence>
+                <xs:element name="b" type="xs:string"/>
+                <xs:element name="c" type="xs:string"/>
+              </xs:sequence>
+            </xs:choice>
+        </xs:complexType></xs:element>"""
+        regex = self._regex_of(body)
+        assert isinstance(regex, Plus)
+        for doc in ("<r><a>x</a></r>", "<r><b>x</b><c>y</c><a>z</a></r>"):
+            validate(parse_document(doc), grammar_from_xsd(_wrap(
+                body.replace('name="r"', 'name="r"')
+            )))
+
+    def test_all_is_a_sound_over_approximation(self):
+        body = """<xs:element name="r"><xs:complexType><xs:all>
+            <xs:element name="a" type="xs:string"/>
+            <xs:element name="b" type="xs:string"/>
+        </xs:all></xs:complexType></xs:element>"""
+        grammar = grammar_from_xsd(_wrap(body))
+        regex = grammar.productions["r"].regex
+        assert isinstance(regex, Star)
+        # Every permutation (and then some) is accepted — soundness only
+        # needs acceptance, Theorem 4.5.
+        for doc in ("<r><a>x</a><b>y</b></r>", "<r><b>y</b><a>x</a></r>"):
+            validate(parse_document(doc), grammar)
+
+    def test_mixed_content_matches_the_dtd_mixed_model(self):
+        xsd = _wrap("""<xs:element name="p"><xs:complexType mixed="true">
+            <xs:sequence>
+              <xs:element name="em" type="xs:string" minOccurs="0" maxOccurs="unbounded"/>
+            </xs:sequence>
+        </xs:complexType></xs:element>""")
+        dtd = "<!ELEMENT p (#PCDATA | em)*>\n<!ELEMENT em (#PCDATA)>"
+        assert grammar_fingerprint(grammar_from_xsd(xsd)) == grammar_fingerprint(
+            grammar_from_text(dtd, "p")
+        )
+
+    def test_empty_complex_type(self):
+        body = '<xs:element name="r"><xs:complexType/></xs:element>'
+        grammar = grammar_from_xsd(_wrap(body))
+        assert isinstance(grammar.productions["r"].regex, Epsilon)
+        validate(parse_document("<r/>"), grammar)
+
+    def test_recursion_through_named_types_terminates(self):
+        xsd = _wrap("""<xs:element name="part" type="PartType"/>
+          <xs:complexType name="PartType">
+            <xs:sequence>
+              <xs:element name="part" type="PartType"
+                          minOccurs="0" maxOccurs="unbounded"/>
+            </xs:sequence>
+          </xs:complexType>""")
+        grammar = grammar_from_xsd(xsd)
+        validate(parse_document("<part><part><part/></part></part>"), grammar)
+
+    def test_simple_content_extension(self):
+        body = """<xs:element name="price"><xs:complexType>
+            <xs:simpleContent><xs:extension base="xs:decimal">
+              <xs:attribute name="currency" use="required"/>
+            </xs:extension></xs:simpleContent>
+        </xs:complexType></xs:element>"""
+        grammar = grammar_from_xsd(_wrap(body))
+        validate(parse_document('<price currency="EUR">12</price>'), grammar)
+        assert "price@currency" in grammar.productions
+
+    def test_named_simple_type_collapses_to_text(self):
+        xsd = _wrap("""<xs:element name="isbn" type="IsbnType"/>
+          <xs:simpleType name="IsbnType">
+            <xs:restriction base="xs:string"/>
+          </xs:simpleType>""")
+        grammar = grammar_from_xsd(xsd)
+        assert "isbn#text" in grammar.productions
+
+
+# -- attributes ---------------------------------------------------------------
+
+
+class TestAttributes:
+    def test_use_forms(self):
+        body = """<xs:element name="r"><xs:complexType>
+            <xs:attribute name="req" use="required"/>
+            <xs:attribute name="opt"/>
+            <xs:attribute name="gone" use="prohibited"/>
+            <xs:attribute name="fix" fixed="v"/>
+            <xs:attribute name="dft" default="d"/>
+        </xs:complexType></xs:element>"""
+        grammar = grammar_from_xsd(_wrap(body))
+        names = {attr.name for attr in grammar.productions["r"].attributes}
+        assert names == {"req", "opt", "fix", "dft"}
+        assert "r@req" in grammar.productions
+        assert "r@gone" not in grammar.productions
+
+    def test_global_attribute_ref(self):
+        xsd = _wrap("""<xs:element name="r"><xs:complexType>
+            <xs:attribute ref="lang" use="required"/>
+          </xs:complexType></xs:element>
+          <xs:attribute name="lang" type="xs:string"/>""")
+        grammar = grammar_from_xsd(xsd)
+        assert "r@lang" in grammar.productions
+
+
+# -- refusals -----------------------------------------------------------------
+
+
+class TestRefusals:
+    @pytest.mark.parametrize(
+        "body, construct",
+        [
+            ('<xs:import namespace="x"/>', "xs:import"),
+            ('<xs:include schemaLocation="x"/>', "xs:include"),
+            ('<xs:group name="g"/>', "xs:group"),
+            ('<xs:notation name="n" public="p"/>', "xs:notation"),
+        ],
+    )
+    def test_top_level_refusals(self, body, construct):
+        with pytest.raises(UnsupportedSchemaError) as excinfo:
+            grammar_from_xsd(_wrap(body + '<xs:element name="r" type="xs:string"/>'))
+        assert excinfo.value.construct == construct
+        assert construct in str(excinfo.value)
+
+    def test_any_inside_content_is_refused(self):
+        body = """<xs:element name="r"><xs:complexType><xs:sequence>
+            <xs:any/>
+        </xs:sequence></xs:complexType></xs:element>"""
+        with pytest.raises(UnsupportedSchemaError) as excinfo:
+            grammar_from_xsd(_wrap(body))
+        assert excinfo.value.construct == "xs:any"
+
+    def test_complex_content_is_refused(self):
+        body = """<xs:element name="r"><xs:complexType>
+            <xs:complexContent><xs:extension base="B"/></xs:complexContent>
+        </xs:complexType></xs:element>"""
+        with pytest.raises(UnsupportedSchemaError):
+            grammar_from_xsd(_wrap(body))
+
+    def test_substitution_group_is_refused(self):
+        xsd = _wrap("""<xs:element name="r" type="xs:string"/>
+          <xs:element name="s" substitutionGroup="r" type="xs:string"/>""")
+        grammar = grammar_from_xsd(xsd)  # root compiles, s is unreferenced
+        assert grammar.root == "r"
+        with pytest.raises(UnsupportedSchemaError):
+            grammar_from_xsd(xsd, root="s")
+
+    def test_implicit_any_type_is_refused(self):
+        with pytest.raises(UnsupportedSchemaError) as excinfo:
+            grammar_from_xsd(_wrap('<xs:element name="r"/>'))
+        assert "anyType" in excinfo.value.construct
+
+    def test_occurs_cap(self):
+        body = """<xs:element name="r"><xs:complexType><xs:sequence>
+            <xs:element name="a" type="xs:string" maxOccurs="4096"/>
+        </xs:sequence></xs:complexType></xs:element>"""
+        with pytest.raises(UnsupportedSchemaError) as excinfo:
+            grammar_from_xsd(_wrap(body))
+        assert "maxOccurs" in excinfo.value.construct
+
+    def test_bad_bounds_and_bad_refs_are_grammar_errors(self):
+        bad_bounds = """<xs:element name="r"><xs:complexType><xs:sequence>
+            <xs:element name="a" type="xs:string" minOccurs="3" maxOccurs="2"/>
+        </xs:sequence></xs:complexType></xs:element>"""
+        with pytest.raises(GrammarError):
+            grammar_from_xsd(_wrap(bad_bounds))
+        with pytest.raises(GrammarError):
+            grammar_from_xsd(_wrap('<xs:element name="r" type="NoSuchType"/>'))
+        with pytest.raises(GrammarError):
+            grammar_from_xsd(_wrap(
+                """<xs:element name="r"><xs:complexType><xs:sequence>
+                     <xs:element ref="nope"/>
+                   </xs:sequence></xs:complexType></xs:element>"""
+            ))
+
+    def test_unknown_root_tag(self):
+        with pytest.raises(GrammarError):
+            grammar_from_xsd(BOOK_XSD, root="nope")
+
+    def test_annotations_are_skipped(self):
+        xsd = _wrap("""<xs:annotation><xs:documentation>d</xs:documentation>
+          </xs:annotation>
+          <xs:element name="r" type="xs:string">
+            <xs:annotation><xs:documentation>e</xs:documentation></xs:annotation>
+          </xs:element>""")
+        assert grammar_from_xsd(xsd).root == "r"
+
+
+# -- the wire codec -----------------------------------------------------------
+
+
+class TestWire:
+    def test_roundtrip_preserves_class_and_fingerprint(self, book_grammar):
+        single = grammar_from_xsd(LOCAL_ITEMS_XSD)
+        inferred = repro.infer_grammar(BOOK_XML, on_stray="copy")
+        for grammar in (book_grammar, single, inferred):
+            decoded = grammar_from_wire(grammar_to_wire(grammar))
+            assert type(decoded) is type(grammar)
+            assert grammar_fingerprint(decoded) == grammar_fingerprint(grammar)
+        assert grammar_from_wire(grammar_to_wire(inferred)).on_stray == "copy"
+
+    def test_wire_is_json_compatible(self, book_grammar):
+        import json
+
+        wire = grammar_to_wire(book_grammar)
+        assert grammar_fingerprint(
+            grammar_from_wire(json.loads(json.dumps(wire)))
+        ) == grammar_fingerprint(book_grammar)
+
+    @pytest.mark.parametrize(
+        "wire",
+        [
+            42,
+            {"root": "r"},
+            {"root": "r", "productions": [], "class": "martian"},
+            {"root": "r", "productions": [{"kind": "element", "name": "r"}]},
+            {
+                "root": "r",
+                "productions": [
+                    {"kind": "element", "name": "r", "tag": "r",
+                     "regex": ["warp", 9]}
+                ],
+            },
+        ],
+    )
+    def test_strict_decode(self, wire):
+        with pytest.raises(ReproError):
+            grammar_from_wire(wire)
+
+
+# -- facade, CLI and service wiring -------------------------------------------
+
+
+class TestWiring:
+    def test_grammar_from_xsd_file(self, tmp_path):
+        path = tmp_path / "bib.xsd"
+        path.write_text(BOOK_XSD)
+        grammar = grammar_from_xsd_file(str(path))
+        assert grammar.root == "bib"
+
+    def test_cli_schema_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        xsd = tmp_path / "bib.xsd"
+        xsd.write_text(BOOK_XSD)
+        doc = tmp_path / "bib.xml"
+        doc.write_text(BOOK_XML)
+        out = tmp_path / "pruned.xml"
+        code = main([
+            "prune", "--schema", str(xsd), "--query", "//title",
+            str(doc), str(out),
+        ])
+        assert code == 0
+        grammar = grammar_from_xsd(BOOK_XSD)
+        projector = resolve_projector(grammar, ["//title"])
+        assert out.read_text() == repro.prune(BOOK_XML, grammar, projector).text
+
+    def test_cli_schema_ledger_provenance_replays(self, tmp_path, capsys):
+        from repro.cli import main
+
+        xsd = tmp_path / "bib.xsd"
+        xsd.write_text(BOOK_XSD)
+        doc = tmp_path / "bib.xml"
+        doc.write_text(BOOK_XML)
+        out = tmp_path / "pruned.xml"
+        led = tmp_path / "ledger.jsonl"
+        assert main([
+            "prune", "--schema", str(xsd), "--query", "//title",
+            "--ledger", str(led), str(doc), str(out),
+        ]) == 0
+        # verify-ledger recovers the grammar from the recorded xsd_path.
+        assert main(["verify-ledger", "--ledger", str(led)]) == 0
+        assert "1 attested" in capsys.readouterr().out
+
+    @pytest.mark.skipif(not HAS_FORK, reason="service workers require fork")
+    def test_service_accepts_xsd_and_wire_grammars(self):
+        from repro.core.cache import ProjectorCache
+        from repro.service import ServiceClient, ServiceConfig, serve_background
+
+        grammar = grammar_from_xsd(BOOK_XSD)
+        projector = resolve_projector(grammar, ["//title"])
+        expected = repro.prune(BOOK_XML, grammar, projector).text
+        with serve_background(
+            ServiceConfig(port=0, jobs=1), cache=ProjectorCache()
+        ) as background:
+            with ServiceClient("127.0.0.1", background.port) as client:
+                via_xsd = client.prune(
+                    source=BOOK_XML, queries=["//title"], xsd=BOOK_XSD
+                )
+                assert via_xsd.text == expected
+                via_wire = client.prune(
+                    source=BOOK_XML, queries=["//title"], grammar=grammar
+                )
+                assert via_wire.text == expected
+                report = client.check_update(
+                    ["/bib/book/year"], queries=["//title"], xsd=BOOK_XSD
+                )
+                assert report["independent"] is True

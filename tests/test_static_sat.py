@@ -262,6 +262,103 @@ def test_independence_handcrafted():
     assert independent(grammar, [], projector).independent
 
 
+# -- single-type grammars (XML Schema local elements) -------------------------
+
+
+def _local_elements_example():
+    """The shipped footnote-1 example, loaded verbatim — the pre-pass
+    must work on exactly the grammar users see in ``examples/``."""
+    import importlib.util
+    import pathlib
+
+    path = (
+        pathlib.Path(__file__).parent.parent
+        / "examples"
+        / "xml_schema_local_elements.py"
+    )
+    spec = importlib.util.spec_from_file_location("local_elements_example", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_single_type_unsat_verdicts():
+    example = _local_elements_example()
+    grammar = example.GRAMMAR
+    # Book-items carry pages, film-items carry minutes; crossing them is
+    # dead — a verdict no DTD could give, since both share the tag <item>.
+    for query in (
+        "/library/books/item/minutes",
+        "/library/films/item/pages",
+        "//books/item/minutes",
+    ):
+        verdict = classify_query(grammar, query)
+        assert not verdict.satisfiable, query
+    # ... while the straight paths stay live.
+    for query in ("//item/title", "//minutes", "/library/books/item/pages"):
+        assert classify_query(grammar, query).satisfiable, query
+    # No production declares attributes, so every attribute step is dead.
+    assert not classify_path(
+        grammar, parse_pathl("descendant-or-self::item/attribute::id")
+    ).satisfiable
+
+
+def test_single_type_filter_projector():
+    from repro.dtd.singletype import single_type_grammar
+
+    example = _local_elements_example()
+    grammar = example.GRAMMAR
+    # Every name in the example occurs in some valid document: the
+    # occurrence filter must not drop any of them.
+    names = frozenset(grammar.productions)
+    assert filter_projector(grammar, names) == names
+    # A name with no base case is dead even in a single-type grammar.
+    looping = single_type_grammar(
+        "Lib",
+        {
+            "Lib": ("library", Seq([Star(Atom("Item")), Star(Atom("Loop"))])),
+            "Item": ("item", Epsilon()),
+            "Loop": ("loop", Plus(Atom("Loop"))),
+        },
+    )
+    filtered = filter_projector(looping, frozenset({"Lib", "Item", "Loop"}))
+    assert filtered == frozenset({"Lib", "Item"})
+
+
+def test_single_type_prepass_never_changes_pruned_bytes():
+    example = _local_elements_example()
+    grammar, document = example.GRAMMAR, example.XML
+    queries = [
+        example.QUERY,                      # live, answers exist
+        "/library/books/item/minutes",      # UNSAT cross-type path
+        "//item/title",                     # live over both locals
+        "/library/zzz",                     # dead tag
+    ]
+    for query in queries:
+        static = analyze(grammar, [query])
+        baseline = analyze(grammar, [query], static=False)
+        assert (
+            prune(document, grammar, static).text
+            == prune(document, grammar, baseline.projector).text
+        ), query
+    # All-UNSAT workloads short-circuit to the root-only view — which must
+    # still be byte-identical to what the unanalyzed projector produces.
+    empty = analyze(grammar, ["/library/books/item/minutes", "/library/zzz"])
+    assert empty.all_unsat and empty.provably_empty
+    assert (
+        prune(document, grammar, empty).text
+        == prune(
+            document,
+            grammar,
+            analyze(
+                grammar,
+                ["/library/books/item/minutes", "/library/zzz"],
+                static=False,
+            ).projector,
+        ).text
+    )
+
+
 # -- Hypothesis properties ----------------------------------------------------
 
 
